@@ -1,0 +1,213 @@
+//! Area and peak-power estimation, and the design budget.
+//!
+//! Spotlight performs constrained optimization: "From the pareto-optimal
+//! frontier, Spotlight selects the configuration that is closest to the
+//! inputted area and power budgets without exceeding them" (Section VI-B).
+//! This module supplies that envelope. The absolute constants are
+//! first-order (a 16 nm-class process); what matters for the search is
+//! that area and power increase monotonically with compute and SRAM so the
+//! budget constrains the design.
+
+use crate::config::HardwareConfig;
+use crate::energy::EnergyTable;
+
+/// First-order silicon area model.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::{AreaModel, HardwareConfig};
+///
+/// let m = AreaModel::default();
+/// let small = HardwareConfig::new(128, 16, 1, 64, 64, 64)?;
+/// let big = HardwareConfig::new(300, 20, 16, 256, 256, 256)?;
+/// assert!(m.area_mm2(&small) < m.area_mm2(&big));
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Area of one 8-bit MAC lane (mm^2).
+    pub mac_lane_mm2: f64,
+    /// Fixed per-PE control overhead (mm^2).
+    pub pe_overhead_mm2: f64,
+    /// SRAM density (mm^2 per KiB).
+    pub sram_mm2_per_kib: f64,
+    /// Interconnect area per element/cycle of bandwidth (mm^2).
+    pub noc_mm2_per_lane: f64,
+}
+
+impl AreaModel {
+    /// Total die area of a configuration in mm^2.
+    pub fn area_mm2(&self, hw: &HardwareConfig) -> f64 {
+        let compute = hw.pes() as f64
+            * (self.pe_overhead_mm2 + self.mac_lane_mm2 * hw.simd_lanes() as f64);
+        let sram = self.sram_mm2_per_kib * hw.total_sram_kib() as f64;
+        let noc = self.noc_mm2_per_lane
+            * hw.noc_bandwidth() as f64
+            * (hw.array_half_perimeter() as f64).sqrt();
+        compute + sram + noc
+    }
+
+    /// Peak power draw in watts at the given clock, assuming every MAC lane
+    /// and the full NoC bandwidth are busy each cycle, plus SRAM leakage.
+    pub fn peak_power_w(&self, hw: &HardwareConfig, energy: &EnergyTable, clock_ghz: f64) -> f64 {
+        let macs_per_s = hw.peak_macs_per_cycle() as f64 * clock_ghz * 1e9;
+        let mac_w = macs_per_s * (energy.mac_pj + 2.0 * energy.rf_access_pj(hw)) * 1e-12;
+        let noc_w = hw.noc_bandwidth() as f64
+            * clock_ghz
+            * 1e9
+            * (energy.l2_access_pj(hw) + energy.noc_delivery_pj(hw))
+            * 1e-12;
+        mac_w + noc_w + energy.leakage_w(hw)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            mac_lane_mm2: 0.0006,
+            pe_overhead_mm2: 0.0008,
+            sram_mm2_per_kib: 0.0035,
+            noc_mm2_per_lane: 0.0004,
+        }
+    }
+}
+
+/// An area + power budget that candidate designs must fit within.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::{Budget, HardwareConfig};
+///
+/// let b = Budget::edge();
+/// let hw = HardwareConfig::new(168, 14, 1, 96, 128, 64)?;
+/// assert!(b.admits(&hw));
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Maximum die area in mm^2.
+    pub max_area_mm2: f64,
+    /// Maximum peak power in watts.
+    pub max_power_w: f64,
+    /// Clock frequency used for power estimation, GHz.
+    pub clock_ghz: f64,
+    area_model: AreaModel,
+    energy: EnergyTable,
+}
+
+impl Budget {
+    /// Builds a budget with the default area and energy models.
+    pub fn new(max_area_mm2: f64, max_power_w: f64, clock_ghz: f64) -> Self {
+        Budget {
+            max_area_mm2,
+            max_power_w,
+            clock_ghz,
+            area_model: AreaModel::default(),
+            energy: EnergyTable::default_8bit(),
+        }
+    }
+
+    /// The edge-scale envelope used for Figure 6: large enough for every
+    /// Figure 3 edge configuration (up to 300 PEs, 512 KiB of SRAM).
+    pub fn edge() -> Self {
+        Budget::new(8.0, 8.0, 1.0)
+    }
+
+    /// The cloud-scale envelope used for Figure 7 (up to ~4096 PEs and
+    /// 16 MiB of SRAM).
+    pub fn cloud() -> Self {
+        Budget::new(120.0, 110.0, 1.0)
+    }
+
+    /// Whether `hw` fits inside both the area and power limits.
+    pub fn admits(&self, hw: &HardwareConfig) -> bool {
+        self.area_model.area_mm2(hw) <= self.max_area_mm2
+            && self.area_model.peak_power_w(hw, &self.energy, self.clock_ghz) <= self.max_power_w
+    }
+
+    /// Area of `hw` under this budget's area model.
+    pub fn area_mm2(&self, hw: &HardwareConfig) -> f64 {
+        self.area_model.area_mm2(hw)
+    }
+
+    /// Peak power of `hw` under this budget's models.
+    pub fn peak_power_w(&self, hw: &HardwareConfig) -> f64 {
+        self.area_model
+            .peak_power_w(hw, &self.energy, self.clock_ghz)
+    }
+
+    /// Fraction of the area budget consumed (1.0 = exactly at the limit).
+    pub fn area_utilization(&self, hw: &HardwareConfig) -> f64 {
+        self.area_mm2(hw) / self.max_area_mm2
+    }
+
+    /// The underlying area model.
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area_model
+    }
+
+    /// The underlying energy table.
+    pub fn energy_table(&self) -> &EnergyTable {
+        &self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_monotone_in_each_resource() {
+        let m = AreaModel::default();
+        let base = HardwareConfig::new(128, 16, 2, 64, 128, 64).unwrap();
+        let more_pes = HardwareConfig::new(256, 16, 2, 64, 128, 64).unwrap();
+        let more_simd = HardwareConfig::new(128, 16, 8, 64, 128, 64).unwrap();
+        let more_sram = HardwareConfig::new(128, 16, 2, 256, 256, 64).unwrap();
+        let more_bw = HardwareConfig::new(128, 16, 2, 64, 128, 256).unwrap();
+        for bigger in [more_pes, more_simd, more_sram, more_bw] {
+            assert!(m.area_mm2(&base) < m.area_mm2(&bigger));
+        }
+    }
+
+    #[test]
+    fn edge_budget_admits_figure3_extremes() {
+        let b = Budget::edge();
+        let min = HardwareConfig::new(128, 8, 2, 64, 64, 64).unwrap();
+        let max = HardwareConfig::new(300, 20, 16, 256, 256, 256).unwrap();
+        assert!(b.admits(&min));
+        assert!(b.admits(&max), "area={}", b.area_mm2(&max));
+    }
+
+    #[test]
+    fn edge_budget_rejects_cloud_scale_designs() {
+        let b = Budget::edge();
+        let huge = HardwareConfig::new(4096, 64, 16, 8192, 8192, 1024).unwrap();
+        assert!(!b.admits(&huge));
+    }
+
+    #[test]
+    fn cloud_budget_admits_cloud_designs() {
+        let b = Budget::cloud();
+        let huge = HardwareConfig::new(4096, 64, 4, 4096, 8192, 1024).unwrap();
+        assert!(b.admits(&huge), "area={}", b.area_mm2(&huge));
+    }
+
+    #[test]
+    fn power_grows_with_clock() {
+        let b1 = Budget::new(10.0, 10.0, 0.5);
+        let b2 = Budget::new(10.0, 10.0, 2.0);
+        let hw = HardwareConfig::new(168, 14, 1, 96, 128, 64).unwrap();
+        assert!(b1.peak_power_w(&hw) < b2.peak_power_w(&hw));
+    }
+
+    #[test]
+    fn utilization_is_area_over_budget() {
+        let b = Budget::edge();
+        let hw = HardwareConfig::new(168, 14, 1, 96, 128, 64).unwrap();
+        let u = b.area_utilization(&hw);
+        assert!((u - b.area_mm2(&hw) / b.max_area_mm2).abs() < 1e-12);
+        assert!(u > 0.0 && u < 1.0);
+    }
+}

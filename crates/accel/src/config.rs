@@ -1,0 +1,280 @@
+//! The hardware half of the co-design point.
+
+use std::fmt;
+
+/// Error returned when a [`HardwareConfig`] would be structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter was zero.
+    ZeroParameter(&'static str),
+    /// The PE-array width does not divide the PE count, so no rectangular
+    /// arrangement exists.
+    WidthDoesNotDividePes {
+        /// Total PE count requested.
+        pes: u32,
+        /// Array width requested.
+        width: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroParameter(name) => {
+                write!(f, "hardware parameter `{name}` must be positive")
+            }
+            ConfigError::WidthDoesNotDividePes { pes, width } => {
+                write!(f, "PE array width {width} does not divide PE count {pes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Microarchitectural parameters of the abstract accelerator (Figure 2),
+/// with the parameter set of Figure 3:
+///
+/// - `pes` (cardinal): total processing elements,
+/// - `pe_width` (ordinal): width of the 2-D array — must divide `pes`, so
+///   the aspect ratio ranges over the divisors of the PE count,
+/// - `simd_lanes` (cardinal): MAC lanes per PE,
+/// - `rf_kib` (ordinal): total register-file capacity in KiB, partitioned
+///   evenly across PEs,
+/// - `l2_kib` (ordinal): global scratchpad capacity in KiB,
+/// - `noc_bandwidth` (cardinal): interconnect bandwidth in elements per
+///   cycle between the scratchpad and the array.
+///
+/// All datapaths use fixed 8-bit precision (one element = one byte), the
+/// precision the paper fixes for fair comparison with prior work.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::HardwareConfig;
+/// let hw = HardwareConfig::new(168, 14, 1, 96, 128, 64)?;
+/// assert_eq!(hw.pe_rows(), 12);
+/// assert_eq!(hw.rf_bytes_per_pe(), 96 * 1024 / 168);
+/// assert_eq!(hw.peak_macs_per_cycle(), 168);
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HardwareConfig {
+    pes: u32,
+    pe_width: u32,
+    simd_lanes: u32,
+    rf_kib: u32,
+    l2_kib: u32,
+    noc_bandwidth: u32,
+}
+
+impl HardwareConfig {
+    /// Creates a configuration, validating structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is zero or `pe_width` does
+    /// not divide `pes`.
+    pub fn new(
+        pes: u32,
+        pe_width: u32,
+        simd_lanes: u32,
+        rf_kib: u32,
+        l2_kib: u32,
+        noc_bandwidth: u32,
+    ) -> Result<Self, ConfigError> {
+        for (v, name) in [
+            (pes, "pes"),
+            (pe_width, "pe_width"),
+            (simd_lanes, "simd_lanes"),
+            (rf_kib, "rf_kib"),
+            (l2_kib, "l2_kib"),
+            (noc_bandwidth, "noc_bandwidth"),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroParameter(name));
+            }
+        }
+        if !pes.is_multiple_of(pe_width) {
+            return Err(ConfigError::WidthDoesNotDividePes { pes, width: pe_width });
+        }
+        Ok(HardwareConfig {
+            pes,
+            pe_width,
+            simd_lanes,
+            rf_kib,
+            l2_kib,
+            noc_bandwidth,
+        })
+    }
+
+    /// Total number of PEs.
+    #[inline]
+    pub fn pes(&self) -> u32 {
+        self.pes
+    }
+
+    /// Width of the 2-D PE array (columns).
+    #[inline]
+    pub fn pe_width(&self) -> u32 {
+        self.pe_width
+    }
+
+    /// Height of the 2-D PE array (rows).
+    #[inline]
+    pub fn pe_rows(&self) -> u32 {
+        self.pes / self.pe_width
+    }
+
+    /// SIMD MAC lanes per PE.
+    #[inline]
+    pub fn simd_lanes(&self) -> u32 {
+        self.simd_lanes
+    }
+
+    /// Total register-file capacity in KiB (across all PEs).
+    #[inline]
+    pub fn rf_kib(&self) -> u32 {
+        self.rf_kib
+    }
+
+    /// Global scratchpad capacity in KiB.
+    #[inline]
+    pub fn l2_kib(&self) -> u32 {
+        self.l2_kib
+    }
+
+    /// Interconnect bandwidth in elements per cycle.
+    #[inline]
+    pub fn noc_bandwidth(&self) -> u32 {
+        self.noc_bandwidth
+    }
+
+    /// Register-file bytes available to each PE.
+    #[inline]
+    pub fn rf_bytes_per_pe(&self) -> u64 {
+        self.rf_kib as u64 * 1024 / self.pes as u64
+    }
+
+    /// Scratchpad capacity in bytes.
+    #[inline]
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_kib as u64 * 1024
+    }
+
+    /// Total on-chip SRAM in KiB (RF + scratchpad) — the paper's
+    /// "Total Amount of On-Chip SRAM" feature.
+    #[inline]
+    pub fn total_sram_kib(&self) -> u32 {
+        self.rf_kib + self.l2_kib
+    }
+
+    /// Peak MAC throughput per cycle (`pes * simd_lanes`).
+    #[inline]
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.pes as u64 * self.simd_lanes as u64
+    }
+
+    /// Aspect ratio (width / height) of the PE array. Spotlight's optimized
+    /// designs are often "long and narrow" (Section VII-C); this quantifies
+    /// that.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.pe_width as f64 / self.pe_rows() as f64
+    }
+
+    /// Half-perimeter of the PE array, a proxy for average NoC hop distance
+    /// used by the energy models.
+    #[inline]
+    pub fn array_half_perimeter(&self) -> u32 {
+        self.pe_width + self.pe_rows()
+    }
+
+    /// Returns a copy with a different PE count/width (used by budget
+    /// scaling).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HardwareConfig::new`].
+    pub fn with_array(&self, pes: u32, pe_width: u32) -> Result<Self, ConfigError> {
+        HardwareConfig::new(
+            pes,
+            pe_width,
+            self.simd_lanes,
+            self.rf_kib,
+            self.l2_kib,
+            self.noc_bandwidth,
+        )
+    }
+}
+
+impl fmt::Display for HardwareConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}PE ({}x{}) simd{} RF{}KiB L2{}KiB BW{}",
+            self.pes,
+            self.pe_rows(),
+            self.pe_width,
+            self.simd_lanes,
+            self.rf_kib,
+            self.l2_kib,
+            self.noc_bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert_eq!(
+            HardwareConfig::new(0, 1, 1, 1, 1, 1),
+            Err(ConfigError::ZeroParameter("pes"))
+        );
+        assert_eq!(
+            HardwareConfig::new(4, 2, 0, 1, 1, 1),
+            Err(ConfigError::ZeroParameter("simd_lanes"))
+        );
+    }
+
+    #[test]
+    fn rejects_non_dividing_width() {
+        let err = HardwareConfig::new(10, 3, 1, 1, 1, 1).unwrap_err();
+        assert!(matches!(err, ConfigError::WidthDoesNotDividePes { .. }));
+        assert!(err.to_string().contains("does not divide"));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let hw = HardwareConfig::new(128, 32, 2, 64, 128, 64).unwrap();
+        assert_eq!(hw.pe_rows(), 4);
+        assert_eq!(hw.peak_macs_per_cycle(), 256);
+        assert_eq!(hw.total_sram_kib(), 192);
+        assert_eq!(hw.array_half_perimeter(), 36);
+        assert!((hw.aspect_ratio() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rf_partitioned_across_pes() {
+        let hw = HardwareConfig::new(256, 16, 1, 256, 64, 64).unwrap();
+        assert_eq!(hw.rf_bytes_per_pe(), 1024);
+    }
+
+    #[test]
+    fn with_array_preserves_other_fields() {
+        let hw = HardwareConfig::new(128, 16, 4, 64, 128, 96).unwrap();
+        let scaled = hw.with_array(512, 32).unwrap();
+        assert_eq!(scaled.simd_lanes(), 4);
+        assert_eq!(scaled.l2_kib(), 128);
+        assert_eq!(scaled.pes(), 512);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let hw = HardwareConfig::new(168, 14, 1, 96, 128, 64).unwrap();
+        let s = hw.to_string();
+        assert!(s.contains("168PE") && s.contains("12x14"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-access energy coefficients.
+//!
+//! Both analytical cost models (`spotlight-maestro` and
+//! `spotlight-timeloop`) charge energy per primitive event: a MAC, a
+//! register-file access, a scratchpad access, a DRAM access, or a NoC hop.
+//! The coefficients follow the well-known energy hierarchy for 8-bit
+//! arithmetic (a DRAM access costs two to three orders of magnitude more
+//! than a MAC), which is the property the co-design search exploits: the
+//! absolute values matter much less than their ratios.
+
+use crate::config::HardwareConfig;
+
+/// Energy cost of each primitive event, in picojoules per 8-bit element.
+///
+/// SRAM access energy grows with capacity; [`EnergyTable::l2_access_pj`]
+/// applies a square-root capacity scaling to the base coefficient, a
+/// standard first-order CACTI-style approximation.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::{EnergyTable, HardwareConfig};
+///
+/// let e = EnergyTable::default_8bit();
+/// let hw = HardwareConfig::new(256, 16, 2, 128, 128, 128)?;
+/// // The memory hierarchy must be ordered: RF < L2 < DRAM.
+/// assert!(e.rf_access_pj(&hw) < e.l2_access_pj(&hw));
+/// assert!(e.l2_access_pj(&hw) < e.dram_access_pj);
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// One 8-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// Base register-file access cost at the reference RF size.
+    pub rf_base_pj: f64,
+    /// Reference per-PE RF capacity (bytes) for `rf_base_pj`.
+    pub rf_ref_bytes: f64,
+    /// Base scratchpad access cost at the reference capacity.
+    pub l2_base_pj: f64,
+    /// Reference scratchpad capacity (bytes) for `l2_base_pj`.
+    pub l2_ref_bytes: f64,
+    /// One off-chip DRAM access.
+    pub dram_access_pj: f64,
+    /// One element moved one hop on the on-chip interconnect.
+    pub noc_hop_pj: f64,
+    /// Static leakage power per KiB of on-chip SRAM, in microwatts.
+    pub sram_leakage_uw_per_kib: f64,
+}
+
+impl EnergyTable {
+    /// The default coefficient set for 8-bit arithmetic used throughout the
+    /// workspace (values in the spirit of Horowitz's ISSCC 2014 numbers).
+    pub fn default_8bit() -> Self {
+        EnergyTable {
+            mac_pj: 0.25,
+            rf_base_pj: 0.18,
+            rf_ref_bytes: 512.0,
+            l2_base_pj: 6.0,
+            l2_ref_bytes: 128.0 * 1024.0,
+            dram_access_pj: 200.0,
+            noc_hop_pj: 0.06,
+            sram_leakage_uw_per_kib: 1.5,
+        }
+    }
+
+    /// An alternative coefficient set with deliberately different ratios,
+    /// used by the Timeloop-like model so that the two cost models are
+    /// genuinely independent (Section VII-F).
+    pub fn alternative_8bit() -> Self {
+        EnergyTable {
+            mac_pj: 0.30,
+            rf_base_pj: 0.25,
+            rf_ref_bytes: 512.0,
+            l2_base_pj: 9.0,
+            l2_ref_bytes: 256.0 * 1024.0,
+            dram_access_pj: 160.0,
+            noc_hop_pj: 0.10,
+            sram_leakage_uw_per_kib: 2.0,
+        }
+    }
+
+    /// Energy of one register-file access on `hw`, scaled by the square
+    /// root of the per-PE RF capacity relative to the reference.
+    pub fn rf_access_pj(&self, hw: &HardwareConfig) -> f64 {
+        let per_pe = hw.rf_bytes_per_pe().max(1) as f64;
+        self.rf_base_pj * (per_pe / self.rf_ref_bytes).sqrt().max(0.25)
+    }
+
+    /// Energy of one scratchpad access on `hw`, with square-root capacity
+    /// scaling.
+    pub fn l2_access_pj(&self, hw: &HardwareConfig) -> f64 {
+        let bytes = hw.l2_bytes() as f64;
+        self.l2_base_pj * (bytes / self.l2_ref_bytes).sqrt().max(0.25)
+    }
+
+    /// Average energy to deliver one element from the scratchpad into the
+    /// PE array: hop energy times half the array half-perimeter (the mean
+    /// Manhattan distance on the Figure 2 interconnect).
+    pub fn noc_delivery_pj(&self, hw: &HardwareConfig) -> f64 {
+        self.noc_hop_pj * hw.array_half_perimeter() as f64 / 2.0
+    }
+
+    /// Static leakage power of the on-chip SRAM, in watts.
+    pub fn leakage_w(&self, hw: &HardwareConfig) -> f64 {
+        self.sram_leakage_uw_per_kib * hw.total_sram_kib() as f64 * 1e-6
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::default_8bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareConfig {
+        HardwareConfig::new(168, 14, 1, 96, 128, 64).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_ordering_holds_for_default() {
+        let e = EnergyTable::default_8bit();
+        let hw = hw();
+        assert!(e.mac_pj < e.rf_access_pj(&hw) * 10.0);
+        assert!(e.rf_access_pj(&hw) < e.l2_access_pj(&hw));
+        assert!(e.l2_access_pj(&hw) < e.dram_access_pj);
+    }
+
+    #[test]
+    fn hierarchy_ordering_holds_for_alternative() {
+        let e = EnergyTable::alternative_8bit();
+        let hw = hw();
+        assert!(e.rf_access_pj(&hw) < e.l2_access_pj(&hw));
+        assert!(e.l2_access_pj(&hw) < e.dram_access_pj);
+    }
+
+    #[test]
+    fn l2_energy_grows_with_capacity() {
+        let e = EnergyTable::default_8bit();
+        let small = HardwareConfig::new(168, 14, 1, 96, 64, 64).unwrap();
+        let large = HardwareConfig::new(168, 14, 1, 96, 256, 64).unwrap();
+        assert!(e.l2_access_pj(&small) < e.l2_access_pj(&large));
+    }
+
+    #[test]
+    fn rf_energy_grows_with_per_pe_capacity() {
+        let e = EnergyTable::default_8bit();
+        let small = HardwareConfig::new(256, 16, 1, 64, 128, 64).unwrap();
+        let large = HardwareConfig::new(64, 16, 1, 256, 128, 64).unwrap();
+        assert!(e.rf_access_pj(&small) < e.rf_access_pj(&large));
+    }
+
+    #[test]
+    fn noc_delivery_grows_with_array_size() {
+        let e = EnergyTable::default_8bit();
+        let small = HardwareConfig::new(64, 8, 1, 64, 128, 64).unwrap();
+        let large = HardwareConfig::new(1024, 32, 1, 64, 128, 64).unwrap();
+        assert!(e.noc_delivery_pj(&small) < e.noc_delivery_pj(&large));
+    }
+
+    #[test]
+    fn leakage_scales_with_sram() {
+        let e = EnergyTable::default_8bit();
+        let a = HardwareConfig::new(168, 14, 1, 64, 64, 64).unwrap();
+        let b = HardwareConfig::new(168, 14, 1, 256, 256, 64).unwrap();
+        assert!(e.leakage_w(&a) < e.leakage_w(&b));
+    }
+
+    #[test]
+    fn models_disagree_on_coefficients() {
+        // The two tables must differ so the VII-F cross-check is meaningful.
+        assert_ne!(EnergyTable::default_8bit(), EnergyTable::alternative_8bit());
+    }
+}

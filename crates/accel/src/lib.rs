@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Abstract DL-accelerator microarchitecture for the Spotlight
+//! reproduction.
+//!
+//! Models the accelerator template of the paper's Figure 2: a 2-D spatial
+//! array of processing elements (PEs), each with SIMD MAC lanes and a
+//! private register file, fed by a single global scratchpad over a simple
+//! uni-/multi-cast interconnect.
+//!
+//! The crate provides:
+//!
+//! - [`HardwareConfig`]: the hardware half of the co-design point
+//!   (Figure 3's cardinal and ordinal hardware parameters),
+//! - [`EnergyTable`]: per-access energy coefficients shared by the cost
+//!   models,
+//! - [`AreaModel`] and [`Budget`]: the area/power envelope used to compare
+//!   designs fairly ("we scale all accelerators so that they fit in the
+//!   same area", Section VII),
+//! - [`baselines`]: the hand-designed Eyeriss-like, NVDLA-like, MAERI-like
+//!   and ShiDianNao-like reference accelerators at edge and cloud scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_accel::{Budget, HardwareConfig};
+//!
+//! let hw = HardwareConfig::new(256, 16, 4, 128, 128, 128)?;
+//! assert_eq!(hw.pe_rows(), 16);
+//! let budget = Budget::edge();
+//! assert!(budget.admits(&hw));
+//! # Ok::<(), spotlight_accel::ConfigError>(())
+//! ```
+
+pub mod area;
+pub mod baselines;
+pub mod config;
+pub mod energy;
+
+pub use area::{AreaModel, Budget};
+pub use baselines::{Baseline, DataflowStyle};
+pub use config::{ConfigError, HardwareConfig};
+pub use energy::EnergyTable;

@@ -1,0 +1,31 @@
+//! Criterion bench: acquisition-function ranking cost.
+//!
+//! Ranking a 64-candidate batch is the per-suggestion overhead on top of
+//! surrogate prediction; LCB is a subtraction while EI evaluates the
+//! normal CDF/PDF per candidate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spotlight_dabo::{argmax_ei, argmin_lcb};
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let preds: Vec<(f64, f64)> = (0..64)
+        .map(|_| (rng.gen_range(-3.0..3.0), rng.gen_range(0.01..2.0)))
+        .collect();
+
+    let mut group = c.benchmark_group("acquisition_batch64");
+    group.bench_function("lcb", |b| {
+        b.iter(|| black_box(argmin_lcb(black_box(&preds), 1.5)))
+    });
+    group.bench_function("expected_improvement", |b| {
+        b.iter(|| black_box(argmax_ei(black_box(&preds), 0.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquisition);
+criterion_main!(benches);

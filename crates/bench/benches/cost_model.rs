@@ -1,0 +1,42 @@
+//! Criterion bench: analytical cost-model throughput.
+//!
+//! The search evaluates tens of thousands of candidates per co-design
+//! run, so cost-model latency is the tool's fundamental unit of work.
+//! Benchmarks both analytical models on representative layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spotlight_accel::Baseline;
+use spotlight_conv::ConvLayer;
+use spotlight_maestro::CostModel;
+use spotlight_space::dataflows::dataflow_schedule;
+use spotlight_space::Schedule;
+use spotlight_timeloop::TimeloopModel;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let hw = Baseline::NvdlaLike.edge_config();
+    let layers = [
+        ("resnet_conv3x3", ConvLayer::new(1, 128, 64, 3, 3, 28, 28)),
+        ("gemm_1x1", ConvLayer::new(1, 768, 512, 1, 1, 16, 32)),
+        ("depthwise", ConvLayer::new(96, 1, 1, 3, 3, 56, 56)),
+    ];
+    let maestro = CostModel::default();
+    let timeloop = TimeloopModel::default();
+
+    let mut group = c.benchmark_group("cost_model");
+    for (name, layer) in layers {
+        let sched = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
+        group.bench_function(format!("maestro/{name}"), |b| {
+            b.iter(|| black_box(maestro.evaluate(black_box(&hw), black_box(&sched), &layer)))
+        });
+        let trivial = Schedule::trivial(&layer);
+        group.bench_function(format!("timeloop/{name}"), |b| {
+            b.iter(|| black_box(timeloop.evaluate(black_box(&hw), black_box(&trivial), &layer)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_models);
+criterion_main!(benches);

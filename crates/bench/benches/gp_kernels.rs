@@ -1,0 +1,86 @@
+//! Criterion bench: surrogate fit/predict scaling — the DESIGN.md
+//! ablation of the paper's kernel choice.
+//!
+//! Section V-A argues for the linear kernel on efficiency grounds:
+//! Matérn/RBF GPs fit in O(N^3) while the weight-space linear model fits
+//! in O(N d^2). This bench quantifies both across training-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spotlight_gp::{BayesianLinearModel, GaussianProcess, Kernel, Surrogate};
+
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| v * (i as f64 + 1.0)).sum())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let d = 11; // the Figure 4 feature count
+    let mut group = c.benchmark_group("surrogate_fit");
+    for n in [25usize, 50, 100, 200] {
+        let (xs, ys) = dataset(n, d);
+        group.bench_with_input(BenchmarkId::new("linear_weight_space", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = BayesianLinearModel::new(10.0, 1e-2);
+                m.fit(black_box(&xs), black_box(&ys)).unwrap();
+                black_box(m.predict(&xs[0]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gp_matern52", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = GaussianProcess::new(Kernel::matern52(1.0), 1e-2);
+                m.fit(black_box(&xs), black_box(&ys)).unwrap();
+                black_box(m.predict(&xs[0]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gp_rbf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = GaussianProcess::new(Kernel::rbf(1.0), 1e-2);
+                m.fit(black_box(&xs), black_box(&ys)).unwrap();
+                black_box(m.predict(&xs[0]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    // Acquisition cost: predicting a 64-candidate batch.
+    let d = 11;
+    let (xs, ys) = dataset(100, d);
+    let (cand, _) = dataset(64, d);
+    let mut lin = BayesianLinearModel::new(10.0, 1e-2);
+    lin.fit(&xs, &ys).unwrap();
+    let mut gp = GaussianProcess::new(Kernel::matern52(1.0), 1e-2);
+    gp.fit(&xs, &ys).unwrap();
+
+    let mut group = c.benchmark_group("surrogate_predict_batch64");
+    group.bench_function("linear_weight_space", |b| {
+        b.iter(|| {
+            for x in &cand {
+                black_box(lin.predict(black_box(x)));
+            }
+        })
+    });
+    group.bench_function("gp_matern52", |b| {
+        b.iter(|| {
+            for x in &cand {
+                black_box(gp.predict(black_box(x)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_predict_batch);
+criterion_main!(benches);

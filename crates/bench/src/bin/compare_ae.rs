@@ -1,0 +1,79 @@
+//! Artifact-style summarizer, mirroring the paper artifact's
+//! `compare-ae.sh`: reads a mode's CSV from `results/` and prints a
+//! readable normalized table.
+//!
+//! ```sh
+//! cargo run --release -p spotlight-bench --bin compare_ae -- main-edge
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    if !matches!(mode.as_str(), "main-edge" | "main-cloud" | "general" | "ablation") {
+        eprintln!("usage: compare_ae <main-edge|main-cloud|general|ablation>");
+        return ExitCode::FAILURE;
+    }
+    let path = format!("results/{mode}.csv");
+    let csv = match fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e} (run `run_ae {mode}` first)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_table(&csv));
+    ExitCode::SUCCESS
+}
+
+/// Renders the compare-ae CSV as an aligned table, grouping by
+/// (metric, model).
+fn render_table(csv: &str) -> String {
+    let mut out = String::new();
+    let mut current_group = String::new();
+    for line in csv.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 7 {
+            continue;
+        }
+        let group = format!("{} / {}", f[1], f[0]);
+        if group != current_group {
+            out.push_str(&format!("\n== {group} ==\n"));
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>12} {:>12} {:>10}\n",
+                "configuration", "min", "max", "median", "vs Spot."
+            ));
+            current_group = group;
+        }
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>12} {:>9}x\n",
+            f[2], f[3], f[4], f[5], f[6]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_groups_by_model_and_metric() {
+        let csv = "metric,model,configuration,min,max,median,median_vs_spotlight\n\
+                   delay,A,Spotlight,1,2,1.5,1.000\n\
+                   delay,A,Eyeriss-like,3,4,3.5,2.333\n\
+                   delay,B,Spotlight,5,6,5.5,1.000\n";
+        let t = render_table(csv);
+        assert!(t.contains("== A / delay =="));
+        assert!(t.contains("== B / delay =="));
+        assert!(t.contains("Eyeriss-like"));
+        assert!(t.matches("==").count() == 4);
+    }
+
+    #[test]
+    fn render_skips_malformed_lines() {
+        let t = render_table("header\nnot,a,row\n");
+        assert!(t.is_empty());
+    }
+}

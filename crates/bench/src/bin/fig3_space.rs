@@ -1,0 +1,41 @@
+//! Figure 3 and the Section IV space-size claim.
+//!
+//! Prints the co-design parameter table (name, kind, value count) for the
+//! edge and cloud settings, followed by the exact cardinality of the
+//! hardware, software, and joint spaces for a representative layer of
+//! each model — reproducing the "O(10^18) configurations for a single
+//! layer of ResNet-50" claim.
+
+use spotlight_bench::models_from_env;
+use spotlight_space::{cardinality, ParamRanges};
+
+fn main() {
+    for (label, ranges) in [("edge", ParamRanges::edge()), ("cloud", ParamRanges::cloud())] {
+        println!("# {label} parameter space");
+        println!("parameter,kind,values");
+        for d in ranges.descriptors() {
+            let values = if d.value_count == 0 {
+                "shape-dependent".to_string()
+            } else {
+                d.value_count.to_string()
+            };
+            println!("{},{},{}", d.name, d.kind, values);
+        }
+        println!();
+    }
+
+    println!("# space cardinalities (edge ranges)");
+    println!("model,layer,hw_space,sw_space,codesign_space");
+    let ranges = ParamRanges::edge();
+    let hw = cardinality::hw_space_size(&ranges);
+    for model in models_from_env() {
+        let layer = model.heaviest_layer().layer;
+        let sw = cardinality::sw_space_size(&layer);
+        println!(
+            "{},{},{hw:.3e},{sw:.3e},{:.3e}",
+            model.name(),
+            layer,
+            hw * sw
+        );
+    }
+}

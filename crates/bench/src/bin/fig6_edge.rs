@@ -1,0 +1,21 @@
+//! Figure 6: edge-scale single-model co-design.
+//!
+//! Compares Spotlight-generated edge accelerators against the
+//! hand-designed baselines (Eyeriss-, NVDLA-, MAERI-like, area-scaled to
+//! the same budget and running under the layerwise software optimizer)
+//! and the restricted co-design tools (ConfuciuX-like, HASCO-like) on
+//! per-model delay. As in the paper, HASCO is only run on the models it
+//! accepts (ResNet-50 and MobileNetV2) and ConfuciuX cannot optimize
+//! Transformer.
+//!
+//! Expected shape (paper): Spotlight lowest; Eyeriss worst among hand
+//! designs; the restricted tools trailing.
+
+use spotlight_bench::experiments::{main_edge, rows_to_csv};
+use spotlight_bench::{models_from_env, Budgets};
+
+fn main() {
+    let budgets = Budgets::from_env();
+    let models = models_from_env();
+    print!("{}", rows_to_csv(&main_edge(&budgets, &models)));
+}

@@ -1,0 +1,16 @@
+//! Figure 7: cloud-scale single-model co-design.
+//!
+//! Spotlight with cloud-scale parameter ranges (the only configuration
+//! change, Section VII) against scaled-up hand-designed accelerators,
+//! for both EDP and delay. ConfuciuX and HASCO do not support
+//! cloud-scale accelerators out of the box and are omitted, as in the
+//! paper.
+
+use spotlight_bench::experiments::{main_cloud, rows_to_csv};
+use spotlight_bench::{models_from_env, Budgets};
+
+fn main() {
+    let budgets = Budgets::from_env();
+    let models = models_from_env();
+    print!("{}", rows_to_csv(&main_cloud(&budgets, &models)));
+}

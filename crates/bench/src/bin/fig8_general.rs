@@ -1,0 +1,121 @@
+//! Figure 8: multi-model co-design and generalization.
+//!
+//! Three Spotlight deployment scenarios per model, both EDP and delay:
+//!
+//! - **Spotlight-Single**: the accelerator co-designed for that model
+//!   alone (Section VII-A),
+//! - **Spotlight-Multi**: one accelerator co-designed for all five
+//!   models simultaneously, then daBO_SW re-run per model,
+//! - **Spotlight-General**: an accelerator co-designed with VGG16,
+//!   ResNet-50 and MobileNetV2, evaluated on the held-out MnasNet and
+//!   Transformer (so only those two get General bars).
+//!
+//! Expected shape (paper): Single <= General <= Multi in most cases,
+//! with the counterintuitive General < Multi ordering discussed in
+//! Section VII-B.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spotlight::codesign::Spotlight;
+use spotlight_bench::experiments::{rows_to_csv, Row};
+use spotlight_bench::Budgets;
+use spotlight_maestro::Objective;
+use spotlight_models::{all_models, mnasnet, mobilenet_v2, resnet50, transformer, vgg16};
+
+fn main() {
+    let budgets = Budgets::from_env();
+    let models = all_models();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for objective in Objective::ALL {
+        let metric = objective.to_string();
+
+        // Single-model co-design per model.
+        for model in &models {
+            let values: Vec<f64> = (0..budgets.trials)
+                .map(|t| {
+                    let cfg = spotlight::codesign::CodesignConfig {
+                        objective,
+                        ..budgets.edge_config(t)
+                    };
+                    Spotlight::new(cfg)
+                        .codesign(std::slice::from_ref(model))
+                        .best_cost
+                })
+                .collect();
+            rows.push(Row {
+                metric: metric.clone(),
+                model: model.name().into(),
+                configuration: "Spotlight-Single".into(),
+                values,
+            });
+        }
+
+        // Multi-model: co-design with all five, then per-model software.
+        let mut multi: HashMap<&'static str, Vec<f64>> = HashMap::new();
+        for t in 0..budgets.trials {
+            let cfg = spotlight::codesign::CodesignConfig {
+                objective,
+                ..budgets.edge_config(100 + t)
+            };
+            let tool = Spotlight::new(cfg);
+            let out = tool.codesign(&models);
+            if let Some(hw) = out.best_hw {
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + t);
+                let (plans, _) = tool.optimize_software(&hw, &models, &mut rng);
+                for plan in plans {
+                    multi
+                        .entry(plan.model_name)
+                        .or_default()
+                        .push(plan.objective_value(objective));
+                }
+            }
+        }
+        push_rows(&mut rows, &metric, "Spotlight-Multi", multi);
+
+        // Generalization: train on {VGG16, ResNet-50, MobileNetV2},
+        // evaluate on {MnasNet, Transformer}.
+        let train = vec![vgg16(), resnet50(), mobilenet_v2()];
+        let eval = vec![mnasnet(), transformer()];
+        let mut general: HashMap<&'static str, Vec<f64>> = HashMap::new();
+        for t in 0..budgets.trials {
+            let cfg = spotlight::codesign::CodesignConfig {
+                objective,
+                ..budgets.edge_config(200 + t)
+            };
+            let (_, plans) = spotlight::scenarios::generalization(&cfg, &train, &eval);
+            for plan in plans {
+                general
+                    .entry(plan.model_name)
+                    .or_default()
+                    .push(plan.objective_value(objective));
+            }
+        }
+        push_rows(&mut rows, &metric, "Spotlight-General", general);
+    }
+
+    print!("{}", rows_to_csv(&rows));
+}
+
+fn push_rows(
+    rows: &mut Vec<Row>,
+    metric: &str,
+    configuration: &str,
+    per_model: HashMap<&'static str, Vec<f64>>,
+) {
+    let mut entries: Vec<_> = per_model.into_iter().collect();
+    entries.sort_by_key(|(m, _)| *m);
+    for (model, values) in entries {
+        if values.is_empty() {
+            continue;
+        }
+        rows.push(Row {
+            metric: metric.into(),
+            model: model.into(),
+            configuration: configuration.into(),
+            values,
+        });
+    }
+}

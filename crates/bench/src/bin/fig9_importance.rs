@@ -1,0 +1,106 @@
+//! Figure 9: relative permutation importance of each daBO_SW feature.
+//!
+//! For each model, a surrogate is trained on the Figure 4 features of
+//! random software samples pooled across all of the model's layers (so
+//! layer-shape-dependent features such as kernel parallelism vary); each
+//! feature is then randomly perturbed and the mean change in the
+//! surrogate's prediction recorded (Altmann/Breiman permutation
+//! importance), normalized per model.
+//!
+//! Expected shape (paper): no single dominant feature for the CNNs;
+//! "parallelism available in the kernel" dominant for Transformer, whose
+//! GEMM-derived layers have large and uneven kernel planes.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotlight::features::{all_sw_features, raw_sw_params, sw_features, SW_FEATURE_NAMES};
+use spotlight_accel::Baseline;
+use spotlight_bench::models_from_env;
+use spotlight_gp::{permutation_importance, BayesianLinearModel, Surrogate};
+use spotlight_maestro::CostModel;
+use spotlight_space::sample;
+
+/// Random feasible samples collected per layer.
+const SAMPLES_PER_LAYER: usize = 60;
+
+/// Names for the 18 raw software parameters (Spotlight-V's space).
+fn raw_param_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for d in spotlight_conv::DIMS {
+        names.push(format!("L2[{d}]"));
+    }
+    for d in spotlight_conv::DIMS {
+        names.push(format!("RF[{d}]"));
+    }
+    names.extend(["OuterOrder", "InnerOrder", "OuterUnroll", "InnerUnroll"].map(String::from));
+    names
+}
+
+/// Runs the permutation-importance experiment for one feature space.
+fn run_space(
+    label: &str,
+    feature_names: &[String],
+    featurize: &dyn Fn(&spotlight_space::Schedule, &spotlight_conv::ConvLayer) -> Vec<f64>,
+) {
+    let models = models_from_env();
+    let cost_model = CostModel::default();
+    let hw = Baseline::NvdlaLike.edge_config();
+
+    print!("{label}:model");
+    for name in feature_names {
+        print!(",{name}");
+    }
+    println!();
+
+    for model in &models {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for entry in model.layers() {
+            let mut collected = 0;
+            let mut tries = 0;
+            while collected < SAMPLES_PER_LAYER && tries < SAMPLES_PER_LAYER * 30 {
+                tries += 1;
+                let s = sample::sample_schedule(&mut rng, &entry.layer);
+                if let Ok(r) = cost_model.evaluate(&hw, &s, &entry.layer) {
+                    xs.push(featurize(&s, &entry.layer));
+                    ys.push(r.edp().ln());
+                    collected += 1;
+                }
+            }
+        }
+        if xs.len() < 50 {
+            eprintln!("warning: too few feasible samples for {}", model.name());
+            continue;
+        }
+        let mut surrogate = BayesianLinearModel::new(10.0, 1e-2);
+        surrogate.fit(&xs, &ys).expect("pooled dataset is well-formed");
+        let imp = permutation_importance(&surrogate, &xs, &mut rng);
+        print!("{label}:{}", model.name());
+        for v in &imp {
+            print!(",{v:.4}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let hw = Baseline::NvdlaLike.edge_config();
+    let feature_names: Vec<String> = SW_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+
+    // The Figure 9 experiment proper (Spotlight's feature space).
+    run_space("spotlight", &feature_names, &move |s, l| {
+        sw_features(&hw, s, l)
+    });
+
+    // Section VII-D repeats: raw parameters only (Spotlight-V)...
+    run_space("spotlight-v", &raw_param_names(), &|s, _| raw_sw_params(s));
+
+    // ... and the union of features and raw parameters (Spotlight-A).
+    let mut union_names = feature_names.clone();
+    union_names.extend(raw_param_names());
+    run_space("spotlight-a", &union_names, &move |s, l| {
+        all_sw_features(&hw, s, l)
+    });
+}

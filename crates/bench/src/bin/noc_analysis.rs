@@ -1,0 +1,45 @@
+//! Interconnect deep-dive: delivery patterns, multicast gain, and trunk
+//! serialization per dataflow — the quantitative backdrop for
+//! Section VII-C's discussion of narrow arrays and unicast counts.
+//!
+//! For each rigid dataflow on each baseline accelerator, prints the
+//! per-tensor delivery pattern and the NoC cost of one inner iteration.
+
+use spotlight_accel::Baseline;
+use spotlight_conv::ConvLayer;
+use spotlight_noc::analyze;
+use spotlight_space::dataflows::dataflow_schedule;
+
+fn main() {
+    let layers = [
+        ("resnet_conv3x3", ConvLayer::new(1, 128, 64, 3, 3, 28, 28)),
+        ("gemm", ConvLayer::new(1, 768, 1, 24, 32, 16, 32)),
+    ];
+    println!("layer,baseline,tensor,pattern,rf_elems,link_traversals,trunk_cycles,max_hops");
+    for (lname, layer) in layers {
+        for base in [
+            Baseline::EyerissLike,
+            Baseline::NvdlaLike,
+            Baseline::ShiDianNaoLike,
+        ] {
+            let hw = base.edge_config();
+            let s = dataflow_schedule(base.dataflow(), &layer, &hw);
+            let a = analyze(&hw, &s, &layer);
+            for (tensor, d) in [
+                ("weights", a.weights),
+                ("inputs", a.inputs),
+                ("outputs", a.outputs),
+            ] {
+                println!(
+                    "{lname},{},{tensor},{},{},{:.1},{:.1},{}",
+                    base.name(),
+                    d.pattern,
+                    d.rf_tile_elems,
+                    d.link_traversals,
+                    d.trunk_cycles,
+                    a.max_hops
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Artifact-style orchestrator, mirroring the paper artifact's
+//! `run-ae.sh`: runs one of the four modes and writes its CSV into
+//! `results/`.
+//!
+//! ```sh
+//! cargo run --release -p spotlight-bench --bin run_ae -- main-edge
+//! cargo run --release -p spotlight-bench --bin run_ae -- main-cloud
+//! cargo run --release -p spotlight-bench --bin run_ae -- general
+//! cargo run --release -p spotlight-bench --bin run_ae -- ablation
+//! cargo run --release -p spotlight-bench --bin run_ae -- all
+//! ```
+//!
+//! Budgets follow the `SPOTLIGHT_*` environment variables (see the crate
+//! docs); results land in `results/<mode>.csv` and are summarized by the
+//! `compare_ae` binary.
+
+use std::fs;
+use std::process::ExitCode;
+
+use spotlight_bench::experiments::{ablation, main_cloud, main_edge, rows_to_csv};
+use spotlight_bench::{models_from_env, Budgets};
+use spotlight_maestro::Objective;
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let modes: Vec<&str> = match mode.as_str() {
+        "main-edge" | "main-cloud" | "general" | "ablation" => vec![Box::leak(mode.clone().into_boxed_str())],
+        "all" => vec!["main-edge", "main-cloud", "general", "ablation"],
+        _ => {
+            eprintln!("usage: run_ae <main-edge|main-cloud|general|ablation|all>");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    let budgets = Budgets::from_env();
+    let models = models_from_env();
+    for mode in modes {
+        eprintln!("running {mode} ({} trials, {} hw x {} sw)...", budgets.trials, budgets.hw_samples, budgets.sw_samples);
+        let csv = match mode {
+            "main-edge" => rows_to_csv(&main_edge(&budgets, &models)),
+            "main-cloud" => rows_to_csv(&main_cloud(&budgets, &models)),
+            "ablation" => rows_to_csv(&ablation(&budgets, &models, Objective::Edp)),
+            "general" => {
+                // The general mode reuses the fig8 binary's logic via the
+                // scenarios API, summarized per model.
+                general_csv(&budgets)
+            }
+            _ => unreachable!(),
+        };
+        let path = format!("results/{mode}.csv");
+        if let Err(e) = fs::write(&path, &csv) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn general_csv(budgets: &Budgets) -> String {
+    use spotlight::codesign::{CodesignConfig, Spotlight};
+    use spotlight::scenarios::generalization;
+    use spotlight_bench::experiments::Row;
+    use spotlight_models::{mnasnet, mobilenet_v2, resnet50, transformer, vgg16};
+
+    let mut rows: Vec<Row> = Vec::new();
+    let objective = Objective::Edp;
+
+    // Single-model reference for the held-out models.
+    for model in [mnasnet(), transformer()] {
+        let values: Vec<f64> = (0..budgets.trials)
+            .map(|t| {
+                let cfg = CodesignConfig {
+                    objective,
+                    ..budgets.edge_config(t)
+                };
+                Spotlight::new(cfg)
+                    .codesign(std::slice::from_ref(&model))
+                    .best_cost
+            })
+            .collect();
+        rows.push(Row {
+            metric: objective.to_string(),
+            model: model.name().into(),
+            configuration: "Spotlight-Single".into(),
+            values,
+        });
+    }
+
+    // Generalization: train on three models, evaluate the held-out two.
+    let train = vec![vgg16(), resnet50(), mobilenet_v2()];
+    let eval = vec![mnasnet(), transformer()];
+    let mut general: std::collections::HashMap<&'static str, Vec<f64>> = Default::default();
+    for t in 0..budgets.trials {
+        let cfg = CodesignConfig {
+            objective,
+            ..budgets.edge_config(200 + t)
+        };
+        let (_, plans) = generalization(&cfg, &train, &eval);
+        for plan in plans {
+            general
+                .entry(plan.model_name)
+                .or_default()
+                .push(plan.objective_value(objective));
+        }
+    }
+    for (model, values) in general {
+        rows.push(Row {
+            metric: objective.to_string(),
+            model: model.into(),
+            configuration: "Spotlight-General".into(),
+            values,
+        });
+    }
+    rows.sort_by(|a, b| (&a.model, &a.configuration).cmp(&(&b.model, &b.configuration)));
+    rows_to_csv(&rows)
+}

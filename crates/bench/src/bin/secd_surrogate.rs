@@ -1,0 +1,74 @@
+//! Section VII-D: surrogate-model accuracy.
+//!
+//! Builds a dataset of random HW/SW samples with their EDP and delay,
+//! trains Gaussian processes with the linear and Matérn-5/2 kernels on
+//! 90% of it (on the Figure 4 features), and reports the Spearman rank
+//! correlation and the top-20% hit rate on the held-out 10%.
+//!
+//! Expected shape (paper): low absolute correlation for both kernels
+//! (rho ~ 0.08 and 0.11), Matérn slightly ahead, with roughly a quarter
+//! of the true top-20% correctly ranked — enough for LCB to pick good
+//! candidates.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotlight::features::sw_features;
+use spotlight_bench::models_from_env;
+use spotlight_gp::stats::{spearman_rho, top_quantile_hit_rate};
+use spotlight_dabo::Standardizer;
+use spotlight_gp::{GaussianProcess, Kernel, Surrogate};
+use spotlight_maestro::{CostModel, Objective};
+use spotlight_space::{sample, ParamRanges};
+
+/// Total dataset size (train + test). The paper uses "thousands".
+const DATASET: usize = 1200;
+
+fn main() {
+    let cost_model = CostModel::default();
+    let ranges = ParamRanges::edge();
+    let models = models_from_env();
+    println!("metric,kernel,spearman_rho,top20_hit_rate,n_train,n_test");
+
+    for objective in Objective::ALL {
+        // Random (hw, schedule) samples over the heaviest layers of each
+        // model, as daBO_SW would see them.
+        let mut rng = ChaCha8Rng::seed_from_u64(2023);
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        'outer: loop {
+            for model in &models {
+                let layer = model.heaviest_layer().layer;
+                let hw = sample::sample_hw(&mut rng, &ranges);
+                let sched = sample::sample_schedule(&mut rng, &layer);
+                if let Ok(r) = cost_model.evaluate(&hw, &sched, &layer) {
+                    xs.push(sw_features(&hw, &sched, &layer));
+                    ys.push(r.objective(objective).ln());
+                    if xs.len() >= DATASET {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // Standardize features, as daBO's surrogate pipeline does.
+        let st = Standardizer::fit(&xs);
+        let xs = st.transform_all(&xs);
+        let split = xs.len() * 9 / 10;
+        let (train_x, test_x) = xs.split_at(split);
+        let (train_y, test_y) = ys.split_at(split);
+
+        for (name, kernel) in [("linear", Kernel::linear()), ("matern52", Kernel::matern52(3.0))] {
+            let mut gp = GaussianProcess::new(kernel, 1e-2);
+            gp.fit(train_x, train_y).expect("dataset is well-formed");
+            let preds: Vec<f64> = test_x.iter().map(|x| gp.predict(x).0).collect();
+            let rho = spearman_rho(&preds, test_y);
+            let hit = top_quantile_hit_rate(test_y, &preds, 0.2);
+            println!(
+                "{objective},{name},{rho:.4},{hit:.4},{},{}",
+                train_x.len(),
+                test_x.len()
+            );
+        }
+    }
+}

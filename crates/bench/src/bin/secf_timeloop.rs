@@ -1,0 +1,86 @@
+//! Section VII-F: does Spotlight overfit the MAESTRO-like model?
+//!
+//! For each layer, evaluates the same random samples under both
+//! analytical models, sorts by each model's EDP, and reports the overlap
+//! of the top-20 and bottom-20 rankings. The paper reports ~35% average
+//! overlap — partial agreement, indicating the designs are not artifacts
+//! of one model, while recommending re-validation of specific designs.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotlight_bench::models_from_env;
+use spotlight_maestro::CostModel;
+use spotlight_space::{sample, ParamRanges};
+use spotlight_timeloop::TimeloopModel;
+
+/// Samples per layer (the paper evaluates 100 per layer).
+const SAMPLES: usize = 100;
+/// Extremity size compared between the two rankings.
+const TOP_K: usize = 20;
+
+fn overlap(a: &[usize], b: &[usize]) -> f64 {
+    let hits = a.iter().filter(|i| b.contains(i)).count();
+    hits as f64 / a.len() as f64
+}
+
+fn main() {
+    let maestro = CostModel::default();
+    let timeloop = TimeloopModel::default();
+    let ranges = ParamRanges::edge();
+    let models = models_from_env();
+    println!("model,layer,samples,top20_overlap,bottom20_overlap");
+
+    let mut grand_total = 0.0;
+    let mut grand_n = 0usize;
+    for model in &models {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for entry in model.layers() {
+            let layer = entry.layer;
+            // Collect samples feasible under BOTH models so the ranking
+            // comparison is apples-to-apples.
+            let mut pairs: Vec<(f64, f64)> = Vec::new();
+            let mut tries = 0;
+            while pairs.len() < SAMPLES && tries < SAMPLES * 50 {
+                tries += 1;
+                let hw = sample::sample_hw(&mut rng, &ranges);
+                let sched = sample::sample_schedule(&mut rng, &layer);
+                if let (Ok(m), Ok(t)) = (
+                    maestro.evaluate(&hw, &sched, &layer),
+                    timeloop.evaluate(&hw, &sched, &layer),
+                ) {
+                    pairs.push((m.edp(), t.edp()));
+                }
+            }
+            if pairs.len() < 2 * TOP_K {
+                continue;
+            }
+            let rank_by = |key: fn(&(f64, f64)) -> f64| -> Vec<usize> {
+                let mut idx: Vec<usize> = (0..pairs.len()).collect();
+                idx.sort_by(|&x, &y| key(&pairs[x]).total_cmp(&key(&pairs[y])));
+                idx
+            };
+            let by_m = rank_by(|p| p.0);
+            let by_t = rank_by(|p| p.1);
+            let top = overlap(&by_m[..TOP_K], &by_t[..TOP_K]);
+            let bottom = overlap(
+                &by_m[by_m.len() - TOP_K..],
+                &by_t[by_t.len() - TOP_K..],
+            );
+            println!(
+                "{},{},{},{top:.3},{bottom:.3}",
+                model.name(),
+                layer,
+                pairs.len()
+            );
+            grand_total += (top + bottom) / 2.0;
+            grand_n += 1;
+        }
+    }
+    if grand_n > 0 {
+        println!(
+            "AVERAGE,,,{:.3},",
+            grand_total / grand_n as f64
+        );
+    }
+}

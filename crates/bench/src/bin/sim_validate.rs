@@ -1,0 +1,69 @@
+//! Validation of the analytical model against the cycle-level simulator.
+//!
+//! Random feasible (hardware, schedule) points on representative layers
+//! are costed both ways; the printout shows the distribution of
+//! simulated/analytical ratios for delay and DRAM traffic, plus their
+//! rank correlation. High rank correlation means the analytical model —
+//! which the search uses 10^4-10^5 times per run — ranks candidates the
+//! way the slower "accurate backend" would, the property the paper's
+//! conclusion banks on for FPGA-emulation backends.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotlight_bench::models_from_env;
+use spotlight_gp::stats::spearman_rho;
+use spotlight_maestro::{sim::simulate, CostModel};
+use spotlight_space::{sample, ParamRanges};
+
+const SAMPLES_PER_LAYER: usize = 40;
+
+fn main() {
+    let model = CostModel::default();
+    let ranges = ParamRanges::edge();
+    println!("model,layer,n,delay_ratio_med,dram_ratio_med,delay_rank_corr");
+
+    for m in models_from_env() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        // Validate on the model's three heaviest unique layers to bound
+        // simulation time.
+        let mut layers: Vec<_> = m.layers().to_vec();
+        layers.sort_by_key(|e| std::cmp::Reverse(e.layer.macs()));
+        for entry in layers.iter().take(3) {
+            let layer = entry.layer;
+            let mut delay_ratios = Vec::new();
+            let mut dram_ratios = Vec::new();
+            let mut a_delays = Vec::new();
+            let mut s_delays = Vec::new();
+            let mut tries = 0;
+            while delay_ratios.len() < SAMPLES_PER_LAYER && tries < SAMPLES_PER_LAYER * 100 {
+                tries += 1;
+                let hw = sample::sample_hw(&mut rng, &ranges);
+                let sched = sample::sample_schedule(&mut rng, &layer);
+                let Ok(a) = model.evaluate(&hw, &sched, &layer) else { continue };
+                let Ok(s) = simulate(&hw, &sched, &layer, 1 << 18) else { continue };
+                delay_ratios.push(s.delay_cycles / a.delay_cycles);
+                dram_ratios.push(s.dram_bytes / a.dram_bytes);
+                a_delays.push(a.delay_cycles);
+                s_delays.push(s.delay_cycles);
+            }
+            if delay_ratios.len() < 10 {
+                continue;
+            }
+            let med = |v: &mut Vec<f64>| {
+                v.sort_by(f64::total_cmp);
+                v[v.len() / 2]
+            };
+            let rho = spearman_rho(&a_delays, &s_delays);
+            println!(
+                "{},{},{},{:.3},{:.3},{:.3}",
+                m.name(),
+                layer,
+                delay_ratios.len(),
+                med(&mut delay_ratios),
+                med(&mut dram_ratios),
+                rho
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it (see DESIGN.md's experiment index).
+//! Binaries print CSV in the spirit of the artifact's `compare-ae.sh`:
+//! `configuration, min, max, median, median normalized to Spotlight`.
+//!
+//! Budgets are read from environment variables so the default run
+//! finishes in minutes while the paper-scale configuration remains one
+//! export away:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `SPOTLIGHT_TRIALS` | independent trials per configuration | 3 |
+//! | `SPOTLIGHT_HW` | hardware samples per trial | 20 |
+//! | `SPOTLIGHT_SW` | software samples per layer | 30 |
+//! | `SPOTLIGHT_MODELS` | `fast` (ResNet-50 + Transformer) or `all` | fast |
+//!
+//! The paper's headline setting is `SPOTLIGHT_TRIALS=10 SPOTLIGHT_HW=100
+//! SPOTLIGHT_SW=100 SPOTLIGHT_MODELS=all`.
+
+pub mod experiments;
+
+use spotlight::codesign::CodesignConfig;
+use spotlight_models::{all_models, resnet50, transformer, Model};
+
+/// Experiment budget resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Budgets {
+    /// Independent trials per configuration (paper: 10).
+    pub trials: u64,
+    /// Hardware samples per trial (paper: 100).
+    pub hw_samples: usize,
+    /// Software samples per layer (paper: 100).
+    pub sw_samples: usize,
+}
+
+impl Budgets {
+    /// Reads `SPOTLIGHT_TRIALS` / `SPOTLIGHT_HW` / `SPOTLIGHT_SW` with
+    /// fast defaults.
+    pub fn from_env() -> Self {
+        Budgets {
+            trials: env_or("SPOTLIGHT_TRIALS", 3),
+            hw_samples: env_or("SPOTLIGHT_HW", 20) as usize,
+            sw_samples: env_or("SPOTLIGHT_SW", 30) as usize,
+        }
+    }
+
+    /// A [`CodesignConfig`] template at edge scale with these budgets.
+    pub fn edge_config(&self, seed: u64) -> CodesignConfig {
+        CodesignConfig {
+            hw_samples: self.hw_samples,
+            sw_samples: self.sw_samples,
+            seed,
+            ..CodesignConfig::edge()
+        }
+    }
+
+    /// A [`CodesignConfig`] template at cloud scale with these budgets.
+    pub fn cloud_config(&self, seed: u64) -> CodesignConfig {
+        CodesignConfig {
+            hw_samples: self.hw_samples,
+            sw_samples: self.sw_samples,
+            seed,
+            ..CodesignConfig::cloud()
+        }
+    }
+}
+
+/// Maps `f` over `0..n` trial indices, in parallel when
+/// `SPOTLIGHT_PARALLEL=1` (one OS thread per trial — trials are
+/// independent seeded runs, mirroring the artifact's note that "runtime
+/// can be significantly reduced if more parallelism is available").
+pub fn map_trials<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync + Send) -> Vec<T> {
+    let parallel = std::env::var("SPOTLIGHT_PARALLEL").as_deref() == Ok("1");
+    if !parallel || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n).map(|t| scope.spawn(move || f(t))).collect();
+        handles.into_iter().map(|h| h.join().expect("trial panicked")).collect()
+    })
+}
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The model set under evaluation: `SPOTLIGHT_MODELS=all` gives the five
+/// paper models; the default `fast` set is ResNet-50 and Transformer
+/// (one CNN, one GEMM-dominated model).
+pub fn models_from_env() -> Vec<Model> {
+    match std::env::var("SPOTLIGHT_MODELS").as_deref() {
+        Ok("all") => all_models(),
+        _ => vec![resnet50(), transformer()],
+    }
+}
+
+/// Summary statistics over trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Minimum across trials.
+    pub min: f64,
+    /// Maximum across trials.
+    pub max: f64,
+    /// Median across trials.
+    pub median: f64,
+}
+
+/// Computes min/max/median of a non-empty sample.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn stats(values: &[f64]) -> Stats {
+    assert!(!values.is_empty(), "no trial values");
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let median = if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    };
+    Stats {
+        min: v[0],
+        max: *v.last().expect("non-empty"),
+        median,
+    }
+}
+
+/// Prints the `compare-ae.sh`-style CSV header.
+pub fn print_csv_header() {
+    println!("metric,model,configuration,min,max,median,median_vs_spotlight");
+}
+
+/// Prints one CSV row, normalizing the median to Spotlight's median.
+pub fn print_csv_row(metric: &str, model: &str, config: &str, s: Stats, spotlight_median: f64) {
+    println!(
+        "{metric},{model},{config},{:.4e},{:.4e},{:.4e},{:.3}",
+        s.min,
+        s.max,
+        s.median,
+        s.median / spotlight_median
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_odd_and_even() {
+        let s = stats(&[3.0, 1.0, 2.0]);
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+        let s = stats(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn budgets_have_sane_defaults() {
+        let b = Budgets::from_env();
+        assert!(b.trials >= 1);
+        assert!(b.hw_samples >= 1 && b.sw_samples >= 1);
+    }
+
+    #[test]
+    fn fast_model_set_is_two_models() {
+        // Only valid when SPOTLIGHT_MODELS is unset in the test env.
+        if std::env::var("SPOTLIGHT_MODELS").is_err() {
+            let m = models_from_env();
+            assert_eq!(m.len(), 2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn map_trials_sequential_order_preserved() {
+        let out = map_trials(5, |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn map_trials_parallel_order_preserved() {
+        // Force the parallel path irrespective of the env by calling the
+        // scope directly through the public API with the env set.
+        std::env::set_var("SPOTLIGHT_PARALLEL", "1");
+        let out = map_trials(8, |t| t * t);
+        std::env::remove_var("SPOTLIGHT_PARALLEL");
+        assert_eq!(out, (0..8).map(|t| t * t).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,451 @@
+#![warn(missing_docs)]
+
+//! Argument parsing and command dispatch for the `spotlight` CLI.
+//!
+//! The binary exposes the workspace's main entry points:
+//!
+//! ```text
+//! spotlight codesign --model resnet50 --objective edp --hw 100 --sw 100
+//! spotlight evaluate --baseline eyeriss --model transformer
+//! spotlight space    --model vgg16
+//! ```
+//!
+//! Parsing is hand-rolled (the workspace keeps its dependency set to the
+//! approved list); [`Command::parse`] is pure and fully unit-tested, and
+//! `main` only does I/O.
+
+use std::fmt;
+
+use spotlight::codesign::CodesignConfig;
+use spotlight::Variant;
+use spotlight_accel::Baseline;
+use spotlight_maestro::Objective;
+use spotlight_models::{all_models, Model};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the full nested co-design for the given models.
+    Codesign {
+        /// Models to co-design for (at least one).
+        models: Vec<String>,
+        /// Search configuration.
+        config: CliConfig,
+    },
+    /// Evaluate a hand-designed baseline under daBO_SW.
+    Evaluate {
+        /// Baseline name.
+        baseline: String,
+        /// Model to run.
+        model: String,
+        /// Search configuration.
+        config: CliConfig,
+    },
+    /// Print design-space statistics for a model.
+    Space {
+        /// Model to analyze.
+        model: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The tunable knobs common to `codesign` and `evaluate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CliConfig {
+    /// Hardware samples.
+    pub hw_samples: usize,
+    /// Software samples per layer.
+    pub sw_samples: usize,
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// Edge or cloud scale.
+    pub cloud: bool,
+    /// Search variant.
+    pub variant: Variant,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            hw_samples: 20,
+            sw_samples: 30,
+            objective: Objective::Edp,
+            cloud: false,
+            variant: Variant::Spotlight,
+            seed: 0,
+        }
+    }
+}
+
+impl CliConfig {
+    /// Converts into the library configuration.
+    pub fn to_codesign_config(self) -> CodesignConfig {
+        let base = if self.cloud {
+            CodesignConfig::cloud()
+        } else {
+            CodesignConfig::edge()
+        };
+        CodesignConfig {
+            hw_samples: self.hw_samples,
+            sw_samples: self.sw_samples,
+            objective: self.objective,
+            variant: self.variant,
+            seed: self.seed,
+            ..base
+        }
+    }
+}
+
+/// A CLI parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError(pub String);
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+impl Command {
+    /// Parses the argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseCommandError`] describing the offending flag or
+    /// value.
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, ParseCommandError> {
+        let mut it = args.iter().map(|s| s.as_ref());
+        let sub = match it.next() {
+            None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+            Some(s) => s,
+        };
+        let rest: Vec<&str> = it.collect();
+        match sub {
+            "codesign" => {
+                let (config, models, _) = parse_common(&rest)?;
+                if models.is_empty() {
+                    return Err(ParseCommandError(
+                        "codesign requires at least one --model".into(),
+                    ));
+                }
+                Ok(Command::Codesign { models, config })
+            }
+            "evaluate" => {
+                let (config, models, baseline) = parse_common(&rest)?;
+                let baseline = baseline.ok_or_else(|| {
+                    ParseCommandError("evaluate requires --baseline".into())
+                })?;
+                let model = models.into_iter().next().ok_or_else(|| {
+                    ParseCommandError("evaluate requires --model".into())
+                })?;
+                Ok(Command::Evaluate {
+                    baseline,
+                    model,
+                    config,
+                })
+            }
+            "space" => {
+                let (_, models, _) = parse_common(&rest)?;
+                let model = models.into_iter().next().ok_or_else(|| {
+                    ParseCommandError("space requires --model".into())
+                })?;
+                Ok(Command::Space { model })
+            }
+            other => Err(ParseCommandError(format!("unknown subcommand `{other}`"))),
+        }
+    }
+}
+
+type Common = (CliConfig, Vec<String>, Option<String>);
+
+fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
+    let mut config = CliConfig::default();
+    let mut models = Vec::new();
+    let mut baseline = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i];
+        let value = |i: usize| -> Result<&str, ParseCommandError> {
+            args.get(i + 1)
+                .copied()
+                .ok_or_else(|| ParseCommandError(format!("flag `{flag}` needs a value")))
+        };
+        match flag {
+            "--model" | "--models" => {
+                for m in value(i)?.split(',') {
+                    models.push(m.trim().to_string());
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = Some(value(i)?.to_string());
+                i += 2;
+            }
+            "--hw" => {
+                config.hw_samples = parse_num(flag, value(i)?)?;
+                i += 2;
+            }
+            "--sw" => {
+                config.sw_samples = parse_num(flag, value(i)?)?;
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = parse_num(flag, value(i)?)? as u64;
+                i += 2;
+            }
+            "--objective" => {
+                config.objective = match value(i)? {
+                    "edp" | "EDP" => Objective::Edp,
+                    "delay" => Objective::Delay,
+                    other => {
+                        return Err(ParseCommandError(format!(
+                            "unknown objective `{other}` (edp|delay)"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--scale" => {
+                config.cloud = match value(i)? {
+                    "edge" => false,
+                    "cloud" => true,
+                    other => {
+                        return Err(ParseCommandError(format!(
+                            "unknown scale `{other}` (edge|cloud)"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--variant" => {
+                config.variant = parse_variant(value(i)?)?;
+                i += 2;
+            }
+            other => {
+                return Err(ParseCommandError(format!("unknown flag `{other}`")));
+            }
+        }
+    }
+    Ok((config, models, baseline))
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<usize, ParseCommandError> {
+    v.parse()
+        .map_err(|_| ParseCommandError(format!("flag `{flag}` needs an integer, got `{v}`")))
+}
+
+fn parse_variant(v: &str) -> Result<Variant, ParseCommandError> {
+    let v = v.to_ascii_lowercase();
+    Ok(match v.as_str() {
+        "spotlight" => Variant::Spotlight,
+        "a" | "spotlight-a" => Variant::SpotlightA,
+        "v" | "spotlight-v" | "vanilla" => Variant::SpotlightV,
+        "f" | "spotlight-f" | "fixed" => Variant::SpotlightF,
+        "r" | "spotlight-r" | "random" => Variant::SpotlightR,
+        "ga" | "spotlight-ga" | "genetic" => Variant::SpotlightGA,
+        other => {
+            return Err(ParseCommandError(format!(
+                "unknown variant `{other}` (spotlight|a|v|f|r|ga)"
+            )))
+        }
+    })
+}
+
+/// Resolves a model name to a zoo entry.
+///
+/// # Errors
+///
+/// Lists the available names when the lookup fails.
+pub fn resolve_model(name: &str) -> Result<Model, ParseCommandError> {
+    let needle = name.to_ascii_lowercase().replace(['-', '_'], "");
+    for m in all_models() {
+        let have = m.name().to_ascii_lowercase().replace(['-', '_'], "");
+        if have == needle {
+            return Ok(m);
+        }
+    }
+    let names: Vec<&str> = all_models().iter().map(|m| m.name()).collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    Err(ParseCommandError(format!(
+        "unknown model `{name}`; available: {}",
+        names.join(", ")
+    )))
+}
+
+/// Resolves a baseline name.
+///
+/// # Errors
+///
+/// Lists the available names when the lookup fails.
+pub fn resolve_baseline(name: &str) -> Result<Baseline, ParseCommandError> {
+    match name.to_ascii_lowercase().as_str() {
+        "eyeriss" | "eyeriss-like" => Ok(Baseline::EyerissLike),
+        "nvdla" | "nvdla-like" => Ok(Baseline::NvdlaLike),
+        "maeri" | "maeri-like" => Ok(Baseline::MaeriLike),
+        "shidiannao" | "shidiannao-like" => Ok(Baseline::ShiDianNaoLike),
+        other => Err(ParseCommandError(format!(
+            "unknown baseline `{other}` (eyeriss|nvdla|maeri|shidiannao)"
+        ))),
+    }
+}
+
+/// The usage text printed by `spotlight help`.
+pub const USAGE: &str = "\
+spotlight — automated HW/SW co-design of DL accelerators (paper reproduction)
+
+USAGE:
+  spotlight codesign --model <name>[,<name>...] [options]
+  spotlight evaluate --baseline <name> --model <name> [options]
+  spotlight space    --model <name>
+  spotlight help
+
+OPTIONS:
+  --model <names>     comma-separated: vgg16, resnet50, mobilenetv2, mnasnet, transformer
+  --baseline <name>   eyeriss | nvdla | maeri | shidiannao
+  --objective <o>     edp (default) | delay
+  --scale <s>         edge (default) | cloud
+  --variant <v>       spotlight (default) | a | v | f | r | ga
+  --hw <n>            hardware samples (default 20; paper uses 100)
+  --sw <n>            software samples per layer (default 30; paper uses 100)
+  --seed <n>          RNG seed (default 0)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_codesign_with_options() {
+        let cmd = Command::parse(&[
+            "codesign",
+            "--model",
+            "resnet50,transformer",
+            "--objective",
+            "delay",
+            "--hw",
+            "50",
+            "--sw",
+            "70",
+            "--seed",
+            "9",
+            "--scale",
+            "cloud",
+            "--variant",
+            "ga",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Codesign { models, config } => {
+                assert_eq!(models, vec!["resnet50", "transformer"]);
+                assert_eq!(config.hw_samples, 50);
+                assert_eq!(config.sw_samples, 70);
+                assert_eq!(config.seed, 9);
+                assert_eq!(config.objective, Objective::Delay);
+                assert!(config.cloud);
+                assert_eq!(config.variant, Variant::SpotlightGA);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(Command::parse::<&str>(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn codesign_requires_model() {
+        let err = Command::parse(&["codesign"]).unwrap_err();
+        assert!(err.to_string().contains("--model"));
+    }
+
+    #[test]
+    fn evaluate_requires_baseline_and_model() {
+        assert!(Command::parse(&["evaluate", "--model", "resnet50"]).is_err());
+        assert!(Command::parse(&["evaluate", "--baseline", "eyeriss"]).is_err());
+        let ok = Command::parse(&["evaluate", "--baseline", "eyeriss", "--model", "resnet50"]);
+        assert!(matches!(ok, Ok(Command::Evaluate { .. })));
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_name() {
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let err = Command::parse(&["codesign", "--model"]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn model_resolution_is_fuzzy_on_separators() {
+        assert_eq!(resolve_model("ResNet-50").unwrap().name(), "ResNet-50");
+        assert_eq!(resolve_model("resnet50").unwrap().name(), "ResNet-50");
+        assert_eq!(resolve_model("mobilenet_v2").unwrap().name(), "MobileNetV2");
+        assert!(resolve_model("alexnet").is_err());
+    }
+
+    #[test]
+    fn baseline_resolution() {
+        assert_eq!(resolve_baseline("NVDLA").unwrap(), Baseline::NvdlaLike);
+        assert!(resolve_baseline("tpu").is_err());
+    }
+
+    #[test]
+    fn to_codesign_config_respects_scale() {
+        let edge = CliConfig::default().to_codesign_config();
+        let cloud = CliConfig {
+            cloud: true,
+            ..CliConfig::default()
+        }
+        .to_codesign_config();
+        assert!(cloud.ranges.pes.0 > edge.ranges.pes.1);
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for word in ["codesign", "evaluate", "space", "help"] {
+            assert!(USAGE.contains(word));
+        }
+    }
+}
+
+#[cfg(test)]
+mod parse_property_tests {
+    use super::*;
+
+    /// The parser never panics on arbitrary argument soup: every input
+    /// either parses or returns a described error.
+    #[test]
+    fn parser_total_on_flag_soup() {
+        let vocab = [
+            "codesign", "evaluate", "space", "--model", "--baseline", "--hw", "--sw",
+            "--seed", "--objective", "--scale", "--variant", "edp", "delay", "edge",
+            "cloud", "ga", "resnet50", "17", "-", "", "--", "x,y,z",
+        ];
+        // Exhaustive over all 3-token sequences from the vocabulary.
+        for a in vocab {
+            for b in vocab {
+                for c in vocab {
+                    let _ = Command::parse(&[a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_zoo_model_resolves_by_its_own_name() {
+        for m in spotlight_models::all_models() {
+            assert_eq!(resolve_model(m.name()).unwrap().name(), m.name());
+        }
+    }
+}

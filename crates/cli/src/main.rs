@@ -1,0 +1,82 @@
+//! The `spotlight` command-line tool: see [`spotlight_cli::USAGE`].
+
+use std::process::ExitCode;
+
+use spotlight::codesign::Spotlight;
+use spotlight::report::{outcome_summary, plan_markdown};
+use spotlight::scenarios::{evaluate_baseline, Scale};
+use spotlight_cli::{resolve_baseline, resolve_model, Command, USAGE};
+use spotlight_space::cardinality;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match Command::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+        }
+        Command::Codesign { models, config } => {
+            let resolved: Result<Vec<_>, _> = models.iter().map(|m| resolve_model(m)).collect();
+            let resolved = resolved?;
+            let cfg = config.to_codesign_config();
+            eprintln!(
+                "co-designing for {} model(s), {} hw x {} sw samples ({})...",
+                resolved.len(),
+                cfg.hw_samples,
+                cfg.sw_samples,
+                config.variant.name()
+            );
+            let outcome = Spotlight::new(cfg).codesign(&resolved);
+            print!("{}", outcome_summary(&outcome, cfg.objective));
+            for plan in &outcome.best_plans {
+                println!();
+                print!("{}", plan_markdown(plan));
+            }
+        }
+        Command::Evaluate {
+            baseline,
+            model,
+            config,
+        } => {
+            let baseline = resolve_baseline(&baseline)?;
+            let model = resolve_model(&model)?;
+            let cfg = config.to_codesign_config();
+            let scale = if config.cloud { Scale::Cloud } else { Scale::Edge };
+            let hw = baseline.scaled_config(&cfg.budget);
+            eprintln!("evaluating {} ({hw}) on {}...", baseline.name(), model.name());
+            let (plan, evals) = evaluate_baseline(&cfg, baseline, scale, &model);
+            print!("{}", plan_markdown(&plan));
+            println!("\ncost-model evaluations: {evals}");
+        }
+        Command::Space { model } => {
+            let model = resolve_model(&model)?;
+            let ranges = spotlight_space::ParamRanges::edge();
+            let hw = cardinality::hw_space_size(&ranges);
+            println!("model: {}", model.name());
+            println!("hardware space (edge ranges): {hw:.3e} points");
+            println!("layer,sw_space,codesign_space");
+            for entry in model.layers() {
+                let sw = cardinality::sw_space_size(&entry.layer);
+                println!("{},{sw:.3e},{:.3e}", entry.layer, hw * sw);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! The seven loop dimensions of a CONV layer.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of loop dimensions in the CONV loop nest.
+pub const NUM_DIMS: usize = 7;
+
+/// One of the seven loop dimensions of the CONV computation (Figure 1 of the
+/// paper).
+///
+/// | Dim | Meaning                          |
+/// |-----|----------------------------------|
+/// | `N` | batch (number of input tensors)  |
+/// | `K` | output channels (weight tensors) |
+/// | `C` | input channels                   |
+/// | `R` | weight rows                      |
+/// | `S` | weight columns                   |
+/// | `X` | output rows                      |
+/// | `Y` | output columns                   |
+///
+/// `X` and `Y` index *output* pixels throughout this workspace; the input
+/// footprint of an output tile is derived via [`crate::ConvLayer`].
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::Dim;
+/// assert_eq!(Dim::K.index(), 1);
+/// assert_eq!("C".parse::<Dim>().unwrap(), Dim::C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dim {
+    /// Batch dimension.
+    N,
+    /// Output-channel (filter) dimension.
+    K,
+    /// Input-channel dimension.
+    C,
+    /// Weight-row dimension.
+    R,
+    /// Weight-column dimension.
+    S,
+    /// Output-row dimension.
+    X,
+    /// Output-column dimension.
+    Y,
+}
+
+/// All seven dimensions in canonical order `N, K, C, R, S, X, Y`.
+pub const DIMS: [Dim; NUM_DIMS] = [
+    Dim::N,
+    Dim::K,
+    Dim::C,
+    Dim::R,
+    Dim::S,
+    Dim::X,
+    Dim::Y,
+];
+
+impl Dim {
+    /// Canonical index of this dimension in [`DIMS`] (0 through 6).
+    ///
+    /// ```
+    /// use spotlight_conv::{Dim, DIMS};
+    /// for (i, d) in DIMS.iter().enumerate() {
+    ///     assert_eq!(d.index(), i);
+    /// }
+    /// ```
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Dim::N => 0,
+            Dim::K => 1,
+            Dim::C => 2,
+            Dim::R => 3,
+            Dim::S => 4,
+            Dim::X => 5,
+            Dim::Y => 6,
+        }
+    }
+
+    /// Inverse of [`Dim::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 7`.
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert_eq!(Dim::from_index(3), Dim::R);
+    /// ```
+    #[inline]
+    pub const fn from_index(i: usize) -> Dim {
+        match i {
+            0 => Dim::N,
+            1 => Dim::K,
+            2 => Dim::C,
+            3 => Dim::R,
+            4 => Dim::S,
+            5 => Dim::X,
+            6 => Dim::Y,
+            _ => panic!("dimension index out of range"),
+        }
+    }
+
+    /// Single-letter name of the dimension.
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert_eq!(Dim::X.name(), "X");
+    /// ```
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dim::N => "N",
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::R => "R",
+            Dim::S => "S",
+            Dim::X => "X",
+            Dim::Y => "Y",
+        }
+    }
+
+    /// Whether this dimension indexes the *weight* tensor (`K, C, R, S`).
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert!(Dim::R.indexes_weights());
+    /// assert!(!Dim::X.indexes_weights());
+    /// ```
+    pub const fn indexes_weights(self) -> bool {
+        matches!(self, Dim::K | Dim::C | Dim::R | Dim::S)
+    }
+
+    /// Whether this dimension indexes the *input* tensor (`N, C, X, Y, R, S`).
+    ///
+    /// `R` and `S` shift the input window, so they index the input footprint
+    /// even though they are weight dimensions.
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert!(Dim::C.indexes_inputs());
+    /// assert!(!Dim::K.indexes_inputs());
+    /// ```
+    pub const fn indexes_inputs(self) -> bool {
+        !matches!(self, Dim::K)
+    }
+
+    /// Whether this dimension indexes the *output* tensor (`N, K, X, Y`).
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert!(Dim::K.indexes_outputs());
+    /// assert!(!Dim::C.indexes_outputs());
+    /// ```
+    pub const fn indexes_outputs(self) -> bool {
+        matches!(self, Dim::N | Dim::K | Dim::X | Dim::Y)
+    }
+
+    /// Whether this dimension is a *reduction* dimension (`C, R, S`): its
+    /// iterations accumulate into the same output element.
+    ///
+    /// ```
+    /// use spotlight_conv::Dim;
+    /// assert!(Dim::C.is_reduction());
+    /// assert!(!Dim::N.is_reduction());
+    /// ```
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`Dim`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimError(pub String);
+
+impl fmt::Display for ParseDimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown CONV dimension `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDimError {}
+
+impl FromStr for Dim {
+    type Err = ParseDimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "N" | "n" => Ok(Dim::N),
+            "K" | "k" => Ok(Dim::K),
+            "C" | "c" => Ok(Dim::C),
+            "R" | "r" => Ok(Dim::R),
+            "S" | "s" => Ok(Dim::S),
+            "X" | "x" => Ok(Dim::X),
+            "Y" | "y" => Ok(Dim::Y),
+            other => Err(ParseDimError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..NUM_DIMS {
+            assert_eq!(Dim::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_nkcrsxy() {
+        let names: Vec<&str> = DIMS.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["N", "K", "C", "R", "S", "X", "Y"]);
+    }
+
+    #[test]
+    fn parse_accepts_both_cases() {
+        assert_eq!("x".parse::<Dim>().unwrap(), Dim::X);
+        assert_eq!("Y".parse::<Dim>().unwrap(), Dim::Y);
+        assert!("Z".parse::<Dim>().is_err());
+    }
+
+    #[test]
+    fn parse_error_displays_offending_input() {
+        let err = "Q".parse::<Dim>().unwrap_err();
+        assert!(err.to_string().contains('Q'));
+    }
+
+    #[test]
+    fn tensor_membership_is_consistent() {
+        // Every dimension indexes at least one tensor, and reduction
+        // dimensions never index the output.
+        for d in DIMS {
+            assert!(d.indexes_weights() || d.indexes_inputs() || d.indexes_outputs());
+            if d.is_reduction() {
+                assert!(!d.indexes_outputs());
+            } else {
+                assert!(d.indexes_outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn weight_dims_are_kcrs() {
+        let w: Vec<Dim> = DIMS.iter().copied().filter(|d| d.indexes_weights()).collect();
+        assert_eq!(w, [Dim::K, Dim::C, Dim::R, Dim::S]);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for d in DIMS {
+            assert_eq!(format!("{d}"), d.name());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Concrete CONV layer shapes.
+
+use std::fmt;
+
+use crate::dim::{Dim, DIMS, NUM_DIMS};
+
+/// The shape of a single CONV layer: the seven loop extents of the paper's
+/// Figure 1 plus a spatial stride.
+///
+/// `x` and `y` are the *output* extents. The corresponding input extents are
+/// recovered with [`ConvLayer::input_rows`]/[`ConvLayer::input_cols`], which
+/// account for the kernel halo and stride. Keeping output extents primary
+/// makes every loop bound a true iteration count, which is what tilings
+/// divide.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::{ConvLayer, Dim};
+///
+/// let l = ConvLayer::new(1, 128, 64, 3, 3, 56, 56);
+/// assert_eq!(l.extent(Dim::C), 64);
+/// assert_eq!(l.input_rows(), 58); // 56 outputs need 56 + 3 - 1 input rows
+/// assert_eq!(l.macs(), 1 * 128 * 64 * 3 * 3 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Batch size.
+    pub n: u64,
+    /// Output channels.
+    pub k: u64,
+    /// Input channels.
+    pub c: u64,
+    /// Weight rows.
+    pub r: u64,
+    /// Weight columns.
+    pub s: u64,
+    /// Output rows.
+    pub x: u64,
+    /// Output columns.
+    pub y: u64,
+    /// Spatial stride applied in both X and Y (1 for dense CONV).
+    pub stride: u64,
+    /// Optional human-readable name (e.g. `"conv2_1"`).
+    pub name: &'static str,
+}
+
+impl ConvLayer {
+    /// Creates a stride-1 layer from the seven extents, in canonical
+    /// `N, K, C, R, S, X, Y` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(n: u64, k: u64, c: u64, r: u64, s: u64, x: u64, y: u64) -> Self {
+        let layer = ConvLayer {
+            n,
+            k,
+            c,
+            r,
+            s,
+            x,
+            y,
+            stride: 1,
+            name: "",
+        };
+        layer.validate();
+        layer
+    }
+
+    /// Returns the layer with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Returns the layer with a human-readable name attached.
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    fn validate(&self) {
+        for d in DIMS {
+            assert!(self.extent(d) > 0, "layer extent {d} must be positive");
+        }
+    }
+
+    /// Loop extent of dimension `d`.
+    #[inline]
+    pub fn extent(&self, d: Dim) -> u64 {
+        match d {
+            Dim::N => self.n,
+            Dim::K => self.k,
+            Dim::C => self.c,
+            Dim::R => self.r,
+            Dim::S => self.s,
+            Dim::X => self.x,
+            Dim::Y => self.y,
+        }
+    }
+
+    /// All seven extents in canonical order.
+    ///
+    /// ```
+    /// use spotlight_conv::ConvLayer;
+    /// let l = ConvLayer::new(1, 2, 3, 4, 5, 6, 7);
+    /// assert_eq!(l.extents(), [1, 2, 3, 4, 5, 6, 7]);
+    /// ```
+    pub fn extents(&self) -> [u64; NUM_DIMS] {
+        [self.n, self.k, self.c, self.r, self.s, self.x, self.y]
+    }
+
+    /// Number of input rows consumed to produce `x` output rows.
+    #[inline]
+    pub fn input_rows(&self) -> u64 {
+        input_extent(self.x, self.r, self.stride)
+    }
+
+    /// Number of input columns consumed to produce `y` output columns.
+    #[inline]
+    pub fn input_cols(&self) -> u64 {
+        input_extent(self.y, self.s, self.stride)
+    }
+
+    /// Total multiply-accumulate operations to compute the layer.
+    #[inline]
+    pub fn macs(&self) -> u64 {
+        self.n * self.k * self.c * self.r * self.s * self.x * self.y
+    }
+
+    /// Number of weight elements (`K*C*R*S`).
+    #[inline]
+    pub fn weight_elems(&self) -> u64 {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Number of input elements (`N*C*Xin*Yin`).
+    #[inline]
+    pub fn input_elems(&self) -> u64 {
+        self.n * self.c * self.input_rows() * self.input_cols()
+    }
+
+    /// Number of output elements (`N*K*X*Y`).
+    #[inline]
+    pub fn output_elems(&self) -> u64 {
+        self.n * self.k * self.x * self.y
+    }
+
+    /// Arithmetic intensity: MACs per element moved if every tensor were
+    /// touched exactly once. Used as a quick workload descriptor.
+    ///
+    /// ```
+    /// use spotlight_conv::ConvLayer;
+    /// let l = ConvLayer::new(1, 64, 64, 3, 3, 56, 56);
+    /// assert!(l.arithmetic_intensity() > 1.0);
+    /// ```
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let moved = self.weight_elems() + self.input_elems() + self.output_elems();
+        self.macs() as f64 / moved as f64
+    }
+
+    /// Whether this layer is point-wise (1x1 kernel), the shape produced by
+    /// lowering GEMM and the second half of depth-wise separable CONVs.
+    pub fn is_pointwise(&self) -> bool {
+        self.r == 1 && self.s == 1
+    }
+
+    /// Size of the co-design *software* space for this layer: the number of
+    /// (tiling, permutation, unrolling) choices counted the way Section IV
+    /// counts them. Tilings are 3-level divisor chains per dimension; both
+    /// tile levels can be reordered in `7!` ways each and each level unrolls
+    /// one of 7 dimensions.
+    ///
+    /// Returned as `f64` because the count overflows `u64` for real layers.
+    pub fn sw_space_size(&self) -> f64 {
+        let tilings: f64 = DIMS
+            .iter()
+            .map(|&d| crate::factor::divisor_chain_count(self.extent(d), 3) as f64)
+            .product();
+        let permutations = (5040.0f64) * 5040.0; // (7!)^2
+        let unrolls = 49.0; // 7^2
+        tilings * permutations * unrolls
+    }
+}
+
+/// Input extent needed to produce `out` outputs with kernel size `kernel`
+/// and the given stride: `(out - 1) * stride + kernel`.
+#[inline]
+pub fn input_extent(out: u64, kernel: u64, stride: u64) -> u64 {
+    (out - 1) * stride + kernel
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.name.is_empty() {
+            write!(f, "{}: ", self.name)?;
+        }
+        write!(
+            f,
+            "N{} K{} C{} R{} S{} X{} Y{}",
+            self.n, self.k, self.c, self.r, self.s, self.x, self.y
+        )?;
+        if self.stride != 1 {
+            write!(f, " /{}", self.stride)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_is_product_of_extents() {
+        let l = ConvLayer::new(2, 3, 5, 7, 11, 13, 17);
+        assert_eq!(l.macs(), 2 * 3 * 5 * 7 * 11 * 13 * 17);
+    }
+
+    #[test]
+    fn input_extent_accounts_for_stride_and_halo() {
+        // 112 outputs from a 7x7 kernel at stride 2 need 229 input rows.
+        let l = ConvLayer::new(1, 64, 3, 7, 7, 112, 112).with_stride(2);
+        assert_eq!(l.input_rows(), 111 * 2 + 7);
+    }
+
+    #[test]
+    fn pointwise_detection() {
+        assert!(ConvLayer::new(1, 8, 8, 1, 1, 4, 4).is_pointwise());
+        assert!(!ConvLayer::new(1, 8, 8, 3, 3, 4, 4).is_pointwise());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_extent_rejected() {
+        let _ = ConvLayer::new(1, 0, 8, 3, 3, 4, 4);
+    }
+
+    #[test]
+    fn display_includes_stride_only_when_nontrivial() {
+        let l = ConvLayer::new(1, 2, 3, 4, 5, 6, 7);
+        assert!(!format!("{l}").contains('/'));
+        let l = l.with_stride(2);
+        assert!(format!("{l}").contains("/2"));
+    }
+
+    #[test]
+    fn sw_space_is_astronomical_for_resnet_layer() {
+        // The paper quotes O(10^18) for a single ResNet-50 layer.
+        let l = ConvLayer::new(1, 256, 128, 3, 3, 28, 28);
+        assert!(l.sw_space_size() > 1e12, "space = {}", l.sw_space_size());
+    }
+
+    #[test]
+    fn extents_round_trip_through_extent() {
+        let l = ConvLayer::new(2, 4, 6, 3, 3, 8, 10);
+        for (i, d) in DIMS.iter().enumerate() {
+            assert_eq!(l.extent(*d), l.extents()[i]);
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_finite_and_positive() {
+        let l = ConvLayer::new(1, 16, 16, 3, 3, 14, 14);
+        let ai = l.arithmetic_intensity();
+        assert!(ai.is_finite() && ai > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Convolution-layer shapes, loop nests, and lowering for the Spotlight
+//! reproduction.
+//!
+//! Deep-learning accelerators in this workspace operate on a single
+//! primitive: the 7-dimensional convolution loop nest of the paper's
+//! Figure 1. This crate provides:
+//!
+//! - [`Dim`]: the seven loop dimensions `N, K, C, R, S, X, Y`,
+//! - [`ConvLayer`]: a concrete layer shape (extents plus stride),
+//! - [`LoopPermutation`]: an ordering of the seven loops,
+//! - [`lower`]: lowering of GEMM, fully-connected, and depth-wise separable
+//!   layers onto plain CONV layers (the col2im trick of Section II-A),
+//! - [`factor`]: divisor and factorization utilities used to enumerate the
+//!   *legal* loop tilings (those that evenly divide the layer shape).
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_conv::{ConvLayer, Dim};
+//!
+//! // An early ResNet-50 layer: 64 filters of 7x7x3 over a 224x224 image.
+//! let layer = ConvLayer::new(1, 64, 3, 7, 7, 224, 224).with_stride(2);
+//! assert_eq!(layer.extent(Dim::K), 64);
+//! assert!(layer.macs() > 100_000_000);
+//! ```
+
+pub mod dim;
+pub mod factor;
+pub mod layer;
+pub mod loopnest;
+pub mod lower;
+
+pub use dim::{Dim, DIMS, NUM_DIMS};
+pub use layer::ConvLayer;
+pub use loopnest::LoopPermutation;
+pub use lower::{depthwise_separable_to_conv, fc_to_conv, gemm_to_conv};

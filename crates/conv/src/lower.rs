@@ -1,0 +1,176 @@
+//! Lowering of non-CONV layer types onto the CONV primitive.
+//!
+//! Section II-A of the paper: GEMM is transformed to CONV without loss of
+//! generality (col2im), fully-connected layers are GEMMs, and a depth-wise
+//! separable convolution is computed as its two constituent parts
+//! independently. "Some inefficiency may be introduced during the
+//! transformation" — notably GEMM-derived CONVs have degenerate spatial
+//! extents, producing the large uneven kernel shapes that the paper blames
+//! for Eyeriss's poor Transformer performance.
+
+use crate::layer::ConvLayer;
+
+/// Lowers a GEMM `C[m][n] = A[m][k] * B[k][n]` onto a CONV layer.
+///
+/// The mapping follows col2im: the `M` rows of the output become output
+/// channels (`K` filters), the reduction dimension `K_gemm` is reshaped
+/// into the *kernel plane* (`R x S`), and the `N_gemm` columns become the
+/// output spatial plane (`X x Y`) over a single input channel. This is
+/// the paper's conversion: it "results in large and uneven kernel sizes"
+/// (Section VII-D) — the property behind Eyeriss's poor Transformer
+/// performance and the dominance of the kernel-parallelism feature — and
+/// the overlapping input windows reproduce col2im's duplicated-input
+/// inefficiency ("some inefficiency may be introduced", Section II-A).
+/// The layer computes exactly `M * N * K_gemm` MACs.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::gemm_to_conv;
+/// let l = gemm_to_conv(512, 64, 512);
+/// assert_eq!(l.macs(), 512 * 64 * 512);
+/// assert_eq!(l.r * l.s, 512); // the reduction dim becomes the kernel
+/// ```
+pub fn gemm_to_conv(m: u64, n: u64, k_gemm: u64) -> ConvLayer {
+    assert!(m > 0 && n > 0 && k_gemm > 0, "GEMM dims must be positive");
+    let (r, s) = split_spatial(k_gemm);
+    let (x, y) = split_spatial(n);
+    ConvLayer::new(1, m, 1, r, s, x, y)
+}
+
+/// Lowers a fully-connected layer with `inputs` input features and
+/// `outputs` output features for a batch of `batch` onto CONV.
+///
+/// ```
+/// use spotlight_conv::fc_to_conv;
+/// let l = fc_to_conv(1, 4096, 4096);
+/// assert_eq!(l.macs(), 4096 * 4096);
+/// ```
+pub fn fc_to_conv(batch: u64, inputs: u64, outputs: u64) -> ConvLayer {
+    assert!(batch > 0 && inputs > 0 && outputs > 0, "FC dims must be positive");
+    ConvLayer::new(batch, outputs, inputs, 1, 1, 1, 1)
+}
+
+/// Lowers a depth-wise separable convolution into its two constituent CONV
+/// layers: a depth-wise stage (computed per-channel, represented as a CONV
+/// with `K = C = channels` worth of work split into `channels` independent
+/// single-channel CONVs, folded here into one layer with `C = 1` repeated
+/// `channels` times via the batch dimension) followed by a 1x1 point-wise
+/// stage.
+///
+/// The depth-wise stage is represented with `N = n * channels, K = 1, C = 1`
+/// so that its MAC count is exact; this matches MAESTRO's treatment where
+/// each channel's filter is an independent tiny CONV.
+///
+/// ```
+/// use spotlight_conv::depthwise_separable_to_conv;
+/// let (dw, pw) = depthwise_separable_to_conv(1, 32, 64, 3, 112, 112, 1);
+/// assert_eq!(dw.macs(), 32 * 3 * 3 * 112 * 112);
+/// assert_eq!(pw.macs(), 32 * 64 * 112 * 112);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_separable_to_conv(
+    n: u64,
+    channels: u64,
+    out_channels: u64,
+    kernel: u64,
+    x: u64,
+    y: u64,
+    stride: u64,
+) -> (ConvLayer, ConvLayer) {
+    assert!(
+        n > 0 && channels > 0 && out_channels > 0 && kernel > 0 && x > 0 && y > 0,
+        "depthwise dims must be positive"
+    );
+    let dw = ConvLayer::new(n * channels, 1, 1, kernel, kernel, x, y).with_stride(stride);
+    let pw = ConvLayer::new(n, out_channels, channels, 1, 1, x, y);
+    (dw, pw)
+}
+
+/// Splits a flat extent `n` into a near-square `(x, y)` pair with
+/// `x * y == n`, preferring the most balanced factorization.
+fn split_spatial(n: u64) -> (u64, u64) {
+    let mut best = (1, n);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (d, n / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gemm_macs_preserved() {
+        let l = gemm_to_conv(768, 512, 768);
+        assert_eq!(l.macs(), 768 * 512 * 768);
+    }
+
+    #[test]
+    fn gemm_square_n_splits_evenly() {
+        let l = gemm_to_conv(8, 64, 9);
+        assert_eq!((l.x, l.y), (8, 8));
+        assert_eq!((l.r, l.s), (3, 3));
+    }
+
+    #[test]
+    fn gemm_prime_n_degenerates() {
+        // A prime column count cannot be reshaped into an image: the layer
+        // shape is the long, skinny one the paper calls "uneven".
+        let l = gemm_to_conv(8, 97, 8);
+        assert_eq!((l.x, l.y), (1, 97));
+    }
+
+    #[test]
+    fn gemm_reduction_becomes_large_kernel() {
+        // ALBERT-like projection: the 768-deep reduction becomes a big,
+        // uneven kernel plane.
+        let l = gemm_to_conv(768, 512, 768);
+        assert_eq!(l.c, 1);
+        assert_eq!(l.r * l.s, 768);
+        assert!(l.r >= 16 && l.s >= 16);
+    }
+
+    #[test]
+    fn fc_is_pointwise_1x1x1() {
+        let l = fc_to_conv(4, 1024, 1000);
+        assert!(l.is_pointwise());
+        assert_eq!((l.x, l.y), (1, 1));
+        assert_eq!(l.macs(), 4 * 1024 * 1000);
+    }
+
+    #[test]
+    fn depthwise_stage_macs_exact() {
+        let (dw, pw) = depthwise_separable_to_conv(2, 96, 24, 3, 56, 56, 2);
+        assert_eq!(dw.macs(), 2 * 96 * 9 * 56 * 56);
+        assert_eq!(pw.macs(), 2 * 96 * 24 * 56 * 56);
+        assert_eq!(dw.stride, 2);
+        assert_eq!(pw.stride, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn split_spatial_preserves_product(n in 1u64..100_000) {
+            let (x, y) = split_spatial(n);
+            prop_assert_eq!(x * y, n);
+            prop_assert!(x <= y);
+        }
+
+        #[test]
+        fn gemm_lowering_preserves_macs(
+            m in 1u64..512, n in 1u64..512, k in 1u64..512,
+        ) {
+            prop_assert_eq!(gemm_to_conv(m, n, k).macs(), m * n * k);
+        }
+    }
+}

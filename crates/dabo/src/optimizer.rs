@@ -1,0 +1,469 @@
+//! The daBO optimizer.
+
+use rand::RngCore;
+
+use spotlight_gp::{BayesianLinearModel, GaussianProcess, Kernel, Surrogate};
+
+use crate::acquisition::{argmax_ei, argmin_lcb};
+use crate::features::{FeatureMap, Standardizer};
+use crate::search::{Sampler, Search};
+
+/// Which surrogate daBO fits over the feature space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SurrogateKind {
+    /// Weight-space Bayesian linear regression — the daBO default
+    /// (Section V-A's linear kernel, `O(N d^2)` fit).
+    Linear,
+    /// Kernelized Gaussian process (`O(N^3)` fit) — used for the Matérn
+    /// comparison of Section VII-D.
+    Gp(Kernel),
+}
+
+/// Which acquisition function ranks the candidate batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Lower confidence bound `mean - kappa * std` (the daBO default,
+    /// Section V-B).
+    LowerConfidenceBound,
+    /// Expected improvement over the incumbent (the standard
+    /// alternative, kept for ablations).
+    ExpectedImprovement,
+}
+
+/// daBO hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaboConfig {
+    /// Random observations before the surrogate is trusted.
+    pub init_samples: usize,
+    /// Candidates generated per acquisition round ("a batch of candidate
+    /// configurations is randomly generated in parameter space").
+    pub batch_size: usize,
+    /// LCB exploration weight.
+    pub kappa: f64,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// Surrogate model family.
+    pub surrogate: SurrogateKind,
+    /// Fit the surrogate on `ln(cost)` — costs span orders of magnitude.
+    pub log_cost: bool,
+    /// Finite cost substituted for infeasible (`f64::INFINITY`) points.
+    pub penalty_cost: f64,
+    /// Refit the surrogate every `refit_every` observations (1 = always).
+    pub refit_every: usize,
+}
+
+impl Default for DaboConfig {
+    fn default() -> Self {
+        DaboConfig {
+            init_samples: 8,
+            batch_size: 64,
+            kappa: 1.5,
+            acquisition: Acquisition::LowerConfidenceBound,
+            surrogate: SurrogateKind::Linear,
+            log_cost: true,
+            penalty_cost: 1e30,
+            refit_every: 1,
+        }
+    }
+}
+
+enum FittedSurrogate {
+    Linear(BayesianLinearModel),
+    Gp(GaussianProcess),
+}
+
+impl FittedSurrogate {
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        match self {
+            FittedSurrogate::Linear(m) => m.predict(x),
+            FittedSurrogate::Gp(m) => m.predict(x),
+        }
+    }
+}
+
+/// The domain-aware Bayesian optimizer (Section V).
+///
+/// `Dabo` owns three things: the [`FeatureMap`] carrying the domain
+/// information, a candidate *sampler* that draws random legal points from
+/// parameter space, and the observation history. Each `suggest` call
+/// refits the surrogate on the (standardized) features of everything
+/// observed so far, draws a fresh candidate batch, and returns the
+/// candidate minimizing the lower confidence bound.
+///
+/// See the crate-level example for usage; [`crate::run_minimization`]
+/// drives the ask/tell loop.
+pub struct Dabo<P, M> {
+    config: DaboConfig,
+    feature_map: M,
+    sampler: Sampler<P>,
+    points: Vec<P>,
+    features: Vec<Vec<f64>>,
+    costs_raw: Vec<f64>,
+    best: Option<(usize, f64)>,
+    fitted: Option<(FittedSurrogate, Standardizer)>,
+    observations_at_fit: usize,
+}
+
+impl<P, M: FeatureMap<P>> Dabo<P, M> {
+    /// Creates an optimizer from a configuration, a feature map, and a
+    /// parameter-space sampler.
+    pub fn new(
+        config: DaboConfig,
+        feature_map: M,
+        sampler: impl FnMut(&mut dyn RngCore) -> P + 'static,
+    ) -> Self {
+        Dabo {
+            config,
+            feature_map,
+            sampler: Box::new(sampler),
+            points: Vec::new(),
+            features: Vec::new(),
+            costs_raw: Vec::new(),
+            best: None,
+            fitted: None,
+            observations_at_fit: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DaboConfig {
+        &self.config
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> usize {
+        self.costs_raw.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.costs_raw.is_empty()
+    }
+
+    /// The standardized-feature training matrix seen by the surrogate at
+    /// the last refit (for diagnostics such as permutation importance).
+    pub fn training_features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Predicts `(mean, std)` of the (possibly log-scaled) cost at `p`
+    /// using the current surrogate, or `None` before the first fit.
+    pub fn predict(&self, p: &P) -> Option<(f64, f64)> {
+        let (model, st) = self.fitted.as_ref()?;
+        let z = st.transform(&self.feature_map.features(p));
+        Some(model.predict(&z))
+    }
+
+    fn effective_cost(&self, cost: f64) -> f64 {
+        let c = if cost.is_finite() {
+            cost.min(self.config.penalty_cost)
+        } else {
+            self.config.penalty_cost
+        };
+        c.max(f64::MIN_POSITIVE)
+    }
+
+    fn target(&self, cost: f64) -> f64 {
+        let c = self.effective_cost(cost);
+        if self.config.log_cost {
+            c.ln()
+        } else {
+            c
+        }
+    }
+
+    fn refit(&mut self) {
+        if self.costs_raw.is_empty() {
+            return;
+        }
+        let stale = self.costs_raw.len() - self.observations_at_fit;
+        if self.fitted.is_some() && stale < self.config.refit_every {
+            return;
+        }
+        let st = Standardizer::fit(&self.features);
+        let xs = st.transform_all(&self.features);
+        // Infeasible points get a penalty target just above the worst
+        // finite observation; a fixed astronomical penalty would dominate
+        // the regression and flatten the surrogate over the valid region.
+        let worst_finite = self
+            .costs_raw
+            .iter()
+            .copied()
+            .filter(|c| c.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let penalty_target = if worst_finite.is_finite() {
+            if self.config.log_cost {
+                self.target(worst_finite) + 2.0
+            } else {
+                self.target(worst_finite) * 10.0
+            }
+        } else {
+            self.target(self.config.penalty_cost)
+        };
+        let ys: Vec<f64> = self
+            .costs_raw
+            .iter()
+            .map(|&c| if c.is_finite() { self.target(c) } else { penalty_target })
+            .collect();
+        let fitted = match self.config.surrogate {
+            SurrogateKind::Linear => {
+                let mut m = BayesianLinearModel::new(10.0, 1e-2);
+                m.fit(&xs, &ys).ok().map(|()| FittedSurrogate::Linear(m))
+            }
+            SurrogateKind::Gp(kernel) => {
+                let mut m = GaussianProcess::new(kernel, 1e-2);
+                m.fit(&xs, &ys).ok().map(|()| FittedSurrogate::Gp(m))
+            }
+        };
+        if let Some(model) = fitted {
+            self.fitted = Some((model, st));
+            self.observations_at_fit = self.costs_raw.len();
+        }
+    }
+}
+
+impl<P, M: FeatureMap<P>> Search<P> for Dabo<P, M> {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> P {
+        // Cold start: pure random sampling.
+        if self.costs_raw.len() < self.config.init_samples {
+            return (self.sampler)(rng);
+        }
+        self.refit();
+        let Some((model, st)) = self.fitted.as_ref() else {
+            return (self.sampler)(rng);
+        };
+        // Batch acquisition: sample candidates in parameter space,
+        // transform to feature space, rank by LCB.
+        let mut candidates = Vec::with_capacity(self.config.batch_size);
+        let mut preds = Vec::with_capacity(self.config.batch_size);
+        for _ in 0..self.config.batch_size {
+            let p = (self.sampler)(rng);
+            let z = st.transform(&self.feature_map.features(&p));
+            preds.push(model.predict(&z));
+            candidates.push(p);
+        }
+        let idx = match self.config.acquisition {
+            Acquisition::LowerConfidenceBound => {
+                argmin_lcb(&preds, self.config.kappa).expect("non-empty batch")
+            }
+            Acquisition::ExpectedImprovement => {
+                // Incumbent in target (log) space.
+                let incumbent = self
+                    .best
+                    .map(|(_, c)| self.target(c))
+                    .unwrap_or(f64::INFINITY);
+                argmax_ei(&preds, incumbent).expect("non-empty batch")
+            }
+        };
+        candidates.swap_remove(idx)
+    }
+
+    fn observe(&mut self, point: P, cost: f64) {
+        let feats = self.feature_map.features(&point);
+        debug_assert_eq!(feats.len(), self.feature_map.dim());
+        let idx = self.points.len();
+        self.points.push(point);
+        self.features.push(feats);
+        self.costs_raw.push(cost);
+        if cost.is_finite() && self.best.is_none_or(|(_, b)| cost < b) {
+            self.best = Some((idx, cost));
+        }
+    }
+
+    fn best(&self) -> Option<(&P, f64)> {
+        self.best.map(|(i, c)| (&self.points[i], c))
+    }
+
+    fn history(&self) -> &[f64] {
+        &self.costs_raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FnFeatureMap;
+    use crate::search::run_minimization;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn quadratic_sampler(rng: &mut dyn RngCore) -> f64 {
+        rng.gen_range(-10.0..10.0)
+    }
+
+    fn make(config: DaboConfig) -> Dabo<f64, FnFeatureMap<impl Fn(&f64) -> Vec<f64>>> {
+        let fm = FnFeatureMap::new(2, |x: &f64| vec![*x, x * x]);
+        Dabo::new(config, fm, quadratic_sampler)
+    }
+
+    #[test]
+    fn beats_random_on_quadratic() {
+        // Tight budget: 20 evaluations, 8 of which are daBO's random
+        // warm-up. Sample efficiency must show in the remaining 12.
+        let evals = 20;
+        let cost = |x: &f64| (x - 4.0) * (x - 4.0) + 1.0;
+        let mut best_dabo = Vec::new();
+        let mut best_rand = Vec::new();
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut opt = make(DaboConfig::default());
+            let t = run_minimization(&mut opt, &mut rng, evals, cost);
+            best_dabo.push(t.final_best().unwrap());
+
+            // Random search with the same budget and seed family.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 1000);
+            let mut costs = Vec::new();
+            for _ in 0..evals {
+                let x = quadratic_sampler(&mut rng);
+                costs.push(cost(&x));
+            }
+            best_rand.push(costs.iter().copied().fold(f64::INFINITY, f64::min));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&best_dabo) < mean(&best_rand),
+            "dabo {} !< random {}",
+            mean(&best_dabo),
+            mean(&best_rand)
+        );
+    }
+
+    #[test]
+    fn handles_infeasible_regions() {
+        // Half the domain is infeasible; the optimizer must still converge.
+        let cost = |x: &f64| {
+            if *x < 0.0 {
+                f64::INFINITY
+            } else {
+                (x - 2.0).abs() + 0.5
+            }
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut opt = make(DaboConfig::default());
+        let t = run_minimization(&mut opt, &mut rng, 60, cost);
+        assert!(t.final_best().unwrap() < 2.0);
+        let (x, _) = opt.best().unwrap();
+        assert!(*x >= 0.0);
+    }
+
+    #[test]
+    fn gp_surrogate_variant_works() {
+        let cfg = DaboConfig {
+            surrogate: SurrogateKind::Gp(Kernel::matern52(1.0)),
+            batch_size: 32,
+            ..DaboConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut opt = make(cfg);
+        let t = run_minimization(&mut opt, &mut rng, 40, |x| (x + 5.0).abs());
+        assert!(t.final_best().unwrap() < 3.0);
+    }
+
+    #[test]
+    fn best_tracks_minimum_of_history() {
+        let mut opt = make(DaboConfig::default());
+        opt.observe(1.0, 10.0);
+        opt.observe(2.0, 5.0);
+        opt.observe(3.0, f64::INFINITY);
+        opt.observe(4.0, 7.0);
+        let (p, c) = opt.best().unwrap();
+        assert_eq!((*p, c), (2.0, 5.0));
+        assert_eq!(opt.history().len(), 4);
+    }
+
+    #[test]
+    fn predict_none_before_fit() {
+        let opt = make(DaboConfig::default());
+        assert!(opt.predict(&1.0).is_none());
+    }
+
+    #[test]
+    fn predict_available_after_enough_observations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut opt = make(DaboConfig {
+            init_samples: 3,
+            ..DaboConfig::default()
+        });
+        let _ = run_minimization(&mut opt, &mut rng, 10, |x| x.abs());
+        let (m, s) = opt.predict(&0.5).expect("surrogate fitted");
+        assert!(m.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut opt = make(DaboConfig::default());
+            run_minimization(&mut opt, &mut rng, 25, |x| (x - 1.0).abs())
+                .final_best()
+                .unwrap()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn expected_improvement_acquisition_also_converges() {
+        let cfg = DaboConfig {
+            acquisition: Acquisition::ExpectedImprovement,
+            ..DaboConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut opt = make(cfg);
+        let t = run_minimization(&mut opt, &mut rng, 40, |x| (x - 2.0).abs() + 0.1);
+        assert!(t.final_best().unwrap() < 2.0);
+    }
+
+    #[test]
+    fn refit_every_reduces_fits_but_still_optimizes() {
+        let cfg = DaboConfig {
+            refit_every: 5,
+            ..DaboConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut opt = make(cfg);
+        let t = run_minimization(&mut opt, &mut rng, 50, |x| (x - 3.0).abs());
+        assert!(t.final_best().unwrap() < 2.0);
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::features::FnFeatureMap;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nan_costs_are_treated_as_infeasible() {
+        let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+        let mut opt = Dabo::new(DaboConfig::default(), fm, |rng: &mut dyn RngCore| {
+            rng.gen_range(0.0..1.0)
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for i in 0..30 {
+            let x = opt.suggest(&mut rng);
+            let cost = if i % 3 == 0 { f64::NAN } else { x + 1.0 };
+            opt.observe(x, cost);
+        }
+        // NaN never becomes the best, and the surrogate still fits.
+        let (_, best) = opt.best().expect("finite observations exist");
+        assert!(best.is_finite());
+        assert!(opt.predict(&0.5).is_some());
+    }
+
+    #[test]
+    fn negative_costs_survive_log_transform() {
+        // log_cost clamps to a positive floor rather than producing NaN.
+        let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+        let mut opt = Dabo::new(DaboConfig::default(), fm, |rng: &mut dyn RngCore| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..30 {
+            let x = opt.suggest(&mut rng);
+            opt.observe(x, x); // costs can be negative
+        }
+        let (m, s) = opt.predict(&0.0).expect("fitted");
+        assert!(m.is_finite() && s.is_finite());
+    }
+}

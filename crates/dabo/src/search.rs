@@ -1,0 +1,148 @@
+//! The ask/tell search interface shared by every algorithm.
+
+use rand::RngCore;
+
+/// A boxed parameter-space sampler: draws one random legal point.
+///
+/// Shared by every search algorithm so operators compose without
+/// repeating the closure type.
+pub type Sampler<P> = Box<dyn FnMut(&mut dyn RngCore) -> P>;
+
+/// A boxed unary neighborhood operator (GA mutation).
+pub type MutateOp<P> = Box<dyn FnMut(&mut dyn RngCore, &P) -> P>;
+
+/// A boxed binary recombination operator (GA crossover).
+pub type CrossoverOp<P> = Box<dyn FnMut(&mut dyn RngCore, &P, &P) -> P>;
+
+/// A black-box minimizer over parameter type `P`.
+///
+/// All of Spotlight's search algorithms — daBO, vanilla BO, random search,
+/// the genetic algorithm, and the ConfuciuX-like baseline — implement this
+/// ask/tell interface, so the Section VII-E ablation swaps them freely.
+pub trait Search<P> {
+    /// Proposes the next point to evaluate.
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> P;
+
+    /// Reports the observed cost of a proposed point. Infeasible points
+    /// are reported as `f64::INFINITY`; implementations convert them to a
+    /// finite penalty internally.
+    fn observe(&mut self, point: P, cost: f64);
+
+    /// Best observed point and its cost, if anything finite was seen.
+    fn best(&self) -> Option<(&P, f64)>;
+
+    /// All observed costs in evaluation order (infeasible points appear
+    /// as `f64::INFINITY`). Drives the Figure 10 convergence curves and
+    /// Figure 11 CDFs.
+    fn history(&self) -> &[f64];
+}
+
+/// A convergence trace: best-so-far cost after each evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_dabo::Trace;
+///
+/// let t = Trace::from_costs(&[5.0, 7.0, 3.0, f64::INFINITY, 4.0]);
+/// assert_eq!(t.best_so_far(), &[5.0, 5.0, 3.0, 3.0, 3.0]);
+/// assert_eq!(t.final_best(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    best: Vec<f64>,
+}
+
+impl Trace {
+    /// Builds the running-minimum trace from raw per-sample costs.
+    pub fn from_costs(costs: &[f64]) -> Self {
+        let mut best = Vec::with_capacity(costs.len());
+        let mut cur = f64::INFINITY;
+        for &c in costs {
+            if c < cur {
+                cur = c;
+            }
+            best.push(cur);
+        }
+        Trace { best }
+    }
+
+    /// Best cost after each evaluation.
+    pub fn best_so_far(&self) -> &[f64] {
+        &self.best
+    }
+
+    /// The final best cost, or `None` if nothing finite was observed.
+    pub fn final_best(&self) -> Option<f64> {
+        self.best.last().copied().filter(|c| c.is_finite())
+    }
+
+    /// Number of evaluations recorded.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Whether no evaluations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// Drives `search` for `evaluations` rounds against `cost_fn`, returning
+/// the convergence trace. This is the shared experiment loop: every
+/// algorithm in Figure 10 runs through it.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spotlight_dabo::{run_minimization, Dabo, DaboConfig, FnFeatureMap};
+///
+/// let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+/// let mut opt = Dabo::new(DaboConfig::default(), fm, |rng: &mut dyn rand::RngCore| {
+///     rand::Rng::gen_range(rng, 0.0..1.0)
+/// });
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let trace = run_minimization(&mut opt, &mut rng, 30, |x| (x - 0.5).abs());
+/// assert!(trace.final_best().unwrap() < 0.2);
+/// ```
+pub fn run_minimization<P, S: Search<P> + ?Sized>(
+    search: &mut S,
+    rng: &mut dyn RngCore,
+    evaluations: usize,
+    mut cost_fn: impl FnMut(&P) -> f64,
+) -> Trace {
+    for _ in 0..evaluations {
+        let p = search.suggest(rng);
+        let c = cost_fn(&p);
+        search.observe(p, c);
+    }
+    Trace::from_costs(search.history())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let t = Trace::from_costs(&[9.0, 4.0, 6.0, 2.0, 8.0]);
+        let b = t.best_so_far();
+        assert!(b.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(t.final_best(), Some(2.0));
+    }
+
+    #[test]
+    fn all_infinite_trace_has_no_final_best() {
+        let t = Trace::from_costs(&[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(t.final_best(), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::from_costs(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.final_best(), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Kernelized Gaussian-process regression.
+
+use crate::kernel::Kernel;
+use crate::matrix::Matrix;
+use crate::{FitError, Surrogate};
+
+/// Gaussian-process regression with an explicit kernel (Section V-A's
+/// surrogate model).
+///
+/// Targets are standardized internally, so costs spanning orders of
+/// magnitude should be log-transformed by the caller (daBO does this).
+/// Fitting costs `O(N^3)` in the number of observations — the cost the
+/// paper attributes to Matérn/RBF kernels; for the linear kernel prefer
+/// [`crate::BayesianLinearModel`], which is the same posterior computed in
+/// weight space.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_gp::{GaussianProcess, Kernel, Surrogate};
+///
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 5.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
+/// let mut gp = GaussianProcess::new(Kernel::matern52(1.0), 1e-6);
+/// gp.fit(&xs, &ys).unwrap();
+/// let (mean, std) = gp.predict(&[1.0]);
+/// assert!((mean - 1.0f64.sin()).abs() < 0.05);
+/// assert!(std >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    x_train: Vec<Vec<f64>>,
+    chol: Option<Matrix>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted GP with the given kernel and observation-noise
+    /// variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative.
+    pub fn new(kernel: Kernel, noise: f64) -> Self {
+        assert!(noise >= 0.0, "noise variance must be non-negative");
+        GaussianProcess {
+            kernel,
+            noise,
+            x_train: Vec::new(),
+            chol: None,
+            alpha: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Number of training observations.
+    pub fn len(&self) -> usize {
+        self.x_train.len()
+    }
+
+    /// Whether the GP has no training data.
+    pub fn is_empty(&self) -> bool {
+        self.x_train.is_empty()
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        if x.is_empty() {
+            return Err(FitError::Empty);
+        }
+        if x.len() != y.len() || x.iter().any(|r| r.len() != x[0].len()) {
+            return Err(FitError::ShapeMismatch);
+        }
+        let n = x.len();
+
+        // Standardize targets for numerical stability.
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let std = var.sqrt().max(1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
+
+        // K + (noise + jitter) I, escalating jitter until PD.
+        let mut jitter = 1e-10;
+        let chol = loop {
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = self.kernel.eval(&x[i], &x[j]);
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
+                k[(i, i)] += self.noise + jitter;
+            }
+            if let Some(l) = k.cholesky() {
+                break l;
+            }
+            jitter *= 100.0;
+            if jitter > 1.0 {
+                return Err(FitError::NotPositiveDefinite);
+            }
+        };
+
+        let z = chol.forward_solve(&yn);
+        self.alpha = chol.backward_solve_transposed(&z);
+        self.chol = Some(chol);
+        self.x_train = x.to_vec();
+        self.y_mean = mean;
+        self.y_std = std;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let chol = self.chol.as_ref().expect("predict before fit");
+        let kstar: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x))
+            .collect();
+        let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        // var = k(x,x) - v^T v with v = L^{-1} k*.
+        let v = chol.forward_solve(&kstar);
+        let kxx = self.kernel.eval(x, x) + self.noise;
+        let var_n = (kxx - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
+        (
+            mean_n * self.y_std + self.y_mean,
+            var_n.sqrt() * self.y_std,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / n as f64 * 4.0]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid(15);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let mut gp = GaussianProcess::new(Kernel::rbf(1.0), 1e-8);
+        gp.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, s) = gp.predict(x);
+            assert!((m - y).abs() < 1e-3, "{m} vs {y}");
+            assert!(s < 0.1);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = grid(10);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let mut gp = GaussianProcess::new(Kernel::matern52(0.5), 1e-6);
+        gp.fit(&xs, &ys).unwrap();
+        let (_, s_in) = gp.predict(&[2.0]);
+        let (_, s_out) = gp.predict(&[50.0]);
+        assert!(s_out > s_in * 5.0, "{s_out} !> {s_in}");
+    }
+
+    #[test]
+    fn linear_kernel_extrapolates_linear_functions() {
+        let xs = grid(10);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 1.0).collect();
+        let mut gp = GaussianProcess::new(Kernel::linear(), 1e-8);
+        gp.fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[10.0]);
+        assert!((m - 29.0).abs() < 0.5, "{m}");
+    }
+
+    #[test]
+    fn fit_errors_reported() {
+        let mut gp = GaussianProcess::new(Kernel::linear(), 1e-6);
+        assert_eq!(gp.fit(&[], &[]), Err(FitError::Empty));
+        assert_eq!(
+            gp.fit(&[vec![1.0]], &[1.0, 2.0]),
+            Err(FitError::ShapeMismatch)
+        );
+        assert_eq!(
+            gp.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(FitError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![2.0, 2.0, 2.0];
+        let mut gp = GaussianProcess::new(Kernel::rbf(1.0), 0.0);
+        gp.fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[1.0]);
+        assert!((m - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_targets_predict_constant() {
+        let xs = grid(8);
+        let ys = vec![5.0; 8];
+        let mut gp = GaussianProcess::new(Kernel::matern52(1.0), 1e-6);
+        gp.fit(&xs, &ys).unwrap();
+        let (m, _) = gp.predict(&[1.7]);
+        assert!((m - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let gp = GaussianProcess::new(Kernel::linear(), 1e-6);
+        let _ = gp.predict(&[1.0]);
+    }
+
+    #[test]
+    fn refit_replaces_data() {
+        let mut gp = GaussianProcess::new(Kernel::rbf(1.0), 1e-6);
+        gp.fit(&grid(5), &[0.0; 5]).unwrap();
+        assert_eq!(gp.len(), 5);
+        gp.fit(&grid(9), &[1.0; 9]).unwrap();
+        assert_eq!(gp.len(), 9);
+        let (m, _) = gp.predict(&[1.0]);
+        assert!((m - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,181 @@
+//! Covariance (kernel) functions.
+//!
+//! Section V-A: "Typically, a Matérn or Radial Basis Function (RBF) kernel
+//! is employed ... Instead, daBO employs a simple linear kernel, which
+//! ... takes far fewer samples to accurately model the trends of the cost
+//! function, and fits well with our feature selection."
+
+use std::fmt;
+
+/// A covariance function over feature vectors.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_gp::Kernel;
+///
+/// let k = Kernel::rbf(1.0);
+/// // RBF of a point with itself is 1 (plus no noise here).
+/// assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `k(x, y) = scale * (x . y) + bias` — the daBO default.
+    Linear {
+        /// Multiplier on the dot product.
+        scale: f64,
+        /// Additive bias (prior variance of the intercept).
+        bias: f64,
+    },
+    /// `k(x, y) = exp(-|x-y|^2 / (2 l^2))`.
+    Rbf {
+        /// Length scale `l`.
+        lengthscale: f64,
+    },
+    /// Matérn-5/2: `(1 + a + a^2/3) exp(-a)` with
+    /// `a = sqrt(5) |x-y| / l`.
+    Matern52 {
+        /// Length scale `l`.
+        lengthscale: f64,
+    },
+}
+
+impl Kernel {
+    /// The daBO linear kernel with unit scale and bias.
+    pub fn linear() -> Self {
+        Kernel::Linear {
+            scale: 1.0,
+            bias: 1.0,
+        }
+    }
+
+    /// An RBF kernel with the given length scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengthscale <= 0`.
+    pub fn rbf(lengthscale: f64) -> Self {
+        assert!(lengthscale > 0.0, "length scale must be positive");
+        Kernel::Rbf { lengthscale }
+    }
+
+    /// A Matérn-5/2 kernel with the given length scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengthscale <= 0`.
+    pub fn matern52(lengthscale: f64) -> Self {
+        assert!(lengthscale > 0.0, "length scale must be positive");
+        Kernel::Matern52 { lengthscale }
+    }
+
+    /// Evaluates the covariance between two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "feature dimension mismatch");
+        match *self {
+            Kernel::Linear { scale, bias } => {
+                let dot: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+                scale * dot + bias
+            }
+            Kernel::Rbf { lengthscale } => {
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                (-d2 / (2.0 * lengthscale * lengthscale)).exp()
+            }
+            Kernel::Matern52 { lengthscale } => {
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                let a = (5.0 * d2).sqrt() / lengthscale;
+                (1.0 + a + a * a / 3.0) * (-a).exp()
+            }
+        }
+    }
+
+    /// Whether this kernel is stationary (depends only on `x - y`).
+    pub fn is_stationary(&self) -> bool {
+        !matches!(self, Kernel::Linear { .. })
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kernel::Linear { .. } => f.write_str("linear"),
+            Kernel::Rbf { .. } => f.write_str("RBF"),
+            Kernel::Matern52 { .. } => f.write_str("Matern-5/2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_matches_dot_product() {
+        let k = Kernel::Linear {
+            scale: 2.0,
+            bias: 0.5,
+        };
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 2.0 * 11.0 + 0.5);
+    }
+
+    #[test]
+    fn stationary_kernels_peak_at_zero_distance() {
+        for k in [Kernel::rbf(0.7), Kernel::matern52(0.7)] {
+            let same = k.eval(&[1.0, -1.0], &[1.0, -1.0]);
+            let far = k.eval(&[1.0, -1.0], &[5.0, 5.0]);
+            assert!((same - 1.0).abs() < 1e-9);
+            assert!(far < same);
+        }
+    }
+
+    #[test]
+    fn matern_between_rbf_and_exp_in_smoothness() {
+        // At moderate distances Matern-5/2 decays slower than RBF.
+        let r = Kernel::rbf(1.0);
+        let m = Kernel::matern52(1.0);
+        let x = [0.0];
+        let y = [2.0];
+        assert!(m.eval(&x, &y) > r.eval(&x, &y));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lengthscale_rejected() {
+        let _ = Kernel::rbf(0.0);
+    }
+
+    #[test]
+    fn stationarity_flags() {
+        assert!(!Kernel::linear().is_stationary());
+        assert!(Kernel::rbf(1.0).is_stationary());
+        assert!(Kernel::matern52(1.0).is_stationary());
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_are_symmetric(
+            a in proptest::collection::vec(-3.0f64..3.0, 4),
+            b in proptest::collection::vec(-3.0f64..3.0, 4),
+        ) {
+            for k in [Kernel::linear(), Kernel::rbf(1.3), Kernel::matern52(0.9)] {
+                prop_assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn stationary_values_in_unit_interval(
+            a in proptest::collection::vec(-3.0f64..3.0, 4),
+            b in proptest::collection::vec(-3.0f64..3.0, 4),
+        ) {
+            for k in [Kernel::rbf(1.0), Kernel::matern52(1.0)] {
+                let v = k.eval(&a, &b);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+}

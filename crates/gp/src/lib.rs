@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+
+//! Gaussian-process machinery for daBO.
+//!
+//! Bayesian optimization needs a probabilistic surrogate model
+//! (Section V-A). This crate implements everything from scratch on dense
+//! `f64` linear algebra:
+//!
+//! - [`Matrix`]: a small row-major matrix with Cholesky factorization and
+//!   SPD solves,
+//! - [`kernel`]: the Linear, RBF and Matérn-5/2 covariance functions the
+//!   paper discusses (daBO uses the linear kernel; the Matérn comparison
+//!   is Section VII-D),
+//! - [`GaussianProcess`]: kernelized GP regression with posterior mean and
+//!   variance,
+//! - [`BayesianLinearModel`]: the weight-space view of the linear-kernel
+//!   GP, with the `O(N·d^2)` fitting cost behind the paper's "linear
+//!   kernel ... has O(N) complexity" efficiency claim,
+//! - [`stats`]: Spearman rank correlation (the Section VII-D surrogate
+//!   accuracy metric) and friends,
+//! - [`importance`]: permutation importance (Figure 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_gp::{kernel::Kernel, GaussianProcess, Surrogate};
+//!
+//! // Fit y = 2 x and check the GP interpolates.
+//! let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+//! let mut gp = GaussianProcess::new(Kernel::linear(), 1e-6);
+//! gp.fit(&xs, &ys).unwrap();
+//! let (mean, _std) = gp.predict(&[5.0]);
+//! assert!((mean - 10.0).abs() < 0.1);
+//! ```
+
+pub mod gaussian;
+pub mod importance;
+pub mod kernel;
+pub mod linear;
+pub mod matrix;
+pub mod stats;
+pub mod tuning;
+
+pub use gaussian::GaussianProcess;
+pub use importance::permutation_importance;
+pub use kernel::Kernel;
+pub use linear::BayesianLinearModel;
+pub use matrix::Matrix;
+
+/// A probabilistic regression surrogate: fits `(x, y)` pairs and predicts
+/// a posterior mean and standard deviation at new points.
+///
+/// Implemented by [`GaussianProcess`] (any kernel, `O(N^3)` fit) and
+/// [`BayesianLinearModel`] (linear kernel only, `O(N d^2)` fit).
+pub trait Surrogate {
+    /// Fits the surrogate to the observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when the observations are empty, ragged, or
+    /// produce a non-positive-definite system.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError>;
+
+    /// Posterior `(mean, standard deviation)` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a successful
+    /// [`Surrogate::fit`] or with a feature vector of the wrong length.
+    fn predict(&self, x: &[f64]) -> (f64, f64);
+}
+
+/// Error returned when fitting a surrogate fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No observations were supplied.
+    Empty,
+    /// `x` and `y` lengths differ, or feature vectors are ragged.
+    ShapeMismatch,
+    /// The covariance system was not positive definite even after jitter.
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => f.write_str("no training observations"),
+            FitError::ShapeMismatch => f.write_str("mismatched observation shapes"),
+            FitError::NotPositiveDefinite => {
+                f.write_str("covariance matrix is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}

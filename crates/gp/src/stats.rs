@@ -1,0 +1,179 @@
+//! Rank statistics.
+//!
+//! Section VII-D evaluates the surrogate with the Spearman rank
+//! correlation coefficient and a "top-20% hit rate"; both live here.
+
+/// Average ranks of `v` (1-based, ties share the mean rank).
+///
+/// ```
+/// use spotlight_gp::stats::ranks;
+/// assert_eq!(ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+/// assert_eq!(ranks(&[1.0, 1.0]), vec![1.5, 1.5]);
+/// ```
+pub fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when
+/// either is constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation coefficient: Pearson correlation of the
+/// ranks. 1 means identical ordering, -1 inverse ordering.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// ```
+/// use spotlight_gp::stats::spearman_rho;
+/// // Any monotone transform gives rho = 1.
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// let b = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Fraction of the true best `quantile` of `truth` (smallest values) that
+/// also appear in the predicted best `quantile` of `pred` — the paper's
+/// "roughly 24% of the top 20% of samples are correctly predicted".
+///
+/// # Panics
+///
+/// Panics if lengths differ, inputs are empty, or `quantile` is outside
+/// `(0, 1]`.
+pub fn top_quantile_hit_rate(truth: &[f64], pred: &[f64], quantile: f64) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    assert!(quantile > 0.0 && quantile <= 1.0, "quantile out of range");
+    let k = ((truth.len() as f64 * quantile).ceil() as usize).max(1);
+    let top = |v: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+        idx.truncate(k);
+        idx
+    };
+    let t = top(truth);
+    let p = top(pred);
+    let hits = t.iter().filter(|i| p.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn spearman_of_reversed_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_noise_near_zero() {
+        // A deterministic "shuffled" sequence.
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        assert!(spearman_rho(&a, &b).abs() < 0.3);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_perfect_prediction() {
+        let t = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(top_quantile_hit_rate(&t, &t, 0.4), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_disjoint_prediction() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(top_quantile_hit_rate(&t, &p, 0.5), 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_all_ties() {
+        assert_eq!(ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn spearman_in_unit_interval(
+            a in proptest::collection::vec(-100.0f64..100.0, 3..40),
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
+            let rho = spearman_rho(&a, &b);
+            prop_assert!(rho <= 1.0 + 1e-9);
+            // Monotone transform preserves order exactly unless constant.
+            if a.iter().any(|&x| x != a[0]) {
+                prop_assert!((rho - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn ranks_are_permutation_of_1_to_n(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        ) {
+            let r = ranks(&a);
+            let sum: f64 = r.iter().sum();
+            let n = a.len() as f64;
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn hit_rate_bounded(
+            a in proptest::collection::vec(-10.0f64..10.0, 5..30),
+            b in proptest::collection::vec(-10.0f64..10.0, 5..30),
+        ) {
+            let n = a.len().min(b.len());
+            let r = top_quantile_hit_rate(&a[..n], &b[..n], 0.2);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Infeasible-mapping errors.
+
+use std::fmt;
+
+/// Why a (hardware, schedule) pair cannot execute a layer.
+///
+/// Large, unpredictable parts of the co-design space are invalid
+/// (Section IV-B); the cost model surfaces the reason so searches can be
+/// analyzed, and the search frameworks convert these into penalty costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingError {
+    /// The register-file tile does not fit in one PE's register file.
+    RfOverflow {
+        /// Bytes the RF tile needs.
+        needed: u64,
+        /// Bytes available per PE.
+        available: u64,
+    },
+    /// The scratchpad-resident working set (including per-row slices of
+    /// spatially distributed tensors) exceeds the scratchpad.
+    ScratchpadOverflow {
+        /// Bytes the L2 working set needs.
+        needed: u64,
+        /// Scratchpad capacity in bytes.
+        available: u64,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::RfOverflow { needed, available } => write!(
+                f,
+                "register-file tile needs {needed} B but each PE has {available} B"
+            ),
+            MappingError::ScratchpadOverflow { needed, available } => write!(
+                f,
+                "scratchpad working set needs {needed} B but capacity is {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_sizes() {
+        let e = MappingError::RfOverflow {
+            needed: 100,
+            available: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("64"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(MappingError::ScratchpadOverflow {
+            needed: 1,
+            available: 0,
+        });
+        assert!(e.to_string().contains("scratchpad"));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! A MAESTRO-like data-centric analytical cost model for spatial DNN
+//! accelerators.
+//!
+//! Spotlight evaluates every candidate co-design point with the MAESTRO
+//! analytical model (Section VI-B). This crate is a from-scratch
+//! reimplementation of the phenomena that matter to the search:
+//!
+//! - **spatial unrolling** of one dimension per tiling level across the
+//!   2-D PE array, with partial-wave (tail) under-utilization,
+//! - **multi-level tiling** with per-tensor buffer residency, including
+//!   the interaction between spatial unrolling and scratchpad capacity
+//!   (unrolled tensors occupy one slice per active row),
+//! - **temporal reuse** derived from the per-level loop orders: tensors
+//!   whose loops are innermost-invariant are not refetched,
+//! - **multicast** on the Figure 2 interconnect: data not indexed by the
+//!   unrolled dimension is fetched once and broadcast,
+//! - **partial-sum traffic** for output tiles revisited by reduction
+//!   loops,
+//! - a roofline-style **delay** model: `max(compute, DRAM, NoC)` with a
+//!   pipeline-fill ramp, and an **energy** model charging every MAC, RF,
+//!   scratchpad, DRAM and NoC event from [`spotlight_accel::EnergyTable`].
+//!
+//! The model reports delay (cycles), energy (nJ), area (mm^2) and power
+//! (W) — the quantities the paper's figures plot — via [`CostReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_accel::Baseline;
+//! use spotlight_conv::ConvLayer;
+//! use spotlight_maestro::CostModel;
+//! use spotlight_space::dataflows::dataflow_schedule;
+//!
+//! let model = CostModel::default();
+//! let hw = Baseline::EyerissLike.edge_config();
+//! let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+//! let sched = dataflow_schedule(Baseline::EyerissLike.dataflow(), &layer, &hw);
+//! let report = model.evaluate(&hw, &sched, &layer)?;
+//! assert!(report.delay_cycles > 0.0);
+//! assert!(report.pe_utilization <= 1.0);
+//! # Ok::<(), spotlight_maestro::MappingError>(())
+//! ```
+
+pub mod error;
+pub mod model;
+pub mod report;
+pub mod sim;
+
+pub use error::MappingError;
+pub use model::{CostModel, ModelParams};
+pub use report::{CostReport, Objective};

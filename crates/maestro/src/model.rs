@@ -1,0 +1,577 @@
+//! The analytical cost model.
+
+use spotlight_accel::{AreaModel, EnergyTable, HardwareConfig};
+use spotlight_conv::{ConvLayer, Dim, NUM_DIMS};
+use spotlight_space::{Schedule, TileLevel};
+
+use crate::error::MappingError;
+use crate::report::CostReport;
+
+/// Tunable model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Clock frequency in GHz (delay cycles -> time).
+    pub clock_ghz: f64,
+    /// Off-chip DRAM bandwidth in elements per cycle.
+    pub dram_bandwidth: f64,
+    /// Register-file accesses charged per MAC (weight + input + partial
+    /// sum).
+    pub rf_accesses_per_mac: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            clock_ghz: 1.0,
+            dram_bandwidth: 32.0,
+            rf_accesses_per_mac: 3.0,
+        }
+    }
+}
+
+/// The MAESTRO-like cost model: evaluates one (hardware, schedule, layer)
+/// triple into a [`CostReport`].
+///
+/// See the crate-level documentation for the modeled phenomena, and
+/// [`CostModel::evaluate`] for the estimation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    params: ModelParams,
+    energy: EnergyTable,
+    area: AreaModel,
+}
+
+impl CostModel {
+    /// Builds a model from explicit parameter sets.
+    pub fn new(params: ModelParams, energy: EnergyTable, area: AreaModel) -> Self {
+        CostModel {
+            params,
+            energy,
+            area,
+        }
+    }
+
+    /// The energy table in use.
+    pub fn energy_table(&self) -> &EnergyTable {
+        &self.energy
+    }
+
+    /// The model parameters in use.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Estimates delay, energy, area and power of executing `layer` on
+    /// `hw` under `sched`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] when the schedule's tiles do not fit the
+    /// accelerator's buffers — the "invalid regions" of the co-design
+    /// space.
+    pub fn evaluate(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+    ) -> Result<CostReport, MappingError> {
+        let tiles = sched.tiles();
+
+        // ---- Validity: buffer capacities -------------------------------
+        let rf_need = tiles.footprint_bytes(TileLevel::RegisterFile, layer);
+        let rf_avail = hw.rf_bytes_per_pe();
+        if rf_need > rf_avail {
+            return Err(MappingError::RfOverflow {
+                needed: rf_need,
+                available: rf_avail,
+            });
+        }
+
+        // ---- Spatial mapping -------------------------------------------
+        let rows = hw.pe_rows() as f64;
+        let cols = hw.pe_width() as f64;
+        let du0 = sched.outer_unroll();
+        let du1 = sched.inner_unroll();
+        let outer_unroll_trips = tiles.outer_trips(du0) as f64;
+        let inner_unroll_trips = tiles.inner_trips(du1) as f64;
+        let waves_o = (outer_unroll_trips / rows).ceil().max(1.0);
+        let waves_i = (inner_unroll_trips / cols).ceil().max(1.0);
+        let rows_used = outer_unroll_trips.min(rows);
+        let cols_used = inner_unroll_trips.min(cols);
+
+        // Scratchpad residency: spatially distributed tensors occupy one
+        // L2-tile slice per active row; shared tensors are multicast from a
+        // single slice. This couples scratchpad size with tile sizes and
+        // unrolling — the co-design interaction Section VII-C credits for
+        // Spotlight's wins.
+        let (w1, i1, o1) = tiles.tensor_footprints(TileLevel::Scratchpad, layer);
+        let slice = |indexed: bool, fp: u64| {
+            if indexed {
+                (rows_used as u64).max(1) * fp
+            } else {
+                fp
+            }
+        };
+        let l2_need = slice(du0.indexes_weights(), w1)
+            + slice(du0.indexes_inputs(), i1)
+            + slice(du0.indexes_outputs(), o1);
+        let l2_avail = hw.l2_bytes();
+        if l2_need > l2_avail {
+            return Err(MappingError::ScratchpadOverflow {
+                needed: l2_need,
+                available: l2_avail,
+            });
+        }
+
+        // ---- Temporal iteration counts ---------------------------------
+        let mut outer_t: [u64; NUM_DIMS] = tiles.outer_trip_array();
+        outer_t[du0.index()] = waves_o as u64;
+        let mut inner_t: [u64; NUM_DIMS] = tiles.inner_trip_array();
+        inner_t[du1.index()] = waves_i as u64;
+        let outer_iters: f64 = outer_t.iter().map(|&t| t as f64).product();
+        let inner_iters: f64 = inner_t.iter().map(|&t| t as f64).product();
+
+        // ---- Compute ----------------------------------------------------
+        let simd = hw.simd_lanes() as f64;
+        let rf_tile_macs = tiles.rf_tile_macs() as f64;
+        let rf_tile_cycles = (rf_tile_macs / simd).ceil().max(1.0);
+        let compute_cycles = outer_iters * inner_iters * rf_tile_cycles;
+        let total_macs = layer.macs() as f64;
+        let peak = hw.peak_macs_per_cycle() as f64;
+        let pe_utilization = (total_macs / (compute_cycles * peak)).min(1.0);
+
+        // ---- DRAM traffic (level 0 -> L2) -------------------------------
+        let outer_order = sched.outer_order();
+        let visits = |indexes: fn(Dim) -> bool| -> f64 {
+            outer_iters / outer_order.temporal_reuse(&outer_t, indexes) as f64
+        };
+        let mult0 = |indexed: bool| if indexed { rows_used } else { 1.0 };
+
+        let w_visits = visits(Dim::indexes_weights);
+        let i_visits = visits(Dim::indexes_inputs);
+        let o_visits = visits(Dim::indexes_outputs);
+        let dram_w = w_visits * w1 as f64 * mult0(du0.indexes_weights());
+        let dram_i = i_visits * i1 as f64 * mult0(du0.indexes_inputs());
+        // Outputs: every distinct tile is written back once; each
+        // *re-visit* (reduction loops placed outside the output loops
+        // evicting and re-loading the tile) additionally costs a partial-
+        // sum read and write.
+        let o_tiles: f64 = outer_t
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Dim::from_index(*i).indexes_outputs())
+            .map(|(_, &t)| t as f64)
+            .product();
+        let dram_o = (2.0 * o_visits - o_tiles) * o1 as f64 * mult0(du0.indexes_outputs());
+        let dram_bytes = dram_w + dram_i + dram_o;
+
+        // ---- NoC / scratchpad traffic (L2 -> RF) -------------------------
+        let (w2, i2, o2) = tiles.tensor_footprints(TileLevel::RegisterFile, layer);
+        let inner_order = sched.inner_order();
+        let inner_visits = |indexes: fn(Dim) -> bool| -> f64 {
+            inner_iters / inner_order.temporal_reuse(&inner_t, indexes) as f64
+        };
+        let mult1 = |indexed_inner: bool| if indexed_inner { cols_used } else { 1.0 };
+
+        let l2_w = outer_iters
+            * inner_visits(Dim::indexes_weights)
+            * w2 as f64
+            * mult1(du1.indexes_weights())
+            * mult0(du0.indexes_weights());
+        let l2_i = outer_iters
+            * inner_visits(Dim::indexes_inputs)
+            * i2 as f64
+            * mult1(du1.indexes_inputs())
+            * mult0(du0.indexes_inputs());
+        let o_inner_tiles: f64 = inner_t
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Dim::from_index(*i).indexes_outputs())
+            .map(|(_, &t)| t as f64)
+            .product();
+        let l2_o = outer_iters
+            * (2.0 * inner_visits(Dim::indexes_outputs) - o_inner_tiles)
+            * o2 as f64
+            * mult1(du1.indexes_outputs())
+            * mult0(du0.indexes_outputs());
+        let noc_volume = l2_w + l2_i + l2_o;
+        // Scratchpad port accesses: array-side traffic plus DRAM fills.
+        let l2_bytes = noc_volume + dram_bytes;
+
+        // ---- Delay -------------------------------------------------------
+        let dram_cycles = dram_bytes / self.params.dram_bandwidth;
+        let noc_cycles = noc_volume / hw.noc_bandwidth() as f64;
+        // Pipeline fill: first tile must traverse the array before the
+        // steady state; drains add the array half-perimeter.
+        let ramp = rows + cols + rf_tile_cycles;
+        let delay_cycles = compute_cycles.max(dram_cycles).max(noc_cycles) + ramp;
+
+        // ---- Energy ------------------------------------------------------
+        let rf_accesses = total_macs * self.params.rf_accesses_per_mac;
+        let energy_mac_nj = total_macs * self.energy.mac_pj / 1000.0;
+        let energy_rf_nj = rf_accesses * self.energy.rf_access_pj(hw) / 1000.0;
+        let energy_l2_nj = l2_bytes * self.energy.l2_access_pj(hw) / 1000.0;
+        let energy_dram_nj = dram_bytes * self.energy.dram_access_pj / 1000.0;
+        let energy_noc_nj = noc_volume * self.energy.noc_delivery_pj(hw) / 1000.0;
+        let delay_ns = delay_cycles / self.params.clock_ghz;
+        let energy_leak_nj = self.energy.leakage_w(hw) * delay_ns;
+        let energy_nj = energy_mac_nj
+            + energy_rf_nj
+            + energy_l2_nj
+            + energy_dram_nj
+            + energy_noc_nj
+            + energy_leak_nj;
+
+        let power_w = energy_nj / delay_ns;
+        let area_mm2 = self.area.area_mm2(hw);
+
+        Ok(CostReport {
+            delay_cycles,
+            energy_nj,
+            area_mm2,
+            power_w,
+            pe_utilization,
+            macs: total_macs,
+            dram_bytes,
+            dram_weight_bytes: dram_w,
+            dram_input_bytes: dram_i,
+            dram_output_bytes: dram_o,
+            l2_bytes,
+            rf_accesses,
+            compute_cycles,
+            dram_cycles,
+            noc_cycles,
+            energy_mac_nj,
+            energy_rf_nj,
+            energy_l2_nj,
+            energy_dram_nj,
+            energy_noc_nj,
+            energy_leak_nj,
+        })
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(
+            ModelParams::default(),
+            EnergyTable::default_8bit(),
+            AreaModel::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_accel::Baseline;
+    use spotlight_conv::LoopPermutation;
+    use spotlight_space::dataflows::{dataflow_schedule, rigid_schedules};
+    use spotlight_space::{sample, Schedule, TileSizes};
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new(1, 64, 32, 3, 3, 28, 28)
+    }
+
+    fn eyeriss() -> HardwareConfig {
+        Baseline::EyerissLike.edge_config()
+    }
+
+    fn best_rigid(hw: &HardwareConfig, l: &ConvLayer) -> CostReport {
+        rigid_schedules(l, hw)
+            .into_iter()
+            .filter_map(|(_, s)| model().evaluate(hw, &s, l).ok())
+            .min_by(|a, b| a.edp().total_cmp(&b.edp()))
+            .expect("at least one rigid schedule is feasible")
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let hw = eyeriss();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::EyerissLike.dataflow(), &l, &hw);
+        let a = model().evaluate(&hw, &s, &l).unwrap();
+        let b = model().evaluate(&hw, &s, &l).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rf_overflow_detected() {
+        let hw = eyeriss();
+        let l = layer();
+        // Whole layer in the RF: impossible on any edge design.
+        let s = Schedule::trivial(&l).with_tiles(TileSizes::whole_layer(&l));
+        assert!(matches!(
+            model().evaluate(&hw, &s, &l),
+            Err(MappingError::RfOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let hw = eyeriss();
+        let l = layer();
+        for _ in 0..200 {
+            let s = sample::sample_schedule(&mut rng, &l);
+            if let Ok(r) = model().evaluate(&hw, &s, &l) {
+                assert!(r.pe_utilization > 0.0 && r.pe_utilization <= 1.0);
+                assert!(r.delay_cycles.is_finite() && r.delay_cycles > 0.0);
+                assert!(r.energy_nj.is_finite() && r.energy_nj > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_at_least_every_roofline_term() {
+        let hw = eyeriss();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::EyerissLike.dataflow(), &l, &hw);
+        let r = model().evaluate(&hw, &s, &l).unwrap();
+        assert!(r.delay_cycles >= r.compute_cycles);
+        assert!(r.delay_cycles >= r.dram_cycles);
+        assert!(r.delay_cycles >= r.noc_cycles);
+    }
+
+    #[test]
+    fn compute_cycles_lower_bounded_by_macs_over_peak() {
+        let hw = eyeriss();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::EyerissLike.dataflow(), &l, &hw);
+        let r = model().evaluate(&hw, &s, &l).unwrap();
+        let ideal = l.macs() as f64 / hw.peak_macs_per_cycle() as f64;
+        assert!(r.compute_cycles >= ideal * 0.999);
+    }
+
+    #[test]
+    fn dram_traffic_at_least_compulsory() {
+        // Every tensor must cross the DRAM boundary at least once.
+        let hw = eyeriss();
+        let l = layer();
+        let r = best_rigid(&hw, &l);
+        let compulsory = (l.weight_elems() + l.output_elems()) as f64;
+        assert!(r.dram_bytes >= compulsory, "{} < {compulsory}", r.dram_bytes);
+    }
+
+    #[test]
+    fn more_pes_do_not_hurt_compute_bound_layers() {
+        let l = ConvLayer::new(1, 256, 128, 3, 3, 28, 28);
+        let small = HardwareConfig::new(128, 16, 2, 128, 256, 256).unwrap();
+        let big = HardwareConfig::new(256, 16, 2, 128, 256, 256).unwrap();
+        let rs = best_rigid(&small, &l);
+        let rb = best_rigid(&big, &l);
+        assert!(
+            rb.delay_cycles <= rs.delay_cycles * 1.05,
+            "big {} vs small {}",
+            rb.delay_cycles,
+            rs.delay_cycles
+        );
+    }
+
+    #[test]
+    fn loop_order_changes_dram_traffic() {
+        // Weight-friendly outer order (weights' loops outermost, X/Y inner)
+        // vs a weight-hostile one; weight DRAM traffic must differ.
+        let hw = HardwareConfig::new(256, 16, 2, 256, 256, 128).unwrap();
+        let l = ConvLayer::new(1, 64, 64, 3, 3, 56, 56);
+        let tiles = TileSizes::new(
+            &l,
+            [1, 8, 8, 3, 3, 14, 14],
+            [1, 2, 2, 1, 1, 2, 2],
+        )
+        .unwrap();
+        let friendly: LoopPermutation = "KCRSNXY".parse().unwrap();
+        let hostile: LoopPermutation = "NXYKCRS".parse().unwrap();
+        let base = Schedule::new(tiles, friendly, friendly, Dim::K, Dim::C);
+        let bad = Schedule::new(tiles, hostile, friendly, Dim::K, Dim::C);
+        let rf = model().evaluate(&hw, &base, &l).unwrap();
+        let rb = model().evaluate(&hw, &bad, &l).unwrap();
+        // The weight-friendly order must fetch weights less often; the
+        // hostile order trades that for output reuse, so the *aggregate*
+        // can go either way, but the per-tensor direction is fixed.
+        assert!(
+            rf.dram_weight_bytes < rb.dram_weight_bytes,
+            "friendly {} !< hostile {}",
+            rf.dram_weight_bytes,
+            rb.dram_weight_bytes
+        );
+        assert_ne!(rf.dram_bytes, rb.dram_bytes, "order had no effect at all");
+    }
+
+    #[test]
+    fn tuned_dataflow_beats_trivial_schedule() {
+        let hw = eyeriss();
+        let l = layer();
+        let tuned = best_rigid(&hw, &l);
+        let trivial = model().evaluate(&hw, &Schedule::trivial(&l), &l).unwrap();
+        assert!(tuned.edp() < trivial.edp() / 2.0);
+    }
+
+    #[test]
+    fn cloud_hw_outperforms_edge_on_big_layers() {
+        let l = ConvLayer::new(1, 512, 256, 3, 3, 28, 28);
+        let edge = best_rigid(&Baseline::EyerissLike.edge_config(), &l);
+        let cloud = best_rigid(&Baseline::EyerissLike.cloud_config(), &l);
+        assert!(cloud.delay_cycles < edge.delay_cycles);
+    }
+
+    #[test]
+    fn energy_includes_all_components() {
+        let hw = eyeriss();
+        let l = layer();
+        let r = best_rigid(&hw, &l);
+        // MAC energy alone is a strict lower bound.
+        let mac_nj = l.macs() as f64 * model().energy_table().mac_pj / 1000.0;
+        assert!(r.energy_nj > mac_nj);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let hw = eyeriss();
+        let l = layer();
+        let r = best_rigid(&hw, &l);
+        let t_ns = r.delay_cycles / model().params().clock_ghz;
+        assert!((r.power_w - r.energy_nj / t_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrolling_small_dim_wastes_the_array() {
+        let hw = HardwareConfig::new(256, 16, 1, 128, 256, 128).unwrap();
+        let l = ConvLayer::new(1, 64, 64, 3, 3, 28, 28);
+        let tiles = TileSizes::new(&l, [1, 4, 64, 3, 3, 28, 28], [1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let order = LoopPermutation::canonical();
+        // R has only 3 iterations at the inner level (trips = 3 < 16 cols).
+        let narrow = Schedule::new(tiles, order, order, Dim::K, Dim::R);
+        // C has 64 inner iterations: fills the columns.
+        let wide = Schedule::new(tiles, order, order, Dim::K, Dim::C);
+        let rn = model().evaluate(&hw, &narrow, &l).unwrap();
+        let rw = model().evaluate(&hw, &wide, &l).unwrap();
+        assert!(rw.compute_cycles < rn.compute_cycles);
+        assert!(rw.pe_utilization > rn.pe_utilization);
+    }
+
+    #[test]
+    fn partial_wave_tail_costs_cycles() {
+        // 17 unroll trips on 16 columns need 2 waves; 16 trips need 1.
+        let hw = HardwareConfig::new(256, 16, 1, 256, 256, 128).unwrap();
+        let mk = |k: u64| ConvLayer::new(1, k, 16, 3, 3, 16, 16);
+        let eval = |k: u64| {
+            let l = mk(k);
+            let tiles =
+                TileSizes::new(&l, [1, k, 16, 3, 3, 16, 16], [1, 1, 4, 3, 3, 1, 1]).unwrap();
+            let order = LoopPermutation::canonical();
+            let s = Schedule::new(tiles, order, order, Dim::X, Dim::K);
+            model().evaluate(&hw, &s, &l).unwrap()
+        };
+        let full = eval(16);
+        let ragged = eval(17);
+        // 17/16 more MACs but ~2x the waves: utilization must drop.
+        assert!(ragged.pe_utilization < full.pe_utilization * 0.7);
+    }
+
+    #[test]
+    fn invalid_fraction_of_random_space_is_substantial() {
+        // Section IV-B: large parts of the space are invalid. Random
+        // schedules on a small-RF design should frequently overflow.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let hw = HardwareConfig::new(256, 16, 2, 64, 64, 64).unwrap();
+        let l = ConvLayer::new(1, 128, 64, 3, 3, 56, 56);
+        let mut invalid = 0;
+        let n = 300;
+        for _ in 0..n {
+            let s = sample::sample_schedule(&mut rng, &l);
+            if model().evaluate(&hw, &s, &l).is_err() {
+                invalid += 1;
+            }
+        }
+        assert!(
+            invalid > n / 10,
+            "only {invalid}/{n} random schedules were invalid"
+        );
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use crate::Objective;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_space::sample;
+
+    fn arb_seed() -> impl Strategy<Value = u64> {
+        0u64..5_000
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// More NoC bandwidth never increases delay (all else equal).
+        #[test]
+        fn more_bandwidth_never_hurts(seed in arb_seed()) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+            let s = sample::sample_schedule(&mut rng, &layer);
+            let model = CostModel::default();
+            let slow = HardwareConfig::new(256, 16, 2, 128, 256, 64).unwrap();
+            let fast = HardwareConfig::new(256, 16, 2, 128, 256, 256).unwrap();
+            if let (Ok(a), Ok(b)) = (model.evaluate(&slow, &s, &layer), model.evaluate(&fast, &s, &layer)) {
+                prop_assert!(b.delay_cycles <= a.delay_cycles + 1e-9);
+            }
+        }
+
+        /// More SIMD lanes never increase compute cycles.
+        #[test]
+        fn more_simd_never_slows_compute(seed in arb_seed()) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+            let s = sample::sample_schedule(&mut rng, &layer);
+            let model = CostModel::default();
+            let narrow = HardwareConfig::new(256, 16, 2, 128, 256, 128).unwrap();
+            let wide = HardwareConfig::new(256, 16, 8, 128, 256, 128).unwrap();
+            if let (Ok(a), Ok(b)) = (model.evaluate(&narrow, &s, &layer), model.evaluate(&wide, &s, &layer)) {
+                prop_assert!(b.compute_cycles <= a.compute_cycles + 1e-9);
+            }
+        }
+
+        /// A bigger scratchpad never *invalidates* a feasible schedule
+        /// and never changes its traffic (capacity is a constraint, not a
+        /// behavior knob).
+        #[test]
+        fn bigger_scratchpad_preserves_feasibility(seed in arb_seed()) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+            let s = sample::sample_schedule(&mut rng, &layer);
+            let model = CostModel::default();
+            let small = HardwareConfig::new(256, 16, 2, 128, 128, 128).unwrap();
+            let big = HardwareConfig::new(256, 16, 2, 128, 256, 128).unwrap();
+            if let Ok(a) = model.evaluate(&small, &s, &layer) {
+                let b = model.evaluate(&big, &s, &layer);
+                prop_assert!(b.is_ok());
+                let b = b.unwrap();
+                prop_assert!((a.dram_bytes - b.dram_bytes).abs() < 1e-9);
+            }
+        }
+
+        /// EDP equals delay x energy for every feasible report.
+        #[test]
+        fn edp_identity(seed in arb_seed()) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let layer = ConvLayer::new(1, 32, 16, 3, 3, 14, 14);
+            let ranges = spotlight_space::ParamRanges::edge();
+            let hw = sample::sample_hw(&mut rng, &ranges);
+            let s = sample::sample_schedule(&mut rng, &layer);
+            if let Ok(r) = CostModel::default().evaluate(&hw, &s, &layer) {
+                prop_assert!((r.edp() - r.delay_cycles * r.energy_nj).abs() <= 1e-9 * r.edp());
+                prop_assert_eq!(r.objective(Objective::Delay), r.delay_cycles);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Cost-model outputs and the optimization objective.
+
+use std::fmt;
+
+/// The metric a search minimizes (Section VI-B: "Spotlight performs
+/// single objective optimization to minimize delay or EDP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// End-to-end delay in cycles.
+    Delay,
+    /// Energy-delay product in nJ x cycles.
+    Edp,
+}
+
+impl Objective {
+    /// Both objectives, in the order the paper's figures present them.
+    pub const ALL: [Objective; 2] = [Objective::Edp, Objective::Delay];
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::Delay => f.write_str("delay"),
+            Objective::Edp => f.write_str("EDP"),
+        }
+    }
+}
+
+/// The analytical model's estimate for one (hardware, schedule, layer)
+/// triple: the quantities MAESTRO reports (Section VI-B: "delay, energy,
+/// throughput, power, and area").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// End-to-end delay in cycles.
+    pub delay_cycles: f64,
+    /// Total energy in nanojoules.
+    pub energy_nj: f64,
+    /// Die area in mm^2.
+    pub area_mm2: f64,
+    /// Average power in watts at the model clock.
+    pub power_w: f64,
+    /// Fraction of peak MAC throughput achieved (0, 1].
+    pub pe_utilization: f64,
+    /// Total MAC operations.
+    pub macs: f64,
+    /// Bytes moved between DRAM and the scratchpad.
+    pub dram_bytes: f64,
+    /// Weight bytes moved from DRAM (component of `dram_bytes`).
+    pub dram_weight_bytes: f64,
+    /// Input bytes moved from DRAM (component of `dram_bytes`).
+    pub dram_input_bytes: f64,
+    /// Output and partial-sum bytes crossing the DRAM boundary
+    /// (component of `dram_bytes`).
+    pub dram_output_bytes: f64,
+    /// Bytes read from the scratchpad into the array (plus partial-sum
+    /// traffic).
+    pub l2_bytes: f64,
+    /// Register-file accesses.
+    pub rf_accesses: f64,
+    /// Compute-bound lower bound on delay (cycles); `delay_cycles`
+    /// additionally reflects memory and NoC limits.
+    pub compute_cycles: f64,
+    /// DRAM-transfer-bound lower bound on delay (cycles).
+    pub dram_cycles: f64,
+    /// NoC-transfer-bound lower bound on delay (cycles).
+    pub noc_cycles: f64,
+    /// Energy breakdown: MAC operations (nJ).
+    pub energy_mac_nj: f64,
+    /// Energy breakdown: register-file accesses (nJ).
+    pub energy_rf_nj: f64,
+    /// Energy breakdown: scratchpad accesses (nJ).
+    pub energy_l2_nj: f64,
+    /// Energy breakdown: DRAM accesses (nJ).
+    pub energy_dram_nj: f64,
+    /// Energy breakdown: interconnect traversal (nJ).
+    pub energy_noc_nj: f64,
+    /// Energy breakdown: SRAM leakage over the run (nJ).
+    pub energy_leak_nj: f64,
+}
+
+impl CostReport {
+    /// Energy-delay product in nJ x cycles — the paper's headline metric.
+    ///
+    /// ```
+    /// # let report = spotlight_maestro::CostReport::zeroed_for_tests(10.0, 5.0);
+    /// assert_eq!(report.edp(), 50.0);
+    /// ```
+    pub fn edp(&self) -> f64 {
+        self.delay_cycles * self.energy_nj
+    }
+
+    /// Value of the chosen objective.
+    pub fn objective(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::Delay => self.delay_cycles,
+            Objective::Edp => self.edp(),
+        }
+    }
+
+    /// Inferences per joule, scaled by MACs (the "throughput per Joule"
+    /// comparison of Section VII-C).
+    pub fn macs_per_nj(&self) -> f64 {
+        self.macs / self.energy_nj
+    }
+
+    /// Scratchpad reads per DRAM fill — the paper's "reads per fill"
+    /// reuse metric for the L1 scratchpad (Section VII-C). Higher means
+    /// each byte brought on-chip is used more before being replaced.
+    pub fn l2_reads_per_fill(&self) -> f64 {
+        (self.l2_bytes - self.dram_bytes).max(0.0) / self.dram_bytes.max(1.0)
+    }
+
+    /// Register-file reads per scratchpad delivery — the RF-level reuse
+    /// metric: MAC-side operand reads divided by the bytes streamed in.
+    pub fn rf_reads_per_fill(&self) -> f64 {
+        self.rf_accesses / (self.l2_bytes - self.dram_bytes).max(1.0)
+    }
+
+    /// Which resource bounds the delay: `"compute"`, `"dram"`, or
+    /// `"noc"`.
+    pub fn bottleneck(&self) -> &'static str {
+        let c = self.compute_cycles;
+        let d = self.dram_cycles;
+        let n = self.noc_cycles;
+        if c >= d && c >= n {
+            "compute"
+        } else if d >= n {
+            "dram"
+        } else {
+            "noc"
+        }
+    }
+
+    /// A report with only delay and energy populated — for doctests and
+    /// unit tests of metric arithmetic.
+    #[doc(hidden)]
+    pub fn zeroed_for_tests(delay_cycles: f64, energy_nj: f64) -> Self {
+        CostReport {
+            delay_cycles,
+            energy_nj,
+            area_mm2: 0.0,
+            power_w: 0.0,
+            pe_utilization: 0.0,
+            macs: 0.0,
+            dram_bytes: 0.0,
+            dram_weight_bytes: 0.0,
+            dram_input_bytes: 0.0,
+            dram_output_bytes: 0.0,
+            l2_bytes: 0.0,
+            rf_accesses: 0.0,
+            compute_cycles: 0.0,
+            dram_cycles: 0.0,
+            noc_cycles: 0.0,
+            energy_mac_nj: 0.0,
+            energy_rf_nj: 0.0,
+            energy_l2_nj: 0.0,
+            energy_dram_nj: 0.0,
+            energy_noc_nj: 0.0,
+            energy_leak_nj: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delay {:.3e} cyc, energy {:.3e} nJ, EDP {:.3e}, util {:.1}%, {} bound",
+            self.delay_cycles,
+            self.energy_nj,
+            self.edp(),
+            self.pe_utilization * 100.0,
+            self.bottleneck()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_is_product() {
+        let r = CostReport::zeroed_for_tests(3.0, 7.0);
+        assert_eq!(r.edp(), 21.0);
+        assert_eq!(r.objective(Objective::Delay), 3.0);
+        assert_eq!(r.objective(Objective::Edp), 21.0);
+    }
+
+    #[test]
+    fn bottleneck_picks_largest() {
+        let mut r = CostReport::zeroed_for_tests(1.0, 1.0);
+        r.compute_cycles = 10.0;
+        r.dram_cycles = 5.0;
+        r.noc_cycles = 1.0;
+        assert_eq!(r.bottleneck(), "compute");
+        r.dram_cycles = 20.0;
+        assert_eq!(r.bottleneck(), "dram");
+        r.noc_cycles = 30.0;
+        assert_eq!(r.bottleneck(), "noc");
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(Objective::Edp.to_string(), "EDP");
+        assert_eq!(Objective::Delay.to_string(), "delay");
+    }
+
+    #[test]
+    fn display_mentions_bottleneck() {
+        let mut r = CostReport::zeroed_for_tests(1.0, 1.0);
+        r.dram_cycles = 5.0;
+        assert!(r.to_string().contains("dram"));
+    }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use spotlight_accel::Baseline;
+    use spotlight_conv::ConvLayer;
+    use spotlight_space::dataflows::dataflow_schedule;
+
+    #[test]
+    fn energy_components_sum_to_total() {
+        let hw = Baseline::NvdlaLike.edge_config();
+        let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+        let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
+        let r = crate::CostModel::default().evaluate(&hw, &s, &layer).unwrap();
+        let sum = r.energy_mac_nj
+            + r.energy_rf_nj
+            + r.energy_l2_nj
+            + r.energy_dram_nj
+            + r.energy_noc_nj
+            + r.energy_leak_nj;
+        assert!((sum - r.energy_nj).abs() < 1e-9 * r.energy_nj);
+        assert!(r.energy_mac_nj > 0.0 && r.energy_dram_nj > 0.0);
+    }
+
+    #[test]
+    fn reuse_metrics_positive_for_real_schedules() {
+        let hw = Baseline::NvdlaLike.edge_config();
+        let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+        let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
+        let r = crate::CostModel::default().evaluate(&hw, &s, &layer).unwrap();
+        assert!(r.l2_reads_per_fill() > 0.0);
+        assert!(r.rf_reads_per_fill() > 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! DL model zoo for the Spotlight reproduction.
+//!
+//! The paper evaluates five DL models (Section VII): VGG16, ResNet-50,
+//! MobileNetV2, MnasNet, and a single Transformer encoder block (the
+//! building block of ALBERT). This crate lowers each onto the CONV
+//! primitive of [`spotlight_conv`], de-duplicating repeated layer shapes
+//! with multiplicities so the layerwise optimizer searches each *unique*
+//! shape once.
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_models::zoo;
+//!
+//! let resnet = zoo::resnet50();
+//! assert_eq!(resnet.name(), "ResNet-50");
+//! assert!(resnet.total_macs() > 3_000_000_000); // ~3.8 GMACs at batch 1
+//! for entry in resnet.layers() {
+//!     assert!(entry.count >= 1);
+//! }
+//! ```
+
+pub mod model;
+pub mod zoo;
+
+pub use model::{LayerEntry, Model};
+pub use zoo::{all_models, mnasnet, mobilenet_v2, resnet50, transformer, vgg16};

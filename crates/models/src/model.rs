@@ -1,0 +1,210 @@
+//! The [`Model`] container: an ordered list of unique CONV layers with
+//! multiplicities.
+
+use std::fmt;
+
+use spotlight_conv::ConvLayer;
+
+/// One unique layer shape in a model together with how many times it
+/// occurs.
+///
+/// De-duplication matters for search cost: the layerwise optimizer
+/// (daBO_SW) runs once per *unique* shape and the resulting delay/energy is
+/// scaled by `count` when aggregating model-level cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerEntry {
+    /// The layer shape.
+    pub layer: ConvLayer,
+    /// How many structurally identical instances the model contains.
+    pub count: u32,
+}
+
+impl fmt::Display for LayerEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x{}", self.layer, self.count)
+    }
+}
+
+/// A DL model lowered onto CONV layers.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_models::Model;
+///
+/// let m = Model::from_layers(
+///     "tiny",
+///     vec![
+///         ConvLayer::new(1, 8, 3, 3, 3, 16, 16),
+///         ConvLayer::new(1, 8, 8, 3, 3, 16, 16),
+///         ConvLayer::new(1, 8, 8, 3, 3, 16, 16), // duplicate, merged
+///     ],
+/// );
+/// assert_eq!(m.layers().len(), 2);
+/// assert_eq!(m.instance_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    name: &'static str,
+    layers: Vec<LayerEntry>,
+}
+
+impl Model {
+    /// Builds a model from an ordered list of layer instances, merging
+    /// structurally identical shapes (ignoring their `name` labels) into a
+    /// single entry with a multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(name: &'static str, layers: Vec<ConvLayer>) -> Self {
+        assert!(!layers.is_empty(), "a model must contain at least one layer");
+        let mut entries: Vec<LayerEntry> = Vec::new();
+        for l in layers {
+            match entries.iter_mut().find(|e| same_shape(&e.layer, &l)) {
+                Some(e) => e.count += 1,
+                None => entries.push(LayerEntry { layer: l, count: 1 }),
+            }
+        }
+        Model {
+            name,
+            layers: entries,
+        }
+    }
+
+    /// Human-readable model name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The unique layer shapes with multiplicities, in first-occurrence
+    /// order.
+    pub fn layers(&self) -> &[LayerEntry] {
+        &self.layers
+    }
+
+    /// Total number of layer *instances* (sum of multiplicities).
+    pub fn instance_count(&self) -> u32 {
+        self.layers.iter().map(|e| e.count).sum()
+    }
+
+    /// Total MACs across all layer instances.
+    pub fn total_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|e| e.layer.macs() * e.count as u64)
+            .sum()
+    }
+
+    /// Total weight parameters across all layer instances.
+    pub fn total_weights(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|e| e.layer.weight_elems() * e.count as u64)
+            .sum()
+    }
+
+    /// The layer with the largest MAC count (the throughput bottleneck for
+    /// compute-bound accelerators).
+    pub fn heaviest_layer(&self) -> &LayerEntry {
+        self.layers
+            .iter()
+            .max_by_key(|e| e.layer.macs())
+            .expect("model is non-empty")
+    }
+
+    /// Iterates over unique layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, LayerEntry> {
+        self.layers.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Model {
+    type Item = &'a LayerEntry;
+    type IntoIter = std::slice::Iter<'a, LayerEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} unique layers, {} instances, {:.2} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.instance_count(),
+            self.total_macs() as f64 / 1e9
+        )?;
+        for e in &self.layers {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structural equality that ignores the cosmetic `name` label.
+fn same_shape(a: &ConvLayer, b: &ConvLayer) -> bool {
+    a.extents() == b.extents() && a.stride == b.stride
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(k: u64, c: u64, xy: u64) -> ConvLayer {
+        ConvLayer::new(1, k, c, 3, 3, xy, xy)
+    }
+
+    #[test]
+    fn dedup_merges_identical_shapes() {
+        let m = Model::from_layers("t", vec![l(8, 8, 16), l(8, 8, 16), l(16, 8, 16)]);
+        assert_eq!(m.layers().len(), 2);
+        assert_eq!(m.layers()[0].count, 2);
+        assert_eq!(m.instance_count(), 3);
+    }
+
+    #[test]
+    fn dedup_ignores_name_labels() {
+        let a = l(8, 8, 16).with_name("a");
+        let b = l(8, 8, 16).with_name("b");
+        let m = Model::from_layers("t", vec![a, b]);
+        assert_eq!(m.layers().len(), 1);
+        assert_eq!(m.layers()[0].count, 2);
+    }
+
+    #[test]
+    fn dedup_distinguishes_stride() {
+        let m = Model::from_layers("t", vec![l(8, 8, 16), l(8, 8, 16).with_stride(2)]);
+        assert_eq!(m.layers().len(), 2);
+    }
+
+    #[test]
+    fn total_macs_scales_by_count() {
+        let m = Model::from_layers("t", vec![l(8, 8, 16), l(8, 8, 16)]);
+        assert_eq!(m.total_macs(), 2 * l(8, 8, 16).macs());
+    }
+
+    #[test]
+    fn heaviest_layer_found() {
+        let m = Model::from_layers("t", vec![l(8, 8, 16), l(64, 64, 16)]);
+        assert_eq!(m.heaviest_layer().layer.k, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        let _ = Model::from_layers("t", vec![]);
+    }
+
+    #[test]
+    fn display_mentions_name_and_layers() {
+        let m = Model::from_layers("t", vec![l(8, 8, 16)]);
+        let s = m.to_string();
+        assert!(s.contains('t'));
+        assert!(s.contains("unique layers"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Concrete layer tables for the five evaluated models.
+//!
+//! Shapes follow the original publications at 224x224 (image models) /
+//! sequence length 512 (Transformer), batch size 1 — the inference setting
+//! of the paper. Pooling and activation layers are omitted (unsupported by
+//! the MAESTRO backend, Section II-A); fully-connected layers and GEMMs are
+//! lowered via [`spotlight_conv::lower`].
+
+use spotlight_conv::{depthwise_separable_to_conv, fc_to_conv, gemm_to_conv, ConvLayer};
+
+use crate::model::Model;
+
+/// VGG16: 13 3x3 CONVs plus 3 FC layers (Simonyan & Zisserman, 2014).
+///
+/// ```
+/// let m = spotlight_models::vgg16();
+/// assert!(m.total_macs() > 15_000_000_000); // ~15.5 GMACs
+/// ```
+pub fn vgg16() -> Model {
+    let mut layers = Vec::new();
+    // (k, c, spatial, repeats)
+    let blocks: [(u64, u64, u64, u32); 6] = [
+        (64, 3, 224, 1),
+        (64, 64, 224, 1),
+        (128, 64, 112, 1),
+        (128, 128, 112, 1),
+        (256, 128, 56, 1),
+        (256, 256, 56, 2),
+    ];
+    for (k, c, xy, reps) in blocks {
+        for _ in 0..reps {
+            layers.push(ConvLayer::new(1, k, c, 3, 3, xy, xy));
+        }
+    }
+    layers.push(ConvLayer::new(1, 512, 256, 3, 3, 28, 28));
+    for _ in 0..2 {
+        layers.push(ConvLayer::new(1, 512, 512, 3, 3, 28, 28));
+    }
+    for _ in 0..3 {
+        layers.push(ConvLayer::new(1, 512, 512, 3, 3, 14, 14));
+    }
+    layers.push(fc_to_conv(1, 512 * 7 * 7, 4096));
+    layers.push(fc_to_conv(1, 4096, 4096));
+    layers.push(fc_to_conv(1, 4096, 1000));
+    Model::from_layers("VGG16", layers)
+}
+
+/// ResNet-50: stem + 16 bottleneck blocks + FC (He et al., 2016).
+///
+/// ```
+/// let m = spotlight_models::resnet50();
+/// let gmacs = m.total_macs() as f64 / 1e9;
+/// assert!((3.0..5.0).contains(&gmacs), "{gmacs}");
+/// ```
+pub fn resnet50() -> Model {
+    let mut layers = Vec::new();
+    layers.push(ConvLayer::new(1, 64, 3, 7, 7, 112, 112).with_stride(2));
+
+    // (in_ch, mid_ch, out_ch, spatial, blocks, first_stride)
+    let stages: [(u64, u64, u64, u64, u32, u64); 4] = [
+        (64, 64, 256, 56, 3, 1),
+        (256, 128, 512, 28, 4, 2),
+        (512, 256, 1024, 14, 6, 2),
+        (1024, 512, 2048, 7, 3, 2),
+    ];
+    for (in_ch, mid, out, xy, blocks, first_stride) in stages {
+        for b in 0..blocks {
+            let (cin, stride) = if b == 0 { (in_ch, first_stride) } else { (out, 1) };
+            // 1x1 reduce (applies the stage's spatial stride in the first block)
+            layers.push(ConvLayer::new(1, mid, cin, 1, 1, xy, xy).with_stride(stride));
+            // 3x3
+            layers.push(ConvLayer::new(1, mid, mid, 3, 3, xy, xy));
+            // 1x1 expand
+            layers.push(ConvLayer::new(1, out, mid, 1, 1, xy, xy));
+            if b == 0 {
+                // projection shortcut
+                layers.push(ConvLayer::new(1, out, cin, 1, 1, xy, xy).with_stride(stride));
+            }
+        }
+    }
+    layers.push(fc_to_conv(1, 2048, 1000));
+    Model::from_layers("ResNet-50", layers)
+}
+
+/// MobileNetV2: inverted-residual blocks (Sandler et al., 2018).
+///
+/// ```
+/// let m = spotlight_models::mobilenet_v2();
+/// let gmacs = m.total_macs() as f64 / 1e9;
+/// assert!((0.2..0.7).contains(&gmacs), "{gmacs}");
+/// ```
+pub fn mobilenet_v2() -> Model {
+    let mut layers = Vec::new();
+    layers.push(ConvLayer::new(1, 32, 3, 3, 3, 112, 112).with_stride(2));
+
+    // Inverted residual settings (t, c, n, s) from the paper's Table 2.
+    let settings: [(u64, u64, u32, u64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch: u64 = 32;
+    let mut xy: u64 = 112;
+    for (t, c, n, s) in settings {
+        for b in 0..n {
+            let stride = if b == 0 { s } else { 1 };
+            let out_xy = if stride == 2 { xy / 2 } else { xy };
+            let expanded = in_ch * t;
+            if t != 1 {
+                // 1x1 expansion
+                layers.push(ConvLayer::new(1, expanded, in_ch, 1, 1, xy, xy));
+            }
+            // depthwise 3x3 + pointwise projection
+            let (dw, pw) =
+                depthwise_separable_to_conv(1, expanded, c, 3, out_xy, out_xy, stride);
+            layers.push(dw);
+            layers.push(pw);
+            in_ch = c;
+            xy = out_xy;
+        }
+    }
+    layers.push(ConvLayer::new(1, 1280, 320, 1, 1, 7, 7));
+    layers.push(fc_to_conv(1, 1280, 1000));
+    Model::from_layers("MobileNetV2", layers)
+}
+
+/// MnasNet-A1-like: NAS-generated mobile model (Tan et al., 2019).
+/// Squeeze-excite stages are omitted (element-wise, negligible MACs).
+///
+/// ```
+/// let m = spotlight_models::mnasnet();
+/// let gmacs = m.total_macs() as f64 / 1e9;
+/// assert!((0.2..0.7).contains(&gmacs), "{gmacs}");
+/// ```
+pub fn mnasnet() -> Model {
+    let mut layers = Vec::new();
+    layers.push(ConvLayer::new(1, 32, 3, 3, 3, 112, 112).with_stride(2));
+    // SepConv 3x3, K16
+    let (dw, pw) = depthwise_separable_to_conv(1, 32, 16, 3, 112, 112, 1);
+    layers.push(dw);
+    layers.push(pw);
+
+    // MBConv blocks: (expansion, kernel, out_ch, repeats, stride)
+    let settings: [(u64, u64, u64, u32, u64); 6] = [
+        (6, 3, 24, 2, 2),
+        (3, 5, 40, 3, 2),
+        (6, 3, 80, 4, 2),
+        (6, 3, 112, 2, 1),
+        (6, 5, 160, 3, 2),
+        (6, 3, 320, 1, 1),
+    ];
+    let mut in_ch: u64 = 16;
+    let mut xy: u64 = 112;
+    for (t, kernel, c, n, s) in settings {
+        for b in 0..n {
+            let stride = if b == 0 { s } else { 1 };
+            let out_xy = if stride == 2 { xy / 2 } else { xy };
+            let expanded = in_ch * t;
+            layers.push(ConvLayer::new(1, expanded, in_ch, 1, 1, xy, xy));
+            let (dw, pw) =
+                depthwise_separable_to_conv(1, expanded, c, kernel, out_xy, out_xy, stride);
+            layers.push(dw);
+            layers.push(pw);
+            in_ch = c;
+            xy = out_xy;
+        }
+    }
+    layers.push(ConvLayer::new(1, 1280, 320, 1, 1, 7, 7));
+    layers.push(fc_to_conv(1, 1280, 1000));
+    Model::from_layers("MnasNet", layers)
+}
+
+/// A single Transformer encoder block with ALBERT-base dimensions
+/// (hidden 768, 12 heads, FFN 3072) at sequence length 512, lowered to
+/// CONV via col2im (Vaswani et al., 2017; Lan et al., 2019).
+///
+/// The per-head attention GEMMs have the "large and uneven kernel sizes"
+/// the paper's Section VII-D highlights.
+///
+/// ```
+/// let m = spotlight_models::transformer();
+/// assert!(m.total_macs() > 3_000_000_000);
+/// ```
+pub fn transformer() -> Model {
+    const HIDDEN: u64 = 768;
+    const HEADS: u64 = 12;
+    const HEAD_DIM: u64 = HIDDEN / HEADS;
+    const FFN: u64 = 3072;
+    const SEQ: u64 = 512;
+
+    let mut layers = Vec::new();
+    // Q, K, V projections: [hidden x hidden] * [hidden x seq]
+    for _ in 0..3 {
+        layers.push(gemm_to_conv(HIDDEN, SEQ, HIDDEN));
+    }
+    // Attention scores per head: [seq x head_dim] * [head_dim x seq]
+    for _ in 0..HEADS {
+        layers.push(gemm_to_conv(SEQ, SEQ, HEAD_DIM));
+    }
+    // Attention-weighted values per head: [seq x seq] * [seq x head_dim]
+    for _ in 0..HEADS {
+        layers.push(gemm_to_conv(SEQ, HEAD_DIM, SEQ));
+    }
+    // Output projection
+    layers.push(gemm_to_conv(HIDDEN, SEQ, HIDDEN));
+    // Feed-forward
+    layers.push(gemm_to_conv(FFN, SEQ, HIDDEN));
+    layers.push(gemm_to_conv(HIDDEN, SEQ, FFN));
+    Model::from_layers("Transformer", layers)
+}
+
+/// The five evaluated models in the paper's presentation order.
+pub fn all_models() -> Vec<Model> {
+    vec![vgg16(), resnet50(), mobilenet_v2(), mnasnet(), transformer()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_16_weight_layers() {
+        // 13 CONV + 3 FC instances (some CONVs share shapes after dedup).
+        assert_eq!(vgg16().instance_count(), 16);
+    }
+
+    #[test]
+    fn vgg16_macs_match_reference() {
+        // Reference: ~15.47 GMACs for 224x224 inference.
+        let g = vgg16().total_macs() as f64 / 1e9;
+        assert!((15.0..16.0).contains(&g), "VGG16 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_match_reference() {
+        // Reference: ~3.8-4.1 GMACs (with projection shortcuts).
+        let g = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&g), "ResNet-50 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_params_match_reference() {
+        // ~25.5 M parameters.
+        let p = resnet50().total_weights() as f64 / 1e6;
+        assert!((20.0..28.0).contains(&p), "ResNet-50 params = {p}M");
+    }
+
+    #[test]
+    fn mobilenet_macs_match_reference() {
+        // Reference: ~0.3 GMACs.
+        let g = mobilenet_v2().total_macs() as f64 / 1e9;
+        assert!((0.25..0.45).contains(&g), "MobileNetV2 GMACs = {g}");
+    }
+
+    #[test]
+    fn mnasnet_macs_match_reference() {
+        // Reference: ~0.3-0.4 GMACs for MnasNet-A1.
+        let g = mnasnet().total_macs() as f64 / 1e9;
+        assert!((0.25..0.55).contains(&g), "MnasNet GMACs = {g}");
+    }
+
+    #[test]
+    fn transformer_layers_have_large_uneven_kernels() {
+        // Section VII-D: GEMM-to-CONV conversion "results in large and
+        // uneven kernel sizes".
+        let t = transformer();
+        assert!(t.layers().iter().all(|e| e.layer.c == 1));
+        assert!(t.layers().iter().any(|e| e.layer.r * e.layer.s >= 512));
+    }
+
+    #[test]
+    fn transformer_attention_heads_dedup() {
+        // The 12 identical per-head score GEMMs collapse to one entry.
+        let t = transformer();
+        assert!(t.layers().iter().any(|e| e.count == 12));
+    }
+
+    #[test]
+    fn all_models_have_distinct_names() {
+        let ms = all_models();
+        let mut names: Vec<&str> = ms.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn mobilenet_spatial_resolution_descends_to_7() {
+        let m = mobilenet_v2();
+        assert!(m.layers().iter().any(|e| e.layer.x == 7));
+    }
+
+    #[test]
+    fn depthwise_layers_present_in_mobile_models() {
+        for m in [mobilenet_v2(), mnasnet()] {
+            assert!(
+                m.layers().iter().any(|e| e.layer.k == 1 && e.layer.c == 1),
+                "{} lacks depthwise stages",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_layer_extent_positive_and_plausible() {
+        for m in all_models() {
+            for e in m.layers() {
+                let l = &e.layer;
+                assert!(l.macs() > 0);
+                assert!(l.x <= 512 && l.y <= 512, "{l}");
+            }
+        }
+    }
+}

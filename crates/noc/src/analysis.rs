@@ -1,0 +1,259 @@
+//! Schedule-level interconnect analysis.
+//!
+//! Derives each tensor's *delivery pattern* from the schedule's spatial
+//! unrolling — which dimensions index the tensor determine whether rows
+//! and columns receive distinct slices (unicast along that axis) or the
+//! same data (multicast) — then prices one inner iteration of traffic on
+//! the mesh.
+
+use spotlight_accel::HardwareConfig;
+use spotlight_conv::{ConvLayer, Dim};
+use spotlight_space::{Schedule, TileLevel};
+
+use crate::mesh::Mesh;
+
+/// How a tensor is delivered across the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Same data for every PE: one multicast tree serves the array.
+    Broadcast,
+    /// Distinct slice per row, shared within a row: one multicast per
+    /// row's worth of data (indexed by the outer unroll only).
+    PerRow,
+    /// Distinct slice per column, shared down columns (indexed by the
+    /// inner unroll only).
+    PerColumn,
+    /// Distinct data for every PE (indexed by both unrolls).
+    PerPe,
+}
+
+impl Pattern {
+    /// Classifies a tensor from the unroll dimensions.
+    pub fn classify(indexed_by_outer: bool, indexed_by_inner: bool) -> Pattern {
+        match (indexed_by_outer, indexed_by_inner) {
+            (false, false) => Pattern::Broadcast,
+            (true, false) => Pattern::PerRow,
+            (false, true) => Pattern::PerColumn,
+            (true, true) => Pattern::PerPe,
+        }
+    }
+
+    /// Number of *distinct* values delivered per element of the RF tile:
+    /// the fan-out the NoC cannot share.
+    pub fn distinct_streams(&self, rows_used: u32, cols_used: u32) -> u32 {
+        match self {
+            Pattern::Broadcast => 1,
+            Pattern::PerRow => rows_used,
+            Pattern::PerColumn => cols_used,
+            Pattern::PerPe => rows_used * cols_used,
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Pattern::Broadcast => "broadcast",
+            Pattern::PerRow => "per-row",
+            Pattern::PerColumn => "per-column",
+            Pattern::PerPe => "per-PE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Delivery statistics of one tensor under a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryStats {
+    /// The delivery pattern.
+    pub pattern: Pattern,
+    /// Elements in the tensor's RF tile.
+    pub rf_tile_elems: u64,
+    /// Link traversals to deliver one inner iteration of this tensor.
+    pub link_traversals: f64,
+    /// Cycles the shared trunk serializes for one inner iteration,
+    /// assuming one element per link per cycle.
+    pub trunk_cycles: f64,
+}
+
+/// Interconnect analysis of a schedule on an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocAnalysis {
+    /// Weight-tensor delivery.
+    pub weights: DeliveryStats,
+    /// Input-tensor delivery.
+    pub inputs: DeliveryStats,
+    /// Output-tensor collection (reverse direction, same link costs).
+    pub outputs: DeliveryStats,
+    /// Worst-case injector-to-leaf latency in hops.
+    pub max_hops: u32,
+    /// Total link traversals per inner iteration (energy proxy).
+    pub total_link_traversals: f64,
+    /// Trunk serialization cycles per inner iteration (latency proxy —
+    /// the quantity that shrinks on narrow arrays).
+    pub total_trunk_cycles: f64,
+}
+
+/// Analyzes the delivery of one inner iteration of `sched` on `hw`.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::Baseline;
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_noc::analyze;
+/// use spotlight_space::dataflows::dataflow_schedule;
+///
+/// let hw = Baseline::NvdlaLike.edge_config();
+/// let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+/// let sched = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
+/// let a = analyze(&hw, &sched, &layer);
+/// // Weight-stationary: K across rows, C across columns — weights differ
+/// // along both axes, so they are per-PE.
+/// assert_eq!(a.weights.pattern, spotlight_noc::Pattern::PerPe);
+/// ```
+pub fn analyze(hw: &HardwareConfig, sched: &Schedule, layer: &ConvLayer) -> NocAnalysis {
+    let mesh = Mesh::for_hw(hw);
+    let du0 = sched.outer_unroll();
+    let du1 = sched.inner_unroll();
+    let rows_used = (sched.outer_unroll_trips().min(hw.pe_rows() as u64)) as u32;
+    let cols_used = (sched.inner_unroll_trips().min(hw.pe_width() as u64)) as u32;
+    let rows_used = rows_used.max(1);
+    let cols_used = cols_used.max(1);
+
+    let (w2, i2, o2) = sched.tiles().tensor_footprints(TileLevel::RegisterFile, layer);
+
+    let stats = |indexes: fn(Dim) -> bool, elems: u64| -> DeliveryStats {
+        let pattern = Pattern::classify(indexes(du0), indexes(du1));
+        // Destination set of one distinct stream.
+        let dsts = match pattern {
+            Pattern::Broadcast => active_pes(&mesh, rows_used, cols_used),
+            Pattern::PerRow => mesh.row(0).into_iter().take(cols_used as usize).collect(),
+            Pattern::PerColumn => mesh.column(0).into_iter().take(rows_used as usize).collect(),
+            Pattern::PerPe => vec![crate::mesh::PeId { row: 0, col: 0 }],
+        };
+        let tree = mesh.multicast_tree(&dsts);
+        let streams = pattern.distinct_streams(rows_used, cols_used) as f64;
+        let link_traversals = streams * elems as f64 * tree.edges() as f64;
+        // Every distinct stream's elements cross the injection link.
+        let trunk_cycles = streams * elems as f64;
+        DeliveryStats {
+            pattern,
+            rf_tile_elems: elems,
+            link_traversals,
+            trunk_cycles,
+        }
+    };
+
+    let weights = stats(Dim::indexes_weights, w2);
+    let inputs = stats(Dim::indexes_inputs, i2);
+    let outputs = stats(Dim::indexes_outputs, o2);
+    let corner = crate::mesh::PeId {
+        row: rows_used - 1,
+        col: cols_used - 1,
+    };
+    NocAnalysis {
+        weights,
+        inputs,
+        outputs,
+        max_hops: mesh.hops_to(corner),
+        total_link_traversals: weights.link_traversals
+            + inputs.link_traversals
+            + outputs.link_traversals,
+        total_trunk_cycles: weights.trunk_cycles + inputs.trunk_cycles + outputs.trunk_cycles,
+    }
+}
+
+fn active_pes(mesh: &Mesh, rows_used: u32, cols_used: u32) -> Vec<crate::mesh::PeId> {
+    mesh.all_pes()
+        .into_iter()
+        .filter(|p| p.row < rows_used && p.col < cols_used)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlight_accel::Baseline;
+    use spotlight_space::dataflows::dataflow_schedule;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new(1, 64, 32, 3, 3, 28, 28)
+    }
+
+    #[test]
+    fn classification_covers_all_cases() {
+        assert_eq!(Pattern::classify(false, false), Pattern::Broadcast);
+        assert_eq!(Pattern::classify(true, false), Pattern::PerRow);
+        assert_eq!(Pattern::classify(false, true), Pattern::PerColumn);
+        assert_eq!(Pattern::classify(true, true), Pattern::PerPe);
+    }
+
+    #[test]
+    fn weight_stationary_patterns() {
+        // NVDLA: K outer / C inner. Weights indexed by both (per-PE);
+        // inputs by C only (per-column); outputs by K only (per-row).
+        let hw = Baseline::NvdlaLike.edge_config();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &l, &hw);
+        let a = analyze(&hw, &s, &l);
+        assert_eq!(a.weights.pattern, Pattern::PerPe);
+        assert_eq!(a.inputs.pattern, Pattern::PerColumn);
+        assert_eq!(a.outputs.pattern, Pattern::PerRow);
+    }
+
+    #[test]
+    fn output_stationary_broadcasts_weights() {
+        // ShiDianNao: X/Y unrolled; weights indexed by neither — pure
+        // broadcast, the cheapest delivery.
+        let hw = Baseline::ShiDianNaoLike.edge_config();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::ShiDianNaoLike.dataflow(), &l, &hw);
+        let a = analyze(&hw, &s, &l);
+        assert_eq!(a.weights.pattern, Pattern::Broadcast);
+    }
+
+    #[test]
+    fn narrow_array_serializes_unicast_streams_less() {
+        // Section VII-C: "on the narrow side of the array, network
+        // latency is lower and there are fewer unicast operations."
+        // A per-column (column-unicast) tensor streams one distinct
+        // slice per *column*, so its trunk serialization per element
+        // scales with the array width — smaller on the narrow array.
+        let l = layer();
+        let tall = spotlight_accel::HardwareConfig::new(256, 4, 2, 128, 256, 128).unwrap();
+        let wide = spotlight_accel::HardwareConfig::new(256, 64, 2, 128, 256, 128).unwrap();
+        let s_tall = dataflow_schedule(spotlight_accel::DataflowStyle::WeightStationary, &l, &tall);
+        let s_wide = dataflow_schedule(spotlight_accel::DataflowStyle::WeightStationary, &l, &wide);
+        let a_tall = analyze(&tall, &s_tall, &l);
+        let a_wide = analyze(&wide, &s_wide, &l);
+        // Inputs are per-column under weight-stationary.
+        assert_eq!(a_tall.inputs.pattern, Pattern::PerColumn);
+        let per_elem = |d: &DeliveryStats| d.trunk_cycles / d.rf_tile_elems as f64;
+        assert!(
+            per_elem(&a_tall.inputs) <= per_elem(&a_wide.inputs),
+            "tall {} !<= wide {}",
+            per_elem(&a_tall.inputs),
+            per_elem(&a_wide.inputs)
+        );
+        // And the worst-case delivery latency is shorter on the narrow side.
+        assert!(a_tall.max_hops <= a_wide.max_hops + tall.pe_rows());
+    }
+
+    #[test]
+    fn totals_are_sums_of_tensors() {
+        let hw = Baseline::NvdlaLike.edge_config();
+        let l = layer();
+        let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &l, &hw);
+        let a = analyze(&hw, &s, &l);
+        let sum = a.weights.link_traversals + a.inputs.link_traversals + a.outputs.link_traversals;
+        assert_eq!(a.total_link_traversals, sum);
+        assert!(a.max_hops >= 1);
+    }
+
+    #[test]
+    fn pattern_display() {
+        assert_eq!(Pattern::Broadcast.to_string(), "broadcast");
+        assert_eq!(Pattern::PerPe.to_string(), "per-PE");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Mesh interconnect analysis for DL-accelerator schedules.
+//!
+//! The analytical cost models charge NoC traffic with a first-order
+//! volume/bandwidth formula. This crate provides the detailed view that
+//! formula abstracts: a 2-D mesh with XY routing, per-tensor *delivery
+//! patterns* derived from the schedule's spatial unrolling (which
+//! dimension each tensor is distributed or multicast along), explicit
+//! multicast-tree construction, and per-link load accounting that
+//! exposes the trunk-link serialization behind the paper's observation
+//! that "on the narrow side of the array, network latency is lower and
+//! there are fewer unicast operations" (Section VII-C).
+//!
+//! It is an analysis substrate — the search does not depend on it — used
+//! by the `noc_analysis` experiment binary and the narrow-array tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use spotlight_noc::{Mesh, Pattern};
+//!
+//! let mesh = Mesh::new(4, 8); // 4 rows x 8 columns, injector at (0, 0)
+//! // Broadcasting one value to every PE uses each trunk edge once.
+//! let tree = mesh.multicast_tree(&mesh.all_pes());
+//! assert_eq!(tree.edges(), 4 * 8 - 1 + 1); // spanning tree + injection link
+//! assert!(tree.max_hops() <= 4 + 8);
+//! # let _ = Pattern::Broadcast;
+//! ```
+
+pub mod analysis;
+pub mod mesh;
+
+pub use analysis::{analyze, DeliveryStats, NocAnalysis, Pattern};
+pub use mesh::{Mesh, MulticastTree, PeId};

@@ -1,0 +1,242 @@
+//! The 2-D mesh topology: XY routing and multicast trees.
+
+/// A PE coordinate on the mesh: `(row, col)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeId {
+    /// Row index (0 = the row adjacent to the scratchpad injector).
+    pub row: u32,
+    /// Column index (0 = the column adjacent to the injector).
+    pub col: u32,
+}
+
+/// A `rows x cols` mesh of PEs with a single injection point at the
+/// north-west corner, matching the Figure 2 organization (scratchpad
+/// feeding rows of PEs through per-row interconnects).
+///
+/// Links are unidirectional mesh edges; XY routing sends a flit along
+/// the injector row first, then down its destination column. (The Figure
+/// 2 fabric is a row-bus + column-queue structure; the XY mesh is its
+/// conservative superset.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    rows: u32,
+    cols: u32,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        Mesh { rows, cols }
+    }
+
+    /// Builds a mesh matching a hardware configuration's PE array.
+    pub fn for_hw(hw: &spotlight_accel::HardwareConfig) -> Self {
+        Mesh::new(hw.pe_rows(), hw.pe_width())
+    }
+
+    /// Rows in the mesh.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Columns in the mesh.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// All PE coordinates, row-major.
+    pub fn all_pes(&self) -> Vec<PeId> {
+        (0..self.rows)
+            .flat_map(|row| (0..self.cols).map(move |col| PeId { row, col }))
+            .collect()
+    }
+
+    /// The PEs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: u32) -> Vec<PeId> {
+        assert!(row < self.rows, "row out of range");
+        (0..self.cols).map(|col| PeId { row, col }).collect()
+    }
+
+    /// The PEs of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: u32) -> Vec<PeId> {
+        assert!(col < self.cols, "column out of range");
+        (0..self.rows).map(|row| PeId { row, col }).collect()
+    }
+
+    /// XY-routing hop count from the injector (north-west corner, one
+    /// injection link above `(0,0)`) to `dst`: 1 injection hop + column
+    /// hops along row 0 + row hops down the destination column.
+    pub fn hops_to(&self, dst: PeId) -> u32 {
+        assert!(dst.row < self.rows && dst.col < self.cols, "PE out of range");
+        1 + dst.col + dst.row
+    }
+
+    /// Builds the XY multicast tree covering `dsts`: the union of every
+    /// destination's XY path, counted as a set of directed links, so
+    /// shared prefixes are paid once — the hardware's multicast saving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` is empty or contains out-of-range PEs.
+    pub fn multicast_tree(&self, dsts: &[PeId]) -> MulticastTree {
+        assert!(!dsts.is_empty(), "multicast needs at least one destination");
+        let mut row0_reach: u32 = 0; // columns covered on the trunk row
+        let mut col_reach = vec![0u32; self.cols as usize]; // depth per column
+        let mut max_hops = 0;
+        for &d in dsts {
+            assert!(d.row < self.rows && d.col < self.cols, "PE out of range");
+            row0_reach = row0_reach.max(d.col);
+            let depth = &mut col_reach[d.col as usize];
+            *depth = (*depth).max(d.row);
+            max_hops = max_hops.max(self.hops_to(d));
+        }
+        // Injection link + trunk links along row 0 + column branch links.
+        let edges = 1 + row0_reach + col_reach.iter().sum::<u32>();
+        MulticastTree {
+            edges,
+            max_hops,
+            trunk_edges: 1 + row0_reach,
+            leaf_count: dsts.len() as u32,
+        }
+    }
+}
+
+/// The shape of one multicast delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulticastTree {
+    edges: u32,
+    max_hops: u32,
+    trunk_edges: u32,
+    leaf_count: u32,
+}
+
+impl MulticastTree {
+    /// Total directed links the flit traverses (energy cost of one
+    /// multicast).
+    pub fn edges(&self) -> u32 {
+        self.edges
+    }
+
+    /// Longest injector-to-leaf path (latency of one multicast).
+    pub fn max_hops(&self) -> u32 {
+        self.max_hops
+    }
+
+    /// Links on the shared trunk (row 0 + injection) — the serialization
+    /// bottleneck when many distinct values stream in.
+    pub fn trunk_edges(&self) -> u32 {
+        self.trunk_edges
+    }
+
+    /// Destinations served.
+    pub fn leaf_count(&self) -> u32 {
+        self.leaf_count
+    }
+
+    /// Energy saving of the tree versus unicasting to every leaf
+    /// independently: `(sum of unicast hop counts) / edges`. Always >= 1
+    /// for more than one leaf on shared paths.
+    pub fn multicast_gain(&self, mesh: &Mesh, dsts: &[PeId]) -> f64 {
+        let unicast: u32 = dsts.iter().map(|&d| mesh.hops_to(d)).sum();
+        unicast as f64 / self.edges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hops_are_manhattan_plus_injection() {
+        let m = Mesh::new(4, 8);
+        assert_eq!(m.hops_to(PeId { row: 0, col: 0 }), 1);
+        assert_eq!(m.hops_to(PeId { row: 3, col: 7 }), 11);
+    }
+
+    #[test]
+    fn broadcast_tree_is_spanning() {
+        let m = Mesh::new(3, 5);
+        let t = m.multicast_tree(&m.all_pes());
+        // Trunk: injection + 4 row links; branches: 2 per column x 5.
+        assert_eq!(t.edges(), 1 + 4 + 2 * 5);
+        assert_eq!(t.leaf_count(), 15);
+    }
+
+    #[test]
+    fn single_destination_tree_is_its_path() {
+        let m = Mesh::new(4, 4);
+        let d = PeId { row: 2, col: 3 };
+        let t = m.multicast_tree(&[d]);
+        assert_eq!(t.edges(), m.hops_to(d));
+        assert_eq!(t.max_hops(), m.hops_to(d));
+    }
+
+    #[test]
+    fn row_multicast_cheaper_than_column_on_wide_arrays() {
+        // On a wide, short array, delivering to one *column* is cheap
+        // (short branches) while one *row* spans the long axis — the
+        // geometry behind Spotlight's narrow-array preference.
+        let wide = Mesh::new(2, 16);
+        let row_tree = wide.multicast_tree(&wide.row(0));
+        let col_tree = wide.multicast_tree(&wide.column(0));
+        assert!(col_tree.edges() < row_tree.edges());
+    }
+
+    #[test]
+    fn multicast_gain_at_least_one_for_shared_paths() {
+        let m = Mesh::new(4, 4);
+        let dsts = m.column(2);
+        let t = m.multicast_tree(&dsts);
+        assert!(t.multicast_gain(&m, &dsts) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mesh_rejected() {
+        let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_destination_rejected() {
+        let m = Mesh::new(2, 2);
+        let _ = m.multicast_tree(&[PeId { row: 5, col: 0 }]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tree_edges_bounded_by_sum_of_paths(
+            rows in 1u32..8, cols in 1u32..8, seed in 0u64..1000,
+        ) {
+            let m = Mesh::new(rows, cols);
+            // Deterministic pseudo-random subset of PEs.
+            let dsts: Vec<PeId> = m
+                .all_pes()
+                .into_iter()
+                .filter(|p| !(p.row as u64 * 31 + p.col as u64 * 17 + seed).is_multiple_of(3))
+                .collect();
+            prop_assume!(!dsts.is_empty());
+            let t = m.multicast_tree(&dsts);
+            let unicast: u32 = dsts.iter().map(|&d| m.hops_to(d)).sum();
+            prop_assert!(t.edges() <= unicast);
+            prop_assert!(t.max_hops() <= rows + cols);
+            prop_assert!(t.edges() >= t.max_hops());
+        }
+    }
+}

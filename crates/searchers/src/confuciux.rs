@@ -1,0 +1,284 @@
+//! A ConfuciuX-like HW/SW co-design baseline.
+//!
+//! ConfuciuX (Kao et al., MICRO 2020) assigns hardware resources with
+//! reinforcement learning and refines with a genetic algorithm. Its
+//! software space is three fixed dataflows (Eyeriss-, NVDLA-,
+//! ShiDianNao-like) and it does not search tile sizes or loop orders —
+//! the restriction Section VII identifies as the reason it trails
+//! Spotlight. This module reproduces that *shape*: a REINFORCE-style
+//! policy over discretized hardware parameters plus the categorical
+//! dataflow choice, followed by GA refinement over the same space.
+
+use rand::{Rng, RngCore};
+
+use spotlight_accel::{DataflowStyle, HardwareConfig};
+use spotlight_conv::factor::{divisors, nearest_divisor};
+use spotlight_dabo::Search;
+use spotlight_space::ParamRanges;
+
+/// The point type ConfuciuX searches: a hardware configuration plus one
+/// of the three rigid dataflow styles. Tile sizes and loop orders are
+/// *derived* from the style, never searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfuciuXPoint {
+    /// The hardware half.
+    pub hw: HardwareConfig,
+    /// Which rigid schedule family the accelerator runs.
+    pub style: DataflowStyle,
+}
+
+/// Number of buckets each continuous hardware parameter is quantized
+/// into for the categorical policy.
+const BUCKETS: usize = 8;
+/// Hardware parameter slots: pes, width-rank, simd, rf, l2, bandwidth.
+const HW_SLOTS: usize = 6;
+/// Index of the dataflow-style slot.
+const STYLE_SLOT: usize = HW_SLOTS;
+
+/// REINFORCE-style policy-gradient search with GA refinement.
+///
+/// Each parameter slot holds a categorical softmax policy over `BUCKETS`
+/// options (3 for the style slot). `suggest` samples every slot;
+/// `observe` applies a policy-gradient step with a moving-average
+/// baseline on the reward `-ln(cost)`. After `rl_budget` observations the
+/// search switches to mutation-based hill climbing around the best point
+/// found (the GA refinement stage of the original tool).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spotlight_dabo::Search;
+/// use spotlight_searchers::ConfuciuXSearch;
+/// use spotlight_space::ParamRanges;
+///
+/// let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 40);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let p = cx.suggest(&mut rng);
+/// assert!(ParamRanges::edge().contains(&p.hw));
+/// ```
+pub struct ConfuciuXSearch {
+    ranges: ParamRanges,
+    /// Per-slot softmax preferences.
+    logits: Vec<Vec<f64>>,
+    /// Slots sampled for the most recent suggestion (for the gradient).
+    last_choice: Option<Vec<usize>>,
+    /// Moving-average reward baseline.
+    baseline: f64,
+    baseline_n: usize,
+    learning_rate: f64,
+    rl_budget: usize,
+    history: Vec<f64>,
+    points: Vec<ConfuciuXPoint>,
+    best: Option<(usize, f64)>,
+}
+
+impl ConfuciuXSearch {
+    /// Creates a search over `ranges` that runs `rl_budget` RL steps
+    /// before switching to GA refinement.
+    pub fn new(ranges: ParamRanges, rl_budget: usize) -> Self {
+        let mut logits = vec![vec![0.0; BUCKETS]; HW_SLOTS];
+        logits.push(vec![0.0; DataflowStyle::RIGID.len()]);
+        ConfuciuXSearch {
+            ranges,
+            logits,
+            last_choice: None,
+            baseline: 0.0,
+            baseline_n: 0,
+            learning_rate: 0.15,
+            rl_budget,
+            history: Vec::new(),
+            points: Vec::new(),
+            best: None,
+        }
+    }
+
+    /// Whether the search is still in its RL phase.
+    pub fn in_rl_phase(&self) -> bool {
+        self.history.len() < self.rl_budget
+    }
+
+    fn softmax(logits: &[f64]) -> Vec<f64> {
+        let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - m).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    fn sample_slot(&self, slot: usize, rng: &mut dyn RngCore) -> usize {
+        let probs = Self::softmax(&self.logits[slot]);
+        let mut u: f64 = rng.gen();
+        for (i, p) in probs.iter().enumerate() {
+            if u < *p {
+                return i;
+            }
+            u -= p;
+        }
+        probs.len() - 1
+    }
+
+    /// Decodes bucket indices into a concrete point.
+    fn decode(&self, choice: &[usize]) -> ConfuciuXPoint {
+        let lerp = |(lo, hi): (u32, u32), b: usize| {
+            lo + ((hi - lo) as u64 * b as u64 / (BUCKETS as u64 - 1)) as u32
+        };
+        let pes = lerp(self.ranges.pes, choice[0]);
+        let widths = divisors(pes as u64);
+        let width = widths[choice[1] * (widths.len() - 1) / (BUCKETS - 1)] as u32;
+        let simd = lerp(self.ranges.simd_lanes, choice[2]);
+        let rf = snap(lerp(self.ranges.rf_kib, choice[3]), self.ranges.rf_kib, self.ranges.rf_stride_kib);
+        let l2 = snap(lerp(self.ranges.l2_kib, choice[4]), self.ranges.l2_kib, self.ranges.l2_stride_kib);
+        let bw = lerp(self.ranges.noc_bandwidth, choice[5]);
+        let hw = HardwareConfig::new(pes, width, simd, rf, l2, bw)
+            .expect("width drawn from divisors of pes");
+        ConfuciuXPoint {
+            hw,
+            style: DataflowStyle::RIGID[choice[STYLE_SLOT]],
+        }
+    }
+
+    fn ga_refine(&self, rng: &mut dyn RngCore) -> ConfuciuXPoint {
+        let (base, _) = self
+            .best
+            .map(|(i, c)| (self.points[i], c))
+            .expect("GA phase starts after observations");
+        // Mutate one hardware parameter of the incumbent.
+        let hw = spotlight_space::mutate::mutate_hw(rng, &base.hw, &self.ranges);
+        let style = if rng.gen_bool(0.2) {
+            DataflowStyle::RIGID[rng.gen_range(0..DataflowStyle::RIGID.len())]
+        } else {
+            base.style
+        };
+        ConfuciuXPoint { hw, style }
+    }
+}
+
+fn snap(v: u32, (lo, hi): (u32, u32), stride: u32) -> u32 {
+    let snapped = lo + ((v.saturating_sub(lo) + stride / 2) / stride) * stride;
+    snapped.clamp(lo, hi)
+}
+
+impl Search<ConfuciuXPoint> for ConfuciuXSearch {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> ConfuciuXPoint {
+        if !self.in_rl_phase() && self.best.is_some() {
+            self.last_choice = None;
+            return self.ga_refine(rng);
+        }
+        let choice: Vec<usize> = (0..=STYLE_SLOT).map(|s| self.sample_slot(s, rng)).collect();
+        let point = self.decode(&choice);
+        self.last_choice = Some(choice);
+        point
+    }
+
+    fn observe(&mut self, point: ConfuciuXPoint, cost: f64) {
+        let idx = self.points.len();
+        self.points.push(point);
+        self.history.push(cost);
+        if cost.is_finite() && self.best.is_none_or(|(_, b)| cost < b) {
+            self.best = Some((idx, cost));
+        }
+
+        // Policy-gradient update for RL-phase suggestions.
+        if let Some(choice) = self.last_choice.take() {
+            let reward = if cost.is_finite() && cost > 0.0 {
+                -cost.ln()
+            } else {
+                self.baseline - 10.0
+            };
+            self.baseline_n += 1;
+            self.baseline += (reward - self.baseline) / self.baseline_n as f64;
+            let advantage = reward - self.baseline;
+            for (slot, &c) in choice.iter().enumerate() {
+                let probs = Self::softmax(&self.logits[slot]);
+                for (i, p) in probs.iter().enumerate() {
+                    let indicator = if i == c { 1.0 } else { 0.0 };
+                    self.logits[slot][i] += self.learning_rate * advantage * (indicator - p);
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(&ConfuciuXPoint, f64)> {
+        self.best.map(|(i, c)| (&self.points[i], c))
+    }
+
+    fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
+/// Decodes the best hardware width for tests: exposed so integration
+/// tests can confirm the decoded widths always divide the PE count.
+pub fn width_divides(p: &ConfuciuXPoint) -> bool {
+    p.hw.pes().is_multiple_of(p.hw.pe_width()) && nearest_divisor(p.hw.pes() as u64, p.hw.pe_width() as u64) == p.hw.pe_width() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_dabo::run_minimization;
+
+    #[test]
+    fn suggestions_are_always_valid() {
+        let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            let p = cx.suggest(&mut rng);
+            assert!(ParamRanges::edge().contains(&p.hw), "{}", p.hw);
+            assert!(width_divides(&p));
+            cx.observe(p, 1.0);
+        }
+    }
+
+    #[test]
+    fn rl_phase_learns_a_preference() {
+        // Reward small PE counts: the policy should shift its first-slot
+        // distribution toward bucket 0.
+        let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 400);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = run_minimization(&mut cx, &mut rng, 400, |p| p.hw.pes() as f64);
+        let probs = ConfuciuXSearch::softmax(&cx.logits[0]);
+        let low: f64 = probs[..2].iter().sum();
+        let high: f64 = probs[BUCKETS - 2..].iter().sum();
+        assert!(low > high, "policy did not learn: {probs:?}");
+    }
+
+    #[test]
+    fn ga_phase_kicks_in_after_budget() {
+        let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..5 {
+            let p = cx.suggest(&mut rng);
+            cx.observe(p, 10.0);
+        }
+        assert!(!cx.in_rl_phase());
+        let p = cx.suggest(&mut rng);
+        assert!(ParamRanges::edge().contains(&p.hw));
+    }
+
+    #[test]
+    fn style_slot_stays_in_rigid_menu() {
+        let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 1000);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = cx.suggest(&mut rng);
+            assert!(DataflowStyle::RIGID.contains(&p.style));
+            cx.observe(p, 1.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_costs_do_not_poison_baseline() {
+        let mut cx = ConfuciuXSearch::new(ParamRanges::edge(), 50);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for i in 0..50 {
+            let p = cx.suggest(&mut rng);
+            let cost = if i % 2 == 0 { f64::INFINITY } else { 100.0 };
+            cx.observe(p, cost);
+        }
+        assert!(cx.baseline.is_finite());
+        assert!(cx.best().is_some());
+    }
+}

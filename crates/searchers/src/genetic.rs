@@ -1,0 +1,255 @@
+//! Genetic algorithm (Spotlight-GA).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+use spotlight_dabo::{CrossoverOp, MutateOp, Sampler, Search};
+
+/// A steady-state genetic algorithm behind the ask/tell interface:
+/// tournament parent selection over the evaluated pool, crossover,
+/// mutation, and elitist truncation of the pool.
+///
+/// The operators are supplied as closures so the same engine searches the
+/// hardware space (with [`spotlight_space::mutate::mutate_hw`] and
+/// friends) and the schedule space.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use spotlight_dabo::{run_minimization, Search};
+/// use spotlight_searchers::Genetic;
+///
+/// // Minimize |x - 50| over integers via bit-flip-ish mutation.
+/// let mut ga = Genetic::new(
+///     16,
+///     0.4,
+///     |rng: &mut dyn rand::RngCore| rand::Rng::gen_range(rng, 0..1000i64),
+///     |rng, x| x + rand::Rng::gen_range(rng, -10..=10),
+///     |rng, a, b| if rand::Rng::gen_bool(rng, 0.5) { *a } else { *b },
+/// );
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let t = run_minimization(&mut ga, &mut rng, 150, |x| (x - 50).abs() as f64);
+/// assert!(t.final_best().unwrap() < 10.0);
+/// ```
+pub struct Genetic<P> {
+    population_size: usize,
+    mutation_rate: f64,
+    sampler: Sampler<P>,
+    mutate: MutateOp<P>,
+    crossover: CrossoverOp<P>,
+    /// Evaluated pool, truncated elitistically to `population_size`.
+    pool: Vec<(P, f64)>,
+    history: Vec<f64>,
+    best: Option<(P, f64)>,
+}
+
+impl<P: Clone> Genetic<P> {
+    /// Creates a GA with the given population size, per-child mutation
+    /// probability, and operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population_size == 0` or `mutation_rate` is outside
+    /// `[0, 1]`.
+    pub fn new(
+        population_size: usize,
+        mutation_rate: f64,
+        sampler: impl FnMut(&mut dyn RngCore) -> P + 'static,
+        mutate: impl FnMut(&mut dyn RngCore, &P) -> P + 'static,
+        crossover: impl FnMut(&mut dyn RngCore, &P, &P) -> P + 'static,
+    ) -> Self {
+        assert!(population_size > 0, "population must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&mutation_rate),
+            "mutation rate must be a probability"
+        );
+        Genetic {
+            population_size,
+            mutation_rate,
+            sampler: Box::new(sampler),
+            mutate: Box::new(mutate),
+            crossover: Box::new(crossover),
+            pool: Vec::new(),
+            history: Vec::new(),
+            best: None,
+        }
+    }
+
+    /// Binary tournament over the evaluated pool.
+    fn tournament<'a>(&'a self, rng: &mut dyn RngCore) -> &'a P {
+        let a = self.pool.choose(rng).expect("pool non-empty");
+        let b = self.pool.choose(rng).expect("pool non-empty");
+        if a.1 <= b.1 {
+            &a.0
+        } else {
+            &b.0
+        }
+    }
+
+    /// Current evaluated pool size (for tests and diagnostics).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+impl<P: Clone> Search<P> for Genetic<P> {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> P {
+        // Fill the initial population randomly.
+        if self.pool.len() < self.population_size {
+            return (self.sampler)(rng);
+        }
+        let a = self.tournament(rng).clone();
+        let b = self.tournament(rng).clone();
+        let mut child = (self.crossover)(rng, &a, &b);
+        if rng.gen_bool(self.mutation_rate) {
+            child = (self.mutate)(rng, &child);
+        }
+        child
+    }
+
+    fn observe(&mut self, point: P, cost: f64) {
+        self.history.push(cost);
+        if cost.is_finite() && self.best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            self.best = Some((point.clone(), cost));
+        }
+        self.pool.push((point, cost));
+        if self.pool.len() > self.population_size {
+            // Elitist truncation: drop the worst (infeasible points sort
+            // last because INFINITY compares greatest under total_cmp).
+            self.pool.sort_by(|a, b| a.1.total_cmp(&b.1));
+            self.pool.truncate(self.population_size);
+        }
+    }
+
+    fn best(&self) -> Option<(&P, f64)> {
+        self.best.as_ref().map(|(p, c)| (p, *c))
+    }
+
+    fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_dabo::run_minimization;
+
+    fn int_ga(pop: usize) -> Genetic<i64> {
+        Genetic::new(
+            pop,
+            0.5,
+            |rng: &mut dyn RngCore| rng.gen_range(0..10_000i64),
+            |rng, x| (x + rng.gen_range(-100..=100)).clamp(0, 10_000),
+            |rng, a, b| if rng.gen_bool(0.5) { *a } else { *b },
+        )
+    }
+
+    #[test]
+    fn improves_beyond_initial_population() {
+        let mut ga = int_ga(12);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cost = |x: &i64| (x - 7_777).abs() as f64;
+        let t = run_minimization(&mut ga, &mut rng, 120, cost);
+        let init_best = t.best_so_far()[11];
+        let final_best = t.final_best().unwrap();
+        assert!(final_best < init_best, "{final_best} !< {init_best}");
+        assert!(final_best < 500.0);
+    }
+
+    #[test]
+    fn pool_is_truncated_elitistically() {
+        let mut ga = int_ga(4);
+        for i in 0..10 {
+            ga.observe(i, (10 - i) as f64);
+        }
+        assert_eq!(ga.pool_len(), 4);
+        // The best (lowest-cost) survivors are the last observations.
+        assert_eq!(ga.best().map(|(p, c)| (*p, c)), Some((9, 1.0)));
+    }
+
+    #[test]
+    fn infeasible_points_are_purged_first() {
+        let mut ga = int_ga(3);
+        ga.observe(1, f64::INFINITY);
+        ga.observe(2, 5.0);
+        ga.observe(3, 4.0);
+        ga.observe(4, 3.0);
+        // Pool holds the three finite points; INFINITY was dropped.
+        assert!(ga.pool.iter().all(|(_, c)| c.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zero_population_rejected() {
+        let _ = Genetic::new(
+            0,
+            0.5,
+            |_: &mut dyn RngCore| 0i64,
+            |_, x| *x,
+            |_, a, _| *a,
+        );
+    }
+}
+
+#[cfg(test)]
+mod recombination_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn children_come_from_parent_pool_after_warmup() {
+        // Parents are two distinct plateaus; every child must be one of
+        // the two values (crossover picks a parent gene) or a mutation of
+        // one (+-5 here).
+        let mut ga = Genetic::new(
+            4,
+            0.0, // no mutation: children are pure crossovers
+            |rng: &mut dyn RngCore| rng.gen_range(0..2i64) * 1000,
+            |_, x| *x,
+            |rng, a, b| if rng.gen_bool(0.5) { *a } else { *b },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..4 {
+            let p = ga.suggest(&mut rng);
+            ga.observe(p, p as f64);
+        }
+        for _ in 0..30 {
+            let child = ga.suggest(&mut rng);
+            assert!(child == 0 || child == 1000, "child {child} not from pool");
+            ga.observe(child, child as f64);
+        }
+    }
+
+    #[test]
+    fn selection_pressure_prefers_fitter_parents() {
+        // With a pool of mixed fitness, tournament selection should
+        // produce children matching the fitter plateau more often.
+        let mut ga = Genetic::new(
+            8,
+            0.0,
+            |rng: &mut dyn RngCore| rng.gen_range(0..2i64),
+            |_, x| *x,
+            |rng, a, b| if rng.gen_bool(0.5) { *a } else { *b },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..8 {
+            let p = ga.suggest(&mut rng);
+            // 0 is fit (cost 0), 1 is unfit (cost 100).
+            ga.observe(p, p as f64 * 100.0);
+        }
+        let mut zeros = 0;
+        for _ in 0..60 {
+            let child = ga.suggest(&mut rng);
+            if child == 0 {
+                zeros += 1;
+            }
+            ga.observe(child, child as f64 * 100.0);
+        }
+        assert!(zeros > 40, "only {zeros}/60 children from the fit plateau");
+    }
+}

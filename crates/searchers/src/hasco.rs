@@ -1,0 +1,145 @@
+//! A HASCO-like co-design baseline.
+//!
+//! HASCO (Xiao et al., ISCA 2021) combines Bayesian optimization over
+//! hardware with reinforcement learning over intermediate representations
+//! but "uses a fixed software schedule" (Section VII). This baseline
+//! reproduces that restriction: off-the-shelf BO (raw hardware parameters
+//! as surrogate inputs — no domain features) with one fixed dataflow
+//! style applied to every layer.
+
+use rand::RngCore;
+
+use spotlight_accel::{DataflowStyle, HardwareConfig};
+use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind};
+use spotlight_gp::Kernel;
+use spotlight_space::{sample, ParamRanges};
+
+/// Raw-parameter encoding of a hardware configuration (the vanilla-BO
+/// surrogate input: no domain information).
+pub fn raw_hw_features(hw: &HardwareConfig) -> Vec<f64> {
+    vec![
+        hw.pes() as f64,
+        hw.pe_width() as f64,
+        hw.simd_lanes() as f64,
+        hw.rf_kib() as f64,
+        hw.l2_kib() as f64,
+        hw.noc_bandwidth() as f64,
+    ]
+}
+
+/// Number of raw hardware features.
+pub const RAW_HW_DIM: usize = 6;
+
+/// The raw-feature map HASCO's BO runs on.
+type RawHwFeatureMap = FnFeatureMap<fn(&HardwareConfig) -> Vec<f64>>;
+
+/// HASCO-like search: vanilla BO over hardware with a fixed schedule
+/// style.
+///
+/// The driver must evaluate each suggested configuration with
+/// [`HascoSearch::style`]'s schedule on every layer — the tool itself
+/// never proposes schedules.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spotlight_dabo::Search;
+/// use spotlight_searchers::HascoSearch;
+/// use spotlight_space::ParamRanges;
+///
+/// let mut h = HascoSearch::new(ParamRanges::edge());
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let hw = h.suggest(&mut rng);
+/// assert!(ParamRanges::edge().contains(&hw));
+/// ```
+pub struct HascoSearch {
+    inner: Dabo<HardwareConfig, RawHwFeatureMap>,
+    style: DataflowStyle,
+}
+
+impl HascoSearch {
+    /// Creates a HASCO-like search over `ranges` with the
+    /// weight-stationary fixed schedule (HASCO's tensorize templates are
+    /// closest to weight-stationary GEMM dataflows).
+    pub fn new(ranges: ParamRanges) -> Self {
+        let config = DaboConfig {
+            // Off-the-shelf BO: Matérn kernel on raw parameters.
+            surrogate: SurrogateKind::Gp(Kernel::matern52(2.0)),
+            ..DaboConfig::default()
+        };
+        let fm = FnFeatureMap::new(RAW_HW_DIM, raw_hw_features as fn(&HardwareConfig) -> Vec<f64>);
+        let inner = Dabo::new(config, fm, move |rng: &mut dyn RngCore| {
+            sample::sample_hw(rng, &ranges)
+        });
+        HascoSearch {
+            inner,
+            style: DataflowStyle::WeightStationary,
+        }
+    }
+
+    /// The fixed software-schedule style this tool applies to every layer.
+    pub fn style(&self) -> DataflowStyle {
+        self.style
+    }
+}
+
+impl Search<HardwareConfig> for HascoSearch {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> HardwareConfig {
+        self.inner.suggest(rng)
+    }
+
+    fn observe(&mut self, point: HardwareConfig, cost: f64) {
+        self.inner.observe(point, cost);
+    }
+
+    fn best(&self) -> Option<(&HardwareConfig, f64)> {
+        self.inner.best()
+    }
+
+    fn history(&self) -> &[f64] {
+        self.inner.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_dabo::run_minimization;
+
+    #[test]
+    fn optimizes_a_simple_hw_objective() {
+        // Favor maximum PEs: BO should find near-300-PE configs quickly.
+        let mut h = HascoSearch::new(ParamRanges::edge());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = run_minimization(&mut h, &mut rng, 40, |hw| {
+            (300 - hw.pes()) as f64 + 1.0
+        });
+        assert!(t.final_best().unwrap() < 60.0);
+    }
+
+    #[test]
+    fn fixed_style_is_weight_stationary() {
+        let h = HascoSearch::new(ParamRanges::edge());
+        assert_eq!(h.style(), DataflowStyle::WeightStationary);
+    }
+
+    #[test]
+    fn raw_features_have_declared_dim() {
+        let hw = HardwareConfig::new(128, 16, 2, 64, 128, 64).unwrap();
+        assert_eq!(raw_hw_features(&hw).len(), RAW_HW_DIM);
+    }
+
+    #[test]
+    fn suggestions_stay_in_range() {
+        let mut h = HascoSearch::new(ParamRanges::cloud());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..30 {
+            let hw = h.suggest(&mut rng);
+            assert!(ParamRanges::cloud().contains(&hw));
+            h.observe(hw, 1.0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Baseline search algorithms for the Section VII-E ablation.
+//!
+//! Spotlight's claim is comparative: daBO must beat off-the-shelf search
+//! at an equal evaluation budget. This crate provides the competitors,
+//! all behind the same [`spotlight_dabo::Search`] ask/tell interface:
+//!
+//! - [`RandomSearch`] — Spotlight-R,
+//! - [`Genetic`] — Spotlight-GA (tournament selection, crossover,
+//!   mutation, elitist truncation),
+//! - [`ConfuciuXSearch`] — a ConfuciuX-like tool: REINFORCE-style policy
+//!   gradient over *discretized hardware parameters and a three-way
+//!   dataflow choice*, followed by a GA refinement phase. Like the real
+//!   ConfuciuX it never searches tile sizes or loop orders,
+//! - [`HascoSearch`] — a HASCO-like tool: Bayesian optimization over the
+//!   hardware with one *fixed* software schedule style.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! use spotlight_dabo::{run_minimization, Search};
+//! use spotlight_searchers::RandomSearch;
+//!
+//! let mut rs = RandomSearch::new(|rng: &mut dyn rand::RngCore| {
+//!     rand::Rng::gen_range(rng, 0.0..1.0f64)
+//! });
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let trace = run_minimization(&mut rs, &mut rng, 50, |x| (x - 0.3).abs());
+//! assert!(trace.final_best().unwrap() < 0.2);
+//! ```
+
+pub mod confuciux;
+pub mod genetic;
+pub mod hasco;
+pub mod random;
+
+pub use confuciux::{ConfuciuXPoint, ConfuciuXSearch};
+pub use genetic::Genetic;
+pub use hasco::HascoSearch;
+pub use random::RandomSearch;

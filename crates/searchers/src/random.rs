@@ -1,0 +1,85 @@
+//! Uniform random search (Spotlight-R).
+
+use rand::RngCore;
+
+use spotlight_dabo::{Sampler, Search};
+
+/// Uniform random search: every suggestion is an independent draw from
+/// the parameter-space sampler. The weakest baseline of Figure 10, but an
+/// honest one — its CDF in Figure 11 is the unbiased picture of the raw
+/// co-design space.
+pub struct RandomSearch<P> {
+    sampler: Sampler<P>,
+    points: Vec<P>,
+    costs: Vec<f64>,
+    best: Option<(usize, f64)>,
+}
+
+impl<P> RandomSearch<P> {
+    /// Creates a random search over the given sampler.
+    pub fn new(sampler: impl FnMut(&mut dyn RngCore) -> P + 'static) -> Self {
+        RandomSearch {
+            sampler: Box::new(sampler),
+            points: Vec::new(),
+            costs: Vec::new(),
+            best: None,
+        }
+    }
+}
+
+impl<P> Search<P> for RandomSearch<P> {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> P {
+        (self.sampler)(rng)
+    }
+
+    fn observe(&mut self, point: P, cost: f64) {
+        let idx = self.points.len();
+        self.points.push(point);
+        self.costs.push(cost);
+        if cost.is_finite() && self.best.is_none_or(|(_, b)| cost < b) {
+            self.best = Some((idx, cost));
+        }
+    }
+
+    fn best(&self) -> Option<(&P, f64)> {
+        self.best.map(|(i, c)| (&self.points[i], c))
+    }
+
+    fn history(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_dabo::run_minimization;
+
+    #[test]
+    fn tracks_best_and_history() {
+        let mut rs = RandomSearch::new(|rng: &mut dyn RngCore| rng.gen_range(0..100u32));
+        rs.observe(10, 5.0);
+        rs.observe(20, f64::INFINITY);
+        rs.observe(30, 2.0);
+        assert_eq!(rs.best().map(|(p, c)| (*p, c)), Some((30, 2.0)));
+        assert_eq!(rs.history(), &[5.0, f64::INFINITY, 2.0]);
+    }
+
+    #[test]
+    fn converges_at_rate_of_uniform_sampling() {
+        let mut rs = RandomSearch::new(|rng: &mut dyn RngCore| rng.gen_range(0.0..1.0f64));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = run_minimization(&mut rs, &mut rng, 200, |x| *x);
+        // Expected min of 200 uniforms ~ 1/201.
+        assert!(t.final_best().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn no_best_when_everything_infeasible() {
+        let mut rs = RandomSearch::new(|_: &mut dyn RngCore| 0u8);
+        rs.observe(0, f64::INFINITY);
+        assert!(rs.best().is_none());
+    }
+}

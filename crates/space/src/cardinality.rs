@@ -1,0 +1,80 @@
+//! Design-space size accounting.
+//!
+//! Section IV opens with the claim that the co-design space is massive —
+//! *O(10^18)* for a single layer of ResNet-50. These functions count the
+//! space exactly (as `f64`, since the counts overflow `u64`) so the claim
+//! is reproducible and printed by the `fig3_space` experiment binary.
+
+use spotlight_conv::factor::divisor_count;
+use spotlight_conv::ConvLayer;
+
+use crate::param::ParamRanges;
+
+/// Number of distinct hardware configurations under `ranges`: for every
+/// PE count, every divisor is a legal width, times the SIMD, SRAM-grid and
+/// bandwidth choices.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_space::{cardinality, ParamRanges};
+/// let n = cardinality::hw_space_size(&ParamRanges::edge());
+/// assert!(n > 1e8); // hundreds of millions of hardware points
+/// ```
+pub fn hw_space_size(ranges: &ParamRanges) -> f64 {
+    let pes_and_widths: f64 = (ranges.pes.0..=ranges.pes.1)
+        .map(|p| divisor_count(p as u64) as f64)
+        .sum();
+    let simd = (ranges.simd_lanes.1 - ranges.simd_lanes.0 + 1) as f64;
+    let bw = (ranges.noc_bandwidth.1 - ranges.noc_bandwidth.0 + 1) as f64;
+    let l2 = ranges.l2_grid().len() as f64;
+    let rf = ranges.rf_grid().len() as f64;
+    pes_and_widths * simd * bw * l2 * rf
+}
+
+/// Number of software schedules for one layer (legal 3-level tilings x
+/// two loop orders x two unroll dimensions). Delegates to
+/// [`ConvLayer::sw_space_size`].
+pub fn sw_space_size(layer: &ConvLayer) -> f64 {
+    layer.sw_space_size()
+}
+
+/// Joint co-design space size for a single layer.
+pub fn codesign_space_size(ranges: &ParamRanges, layer: &ConvLayer) -> f64 {
+    hw_space_size(ranges) * sw_space_size(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_layer_space_matches_paper_order_of_magnitude() {
+        // Section IV: "O(10^18) for a single layer of ResNet-50".
+        let layer = ConvLayer::new(1, 256, 128, 3, 3, 28, 28);
+        let total = codesign_space_size(&ParamRanges::edge(), &layer);
+        assert!(total > 1e18, "space = {total:e}");
+    }
+
+    #[test]
+    fn hw_space_is_finite_and_positive() {
+        let n = hw_space_size(&ParamRanges::edge());
+        assert!(n.is_finite() && n > 0.0);
+    }
+
+    #[test]
+    fn cloud_space_larger_than_edge() {
+        let layer = ConvLayer::new(1, 64, 64, 3, 3, 28, 28);
+        assert!(
+            codesign_space_size(&ParamRanges::cloud(), &layer)
+                > codesign_space_size(&ParamRanges::edge(), &layer)
+        );
+    }
+
+    #[test]
+    fn sw_space_grows_with_layer_size() {
+        let small = ConvLayer::new(1, 8, 8, 3, 3, 7, 7);
+        let large = ConvLayer::new(1, 256, 256, 3, 3, 56, 56);
+        assert!(sw_space_size(&small) < sw_space_size(&large));
+    }
+}

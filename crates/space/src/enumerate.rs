@@ -1,0 +1,258 @@
+//! Exhaustive enumeration of small schedule spaces.
+//!
+//! For layers small enough, every legal schedule can be enumerated,
+//! giving the *ground-truth optimum* that sampled searches can be
+//! validated against (the workspace's integration tests use this to
+//! check how close daBO gets with a few dozen samples). The iterator is
+//! lazy so callers can bound work; [`space_size`] reports the count in
+//! advance.
+
+use spotlight_conv::factor::{divisor_chain_count, tiling_chains};
+use spotlight_conv::{ConvLayer, Dim, LoopPermutation, DIMS, NUM_DIMS};
+
+use crate::schedule::{Schedule, TileSizes};
+
+/// Number of legal schedules for `layer` when loop orders are restricted
+/// to `orders_per_level` choices per level (the full space uses all
+/// `7! = 5040`).
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_space::enumerate::space_size;
+///
+/// let layer = ConvLayer::new(1, 2, 2, 1, 1, 2, 2);
+/// // 4 dims of extent 2 (3 chains each), 3 of extent 1 (1 chain each):
+/// // 81 tilings x orders^2 x 49 unrolls.
+/// assert_eq!(space_size(&layer, 1), 81.0 * 49.0);
+/// ```
+pub fn space_size(layer: &ConvLayer, orders_per_level: u64) -> f64 {
+    let tilings: f64 = DIMS
+        .iter()
+        .map(|&d| divisor_chain_count(layer.extent(d), 3) as f64)
+        .product();
+    tilings * (orders_per_level * orders_per_level) as f64 * 49.0
+}
+
+/// Enumerates every legal schedule of `layer`, with loop orders drawn
+/// from `orders` (both levels range over the same list). Pass a single
+/// canonical order to enumerate tilings-and-unrolls only, or slices of
+/// all 5040 permutations for the complete space.
+///
+/// The iterator yields schedules lazily; collect with care — see
+/// [`space_size`].
+pub fn enumerate_schedules<'a>(
+    layer: &'a ConvLayer,
+    orders: &'a [LoopPermutation],
+) -> impl Iterator<Item = Schedule> + 'a {
+    assert!(!orders.is_empty(), "need at least one loop order");
+    let per_dim: Vec<Vec<(u64, u64, u64)>> = DIMS
+        .iter()
+        .map(|&d| tiling_chains(layer.extent(d)))
+        .collect();
+    TilingIter::new(per_dim).flat_map(move |tiles_arrays| {
+        let (l2, rf) = tiles_arrays;
+        let tiles = TileSizes::new(layer, l2, rf).expect("enumerated chains are legal");
+        orders.iter().flat_map(move |&outer| {
+            orders.iter().flat_map(move |&inner| {
+                DIMS.iter().flat_map(move |&du0| {
+                    DIMS.iter().map(move |&du1| {
+                        Schedule::new(tiles, outer, inner, du0, du1)
+                    })
+                })
+            })
+        })
+    })
+}
+
+/// Odometer over the per-dimension divisor chains.
+struct TilingIter {
+    per_dim: Vec<Vec<(u64, u64, u64)>>,
+    indices: [usize; NUM_DIMS],
+    done: bool,
+}
+
+impl TilingIter {
+    fn new(per_dim: Vec<Vec<(u64, u64, u64)>>) -> Self {
+        let done = per_dim.iter().any(Vec::is_empty);
+        TilingIter {
+            per_dim,
+            indices: [0; NUM_DIMS],
+            done,
+        }
+    }
+}
+
+impl Iterator for TilingIter {
+    type Item = ([u64; NUM_DIMS], [u64; NUM_DIMS]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut l2 = [0u64; NUM_DIMS];
+        let mut rf = [0u64; NUM_DIMS];
+        for i in 0..NUM_DIMS {
+            let (_, t1, t2) = self.per_dim[i][self.indices[i]];
+            l2[i] = t1;
+            rf[i] = t2;
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == NUM_DIMS {
+                self.done = true;
+                break;
+            }
+            self.indices[i] += 1;
+            if self.indices[i] < self.per_dim[i].len() {
+                break;
+            }
+            self.indices[i] = 0;
+            i += 1;
+        }
+        Some((l2, rf))
+    }
+}
+
+/// Finds the exact optimum of `cost` over the restricted space (tilings
+/// and unrolls exhaustive, the given loop orders), skipping candidates
+/// where `cost` returns `None` (infeasible).
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::{ConvLayer, LoopPermutation};
+/// use spotlight_space::enumerate::brute_force_optimum;
+///
+/// let layer = ConvLayer::new(1, 2, 2, 1, 1, 2, 2);
+/// let orders = [LoopPermutation::canonical()];
+/// // Minimize the RF-tile MAC count (silly but deterministic): optimum 1.
+/// let (best, cost) = brute_force_optimum(&layer, &orders, |s| {
+///     Some(s.tiles().rf_tile_macs() as f64)
+/// })
+/// .unwrap();
+/// assert_eq!(cost, 1.0);
+/// assert_eq!(best.tiles().rf_tile_macs(), 1);
+/// ```
+pub fn brute_force_optimum(
+    layer: &ConvLayer,
+    orders: &[LoopPermutation],
+    mut cost: impl FnMut(&Schedule) -> Option<f64>,
+) -> Option<(Schedule, f64)> {
+    let mut best: Option<(Schedule, f64)> = None;
+    for s in enumerate_schedules(layer, orders) {
+        if let Some(c) = cost(&s) {
+            if best.as_ref().is_none_or(|(_, b)| c < *b) {
+                best = Some((s, c));
+            }
+        }
+    }
+    best
+}
+
+/// A small, diverse set of loop orders for restricted enumeration: the
+/// canonical order plus the three dataflow-style orders and their
+/// reversals.
+pub fn representative_orders() -> Vec<LoopPermutation> {
+    ["NKCRSXY", "KCRSNXY", "NKXYCRS", "NKCXYRS", "YXSRCKN"]
+        .iter()
+        .map(|s| s.parse().expect("static orders are valid"))
+        .collect()
+}
+
+/// Convenience: is `d` ever unrolled by any schedule in the space?
+/// Always true — kept as a documented invariant helper for tests.
+pub fn unrolls_cover_all_dims() -> [Dim; NUM_DIMS] {
+    DIMS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ConvLayer {
+        ConvLayer::new(1, 2, 2, 1, 1, 2, 2)
+    }
+
+    #[test]
+    fn enumeration_count_matches_space_size() {
+        let layer = tiny();
+        let orders = [LoopPermutation::canonical()];
+        let n = enumerate_schedules(&layer, &orders).count();
+        assert_eq!(n as f64, space_size(&layer, 1));
+    }
+
+    #[test]
+    fn enumeration_with_two_orders_squares_order_factor() {
+        let layer = tiny();
+        let orders = [
+            LoopPermutation::canonical(),
+            "KCRSNXY".parse().unwrap(),
+        ];
+        let n = enumerate_schedules(&layer, &orders).count();
+        assert_eq!(n as f64, space_size(&layer, 2));
+    }
+
+    #[test]
+    fn all_enumerated_schedules_are_legal() {
+        let layer = ConvLayer::new(1, 4, 2, 1, 1, 2, 3);
+        let orders = [LoopPermutation::canonical()];
+        for s in enumerate_schedules(&layer, &orders) {
+            assert!(s.tiles().chain_is_legal());
+        }
+    }
+
+    #[test]
+    fn enumeration_contains_extreme_tilings() {
+        let layer = tiny();
+        let orders = [LoopPermutation::canonical()];
+        let all: Vec<Schedule> = enumerate_schedules(&layer, &orders).collect();
+        assert!(all.iter().any(|s| s.tiles().rf_tile_macs() == 1));
+        assert!(all
+            .iter()
+            .any(|s| s.tiles().rf_tile_macs() == layer.macs()));
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let layer = tiny();
+        let orders = [LoopPermutation::canonical()];
+        let mut seen = std::collections::HashSet::new();
+        for s in enumerate_schedules(&layer, &orders) {
+            assert!(seen.insert(s), "duplicate schedule {s}");
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_global_min() {
+        let layer = tiny();
+        let orders = representative_orders();
+        // Cost = |rf_macs - 4|: optimum is any schedule with rf tile of 4.
+        let (best, c) =
+            brute_force_optimum(&layer, &orders, |s| {
+                Some((s.tiles().rf_tile_macs() as f64 - 4.0).abs())
+            })
+            .unwrap();
+        assert_eq!(c, 0.0);
+        assert_eq!(best.tiles().rf_tile_macs(), 4);
+    }
+
+    #[test]
+    fn brute_force_none_when_all_infeasible() {
+        let layer = tiny();
+        let orders = [LoopPermutation::canonical()];
+        assert!(brute_force_optimum(&layer, &orders, |_| None).is_none());
+    }
+
+    #[test]
+    fn representative_orders_are_distinct() {
+        let o = representative_orders();
+        let mut set = std::collections::HashSet::new();
+        for p in &o {
+            assert!(set.insert(*p));
+        }
+        assert_eq!(o.len(), 5);
+    }
+}

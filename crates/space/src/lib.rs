@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! The HW/SW co-design space of Section IV.
+//!
+//! This crate defines the *parameter space* `P` that Spotlight and every
+//! baseline search algorithm explore:
+//!
+//! - [`Schedule`]: the software half of a co-design point — 3-level loop
+//!   tiling (legal tilings divide the layer shape evenly), per-level loop
+//!   orders, and per-level spatial-unroll dimensions,
+//! - [`ParamRanges`]: the edge- and cloud-scale hardware parameter ranges
+//!   of Figure 3, with cardinal/ordinal/categorical classification,
+//! - [`sample`]: seeded uniform sampling of hardware configurations and
+//!   schedules,
+//! - [`mutate`]: mutation and crossover operators for the genetic-algorithm
+//!   baselines,
+//! - [`dataflows`]: the fixed schedule families (Eyeriss-, NVDLA-,
+//!   ShiDianNao-like) that rigid accelerators and restricted tools such as
+//!   ConfuciuX use,
+//! - [`cardinality`]: size accounting that reproduces the paper's
+//!   *O(10^18)* design-space claim.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use spotlight_conv::ConvLayer;
+//! use spotlight_space::{sample, ParamRanges};
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let ranges = ParamRanges::edge();
+//! let hw = sample::sample_hw(&mut rng, &ranges);
+//! let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+//! let sched = sample::sample_schedule(&mut rng, &layer);
+//! assert!(sched.tiles().chain_is_legal());
+//! assert!(ranges.contains(&hw));
+//! ```
+
+pub mod cardinality;
+pub mod dataflows;
+pub mod enumerate;
+pub mod mutate;
+pub mod param;
+pub mod point;
+pub mod sample;
+pub mod schedule;
+
+pub use param::{ParamKind, ParamRanges};
+pub use point::CodesignPoint;
+pub use schedule::{Schedule, TileLevel, TileSizes};

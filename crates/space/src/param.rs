@@ -1,0 +1,245 @@
+//! Hardware parameter ranges and the cardinal/ordinal/categorical
+//! taxonomy of Figure 3.
+
+use std::fmt;
+
+use spotlight_accel::HardwareConfig;
+
+/// The three kinds of search parameter distinguished by Section IV-A3.
+///
+/// Cardinal parameters take integral values with appreciable trends;
+/// ordinal parameters are sortable but unevenly spaced (divisors, strided
+/// sizes); categorical parameters are arbitrary unordered options whose
+/// value changes have unpredictable effects — the parameters that motivate
+/// daBO's feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Integral values within a range (SIMD lanes, bandwidth, PEs).
+    Cardinal,
+    /// Ordered but discontinuous values (sizes with stride, divisors,
+    /// tiling factors).
+    Ordinal,
+    /// Arbitrary unordered options (loop order, unroll dimension).
+    Categorical,
+}
+
+impl fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParamKind::Cardinal => "cardinal",
+            ParamKind::Ordinal => "ordinal",
+            ParamKind::Categorical => "categorical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A described hardware or software parameter: name, kind, and the number
+/// of values it can take (for cardinality accounting and reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDescriptor {
+    /// Parameter name as printed in Figure 3.
+    pub name: &'static str,
+    /// Cardinal / ordinal / categorical.
+    pub kind: ParamKind,
+    /// Number of distinct values in the edge-scale range (approximate for
+    /// layer-dependent parameters, which are counted per layer elsewhere).
+    pub value_count: u64,
+}
+
+/// Inclusive hardware parameter ranges (Figure 3 for edge scale; the
+/// cloud-scale variant scales the same parameters up, the only change the
+/// paper makes for Figure 7).
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_space::ParamRanges;
+///
+/// let edge = ParamRanges::edge();
+/// assert_eq!(edge.pes, (128, 300));
+/// let cloud = ParamRanges::cloud();
+/// assert!(cloud.pes.1 > edge.pes.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRanges {
+    /// PE count range (cardinal).
+    pub pes: (u32, u32),
+    /// SIMD lanes per PE (cardinal).
+    pub simd_lanes: (u32, u32),
+    /// NoC bandwidth in elements/cycle (cardinal).
+    pub noc_bandwidth: (u32, u32),
+    /// Scratchpad size range in KiB (ordinal, strided).
+    pub l2_kib: (u32, u32),
+    /// Stride of the scratchpad size grid in KiB.
+    pub l2_stride_kib: u32,
+    /// Register-file size range in KiB (ordinal, strided).
+    pub rf_kib: (u32, u32),
+    /// Stride of the RF size grid in KiB.
+    pub rf_stride_kib: u32,
+}
+
+impl ParamRanges {
+    /// The edge-scale ranges of Figure 3.
+    pub fn edge() -> Self {
+        ParamRanges {
+            pes: (128, 300),
+            simd_lanes: (2, 16),
+            noc_bandwidth: (64, 256),
+            l2_kib: (64, 256),
+            l2_stride_kib: 8,
+            rf_kib: (64, 256),
+            rf_stride_kib: 8,
+        }
+    }
+
+    /// Cloud-scale ranges: the same parameters scaled up (Section VII,
+    /// "the only change to Spotlight was to change the range of
+    /// parameters").
+    pub fn cloud() -> Self {
+        ParamRanges {
+            pes: (1024, 4608),
+            simd_lanes: (2, 16),
+            noc_bandwidth: (256, 1024),
+            l2_kib: (1024, 8192),
+            l2_stride_kib: 256,
+            rf_kib: (1024, 8192),
+            rf_stride_kib: 256,
+        }
+    }
+
+    /// Whether `hw` lies within these ranges (PE aspect ratio is free —
+    /// any divisor of the PE count is admissible).
+    pub fn contains(&self, hw: &HardwareConfig) -> bool {
+        let in_range = |v: u32, (lo, hi): (u32, u32)| lo <= v && v <= hi;
+        in_range(hw.pes(), self.pes)
+            && in_range(hw.simd_lanes(), self.simd_lanes)
+            && in_range(hw.noc_bandwidth(), self.noc_bandwidth)
+            && in_range(hw.l2_kib(), self.l2_kib)
+            && in_range(hw.rf_kib(), self.rf_kib)
+    }
+
+    /// Legal scratchpad sizes (the ordinal grid).
+    pub fn l2_grid(&self) -> Vec<u32> {
+        grid(self.l2_kib, self.l2_stride_kib)
+    }
+
+    /// Legal register-file sizes (the ordinal grid).
+    pub fn rf_grid(&self) -> Vec<u32> {
+        grid(self.rf_kib, self.rf_stride_kib)
+    }
+
+    /// Figure 3's parameter table: every hardware and software parameter
+    /// with its kind. Layer-dependent value counts (tiling factors) are
+    /// reported as 0 here and counted per layer by
+    /// [`crate::cardinality`].
+    pub fn descriptors(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor {
+                name: "SIMD Lanes",
+                kind: ParamKind::Cardinal,
+                value_count: (self.simd_lanes.1 - self.simd_lanes.0 + 1) as u64,
+            },
+            ParamDescriptor {
+                name: "Bandwidth",
+                kind: ParamKind::Cardinal,
+                value_count: (self.noc_bandwidth.1 - self.noc_bandwidth.0 + 1) as u64,
+            },
+            ParamDescriptor {
+                name: "PEs",
+                kind: ParamKind::Cardinal,
+                value_count: (self.pes.1 - self.pes.0 + 1) as u64,
+            },
+            ParamDescriptor {
+                name: "Scratchpad Size",
+                kind: ParamKind::Ordinal,
+                value_count: self.l2_grid().len() as u64,
+            },
+            ParamDescriptor {
+                name: "Register File Size",
+                kind: ParamKind::Ordinal,
+                value_count: self.rf_grid().len() as u64,
+            },
+            ParamDescriptor {
+                name: "PE Aspect Ratio",
+                kind: ParamKind::Ordinal,
+                value_count: 0, // divisors of PE count; PE-count dependent
+            },
+            ParamDescriptor {
+                name: "Tiling Factors",
+                kind: ParamKind::Ordinal,
+                value_count: 0, // divisors of layer shape; layer dependent
+            },
+            ParamDescriptor {
+                name: "Loop Order",
+                kind: ParamKind::Categorical,
+                value_count: 5040 * 5040,
+            },
+            ParamDescriptor {
+                name: "Unroll Dimension",
+                kind: ParamKind::Categorical,
+                value_count: 49,
+            },
+        ]
+    }
+}
+
+fn grid((lo, hi): (u32, u32), stride: u32) -> Vec<u32> {
+    (lo..=hi).step_by(stride as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_grids_match_figure3() {
+        let r = ParamRanges::edge();
+        let g = r.l2_grid();
+        assert_eq!(g.first(), Some(&64));
+        assert_eq!(g.last(), Some(&256));
+        assert_eq!(g.len(), 25); // 64..=256 step 8
+    }
+
+    #[test]
+    fn contains_accepts_boundary_values() {
+        let r = ParamRanges::edge();
+        let lo = HardwareConfig::new(128, 8, 2, 64, 64, 64).unwrap();
+        let hi = HardwareConfig::new(300, 20, 16, 256, 256, 256).unwrap();
+        assert!(r.contains(&lo));
+        assert!(r.contains(&hi));
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let r = ParamRanges::edge();
+        let too_many_pes = HardwareConfig::new(512, 16, 4, 128, 128, 128).unwrap();
+        assert!(!r.contains(&too_many_pes));
+        let too_little_rf = HardwareConfig::new(128, 8, 4, 32, 128, 128).unwrap();
+        assert!(!r.contains(&too_little_rf));
+    }
+
+    #[test]
+    fn cloud_strictly_larger_than_edge() {
+        let e = ParamRanges::edge();
+        let c = ParamRanges::cloud();
+        assert!(c.pes.0 > e.pes.1);
+        assert!(c.l2_kib.1 > e.l2_kib.1);
+        assert!(c.noc_bandwidth.1 > e.noc_bandwidth.1);
+    }
+
+    #[test]
+    fn descriptor_table_covers_figure3() {
+        let d = ParamRanges::edge().descriptors();
+        assert_eq!(d.len(), 9);
+        let cardinals = d.iter().filter(|p| p.kind == ParamKind::Cardinal).count();
+        let ordinals = d.iter().filter(|p| p.kind == ParamKind::Ordinal).count();
+        let categoricals = d.iter().filter(|p| p.kind == ParamKind::Categorical).count();
+        assert_eq!((cardinals, ordinals, categoricals), (3, 4, 2));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ParamKind::Ordinal.to_string(), "ordinal");
+    }
+}

@@ -1,0 +1,59 @@
+//! The joint co-design point.
+
+use std::fmt;
+
+use spotlight_accel::HardwareConfig;
+
+use crate::schedule::Schedule;
+
+/// One point in the HW/SW co-design space: an accelerator configuration
+/// paired with a software schedule for a particular layer.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_accel::HardwareConfig;
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_space::{CodesignPoint, Schedule};
+///
+/// let hw = HardwareConfig::new(128, 16, 2, 64, 128, 64)?;
+/// let layer = ConvLayer::new(1, 16, 16, 3, 3, 14, 14);
+/// let p = CodesignPoint::new(hw, Schedule::trivial(&layer));
+/// assert_eq!(p.hw.pes(), 128);
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodesignPoint {
+    /// The hardware half.
+    pub hw: HardwareConfig,
+    /// The software half (schedule for one layer).
+    pub schedule: Schedule,
+}
+
+impl CodesignPoint {
+    /// Pairs a hardware configuration with a schedule.
+    pub fn new(hw: HardwareConfig, schedule: Schedule) -> Self {
+        CodesignPoint { hw, schedule }
+    }
+}
+
+impl fmt::Display for CodesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :: {}", self.hw, self.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlight_conv::ConvLayer;
+
+    #[test]
+    fn display_concatenates_halves() {
+        let hw = HardwareConfig::new(128, 16, 2, 64, 128, 64).unwrap();
+        let layer = ConvLayer::new(1, 16, 16, 3, 3, 14, 14);
+        let p = CodesignPoint::new(hw, Schedule::trivial(&layer));
+        let s = p.to_string();
+        assert!(s.contains("128PE") && s.contains("unroll"));
+    }
+}

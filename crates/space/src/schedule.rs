@@ -1,0 +1,435 @@
+//! Software schedules: 3-level loop tiling plus per-level loop order and
+//! spatial unrolling.
+
+use std::fmt;
+
+use spotlight_conv::{ConvLayer, Dim, LoopPermutation, DIMS, NUM_DIMS};
+
+/// The three tiling levels of the 2-level accelerator (Section II-B): each
+/// of the 7 loops is broken into 3 tile sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileLevel {
+    /// Level 0: the full layer extent, streamed from DRAM.
+    Dram,
+    /// Level 1: the tile resident in the global (L2) scratchpad.
+    Scratchpad,
+    /// Level 2: the tile resident in each PE's register file.
+    RegisterFile,
+}
+
+impl TileLevel {
+    /// All levels, outermost first.
+    pub const ALL: [TileLevel; 3] = [
+        TileLevel::Dram,
+        TileLevel::Scratchpad,
+        TileLevel::RegisterFile,
+    ];
+
+    /// Numeric index (0 = DRAM, 2 = RF), matching the paper's `X_0`,
+    /// `K_2`-style subscripts.
+    pub const fn index(self) -> usize {
+        match self {
+            TileLevel::Dram => 0,
+            TileLevel::Scratchpad => 1,
+            TileLevel::RegisterFile => 2,
+        }
+    }
+}
+
+/// A legal 3-level tiling of a CONV layer: for every dimension `d`,
+/// `rf[d] | l2[d] | dram[d]` and `dram[d]` equals the layer extent.
+///
+/// The divisibility chain is the paper's legality rule ("our design space
+/// only considers loop tiling options that evenly divide the size of the
+/// layer"), enforced at construction.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::{ConvLayer, Dim};
+/// use spotlight_space::TileSizes;
+///
+/// let layer = ConvLayer::new(1, 8, 4, 3, 3, 6, 6);
+/// let t = TileSizes::new(&layer, [1, 4, 2, 3, 3, 3, 2], [1, 2, 1, 3, 1, 1, 1]).unwrap();
+/// assert_eq!(t.dram(Dim::K), 8);
+/// assert_eq!(t.l2(Dim::K), 4);
+/// assert_eq!(t.rf(Dim::K), 2);
+/// assert_eq!(t.outer_trips(Dim::K), 2); // 8 / 4
+/// assert_eq!(t.inner_trips(Dim::K), 2); // 4 / 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileSizes {
+    dram: [u64; NUM_DIMS],
+    l2: [u64; NUM_DIMS],
+    rf: [u64; NUM_DIMS],
+}
+
+impl TileSizes {
+    /// Builds a tiling from the L2 and RF tile sizes (canonical dimension
+    /// order). The DRAM level is pinned to the layer extents.
+    ///
+    /// Returns `None` when the chain `rf | l2 | extent` is broken for any
+    /// dimension or any tile size is zero.
+    pub fn new(layer: &ConvLayer, l2: [u64; NUM_DIMS], rf: [u64; NUM_DIMS]) -> Option<Self> {
+        let dram = layer.extents();
+        for i in 0..NUM_DIMS {
+            if l2[i] == 0 || rf[i] == 0 || !dram[i].is_multiple_of(l2[i]) || !l2[i].is_multiple_of(rf[i]) {
+                return None;
+            }
+        }
+        Some(TileSizes { dram, l2, rf })
+    }
+
+    /// The degenerate tiling where every level holds the full layer.
+    pub fn whole_layer(layer: &ConvLayer) -> Self {
+        let e = layer.extents();
+        TileSizes {
+            dram: e,
+            l2: e,
+            rf: e,
+        }
+    }
+
+    /// The finest tiling: RF and L2 tiles of 1 in every dimension.
+    pub fn unit(layer: &ConvLayer) -> Self {
+        TileSizes {
+            dram: layer.extents(),
+            l2: [1; NUM_DIMS],
+            rf: [1; NUM_DIMS],
+        }
+    }
+
+    /// Tile size of dimension `d` at `level`.
+    #[inline]
+    pub fn at(&self, level: TileLevel, d: Dim) -> u64 {
+        match level {
+            TileLevel::Dram => self.dram[d.index()],
+            TileLevel::Scratchpad => self.l2[d.index()],
+            TileLevel::RegisterFile => self.rf[d.index()],
+        }
+    }
+
+    /// DRAM-level tile (the full extent) of `d` — the paper's `d_0`.
+    #[inline]
+    pub fn dram(&self, d: Dim) -> u64 {
+        self.dram[d.index()]
+    }
+
+    /// Scratchpad-level tile of `d` — the paper's `d_1`.
+    #[inline]
+    pub fn l2(&self, d: Dim) -> u64 {
+        self.l2[d.index()]
+    }
+
+    /// Register-file-level tile of `d` — the paper's `d_2`.
+    #[inline]
+    pub fn rf(&self, d: Dim) -> u64 {
+        self.rf[d.index()]
+    }
+
+    /// Trip count of the outer (DRAM -> L2) loop of `d`.
+    #[inline]
+    pub fn outer_trips(&self, d: Dim) -> u64 {
+        self.dram[d.index()] / self.l2[d.index()]
+    }
+
+    /// Trip count of the inner (L2 -> RF) loop of `d`.
+    #[inline]
+    pub fn inner_trips(&self, d: Dim) -> u64 {
+        self.l2[d.index()] / self.rf[d.index()]
+    }
+
+    /// All outer trip counts in canonical order.
+    pub fn outer_trip_array(&self) -> [u64; NUM_DIMS] {
+        std::array::from_fn(|i| self.dram[i] / self.l2[i])
+    }
+
+    /// All inner trip counts in canonical order.
+    pub fn inner_trip_array(&self) -> [u64; NUM_DIMS] {
+        std::array::from_fn(|i| self.l2[i] / self.rf[i])
+    }
+
+    /// Whether the divisibility chain holds (always true for constructed
+    /// values; exposed for property tests and external validation).
+    pub fn chain_is_legal(&self) -> bool {
+        (0..NUM_DIMS).all(|i| {
+            self.l2[i] > 0
+                && self.rf[i] > 0
+                && self.dram[i].is_multiple_of(self.l2[i])
+                && self.l2[i].is_multiple_of(self.rf[i])
+        })
+    }
+
+    /// Elements of each tensor touched by one tile at `level`, given the
+    /// layer's stride: `(weights, inputs, outputs)`.
+    ///
+    /// Input footprints account for the kernel halo: a tile computing
+    /// `tx x ty` output pixels with an `r x s` kernel reads
+    /// `((tx-1)*stride + r) x ((ty-1)*stride + s)` input pixels.
+    pub fn tensor_footprints(&self, level: TileLevel, layer: &ConvLayer) -> (u64, u64, u64) {
+        let t = |d: Dim| self.at(level, d);
+        let weights = t(Dim::K) * t(Dim::C) * t(Dim::R) * t(Dim::S);
+        let in_x = (t(Dim::X) - 1) * layer.stride + t(Dim::R);
+        let in_y = (t(Dim::Y) - 1) * layer.stride + t(Dim::S);
+        let inputs = t(Dim::N) * t(Dim::C) * in_x * in_y;
+        let outputs = t(Dim::N) * t(Dim::K) * t(Dim::X) * t(Dim::Y);
+        (weights, inputs, outputs)
+    }
+
+    /// Total footprint in 8-bit elements (= bytes) of one tile at `level`.
+    pub fn footprint_bytes(&self, level: TileLevel, layer: &ConvLayer) -> u64 {
+        let (w, i, o) = self.tensor_footprints(level, layer);
+        w + i + o
+    }
+
+    /// MACs computed by one RF-level tile.
+    pub fn rf_tile_macs(&self) -> u64 {
+        self.rf.iter().product()
+    }
+
+    /// MACs computed by one L2-level tile.
+    pub fn l2_tile_macs(&self) -> u64 {
+        self.l2.iter().product()
+    }
+}
+
+/// A complete software schedule for one layer: a legal tiling, a loop
+/// order per tiling level, and a spatially unrolled dimension per tiling
+/// level (Figure 3's ordinal and categorical software parameters).
+///
+/// - `outer_unroll` distributes the outer (DRAM -> L2) iterations of one
+///   dimension across the *rows* of the PE array (the "clusters" of
+///   Figure 2),
+/// - `inner_unroll` distributes the inner (L2 -> RF) iterations of one
+///   dimension across the *columns* within a row.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_conv::{ConvLayer, Dim, LoopPermutation};
+/// use spotlight_space::{Schedule, TileSizes};
+///
+/// let layer = ConvLayer::new(1, 16, 8, 3, 3, 14, 14);
+/// let sched = Schedule::new(
+///     TileSizes::new(&layer, [1, 8, 8, 3, 3, 7, 7], [1, 2, 8, 3, 3, 1, 1]).unwrap(),
+///     LoopPermutation::canonical(),
+///     "KCRSXYN".parse()?,
+///     Dim::K,
+///     Dim::X,
+/// );
+/// assert_eq!(sched.outer_unroll(), Dim::K);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    tiles: TileSizes,
+    outer_order: LoopPermutation,
+    inner_order: LoopPermutation,
+    outer_unroll: Dim,
+    inner_unroll: Dim,
+}
+
+impl Schedule {
+    /// Assembles a schedule from its parts.
+    pub fn new(
+        tiles: TileSizes,
+        outer_order: LoopPermutation,
+        inner_order: LoopPermutation,
+        outer_unroll: Dim,
+        inner_unroll: Dim,
+    ) -> Self {
+        Schedule {
+            tiles,
+            outer_order,
+            inner_order,
+            outer_unroll,
+            inner_unroll,
+        }
+    }
+
+    /// A trivial valid-by-construction schedule: unit tiles, canonical
+    /// orders, `K` unrolled at both levels. Mostly useful as a fallback
+    /// and in tests.
+    pub fn trivial(layer: &ConvLayer) -> Self {
+        Schedule::new(
+            TileSizes::unit(layer),
+            LoopPermutation::canonical(),
+            LoopPermutation::canonical(),
+            Dim::K,
+            Dim::K,
+        )
+    }
+
+    /// The tiling.
+    #[inline]
+    pub fn tiles(&self) -> &TileSizes {
+        &self.tiles
+    }
+
+    /// Loop order of the outer (DRAM -> L2) loops.
+    #[inline]
+    pub fn outer_order(&self) -> &LoopPermutation {
+        &self.outer_order
+    }
+
+    /// Loop order of the inner (L2 -> RF) loops.
+    #[inline]
+    pub fn inner_order(&self) -> &LoopPermutation {
+        &self.inner_order
+    }
+
+    /// Dimension spatially unrolled at the outer level (across PE rows).
+    #[inline]
+    pub fn outer_unroll(&self) -> Dim {
+        self.outer_unroll
+    }
+
+    /// Dimension spatially unrolled at the inner level (across PE columns).
+    #[inline]
+    pub fn inner_unroll(&self) -> Dim {
+        self.inner_unroll
+    }
+
+    /// Iterations of the outer unrolled dimension available for spatial
+    /// distribution across PE rows.
+    pub fn outer_unroll_trips(&self) -> u64 {
+        self.tiles.outer_trips(self.outer_unroll)
+    }
+
+    /// Iterations of the inner unrolled dimension available for spatial
+    /// distribution across PE columns.
+    pub fn inner_unroll_trips(&self) -> u64 {
+        self.tiles.inner_trips(self.inner_unroll)
+    }
+
+    /// The paper's "degree of spatial unrolling" feature: the product of
+    /// the two unrolled tile sizes.
+    pub fn unroll_degree(&self) -> u64 {
+        self.outer_unroll_trips() * self.inner_unroll_trips()
+    }
+
+    /// Replaces the tiling, keeping orders and unrolls.
+    pub fn with_tiles(mut self, tiles: TileSizes) -> Self {
+        self.tiles = tiles;
+        self
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "order {}|{} unroll {}/{} l2[",
+            self.outer_order, self.inner_order, self.outer_unroll, self.inner_unroll
+        )?;
+        for d in DIMS {
+            write!(f, "{}", self.tiles.l2(d))?;
+            if d != Dim::Y {
+                write!(f, ",")?;
+            }
+        }
+        write!(f, "] rf[")?;
+        for d in DIMS {
+            write!(f, "{}", self.tiles.rf(d))?;
+            if d != Dim::Y {
+                write!(f, ",")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new(2, 8, 4, 3, 3, 6, 6)
+    }
+
+    #[test]
+    fn rejects_broken_chain() {
+        let l = layer();
+        // l2 K=3 does not divide extent 8.
+        assert!(TileSizes::new(&l, [1, 3, 2, 3, 3, 3, 2], [1, 1, 1, 1, 1, 1, 1]).is_none());
+        // rf K=3 does not divide l2 K=4.
+        assert!(TileSizes::new(&l, [1, 4, 2, 3, 3, 3, 2], [1, 3, 1, 1, 1, 1, 1]).is_none());
+        // zero tile
+        assert!(TileSizes::new(&l, [0, 4, 2, 3, 3, 3, 2], [0, 1, 1, 1, 1, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn whole_layer_has_unit_trips() {
+        let l = layer();
+        let t = TileSizes::whole_layer(&l);
+        for d in DIMS {
+            assert_eq!(t.outer_trips(d), 1);
+            assert_eq!(t.inner_trips(d), 1);
+        }
+    }
+
+    #[test]
+    fn unit_tiling_trips_multiply_to_extent() {
+        let l = layer();
+        let t = TileSizes::unit(&l);
+        for d in DIMS {
+            assert_eq!(t.outer_trips(d) * t.inner_trips(d), l.extent(d));
+        }
+    }
+
+    #[test]
+    fn footprints_account_for_halo() {
+        let l = ConvLayer::new(1, 1, 1, 3, 3, 4, 4);
+        let t = TileSizes::whole_layer(&l);
+        let (w, i, o) = t.tensor_footprints(TileLevel::Dram, &l);
+        assert_eq!(w, 9);
+        assert_eq!(i, 6 * 6); // (4-1)*1+3 = 6
+        assert_eq!(o, 16);
+    }
+
+    #[test]
+    fn footprints_account_for_stride() {
+        let l = ConvLayer::new(1, 1, 1, 3, 3, 4, 4).with_stride(2);
+        let t = TileSizes::whole_layer(&l);
+        let (_, i, _) = t.tensor_footprints(TileLevel::Dram, &l);
+        assert_eq!(i, 9 * 9); // (4-1)*2+3 = 9
+    }
+
+    #[test]
+    fn unroll_degree_is_product_of_unroll_trips() {
+        let l = layer();
+        let tiles = TileSizes::new(&l, [1, 4, 2, 3, 3, 3, 2], [1, 2, 1, 3, 1, 1, 1]).unwrap();
+        let s = Schedule::new(
+            tiles,
+            LoopPermutation::canonical(),
+            LoopPermutation::canonical(),
+            Dim::K, // outer trips: 8/4 = 2
+            Dim::C, // inner trips: 2/1 = 2
+        );
+        assert_eq!(s.unroll_degree(), 4);
+    }
+
+    #[test]
+    fn trivial_schedule_is_legal() {
+        let l = layer();
+        let s = Schedule::trivial(&l);
+        assert!(s.tiles().chain_is_legal());
+        assert_eq!(s.tiles().rf_tile_macs(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_key_fields() {
+        let s = Schedule::trivial(&layer());
+        let txt = s.to_string();
+        assert!(txt.contains("unroll K/K"));
+        assert!(txt.contains("l2["));
+    }
+
+    #[test]
+    fn rf_tile_macs_product() {
+        let l = layer();
+        let tiles = TileSizes::new(&l, [2, 4, 2, 3, 3, 3, 2], [2, 2, 2, 3, 1, 1, 1]).unwrap();
+        assert_eq!(tiles.rf_tile_macs(), 2 * 2 * 2 * 3);
+        assert_eq!(tiles.l2_tile_macs(), 2 * 4 * 2 * 3 * 3 * 3 * 2);
+    }
+}

@@ -1,0 +1,448 @@
+//! The nested layerwise co-design driver (Section VI-A).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotlight_accel::{Budget, HardwareConfig};
+use spotlight_conv::ConvLayer;
+use spotlight_dabo::Trace;
+use spotlight_maestro::{CostModel, CostReport, Objective};
+use spotlight_models::Model;
+use spotlight_space::{ParamRanges, Schedule};
+
+use crate::hwsearch::build_hw_search;
+use crate::pareto::{DesignPoint, ParetoFrontier};
+use crate::swsearch::{optimize_schedule, SwSearchConfig};
+use crate::variants::Variant;
+
+/// Configuration of a full co-design run.
+#[derive(Debug, Clone, Copy)]
+pub struct CodesignConfig {
+    /// Hardware configurations evaluated (paper default: 100).
+    pub hw_samples: usize,
+    /// Software samples per layer per hardware configuration (paper
+    /// default: 100).
+    pub sw_samples: usize,
+    /// Metric to minimize.
+    pub objective: Objective,
+    /// Search machinery (Spotlight or an ablation variant).
+    pub variant: Variant,
+    /// RNG seed; every run is deterministic given the seed.
+    pub seed: u64,
+    /// Hardware parameter ranges (edge or cloud scale).
+    pub ranges: ParamRanges,
+    /// Area/power envelope.
+    pub budget: Budget,
+}
+
+impl CodesignConfig {
+    /// The paper's edge-scale configuration: 100 hardware samples, 100
+    /// software samples per layer, EDP objective.
+    pub fn edge() -> Self {
+        CodesignConfig {
+            hw_samples: 100,
+            sw_samples: 100,
+            objective: Objective::Edp,
+            variant: Variant::Spotlight,
+            seed: 0,
+            ranges: ParamRanges::edge(),
+            budget: Budget::edge(),
+        }
+    }
+
+    /// The cloud-scale configuration: identical except for the parameter
+    /// ranges and budget ("the only change to Spotlight was to change the
+    /// range of parameters").
+    pub fn cloud() -> Self {
+        CodesignConfig {
+            ranges: ParamRanges::cloud(),
+            budget: Budget::cloud(),
+            ..CodesignConfig::edge()
+        }
+    }
+
+    fn sw_config(&self) -> SwSearchConfig {
+        SwSearchConfig {
+            samples: self.sw_samples,
+            objective: self.objective,
+            variant: self.variant,
+        }
+    }
+}
+
+/// The optimized schedule found for one unique layer.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    /// The layer shape.
+    pub layer: ConvLayer,
+    /// Multiplicity in the model.
+    pub count: u32,
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its cost report.
+    pub report: CostReport,
+}
+
+/// One model's optimized execution on a fixed accelerator.
+#[derive(Debug, Clone)]
+pub struct ModelPlan {
+    /// Model name.
+    pub model_name: &'static str,
+    /// Per-unique-layer plans.
+    pub layers: Vec<LayerPlan>,
+    /// Total delay in cycles, weighted by layer multiplicity.
+    pub total_delay: f64,
+    /// Total energy in nJ, weighted by layer multiplicity.
+    pub total_energy: f64,
+}
+
+impl ModelPlan {
+    /// Aggregate objective value: summed delay, or summed-delay x
+    /// summed-energy for EDP ("the layerwise energies and delays are then
+    /// summed", Section VI-A).
+    pub fn objective_value(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::Delay => self.total_delay,
+            Objective::Edp => self.total_delay * self.total_energy,
+        }
+    }
+}
+
+/// The outcome of a co-design run.
+#[derive(Debug, Clone)]
+pub struct CodesignOutcome {
+    /// Best hardware configuration found (None only if every sample was
+    /// infeasible on every layer).
+    pub best_hw: Option<HardwareConfig>,
+    /// Per-model plans on the best hardware.
+    pub best_plans: Vec<ModelPlan>,
+    /// Aggregate objective of the best configuration.
+    pub best_cost: f64,
+    /// Aggregate cost of every hardware sample in evaluation order
+    /// (drives the Figure 11 CDFs).
+    pub hw_history: Vec<f64>,
+    /// Best-so-far trace over hardware samples (Figure 10's y-axis).
+    pub trace: Trace,
+    /// Total cost-model evaluations spent (Figure 10's x-axis analogue).
+    pub evaluations: u64,
+    /// `(cumulative evaluations, best-so-far)` pairs, one per hardware
+    /// sample.
+    pub eval_trace: Vec<(u64, f64)>,
+    /// Delay/energy/area Pareto frontier over the evaluated hardware
+    /// samples (Section VI-B's selection pool).
+    pub frontier: ParetoFrontier,
+}
+
+/// The Spotlight co-design tool (Figure 5): accepts a hardware budget and
+/// a set of DL models, performs the nested daBO_HW x daBO_SW search, and
+/// produces optimized microarchitecture parameters plus per-layer
+/// software schedules.
+#[derive(Debug, Clone)]
+pub struct Spotlight {
+    config: CodesignConfig,
+    cost_model: CostModel,
+}
+
+impl Spotlight {
+    /// Creates the tool with the default MAESTRO-like cost model.
+    pub fn new(config: CodesignConfig) -> Self {
+        Spotlight {
+            config,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Creates the tool with an explicit cost model.
+    pub fn with_cost_model(config: CodesignConfig, cost_model: CostModel) -> Self {
+        Spotlight { config, cost_model }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CodesignConfig {
+        &self.config
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Optimizes software schedules for every unique layer of `models` on
+    /// a fixed accelerator, returning per-model plans and the number of
+    /// cost-model evaluations spent. This is daBO_SW alone — used for the
+    /// inner loop, for evaluating hand-designed accelerators fairly, and
+    /// for the generalization scenario.
+    pub fn optimize_software(
+        &self,
+        hw: &HardwareConfig,
+        models: &[Model],
+        rng: &mut ChaCha8Rng,
+    ) -> (Vec<ModelPlan>, u64) {
+        let sw_cfg = self.config.sw_config();
+        let mut evals = 0;
+        let mut plans = Vec::with_capacity(models.len());
+        for model in models {
+            let mut layers = Vec::with_capacity(model.layers().len());
+            let mut total_delay = 0.0;
+            let mut total_energy = 0.0;
+            for entry in model.layers() {
+                let r = optimize_schedule(&self.cost_model, hw, &entry.layer, &sw_cfg, rng);
+                evals += r.evaluations;
+                match r.best {
+                    Some((schedule, report)) => {
+                        total_delay += report.delay_cycles * entry.count as f64;
+                        total_energy += report.energy_nj * entry.count as f64;
+                        layers.push(LayerPlan {
+                            layer: entry.layer,
+                            count: entry.count,
+                            schedule,
+                            report,
+                        });
+                    }
+                    None => {
+                        total_delay = f64::INFINITY;
+                        total_energy = f64::INFINITY;
+                    }
+                }
+            }
+            plans.push(ModelPlan {
+                model_name: model.name(),
+                layers,
+                total_delay,
+                total_energy,
+            });
+        }
+        (plans, evals)
+    }
+
+    /// Aggregate objective across models (summed), infinite when any
+    /// model has an infeasible layer.
+    fn aggregate(&self, plans: &[ModelPlan]) -> f64 {
+        plans
+            .iter()
+            .map(|p| p.objective_value(self.config.objective))
+            .sum()
+    }
+
+    /// Runs the full nested co-design of Section VI-A over `models`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn codesign(&self, models: &[Model]) -> CodesignOutcome {
+        assert!(!models.is_empty(), "co-design needs at least one model");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut hw_search =
+            build_hw_search(self.config.variant, self.config.ranges, self.config.budget);
+
+        let mut best: Option<(HardwareConfig, Vec<ModelPlan>, f64)> = None;
+        let mut evaluations: u64 = 0;
+        let mut eval_trace = Vec::with_capacity(self.config.hw_samples);
+        let mut frontier = ParetoFrontier::new();
+
+        for _ in 0..self.config.hw_samples {
+            let hw = hw_search.suggest(&mut rng);
+            let cost = if self.config.budget.admits(&hw) {
+                let (plans, evals) = self.optimize_software(&hw, models, &mut rng);
+                evaluations += evals;
+                let cost = self.aggregate(&plans);
+                frontier.insert(DesignPoint {
+                    hw,
+                    delay_cycles: plans.iter().map(|p| p.total_delay).sum(),
+                    energy_nj: plans.iter().map(|p| p.total_energy).sum(),
+                    area_mm2: self.config.budget.area_mm2(&hw),
+                });
+                if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
+                    best = Some((hw, plans, cost));
+                }
+                cost
+            } else {
+                // Out-of-budget configurations are rejected without
+                // spending the software budget.
+                f64::INFINITY
+            };
+            hw_search.observe(hw, cost);
+            let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c);
+            eval_trace.push((evaluations, best_so_far));
+        }
+
+        let hw_history = hw_search.history().to_vec();
+        let trace = Trace::from_costs(&hw_history);
+        match best {
+            Some((hw, plans, cost)) => CodesignOutcome {
+                best_hw: Some(hw),
+                best_plans: plans,
+                best_cost: cost,
+                hw_history,
+                trace,
+                evaluations,
+                eval_trace,
+                frontier,
+            },
+            None => CodesignOutcome {
+                best_hw: None,
+                best_plans: Vec::new(),
+                best_cost: f64::INFINITY,
+                hw_history,
+                trace,
+                evaluations,
+                eval_trace,
+                frontier,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlight_conv::ConvLayer;
+
+    fn tiny_model() -> Model {
+        Model::from_layers(
+            "tiny",
+            vec![
+                ConvLayer::new(1, 16, 8, 3, 3, 14, 14),
+                ConvLayer::new(1, 32, 16, 1, 1, 14, 14),
+            ],
+        )
+    }
+
+    fn small_config(variant: Variant, seed: u64) -> CodesignConfig {
+        CodesignConfig {
+            hw_samples: 8,
+            sw_samples: 15,
+            variant,
+            seed,
+            ..CodesignConfig::edge()
+        }
+    }
+
+    #[test]
+    fn codesign_finds_feasible_design() {
+        let out = Spotlight::new(small_config(Variant::Spotlight, 0)).codesign(&[tiny_model()]);
+        let hw = out.best_hw.expect("a feasible design exists");
+        assert!(CodesignConfig::edge().budget.admits(&hw));
+        assert!(out.best_cost.is_finite());
+        assert_eq!(out.best_plans.len(), 1);
+        assert_eq!(out.best_plans[0].layers.len(), 2);
+    }
+
+    #[test]
+    fn evaluations_accounting_is_exact() {
+        let cfg = small_config(Variant::SpotlightR, 1);
+        let out = Spotlight::new(cfg).codesign(&[tiny_model()]);
+        // Every in-budget hw sample spends sw_samples per unique layer.
+        let per_hw = (cfg.sw_samples * 2) as u64;
+        assert!(out.evaluations <= cfg.hw_samples as u64 * per_hw);
+        assert!(out.evaluations > 0);
+        assert_eq!(out.eval_trace.len(), cfg.hw_samples);
+        assert_eq!(out.hw_history.len(), cfg.hw_samples);
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let out = Spotlight::new(small_config(Variant::Spotlight, 2)).codesign(&[tiny_model()]);
+        let b = out.trace.best_so_far();
+        assert!(b.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Spotlight::new(small_config(Variant::Spotlight, 3)).codesign(&[tiny_model()]);
+        let b = Spotlight::new(small_config(Variant::Spotlight, 3)).codesign(&[tiny_model()]);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.best_hw, b.best_hw);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let a = Spotlight::new(small_config(Variant::Spotlight, 4)).codesign(&[tiny_model()]);
+        let b = Spotlight::new(small_config(Variant::Spotlight, 5)).codesign(&[tiny_model()]);
+        assert_ne!(a.hw_history, b.hw_history);
+    }
+
+    #[test]
+    fn multi_model_aggregates_across_models() {
+        let m2 = Model::from_layers("second", vec![ConvLayer::new(1, 8, 8, 3, 3, 7, 7)]);
+        let out =
+            Spotlight::new(small_config(Variant::Spotlight, 6)).codesign(&[tiny_model(), m2]);
+        assert_eq!(out.best_plans.len(), 2);
+        let sum: f64 = out
+            .best_plans
+            .iter()
+            .map(|p| p.objective_value(Objective::Edp))
+            .sum();
+        assert!((sum - out.best_cost).abs() < 1e-6 * sum);
+    }
+
+    #[test]
+    fn delay_objective_sums_layer_delays() {
+        let cfg = CodesignConfig {
+            objective: Objective::Delay,
+            ..small_config(Variant::Spotlight, 7)
+        };
+        let out = Spotlight::new(cfg).codesign(&[tiny_model()]);
+        let plan = &out.best_plans[0];
+        let manual: f64 = plan
+            .layers
+            .iter()
+            .map(|l| l.report.delay_cycles * l.count as f64)
+            .sum();
+        assert!((plan.total_delay - manual).abs() < 1e-9);
+        assert_eq!(plan.objective_value(Objective::Delay), plan.total_delay);
+    }
+
+    #[test]
+    fn frontier_is_populated_and_consistent() {
+        let out = Spotlight::new(small_config(Variant::Spotlight, 9)).codesign(&[tiny_model()]);
+        assert!(!out.frontier.is_empty());
+        // The best design's metrics must not be dominated by any frontier
+        // point under the EDP objective: the lowest frontier EDP equals
+        // the reported best cost.
+        let best_edp = out
+            .frontier
+            .points()
+            .iter()
+            .map(|p| p.edp())
+            .fold(f64::INFINITY, f64::min);
+        assert!((best_edp - out.best_cost).abs() <= 1e-9 * out.best_cost);
+        // Budget selection picks something admissible.
+        let sel = out.frontier.select_for_budget(&CodesignConfig::edge().budget);
+        assert!(sel.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_model_list_rejected() {
+        let _ = Spotlight::new(small_config(Variant::Spotlight, 8)).codesign(&[]);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::variants::Variant;
+    use spotlight_conv::ConvLayer;
+
+    #[test]
+    fn impossible_budget_yields_no_design() {
+        let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
+        let cfg = CodesignConfig {
+            hw_samples: 5,
+            sw_samples: 5,
+            budget: Budget::new(1e-9, 1e-9, 1.0),
+            variant: Variant::SpotlightR,
+            seed: 0,
+            ..CodesignConfig::edge()
+        };
+        let out = Spotlight::new(cfg).codesign(&[model]);
+        assert!(out.best_hw.is_none());
+        assert!(out.best_cost.is_infinite());
+        assert!(out.frontier.is_empty());
+        // No software search was spent on rejected hardware.
+        assert_eq!(out.evaluations, 0);
+        // Every hardware sample is recorded as infeasible.
+        assert!(out.hw_history.iter().all(|c| c.is_infinite()));
+    }
+}

@@ -1,0 +1,138 @@
+//! The hardware optimizer (daBO_HW) and its ablation variants.
+
+use rand::RngCore;
+
+use spotlight_accel::{Budget, HardwareConfig};
+use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind};
+use spotlight_gp::Kernel;
+use spotlight_searchers::hasco::{raw_hw_features, RAW_HW_DIM};
+use spotlight_searchers::{Genetic, RandomSearch};
+use spotlight_space::{mutate, sample, ParamRanges};
+
+use crate::features::{hw_features, HW_FEATURE_NAMES};
+use crate::variants::Variant;
+
+/// Maximum rejection-sampling attempts when drawing a budget-feasible
+/// configuration.
+const BUDGET_TRIES: usize = 64;
+
+/// Draws a hardware configuration inside `ranges` that fits `budget`,
+/// falling back to the last draw if rejection sampling exhausts its
+/// tries (the cost will then reflect the violation via the search).
+pub fn sample_hw_in_budget(
+    rng: &mut dyn RngCore,
+    ranges: &ParamRanges,
+    budget: &Budget,
+) -> HardwareConfig {
+    let mut hw = sample::sample_hw(rng, ranges);
+    for _ in 0..BUDGET_TRIES {
+        if budget.admits(&hw) {
+            return hw;
+        }
+        hw = sample::sample_hw(rng, ranges);
+    }
+    hw
+}
+
+/// Builds the variant's hardware-search algorithm.
+///
+/// All daBO-based variants share the [`hw_features`] feature space; the
+/// vanilla variant uses a Matérn GP on the raw parameters, and the
+/// random/GA variants ignore features entirely.
+pub fn build_hw_search(
+    variant: Variant,
+    ranges: ParamRanges,
+    budget: Budget,
+) -> Box<dyn Search<HardwareConfig>> {
+    let sampler = move |rng: &mut dyn RngCore| sample_hw_in_budget(rng, &ranges, &budget);
+    match variant {
+        Variant::Spotlight | Variant::SpotlightA | Variant::SpotlightF => {
+            let fm = FnFeatureMap::new(HW_FEATURE_NAMES.len(), |hw: &HardwareConfig| {
+                hw_features(hw)
+            });
+            Box::new(Dabo::new(DaboConfig::default(), fm, sampler))
+        }
+        Variant::SpotlightV => {
+            let fm = FnFeatureMap::new(RAW_HW_DIM, |hw: &HardwareConfig| raw_hw_features(hw));
+            let cfg = DaboConfig {
+                surrogate: SurrogateKind::Gp(Kernel::matern52(2.0)),
+                refit_every: 4,
+                ..DaboConfig::default()
+            };
+            Box::new(Dabo::new(cfg, fm, sampler))
+        }
+        Variant::SpotlightR => Box::new(RandomSearch::new(sampler)),
+        Variant::SpotlightGA => Box::new(Genetic::new(
+            8,
+            0.6,
+            sampler,
+            move |rng: &mut dyn RngCore, hw: &HardwareConfig| mutate::mutate_hw(rng, hw, &ranges),
+            move |rng: &mut dyn RngCore, a: &HardwareConfig, b: &HardwareConfig| {
+                mutate::crossover_hw(rng, a, b)
+            },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn budget_sampler_respects_budget() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ranges = ParamRanges::edge();
+        let budget = Budget::edge();
+        for _ in 0..100 {
+            let hw = sample_hw_in_budget(&mut rng, &ranges, &budget);
+            assert!(budget.admits(&hw));
+        }
+    }
+
+    #[test]
+    fn tight_budget_still_returns_something() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ranges = ParamRanges::cloud();
+        // A budget nothing in the cloud range can meet.
+        let budget = Budget::new(0.001, 0.001, 1.0);
+        let hw = sample_hw_in_budget(&mut rng, &ranges, &budget);
+        assert!(ranges.contains(&hw));
+    }
+
+    #[test]
+    fn every_variant_builds_and_suggests() {
+        for v in Variant::ALL {
+            let mut s = build_hw_search(v, ParamRanges::edge(), Budget::edge());
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            for i in 0..12 {
+                let hw = s.suggest(&mut rng);
+                assert!(ParamRanges::edge().contains(&hw), "{v}");
+                s.observe(hw, (i as f64 + 1.0) * 100.0);
+            }
+            assert!(s.best().is_some());
+        }
+    }
+
+    #[test]
+    fn dabo_hw_search_exploits_observed_structure() {
+        // Objective: minimize PE count. After warm-up, daBO should
+        // propose configurations with below-median PE counts.
+        let mut s = build_hw_search(Variant::Spotlight, ParamRanges::edge(), Budget::edge());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let hw = s.suggest(&mut rng);
+            s.observe(hw, hw.pes() as f64);
+        }
+        let late: Vec<u32> = (0..10)
+            .map(|_| {
+                let hw = s.suggest(&mut rng);
+                s.observe(hw, hw.pes() as f64);
+                hw.pes()
+            })
+            .collect();
+        let mean = late.iter().sum::<u32>() as f64 / late.len() as f64;
+        assert!(mean < 214.0, "late-phase mean PEs = {mean}");
+    }
+}

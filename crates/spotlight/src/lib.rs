@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Spotlight: automated HW/SW co-design of deep-learning accelerators
+//! via domain-aware Bayesian optimization.
+//!
+//! This crate is the paper's primary contribution (Section VI): a design
+//! tool that takes a hardware budget and one or more DL models and
+//! produces optimized microarchitectural parameters together with an
+//! optimized software schedule per layer.
+//!
+//! Architecture:
+//!
+//! - [`features`]: the Figure 4 feature space — the domain information
+//!   injected into daBO,
+//! - [`swsearch`]: the per-layer software optimizer (daBO_SW) and its
+//!   ablation variants,
+//! - [`hwsearch`]: the hardware optimizer (daBO_HW) and variants,
+//! - [`codesign`]: the nested layerwise optimization of Section VI-A,
+//! - [`scenarios`]: the evaluation drivers — single-model co-design
+//!   (Figure 6/7), multi-model and generalization (Figure 8), and fair
+//!   evaluation of hand-designed baselines under daBO_SW,
+//! - [`variants`]: the Spotlight / -A / -V / -F / -R / -GA ablation
+//!   family of Section VII-E.
+//!
+//! # Examples
+//!
+//! Co-design a tiny accelerator for a two-layer model with a reduced
+//! sample budget:
+//!
+//! ```
+//! use spotlight::codesign::{CodesignConfig, Spotlight};
+//! use spotlight::variants::Variant;
+//! use spotlight_conv::ConvLayer;
+//! use spotlight_maestro::Objective;
+//! use spotlight_models::Model;
+//!
+//! let model = Model::from_layers(
+//!     "tiny",
+//!     vec![
+//!         ConvLayer::new(1, 16, 8, 3, 3, 14, 14),
+//!         ConvLayer::new(1, 32, 16, 3, 3, 7, 7),
+//!     ],
+//! );
+//! let config = CodesignConfig {
+//!     hw_samples: 6,
+//!     sw_samples: 12,
+//!     objective: Objective::Edp,
+//!     variant: Variant::Spotlight,
+//!     seed: 1,
+//!     ..CodesignConfig::edge()
+//! };
+//! let outcome = Spotlight::new(config).codesign(&[model]);
+//! assert!(outcome.best_hw.is_some());
+//! assert!(outcome.best_cost.is_finite());
+//! ```
+
+pub mod codesign;
+pub mod features;
+pub mod hwsearch;
+pub mod pareto;
+pub mod report;
+pub mod scenarios;
+pub mod swsearch;
+pub mod variants;
+
+pub use codesign::{CodesignConfig, CodesignOutcome, Spotlight};
+pub use features::{hw_features, sw_features, HW_FEATURE_NAMES, SW_FEATURE_NAMES};
+pub use variants::Variant;

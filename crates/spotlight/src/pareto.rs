@@ -1,0 +1,234 @@
+//! Pareto-frontier tracking and budget-aware design selection.
+//!
+//! Section VI-B: "From the pareto-optimal frontier, Spotlight selects the
+//! configuration that is closest to the inputted area and power budgets
+//! without exceeding them." The co-design driver keeps every evaluated
+//! hardware point; this module extracts the delay/energy/area frontier
+//! and applies that selection rule.
+
+use spotlight_accel::{Budget, HardwareConfig};
+
+/// One evaluated hardware design with its aggregate metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The hardware configuration.
+    pub hw: HardwareConfig,
+    /// Aggregate delay over the models, in cycles.
+    pub delay_cycles: f64,
+    /// Aggregate energy over the models, in nJ.
+    pub energy_nj: f64,
+    /// Die area in mm^2.
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Whether `self` dominates `other`: no worse in every objective and
+    /// strictly better in at least one (delay, energy, area all
+    /// minimized).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.delay_cycles <= other.delay_cycles
+            && self.energy_nj <= other.energy_nj
+            && self.area_mm2 <= other.area_mm2;
+        let better = self.delay_cycles < other.delay_cycles
+            || self.energy_nj < other.energy_nj
+            || self.area_mm2 < other.area_mm2;
+        no_worse && better
+    }
+
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.delay_cycles * self.energy_nj
+    }
+}
+
+/// A Pareto frontier over (delay, energy, area), all minimized.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight::pareto::{DesignPoint, ParetoFrontier};
+/// use spotlight_accel::HardwareConfig;
+///
+/// let hw = HardwareConfig::new(128, 16, 2, 64, 128, 64)?;
+/// let mut front = ParetoFrontier::new();
+/// front.insert(DesignPoint { hw, delay_cycles: 10.0, energy_nj: 5.0, area_mm2: 2.0 });
+/// front.insert(DesignPoint { hw, delay_cycles: 20.0, energy_nj: 9.0, area_mm2: 3.0 }); // dominated
+/// front.insert(DesignPoint { hw, delay_cycles: 5.0, energy_nj: 8.0, area_mm2: 2.5 }); // trade-off
+/// assert_eq!(front.len(), 2);
+/// # Ok::<(), spotlight_accel::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontier {
+    points: Vec<DesignPoint>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        ParetoFrontier { points: Vec::new() }
+    }
+
+    /// Builds the frontier of an arbitrary point set.
+    pub fn from_points(points: impl IntoIterator<Item = DesignPoint>) -> Self {
+        let mut front = ParetoFrontier::new();
+        for p in points {
+            front.insert(p);
+        }
+        front
+    }
+
+    /// Inserts a point, dropping it if dominated and evicting any points
+    /// it dominates. Returns whether the point joined the frontier.
+    pub fn insert(&mut self, p: DesignPoint) -> bool {
+        if !p.delay_cycles.is_finite() || !p.energy_nj.is_finite() {
+            return false;
+        }
+        if self.points.iter().any(|q| q.dominates(&p)) {
+            return false;
+        }
+        self.points.retain(|q| !p.dominates(q));
+        self.points.push(p);
+        true
+    }
+
+    /// The non-dominated points, in insertion order.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The Section VI-B selection: among frontier points whose design
+    /// fits the budget, the one *closest to* the budget (largest area
+    /// utilization) — the design that spends the allowance rather than
+    /// leaving silicon on the table. Returns `None` if nothing fits.
+    pub fn select_for_budget(&self, budget: &Budget) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| budget.admits(&p.hw))
+            .max_by(|a, b| {
+                budget
+                    .area_utilization(&a.hw)
+                    .total_cmp(&budget.area_utilization(&b.hw))
+            })
+    }
+
+    /// The frontier point with the lowest EDP that fits the budget.
+    pub fn best_edp_in_budget(&self, budget: &Budget) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| budget.admits(&p.hw))
+            .min_by(|a, b| a.edp().total_cmp(&b.edp()))
+    }
+}
+
+impl FromIterator<DesignPoint> for ParetoFrontier {
+    fn from_iter<T: IntoIterator<Item = DesignPoint>>(iter: T) -> Self {
+        ParetoFrontier::from_points(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareConfig {
+        HardwareConfig::new(168, 14, 1, 96, 128, 64).unwrap()
+    }
+
+    fn big_hw() -> HardwareConfig {
+        HardwareConfig::new(300, 20, 8, 256, 256, 256).unwrap()
+    }
+
+    fn p(delay: f64, energy: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            hw: hw(),
+            delay_cycles: delay,
+            energy_nj: energy,
+            area_mm2: area,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = p(1.0, 1.0, 1.0);
+        assert!(!a.dominates(&a));
+        assert!(a.dominates(&p(2.0, 1.0, 1.0)));
+        assert!(!a.dominates(&p(0.5, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn dominated_points_rejected_and_evicted() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(p(10.0, 10.0, 10.0)));
+        assert!(!f.insert(p(11.0, 10.0, 10.0))); // dominated
+        assert!(f.insert(p(1.0, 1.0, 1.0))); // dominates everything
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].delay_cycles, 1.0);
+    }
+
+    #[test]
+    fn infinite_points_never_join() {
+        let mut f = ParetoFrontier::new();
+        assert!(!f.insert(p(f64::INFINITY, 1.0, 1.0)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn trade_offs_coexist() {
+        let f: ParetoFrontier = [
+            p(1.0, 10.0, 5.0),
+            p(10.0, 1.0, 5.0),
+            p(5.0, 5.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn budget_selection_prefers_fullest_fitting_design() {
+        let budget = Budget::edge();
+        let small = DesignPoint {
+            hw: hw(),
+            delay_cycles: 10.0,
+            energy_nj: 10.0,
+            area_mm2: budget.area_mm2(&hw()),
+        };
+        let large = DesignPoint {
+            hw: big_hw(),
+            delay_cycles: 5.0,
+            energy_nj: 12.0,
+            area_mm2: budget.area_mm2(&big_hw()),
+        };
+        let f: ParetoFrontier = [small, large].into_iter().collect();
+        let chosen = f.select_for_budget(&budget).unwrap();
+        // big_hw uses more of the budget and still fits.
+        assert_eq!(chosen.hw, big_hw());
+    }
+
+    #[test]
+    fn budget_selection_none_when_nothing_fits() {
+        let tight = Budget::new(1e-6, 1e-6, 1.0);
+        let f: ParetoFrontier = [p(1.0, 1.0, 1.0)].into_iter().collect();
+        assert!(f.select_for_budget(&tight).is_none());
+    }
+
+    #[test]
+    fn best_edp_in_budget_minimizes_edp() {
+        let budget = Budget::edge();
+        let a = DesignPoint { hw: hw(), delay_cycles: 2.0, energy_nj: 10.0, area_mm2: 1.0 };
+        let b = DesignPoint { hw: hw(), delay_cycles: 10.0, energy_nj: 1.0, area_mm2: 0.9 };
+        let f: ParetoFrontier = [a, b].into_iter().collect();
+        let best = f.best_edp_in_budget(&budget).unwrap();
+        assert_eq!(best.edp(), 10.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable and CSV rendering of co-design outcomes.
+//!
+//! The artifact's `compare-ae.sh` emits CSV rows of
+//! `configuration, min, max, median, median-normalized`; this module
+//! reproduces that format and adds a per-layer markdown table for
+//! inspecting a finished design.
+
+use std::fmt::Write as _;
+
+use spotlight_maestro::Objective;
+
+use crate::codesign::{CodesignOutcome, ModelPlan};
+
+/// Renders one model plan as a markdown table: one row per unique layer
+/// with its schedule and headline metrics.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight::codesign::{CodesignConfig, Spotlight};
+/// use spotlight::report::plan_markdown;
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_models::Model;
+///
+/// let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
+/// let cfg = CodesignConfig { hw_samples: 4, sw_samples: 8, ..CodesignConfig::edge() };
+/// let out = Spotlight::new(cfg).codesign(&[model]);
+/// let md = plan_markdown(&out.best_plans[0]);
+/// assert!(md.contains("| layer |"));
+/// ```
+pub fn plan_markdown(plan: &ModelPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}", plan.model_name);
+    let _ = writeln!(
+        out,
+        "total delay {:.3e} cycles, energy {:.3e} nJ, EDP {:.3e}",
+        plan.total_delay,
+        plan.total_energy,
+        plan.objective_value(Objective::Edp)
+    );
+    let _ = writeln!(
+        out,
+        "| layer | x | schedule | delay (cyc) | energy (nJ) | util | bound |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for lp in &plan.layers {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.3e} | {:.3e} | {:.0}% | {} |",
+            lp.layer,
+            lp.count,
+            lp.schedule,
+            lp.report.delay_cycles,
+            lp.report.energy_nj,
+            lp.report.pe_utilization * 100.0,
+            lp.report.bottleneck()
+        );
+    }
+    out
+}
+
+/// Renders a co-design outcome summary: the chosen hardware, aggregate
+/// metrics, search statistics, and the Pareto frontier size.
+pub fn outcome_summary(outcome: &CodesignOutcome, objective: Objective) -> String {
+    let mut out = String::new();
+    match outcome.best_hw {
+        Some(hw) => {
+            let _ = writeln!(out, "best hardware : {hw}");
+        }
+        None => {
+            let _ = writeln!(out, "best hardware : none (all samples infeasible)");
+        }
+    }
+    let _ = writeln!(out, "best {objective} : {:.4e}", outcome.best_cost);
+    let _ = writeln!(
+        out,
+        "evaluations   : {} cost-model calls over {} hardware samples",
+        outcome.evaluations,
+        outcome.hw_history.len()
+    );
+    let feasible = outcome.hw_history.iter().filter(|c| c.is_finite()).count();
+    let _ = writeln!(
+        out,
+        "feasible      : {feasible}/{} hardware samples",
+        outcome.hw_history.len()
+    );
+    let _ = writeln!(
+        out,
+        "pareto front  : {} non-dominated designs",
+        outcome.frontier.len()
+    );
+    out
+}
+
+/// One CSV row in the artifact's `compare-ae.sh` format.
+pub fn csv_row(configuration: &str, min: f64, max: f64, median: f64, spotlight_median: f64) -> String {
+    format!(
+        "{configuration},{min:.4e},{max:.4e},{median:.4e},{:.3}",
+        median / spotlight_median
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codesign::{CodesignConfig, Spotlight};
+    use crate::variants::Variant;
+    use spotlight_conv::ConvLayer;
+    use spotlight_models::Model;
+
+    fn outcome() -> CodesignOutcome {
+        let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
+        let cfg = CodesignConfig {
+            hw_samples: 4,
+            sw_samples: 8,
+            variant: Variant::Spotlight,
+            seed: 0,
+            ..CodesignConfig::edge()
+        };
+        Spotlight::new(cfg).codesign(&[model])
+    }
+
+    #[test]
+    fn markdown_has_row_per_layer() {
+        let out = outcome();
+        let md = plan_markdown(&out.best_plans[0]);
+        let rows = md.lines().filter(|l| l.starts_with("| N1")).count();
+        assert_eq!(rows, out.best_plans[0].layers.len());
+    }
+
+    #[test]
+    fn summary_reports_counts() {
+        let out = outcome();
+        let s = outcome_summary(&out, Objective::Edp);
+        assert!(s.contains("4 hardware samples"));
+        assert!(s.contains("pareto front"));
+    }
+
+    #[test]
+    fn csv_row_normalizes() {
+        let row = csv_row("X", 1.0, 3.0, 2.0, 4.0);
+        assert!(row.ends_with("0.500"));
+        assert!(row.starts_with("X,"));
+    }
+}

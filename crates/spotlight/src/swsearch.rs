@@ -1,0 +1,464 @@
+//! The per-layer software optimizer (daBO_SW) and its ablation variants.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use spotlight_accel::{DataflowStyle, HardwareConfig};
+use spotlight_conv::factor::divisors;
+use spotlight_conv::{ConvLayer, Dim, DIMS, NUM_DIMS};
+use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind, Trace};
+use spotlight_gp::Kernel;
+use spotlight_maestro::{CostModel, CostReport, Objective};
+use spotlight_searchers::{Genetic, RandomSearch};
+use spotlight_space::dataflows::dataflow_schedule;
+use spotlight_space::{mutate, sample, Schedule, TileSizes};
+
+use crate::features::{all_sw_features, raw_sw_params, sw_features, ALL_SW_DIM, RAW_SW_DIM, SW_FEATURE_NAMES};
+use crate::variants::Variant;
+
+/// Configuration of one software search.
+#[derive(Debug, Clone, Copy)]
+pub struct SwSearchConfig {
+    /// Cost-model evaluations ("100 software samples per layer").
+    pub samples: usize,
+    /// Metric to minimize.
+    pub objective: Objective,
+    /// Which search machinery to use.
+    pub variant: Variant,
+}
+
+/// Result of optimizing one layer's schedule on a fixed accelerator.
+#[derive(Debug, Clone)]
+pub struct SwResult {
+    /// Best feasible schedule and its cost report, if any sample was
+    /// feasible.
+    pub best: Option<(Schedule, CostReport)>,
+    /// Best-so-far convergence trace over the sample budget.
+    pub trace: Trace,
+    /// Cost-model evaluations spent.
+    pub evaluations: u64,
+}
+
+impl SwResult {
+    /// The layer's objective value, or `f64::INFINITY` when no feasible
+    /// schedule was found.
+    pub fn objective_value(&self, obj: Objective) -> f64 {
+        self.best
+            .as_ref()
+            .map_or(f64::INFINITY, |(_, r)| r.objective(obj))
+    }
+}
+
+/// Guided proposal distribution for the BO-based variants: half uniform
+/// draws over the full schedule space, half structure-preserving
+/// randomizations around the rigid dataflow skeletons (tile chains
+/// re-drawn per dimension, orders and unrolls occasionally re-drawn).
+/// Every schedule in the space remains reachable; the mixture simply
+/// concentrates candidate batches where the acquisition function can
+/// discriminate — the candidate-generation side of injecting domain
+/// information.
+pub fn sample_schedule_guided(
+    rng: &mut dyn RngCore,
+    layer: &ConvLayer,
+    hw: &HardwareConfig,
+) -> Schedule {
+    use rand::Rng;
+    if rng.gen_bool(0.5) {
+        return sample::sample_schedule(rng, layer);
+    }
+    let style = *DataflowStyle::RIGID.choose(rng).expect("menu non-empty");
+    let base = dataflow_schedule(style, layer, hw);
+    // Re-draw a random subset of tile chains.
+    let redraw: Vec<Dim> = DIMS.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+    let mut s = randomize_dims(rng, &base, layer, &redraw);
+    if rng.gen_bool(0.3) {
+        s = Schedule::new(
+            *s.tiles(),
+            sample::sample_order(rng),
+            *s.inner_order(),
+            s.outer_unroll(),
+            s.inner_unroll(),
+        );
+    }
+    if rng.gen_bool(0.3) {
+        s = Schedule::new(
+            *s.tiles(),
+            *s.outer_order(),
+            sample::sample_order(rng),
+            sample::sample_dim(rng),
+            sample::sample_dim(rng),
+        );
+    }
+    s
+}
+
+/// Builds the variant's software-search algorithm for one (hw, layer)
+/// pair.
+fn build_search(variant: Variant, hw: HardwareConfig, layer: ConvLayer) -> Box<dyn Search<Schedule>> {
+    let full_sampler = move |rng: &mut dyn RngCore| sample::sample_schedule(rng, &layer);
+    let guided_sampler = move |rng: &mut dyn RngCore| sample_schedule_guided(rng, &layer, &hw);
+    match variant {
+        Variant::Spotlight => {
+            let fm = FnFeatureMap::new(SW_FEATURE_NAMES.len(), move |s: &Schedule| {
+                sw_features(&hw, s, &layer)
+            });
+            Box::new(Dabo::new(DaboConfig::default(), fm, guided_sampler))
+        }
+        Variant::SpotlightA => {
+            let fm = FnFeatureMap::new(ALL_SW_DIM, move |s: &Schedule| {
+                all_sw_features(&hw, s, &layer)
+            });
+            Box::new(Dabo::new(DaboConfig::default(), fm, guided_sampler))
+        }
+        Variant::SpotlightV => {
+            let fm = FnFeatureMap::new(RAW_SW_DIM, |s: &Schedule| raw_sw_params(s));
+            let cfg = DaboConfig {
+                surrogate: SurrogateKind::Gp(Kernel::matern52(3.0)),
+                // O(N^3) fits: refit sparsely, as off-the-shelf BO stacks do.
+                refit_every: 4,
+                ..DaboConfig::default()
+            };
+            Box::new(Dabo::new(cfg, fm, guided_sampler))
+        }
+        Variant::SpotlightF => {
+            let fm = FnFeatureMap::new(SW_FEATURE_NAMES.len(), move |s: &Schedule| {
+                sw_features(&hw, s, &layer)
+            });
+            let sampler = move |rng: &mut dyn RngCore| fixed_dataflow_sample(rng, &layer, &hw);
+            Box::new(Dabo::new(DaboConfig::default(), fm, sampler))
+        }
+        Variant::SpotlightR => Box::new(RandomSearch::new(full_sampler)),
+        Variant::SpotlightGA => Box::new(Genetic::new(
+            16,
+            0.6,
+            full_sampler,
+            move |rng: &mut dyn RngCore, s: &Schedule| mutate::mutate_schedule(rng, s, &layer),
+            move |rng: &mut dyn RngCore, a: &Schedule, b: &Schedule| {
+                mutate::crossover_schedule(rng, a, b, &layer)
+            },
+        )),
+    }
+}
+
+/// Spotlight-F's restricted sampler: one of the three rigid dataflows
+/// with only the K and C tiling factors re-randomized (Section VII-E:
+/// "it only searches among the three software schedules supported by
+/// ConfuciuX ... and it only searches for tiling factors in the K and C
+/// dimensions").
+pub fn fixed_dataflow_sample(
+    rng: &mut dyn RngCore,
+    layer: &ConvLayer,
+    hw: &HardwareConfig,
+) -> Schedule {
+    let style = *DataflowStyle::RIGID.choose(rng).expect("menu non-empty");
+    let base = dataflow_schedule(style, layer, hw);
+    randomize_dims(rng, &base, layer, &[Dim::K, Dim::C])
+}
+
+/// Re-randomizes the divisor chains of `dims`, keeping everything else.
+fn randomize_dims(
+    rng: &mut dyn RngCore,
+    base: &Schedule,
+    layer: &ConvLayer,
+    dims: &[Dim],
+) -> Schedule {
+    let mut l2: [u64; NUM_DIMS] = std::array::from_fn(|i| base.tiles().l2(DIMS[i]));
+    let mut rf: [u64; NUM_DIMS] = std::array::from_fn(|i| base.tiles().rf(DIMS[i]));
+    for &d in dims {
+        let i = d.index();
+        l2[i] = *divisors(layer.extent(d)).choose(rng).expect("extent > 0");
+        rf[i] = *divisors(l2[i]).choose(rng).expect("tile > 0");
+    }
+    let tiles = TileSizes::new(layer, l2, rf).expect("redrawn chains are legal");
+    base.with_tiles(tiles)
+}
+
+/// A style-constrained sampler for rigid hand-designed accelerators:
+/// unroll dimensions and loop orders are pinned by the dataflow, tiling
+/// is free (the compiler's degree of freedom). Used when evaluating
+/// Eyeriss-/NVDLA-/ShiDianNao-like baselines "under our layerwise
+/// software optimizer".
+pub fn style_constrained_sample(
+    rng: &mut dyn RngCore,
+    layer: &ConvLayer,
+    hw: &HardwareConfig,
+    style: DataflowStyle,
+) -> Schedule {
+    let base = dataflow_schedule(style, layer, hw);
+    randomize_dims(rng, &base, layer, &DIMS)
+}
+
+/// Runs one software search of `cfg.samples` cost-model evaluations for
+/// `layer` on `hw`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spotlight::swsearch::{optimize_schedule, SwSearchConfig};
+/// use spotlight::Variant;
+/// use spotlight_accel::Baseline;
+/// use spotlight_conv::ConvLayer;
+/// use spotlight_maestro::{CostModel, Objective};
+///
+/// let cfg = SwSearchConfig { samples: 20, objective: Objective::Edp, variant: Variant::Spotlight };
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let r = optimize_schedule(
+///     &CostModel::default(),
+///     &Baseline::NvdlaLike.edge_config(),
+///     &ConvLayer::new(1, 16, 8, 3, 3, 14, 14),
+///     &cfg,
+///     &mut rng,
+/// );
+/// assert!(r.best.is_some());
+/// assert_eq!(r.evaluations, 20);
+/// ```
+pub fn optimize_schedule(
+    model: &CostModel,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    rng: &mut dyn RngCore,
+) -> SwResult {
+    let mut search = build_search(cfg.variant, *hw, *layer);
+    run_sw(model, hw, layer, cfg, rng, search.as_mut())
+}
+
+/// Like [`optimize_schedule`] but constrained to one rigid dataflow —
+/// the fair software optimizer for hand-designed baselines.
+pub fn optimize_schedule_for_style(
+    model: &CostModel,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    style: DataflowStyle,
+    cfg: &SwSearchConfig,
+    rng: &mut dyn RngCore,
+) -> SwResult {
+    let hw_c = *hw;
+    let layer_c = *layer;
+    let mut search: Box<dyn Search<Schedule>> = if style == DataflowStyle::Flexible {
+        // MAERI-like: flexible dataflow, full schedule freedom on fixed HW.
+        build_search(Variant::Spotlight, hw_c, layer_c)
+    } else {
+        let fm = FnFeatureMap::new(SW_FEATURE_NAMES.len(), move |s: &Schedule| {
+            sw_features(&hw_c, s, &layer_c)
+        });
+        let sampler =
+            move |rng: &mut dyn RngCore| style_constrained_sample(rng, &layer_c, &hw_c, style);
+        Box::new(Dabo::new(DaboConfig::default(), fm, sampler))
+    };
+    run_sw(model, hw, layer, cfg, rng, search.as_mut())
+}
+
+/// Like [`optimize_schedule`] with the Spotlight feature space but
+/// *uniform* candidate proposals instead of the guided mixture — the
+/// ablation of this reproduction's one methodological addition (see
+/// DESIGN.md). Also accepts an alternative acquisition function.
+pub fn optimize_schedule_uniform(
+    model: &CostModel,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    acquisition: spotlight_dabo::Acquisition,
+    rng: &mut dyn RngCore,
+) -> SwResult {
+    let hw_c = *hw;
+    let layer_c = *layer;
+    let fm = FnFeatureMap::new(SW_FEATURE_NAMES.len(), move |s: &Schedule| {
+        sw_features(&hw_c, s, &layer_c)
+    });
+    let dcfg = DaboConfig {
+        acquisition,
+        ..DaboConfig::default()
+    };
+    let mut search = Dabo::new(dcfg, fm, move |rng: &mut dyn RngCore| {
+        sample::sample_schedule(rng, &layer_c)
+    });
+    run_sw(model, hw, layer, cfg, rng, &mut search)
+}
+
+/// Like [`optimize_schedule`] for the Spotlight variant but with an
+/// explicit acquisition function (guided proposals).
+pub fn optimize_schedule_with_acquisition(
+    model: &CostModel,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    acquisition: spotlight_dabo::Acquisition,
+    rng: &mut dyn RngCore,
+) -> SwResult {
+    let hw_c = *hw;
+    let layer_c = *layer;
+    let fm = FnFeatureMap::new(SW_FEATURE_NAMES.len(), move |s: &Schedule| {
+        sw_features(&hw_c, s, &layer_c)
+    });
+    let dcfg = DaboConfig {
+        acquisition,
+        ..DaboConfig::default()
+    };
+    let mut search = Dabo::new(dcfg, fm, move |rng: &mut dyn RngCore| {
+        sample_schedule_guided(rng, &layer_c, &hw_c)
+    });
+    run_sw(model, hw, layer, cfg, rng, &mut search)
+}
+
+fn run_sw(
+    model: &CostModel,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    rng: &mut dyn RngCore,
+    search: &mut dyn Search<Schedule>,
+) -> SwResult {
+    let mut best: Option<(Schedule, CostReport)> = None;
+    for _ in 0..cfg.samples {
+        let sched = search.suggest(rng);
+        let cost = match model.evaluate(hw, &sched, layer) {
+            Ok(report) => {
+                let value = report.objective(cfg.objective);
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| value < b.objective(cfg.objective))
+                {
+                    best = Some((sched, report));
+                }
+                value
+            }
+            Err(_) => f64::INFINITY,
+        };
+        search.observe(sched, cost);
+    }
+    SwResult {
+        best,
+        trace: Trace::from_costs(search.history()),
+        evaluations: cfg.samples as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spotlight_accel::Baseline;
+
+    fn cfg(variant: Variant) -> SwSearchConfig {
+        SwSearchConfig {
+            samples: 40,
+            objective: Objective::Edp,
+            variant,
+        }
+    }
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new(1, 64, 32, 3, 3, 28, 28)
+    }
+
+    #[test]
+    fn every_variant_finds_a_feasible_schedule() {
+        let model = CostModel::default();
+        let hw = Baseline::NvdlaLike.edge_config();
+        for v in Variant::ALL {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let r = optimize_schedule(&model, &hw, &layer(), &cfg(v), &mut rng);
+            assert!(r.best.is_some(), "{v} found nothing feasible");
+            assert_eq!(r.evaluations, 40);
+        }
+    }
+
+    #[test]
+    fn spotlight_beats_random_on_median_seed() {
+        let model = CostModel::default();
+        let hw = Baseline::NvdlaLike.edge_config();
+        let mut wins = 0;
+        let trials = 7;
+        for seed in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let s = optimize_schedule(&model, &hw, &layer(), &cfg(Variant::Spotlight), &mut rng);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            let r = optimize_schedule(&model, &hw, &layer(), &cfg(Variant::SpotlightR), &mut rng);
+            if s.objective_value(Objective::Edp) <= r.objective_value(Objective::Edp) {
+                wins += 1;
+            }
+        }
+        assert!(wins * 2 > trials, "Spotlight won only {wins}/{trials}");
+    }
+
+    #[test]
+    fn fixed_dataflow_schedules_stay_in_menu() {
+        let hw = Baseline::NvdlaLike.edge_config();
+        let l = layer();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let menu: Vec<(Dim, Dim)> = DataflowStyle::RIGID
+            .iter()
+            .map(|&st| {
+                let s = dataflow_schedule(st, &l, &hw);
+                (s.outer_unroll(), s.inner_unroll())
+            })
+            .collect();
+        for _ in 0..50 {
+            let s = fixed_dataflow_sample(&mut rng, &l, &hw);
+            assert!(menu.contains(&(s.outer_unroll(), s.inner_unroll())));
+            // Only K and C may deviate from some base schedule's tiling;
+            // chains must stay legal regardless.
+            assert!(s.tiles().chain_is_legal());
+        }
+    }
+
+    #[test]
+    fn style_constrained_sampler_pins_unrolls() {
+        let hw = Baseline::EyerissLike.edge_config();
+        let l = layer();
+        let base = dataflow_schedule(DataflowStyle::RowStationary, &l, &hw);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let s = style_constrained_sample(&mut rng, &l, &hw, DataflowStyle::RowStationary);
+            assert_eq!(s.outer_unroll(), base.outer_unroll());
+            assert_eq!(s.inner_unroll(), base.inner_unroll());
+            assert_eq!(s.outer_order(), base.outer_order());
+        }
+    }
+
+    #[test]
+    fn infeasible_layers_return_infinite_objective() {
+        // A 2-byte-RF-per-PE accelerator cannot hold even a unit tile
+        // (one weight + one input + one output element = 3 bytes).
+        let model = CostModel::default();
+        let hw = HardwareConfig::new(512, 16, 16, 1, 64, 64).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let r = optimize_schedule(&model, &hw, &layer(), &cfg(Variant::SpotlightR), &mut rng);
+        assert!(r.best.is_none());
+        assert!(r.objective_value(Objective::Edp).is_infinite());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = CostModel::default();
+        let hw = Baseline::NvdlaLike.edge_config();
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            optimize_schedule(&model, &hw, &layer(), &cfg(Variant::Spotlight), &mut rng)
+                .objective_value(Objective::Edp)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delay_objective_optimizes_delay() {
+        let model = CostModel::default();
+        let hw = Baseline::NvdlaLike.edge_config();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let c = SwSearchConfig {
+            samples: 60,
+            objective: Objective::Delay,
+            variant: Variant::Spotlight,
+        };
+        let r = optimize_schedule(&model, &hw, &layer(), &c, &mut rng);
+        let (_, report) = r.best.unwrap();
+        // The found delay should beat the naive trivial schedule's delay.
+        let trivial = model
+            .evaluate(&hw, &Schedule::trivial(&layer()), &layer())
+            .unwrap();
+        assert!(report.delay_cycles < trivial.delay_cycles);
+    }
+}

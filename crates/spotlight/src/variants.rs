@@ -1,0 +1,115 @@
+//! The Spotlight ablation family (Section VII-E).
+
+use std::fmt;
+
+/// Which search machinery drives both daBO_HW and daBO_SW.
+///
+/// The ablation replaces the two daBO instances with alternative
+/// algorithms while keeping the nested layerwise driver identical, so
+/// differences in Figure 10 are attributable to the search alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// daBO on the Figure 4 feature space (the full system).
+    Spotlight,
+    /// daBO on the union of features and raw parameters (Section VII-D's
+    /// Spotlight-A).
+    SpotlightA,
+    /// Off-the-shelf BO: Matérn-kernel GP directly on the raw parameter
+    /// encoding — no domain information (Spotlight-V).
+    SpotlightV,
+    /// daBO on the feature space, but the software menu is restricted to
+    /// the three rigid dataflows with only K/C tiling searched
+    /// (Spotlight-F).
+    SpotlightF,
+    /// Uniform random search (Spotlight-R).
+    SpotlightR,
+    /// Genetic algorithm (Spotlight-GA).
+    SpotlightGA,
+}
+
+impl Variant {
+    /// All variants in the Figure 10 presentation order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Spotlight,
+        Variant::SpotlightA,
+        Variant::SpotlightV,
+        Variant::SpotlightF,
+        Variant::SpotlightR,
+        Variant::SpotlightGA,
+    ];
+
+    /// The variants plotted in the Figure 10 ablation (Spotlight-A is
+    /// discussed in VII-D only).
+    pub const FIGURE10: [Variant; 5] = [
+        Variant::Spotlight,
+        Variant::SpotlightF,
+        Variant::SpotlightV,
+        Variant::SpotlightR,
+        Variant::SpotlightGA,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Spotlight => "Spotlight",
+            Variant::SpotlightA => "Spotlight-A",
+            Variant::SpotlightV => "Spotlight-V",
+            Variant::SpotlightF => "Spotlight-F",
+            Variant::SpotlightR => "Spotlight-R",
+            Variant::SpotlightGA => "Spotlight-GA",
+        }
+    }
+
+    /// Whether this variant injects domain information (a feature space)
+    /// into the search.
+    pub fn uses_domain_information(&self) -> bool {
+        matches!(
+            self,
+            Variant::Spotlight | Variant::SpotlightA | Variant::SpotlightF
+        )
+    }
+
+    /// Whether this variant searches the full schedule space (tile sizes,
+    /// loop orders, unroll dimensions for all seven dimensions).
+    pub fn searches_full_schedule_space(&self) -> bool {
+        !matches!(self, Variant::SpotlightF)
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Variant::Spotlight.to_string(), "Spotlight");
+        assert_eq!(Variant::SpotlightGA.to_string(), "Spotlight-GA");
+    }
+
+    #[test]
+    fn domain_information_flags() {
+        assert!(Variant::Spotlight.uses_domain_information());
+        assert!(Variant::SpotlightF.uses_domain_information());
+        assert!(!Variant::SpotlightV.uses_domain_information());
+        assert!(!Variant::SpotlightR.uses_domain_information());
+    }
+
+    #[test]
+    fn only_f_restricts_schedule_space() {
+        for v in Variant::ALL {
+            assert_eq!(v.searches_full_schedule_space(), v != Variant::SpotlightF);
+        }
+    }
+
+    #[test]
+    fn figure10_has_five_lines() {
+        assert_eq!(Variant::FIGURE10.len(), 5);
+        assert!(!Variant::FIGURE10.contains(&Variant::SpotlightA));
+    }
+}

@@ -1,0 +1,58 @@
+//! HW/Model co-design: joining Spotlight with a miniature neural
+//! architecture search — the integration the paper's conclusion proposes
+//! ("Spotlight can be integrated with widely-studied neural architecture
+//! search techniques to fully explore the joint space of hardware,
+//! software, and neural models").
+//!
+//! ```sh
+//! cargo run --release --example nas_codesign
+//! ```
+//!
+//! The model family is a small CNN with a width multiplier; wider models
+//! are a proxy for higher accuracy (more MACs/parameters). For each
+//! width, Spotlight co-designs an accelerator; the printout shows the
+//! accuracy-proxy vs. EDP trade-off that a NAS controller would search.
+
+use spotlight_repro::conv::ConvLayer;
+use spotlight_repro::maestro::Objective;
+use spotlight_repro::models::Model;
+use spotlight_repro::spotlight::codesign::{CodesignConfig, Spotlight};
+
+/// A toy CNN family parameterized by a width multiplier (x16 channels).
+fn cnn(width: u64) -> Model {
+    let c1 = 16 * width;
+    let c2 = 32 * width;
+    let layers = vec![
+        ConvLayer::new(1, c1, 3, 3, 3, 32, 32).with_name("stem"),
+        ConvLayer::new(1, c2, c1, 3, 3, 16, 16).with_name("body"),
+        ConvLayer::new(1, 10, c2, 1, 1, 1, 1).with_name("head"),
+    ];
+    // Leak: Model::from_layers wants a 'static name; the widths are a
+    // small fixed set, so a leaked label per width is fine for a demo.
+    let name: &'static str = Box::leak(format!("cnn-w{width}").into_boxed_str());
+    Model::from_layers(name, layers)
+}
+
+fn main() {
+    let config = CodesignConfig {
+        hw_samples: 10,
+        sw_samples: 20,
+        objective: Objective::Edp,
+        seed: 0,
+        ..CodesignConfig::edge()
+    };
+
+    println!("width, accuracy-proxy (GMACs), EDP (nJ x cycles), accelerator");
+    for width in [1u64, 2, 4] {
+        let model = cnn(width);
+        let gmacs = model.total_macs() as f64 / 1e9;
+        let outcome = Spotlight::new(config).codesign(std::slice::from_ref(&model));
+        let hw = outcome.best_hw.expect("edge budget admits these models");
+        println!("{width}, {gmacs:.3}, {:.3e}, {hw}", outcome.best_cost);
+    }
+    println!();
+    println!(
+        "A NAS controller would walk this frontier, trading the accuracy \
+         proxy against the co-designed EDP."
+    );
+}

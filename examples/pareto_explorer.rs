@@ -1,0 +1,65 @@
+//! Pareto-frontier exploration: the Section VI-B selection rule in
+//! action.
+//!
+//! ```sh
+//! cargo run --release --example pareto_explorer
+//! ```
+//!
+//! Runs a co-design sweep, prints the delay/energy/area frontier of all
+//! evaluated hardware points, and shows which design each selection rule
+//! picks: lowest EDP vs closest-to-budget-without-exceeding.
+
+use spotlight_repro::conv::ConvLayer;
+use spotlight_repro::maestro::Objective;
+use spotlight_repro::models::Model;
+use spotlight_repro::spotlight::codesign::{CodesignConfig, Spotlight};
+
+fn main() {
+    let model = Model::from_layers(
+        "pareto-demo",
+        vec![
+            ConvLayer::new(1, 96, 48, 3, 3, 28, 28),
+            ConvLayer::new(1, 192, 96, 1, 1, 14, 14),
+        ],
+    );
+    let config = CodesignConfig {
+        hw_samples: 30,
+        sw_samples: 25,
+        objective: Objective::Edp,
+        seed: 11,
+        ..CodesignConfig::edge()
+    };
+    let outcome = Spotlight::new(config).codesign(&[model]);
+
+    println!(
+        "{} hardware samples -> {} Pareto-optimal designs\n",
+        outcome.hw_history.len(),
+        outcome.frontier.len()
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "design", "delay (cyc)", "energy (nJ)", "mm^2"
+    );
+    for p in outcome.frontier.points() {
+        println!(
+            "{:<44} {:>12.3e} {:>12.3e} {:>8.2}",
+            p.hw.to_string(),
+            p.delay_cycles,
+            p.energy_nj,
+            p.area_mm2
+        );
+    }
+
+    let budget = config.budget;
+    if let Some(best_edp) = outcome.frontier.best_edp_in_budget(&budget) {
+        println!("\nlowest-EDP in budget     : {}", best_edp.hw);
+    }
+    if let Some(closest) = outcome.frontier.select_for_budget(&budget) {
+        println!(
+            "closest-to-budget (VI-B) : {} ({:.0}% of {} mm^2)",
+            closest.hw,
+            budget.area_utilization(&closest.hw) * 100.0,
+            budget.max_area_mm2
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the Spotlight / daBO reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! integration tests (`tests/`) and examples (`examples/`) can exercise the
+//! whole stack through a single dependency.
+
+pub use spotlight;
+pub use spotlight_accel as accel;
+pub use spotlight_conv as conv;
+pub use spotlight_dabo as dabo;
+pub use spotlight_gp as gp;
+pub use spotlight_maestro as maestro;
+pub use spotlight_models as models;
+pub use spotlight_searchers as searchers;
+pub use spotlight_space as space;
+pub use spotlight_timeloop as timeloop;
