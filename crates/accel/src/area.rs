@@ -39,8 +39,8 @@ pub struct AreaModel {
 impl AreaModel {
     /// Total die area of a configuration in mm^2.
     pub fn area_mm2(&self, hw: &HardwareConfig) -> f64 {
-        let compute = hw.pes() as f64
-            * (self.pe_overhead_mm2 + self.mac_lane_mm2 * hw.simd_lanes() as f64);
+        let compute =
+            hw.pes() as f64 * (self.pe_overhead_mm2 + self.mac_lane_mm2 * hw.simd_lanes() as f64);
         let sram = self.sram_mm2_per_kib * hw.total_sram_kib() as f64;
         let noc = self.noc_mm2_per_lane
             * hw.noc_bandwidth() as f64
@@ -124,7 +124,10 @@ impl Budget {
     /// Whether `hw` fits inside both the area and power limits.
     pub fn admits(&self, hw: &HardwareConfig) -> bool {
         self.area_model.area_mm2(hw) <= self.max_area_mm2
-            && self.area_model.peak_power_w(hw, &self.energy, self.clock_ghz) <= self.max_power_w
+            && self
+                .area_model
+                .peak_power_w(hw, &self.energy, self.clock_ghz)
+                <= self.max_power_w
     }
 
     /// Area of `hw` under this budget's area model.

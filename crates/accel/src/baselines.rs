@@ -70,8 +70,11 @@ pub enum Baseline {
 
 impl Baseline {
     /// The three baselines plotted in Figures 6-8.
-    pub const FIGURE6: [Baseline; 3] =
-        [Baseline::EyerissLike, Baseline::NvdlaLike, Baseline::MaeriLike];
+    pub const FIGURE6: [Baseline; 3] = [
+        Baseline::EyerissLike,
+        Baseline::NvdlaLike,
+        Baseline::MaeriLike,
+    ];
 
     /// Human-readable name matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -193,9 +196,18 @@ mod tests {
 
     #[test]
     fn dataflow_assignments_match_publications() {
-        assert_eq!(Baseline::EyerissLike.dataflow(), DataflowStyle::RowStationary);
-        assert_eq!(Baseline::NvdlaLike.dataflow(), DataflowStyle::WeightStationary);
-        assert_eq!(Baseline::ShiDianNaoLike.dataflow(), DataflowStyle::OutputStationary);
+        assert_eq!(
+            Baseline::EyerissLike.dataflow(),
+            DataflowStyle::RowStationary
+        );
+        assert_eq!(
+            Baseline::NvdlaLike.dataflow(),
+            DataflowStyle::WeightStationary
+        );
+        assert_eq!(
+            Baseline::ShiDianNaoLike.dataflow(),
+            DataflowStyle::OutputStationary
+        );
         assert_eq!(Baseline::MaeriLike.dataflow(), DataflowStyle::Flexible);
     }
 
@@ -236,7 +248,10 @@ mod scaling_tests {
                 if m < 128 {
                     let bigger = base
                         .edge_config()
-                        .with_array(base.edge_config().pes() * (m + 1), base.edge_config().pe_width())
+                        .with_array(
+                            base.edge_config().pes() * (m + 1),
+                            base.edge_config().pe_width(),
+                        )
                         .unwrap();
                     // Only a coarse check: more PEs alone may still fit
                     // because SRAM dominates; the full scaled config is

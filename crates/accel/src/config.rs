@@ -96,7 +96,10 @@ impl HardwareConfig {
             }
         }
         if !pes.is_multiple_of(pe_width) {
-            return Err(ConfigError::WidthDoesNotDividePes { pes, width: pe_width });
+            return Err(ConfigError::WidthDoesNotDividePes {
+                pes,
+                width: pe_width,
+            });
         }
         Ok(HardwareConfig {
             pes,

@@ -19,7 +19,12 @@ fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
         .collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| v * (i as f64 + 1.0)).sum())
+        .map(|x: &Vec<f64>| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| v * (i as f64 + 1.0))
+                .sum()
+        })
         .collect();
     (xs, ys)
 }

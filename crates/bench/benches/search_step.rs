@@ -15,10 +15,11 @@ use spotlight::swsearch::{optimize_schedule, SwSearchConfig};
 use spotlight::variants::Variant;
 use spotlight_accel::Baseline;
 use spotlight_conv::ConvLayer;
-use spotlight_maestro::{CostModel, Objective};
+use spotlight_eval::EvalEngine;
+use spotlight_maestro::Objective;
 
 fn bench_search_step(c: &mut Criterion) {
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
     let hw = Baseline::NvdlaLike.edge_config();
     let layer = ConvLayer::new(1, 128, 64, 3, 3, 28, 28);
 

@@ -22,14 +22,15 @@ use spotlight_accel::Baseline;
 use spotlight_bench::stats;
 use spotlight_conv::ConvLayer;
 use spotlight_dabo::Acquisition;
-use spotlight_maestro::{CostModel, Objective};
+use spotlight_eval::EvalEngine;
+use spotlight_maestro::Objective;
 use spotlight_models::transformer;
 
 const SEEDS: u64 = 5;
 const SAMPLES: usize = 80;
 
 fn main() {
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
     let hw = Baseline::NvdlaLike.edge_config();
     let layers = [
         ("resnet_conv3x3", ConvLayer::new(1, 128, 64, 3, 3, 28, 28)),
@@ -51,7 +52,10 @@ fn main() {
                 })
                 .collect();
             let s = stats(&costs);
-            println!("{name},{label},{:.4e},{:.4e},{:.4e}", s.min, s.max, s.median);
+            println!(
+                "{name},{label},{:.4e},{:.4e},{:.4e}",
+                s.min, s.max, s.median
+            );
         };
 
         run("lcb_guided (default)", &mut |rng| {
@@ -92,16 +96,14 @@ fn main() {
                 variant: Variant::SpotlightV,
                 ..cfg
             };
-            optimize_schedule(&model, &hw, &layer, &vcfg, rng)
-                .objective_value(Objective::Edp)
+            optimize_schedule(&model, &hw, &layer, &vcfg, rng).objective_value(Objective::Edp)
         });
         run("random (Spotlight-R)", &mut |rng| {
             let rcfg = SwSearchConfig {
                 variant: Variant::SpotlightR,
                 ..cfg
             };
-            optimize_schedule(&model, &hw, &layer, &rcfg, rng)
-                .objective_value(Objective::Edp)
+            optimize_schedule(&model, &hw, &layer, &rcfg, rng).objective_value(Objective::Edp)
         });
     }
 }

@@ -11,7 +11,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
-    if !matches!(mode.as_str(), "main-edge" | "main-cloud" | "general" | "ablation") {
+    if !matches!(
+        mode.as_str(),
+        "main-edge" | "main-cloud" | "general" | "ablation"
+    ) {
         eprintln!("usage: compare_ae <main-edge|main-cloud|general|ablation>");
         return ExitCode::FAILURE;
     }

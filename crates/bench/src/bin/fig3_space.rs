@@ -10,7 +10,10 @@ use spotlight_bench::models_from_env;
 use spotlight_space::{cardinality, ParamRanges};
 
 fn main() {
-    for (label, ranges) in [("edge", ParamRanges::edge()), ("cloud", ParamRanges::cloud())] {
+    for (label, ranges) in [
+        ("edge", ParamRanges::edge()),
+        ("cloud", ParamRanges::cloud()),
+    ] {
         println!("# {label} parameter space");
         println!("parameter,kind,values");
         for d in ranges.descriptors() {

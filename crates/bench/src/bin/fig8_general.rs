@@ -16,8 +16,6 @@
 
 use std::collections::HashMap;
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use spotlight::codesign::Spotlight;
 use spotlight_bench::experiments::{rows_to_csv, Row};
 use spotlight_bench::Budgets;
@@ -63,8 +61,7 @@ fn main() {
             let tool = Spotlight::new(cfg);
             let out = tool.codesign(&models);
             if let Some(hw) = out.best_hw {
-                let mut rng = ChaCha8Rng::seed_from_u64(1000 + t);
-                let (plans, _) = tool.optimize_software(&hw, &models, &mut rng);
+                let (plans, _) = tool.optimize_software(&hw, &models, 1000 + t);
                 for plan in plans {
                     multi
                         .entry(plan.model_name)

@@ -75,7 +75,9 @@ fn run_space(
             continue;
         }
         let mut surrogate = BayesianLinearModel::new(10.0, 1e-2);
-        surrogate.fit(&xs, &ys).expect("pooled dataset is well-formed");
+        surrogate
+            .fit(&xs, &ys)
+            .expect("pooled dataset is well-formed");
         let imp = permutation_importance(&surrogate, &xs, &mut rng);
         print!("{label}:{}", model.name());
         for v in &imp {

@@ -24,7 +24,9 @@ use spotlight_maestro::Objective;
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
     let modes: Vec<&str> = match mode.as_str() {
-        "main-edge" | "main-cloud" | "general" | "ablation" => vec![Box::leak(mode.clone().into_boxed_str())],
+        "main-edge" | "main-cloud" | "general" | "ablation" => {
+            vec![Box::leak(mode.clone().into_boxed_str())]
+        }
         "all" => vec!["main-edge", "main-cloud", "general", "ablation"],
         _ => {
             eprintln!("usage: run_ae <main-edge|main-cloud|general|ablation|all>");
@@ -38,7 +40,10 @@ fn main() -> ExitCode {
     let budgets = Budgets::from_env();
     let models = models_from_env();
     for mode in modes {
-        eprintln!("running {mode} ({} trials, {} hw x {} sw)...", budgets.trials, budgets.hw_samples, budgets.sw_samples);
+        eprintln!(
+            "running {mode} ({} trials, {} hw x {} sw)...",
+            budgets.trials, budgets.hw_samples, budgets.sw_samples
+        );
         let csv = match mode {
             "main-edge" => rows_to_csv(&main_edge(&budgets, &models)),
             "main-cloud" => rows_to_csv(&main_cloud(&budgets, &models)),

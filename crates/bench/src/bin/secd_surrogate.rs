@@ -15,8 +15,8 @@ use rand_chacha::ChaCha8Rng;
 
 use spotlight::features::sw_features;
 use spotlight_bench::models_from_env;
-use spotlight_gp::stats::{spearman_rho, top_quantile_hit_rate};
 use spotlight_dabo::Standardizer;
+use spotlight_gp::stats::{spearman_rho, top_quantile_hit_rate};
 use spotlight_gp::{GaussianProcess, Kernel, Surrogate};
 use spotlight_maestro::{CostModel, Objective};
 use spotlight_space::{sample, ParamRanges};
@@ -58,7 +58,10 @@ fn main() {
         let (train_x, test_x) = xs.split_at(split);
         let (train_y, test_y) = ys.split_at(split);
 
-        for (name, kernel) in [("linear", Kernel::linear()), ("matern52", Kernel::matern52(3.0))] {
+        for (name, kernel) in [
+            ("linear", Kernel::linear()),
+            ("matern52", Kernel::matern52(3.0)),
+        ] {
             let mut gp = GaussianProcess::new(kernel, 1e-2);
             gp.fit(train_x, train_y).expect("dataset is well-formed");
             let preds: Vec<f64> = test_x.iter().map(|x| gp.predict(x).0).collect();

@@ -63,10 +63,7 @@ fn main() {
             let by_m = rank_by(|p| p.0);
             let by_t = rank_by(|p| p.1);
             let top = overlap(&by_m[..TOP_K], &by_t[..TOP_K]);
-            let bottom = overlap(
-                &by_m[by_m.len() - TOP_K..],
-                &by_t[by_t.len() - TOP_K..],
-            );
+            let bottom = overlap(&by_m[by_m.len() - TOP_K..], &by_t[by_t.len() - TOP_K..]);
             println!(
                 "{},{},{},{top:.3},{bottom:.3}",
                 model.name(),
@@ -78,9 +75,6 @@ fn main() {
         }
     }
     if grand_n > 0 {
-        println!(
-            "AVERAGE,,,{:.3},",
-            grand_total / grand_n as f64
-        );
+        println!("AVERAGE,,,{:.3},", grand_total / grand_n as f64);
     }
 }

@@ -40,8 +40,12 @@ fn main() {
                 tries += 1;
                 let hw = sample::sample_hw(&mut rng, &ranges);
                 let sched = sample::sample_schedule(&mut rng, &layer);
-                let Ok(a) = model.evaluate(&hw, &sched, &layer) else { continue };
-                let Ok(s) = simulate(&hw, &sched, &layer, 1 << 18) else { continue };
+                let Ok(a) = model.evaluate(&hw, &sched, &layer) else {
+                    continue;
+                };
+                let Ok(s) = simulate(&hw, &sched, &layer, 1 << 18) else {
+                    continue;
+                };
                 delay_ratios.push(s.delay_cycles / a.delay_cycles);
                 dram_ratios.push(s.dram_bytes / a.dram_bytes);
                 a_delays.push(a.delay_cycles);

@@ -77,19 +77,19 @@ fn codesign_values(
     model: &Model,
 ) -> Vec<f64> {
     map_trials(budgets.trials, |t| {
-            let base = if cloud {
-                budgets.cloud_config(t)
-            } else {
-                budgets.edge_config(t)
-            };
-            let cfg = CodesignConfig {
-                objective,
-                variant,
-                ..base
-            };
-            Spotlight::new(cfg)
-                .codesign(std::slice::from_ref(model))
-                .best_cost
+        let base = if cloud {
+            budgets.cloud_config(t)
+        } else {
+            budgets.edge_config(t)
+        };
+        let cfg = CodesignConfig {
+            objective,
+            variant,
+            ..base
+        };
+        Spotlight::new(cfg)
+            .codesign(std::slice::from_ref(model))
+            .best_cost
     })
 }
 
@@ -101,15 +101,15 @@ fn baseline_values(
     model: &Model,
 ) -> Vec<f64> {
     map_trials(budgets.trials, |t| {
-            let base = if cloud {
-                budgets.cloud_config(t)
-            } else {
-                budgets.edge_config(t)
-            };
-            let cfg = CodesignConfig { objective, ..base };
-            let scale = if cloud { Scale::Cloud } else { Scale::Edge };
-            let (plan, _) = evaluate_baseline(&cfg, baseline, scale, model);
-            plan.objective_value(objective)
+        let base = if cloud {
+            budgets.cloud_config(t)
+        } else {
+            budgets.edge_config(t)
+        };
+        let cfg = CodesignConfig { objective, ..base };
+        let scale = if cloud { Scale::Cloud } else { Scale::Edge };
+        let (plan, _) = evaluate_baseline(&cfg, baseline, scale, model);
+        plan.objective_value(objective)
     })
 }
 
@@ -246,6 +246,7 @@ mod tests {
             trials: 2,
             hw_samples: 4,
             sw_samples: 8,
+            threads: 1,
         }
     }
 

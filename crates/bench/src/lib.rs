@@ -14,6 +14,7 @@
 //! | `SPOTLIGHT_TRIALS` | independent trials per configuration | 3 |
 //! | `SPOTLIGHT_HW` | hardware samples per trial | 20 |
 //! | `SPOTLIGHT_SW` | software samples per layer | 30 |
+//! | `SPOTLIGHT_THREADS` | worker threads for the layerwise software search | 1 |
 //! | `SPOTLIGHT_MODELS` | `fast` (ResNet-50 + Transformer) or `all` | fast |
 //!
 //! The paper's headline setting is `SPOTLIGHT_TRIALS=10 SPOTLIGHT_HW=100
@@ -33,16 +34,20 @@ pub struct Budgets {
     pub hw_samples: usize,
     /// Software samples per layer (paper: 100).
     pub sw_samples: usize,
+    /// Worker threads for the layerwise software search (results are
+    /// bit-identical at any thread count).
+    pub threads: usize,
 }
 
 impl Budgets {
-    /// Reads `SPOTLIGHT_TRIALS` / `SPOTLIGHT_HW` / `SPOTLIGHT_SW` with
-    /// fast defaults.
+    /// Reads `SPOTLIGHT_TRIALS` / `SPOTLIGHT_HW` / `SPOTLIGHT_SW` /
+    /// `SPOTLIGHT_THREADS` with fast defaults.
     pub fn from_env() -> Self {
         Budgets {
             trials: env_or("SPOTLIGHT_TRIALS", 3),
             hw_samples: env_or("SPOTLIGHT_HW", 20) as usize,
             sw_samples: env_or("SPOTLIGHT_SW", 30) as usize,
+            threads: (env_or("SPOTLIGHT_THREADS", 1) as usize).max(1),
         }
     }
 
@@ -52,6 +57,7 @@ impl Budgets {
             hw_samples: self.hw_samples,
             sw_samples: self.sw_samples,
             seed,
+            threads: self.threads,
             ..CodesignConfig::edge()
         }
     }
@@ -62,6 +68,7 @@ impl Budgets {
             hw_samples: self.hw_samples,
             sw_samples: self.sw_samples,
             seed,
+            threads: self.threads,
             ..CodesignConfig::cloud()
         }
     }
@@ -79,7 +86,10 @@ pub fn map_trials<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync + Send) -> Vec<T>
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = (0..n).map(|t| scope.spawn(move || f(t))).collect();
-        handles.into_iter().map(|h| h.join().expect("trial panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial panicked"))
+            .collect()
     })
 }
 

@@ -50,6 +50,30 @@ pub enum Command {
     Help,
 }
 
+/// Which [`spotlight_eval::CostBackend`] the engine should evaluate
+/// through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// MAESTRO-style analytical model (the default).
+    #[default]
+    Maestro,
+    /// Analytical model refined by the cycle-approximate simulator.
+    Sim,
+    /// Timeloop-style model for cross-validation.
+    Timeloop,
+}
+
+impl BackendChoice {
+    /// The name understood by [`spotlight_eval::EvalEngine::by_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Maestro => "maestro",
+            BackendChoice::Sim => "sim",
+            BackendChoice::Timeloop => "timeloop",
+        }
+    }
+}
+
 /// The tunable knobs common to `codesign` and `evaluate`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CliConfig {
@@ -65,6 +89,10 @@ pub struct CliConfig {
     pub variant: Variant,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the per-layer software search.
+    pub threads: usize,
+    /// Cost backend to evaluate through.
+    pub backend: BackendChoice,
 }
 
 impl Default for CliConfig {
@@ -76,6 +104,8 @@ impl Default for CliConfig {
             cloud: false,
             variant: Variant::Spotlight,
             seed: 0,
+            threads: 1,
+            backend: BackendChoice::Maestro,
         }
     }
 }
@@ -94,6 +124,7 @@ impl CliConfig {
             objective: self.objective,
             variant: self.variant,
             seed: self.seed,
+            threads: self.threads.max(1),
             ..base
         }
     }
@@ -137,12 +168,12 @@ impl Command {
             }
             "evaluate" => {
                 let (config, models, baseline) = parse_common(&rest)?;
-                let baseline = baseline.ok_or_else(|| {
-                    ParseCommandError("evaluate requires --baseline".into())
-                })?;
-                let model = models.into_iter().next().ok_or_else(|| {
-                    ParseCommandError("evaluate requires --model".into())
-                })?;
+                let baseline = baseline
+                    .ok_or_else(|| ParseCommandError("evaluate requires --baseline".into()))?;
+                let model = models
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| ParseCommandError("evaluate requires --model".into()))?;
                 Ok(Command::Evaluate {
                     baseline,
                     model,
@@ -151,9 +182,10 @@ impl Command {
             }
             "space" => {
                 let (_, models, _) = parse_common(&rest)?;
-                let model = models.into_iter().next().ok_or_else(|| {
-                    ParseCommandError("space requires --model".into())
-                })?;
+                let model = models
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| ParseCommandError("space requires --model".into()))?;
                 Ok(Command::Space { model })
             }
             other => Err(ParseCommandError(format!("unknown subcommand `{other}`"))),
@@ -226,6 +258,29 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 config.variant = parse_variant(value(i)?)?;
                 i += 2;
             }
+            "--threads" => {
+                let n = parse_num(flag, value(i)?)?;
+                if n == 0 {
+                    return Err(ParseCommandError(
+                        "flag `--threads` needs a positive integer".into(),
+                    ));
+                }
+                config.threads = n;
+                i += 2;
+            }
+            "--backend" => {
+                config.backend = match value(i)? {
+                    "maestro" => BackendChoice::Maestro,
+                    "sim" => BackendChoice::Sim,
+                    "timeloop" => BackendChoice::Timeloop,
+                    other => {
+                        return Err(ParseCommandError(format!(
+                            "unknown backend `{other}` (maestro|sim|timeloop)"
+                        )))
+                    }
+                };
+                i += 2;
+            }
             other => {
                 return Err(ParseCommandError(format!("unknown flag `{other}`")));
             }
@@ -269,7 +324,10 @@ pub fn resolve_model(name: &str) -> Result<Model, ParseCommandError> {
             return Ok(m);
         }
     }
-    let names: Vec<&str> = all_models().iter().map(|m| m.name()).collect::<Vec<_>>()
+    let names: Vec<&str> = all_models()
+        .iter()
+        .map(|m| m.name())
+        .collect::<Vec<_>>()
         .into_iter()
         .collect();
     Err(ParseCommandError(format!(
@@ -314,6 +372,9 @@ OPTIONS:
   --hw <n>            hardware samples (default 20; paper uses 100)
   --sw <n>            software samples per layer (default 30; paper uses 100)
   --seed <n>          RNG seed (default 0)
+  --threads <n>       worker threads for the layerwise software search (default 1;
+                      results are bit-identical at any thread count)
+  --backend <b>       maestro (default) | sim | timeloop
 ";
 
 #[cfg(test)]
@@ -338,6 +399,10 @@ mod tests {
             "cloud",
             "--variant",
             "ga",
+            "--threads",
+            "4",
+            "--backend",
+            "sim",
         ])
         .unwrap();
         match cmd {
@@ -349,9 +414,26 @@ mod tests {
                 assert_eq!(config.objective, Objective::Delay);
                 assert!(config.cloud);
                 assert_eq!(config.variant, Variant::SpotlightGA);
+                assert_eq!(config.threads, 4);
+                assert_eq!(config.backend, BackendChoice::Sim);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_must_be_positive_and_backend_known() {
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--threads", "0"]).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--backend", "verilator"])
+            .unwrap_err();
+        assert!(err.to_string().contains("verilator"));
+        let cfg = CliConfig {
+            threads: 4,
+            ..CliConfig::default()
+        }
+        .to_codesign_config();
+        assert_eq!(cfg.threads, 4);
     }
 
     #[test]
@@ -428,9 +510,31 @@ mod parse_property_tests {
     #[test]
     fn parser_total_on_flag_soup() {
         let vocab = [
-            "codesign", "evaluate", "space", "--model", "--baseline", "--hw", "--sw",
-            "--seed", "--objective", "--scale", "--variant", "edp", "delay", "edge",
-            "cloud", "ga", "resnet50", "17", "-", "", "--", "x,y,z",
+            "codesign",
+            "evaluate",
+            "space",
+            "--model",
+            "--baseline",
+            "--hw",
+            "--sw",
+            "--seed",
+            "--objective",
+            "--scale",
+            "--variant",
+            "--threads",
+            "--backend",
+            "edp",
+            "delay",
+            "edge",
+            "cloud",
+            "ga",
+            "sim",
+            "resnet50",
+            "17",
+            "-",
+            "",
+            "--",
+            "x,y,z",
         ];
         // Exhaustive over all 3-token sequences from the vocabulary.
         for a in vocab {

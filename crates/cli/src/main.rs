@@ -36,14 +36,18 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let resolved: Result<Vec<_>, _> = models.iter().map(|m| resolve_model(m)).collect();
             let resolved = resolved?;
             let cfg = config.to_codesign_config();
+            let engine = spotlight_eval::EvalEngine::by_name(config.backend.name())
+                .expect("BackendChoice names are always known to the engine");
             eprintln!(
-                "co-designing for {} model(s), {} hw x {} sw samples ({})...",
+                "co-designing for {} model(s), {} hw x {} sw samples ({}, {} backend, {} thread(s))...",
                 resolved.len(),
                 cfg.hw_samples,
                 cfg.sw_samples,
-                config.variant.name()
+                config.variant.name(),
+                engine.backend_name(),
+                cfg.threads,
             );
-            let outcome = Spotlight::new(cfg).codesign(&resolved);
+            let outcome = Spotlight::with_engine(cfg, engine).codesign(&resolved);
             print!("{}", outcome_summary(&outcome, cfg.objective));
             for plan in &outcome.best_plans {
                 println!();
@@ -58,9 +62,17 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let baseline = resolve_baseline(&baseline)?;
             let model = resolve_model(&model)?;
             let cfg = config.to_codesign_config();
-            let scale = if config.cloud { Scale::Cloud } else { Scale::Edge };
+            let scale = if config.cloud {
+                Scale::Cloud
+            } else {
+                Scale::Edge
+            };
             let hw = baseline.scaled_config(&cfg.budget);
-            eprintln!("evaluating {} ({hw}) on {}...", baseline.name(), model.name());
+            eprintln!(
+                "evaluating {} ({hw}) on {}...",
+                baseline.name(),
+                model.name()
+            );
             let (plan, evals) = evaluate_baseline(&cfg, baseline, scale, &model);
             print!("{}", plan_markdown(&plan));
             println!("\ncost-model evaluations: {evals}");

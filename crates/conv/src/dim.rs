@@ -48,15 +48,7 @@ pub enum Dim {
 }
 
 /// All seven dimensions in canonical order `N, K, C, R, S, X, Y`.
-pub const DIMS: [Dim; NUM_DIMS] = [
-    Dim::N,
-    Dim::K,
-    Dim::C,
-    Dim::R,
-    Dim::S,
-    Dim::X,
-    Dim::Y,
-];
+pub const DIMS: [Dim; NUM_DIMS] = [Dim::N, Dim::K, Dim::C, Dim::R, Dim::S, Dim::X, Dim::Y];
 
 impl Dim {
     /// Canonical index of this dimension in [`DIMS`] (0 through 6).
@@ -252,7 +244,11 @@ mod tests {
 
     #[test]
     fn weight_dims_are_kcrs() {
-        let w: Vec<Dim> = DIMS.iter().copied().filter(|d| d.indexes_weights()).collect();
+        let w: Vec<Dim> = DIMS
+            .iter()
+            .copied()
+            .filter(|d| d.indexes_weights())
+            .collect();
         assert_eq!(w, [Dim::K, Dim::C, Dim::R, Dim::S]);
     }
 

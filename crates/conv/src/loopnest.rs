@@ -89,7 +89,10 @@ impl LoopPermutation {
         let mut fact: u64 = Self::COUNT;
         for (slot, d) in self.order.iter().enumerate() {
             fact /= (NUM_DIMS - slot) as u64;
-            let idx = avail.iter().position(|a| a == d).expect("valid permutation");
+            let idx = avail
+                .iter()
+                .position(|a| a == d)
+                .expect("valid permutation");
             rank += idx as u64 * fact;
             avail.remove(idx);
         }

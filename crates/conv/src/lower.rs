@@ -51,7 +51,10 @@ pub fn gemm_to_conv(m: u64, n: u64, k_gemm: u64) -> ConvLayer {
 /// assert_eq!(l.macs(), 4096 * 4096);
 /// ```
 pub fn fc_to_conv(batch: u64, inputs: u64, outputs: u64) -> ConvLayer {
-    assert!(batch > 0 && inputs > 0 && outputs > 0, "FC dims must be positive");
+    assert!(
+        batch > 0 && inputs > 0 && outputs > 0,
+        "FC dims must be positive"
+    );
     ConvLayer::new(batch, outputs, inputs, 1, 1, 1, 1)
 }
 

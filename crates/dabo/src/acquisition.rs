@@ -37,10 +37,15 @@ pub fn argmin_lcb(predictions: &[(f64, f64)], kappa: f64) -> Option<usize> {
         .enumerate()
         .filter(|(_, (m, s))| m.is_finite() && s.is_finite())
         .min_by(|(_, a), (_, b)| {
-            lower_confidence_bound(a.0, a.1, kappa).total_cmp(&lower_confidence_bound(b.0, b.1, kappa))
+            lower_confidence_bound(a.0, a.1, kappa)
+                .total_cmp(&lower_confidence_bound(b.0, b.1, kappa))
         })
         .map(|(i, _)| i)
-        .or(if predictions.is_empty() { None } else { Some(0) })
+        .or(if predictions.is_empty() {
+            None
+        } else {
+            Some(0)
+        })
 }
 
 /// Expected improvement of a candidate over the incumbent `best` when
@@ -82,7 +87,11 @@ pub fn argmax_ei(predictions: &[(f64, f64)], best: f64) -> Option<usize> {
             expected_improvement(a.0, a.1, best).total_cmp(&expected_improvement(b.0, b.1, best))
         })
         .map(|(i, _)| i)
-        .or(if predictions.is_empty() { None } else { Some(0) })
+        .or(if predictions.is_empty() {
+            None
+        } else {
+            Some(0)
+        })
 }
 
 /// Standard normal probability density.

@@ -203,7 +203,13 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
         let ys: Vec<f64> = self
             .costs_raw
             .iter()
-            .map(|&c| if c.is_finite() { self.target(c) } else { penalty_target })
+            .map(|&c| {
+                if c.is_finite() {
+                    self.target(c)
+                } else {
+                    penalty_target
+                }
+            })
             .collect();
         let fitted = match self.config.surrogate {
             SurrogateKind::Linear => {

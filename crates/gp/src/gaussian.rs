@@ -132,10 +132,7 @@ impl Surrogate for GaussianProcess {
         let v = chol.forward_solve(&kstar);
         let kxx = self.kernel.eval(x, x) + self.noise;
         let var_n = (kxx - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
-        (
-            mean_n * self.y_std + self.y_mean,
-            var_n.sqrt() * self.y_std,
-        )
+        (mean_n * self.y_std + self.y_mean, var_n.sqrt() * self.y_std)
     }
 }
 

@@ -81,13 +81,7 @@ mod tests {
 
     fn dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..60)
-            .map(|i| {
-                vec![
-                    (i % 10) as f64,
-                    ((i * 7) % 6) as f64,
-                    ((i * 3) % 4) as f64,
-                ]
-            })
+            .map(|i| vec![(i % 10) as f64, ((i * 7) % 6) as f64, ((i * 3) % 4) as f64])
             .collect();
         // Feature 0 dominant, feature 2 moderate, feature 1 irrelevant.
         let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0] + 0.5 * x[2]).collect();

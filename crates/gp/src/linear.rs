@@ -152,13 +152,17 @@ mod tests {
     fn agrees_with_linear_kernel_gp_on_ranking() {
         // Weight-space and function-space views of the same prior should
         // rank candidates identically (up to numerics).
-        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 5.0, (i * 7 % 11) as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![i as f64 / 5.0, (i * 7 % 11) as f64])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] - 0.3 * x[1] + 2.0).collect();
         let mut blm = BayesianLinearModel::new(1.0, 1e-3);
         blm.fit(&xs, &ys).unwrap();
         let mut gp = GaussianProcess::new(Kernel::linear(), 1e-3);
         gp.fit(&xs, &ys).unwrap();
-        let test: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 3.0, (i * 5 % 7) as f64]).collect();
+        let test: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![i as f64 / 3.0, (i * 5 % 7) as f64])
+            .collect();
         let pa: Vec<f64> = test.iter().map(|x| blm.predict(x).0).collect();
         let pb: Vec<f64> = test.iter().map(|x| gp.predict(x).0).collect();
         assert!(spearman_rho(&pa, &pb) > 0.99);
@@ -190,7 +194,10 @@ mod tests {
     fn errors_on_bad_shapes() {
         let mut m = BayesianLinearModel::new(1.0, 0.1);
         assert_eq!(m.fit(&[], &[]), Err(FitError::Empty));
-        assert_eq!(m.fit(&[vec![1.0]], &[1.0, 2.0]), Err(FitError::ShapeMismatch));
+        assert_eq!(
+            m.fit(&[vec![1.0]], &[1.0, 2.0]),
+            Err(FitError::ShapeMismatch)
+        );
     }
 
     #[test]

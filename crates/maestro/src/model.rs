@@ -356,7 +356,11 @@ mod tests {
         let l = layer();
         let r = best_rigid(&hw, &l);
         let compulsory = (l.weight_elems() + l.output_elems()) as f64;
-        assert!(r.dram_bytes >= compulsory, "{} < {compulsory}", r.dram_bytes);
+        assert!(
+            r.dram_bytes >= compulsory,
+            "{} < {compulsory}",
+            r.dram_bytes
+        );
     }
 
     #[test]
@@ -380,12 +384,7 @@ mod tests {
         // vs a weight-hostile one; weight DRAM traffic must differ.
         let hw = HardwareConfig::new(256, 16, 2, 256, 256, 128).unwrap();
         let l = ConvLayer::new(1, 64, 64, 3, 3, 56, 56);
-        let tiles = TileSizes::new(
-            &l,
-            [1, 8, 8, 3, 3, 14, 14],
-            [1, 2, 2, 1, 1, 2, 2],
-        )
-        .unwrap();
+        let tiles = TileSizes::new(&l, [1, 8, 8, 3, 3, 14, 14], [1, 2, 2, 1, 1, 2, 2]).unwrap();
         let friendly: LoopPermutation = "KCRSNXY".parse().unwrap();
         let hostile: LoopPermutation = "NXYKCRS".parse().unwrap();
         let base = Schedule::new(tiles, friendly, friendly, Dim::K, Dim::C);

@@ -225,7 +225,9 @@ mod breakdown_tests {
         let hw = Baseline::NvdlaLike.edge_config();
         let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
         let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
-        let r = crate::CostModel::default().evaluate(&hw, &s, &layer).unwrap();
+        let r = crate::CostModel::default()
+            .evaluate(&hw, &s, &layer)
+            .unwrap();
         let sum = r.energy_mac_nj
             + r.energy_rf_nj
             + r.energy_l2_nj
@@ -241,7 +243,9 @@ mod breakdown_tests {
         let hw = Baseline::NvdlaLike.edge_config();
         let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
         let s = dataflow_schedule(Baseline::NvdlaLike.dataflow(), &layer, &hw);
-        let r = crate::CostModel::default().evaluate(&hw, &s, &layer).unwrap();
+        let r = crate::CostModel::default()
+            .evaluate(&hw, &s, &layer)
+            .unwrap();
         assert!(r.l2_reads_per_fill() > 0.0);
         assert!(r.rf_reads_per_fill() > 0.0);
     }

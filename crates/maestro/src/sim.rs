@@ -129,9 +129,7 @@ pub fn simulate(
 
     let rows_used = (tiles.outer_trips(du0) as f64).min(rows);
     let (w1, i1, o1) = tiles.tensor_footprints(TileLevel::Scratchpad, layer);
-    let vol = |indexed: bool, fp: u64| {
-        fp as f64 * if indexed { rows_used } else { 1.0 }
-    };
+    let vol = |indexed: bool, fp: u64| fp as f64 * if indexed { rows_used } else { 1.0 };
     let w_vol = vol(du0.indexes_weights(), w1);
     let i_vol = vol(du0.indexes_inputs(), i1);
     let o_vol = vol(du0.indexes_outputs(), o1);
@@ -154,8 +152,7 @@ pub fn simulate(
     // Per-tile NoC volume, from the analytical model's totals (exact
     // division: the analytical inner-level traffic is uniform per outer
     // iteration).
-    let noc_per_tile = (analytical.l2_bytes - analytical.dram_bytes)
-        / (total as f64);
+    let noc_per_tile = (analytical.l2_bytes - analytical.dram_bytes) / (total as f64);
     let noc_cycles_per_tile = noc_per_tile / hw.noc_bandwidth() as f64;
     let array_time_per_tile = compute_per_tile.max(noc_cycles_per_tile);
 
@@ -203,9 +200,8 @@ pub fn simulate(
                 counters[i] = 0;
                 changed[i] = true;
             }
-            let touches = |f: fn(Dim) -> bool| {
-                (0..NUM_DIMS).any(|i| changed[i] && f(Dim::from_index(i)))
-            };
+            let touches =
+                |f: fn(Dim) -> bool| (0..NUM_DIMS).any(|i| changed[i] && f(Dim::from_index(i)));
             (
                 touches(Dim::indexes_weights),
                 touches(Dim::indexes_inputs),
@@ -299,8 +295,12 @@ mod tests {
         let mut checked = 0;
         while checked < 60 {
             let s = sample::sample_schedule(&mut rng, &l);
-            let Ok(a) = model.evaluate(&hw(), &s, &l) else { continue };
-            let Ok(sim) = simulate(&hw(), &s, &l, 1 << 22) else { continue };
+            let Ok(a) = model.evaluate(&hw(), &s, &l) else {
+                continue;
+            };
+            let Ok(sim) = simulate(&hw(), &s, &l, 1 << 22) else {
+                continue;
+            };
             let ratio = sim.delay_cycles / a.delay_cycles;
             assert!(
                 (0.3..4.0).contains(&ratio),
@@ -322,8 +322,12 @@ mod tests {
         let mut checked = 0;
         while checked < 60 {
             let s = sample::sample_schedule(&mut rng, &l);
-            let Ok(a) = model.evaluate(&hw(), &s, &l) else { continue };
-            let Ok(sim) = simulate(&hw(), &s, &l, 1 << 22) else { continue };
+            let Ok(a) = model.evaluate(&hw(), &s, &l) else {
+                continue;
+            };
+            let Ok(sim) = simulate(&hw(), &s, &l, 1 << 22) else {
+                continue;
+            };
             let ratio = sim.dram_bytes / a.dram_bytes;
             assert!(
                 (0.4..2.5).contains(&ratio),
@@ -341,12 +345,8 @@ mod tests {
         // written once.
         let l = ConvLayer::new(1, 4, 4, 3, 3, 4, 4);
         let hw = HardwareConfig::new(128, 16, 2, 256, 256, 128).unwrap();
-        let tiles = spotlight_space::TileSizes::new(
-            &l,
-            l.extents(),
-            [1, 1, 1, 1, 1, 1, 1],
-        )
-        .unwrap();
+        let tiles =
+            spotlight_space::TileSizes::new(&l, l.extents(), [1, 1, 1, 1, 1, 1, 1]).unwrap();
         let s = Schedule::new(
             tiles,
             spotlight_conv::LoopPermutation::canonical(),
@@ -374,8 +374,7 @@ mod tests {
     #[test]
     fn infeasible_mapping_propagates() {
         let l = layer();
-        let s = Schedule::trivial(&l)
-            .with_tiles(spotlight_space::TileSizes::whole_layer(&l));
+        let s = Schedule::trivial(&l).with_tiles(spotlight_space::TileSizes::whole_layer(&l));
         assert!(matches!(
             simulate(&hw(), &s, &l, 1024),
             Err(SimError::Infeasible(_))

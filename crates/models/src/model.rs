@@ -59,7 +59,10 @@ impl Model {
     ///
     /// Panics if `layers` is empty.
     pub fn from_layers(name: &'static str, layers: Vec<ConvLayer>) -> Self {
-        assert!(!layers.is_empty(), "a model must contain at least one layer");
+        assert!(
+            !layers.is_empty(),
+            "a model must contain at least one layer"
+        );
         let mut entries: Vec<LayerEntry> = Vec::new();
         for l in layers {
             match entries.iter_mut().find(|e| same_shape(&e.layer, &l)) {

@@ -65,7 +65,11 @@ pub fn resnet50() -> Model {
     ];
     for (in_ch, mid, out, xy, blocks, first_stride) in stages {
         for b in 0..blocks {
-            let (cin, stride) = if b == 0 { (in_ch, first_stride) } else { (out, 1) };
+            let (cin, stride) = if b == 0 {
+                (in_ch, first_stride)
+            } else {
+                (out, 1)
+            };
             // 1x1 reduce (applies the stage's spatial stride in the first block)
             layers.push(ConvLayer::new(1, mid, cin, 1, 1, xy, xy).with_stride(stride));
             // 3x3
@@ -115,8 +119,7 @@ pub fn mobilenet_v2() -> Model {
                 layers.push(ConvLayer::new(1, expanded, in_ch, 1, 1, xy, xy));
             }
             // depthwise 3x3 + pointwise projection
-            let (dw, pw) =
-                depthwise_separable_to_conv(1, expanded, c, 3, out_xy, out_xy, stride);
+            let (dw, pw) = depthwise_separable_to_conv(1, expanded, c, 3, out_xy, out_xy, stride);
             layers.push(dw);
             layers.push(pw);
             in_ch = c;
@@ -215,7 +218,13 @@ pub fn transformer() -> Model {
 
 /// The five evaluated models in the paper's presentation order.
 pub fn all_models() -> Vec<Model> {
-    vec![vgg16(), resnet50(), mobilenet_v2(), mnasnet(), transformer()]
+    vec![
+        vgg16(),
+        resnet50(),
+        mobilenet_v2(),
+        mnasnet(),
+        transformer(),
+    ]
 }
 
 #[cfg(test)]

@@ -121,7 +121,9 @@ pub fn analyze(hw: &HardwareConfig, sched: &Schedule, layer: &ConvLayer) -> NocA
     let rows_used = rows_used.max(1);
     let cols_used = cols_used.max(1);
 
-    let (w2, i2, o2) = sched.tiles().tensor_footprints(TileLevel::RegisterFile, layer);
+    let (w2, i2, o2) = sched
+        .tiles()
+        .tensor_footprints(TileLevel::RegisterFile, layer);
 
     let stats = |indexes: fn(Dim) -> bool, elems: u64| -> DeliveryStats {
         let pattern = Pattern::classify(indexes(du0), indexes(du1));
@@ -129,7 +131,11 @@ pub fn analyze(hw: &HardwareConfig, sched: &Schedule, layer: &ConvLayer) -> NocA
         let dsts = match pattern {
             Pattern::Broadcast => active_pes(&mesh, rows_used, cols_used),
             Pattern::PerRow => mesh.row(0).into_iter().take(cols_used as usize).collect(),
-            Pattern::PerColumn => mesh.column(0).into_iter().take(rows_used as usize).collect(),
+            Pattern::PerColumn => mesh
+                .column(0)
+                .into_iter()
+                .take(rows_used as usize)
+                .collect(),
             Pattern::PerPe => vec![crate::mesh::PeId { row: 0, col: 0 }],
         };
         let tree = mesh.multicast_tree(&dsts);

@@ -80,7 +80,10 @@ impl Mesh {
     /// injection link above `(0,0)`) to `dst`: 1 injection hop + column
     /// hops along row 0 + row hops down the destination column.
     pub fn hops_to(&self, dst: PeId) -> u32 {
-        assert!(dst.row < self.rows && dst.col < self.cols, "PE out of range");
+        assert!(
+            dst.row < self.rows && dst.col < self.cols,
+            "PE out of range"
+        );
         1 + dst.col + dst.row
     }
 

@@ -126,8 +126,16 @@ impl ConfuciuXSearch {
         let widths = divisors(pes as u64);
         let width = widths[choice[1] * (widths.len() - 1) / (BUCKETS - 1)] as u32;
         let simd = lerp(self.ranges.simd_lanes, choice[2]);
-        let rf = snap(lerp(self.ranges.rf_kib, choice[3]), self.ranges.rf_kib, self.ranges.rf_stride_kib);
-        let l2 = snap(lerp(self.ranges.l2_kib, choice[4]), self.ranges.l2_kib, self.ranges.l2_stride_kib);
+        let rf = snap(
+            lerp(self.ranges.rf_kib, choice[3]),
+            self.ranges.rf_kib,
+            self.ranges.rf_stride_kib,
+        );
+        let l2 = snap(
+            lerp(self.ranges.l2_kib, choice[4]),
+            self.ranges.l2_kib,
+            self.ranges.l2_stride_kib,
+        );
         let bw = lerp(self.ranges.noc_bandwidth, choice[5]);
         let hw = HardwareConfig::new(pes, width, simd, rf, l2, bw)
             .expect("width drawn from divisors of pes");
@@ -210,7 +218,8 @@ impl Search<ConfuciuXPoint> for ConfuciuXSearch {
 /// Decodes the best hardware width for tests: exposed so integration
 /// tests can confirm the decoded widths always divide the PE count.
 pub fn width_divides(p: &ConfuciuXPoint) -> bool {
-    p.hw.pes().is_multiple_of(p.hw.pe_width()) && nearest_divisor(p.hw.pes() as u64, p.hw.pe_width() as u64) == p.hw.pe_width() as u64
+    p.hw.pes().is_multiple_of(p.hw.pe_width())
+        && nearest_divisor(p.hw.pes() as u64, p.hw.pe_width() as u64) == p.hw.pe_width() as u64
 }
 
 #[cfg(test)]

@@ -185,13 +185,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "population")]
     fn zero_population_rejected() {
-        let _ = Genetic::new(
-            0,
-            0.5,
-            |_: &mut dyn RngCore| 0i64,
-            |_, x| *x,
-            |_, a, _| *a,
-        );
+        let _ = Genetic::new(0, 0.5, |_: &mut dyn RngCore| 0i64, |_, x| *x, |_, a, _| *a);
     }
 }
 

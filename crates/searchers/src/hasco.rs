@@ -68,7 +68,10 @@ impl HascoSearch {
             surrogate: SurrogateKind::Gp(Kernel::matern52(2.0)),
             ..DaboConfig::default()
         };
-        let fm = FnFeatureMap::new(RAW_HW_DIM, raw_hw_features as fn(&HardwareConfig) -> Vec<f64>);
+        let fm = FnFeatureMap::new(
+            RAW_HW_DIM,
+            raw_hw_features as fn(&HardwareConfig) -> Vec<f64>,
+        );
         let inner = Dabo::new(config, fm, move |rng: &mut dyn RngCore| {
             sample::sample_hw(rng, &ranges)
         });
@@ -114,9 +117,7 @@ mod tests {
         // Favor maximum PEs: BO should find near-300-PE configs quickly.
         let mut h = HascoSearch::new(ParamRanges::edge());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let t = run_minimization(&mut h, &mut rng, 40, |hw| {
-            (300 - hw.pes()) as f64 + 1.0
-        });
+        let t = run_minimization(&mut h, &mut rng, 40, |hw| (300 - hw.pes()) as f64 + 1.0);
         assert!(t.final_best().unwrap() < 60.0);
     }
 

@@ -88,11 +88,7 @@ fn spec(style: DataflowStyle) -> StyleSpec {
 /// let s = dataflow_schedule(DataflowStyle::RowStationary, &layer, &hw);
 /// assert!(s.tiles().footprint_bytes(TileLevel::Scratchpad, &layer) <= hw.l2_bytes());
 /// ```
-pub fn dataflow_schedule(
-    style: DataflowStyle,
-    layer: &ConvLayer,
-    hw: &HardwareConfig,
-) -> Schedule {
+pub fn dataflow_schedule(style: DataflowStyle, layer: &ConvLayer, hw: &HardwareConfig) -> Schedule {
     let spec = spec(style);
     let extents = layer.extents();
 
@@ -124,8 +120,12 @@ pub fn dataflow_schedule(
     let tiles = TileSizes::new(layer, l2, rf).expect("constructed chains are legal");
     Schedule::new(
         tiles,
-        spec.outer_order.parse::<LoopPermutation>().expect("static order"),
-        spec.inner_order.parse::<LoopPermutation>().expect("static order"),
+        spec.outer_order
+            .parse::<LoopPermutation>()
+            .expect("static order"),
+        spec.inner_order
+            .parse::<LoopPermutation>()
+            .expect("static order"),
         spec.outer_unroll,
         spec.inner_unroll,
     )
@@ -162,8 +162,7 @@ pub fn template_schedule(style: DataflowStyle, layer: &ConvLayer) -> Schedule {
     l2_caps[spec.outer_unroll.index()] =
         unroll_cap(extents[spec.outer_unroll.index()], TEMPLATE_ARRAY_DIM);
     let l2_fits = |t: &[u64; NUM_DIMS]| {
-        l2_residency(t, layer, spec.outer_unroll, &extents, TEMPLATE_ARRAY_DIM)
-            <= TEMPLATE_L2_BYTES
+        l2_residency(t, layer, spec.outer_unroll, &extents, TEMPLATE_ARRAY_DIM) <= TEMPLATE_L2_BYTES
     };
     let mut l2 = [1u64; NUM_DIMS];
     grow_tiles(&mut l2, &l2_caps, &spec.l2_priority, &l2_fits);
@@ -178,8 +177,12 @@ pub fn template_schedule(style: DataflowStyle, layer: &ConvLayer) -> Schedule {
     let tiles = TileSizes::new(layer, l2, rf).expect("constructed chains are legal");
     Schedule::new(
         tiles,
-        spec.outer_order.parse::<LoopPermutation>().expect("static order"),
-        spec.inner_order.parse::<LoopPermutation>().expect("static order"),
+        spec.outer_order
+            .parse::<LoopPermutation>()
+            .expect("static order"),
+        spec.inner_order
+            .parse::<LoopPermutation>()
+            .expect("static order"),
         spec.outer_unroll,
         spec.inner_unroll,
     )
@@ -256,7 +259,11 @@ fn unroll_cap(cap: u64, lanes: u64) -> u64 {
         return 1;
     }
     let target = (cap / lanes).max(1);
-    divisors(cap).into_iter().filter(|&t| t <= target).max().unwrap_or(1)
+    divisors(cap)
+        .into_iter()
+        .filter(|&t| t <= target)
+        .max()
+        .unwrap_or(1)
 }
 
 /// Smallest divisor of `cap` strictly greater than `current`.
@@ -414,12 +421,10 @@ mod template_tests {
             ] {
                 let s = template_schedule(style, &layer);
                 assert!(
-                    s.tiles().footprint_bytes(TileLevel::RegisterFile, &layer)
-                        <= TEMPLATE_RF_BYTES
+                    s.tiles().footprint_bytes(TileLevel::RegisterFile, &layer) <= TEMPLATE_RF_BYTES
                 );
                 assert!(
-                    s.tiles().footprint_bytes(TileLevel::Scratchpad, &layer)
-                        <= TEMPLATE_L2_BYTES
+                    s.tiles().footprint_bytes(TileLevel::Scratchpad, &layer) <= TEMPLATE_L2_BYTES
                 );
             }
         }

@@ -57,9 +57,8 @@ pub fn enumerate_schedules<'a>(
         orders.iter().flat_map(move |&outer| {
             orders.iter().flat_map(move |&inner| {
                 DIMS.iter().flat_map(move |&du0| {
-                    DIMS.iter().map(move |&du1| {
-                        Schedule::new(tiles, outer, inner, du0, du1)
-                    })
+                    DIMS.iter()
+                        .map(move |&du1| Schedule::new(tiles, outer, inner, du0, du1))
                 })
             })
         })
@@ -187,10 +186,7 @@ mod tests {
     #[test]
     fn enumeration_with_two_orders_squares_order_factor() {
         let layer = tiny();
-        let orders = [
-            LoopPermutation::canonical(),
-            "KCRSNXY".parse().unwrap(),
-        ];
+        let orders = [LoopPermutation::canonical(), "KCRSNXY".parse().unwrap()];
         let n = enumerate_schedules(&layer, &orders).count();
         assert_eq!(n as f64, space_size(&layer, 2));
     }
@@ -210,9 +206,7 @@ mod tests {
         let orders = [LoopPermutation::canonical()];
         let all: Vec<Schedule> = enumerate_schedules(&layer, &orders).collect();
         assert!(all.iter().any(|s| s.tiles().rf_tile_macs() == 1));
-        assert!(all
-            .iter()
-            .any(|s| s.tiles().rf_tile_macs() == layer.macs()));
+        assert!(all.iter().any(|s| s.tiles().rf_tile_macs() == layer.macs()));
     }
 
     #[test]
@@ -230,11 +224,10 @@ mod tests {
         let layer = tiny();
         let orders = representative_orders();
         // Cost = |rf_macs - 4|: optimum is any schedule with rf tile of 4.
-        let (best, c) =
-            brute_force_optimum(&layer, &orders, |s| {
-                Some((s.tiles().rf_tile_macs() as f64 - 4.0).abs())
-            })
-            .unwrap();
+        let (best, c) = brute_force_optimum(&layer, &orders, |s| {
+            Some((s.tiles().rf_tile_macs() as f64 - 4.0).abs())
+        })
+        .unwrap();
         assert_eq!(c, 0.0);
         assert_eq!(best.tiles().rf_tile_macs(), 4);
     }

@@ -99,11 +99,7 @@ pub fn crossover_hw<R: Rng + ?Sized>(
 /// Mutates one component of a schedule: a tiling factor (moved along its
 /// divisor chain), a loop order (transposition), or an unroll dimension
 /// (re-drawn).
-pub fn mutate_schedule<R: Rng + ?Sized>(
-    rng: &mut R,
-    s: &Schedule,
-    layer: &ConvLayer,
-) -> Schedule {
+pub fn mutate_schedule<R: Rng + ?Sized>(rng: &mut R, s: &Schedule, layer: &ConvLayer) -> Schedule {
     match rng.gen_range(0..4u8) {
         0 => {
             // Re-draw the divisor chain of one dimension.
@@ -178,10 +174,26 @@ pub fn crossover_schedule<R: Rng + ?Sized>(
     let tiles = TileSizes::new(layer, l2, rf).expect("per-dimension chains remain legal");
     Schedule::new(
         tiles,
-        if rng.gen_bool(0.5) { *a.outer_order() } else { *b.outer_order() },
-        if rng.gen_bool(0.5) { *a.inner_order() } else { *b.inner_order() },
-        if rng.gen_bool(0.5) { a.outer_unroll() } else { b.outer_unroll() },
-        if rng.gen_bool(0.5) { a.inner_unroll() } else { b.inner_unroll() },
+        if rng.gen_bool(0.5) {
+            *a.outer_order()
+        } else {
+            *b.outer_order()
+        },
+        if rng.gen_bool(0.5) {
+            *a.inner_order()
+        } else {
+            *b.inner_order()
+        },
+        if rng.gen_bool(0.5) {
+            a.outer_unroll()
+        } else {
+            b.outer_unroll()
+        },
+        if rng.gen_bool(0.5) {
+            a.inner_unroll()
+        } else {
+            b.inner_unroll()
+        },
     )
 }
 

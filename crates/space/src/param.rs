@@ -234,7 +234,10 @@ mod tests {
         assert_eq!(d.len(), 9);
         let cardinals = d.iter().filter(|p| p.kind == ParamKind::Cardinal).count();
         let ordinals = d.iter().filter(|p| p.kind == ParamKind::Ordinal).count();
-        let categoricals = d.iter().filter(|p| p.kind == ParamKind::Categorical).count();
+        let categoricals = d
+            .iter()
+            .filter(|p| p.kind == ParamKind::Categorical)
+            .count();
         assert_eq!((cardinals, ordinals, categoricals), (3, 4, 2));
     }
 

@@ -73,7 +73,11 @@ impl TileSizes {
     pub fn new(layer: &ConvLayer, l2: [u64; NUM_DIMS], rf: [u64; NUM_DIMS]) -> Option<Self> {
         let dram = layer.extents();
         for i in 0..NUM_DIMS {
-            if l2[i] == 0 || rf[i] == 0 || !dram[i].is_multiple_of(l2[i]) || !l2[i].is_multiple_of(rf[i]) {
+            if l2[i] == 0
+                || rf[i] == 0
+                || !dram[i].is_multiple_of(l2[i])
+                || !l2[i].is_multiple_of(rf[i])
+            {
                 return None;
             }
         }

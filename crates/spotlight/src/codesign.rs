@@ -6,6 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use spotlight_accel::{Budget, HardwareConfig};
 use spotlight_conv::ConvLayer;
 use spotlight_dabo::Trace;
+use spotlight_eval::{EvalEngine, EvalStats};
 use spotlight_maestro::{CostModel, CostReport, Objective};
 use spotlight_models::Model;
 use spotlight_space::{ParamRanges, Schedule};
@@ -33,6 +34,10 @@ pub struct CodesignConfig {
     pub ranges: ParamRanges,
     /// Area/power envelope.
     pub budget: Budget,
+    /// Worker threads for the layerwise software search. Results are
+    /// bit-identical at any thread count: every layer search draws from
+    /// its own RNG stream derived from `(seed, hw_sample, layer)`.
+    pub threads: usize,
 }
 
 impl CodesignConfig {
@@ -47,6 +52,7 @@ impl CodesignConfig {
             seed: 0,
             ranges: ParamRanges::edge(),
             budget: Budget::edge(),
+            threads: 1,
         }
     }
 
@@ -71,7 +77,7 @@ impl CodesignConfig {
 }
 
 /// The optimized schedule found for one unique layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerPlan {
     /// The layer shape.
     pub layer: ConvLayer,
@@ -84,7 +90,7 @@ pub struct LayerPlan {
 }
 
 /// One model's optimized execution on a fixed accelerator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelPlan {
     /// Model name.
     pub model_name: &'static str,
@@ -131,30 +137,60 @@ pub struct CodesignOutcome {
     /// Delay/energy/area Pareto frontier over the evaluated hardware
     /// samples (Section VI-B's selection pool).
     pub frontier: ParetoFrontier,
+    /// Engine counter snapshot for this run: cache hits/misses,
+    /// infeasible proposals, software searches, per-phase wall time.
+    pub stats: EvalStats,
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed for one layer's software search from the run
+/// seed, the hardware-sample stream, and the layer's ordinal within the
+/// flattened `(model, layer)` work list. Each search therefore owns an
+/// independent ChaCha8 stream, which is what makes the parallel
+/// layerwise search bit-reproducible at any thread count.
+pub fn layer_stream_seed(seed: u64, stream: u64, layer_ordinal: u64) -> u64 {
+    let z = mix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let z = mix64(z.wrapping_add(stream));
+    mix64(z.wrapping_add(layer_ordinal))
 }
 
 /// The Spotlight co-design tool (Figure 5): accepts a hardware budget and
 /// a set of DL models, performs the nested daBO_HW x daBO_SW search, and
 /// produces optimized microarchitecture parameters plus per-layer
 /// software schedules.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Spotlight {
     config: CodesignConfig,
-    cost_model: CostModel,
+    engine: EvalEngine,
 }
 
 impl Spotlight {
-    /// Creates the tool with the default MAESTRO-like cost model.
+    /// Creates the tool with the default analytical evaluation engine.
     pub fn new(config: CodesignConfig) -> Self {
         Spotlight {
             config,
-            cost_model: CostModel::default(),
+            engine: EvalEngine::maestro(),
         }
     }
 
-    /// Creates the tool with an explicit cost model.
+    /// Creates the tool with an explicit analytical cost model.
     pub fn with_cost_model(config: CodesignConfig, cost_model: CostModel) -> Self {
-        Spotlight { config, cost_model }
+        Spotlight {
+            config,
+            engine: EvalEngine::with_model(cost_model),
+        }
+    }
+
+    /// Creates the tool around an arbitrary evaluation engine (any
+    /// backend, cache on or off).
+    pub fn with_engine(config: CodesignConfig, engine: EvalEngine) -> Self {
+        Spotlight { config, engine }
     }
 
     /// The configuration in use.
@@ -162,9 +198,9 @@ impl Spotlight {
         &self.config
     }
 
-    /// The cost model in use.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost_model
+    /// The evaluation engine in use.
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
     }
 
     /// Optimizes software schedules for every unique layer of `models` on
@@ -172,33 +208,90 @@ impl Spotlight {
     /// cost-model evaluations spent. This is daBO_SW alone — used for the
     /// inner loop, for evaluating hand-designed accelerators fairly, and
     /// for the generalization scenario.
+    ///
+    /// `stream` labels the RNG stream (the hardware-sample index inside
+    /// [`Spotlight::codesign`]); every layer search seeds its own ChaCha8
+    /// stream via [`layer_stream_seed`], so results are bit-identical at
+    /// any `config.threads` count.
+    ///
+    /// Layers run in deterministic waves of `config.threads`. Once any
+    /// layer comes back infeasible the aggregate is doomed (it sums to
+    /// infinity regardless of the remaining layers), so the remaining
+    /// waves are skipped instead of spending their software budget.
     pub fn optimize_software(
         &self,
         hw: &HardwareConfig,
         models: &[Model],
-        rng: &mut ChaCha8Rng,
+        stream: u64,
     ) -> (Vec<ModelPlan>, u64) {
         let sw_cfg = self.config.sw_config();
+        let threads = self.config.threads.max(1);
+
+        // Flatten the per-model layer lists into one indexed work list.
+        let items: Vec<&spotlight_models::LayerEntry> =
+            models.iter().flat_map(|m| m.layers().iter()).collect();
+        let run_item = |ordinal: usize| {
+            let seed = layer_stream_seed(self.config.seed, stream, ordinal as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            optimize_schedule(&self.engine, hw, &items[ordinal].layer, &sw_cfg, &mut rng)
+        };
+
+        let mut results: Vec<Option<crate::swsearch::SwResult>> =
+            (0..items.len()).map(|_| None).collect();
         let mut evals = 0;
+        let mut doomed = false;
+        let mut next = 0;
+        while next < items.len() && !doomed {
+            let wave_end = (next + threads).min(items.len());
+            let wave: Vec<crate::swsearch::SwResult> = if threads == 1 {
+                vec![run_item(next)]
+            } else {
+                std::thread::scope(|scope| {
+                    let run_item = &run_item;
+                    let handles: Vec<_> = (next..wave_end)
+                        .map(|ordinal| scope.spawn(move || run_item(ordinal)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("software-search worker panicked"))
+                        .collect()
+                })
+            };
+            for (k, r) in wave.into_iter().enumerate() {
+                evals += r.evaluations;
+                doomed |= r.best.is_none();
+                results[next + k] = Some(r);
+            }
+            next = wave_end;
+        }
+
+        // Reassemble per-model plans in work-list order. A model with an
+        // infeasible or skipped layer aggregates to infinity.
         let mut plans = Vec::with_capacity(models.len());
+        let mut cursor = results.into_iter();
         for model in models {
             let mut layers = Vec::with_capacity(model.layers().len());
             let mut total_delay = 0.0;
             let mut total_energy = 0.0;
             for entry in model.layers() {
-                let r = optimize_schedule(&self.cost_model, hw, &entry.layer, &sw_cfg, rng);
-                evals += r.evaluations;
-                match r.best {
-                    Some((schedule, report)) => {
-                        total_delay += report.delay_cycles * entry.count as f64;
-                        total_energy += report.energy_nj * entry.count as f64;
-                        layers.push(LayerPlan {
-                            layer: entry.layer,
-                            count: entry.count,
-                            schedule,
-                            report,
-                        });
-                    }
+                match cursor.next().expect("one result slot per layer") {
+                    Some(r) => match r.best {
+                        Some((schedule, report)) => {
+                            total_delay += report.delay_cycles * entry.count as f64;
+                            total_energy += report.energy_nj * entry.count as f64;
+                            layers.push(LayerPlan {
+                                layer: entry.layer,
+                                count: entry.count,
+                                schedule,
+                                report,
+                            });
+                        }
+                        None => {
+                            total_delay = f64::INFINITY;
+                            total_energy = f64::INFINITY;
+                        }
+                    },
+                    // Skipped after the aggregate was already doomed.
                     None => {
                         total_delay = f64::INFINITY;
                         total_energy = f64::INFINITY;
@@ -231,27 +324,39 @@ impl Spotlight {
     /// Panics if `models` is empty.
     pub fn codesign(&self, models: &[Model]) -> CodesignOutcome {
         assert!(!models.is_empty(), "co-design needs at least one model");
+        // Counters describe exactly this run; the memo cache survives
+        // across runs on the same engine.
+        self.engine.reset_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut hw_search =
             build_hw_search(self.config.variant, self.config.ranges, self.config.budget);
 
         let mut best: Option<(HardwareConfig, Vec<ModelPlan>, f64)> = None;
-        let mut evaluations: u64 = 0;
         let mut eval_trace = Vec::with_capacity(self.config.hw_samples);
         let mut frontier = ParetoFrontier::new();
 
-        for _ in 0..self.config.hw_samples {
-            let hw = hw_search.suggest(&mut rng);
+        for hw_sample in 0..self.config.hw_samples {
+            let hw = self
+                .engine
+                .time_phase("hw_search", || hw_search.suggest(&mut rng));
             let cost = if self.config.budget.admits(&hw) {
-                let (plans, evals) = self.optimize_software(&hw, models, &mut rng);
-                evaluations += evals;
-                let cost = self.aggregate(&plans);
-                frontier.insert(DesignPoint {
-                    hw,
-                    delay_cycles: plans.iter().map(|p| p.total_delay).sum(),
-                    energy_nj: plans.iter().map(|p| p.total_energy).sum(),
-                    area_mm2: self.config.budget.area_mm2(&hw),
+                let (plans, _) = self.engine.time_phase("sw_search", || {
+                    self.optimize_software(&hw, models, hw_sample as u64)
                 });
+                let cost = self.aggregate(&plans);
+                let delay_cycles: f64 = plans.iter().map(|p| p.total_delay).sum();
+                let energy_nj: f64 = plans.iter().map(|p| p.total_energy).sum();
+                // Infeasible samples (any layer without a feasible
+                // schedule) carry non-finite metrics and must not join
+                // the frontier of realizable designs.
+                if delay_cycles.is_finite() && energy_nj.is_finite() {
+                    frontier.insert(DesignPoint {
+                        hw,
+                        delay_cycles,
+                        energy_nj,
+                        area_mm2: self.config.budget.area_mm2(&hw),
+                    });
+                }
                 if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
                     best = Some((hw, plans, cost));
                 }
@@ -263,11 +368,13 @@ impl Spotlight {
             };
             hw_search.observe(hw, cost);
             let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c);
-            eval_trace.push((evaluations, best_so_far));
+            eval_trace.push((self.engine.evaluations(), best_so_far));
         }
 
         let hw_history = hw_search.history().to_vec();
         let trace = Trace::from_costs(&hw_history);
+        let stats = self.engine.stats();
+        let evaluations = stats.evaluations;
         match best {
             Some((hw, plans, cost)) => CodesignOutcome {
                 best_hw: Some(hw),
@@ -278,6 +385,7 @@ impl Spotlight {
                 evaluations,
                 eval_trace,
                 frontier,
+                stats,
             },
             None => CodesignOutcome {
                 best_hw: None,
@@ -288,6 +396,7 @@ impl Spotlight {
                 evaluations,
                 eval_trace,
                 frontier,
+                stats,
             },
         }
     }
@@ -332,12 +441,25 @@ mod tests {
     fn evaluations_accounting_is_exact() {
         let cfg = small_config(Variant::SpotlightR, 1);
         let out = Spotlight::new(cfg).codesign(&[tiny_model()]);
-        // Every in-budget hw sample spends sw_samples per unique layer.
+        // Exact accounting via the engine counters: every software
+        // search spends exactly sw_samples evaluations, and every
+        // evaluation is either a cache hit or a backend call.
+        assert_eq!(
+            out.evaluations,
+            out.stats.sw_searches * cfg.sw_samples as u64
+        );
+        assert_eq!(
+            out.stats.cache_hits + out.stats.cache_misses,
+            out.evaluations
+        );
+        // At most one search per (hw sample, unique layer) pair.
         let per_hw = (cfg.sw_samples * 2) as u64;
         assert!(out.evaluations <= cfg.hw_samples as u64 * per_hw);
         assert!(out.evaluations > 0);
         assert_eq!(out.eval_trace.len(), cfg.hw_samples);
         assert_eq!(out.hw_history.len(), cfg.hw_samples);
+        // The cumulative eval trace ends at the total.
+        assert_eq!(out.eval_trace.last().unwrap().0, out.evaluations);
     }
 
     #[test]
@@ -365,8 +487,7 @@ mod tests {
     #[test]
     fn multi_model_aggregates_across_models() {
         let m2 = Model::from_layers("second", vec![ConvLayer::new(1, 8, 8, 3, 3, 7, 7)]);
-        let out =
-            Spotlight::new(small_config(Variant::Spotlight, 6)).codesign(&[tiny_model(), m2]);
+        let out = Spotlight::new(small_config(Variant::Spotlight, 6)).codesign(&[tiny_model(), m2]);
         assert_eq!(out.best_plans.len(), 2);
         let sum: f64 = out
             .best_plans
@@ -408,7 +529,9 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert!((best_edp - out.best_cost).abs() <= 1e-9 * out.best_cost);
         // Budget selection picks something admissible.
-        let sel = out.frontier.select_for_budget(&CodesignConfig::edge().budget);
+        let sel = out
+            .frontier
+            .select_for_budget(&CodesignConfig::edge().budget);
         assert!(sel.is_some());
     }
 

@@ -277,7 +277,10 @@ mod tests {
         let layer = ConvLayer::new(1, 128, 64, 3, 3, 28, 28);
         let model = CostModel::default();
         let hw = hw();
-        let idx = SW_FEATURE_NAMES.iter().position(|n| *n == "PE Utilization").unwrap();
+        let idx = SW_FEATURE_NAMES
+            .iter()
+            .position(|n| *n == "PE Utilization")
+            .unwrap();
         let mut utils = Vec::new();
         let mut delays = Vec::new();
         while utils.len() < 150 {
@@ -288,7 +291,10 @@ mod tests {
             }
         }
         let rho = spearman_rho(&utils, &delays);
-        assert!(rho < -0.1, "utilization uncorrelated with delay: rho = {rho}");
+        assert!(
+            rho < -0.1,
+            "utilization uncorrelated with delay: rho = {rho}"
+        );
     }
 
     #[test]
@@ -299,7 +305,10 @@ mod tests {
         let layer = ConvLayer::new(1, 64, 64, 3, 3, 28, 28);
         let model = CostModel::default();
         let hw = hw();
-        let idx = SW_FEATURE_NAMES.iter().position(|n| *n == "Loop Iterations").unwrap();
+        let idx = SW_FEATURE_NAMES
+            .iter()
+            .position(|n| *n == "Loop Iterations")
+            .unwrap();
         let mut iters = Vec::new();
         let mut delays = Vec::new();
         while iters.len() < 150 {

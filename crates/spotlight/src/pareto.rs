@@ -79,8 +79,13 @@ impl ParetoFrontier {
 
     /// Inserts a point, dropping it if dominated and evicting any points
     /// it dominates. Returns whether the point joined the frontier.
+    ///
+    /// Points with any non-finite metric (infinite or NaN delay, energy,
+    /// or area) describe infeasible designs and never join: NaN compares
+    /// false under `dominates`, so without this guard such a point would
+    /// sneak past every dominance check.
     pub fn insert(&mut self, p: DesignPoint) -> bool {
-        if !p.delay_cycles.is_finite() || !p.energy_nj.is_finite() {
+        if !p.delay_cycles.is_finite() || !p.energy_nj.is_finite() || !p.area_mm2.is_finite() {
             return false;
         }
         if self.points.iter().any(|q| q.dominates(&p)) {
@@ -179,18 +184,33 @@ mod tests {
     fn infinite_points_never_join() {
         let mut f = ParetoFrontier::new();
         assert!(!f.insert(p(f64::INFINITY, 1.0, 1.0)));
+        assert!(!f.insert(p(1.0, f64::INFINITY, 1.0)));
+        assert!(!f.insert(p(1.0, 1.0, f64::INFINITY)));
         assert!(f.is_empty());
     }
 
     #[test]
+    fn nan_points_never_join() {
+        // Regression: infeasible co-design samples carry NaN/INFINITY
+        // metrics; NaN compares false in `dominates`, so an unguarded
+        // insert would admit the point and it could then never be
+        // evicted.
+        let mut f = ParetoFrontier::new();
+        assert!(!f.insert(p(f64::NAN, 1.0, 1.0)));
+        assert!(!f.insert(p(1.0, f64::NAN, 1.0)));
+        assert!(!f.insert(p(1.0, 1.0, f64::NAN)));
+        assert!(f.is_empty());
+        // A NaN point also must not evict an existing finite point.
+        assert!(f.insert(p(2.0, 2.0, 2.0)));
+        assert!(!f.insert(p(f64::NAN, f64::NAN, f64::NAN)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
     fn trade_offs_coexist() {
-        let f: ParetoFrontier = [
-            p(1.0, 10.0, 5.0),
-            p(10.0, 1.0, 5.0),
-            p(5.0, 5.0, 1.0),
-        ]
-        .into_iter()
-        .collect();
+        let f: ParetoFrontier = [p(1.0, 10.0, 5.0), p(10.0, 1.0, 5.0), p(5.0, 5.0, 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(f.len(), 3);
     }
 
@@ -225,8 +245,18 @@ mod tests {
     #[test]
     fn best_edp_in_budget_minimizes_edp() {
         let budget = Budget::edge();
-        let a = DesignPoint { hw: hw(), delay_cycles: 2.0, energy_nj: 10.0, area_mm2: 1.0 };
-        let b = DesignPoint { hw: hw(), delay_cycles: 10.0, energy_nj: 1.0, area_mm2: 0.9 };
+        let a = DesignPoint {
+            hw: hw(),
+            delay_cycles: 2.0,
+            energy_nj: 10.0,
+            area_mm2: 1.0,
+        };
+        let b = DesignPoint {
+            hw: hw(),
+            delay_cycles: 10.0,
+            energy_nj: 1.0,
+            area_mm2: 0.9,
+        };
         let f: ParetoFrontier = [a, b].into_iter().collect();
         let best = f.best_edp_in_budget(&budget).unwrap();
         assert_eq!(best.edp(), 10.0);

@@ -89,11 +89,34 @@ pub fn outcome_summary(outcome: &CodesignOutcome, objective: Objective) -> Strin
         "pareto front  : {} non-dominated designs",
         outcome.frontier.len()
     );
+    let stats = &outcome.stats;
+    let _ = writeln!(
+        out,
+        "eval cache    : {} hits / {} misses ({:.1}% hit rate)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "infeasible    : {} proposals rejected by the cost model",
+        stats.infeasible
+    );
+    let _ = writeln!(out, "sw searches   : {}", stats.sw_searches);
+    for (phase, wall) in &stats.phase_wall {
+        let _ = writeln!(out, "phase {phase:<9}: {:.3}s wall", wall.as_secs_f64());
+    }
     out
 }
 
 /// One CSV row in the artifact's `compare-ae.sh` format.
-pub fn csv_row(configuration: &str, min: f64, max: f64, median: f64, spotlight_median: f64) -> String {
+pub fn csv_row(
+    configuration: &str,
+    min: f64,
+    max: f64,
+    median: f64,
+    spotlight_median: f64,
+) -> String {
     format!(
         "{configuration},{min:.4e},{max:.4e},{median:.4e},{:.3}",
         median / spotlight_median
@@ -134,6 +157,12 @@ mod tests {
         let s = outcome_summary(&out, Objective::Edp);
         assert!(s.contains("4 hardware samples"));
         assert!(s.contains("pareto front"));
+        assert!(s.contains("eval cache"));
+        assert!(s.contains("hit rate"));
+        assert!(s.contains("infeasible"));
+        assert!(s.contains("sw searches   : 4"));
+        assert!(s.contains("phase hw_search"));
+        assert!(s.contains("phase sw_search"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 
 use spotlight_accel::{Baseline, DataflowStyle, HardwareConfig};
 use spotlight_dabo::{Search, Trace};
-use spotlight_maestro::CostModel;
+use spotlight_eval::EvalEngine;
 use spotlight_models::Model;
 use spotlight_searchers::{ConfuciuXSearch, HascoSearch};
 use spotlight_space::dataflows::template_schedule;
@@ -61,14 +61,27 @@ pub fn evaluate_baseline(
     evaluate_fixed_hw(config, &hw, baseline.dataflow(), model)
 }
 
-/// Evaluates a fixed accelerator with a pinned dataflow style on `model`.
+/// Evaluates a fixed accelerator with a pinned dataflow style on `model`
+/// using a fresh analytical evaluation engine.
 pub fn evaluate_fixed_hw(
     config: &CodesignConfig,
     hw: &HardwareConfig,
     style: DataflowStyle,
     model: &Model,
 ) -> (ModelPlan, u64) {
-    let cost_model = CostModel::default();
+    evaluate_fixed_hw_with(&EvalEngine::maestro(), config, hw, style, model)
+}
+
+/// Like [`evaluate_fixed_hw`] but through a caller-owned engine, so
+/// repeated baselines share one memo cache and one set of counters.
+pub fn evaluate_fixed_hw_with(
+    engine: &EvalEngine,
+    config: &CodesignConfig,
+    hw: &HardwareConfig,
+    style: DataflowStyle,
+    model: &Model,
+) -> (ModelPlan, u64) {
+    let start_evals = engine.evaluations();
     let sw_cfg = SwSearchConfig {
         samples: config.sw_samples,
         objective: config.objective,
@@ -78,10 +91,8 @@ pub fn evaluate_fixed_hw(
     let mut layers = Vec::new();
     let mut total_delay = 0.0;
     let mut total_energy = 0.0;
-    let mut evals = 0;
     for entry in model.layers() {
-        let r = optimize_schedule_for_style(&cost_model, hw, &entry.layer, style, &sw_cfg, &mut rng);
-        evals += r.evaluations;
+        let r = optimize_schedule_for_style(engine, hw, &entry.layer, style, &sw_cfg, &mut rng);
         match r.best {
             Some((schedule, report)) => {
                 total_delay += report.delay_cycles * entry.count as f64;
@@ -106,7 +117,7 @@ pub fn evaluate_fixed_hw(
             total_delay,
             total_energy,
         },
-        evals,
+        engine.evaluations() - start_evals,
     )
 }
 
@@ -126,31 +137,28 @@ pub struct ToolOutcome {
 }
 
 fn model_cost_under_style(
-    cost_model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     style: DataflowStyle,
     model: &Model,
     config: &CodesignConfig,
-) -> (f64, u64) {
+) -> f64 {
     let mut total_delay = 0.0;
     let mut total_energy = 0.0;
-    let mut evals = 0;
     for entry in model.layers() {
-        evals += 1;
         let sched = template_schedule(style, &entry.layer);
-        match cost_model.evaluate(hw, &sched, &entry.layer) {
+        match engine.evaluate(hw, &sched, &entry.layer) {
             Ok(r) => {
                 total_delay += r.delay_cycles * entry.count as f64;
                 total_energy += r.energy_nj * entry.count as f64;
             }
-            Err(_) => return (f64::INFINITY, evals),
+            Err(_) => return f64::INFINITY,
         }
     }
-    let cost = match config.objective {
+    match config.objective {
         spotlight_maestro::Objective::Delay => total_delay,
         spotlight_maestro::Objective::Edp => total_delay * total_energy,
-    };
-    (cost, evals)
+    }
 }
 
 /// Runs the ConfuciuX-like tool: RL + GA over hardware and a three-way
@@ -158,19 +166,16 @@ fn model_cost_under_style(
 /// schedule (no tile-size search — the restriction the paper blames for
 /// ConfuciuX's gap).
 pub fn run_confuciux(config: &CodesignConfig, model: &Model) -> ToolOutcome {
-    let cost_model = CostModel::default();
+    let engine = EvalEngine::maestro();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xc0f0_c10a);
     let rl_budget = (config.hw_samples * 2) / 3;
     let mut search = ConfuciuXSearch::new(config.ranges, rl_budget);
     let mut best: Option<(HardwareConfig, f64)> = None;
-    let mut evaluations = 0;
     let mut eval_trace = Vec::new();
     for _ in 0..config.hw_samples {
         let p = search.suggest(&mut rng);
         let cost = if config.budget.admits(&p.hw) {
-            let (c, e) = model_cost_under_style(&cost_model, &p.hw, p.style, model, config);
-            evaluations += e;
-            c
+            model_cost_under_style(&engine, &p.hw, p.style, model, config)
         } else {
             f64::INFINITY
         };
@@ -178,13 +183,13 @@ pub fn run_confuciux(config: &CodesignConfig, model: &Model) -> ToolOutcome {
             best = Some((p.hw, cost));
         }
         search.observe(p, cost);
-        eval_trace.push((evaluations, best.map_or(f64::INFINITY, |(_, c)| c)));
+        eval_trace.push((engine.evaluations(), best.map_or(f64::INFINITY, |(_, c)| c)));
     }
     ToolOutcome {
         best_hw: best.map(|(hw, _)| hw),
         best_cost: best.map_or(f64::INFINITY, |(_, c)| c),
         trace: Trace::from_costs(search.history()),
-        evaluations,
+        evaluations: engine.evaluations(),
         eval_trace,
     }
 }
@@ -192,19 +197,16 @@ pub fn run_confuciux(config: &CodesignConfig, model: &Model) -> ToolOutcome {
 /// Runs the HASCO-like tool: off-the-shelf BO over hardware with one
 /// fixed software schedule per layer.
 pub fn run_hasco(config: &CodesignConfig, model: &Model) -> ToolOutcome {
-    let cost_model = CostModel::default();
+    let engine = EvalEngine::maestro();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x4a5c_0000);
     let mut search = HascoSearch::new(config.ranges);
     let style = search.style();
     let mut best: Option<(HardwareConfig, f64)> = None;
-    let mut evaluations = 0;
     let mut eval_trace = Vec::new();
     for _ in 0..config.hw_samples {
         let hw = search.suggest(&mut rng);
         let cost = if config.budget.admits(&hw) {
-            let (c, e) = model_cost_under_style(&cost_model, &hw, style, model, config);
-            evaluations += e;
-            c
+            model_cost_under_style(&engine, &hw, style, model, config)
         } else {
             f64::INFINITY
         };
@@ -212,16 +214,20 @@ pub fn run_hasco(config: &CodesignConfig, model: &Model) -> ToolOutcome {
             best = Some((hw, cost));
         }
         search.observe(hw, cost);
-        eval_trace.push((evaluations, best.map_or(f64::INFINITY, |(_, c)| c)));
+        eval_trace.push((engine.evaluations(), best.map_or(f64::INFINITY, |(_, c)| c)));
     }
     ToolOutcome {
         best_hw: best.map(|(hw, _)| hw),
         best_cost: best.map_or(f64::INFINITY, |(_, c)| c),
         trace: Trace::from_costs(search.history()),
-        evaluations,
+        evaluations: engine.evaluations(),
         eval_trace,
     }
 }
+
+/// RNG stream id for the held-out software-only optimization, disjoint
+/// from the hardware-sample stream ids used inside `codesign`.
+const GENERALIZATION_STREAM: u64 = 0x9e4e_7a11_0000_0000;
 
 /// The Figure 8 generalization scenario: co-design an accelerator with
 /// `train` models, then run the software optimizer alone for each `eval`
@@ -238,8 +244,9 @@ pub fn generalization(
     let outcome = tool.codesign(train);
     let plans = match outcome.best_hw {
         Some(hw) => {
-            let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9e4e_7a11);
-            tool.optimize_software(&hw, eval, &mut rng).0
+            // A dedicated RNG stream id, disjoint from the hw-sample
+            // indices `codesign` uses as streams.
+            tool.optimize_software(&hw, eval, GENERALIZATION_STREAM).0
         }
         None => Vec::new(),
     };

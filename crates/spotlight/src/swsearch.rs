@@ -7,13 +7,16 @@ use spotlight_accel::{DataflowStyle, HardwareConfig};
 use spotlight_conv::factor::divisors;
 use spotlight_conv::{ConvLayer, Dim, DIMS, NUM_DIMS};
 use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind, Trace};
+use spotlight_eval::EvalEngine;
 use spotlight_gp::Kernel;
-use spotlight_maestro::{CostModel, CostReport, Objective};
+use spotlight_maestro::{CostReport, Objective};
 use spotlight_searchers::{Genetic, RandomSearch};
 use spotlight_space::dataflows::dataflow_schedule;
 use spotlight_space::{mutate, sample, Schedule, TileSizes};
 
-use crate::features::{all_sw_features, raw_sw_params, sw_features, ALL_SW_DIM, RAW_SW_DIM, SW_FEATURE_NAMES};
+use crate::features::{
+    all_sw_features, raw_sw_params, sw_features, ALL_SW_DIM, RAW_SW_DIM, SW_FEATURE_NAMES,
+};
 use crate::variants::Variant;
 
 /// Configuration of one software search.
@@ -94,7 +97,11 @@ pub fn sample_schedule_guided(
 
 /// Builds the variant's software-search algorithm for one (hw, layer)
 /// pair.
-fn build_search(variant: Variant, hw: HardwareConfig, layer: ConvLayer) -> Box<dyn Search<Schedule>> {
+fn build_search(
+    variant: Variant,
+    hw: HardwareConfig,
+    layer: ConvLayer,
+) -> Box<dyn Search<Schedule>> {
     let full_sampler = move |rng: &mut dyn RngCore| sample::sample_schedule(rng, &layer);
     let guided_sampler = move |rng: &mut dyn RngCore| sample_schedule_guided(rng, &layer, &hw);
     match variant {
@@ -189,7 +196,8 @@ pub fn style_constrained_sample(
 }
 
 /// Runs one software search of `cfg.samples` cost-model evaluations for
-/// `layer` on `hw`.
+/// `layer` on `hw`. Every evaluation goes through `engine`, which
+/// memoizes repeated triples and tracks the instrumentation counters.
 ///
 /// # Examples
 ///
@@ -199,12 +207,14 @@ pub fn style_constrained_sample(
 /// use spotlight::Variant;
 /// use spotlight_accel::Baseline;
 /// use spotlight_conv::ConvLayer;
-/// use spotlight_maestro::{CostModel, Objective};
+/// use spotlight_eval::EvalEngine;
+/// use spotlight_maestro::Objective;
 ///
 /// let cfg = SwSearchConfig { samples: 20, objective: Objective::Edp, variant: Variant::Spotlight };
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let engine = EvalEngine::maestro();
 /// let r = optimize_schedule(
-///     &CostModel::default(),
+///     &engine,
 ///     &Baseline::NvdlaLike.edge_config(),
 ///     &ConvLayer::new(1, 16, 8, 3, 3, 14, 14),
 ///     &cfg,
@@ -212,22 +222,23 @@ pub fn style_constrained_sample(
 /// );
 /// assert!(r.best.is_some());
 /// assert_eq!(r.evaluations, 20);
+/// assert_eq!(engine.stats().evaluations, 20);
 /// ```
 pub fn optimize_schedule(
-    model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     cfg: &SwSearchConfig,
     rng: &mut dyn RngCore,
 ) -> SwResult {
     let mut search = build_search(cfg.variant, *hw, *layer);
-    run_sw(model, hw, layer, cfg, rng, search.as_mut())
+    run_sw(engine, hw, layer, cfg, rng, search.as_mut())
 }
 
 /// Like [`optimize_schedule`] but constrained to one rigid dataflow —
 /// the fair software optimizer for hand-designed baselines.
 pub fn optimize_schedule_for_style(
-    model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     style: DataflowStyle,
@@ -247,7 +258,7 @@ pub fn optimize_schedule_for_style(
             move |rng: &mut dyn RngCore| style_constrained_sample(rng, &layer_c, &hw_c, style);
         Box::new(Dabo::new(DaboConfig::default(), fm, sampler))
     };
-    run_sw(model, hw, layer, cfg, rng, search.as_mut())
+    run_sw(engine, hw, layer, cfg, rng, search.as_mut())
 }
 
 /// Like [`optimize_schedule`] with the Spotlight feature space but
@@ -255,7 +266,7 @@ pub fn optimize_schedule_for_style(
 /// ablation of this reproduction's one methodological addition (see
 /// DESIGN.md). Also accepts an alternative acquisition function.
 pub fn optimize_schedule_uniform(
-    model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     cfg: &SwSearchConfig,
@@ -274,13 +285,13 @@ pub fn optimize_schedule_uniform(
     let mut search = Dabo::new(dcfg, fm, move |rng: &mut dyn RngCore| {
         sample::sample_schedule(rng, &layer_c)
     });
-    run_sw(model, hw, layer, cfg, rng, &mut search)
+    run_sw(engine, hw, layer, cfg, rng, &mut search)
 }
 
 /// Like [`optimize_schedule`] for the Spotlight variant but with an
 /// explicit acquisition function (guided proposals).
 pub fn optimize_schedule_with_acquisition(
-    model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     cfg: &SwSearchConfig,
@@ -299,21 +310,22 @@ pub fn optimize_schedule_with_acquisition(
     let mut search = Dabo::new(dcfg, fm, move |rng: &mut dyn RngCore| {
         sample_schedule_guided(rng, &layer_c, &hw_c)
     });
-    run_sw(model, hw, layer, cfg, rng, &mut search)
+    run_sw(engine, hw, layer, cfg, rng, &mut search)
 }
 
 fn run_sw(
-    model: &CostModel,
+    engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     cfg: &SwSearchConfig,
     rng: &mut dyn RngCore,
     search: &mut dyn Search<Schedule>,
 ) -> SwResult {
+    engine.count_sw_search();
     let mut best: Option<(Schedule, CostReport)> = None;
     for _ in 0..cfg.samples {
         let sched = search.suggest(rng);
-        let cost = match model.evaluate(hw, &sched, layer) {
+        let cost = match engine.evaluate(hw, &sched, layer) {
             Ok(report) => {
                 let value = report.objective(cfg.objective);
                 if best
@@ -341,6 +353,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use spotlight_accel::Baseline;
+    use spotlight_maestro::CostModel;
 
     fn cfg(variant: Variant) -> SwSearchConfig {
         SwSearchConfig {
@@ -356,7 +369,7 @@ mod tests {
 
     #[test]
     fn every_variant_finds_a_feasible_schedule() {
-        let model = CostModel::default();
+        let model = EvalEngine::maestro();
         let hw = Baseline::NvdlaLike.edge_config();
         for v in Variant::ALL {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -368,7 +381,7 @@ mod tests {
 
     #[test]
     fn spotlight_beats_random_on_median_seed() {
-        let model = CostModel::default();
+        let model = EvalEngine::maestro();
         let hw = Baseline::NvdlaLike.edge_config();
         let mut wins = 0;
         let trials = 7;
@@ -423,7 +436,7 @@ mod tests {
     fn infeasible_layers_return_infinite_objective() {
         // A 2-byte-RF-per-PE accelerator cannot hold even a unit tile
         // (one weight + one input + one output element = 3 bytes).
-        let model = CostModel::default();
+        let model = EvalEngine::maestro();
         let hw = HardwareConfig::new(512, 16, 16, 1, 64, 64).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let r = optimize_schedule(&model, &hw, &layer(), &cfg(Variant::SpotlightR), &mut rng);
@@ -433,7 +446,7 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let model = CostModel::default();
+        let model = EvalEngine::maestro();
         let hw = Baseline::NvdlaLike.edge_config();
         let run = || {
             let mut rng = ChaCha8Rng::seed_from_u64(11);
@@ -445,7 +458,7 @@ mod tests {
 
     #[test]
     fn delay_objective_optimizes_delay() {
-        let model = CostModel::default();
+        let model = EvalEngine::maestro();
         let hw = Baseline::NvdlaLike.edge_config();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let c = SwSearchConfig {
@@ -456,7 +469,7 @@ mod tests {
         let r = optimize_schedule(&model, &hw, &layer(), &c, &mut rng);
         let (_, report) = r.best.unwrap();
         // The found delay should beat the naive trivial schedule's delay.
-        let trivial = model
+        let trivial = CostModel::default()
             .evaluate(&hw, &Schedule::trivial(&layer()), &layer())
             .unwrap();
         assert!(report.delay_cycles < trivial.delay_cycles);

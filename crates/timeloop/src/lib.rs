@@ -63,7 +63,9 @@ pub enum TimeloopError {
 impl fmt::Display for TimeloopError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TimeloopError::RfOverflow => f.write_str("double-buffered RF tile overflows the PE register file"),
+            TimeloopError::RfOverflow => {
+                f.write_str("double-buffered RF tile overflows the PE register file")
+            }
             TimeloopError::ScratchpadOverflow => {
                 f.write_str("double-buffered tile overflows the scratchpad")
             }
@@ -318,8 +320,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TimeloopError::RfOverflow.to_string().contains("register file"));
-        assert!(TimeloopError::ScratchpadOverflow.to_string().contains("scratchpad"));
+        assert!(TimeloopError::RfOverflow
+            .to_string()
+            .contains("register file"));
+        assert!(TimeloopError::ScratchpadOverflow
+            .to_string()
+            .contains("scratchpad"));
     }
 }
 

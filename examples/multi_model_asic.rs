@@ -9,8 +9,6 @@
 //! accelerator co-designed with only two models generalizes to an
 //! unseen third.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use spotlight_repro::maestro::Objective;
 use spotlight_repro::models::{mnasnet, mobilenet_v2, resnet50};
 use spotlight_repro::spotlight::codesign::{CodesignConfig, Spotlight};
@@ -31,8 +29,7 @@ fn main() {
     let outcome = tool.codesign(&models);
     let hw = outcome.best_hw.expect("feasible");
     println!("multi-model ASIC: {hw}");
-    let mut rng = ChaCha8Rng::seed_from_u64(99);
-    let (plans, _) = tool.optimize_software(&hw, &models, &mut rng);
+    let (plans, _) = tool.optimize_software(&hw, &models, 99);
     for plan in &plans {
         println!(
             "  {:12} EDP {:.3e} (delay {:.3e} cyc, energy {:.3e} nJ)",

@@ -18,7 +18,9 @@ fn main() {
     let model = Model::from_layers(
         "quickstart-cnn",
         vec![
-            ConvLayer::new(1, 32, 3, 3, 3, 56, 56).with_stride(2).with_name("stem"),
+            ConvLayer::new(1, 32, 3, 3, 3, 56, 56)
+                .with_stride(2)
+                .with_name("stem"),
             ConvLayer::new(1, 64, 32, 3, 3, 28, 28).with_name("stage1"),
             ConvLayer::new(1, 128, 64, 3, 3, 14, 14).with_name("stage2"),
             ConvLayer::new(1, 10, 128, 1, 1, 1, 1).with_name("head"),
@@ -37,23 +39,25 @@ fn main() {
     let tool = Spotlight::new(config);
     let outcome = tool.codesign(&[model]);
 
-    let hw = outcome.best_hw.expect("edge budget admits feasible designs");
+    let hw = outcome
+        .best_hw
+        .expect("edge budget admits feasible designs");
     println!("optimized accelerator : {hw}");
     println!(
         "area {:.2} mm^2 of {:.1} mm^2 budget",
         config.budget.area_mm2(&hw),
         config.budget.max_area_mm2
     );
-    println!("aggregate EDP          : {:.3e} nJ x cycles", outcome.best_cost);
+    println!(
+        "aggregate EDP          : {:.3e} nJ x cycles",
+        outcome.best_cost
+    );
     println!("cost-model evaluations : {}", outcome.evaluations);
     println!();
     println!("per-layer schedules:");
     for plan in &outcome.best_plans {
         for lp in &plan.layers {
-            println!(
-                "  {:8} -> {}  [{}]",
-                lp.layer.name, lp.schedule, lp.report
-            );
+            println!("  {:8} -> {}  [{}]", lp.layer.name, lp.schedule, lp.report);
         }
     }
 }

@@ -13,14 +13,15 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spotlight_repro::accel::Baseline;
 use spotlight_repro::conv::ConvLayer;
-use spotlight_repro::maestro::{CostModel, Objective};
+use spotlight_repro::eval::EvalEngine;
+use spotlight_repro::maestro::Objective;
 use spotlight_repro::spotlight::swsearch::{optimize_schedule, SwSearchConfig};
 use spotlight_repro::spotlight::Variant;
 
 fn main() {
     let hw = Baseline::EyerissLike.edge_config();
     let layer = ConvLayer::new(1, 128, 64, 3, 3, 28, 28).with_name("res3a_branch2b");
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
 
     println!("accelerator: {hw}");
     println!("layer      : {layer}\n");

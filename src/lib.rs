@@ -8,6 +8,7 @@ pub use spotlight;
 pub use spotlight_accel as accel;
 pub use spotlight_conv as conv;
 pub use spotlight_dabo as dabo;
+pub use spotlight_eval as eval;
 pub use spotlight_gp as gp;
 pub use spotlight_maestro as maestro;
 pub use spotlight_models as models;

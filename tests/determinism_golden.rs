@@ -25,12 +25,7 @@ fn golden_cost_model_hand_derived_case() {
     // K=8, C=4, 1x1 kernel, 4x4 outputs; whole layer in L2, RF tile of
     // one output pixel across all C.
     let layer = ConvLayer::new(1, 8, 4, 1, 1, 4, 4);
-    let tiles = TileSizes::new(
-        &layer,
-        [1, 8, 4, 1, 1, 4, 4],
-        [1, 1, 4, 1, 1, 1, 1],
-    )
-    .unwrap();
+    let tiles = TileSizes::new(&layer, [1, 8, 4, 1, 1, 4, 4], [1, 1, 4, 1, 1, 1, 1]).unwrap();
     let order = LoopPermutation::canonical();
     // Unroll K outer (trips 8/8 = 1 -> no spatial), X inner (trips 4).
     let sched = Schedule::new(tiles, order, order, Dim::K, Dim::X);

@@ -47,8 +47,16 @@ fn reported_cost_is_reproducible_from_plan() {
     // delay*count and energy*count recombined under the objective.
     let out = Spotlight::new(config(1)).codesign(&[small_model()]);
     let plan = &out.best_plans[0];
-    let delay: f64 = plan.layers.iter().map(|l| l.report.delay_cycles * l.count as f64).sum();
-    let energy: f64 = plan.layers.iter().map(|l| l.report.energy_nj * l.count as f64).sum();
+    let delay: f64 = plan
+        .layers
+        .iter()
+        .map(|l| l.report.delay_cycles * l.count as f64)
+        .sum();
+    let energy: f64 = plan
+        .layers
+        .iter()
+        .map(|l| l.report.energy_nj * l.count as f64)
+        .sum();
     assert!((plan.total_delay - delay).abs() < 1e-9 * delay);
     assert!((plan.total_energy - energy).abs() < 1e-9 * energy);
     assert!((out.best_cost - delay * energy).abs() < 1e-6 * out.best_cost);
@@ -64,7 +72,7 @@ fn plans_replay_through_the_cost_model() {
     for plan in &out.best_plans {
         for lp in &plan.layers {
             let replay = tool
-                .cost_model()
+                .engine()
                 .evaluate(&hw, &lp.schedule, &lp.layer)
                 .expect("planned schedule is feasible");
             assert_eq!(replay, lp.report);
@@ -111,10 +119,7 @@ fn every_variant_completes_a_codesign() {
 
 #[test]
 fn cloud_codesign_beats_edge_on_delay_for_heavy_models() {
-    let model = Model::from_layers(
-        "heavy",
-        vec![ConvLayer::new(1, 512, 256, 3, 3, 28, 28)],
-    );
+    let model = Model::from_layers("heavy", vec![ConvLayer::new(1, 512, 256, 3, 3, 28, 28)]);
     let edge_cfg = CodesignConfig {
         objective: Objective::Delay,
         ..config(5)

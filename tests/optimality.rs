@@ -7,11 +7,10 @@ use rand_chacha::ChaCha8Rng;
 
 use spotlight_repro::accel::HardwareConfig;
 use spotlight_repro::conv::ConvLayer;
+use spotlight_repro::eval::EvalEngine;
 use spotlight_repro::maestro::{CostModel, Objective};
 use spotlight_repro::space::dataflows::rigid_schedules;
-use spotlight_repro::space::enumerate::{
-    brute_force_optimum, representative_orders, space_size,
-};
+use spotlight_repro::space::enumerate::{brute_force_optimum, representative_orders, space_size};
 use spotlight_repro::spotlight::swsearch::{optimize_schedule, SwSearchConfig};
 use spotlight_repro::spotlight::Variant;
 
@@ -39,8 +38,7 @@ fn ground_truth() -> f64 {
 fn exhaustive_space_is_the_advertised_size() {
     let layer = tiny_layer();
     let orders = representative_orders();
-    let n: usize =
-        spotlight_repro::space::enumerate::enumerate_schedules(&layer, &orders).count();
+    let n: usize = spotlight_repro::space::enumerate::enumerate_schedules(&layer, &orders).count();
     assert_eq!(n as f64, space_size(&layer, orders.len() as u64));
 }
 
@@ -66,7 +64,7 @@ fn dabo_approaches_the_exhaustive_optimum() {
     // daBO searches the *full* space (all 5040^2 orders), the brute force
     // a representative subset, so daBO may even do better; it must land
     // within 2x of the restricted optimum using ~100 of the ~400k points.
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
     let hw = small_hw();
     let layer = tiny_layer();
     let best = ground_truth();
@@ -89,7 +87,7 @@ fn random_search_needs_more_samples_than_dabo_for_same_quality() {
     // Sample-efficiency, quantified against ground truth: count the
     // samples each algorithm needs to get within 3x of the optimum
     // (median over seeds).
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
     let hw = small_hw();
     let layer = tiny_layer();
     let target = ground_truth() * 3.0;
@@ -111,8 +109,12 @@ fn random_search_needs_more_samples_than_dabo_for_same_quality() {
         v.sort_unstable();
         v[v.len() / 2]
     };
-    let dabo: Vec<usize> = (0..7).map(|s| samples_to_target(Variant::Spotlight, s)).collect();
-    let random: Vec<usize> = (0..7).map(|s| samples_to_target(Variant::SpotlightR, s)).collect();
+    let dabo: Vec<usize> = (0..7)
+        .map(|s| samples_to_target(Variant::Spotlight, s))
+        .collect();
+    let random: Vec<usize> = (0..7)
+        .map(|s| samples_to_target(Variant::SpotlightR, s))
+        .collect();
     assert!(
         median(dabo.clone()) <= median(random.clone()),
         "dabo {dabo:?} vs random {random:?}"

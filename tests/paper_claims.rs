@@ -7,6 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use spotlight_repro::accel::Baseline;
 use spotlight_repro::conv::ConvLayer;
 use spotlight_repro::dabo::Search;
+use spotlight_repro::eval::EvalEngine;
 use spotlight_repro::gp::stats::spearman_rho;
 use spotlight_repro::maestro::{CostModel, Objective};
 use spotlight_repro::models::{transformer, Model};
@@ -27,7 +28,7 @@ fn bench_layer() -> ConvLayer {
 /// majority of seeds.
 #[test]
 fn claim_dabo_is_sample_efficient() {
-    let model = CostModel::default();
+    let model = EvalEngine::maestro();
     let hw = Baseline::EyerissLike.edge_config();
     let layer = bench_layer();
     let mut wins = 0;
@@ -40,8 +41,7 @@ fn claim_dabo_is_sample_efficient() {
                 variant,
             };
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            optimize_schedule(&model, &hw, &layer, &cfg, &mut rng)
-                .objective_value(Objective::Edp)
+            optimize_schedule(&model, &hw, &layer, &cfg, &mut rng).objective_value(Objective::Edp)
         };
         if run(Variant::Spotlight) < run(Variant::SpotlightR) {
             wins += 1;

@@ -1,0 +1,235 @@
+//! Offline micro-benchmark harness exposing the slice of the `criterion`
+//! API this workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `sample_size`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//!
+//! The statistics engine is deliberately simple: after a short warm-up
+//! the closure is timed over an adaptively chosen iteration count and
+//! the mean, minimum, and maximum per-iteration times are printed in a
+//! criterion-style `time: [min mean max]` line. There is no HTML report,
+//! outlier analysis, or regression comparison — the goal is that
+//! `cargo bench` runs offline and produces stable, readable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark, printed as `name/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and a cost estimate to size the measured batches.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~20ms of total measurement split over `sample_size`
+        // batches, at least one iteration per batch.
+        let budget = Duration::from_millis(20);
+        let total_iters = (budget.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as usize;
+        let iters_per_sample = (total_iters / self.sample_size).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("k", 8).to_string(), "k/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline subset of `proptest` vendored for hermetic builds (the build
+//! environment has no registry access).
+//!
+//! It keeps the shape the workspace's tests rely on — the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, range /
+//! tuple / `collection::vec` / `array::uniform7` strategies, `prop_map`,
+//! and the `prop_assert!` family — while replacing the full framework
+//! with deterministic random sampling: each test draws `cases` inputs
+//! from a ChaCha8 stream seeded from the test's module path and name.
+//!
+//! What is intentionally missing relative to real proptest: shrinking on
+//! failure, persisted failure regressions, and the combinator zoo
+//! (`prop_oneof`, `prop_filter`, recursive strategies). Failures print
+//! the sampled case index so a failing case is reproducible by rerunning
+//! the same test binary.
+
+use rand::Rng;
+use std::ops::Range;
+
+/// The RNG driving all strategy sampling.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Deterministic per-test RNG: FNV-1a over the fully qualified test name.
+pub fn rng_for(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy adaptor applying a function to every sampled value.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub use strategy::Strategy;
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive; lo == hi encodes "exactly lo"
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    macro_rules! uniform_fn {
+        ($name:ident, $n:literal) => {
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        };
+    }
+
+    uniform_fn!(uniform2, 2);
+    uniform_fn!(uniform3, 3);
+    uniform_fn!(uniform4, 4);
+    uniform_fn!(uniform7, 7);
+    uniform_fn!(uniform8, 8);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            [(); N].map(|_| self.element.sample(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+}
+
+pub mod prelude {
+    pub use super::strategy::Strategy;
+    pub use super::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Outcome of one sampled case body: `Err` carries a failure message, a
+/// special sentinel marks `prop_assume!` rejections.
+pub type CaseResult = Result<(), String>;
+
+#[doc(hidden)]
+pub const ASSUME_REJECTED: &str = "__proptest_assume_rejected__";
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        // `$meta` captures the mandatory `#[test]` along with any doc
+        // comments, so they are re-emitted verbatim.
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __result: $crate::CaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e == $crate::ASSUME_REJECTED => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        e
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::ASSUME_REJECTED,
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, f64)> {
+        (1u64..100, -1.0f64..1.0).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range, tuple, map, vec and array strategies all honour bounds.
+        #[test]
+        fn strategies_respect_bounds(
+            x in 5u64..50,
+            v in crate::collection::vec(-2.0f64..2.0, 3..9),
+            arr in crate::array::uniform7(1u64..6),
+            pair in arb_pair(),
+        ) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(v.len() >= 3 && v.len() < 9);
+            prop_assert!(v.iter().all(|e| (-2.0..2.0).contains(e)));
+            prop_assert!(arr.iter().all(|e| (1..6).contains(e)));
+            prop_assert!(pair.0 % 2 == 0 && pair.0 >= 2 && pair.0 < 200);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        /// `prop_assume!` skips cases without failing the test.
+        #[test]
+        fn assume_rejects_quietly(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::rng_for("mod::test_a");
+        let mut b = crate::rng_for("mod::test_a");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline, API-compatible subset of `rand` 0.8 vendored for hermetic
+//! builds: the build environment has no registry access, so the workspace
+//! ships the exact slice of the `rand` API it uses.
+//!
+//! Compatibility goals, in order:
+//!
+//! 1. **API compatibility** — every call site in this workspace
+//!    (`gen_range` over integer/float ranges, `gen_bool`, `gen`,
+//!    `choose`, `shuffle`, `RngCore`, `SeedableRng::seed_from_u64`)
+//!    compiles unchanged against this crate.
+//! 2. **Stream compatibility** — the sampling algorithms mirror
+//!    rand 0.8.5 bit-for-bit (PCG-based `seed_from_u64` expansion,
+//!    widening-multiply integer uniforms, 52-bit mantissa float
+//!    uniforms, `2^64`-scaled Bernoulli, `u32`-index slice ops) so
+//!    seeded golden values recorded against the real crate reproduce.
+//!
+//! Anything the workspace does not use (thread_rng, OS entropy, the
+//! distribution zoo, weighted sampling) is deliberately absent.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32/64-bit output.
+///
+/// Object-safe; most call sites in the workspace take `&mut dyn RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with the same PCG32-style key
+    /// expansion rand_core 0.6 uses, so `seed_from_u64(s)` produces the
+    /// identical generator state as the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let bytes = xorshifted.rotate_right(rot).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types drawable uniformly over their full domain (`Rng::gen`).
+pub trait StandardSample {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty => $method:ident),+ $(,)?) => {$(
+        impl StandardSample for $ty {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$method() as $ty
+            }
+        }
+    )+};
+}
+
+impl_standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl StandardSample for f64 {
+    /// 53-bit multiply method, as rand 0.8's `Standard` for `f64`.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types uniformly samplable over a sub-range (`Rng::gen_range`).
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_single<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+        -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($ty:ty => ($uty:ty, $large:ty, $wide:ty)),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let range = (high as $uty).wrapping_sub(low as $uty) as $large;
+                int_reject_loop!(rng, low, range, $ty, $uty, $large, $wide)
+            }
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = (high as $uty)
+                    .wrapping_sub(low as $uty)
+                    .wrapping_add(1) as $large;
+                if range == 0 {
+                    // The full integer domain: every raw draw is valid.
+                    return <$ty as StandardSample>::sample_standard(rng);
+                }
+                int_reject_loop!(rng, low, range, $ty, $uty, $large, $wide)
+            }
+        }
+    )+};
+}
+
+/// Widening-multiply rejection sampling, identical to rand 0.8's
+/// `UniformInt::sample_single*`: a modulo-derived acceptance zone for
+/// sub-32-bit types, a leading-zeros zone otherwise.
+macro_rules! int_reject_loop {
+    ($rng:expr, $low:expr, $range:expr, $ty:ty, $uty:ty, $large:ty, $wide:ty) => {{
+        let range: $large = $range;
+        let zone: $large = if (<$uty>::MAX as $large) <= u16::MAX as $large {
+            let ints_to_reject = (<$large>::MAX - range + 1) % range;
+            <$large>::MAX - ints_to_reject
+        } else {
+            (range << range.leading_zeros()).wrapping_sub(1)
+        };
+        loop {
+            let v = <$large as StandardSample>::sample_standard($rng);
+            let m = (v as $wide) * (range as $wide);
+            let hi = (m >> (<$large>::BITS)) as $large;
+            let lo = m as $large;
+            if lo <= zone {
+                break ($low as $large).wrapping_add(hi) as $ty;
+            }
+        }
+    }};
+}
+
+impl_int_uniform! {
+    u8 => (u8, u32, u64), u16 => (u16, u32, u64), u32 => (u32, u32, u64),
+    u64 => (u64, u64, u128), usize => (usize, u64, u128),
+    i8 => (u8, u32, u64), i16 => (u16, u32, u64), i32 => (u32, u32, u64),
+    i64 => (u64, u64, u128), isize => (usize, u64, u128),
+}
+
+macro_rules! impl_float_uniform {
+    ($($ty:ty => ($uty:ty, $discard:expr, $exp_bias:expr, $frac_bits:expr)),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            /// rand 0.8's `UniformFloat::sample_single`: a 52-bit (f64)
+            /// mantissa draw mapped to [1, 2), shifted to [0, 1), then
+            /// scaled into the range.
+            fn sample_single<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let scale = high - low;
+                let fraction =
+                    <$uty as StandardSample>::sample_standard(rng) >> $discard;
+                let value1_2 =
+                    <$ty>::from_bits((($exp_bias as $uty) << $frac_bits) | fraction);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                if low == high {
+                    return low;
+                }
+                <$ty as SampleUniform>::sample_single(rng, low, high)
+            }
+        }
+    )+};
+}
+
+impl_float_uniform! {
+    f64 => (u64, 12u32, 1023u64, 52u32),
+    f32 => (u32, 9u32, 127u32, 23u32),
+}
+
+/// A range usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// `RngCore` (including unsized `dyn RngCore`), exactly like rand 0.8.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with rand 0.8's fixed-point comparison
+    /// (`p * 2^64` against a raw `u64`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        if p >= 1.0 {
+            // Match the real crate: `p == 1` short-circuits without
+            // consuming a draw.
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related extensions: random element choice and shuffling.
+
+    use super::{Rng, RngCore};
+
+    /// rand 0.8's `gen_index`: slice indices below `u32::MAX` sample a
+    /// `u32`, which consumes one 32-bit word instead of two.
+    #[inline]
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counting stub so the sampling paths are testable in isolation.
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0;
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let len = chunk.len();
+                chunk.copy_from_slice(&bytes[..len]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&w));
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: u8 = rng.gen_range(0..5u8);
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = StepRng(123);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = StepRng(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        use seq::SliceRandom;
+        let mut rng = StepRng(9);
+        let v = [1, 2, 3];
+        for _ in 0..10 {
+            assert!(v.choose(&mut rng).is_some());
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn dyn_rngcore_has_rng_methods() {
+        let mut rng = StepRng(3);
+        let dy: &mut dyn RngCore = &mut rng;
+        let v = dy.gen_range(0..10u32);
+        assert!(v < 10);
+        assert!(dy.gen::<f64>() < 1.0);
+    }
+}
