@@ -34,11 +34,11 @@ fn bench_parallel_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_software_4_layers");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        let cfg = CodesignConfig {
-            sw_samples: 30,
-            threads,
-            ..CodesignConfig::edge()
-        };
+        let cfg = CodesignConfig::edge()
+            .sw_samples(30)
+            .threads(threads)
+            .build()
+            .expect("bench config is valid");
         group.bench_function(format!("{threads}_threads"), |b| {
             // Fresh engine per iteration so the memo cache never turns
             // the measured work into a lookup.
@@ -52,11 +52,11 @@ fn bench_parallel_search(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("memo_cache");
     group.sample_size(10);
-    let cfg = CodesignConfig {
-        sw_samples: 30,
-        threads: 1,
-        ..CodesignConfig::edge()
-    };
+    let cfg = CodesignConfig::edge()
+        .sw_samples(30)
+        .threads(1)
+        .build()
+        .expect("bench config is valid");
     group.bench_function("cold_every_iter", |b| {
         b.iter(|| {
             let tool = Spotlight::with_engine(cfg, EvalEngine::maestro().without_cache());

@@ -17,7 +17,7 @@
 use spotlight::codesign::Spotlight;
 use spotlight::scenarios::{run_confuciux, run_hasco};
 use spotlight::variants::Variant;
-use spotlight_bench::{models_from_env, Budgets};
+use spotlight_bench::{models_from_env, observer_from_env, Budgets};
 use spotlight_maestro::Objective;
 
 fn print_series(metric: &str, model: &str, config: &str, trial: u64, series: &[(u64, f64)]) {
@@ -36,31 +36,39 @@ fn main() {
         for model in &models {
             for variant in Variant::FIGURE10 {
                 for t in 0..budgets.trials {
-                    let cfg = spotlight::codesign::CodesignConfig {
-                        objective,
-                        variant,
-                        ..budgets.edge_config(t)
-                    };
-                    let out = Spotlight::new(cfg).codesign(std::slice::from_ref(model));
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .variant(variant)
+                        .build()
+                        .expect("derived from a valid config");
+                    let out = Spotlight::new(cfg)
+                        .with_observer(observer_from_env().clone())
+                        .codesign(std::slice::from_ref(model));
                     print_series(&metric, model.name(), variant.name(), t, &out.eval_trace);
                 }
             }
             if model.name() != "Transformer" {
                 for t in 0..budgets.trials {
-                    let cfg = spotlight::codesign::CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     let out = run_confuciux(&cfg, model);
                     print_series(&metric, model.name(), "ConfuciuX", t, &out.eval_trace);
                 }
             }
             if matches!(model.name(), "ResNet-50" | "MobileNetV2") {
                 for t in 0..budgets.trials {
-                    let cfg = spotlight::codesign::CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     let out = run_hasco(&cfg, model);
                     // HASCO: the paper reports only the best of 10 trials
                     // (per-sample data unavailable); we have the series,

@@ -16,7 +16,7 @@
 
 use spotlight::codesign::Spotlight;
 use spotlight::variants::Variant;
-use spotlight_bench::{models_from_env, Budgets};
+use spotlight_bench::{models_from_env, observer_from_env, Budgets};
 use spotlight_maestro::Objective;
 
 fn main() {
@@ -29,12 +29,16 @@ fn main() {
     for model in &models {
         for variant in Variant::FIGURE10 {
             for t in 0..budgets.trials {
-                let cfg = spotlight::codesign::CodesignConfig {
-                    objective,
-                    variant,
-                    ..budgets.edge_config(t)
-                };
-                let out = Spotlight::new(cfg).codesign(std::slice::from_ref(model));
+                let cfg = budgets
+                    .edge_config(t)
+                    .to_builder()
+                    .objective(objective)
+                    .variant(variant)
+                    .build()
+                    .expect("derived from a valid config");
+                let out = Spotlight::new(cfg)
+                    .with_observer(observer_from_env().clone())
+                    .codesign(std::slice::from_ref(model));
                 let mut finite: Vec<f64> = out
                     .hw_history
                     .iter()

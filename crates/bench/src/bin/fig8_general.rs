@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use spotlight::codesign::Spotlight;
 use spotlight_bench::experiments::{rows_to_csv, Row};
-use spotlight_bench::Budgets;
+use spotlight_bench::{observer_from_env, Budgets};
 use spotlight_maestro::Objective;
 use spotlight_models::{all_models, mnasnet, mobilenet_v2, resnet50, transformer, vgg16};
 
@@ -34,11 +34,14 @@ fn main() {
         for model in &models {
             let values: Vec<f64> = (0..budgets.trials)
                 .map(|t| {
-                    let cfg = spotlight::codesign::CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     Spotlight::new(cfg)
+                        .with_observer(observer_from_env().clone())
                         .codesign(std::slice::from_ref(model))
                         .best_cost
                 })
@@ -52,19 +55,21 @@ fn main() {
         }
 
         // Multi-model: co-design with all five, then per-model software.
-        let mut multi: HashMap<&'static str, Vec<f64>> = HashMap::new();
+        let mut multi: HashMap<String, Vec<f64>> = HashMap::new();
         for t in 0..budgets.trials {
-            let cfg = spotlight::codesign::CodesignConfig {
-                objective,
-                ..budgets.edge_config(100 + t)
-            };
-            let tool = Spotlight::new(cfg);
+            let cfg = budgets
+                .edge_config(100 + t)
+                .to_builder()
+                .objective(objective)
+                .build()
+                .expect("derived from a valid config");
+            let tool = Spotlight::new(cfg).with_observer(observer_from_env().clone());
             let out = tool.codesign(&models);
             if let Some(hw) = out.best_hw {
                 let (plans, _) = tool.optimize_software(&hw, &models, 1000 + t);
                 for plan in plans {
                     multi
-                        .entry(plan.model_name)
+                        .entry(plan.model_name.to_string())
                         .or_default()
                         .push(plan.objective_value(objective));
                 }
@@ -76,16 +81,18 @@ fn main() {
         // evaluate on {MnasNet, Transformer}.
         let train = vec![vgg16(), resnet50(), mobilenet_v2()];
         let eval = vec![mnasnet(), transformer()];
-        let mut general: HashMap<&'static str, Vec<f64>> = HashMap::new();
+        let mut general: HashMap<String, Vec<f64>> = HashMap::new();
         for t in 0..budgets.trials {
-            let cfg = spotlight::codesign::CodesignConfig {
-                objective,
-                ..budgets.edge_config(200 + t)
-            };
+            let cfg = budgets
+                .edge_config(200 + t)
+                .to_builder()
+                .objective(objective)
+                .build()
+                .expect("derived from a valid config");
             let (_, plans) = spotlight::scenarios::generalization(&cfg, &train, &eval);
             for plan in plans {
                 general
-                    .entry(plan.model_name)
+                    .entry(plan.model_name.to_string())
                     .or_default()
                     .push(plan.objective_value(objective));
             }
@@ -100,17 +107,17 @@ fn push_rows(
     rows: &mut Vec<Row>,
     metric: &str,
     configuration: &str,
-    per_model: HashMap<&'static str, Vec<f64>>,
+    per_model: HashMap<String, Vec<f64>>,
 ) {
     let mut entries: Vec<_> = per_model.into_iter().collect();
-    entries.sort_by_key(|(m, _)| *m);
+    entries.sort_by(|(a, _), (b, _)| a.cmp(b));
     for (model, values) in entries {
         if values.is_empty() {
             continue;
         }
         rows.push(Row {
             metric: metric.into(),
-            model: model.into(),
+            model,
             configuration: configuration.into(),
             values,
         });

@@ -66,7 +66,7 @@ fn main() -> ExitCode {
 }
 
 fn general_csv(budgets: &Budgets) -> String {
-    use spotlight::codesign::{CodesignConfig, Spotlight};
+    use spotlight::codesign::Spotlight;
     use spotlight::scenarios::generalization;
     use spotlight_bench::experiments::Row;
     use spotlight_models::{mnasnet, mobilenet_v2, resnet50, transformer, vgg16};
@@ -78,11 +78,14 @@ fn general_csv(budgets: &Budgets) -> String {
     for model in [mnasnet(), transformer()] {
         let values: Vec<f64> = (0..budgets.trials)
             .map(|t| {
-                let cfg = CodesignConfig {
-                    objective,
-                    ..budgets.edge_config(t)
-                };
+                let cfg = budgets
+                    .edge_config(t)
+                    .to_builder()
+                    .objective(objective)
+                    .build()
+                    .expect("derived from a valid config");
                 Spotlight::new(cfg)
+                    .with_observer(spotlight_bench::observer_from_env().clone())
                     .codesign(std::slice::from_ref(&model))
                     .best_cost
             })
@@ -98,16 +101,18 @@ fn general_csv(budgets: &Budgets) -> String {
     // Generalization: train on three models, evaluate the held-out two.
     let train = vec![vgg16(), resnet50(), mobilenet_v2()];
     let eval = vec![mnasnet(), transformer()];
-    let mut general: std::collections::HashMap<&'static str, Vec<f64>> = Default::default();
+    let mut general: std::collections::HashMap<String, Vec<f64>> = Default::default();
     for t in 0..budgets.trials {
-        let cfg = CodesignConfig {
-            objective,
-            ..budgets.edge_config(200 + t)
-        };
+        let cfg = budgets
+            .edge_config(200 + t)
+            .to_builder()
+            .objective(objective)
+            .build()
+            .expect("derived from a valid config");
         let (_, plans) = generalization(&cfg, &train, &eval);
         for plan in plans {
             general
-                .entry(plan.model_name)
+                .entry(plan.model_name.to_string())
                 .or_default()
                 .push(plan.objective_value(objective));
         }
@@ -115,7 +120,7 @@ fn general_csv(budgets: &Budgets) -> String {
     for (model, values) in general {
         rows.push(Row {
             metric: objective.to_string(),
-            model: model.into(),
+            model,
             configuration: "Spotlight-General".into(),
             values,
         });

@@ -11,10 +11,10 @@
 //!   Spotlight-optimized arrays ("long and narrow"), and
 //! - the **energy breakdown** showing where each design's joules go.
 
-use spotlight::codesign::{CodesignConfig, Spotlight};
+use spotlight::codesign::Spotlight;
 use spotlight::scenarios::{evaluate_baseline, Scale};
 use spotlight_accel::Baseline;
-use spotlight_bench::{models_from_env, Budgets};
+use spotlight_bench::{models_from_env, observer_from_env, Budgets};
 use spotlight_maestro::Objective;
 
 fn main() {
@@ -26,18 +26,22 @@ fn main() {
     println!("configuration,macs_per_nj,l2_reads_per_fill,rf_reads_per_fill,aspect_ratio,energy_dram_frac,energy_mac_frac");
 
     // Spotlight-Opt: the best design of the first trial.
-    let cfg = CodesignConfig {
-        objective: Objective::Edp,
-        ..budgets.edge_config(0)
-    };
-    let out = Spotlight::new(cfg).codesign(std::slice::from_ref(model));
+    let cfg = budgets
+        .edge_config(0)
+        .to_builder()
+        .objective(Objective::Edp)
+        .build()
+        .expect("derived from a valid config");
+    let out = Spotlight::new(cfg)
+        .with_observer(observer_from_env().clone())
+        .codesign(std::slice::from_ref(model));
     if let Some(hw) = out.best_hw {
         print_row("Spotlight-Opt", hw.aspect_ratio(), &out.best_plans[0]);
     }
 
     for baseline in Baseline::FIGURE6 {
         let (plan, _) = evaluate_baseline(&cfg, baseline, Scale::Edge, model);
-        let hw = baseline.scaled_config(&cfg.budget);
+        let hw = baseline.scaled_config(&cfg.budget());
         print_row(baseline.name(), hw.aspect_ratio(), &plan);
     }
 }

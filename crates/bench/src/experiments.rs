@@ -5,14 +5,14 @@
 //! per model per metric, carrying all trial values) that render to the
 //! `compare-ae.sh` CSV format via [`rows_to_csv`].
 
-use spotlight::codesign::{CodesignConfig, Spotlight};
+use spotlight::codesign::Spotlight;
 use spotlight::scenarios::{evaluate_baseline, run_confuciux, run_hasco, Scale};
 use spotlight::Variant;
 use spotlight_accel::Baseline;
 use spotlight_maestro::Objective;
 use spotlight_models::Model;
 
-use crate::{map_trials, stats, Budgets, Stats};
+use crate::{map_trials, observer_from_env, stats, Budgets, Stats};
 
 /// One experiment result series: the per-trial best objective values of
 /// one configuration on one model.
@@ -82,12 +82,14 @@ fn codesign_values(
         } else {
             budgets.edge_config(t)
         };
-        let cfg = CodesignConfig {
-            objective,
-            variant,
-            ..base
-        };
+        let cfg = base
+            .to_builder()
+            .objective(objective)
+            .variant(variant)
+            .build()
+            .expect("derived from a valid config");
         Spotlight::new(cfg)
+            .with_observer(observer_from_env().clone())
             .codesign(std::slice::from_ref(model))
             .best_cost
     })
@@ -106,7 +108,11 @@ fn baseline_values(
         } else {
             budgets.edge_config(t)
         };
-        let cfg = CodesignConfig { objective, ..base };
+        let cfg = base
+            .to_builder()
+            .objective(objective)
+            .build()
+            .expect("derived from a valid config");
         let scale = if cloud { Scale::Cloud } else { Scale::Edge };
         let (plan, _) = evaluate_baseline(&cfg, baseline, scale, model);
         plan.objective_value(objective)
@@ -137,10 +143,12 @@ pub fn main_edge(budgets: &Budgets, models: &[Model]) -> Vec<Row> {
         if model.name() != "Transformer" {
             let values = (0..budgets.trials)
                 .map(|t| {
-                    let cfg = CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     run_confuciux(&cfg, model).best_cost
                 })
                 .collect();
@@ -154,10 +162,12 @@ pub fn main_edge(budgets: &Budgets, models: &[Model]) -> Vec<Row> {
         if matches!(model.name(), "ResNet-50" | "MobileNetV2") {
             let values = (0..budgets.trials)
                 .map(|t| {
-                    let cfg = CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     run_hasco(&cfg, model).best_cost
                 })
                 .collect();
@@ -214,10 +224,12 @@ pub fn ablation(budgets: &Budgets, models: &[Model], objective: Objective) -> Ve
         if model.name() != "Transformer" {
             let values = (0..budgets.trials)
                 .map(|t| {
-                    let cfg = CodesignConfig {
-                        objective,
-                        ..budgets.edge_config(t)
-                    };
+                    let cfg = budgets
+                        .edge_config(t)
+                        .to_builder()
+                        .objective(objective)
+                        .build()
+                        .expect("derived from a valid config");
                     run_confuciux(&cfg, model).best_cost
                 })
                 .collect();

@@ -16,14 +16,18 @@
 //! | `SPOTLIGHT_SW` | software samples per layer | 30 |
 //! | `SPOTLIGHT_THREADS` | worker threads for the layerwise software search | 1 |
 //! | `SPOTLIGHT_MODELS` | `fast` (ResNet-50 + Transformer) or `all` | fast |
+//! | `SPOTLIGHT_JOURNAL` | append run events to this JSONL journal | off |
 //!
 //! The paper's headline setting is `SPOTLIGHT_TRIALS=10 SPOTLIGHT_HW=100
 //! SPOTLIGHT_SW=100 SPOTLIGHT_MODELS=all`.
 
 pub mod experiments;
 
+use std::sync::OnceLock;
+
 use spotlight::codesign::CodesignConfig;
 use spotlight_models::{all_models, resnet50, transformer, Model};
+use spotlight_obs::{JournalWriter, Observer};
 
 /// Experiment budget resolved from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -53,25 +57,43 @@ impl Budgets {
 
     /// A [`CodesignConfig`] template at edge scale with these budgets.
     pub fn edge_config(&self, seed: u64) -> CodesignConfig {
-        CodesignConfig {
-            hw_samples: self.hw_samples,
-            sw_samples: self.sw_samples,
-            seed,
-            threads: self.threads,
-            ..CodesignConfig::edge()
-        }
+        CodesignConfig::edge()
+            .hw_samples(self.hw_samples)
+            .sw_samples(self.sw_samples)
+            .seed(seed)
+            .threads(self.threads)
+            .build()
+            .expect("env budgets are clamped to at least 1")
     }
 
     /// A [`CodesignConfig`] template at cloud scale with these budgets.
     pub fn cloud_config(&self, seed: u64) -> CodesignConfig {
-        CodesignConfig {
-            hw_samples: self.hw_samples,
-            sw_samples: self.sw_samples,
-            seed,
-            threads: self.threads,
-            ..CodesignConfig::cloud()
-        }
+        CodesignConfig::cloud()
+            .hw_samples(self.hw_samples)
+            .sw_samples(self.sw_samples)
+            .seed(seed)
+            .threads(self.threads)
+            .build()
+            .expect("env budgets are clamped to at least 1")
     }
+}
+
+/// The process-wide observer for experiment binaries: a journal writer
+/// appending to `SPOTLIGHT_JOURNAL` when set, otherwise the no-op
+/// observer. Resolved once; all trials of all experiments share the one
+/// journal (each run brackets its events with its own manifest).
+pub fn observer_from_env() -> &'static Observer {
+    static OBSERVER: OnceLock<Observer> = OnceLock::new();
+    OBSERVER.get_or_init(|| match std::env::var("SPOTLIGHT_JOURNAL") {
+        Ok(path) if !path.is_empty() => match JournalWriter::create(&path) {
+            Ok(writer) => Observer::new(std::sync::Arc::new(writer)),
+            Err(e) => {
+                eprintln!("warning: cannot open SPOTLIGHT_JOURNAL={path}: {e}");
+                Observer::null()
+            }
+        },
+        _ => Observer::null(),
+    })
 }
 
 /// Maps `f` over `0..n` trial indices, in parallel when

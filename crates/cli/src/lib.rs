@@ -16,9 +16,10 @@
 
 use std::fmt;
 
-use spotlight::codesign::CodesignConfig;
+use spotlight::codesign::{CodesignConfig, ConfigError};
 use spotlight::Variant;
 use spotlight_accel::Baseline;
+use spotlight_eval::EvalEngine;
 use spotlight_maestro::Objective;
 use spotlight_models::{all_models, Model};
 
@@ -46,36 +47,17 @@ pub enum Command {
         /// Model to analyze.
         model: String,
     },
+    /// Validate a run journal: every line must parse as a known event.
+    Journal {
+        /// Path to a JSONL journal written with `--journal`.
+        path: String,
+    },
     /// Print usage.
     Help,
 }
 
-/// Which [`spotlight_eval::CostBackend`] the engine should evaluate
-/// through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BackendChoice {
-    /// MAESTRO-style analytical model (the default).
-    #[default]
-    Maestro,
-    /// Analytical model refined by the cycle-approximate simulator.
-    Sim,
-    /// Timeloop-style model for cross-validation.
-    Timeloop,
-}
-
-impl BackendChoice {
-    /// The name understood by [`spotlight_eval::EvalEngine::by_name`].
-    pub fn name(self) -> &'static str {
-        match self {
-            BackendChoice::Maestro => "maestro",
-            BackendChoice::Sim => "sim",
-            BackendChoice::Timeloop => "timeloop",
-        }
-    }
-}
-
 /// The tunable knobs common to `codesign` and `evaluate`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliConfig {
     /// Hardware samples.
     pub hw_samples: usize,
@@ -91,8 +73,14 @@ pub struct CliConfig {
     pub seed: u64,
     /// Worker threads for the per-layer software search.
     pub threads: usize,
-    /// Cost backend to evaluate through.
-    pub backend: BackendChoice,
+    /// Cost backend to evaluate through; validated against
+    /// [`EvalEngine::by_name`] at parse time so the error always lists
+    /// exactly the backends the engine knows.
+    pub backend: String,
+    /// Write every run event to this JSONL journal.
+    pub journal: Option<String>,
+    /// Report progress (hardware proposals, best-so-far) on stderr.
+    pub progress: bool,
 }
 
 impl Default for CliConfig {
@@ -105,28 +93,33 @@ impl Default for CliConfig {
             variant: Variant::Spotlight,
             seed: 0,
             threads: 1,
-            backend: BackendChoice::Maestro,
+            backend: "maestro".to_string(),
+            journal: None,
+            progress: false,
         }
     }
 }
 
 impl CliConfig {
     /// Converts into the library configuration.
-    pub fn to_codesign_config(self) -> CodesignConfig {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's [`ConfigError`] (zero samples/threads —
+    /// scale/budget mismatches cannot arise from CLI flags).
+    pub fn to_codesign_config(&self) -> Result<CodesignConfig, ConfigError> {
         let base = if self.cloud {
             CodesignConfig::cloud()
         } else {
             CodesignConfig::edge()
         };
-        CodesignConfig {
-            hw_samples: self.hw_samples,
-            sw_samples: self.sw_samples,
-            objective: self.objective,
-            variant: self.variant,
-            seed: self.seed,
-            threads: self.threads.max(1),
-            ..base
-        }
+        base.hw_samples(self.hw_samples)
+            .sw_samples(self.sw_samples)
+            .objective(self.objective)
+            .variant(self.variant)
+            .seed(self.seed)
+            .threads(self.threads.max(1))
+            .build()
     }
 }
 
@@ -188,6 +181,14 @@ impl Command {
                     .ok_or_else(|| ParseCommandError("space requires --model".into()))?;
                 Ok(Command::Space { model })
             }
+            "journal" => match rest.as_slice() {
+                [path] => Ok(Command::Journal {
+                    path: path.to_string(),
+                }),
+                _ => Err(ParseCommandError(
+                    "journal requires exactly one <path> argument".into(),
+                )),
+            },
             other => Err(ParseCommandError(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -269,17 +270,20 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 i += 2;
             }
             "--backend" => {
-                config.backend = match value(i)? {
-                    "maestro" => BackendChoice::Maestro,
-                    "sim" => BackendChoice::Sim,
-                    "timeloop" => BackendChoice::Timeloop,
-                    other => {
-                        return Err(ParseCommandError(format!(
-                            "unknown backend `{other}` (maestro|sim|timeloop)"
-                        )))
-                    }
-                };
+                let name = value(i)?;
+                // Validate through the engine itself so the message
+                // always lists exactly the backends it resolves.
+                EvalEngine::by_name(name).map_err(|e| ParseCommandError(e.to_string()))?;
+                config.backend = name.to_string();
                 i += 2;
+            }
+            "--journal" => {
+                config.journal = Some(value(i)?.to_string());
+                i += 2;
+            }
+            "--progress" => {
+                config.progress = true;
+                i += 1;
             }
             other => {
                 return Err(ParseCommandError(format!("unknown flag `{other}`")));
@@ -324,12 +328,7 @@ pub fn resolve_model(name: &str) -> Result<Model, ParseCommandError> {
             return Ok(m);
         }
     }
-    let names: Vec<&str> = all_models()
-        .iter()
-        .map(|m| m.name())
-        .collect::<Vec<_>>()
-        .into_iter()
-        .collect();
+    let names: Vec<String> = all_models().iter().map(|m| m.name().to_string()).collect();
     Err(ParseCommandError(format!(
         "unknown model `{name}`; available: {}",
         names.join(", ")
@@ -361,6 +360,7 @@ USAGE:
   spotlight codesign --model <name>[,<name>...] [options]
   spotlight evaluate --baseline <name> --model <name> [options]
   spotlight space    --model <name>
+  spotlight journal  <path>
   spotlight help
 
 OPTIONS:
@@ -375,6 +375,11 @@ OPTIONS:
   --threads <n>       worker threads for the layerwise software search (default 1;
                       results are bit-identical at any thread count)
   --backend <b>       maestro (default) | sim | timeloop
+  --journal <path>    write every run event as one JSON object per line
+  --progress          report hardware proposals and best-so-far on stderr
+
+`spotlight journal <path>` validates a journal written with --journal:
+every line must parse as a known event; exits non-zero on schema drift.
 ";
 
 #[cfg(test)]
@@ -403,6 +408,9 @@ mod tests {
             "4",
             "--backend",
             "sim",
+            "--journal",
+            "run.jsonl",
+            "--progress",
         ])
         .unwrap();
         match cmd {
@@ -415,7 +423,9 @@ mod tests {
                 assert!(config.cloud);
                 assert_eq!(config.variant, Variant::SpotlightGA);
                 assert_eq!(config.threads, 4);
-                assert_eq!(config.backend, BackendChoice::Sim);
+                assert_eq!(config.backend, "sim");
+                assert_eq!(config.journal.as_deref(), Some("run.jsonl"));
+                assert!(config.progress);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -427,13 +437,40 @@ mod tests {
         assert!(err.to_string().contains("positive"));
         let err = Command::parse(&["codesign", "--model", "vgg16", "--backend", "verilator"])
             .unwrap_err();
+        // The message comes from the engine itself, so it names the
+        // offender and enumerates every backend the engine resolves.
         assert!(err.to_string().contains("verilator"));
+        for known in spotlight_eval::BACKEND_NAMES {
+            assert!(err.to_string().contains(known), "missing {known}");
+        }
         let cfg = CliConfig {
             threads: 4,
             ..CliConfig::default()
         }
-        .to_codesign_config();
-        assert_eq!(cfg.threads, 4);
+        .to_codesign_config()
+        .unwrap();
+        assert_eq!(cfg.threads(), 4);
+    }
+
+    #[test]
+    fn journal_subcommand_takes_one_path() {
+        assert_eq!(
+            Command::parse(&["journal", "run.jsonl"]).unwrap(),
+            Command::Journal {
+                path: "run.jsonl".to_string()
+            }
+        );
+        assert!(Command::parse(&["journal"]).is_err());
+        assert!(Command::parse(&["journal", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn zero_samples_surface_as_config_errors() {
+        let cfg = CliConfig {
+            hw_samples: 0,
+            ..CliConfig::default()
+        };
+        assert!(cfg.to_codesign_config().is_err());
     }
 
     #[test]
@@ -484,19 +521,23 @@ mod tests {
 
     #[test]
     fn to_codesign_config_respects_scale() {
-        let edge = CliConfig::default().to_codesign_config();
+        let edge = CliConfig::default().to_codesign_config().unwrap();
         let cloud = CliConfig {
             cloud: true,
             ..CliConfig::default()
         }
-        .to_codesign_config();
-        assert!(cloud.ranges.pes.0 > edge.ranges.pes.1);
+        .to_codesign_config()
+        .unwrap();
+        assert!(cloud.ranges().pes.0 > edge.ranges().pes.1);
     }
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for word in ["codesign", "evaluate", "space", "help"] {
+        for word in ["codesign", "evaluate", "space", "journal", "help"] {
             assert!(USAGE.contains(word));
+        }
+        for flag in ["--journal", "--progress"] {
+            assert!(USAGE.contains(flag));
         }
     }
 }
@@ -523,6 +564,9 @@ mod parse_property_tests {
             "--variant",
             "--threads",
             "--backend",
+            "--journal",
+            "--progress",
+            "journal",
             "edp",
             "delay",
             "edge",

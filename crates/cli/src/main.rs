@@ -1,11 +1,13 @@
 //! The `spotlight` command-line tool: see [`spotlight_cli::USAGE`].
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use spotlight::codesign::Spotlight;
 use spotlight::report::{outcome_summary, plan_markdown};
 use spotlight::scenarios::{evaluate_baseline, Scale};
-use spotlight_cli::{resolve_baseline, resolve_model, Command, USAGE};
+use spotlight_cli::{resolve_baseline, resolve_model, CliConfig, Command, USAGE};
+use spotlight_obs::{read_journal, EventSink, JournalWriter, Observer, ProgressSink, EVENT_KINDS};
 use spotlight_space::cardinality;
 
 fn main() -> ExitCode {
@@ -27,6 +29,18 @@ fn main() -> ExitCode {
     }
 }
 
+/// Builds the observer requested by `--journal` / `--progress`.
+fn build_observer(config: &CliConfig) -> Result<Observer, Box<dyn std::error::Error>> {
+    let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+    if let Some(path) = &config.journal {
+        sinks.push(Arc::new(JournalWriter::create(path)?));
+    }
+    if config.progress {
+        sinks.push(Arc::new(ProgressSink::stderr()));
+    }
+    Ok(Observer::multi(sinks))
+}
+
 fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => {
@@ -35,20 +49,22 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Codesign { models, config } => {
             let resolved: Result<Vec<_>, _> = models.iter().map(|m| resolve_model(m)).collect();
             let resolved = resolved?;
-            let cfg = config.to_codesign_config();
-            let engine = spotlight_eval::EvalEngine::by_name(config.backend.name())
-                .expect("BackendChoice names are always known to the engine");
+            let cfg = config.to_codesign_config()?;
+            let engine = spotlight_eval::EvalEngine::by_name(&config.backend)?;
+            let observer = build_observer(&config)?;
             eprintln!(
                 "co-designing for {} model(s), {} hw x {} sw samples ({}, {} backend, {} thread(s))...",
                 resolved.len(),
-                cfg.hw_samples,
-                cfg.sw_samples,
+                cfg.hw_samples(),
+                cfg.sw_samples(),
                 config.variant.name(),
                 engine.backend_name(),
-                cfg.threads,
+                cfg.threads(),
             );
-            let outcome = Spotlight::with_engine(cfg, engine).codesign(&resolved);
-            print!("{}", outcome_summary(&outcome, cfg.objective));
+            let outcome = Spotlight::with_engine(cfg, engine)
+                .with_observer(observer)
+                .codesign(&resolved);
+            print!("{}", outcome_summary(&outcome, cfg.objective()));
             for plan in &outcome.best_plans {
                 println!();
                 print!("{}", plan_markdown(plan));
@@ -61,13 +77,13 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         } => {
             let baseline = resolve_baseline(&baseline)?;
             let model = resolve_model(&model)?;
-            let cfg = config.to_codesign_config();
+            let cfg = config.to_codesign_config()?;
             let scale = if config.cloud {
                 Scale::Cloud
             } else {
                 Scale::Edge
             };
-            let hw = baseline.scaled_config(&cfg.budget);
+            let hw = baseline.scaled_config(&cfg.budget());
             eprintln!(
                 "evaluating {} ({hw}) on {}...",
                 baseline.name(),
@@ -87,6 +103,23 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             for entry in model.layers() {
                 let sw = cardinality::sw_space_size(&entry.layer);
                 println!("{},{sw:.3e},{:.3e}", entry.layer, hw * sw);
+            }
+        }
+        Command::Journal { path } => {
+            // Any line that fails to parse as a known event — unknown
+            // type, missing field — is schema drift and a hard error.
+            let records = read_journal(&path)??;
+            let mut counts = vec![0u64; EVENT_KINDS.len()];
+            for r in &records {
+                let idx = EVENT_KINDS
+                    .iter()
+                    .position(|k| *k == r.event.kind())
+                    .expect("parsed events have known kinds");
+                counts[idx] += 1;
+            }
+            println!("{}: {} events, all valid", path, records.len());
+            for (kind, n) in EVENT_KINDS.iter().zip(&counts) {
+                println!("  {kind:<20} {n}");
             }
         }
     }

@@ -45,8 +45,35 @@ use spotlight_accel::HardwareConfig;
 use spotlight_conv::ConvLayer;
 use spotlight_maestro::sim::{simulate, SimError};
 use spotlight_maestro::{CostModel, CostReport, MappingError};
+use spotlight_obs::{Event, Observer};
 use spotlight_space::Schedule;
 use spotlight_timeloop::{TimeloopError, TimeloopModel};
+
+/// Stable names of every shipped backend, in CLI display order.
+pub const BACKEND_NAMES: [&str; 3] = ["maestro", "sim", "timeloop"];
+
+/// Error for [`EvalEngine::by_name`]: the requested backend does not
+/// exist. The `Display` form lists every valid name, so front ends (the
+/// CLI included) print this instead of maintaining their own copy of the
+/// backend menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (valid backends: {})",
+            self.requested,
+            BACKEND_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
 
 /// Why a proposal could not be costed. Wraps the originating model's
 /// error so callers can still inspect overflow byte counts etc.
@@ -335,13 +362,22 @@ impl EvalEngine {
         EvalEngine::new(Box::new(TimeloopBackend::default()))
     }
 
-    /// Builds the engine named by `name` (`maestro`, `sim`, `timeloop`).
-    pub fn by_name(name: &str) -> Option<Self> {
+    /// Builds the engine named by `name` (see [`BACKEND_NAMES`]). The
+    /// error's `Display` lists the valid names:
+    ///
+    /// ```
+    /// use spotlight_eval::EvalEngine;
+    /// let err = EvalEngine::by_name("verilator").unwrap_err();
+    /// assert!(err.to_string().contains("maestro, sim, timeloop"));
+    /// ```
+    pub fn by_name(name: &str) -> Result<Self, UnknownBackend> {
         match name {
-            "maestro" => Some(EvalEngine::maestro()),
-            "sim" => Some(EvalEngine::sim()),
-            "timeloop" => Some(EvalEngine::timeloop()),
-            _ => None,
+            "maestro" => Ok(EvalEngine::maestro()),
+            "sim" => Ok(EvalEngine::sim()),
+            "timeloop" => Ok(EvalEngine::timeloop()),
+            _ => Err(UnknownBackend {
+                requested: name.to_string(),
+            }),
         }
     }
 
@@ -392,6 +428,35 @@ impl EvalEngine {
         };
         if result.is_err() {
             self.infeasible.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Like [`EvalEngine::evaluate`], additionally reporting the outcome
+    /// to `obs` as a [`Event::ScheduleEvaluated`] or [`Event::Infeasible`]
+    /// trace event tagged with the search step. This is the single point
+    /// where every observed search driver attributes an evaluation to its
+    /// enclosing `(hw_sample, layer)` span; with a disabled observer it
+    /// costs one branch over the plain call.
+    pub fn evaluate_observed(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+        obs: &Observer,
+        step: u64,
+    ) -> Result<CostReport, EvalError> {
+        let result = self.evaluate(hw, sched, layer);
+        match &result {
+            Ok(report) => obs.emit_with(|| Event::ScheduleEvaluated {
+                step,
+                delay_cycles: report.delay_cycles,
+                energy_nj: report.energy_nj,
+            }),
+            Err(e) => obs.emit_with(|| Event::Infeasible {
+                step,
+                reason: e.to_string(),
+            }),
         }
         result
     }
@@ -565,10 +630,44 @@ mod tests {
 
     #[test]
     fn by_name_resolves_all_backends() {
-        for name in ["maestro", "sim", "timeloop"] {
+        for name in BACKEND_NAMES {
             assert_eq!(EvalEngine::by_name(name).unwrap().backend_name(), name);
         }
-        assert!(EvalEngine::by_name("abacus").is_none());
+        let err = EvalEngine::by_name("abacus").unwrap_err();
+        assert_eq!(err.requested, "abacus");
+        for name in BACKEND_NAMES {
+            assert!(err.to_string().contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn observed_evaluation_attributes_to_span() {
+        use spotlight_obs::MemorySink;
+        use std::sync::Arc;
+
+        let (hw, sched, layer) = triple();
+        let engine = EvalEngine::maestro();
+        let sink = Arc::new(MemorySink::new());
+        let obs = Observer::new(sink.clone()).with_hw_sample(2).with_layer(1);
+        let ok = engine.evaluate_observed(&hw, &sched, &layer, &obs, 0);
+        assert!(ok.is_ok());
+        let bad = Sched::trivial(&layer).with_tiles(TileSizes::whole_layer(&layer));
+        assert!(engine
+            .evaluate_observed(&hw, &bad, &layer, &obs, 1)
+            .is_err());
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].span_key(), (Some(2), Some(1)));
+        assert!(matches!(
+            recs[0].event,
+            Event::ScheduleEvaluated { step: 0, .. }
+        ));
+        match &recs[1].event {
+            Event::Infeasible { step: 1, reason } => assert!(!reason.is_empty()),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        // Observed evaluation is counted exactly like the plain one.
+        assert_eq!(engine.stats().evaluations, 2);
     }
 
     #[test]

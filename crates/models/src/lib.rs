@@ -25,5 +25,5 @@
 pub mod model;
 pub mod zoo;
 
-pub use model::{LayerEntry, Model};
+pub use model::{LayerEntry, Model, ModelId};
 pub use zoo::{all_models, mnasnet, mobilenet_v2, resnet50, transformer, vgg16};

@@ -25,6 +25,79 @@ impl fmt::Display for LayerEntry {
     }
 }
 
+/// An owned model identifier.
+///
+/// Earlier revisions labeled models with `&'static str`, which silently
+/// restricted the public API to compile-time names: user-defined models
+/// (an architecture sweep generating `cnn-w{width}` names, say) had to
+/// leak heap strings to participate. `ModelId` owns its string, converts
+/// from both `&str` and `String`, and compares directly against string
+/// literals.
+///
+/// ```
+/// use spotlight_models::ModelId;
+///
+/// let id = ModelId::from(format!("cnn-w{}", 64));
+/// assert_eq!(id, "cnn-w64");
+/// assert_eq!(id.as_str(), "cnn-w64");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(String);
+
+impl ModelId {
+    /// Wraps a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelId(name.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(name: &str) -> Self {
+        ModelId(name.to_string())
+    }
+}
+
+impl From<String> for ModelId {
+    fn from(name: String) -> Self {
+        ModelId(name)
+    }
+}
+
+impl From<ModelId> for String {
+    fn from(id: ModelId) -> Self {
+        id.0
+    }
+}
+
+impl PartialEq<str> for ModelId {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for ModelId {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<ModelId> for &str {
+    fn eq(&self, other: &ModelId) -> bool {
+        *self == other.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// A DL model lowered onto CONV layers.
 ///
 /// # Examples
@@ -46,19 +119,20 @@ impl fmt::Display for LayerEntry {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Model {
-    name: &'static str,
+    name: ModelId,
     layers: Vec<LayerEntry>,
 }
 
 impl Model {
     /// Builds a model from an ordered list of layer instances, merging
     /// structurally identical shapes (ignoring their `name` labels) into a
-    /// single entry with a multiplicity.
+    /// single entry with a multiplicity. The name may be any owned or
+    /// borrowed string — user-defined models need no `'static` names.
     ///
     /// # Panics
     ///
     /// Panics if `layers` is empty.
-    pub fn from_layers(name: &'static str, layers: Vec<ConvLayer>) -> Self {
+    pub fn from_layers(name: impl Into<ModelId>, layers: Vec<ConvLayer>) -> Self {
         assert!(
             !layers.is_empty(),
             "a model must contain at least one layer"
@@ -71,14 +145,19 @@ impl Model {
             }
         }
         Model {
-            name,
+            name: name.into(),
             layers: entries,
         }
     }
 
     /// Human-readable model name.
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        self.name.as_str()
+    }
+
+    /// The model's owned identifier.
+    pub fn id(&self) -> &ModelId {
+        &self.name
     }
 
     /// The unique layer shapes with multiplicities, in first-occurrence
@@ -201,6 +280,16 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_model_rejected() {
         let _ = Model::from_layers("t", vec![]);
+    }
+
+    #[test]
+    fn runtime_generated_names_are_owned() {
+        let width = 48;
+        let m = Model::from_layers(format!("cnn-w{width}"), vec![l(8, 8, 16)]);
+        assert_eq!(m.name(), "cnn-w48");
+        assert_eq!(*m.id(), "cnn-w48");
+        assert_eq!("cnn-w48", *m.id());
+        assert_eq!(m.id().to_string(), "cnn-w48");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The typed event schema of the run journal.
+//!
+//! Events split into two families:
+//!
+//! * **trace events** — emitted inside the search (`HwProposed`,
+//!   `ScheduleEvaluated`, `Infeasible`, `BestImproved`, `ParetoUpdated`).
+//!   They carry only data derived from the deterministic search state, so
+//!   a fixed seed produces the same trace-event multiset at any thread
+//!   count.
+//! * **meta events** — `RunStarted` (the manifest at the journal head)
+//!   and `RunFinished`. They record environment facts (thread count,
+//!   git revision, wall time) that legitimately differ between runs and
+//!   are therefore excluded from determinism comparisons.
+
+use crate::json::{parse_flat_object, Fields, JsonObj};
+
+/// Environment and configuration snapshot written as the first journal
+/// line, so a journal is self-describing and a run can be re-created.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Search variant (Spotlight or an ablation), as displayed.
+    pub variant: String,
+    /// Evaluation backend name (`maestro`, `sim`, `timeloop`).
+    pub backend: String,
+    /// Hardware parameter ranges, rendered for humans.
+    pub ranges: String,
+    /// Area/power budget, rendered for humans.
+    pub budget: String,
+    /// Hardware samples in the run.
+    pub hw_samples: u64,
+    /// Software samples per layer per hardware sample.
+    pub sw_samples: u64,
+    /// Worker threads (informational: results are thread-invariant).
+    pub threads: u64,
+    /// `git describe` of the source tree, or `"unknown"`.
+    pub git: String,
+}
+
+/// One structured observation from a search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Meta: the run began; carries the manifest.
+    RunStarted {
+        /// Snapshot of the run's configuration and environment.
+        manifest: RunManifest,
+    },
+    /// Trace: the hardware search proposed a configuration.
+    HwProposed {
+        /// The proposed accelerator, rendered via `Display`.
+        hw: String,
+        /// Whether the budget admitted it (rejected samples spend no
+        /// software budget).
+        admitted: bool,
+    },
+    /// Trace: one software-search step evaluated a schedule.
+    ScheduleEvaluated {
+        /// Step index within the layer's software search.
+        step: u64,
+        /// Evaluated delay in cycles.
+        delay_cycles: f64,
+        /// Evaluated energy in nJ.
+        energy_nj: f64,
+    },
+    /// Trace: one software-search step proposed an infeasible schedule.
+    Infeasible {
+        /// Step index within the layer's software search.
+        step: u64,
+        /// Why the evaluation failed.
+        reason: String,
+    },
+    /// Trace: a hardware sample improved on the best-so-far cost.
+    BestImproved {
+        /// The new best aggregate objective value.
+        cost: f64,
+    },
+    /// Trace: a hardware sample joined the delay/energy/area Pareto
+    /// frontier.
+    ParetoUpdated {
+        /// Frontier size after insertion and eviction.
+        frontier_len: u64,
+    },
+    /// Meta: the run completed.
+    RunFinished {
+        /// Final best aggregate objective value (infinite if nothing
+        /// feasible was found).
+        best_cost: f64,
+        /// Total cost-model evaluations spent.
+        evaluations: u64,
+        /// Wall-clock duration of the run in milliseconds.
+        wall_ms: u64,
+    },
+}
+
+/// Every event kind the journal schema knows, by wire name. The CI
+/// schema check validates journal lines against exactly this set.
+pub const EVENT_KINDS: [&str; 7] = [
+    "run_started",
+    "hw_proposed",
+    "schedule_evaluated",
+    "infeasible",
+    "best_improved",
+    "pareto_updated",
+    "run_finished",
+];
+
+impl Event {
+    /// The event's wire name (the JSON `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "run_started",
+            Event::HwProposed { .. } => "hw_proposed",
+            Event::ScheduleEvaluated { .. } => "schedule_evaluated",
+            Event::Infeasible { .. } => "infeasible",
+            Event::BestImproved { .. } => "best_improved",
+            Event::ParetoUpdated { .. } => "pareto_updated",
+            Event::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// Whether this is a deterministic trace event (as opposed to a meta
+    /// event carrying environment facts like thread count or wall time).
+    pub fn is_trace(&self) -> bool {
+        !matches!(self, Event::RunStarted { .. } | Event::RunFinished { .. })
+    }
+}
+
+/// An event plus the span context it was emitted under: which hardware
+/// sample and which layer ordinal (both optional — run-level events have
+/// neither, hardware-level events only the former).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Hardware-sample index of the enclosing `hw_sample` span.
+    pub hw_sample: Option<u64>,
+    /// Layer ordinal of the enclosing `layer` span.
+    pub layer: Option<u64>,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl Record {
+    /// The canonical `(hw_sample, layer)` sort key. `None` sorts before
+    /// any index, so run-level records lead.
+    pub fn span_key(&self) -> (Option<u64>, Option<u64>) {
+        (self.hw_sample, self.layer)
+    }
+
+    /// Serializes the record as one JSONL line (no trailing newline).
+    /// Field order is fixed, so equal records serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::typed(self.event.kind());
+        if let Some(h) = self.hw_sample {
+            obj.push_u64("hw_sample", h);
+        }
+        if let Some(l) = self.layer {
+            obj.push_u64("layer", l);
+        }
+        match &self.event {
+            Event::RunStarted { manifest } => {
+                obj.push_u64("seed", manifest.seed);
+                obj.push_str("variant", &manifest.variant);
+                obj.push_str("backend", &manifest.backend);
+                obj.push_str("ranges", &manifest.ranges);
+                obj.push_str("budget", &manifest.budget);
+                obj.push_u64("hw_samples", manifest.hw_samples);
+                obj.push_u64("sw_samples", manifest.sw_samples);
+                obj.push_u64("threads", manifest.threads);
+                obj.push_str("git", &manifest.git);
+            }
+            Event::HwProposed { hw, admitted } => {
+                obj.push_str("hw", hw);
+                obj.push_bool("admitted", *admitted);
+            }
+            Event::ScheduleEvaluated {
+                step,
+                delay_cycles,
+                energy_nj,
+            } => {
+                obj.push_u64("step", *step);
+                obj.push_f64("delay_cycles", *delay_cycles);
+                obj.push_f64("energy_nj", *energy_nj);
+            }
+            Event::Infeasible { step, reason } => {
+                obj.push_u64("step", *step);
+                obj.push_str("reason", reason);
+            }
+            Event::BestImproved { cost } => {
+                obj.push_f64("cost", *cost);
+            }
+            Event::ParetoUpdated { frontier_len } => {
+                obj.push_u64("frontier_len", *frontier_len);
+            }
+            Event::RunFinished {
+                best_cost,
+                evaluations,
+                wall_ms,
+            } => {
+                obj.push_f64("best_cost", *best_cost);
+                obj.push_u64("evaluations", *evaluations);
+                obj.push_u64("wall_ms", *wall_ms);
+            }
+        }
+        obj.finish()
+    }
+
+    /// Parses one JSONL line back into a record. Fails on malformed
+    /// JSON, unknown event kinds, and missing or mistyped fields — the
+    /// schema-drift guard used by `spotlight-cli journal` in CI.
+    pub fn from_json(line: &str) -> Result<Record, String> {
+        let fields = Fields(parse_flat_object(line)?);
+        let kind = fields.str("type")?;
+        let event = match kind.as_str() {
+            "run_started" => Event::RunStarted {
+                manifest: RunManifest {
+                    seed: fields.u64("seed")?,
+                    variant: fields.str("variant")?,
+                    backend: fields.str("backend")?,
+                    ranges: fields.str("ranges")?,
+                    budget: fields.str("budget")?,
+                    hw_samples: fields.u64("hw_samples")?,
+                    sw_samples: fields.u64("sw_samples")?,
+                    threads: fields.u64("threads")?,
+                    git: fields.str("git")?,
+                },
+            },
+            "hw_proposed" => Event::HwProposed {
+                hw: fields.str("hw")?,
+                admitted: fields.bool("admitted")?,
+            },
+            "schedule_evaluated" => Event::ScheduleEvaluated {
+                step: fields.u64("step")?,
+                delay_cycles: fields.f64("delay_cycles")?,
+                energy_nj: fields.f64("energy_nj")?,
+            },
+            "infeasible" => Event::Infeasible {
+                step: fields.u64("step")?,
+                reason: fields.str("reason")?,
+            },
+            "best_improved" => Event::BestImproved {
+                cost: fields.f64("cost")?,
+            },
+            "pareto_updated" => Event::ParetoUpdated {
+                frontier_len: fields.u64("frontier_len")?,
+            },
+            "run_finished" => Event::RunFinished {
+                best_cost: fields.f64("best_cost")?,
+                evaluations: fields.u64("evaluations")?,
+                wall_ms: fields.u64("wall_ms")?,
+            },
+            unknown => return Err(format!("unknown event type {unknown:?}")),
+        };
+        Ok(Record {
+            hw_sample: fields.opt_u64("hw_sample")?,
+            layer: fields.opt_u64("layer")?,
+            event,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            seed: 7,
+            variant: "Spotlight".into(),
+            backend: "maestro".into(),
+            ranges: "ParamRanges { .. }".into(),
+            budget: "Budget { .. }".into(),
+            hw_samples: 4,
+            sw_samples: 8,
+            threads: 2,
+            git: "unknown".into(),
+        }
+    }
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record {
+                hw_sample: None,
+                layer: None,
+                event: Event::RunStarted {
+                    manifest: manifest(),
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
+                event: Event::HwProposed {
+                    hw: "256 PEs".into(),
+                    admitted: true,
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: Some(1),
+                event: Event::ScheduleEvaluated {
+                    step: 3,
+                    delay_cycles: 1.5e6,
+                    energy_nj: 2.25e4,
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: Some(1),
+                event: Event::Infeasible {
+                    step: 4,
+                    reason: "tile overflows RF".into(),
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
+                event: Event::BestImproved { cost: 3.375e10 },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
+                event: Event::ParetoUpdated { frontier_len: 1 },
+            },
+            Record {
+                hw_sample: None,
+                layer: None,
+                event: Event::RunFinished {
+                    best_cost: f64::INFINITY,
+                    evaluations: 64,
+                    wall_ms: 12,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for rec in samples() {
+            let line = rec.to_json();
+            let back = Record::from_json(&line).unwrap();
+            assert_eq!(back, rec, "line: {line}");
+            // Serialization is deterministic.
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn kinds_match_schema_constant() {
+        let kinds: Vec<&str> = samples().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, EVENT_KINDS.to_vec());
+    }
+
+    #[test]
+    fn meta_events_are_not_trace() {
+        let flags: Vec<bool> = samples().iter().map(|r| r.event.is_trace()).collect();
+        assert_eq!(flags, [false, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unknown_kind_is_schema_drift() {
+        let err = Record::from_json("{\"type\":\"mystery\"}").unwrap_err();
+        assert!(err.contains("unknown event type"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_schema_drift() {
+        let err = Record::from_json("{\"type\":\"best_improved\"}").unwrap_err();
+        assert!(err.contains("cost"), "{err}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The JSONL run journal: one serialized [`Record`] per line, manifest
+//! first. A journal you can tail is also a journal you can replay.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Record;
+use crate::sink::EventSink;
+
+/// An [`EventSink`] that appends each record as one JSON line.
+pub struct JournalWriter {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) the journal file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JournalWriter::to_writer(Box::new(file)))
+    }
+
+    /// Journals onto an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JournalWriter {
+            out: Mutex::new(BufWriter::new(out)),
+        }
+    }
+}
+
+impl EventSink for JournalWriter {
+    fn record(&self, rec: &Record) {
+        let mut out = self.out.lock().expect("journal writer poisoned");
+        // A full disk mid-run should not abort the search; the final
+        // flush (or drop) surfaces nothing either, matching eprintln!
+        // semantics for the observability side channel.
+        let _ = writeln!(out, "{}", rec.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("journal writer poisoned").flush();
+    }
+}
+
+/// A parse failure while reading a journal, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Parses journal text (as produced by [`JournalWriter`]) back into
+/// records. Blank lines are ignored; any other deviation is an error —
+/// this reader is the schema-drift guard.
+pub fn parse_journal(text: &str) -> Result<Vec<Record>, JournalError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Record::from_json(line).map_err(|message| JournalError {
+            line: idx + 1,
+            message,
+        })?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Reads and parses the journal file at `path`. The outer result is I/O,
+/// the inner one the schema check.
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<Result<Vec<Record>, JournalError>> {
+    Ok(parse_journal(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample() -> Record {
+        Record {
+            hw_sample: Some(1),
+            layer: Some(2),
+            event: Event::ScheduleEvaluated {
+                step: 0,
+                delay_cycles: 123.0,
+                energy_nj: 4.5,
+            },
+        }
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_record_and_reader_inverts_it() {
+        let path = std::env::temp_dir().join(format!(
+            "spotlight-obs-journal-{}.jsonl",
+            std::process::id()
+        ));
+        let writer = JournalWriter::create(&path).unwrap();
+        writer.record(&sample());
+        writer.record(&Record {
+            hw_sample: None,
+            layer: None,
+            event: Event::BestImproved { cost: 9.0 },
+        });
+        writer.flush();
+        let records = read_journal(&path).unwrap().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_journal_reports_line_numbers() {
+        let text = format!("{}\n\nnot json\n", sample().to_json());
+        let err = parse_journal(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("journal line 3"), "{err}");
+    }
+}

@@ -1,0 +1,355 @@
+//! A minimal, dependency-free JSON subset: flat objects whose values are
+//! strings, numbers, booleans, or `null`.
+//!
+//! The journal format deliberately stays inside this subset (no nesting,
+//! no arrays) so that the writer is a handful of `push_str` calls and the
+//! reader is a single-pass tokenizer — the workspace vendors no serde.
+
+use std::fmt::Write as _;
+
+/// A decoded JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (always decoded as `f64`).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Incremental writer for one flat JSON object. Field order is exactly
+/// the call order, which keeps serialized records byte-deterministic.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an object whose first field is `"type": <kind>`.
+    pub fn typed(kind: &str) -> Self {
+        let mut obj = JsonObj {
+            buf: String::from("{"),
+        };
+        obj.push_str("type", kind);
+        obj
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn push_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        let _ = write!(self.buf, ":{value}");
+        self
+    }
+
+    /// Appends a float field; non-finite values (infeasible costs) are
+    /// encoded as `null` since JSON has no infinity literal.
+    pub fn push_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        if value.is_finite() {
+            let _ = write!(self.buf, ":{value:?}");
+        } else {
+            self.buf.push_str(":null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, key);
+        let _ = write!(self.buf, ":{value}");
+        self
+    }
+
+    /// Closes the object and returns the serialized line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escapes `s` as a JSON string (with quotes) onto `out`.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one flat JSON object into `(key, value)` pairs in file order.
+/// Rejects nesting, arrays, duplicate-free-ness is not enforced (later
+/// keys shadow earlier ones at lookup time).
+pub fn parse_flat_object(s: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some('t') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some('f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some('n') => self.parse_literal("null", JsonValue::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for want in lit.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some('-' | '+' | '.' | 'e' | 'E') | Some('0'..='9')
+        ) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+/// Field lookup over a parsed flat object (last occurrence wins).
+pub struct Fields(pub Vec<(String, JsonValue)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A required string field.
+    pub fn str(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    /// A required unsigned integer field.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    /// A required float field; `null` decodes as `f64::INFINITY`, the
+    /// writer's encoding for non-finite costs.
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(JsonValue::Null) => Ok(f64::INFINITY),
+            other => Err(format!("field {key:?}: expected number, got {other:?}")),
+        }
+    }
+
+    /// A required boolean field.
+    pub fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+
+    /// An optional unsigned integer field (absent → `None`).
+    pub fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.u64(key).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trips() {
+        let mut obj = JsonObj::typed("demo");
+        obj.push_str("name", "a \"quoted\"\nline\\");
+        obj.push_u64("count", 42);
+        obj.push_f64("cost", 1.25e9);
+        obj.push_f64("inf", f64::INFINITY);
+        obj.push_bool("ok", true);
+        let line = obj.finish();
+        let fields = Fields(parse_flat_object(&line).unwrap());
+        assert_eq!(fields.str("type").unwrap(), "demo");
+        assert_eq!(fields.str("name").unwrap(), "a \"quoted\"\nline\\");
+        assert_eq!(fields.u64("count").unwrap(), 42);
+        assert_eq!(fields.f64("cost").unwrap(), 1.25e9);
+        assert!(fields.f64("inf").unwrap().is_infinite());
+        assert!(fields.bool("ok").unwrap());
+        assert_eq!(fields.opt_u64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact() {
+        for v in [0.0, -1.5, 1.0 / 3.0, 6.02e23, 5e-324, f64::MAX] {
+            let mut obj = JsonObj::typed("t");
+            obj.push_f64("v", v);
+            let fields = Fields(parse_flat_object(&obj.finish()).unwrap());
+            assert_eq!(fields.f64("v").unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":1} trailing",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn control_chars_escape_and_return() {
+        let mut obj = JsonObj::typed("t");
+        obj.push_str("s", "\u{1}\u{1f}");
+        let line = obj.finish();
+        assert!(line.contains("\\u0001"));
+        let fields = Fields(parse_flat_object(&line).unwrap());
+        assert_eq!(fields.str("s").unwrap(), "\u{1}\u{1f}");
+    }
+}

@@ -8,43 +8,106 @@ use spotlight_conv::ConvLayer;
 use spotlight_dabo::Trace;
 use spotlight_eval::{EvalEngine, EvalStats};
 use spotlight_maestro::{CostModel, CostReport, Objective};
-use spotlight_models::Model;
+use spotlight_models::{Model, ModelId};
+use spotlight_obs::{Event, Observer, RunManifest};
 use spotlight_space::{ParamRanges, Schedule};
 
 use crate::hwsearch::build_hw_search;
 use crate::pareto::{DesignPoint, ParetoFrontier};
-use crate::swsearch::{optimize_schedule, SwSearchConfig};
+use crate::swsearch::{optimize_schedule_observed, SwSearchConfig};
 use crate::variants::Variant;
 
+/// Why a [`CodesignConfigBuilder`] refused to produce a configuration.
+///
+/// Each variant names a mistake that previously surfaced only as silent
+/// downstream misbehavior (a zero-sample run "finding" nothing, a budget
+/// no point in the parameter ranges can satisfy spinning through every
+/// hardware sample without ever searching software).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `hw_samples` was zero — the run would evaluate no hardware.
+    ZeroHwSamples,
+    /// `sw_samples` was zero — every layer search would be empty.
+    ZeroSwSamples,
+    /// `threads` was zero — the layerwise search would have no workers.
+    ZeroThreads,
+    /// Even the smallest configuration in `ranges` violates `budget`:
+    /// every proposal would be rejected before any software search.
+    BudgetRangesMismatch {
+        /// Area of the smallest in-range configuration.
+        area_mm2: f64,
+        /// The budget's area ceiling.
+        max_area_mm2: f64,
+        /// Peak power of the smallest in-range configuration.
+        power_w: f64,
+        /// The budget's power ceiling.
+        max_power_w: f64,
+    },
+    /// The ranges describe no legal hardware configuration at all.
+    InvalidRanges(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroHwSamples => write!(f, "hw_samples must be at least 1"),
+            ConfigError::ZeroSwSamples => write!(f, "sw_samples must be at least 1"),
+            ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            ConfigError::BudgetRangesMismatch {
+                area_mm2,
+                max_area_mm2,
+                power_w,
+                max_power_w,
+            } => write!(
+                f,
+                "budget admits no point in the parameter ranges: the smallest \
+                 in-range configuration needs {area_mm2:.3} mm^2 / {power_w:.3} W \
+                 against a budget of {max_area_mm2:.3} mm^2 / {max_power_w:.3} W"
+            ),
+            ConfigError::InvalidRanges(reason) => {
+                write!(f, "parameter ranges describe no legal hardware: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of a full co-design run.
+///
+/// Constructed exclusively through the validating builder —
+/// [`CodesignConfig::edge`] or [`CodesignConfig::cloud`] — so an
+/// instance that exists is known to describe a runnable search:
+///
+/// ```
+/// use spotlight::codesign::CodesignConfig;
+///
+/// let config = CodesignConfig::edge()
+///     .sw_samples(200)
+///     .threads(4)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.sw_samples(), 200);
+/// assert!(CodesignConfig::edge().hw_samples(0).build().is_err());
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct CodesignConfig {
-    /// Hardware configurations evaluated (paper default: 100).
-    pub hw_samples: usize,
-    /// Software samples per layer per hardware configuration (paper
-    /// default: 100).
-    pub sw_samples: usize,
-    /// Metric to minimize.
-    pub objective: Objective,
-    /// Search machinery (Spotlight or an ablation variant).
-    pub variant: Variant,
-    /// RNG seed; every run is deterministic given the seed.
-    pub seed: u64,
-    /// Hardware parameter ranges (edge or cloud scale).
-    pub ranges: ParamRanges,
-    /// Area/power envelope.
-    pub budget: Budget,
-    /// Worker threads for the layerwise software search. Results are
-    /// bit-identical at any thread count: every layer search draws from
-    /// its own RNG stream derived from `(seed, hw_sample, layer)`.
-    pub threads: usize,
+    pub(crate) hw_samples: usize,
+    pub(crate) sw_samples: usize,
+    pub(crate) objective: Objective,
+    pub(crate) variant: Variant,
+    pub(crate) seed: u64,
+    pub(crate) ranges: ParamRanges,
+    pub(crate) budget: Budget,
+    pub(crate) threads: usize,
 }
 
 impl CodesignConfig {
-    /// The paper's edge-scale configuration: 100 hardware samples, 100
-    /// software samples per layer, EDP objective.
-    pub fn edge() -> Self {
-        CodesignConfig {
+    /// Builder seeded with the paper's edge-scale defaults: 100 hardware
+    /// samples, 100 software samples per layer, EDP objective, the edge
+    /// parameter ranges and budget, one worker thread.
+    pub fn edge() -> CodesignConfigBuilder {
+        CodesignConfigBuilder {
             hw_samples: 100,
             sw_samples: 100,
             objective: Objective::Edp,
@@ -56,15 +119,71 @@ impl CodesignConfig {
         }
     }
 
-    /// The cloud-scale configuration: identical except for the parameter
-    /// ranges and budget ("the only change to Spotlight was to change the
-    /// range of parameters").
-    pub fn cloud() -> Self {
-        CodesignConfig {
-            ranges: ParamRanges::cloud(),
-            budget: Budget::cloud(),
-            ..CodesignConfig::edge()
+    /// Builder seeded with the cloud-scale defaults: identical except
+    /// for the parameter ranges and budget ("the only change to
+    /// Spotlight was to change the range of parameters").
+    pub fn cloud() -> CodesignConfigBuilder {
+        CodesignConfig::edge()
+            .ranges(ParamRanges::cloud())
+            .budget(Budget::cloud())
+    }
+
+    /// A builder pre-populated with this configuration's values, for
+    /// deriving variations (re-validation happens at `build`).
+    pub fn to_builder(self) -> CodesignConfigBuilder {
+        CodesignConfigBuilder {
+            hw_samples: self.hw_samples,
+            sw_samples: self.sw_samples,
+            objective: self.objective,
+            variant: self.variant,
+            seed: self.seed,
+            ranges: self.ranges,
+            budget: self.budget,
+            threads: self.threads,
         }
+    }
+
+    /// Hardware configurations evaluated (paper default: 100).
+    pub fn hw_samples(&self) -> usize {
+        self.hw_samples
+    }
+
+    /// Software samples per layer per hardware configuration (paper
+    /// default: 100).
+    pub fn sw_samples(&self) -> usize {
+        self.sw_samples
+    }
+
+    /// Metric to minimize.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Search machinery (Spotlight or an ablation variant).
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// RNG seed; every run is deterministic given the seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hardware parameter ranges (edge or cloud scale).
+    pub fn ranges(&self) -> ParamRanges {
+        self.ranges
+    }
+
+    /// Area/power envelope.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Worker threads for the layerwise software search. Results are
+    /// bit-identical at any thread count: every layer search draws from
+    /// its own RNG stream derived from `(seed, hw_sample, layer)`.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     fn sw_config(&self) -> SwSearchConfig {
@@ -73,6 +192,129 @@ impl CodesignConfig {
             objective: self.objective,
             variant: self.variant,
         }
+    }
+
+    fn manifest(&self, backend: &str) -> RunManifest {
+        RunManifest {
+            seed: self.seed,
+            variant: self.variant.to_string(),
+            backend: backend.to_string(),
+            ranges: format!("{:?}", self.ranges),
+            budget: format!("{:?}", self.budget),
+            hw_samples: self.hw_samples as u64,
+            sw_samples: self.sw_samples as u64,
+            threads: self.threads as u64,
+            git: spotlight_obs::git_describe().to_string(),
+        }
+    }
+}
+
+/// Validating builder for [`CodesignConfig`]; see
+/// [`CodesignConfig::edge`] / [`CodesignConfig::cloud`] for entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct CodesignConfigBuilder {
+    hw_samples: usize,
+    sw_samples: usize,
+    objective: Objective,
+    variant: Variant,
+    seed: u64,
+    ranges: ParamRanges,
+    budget: Budget,
+    threads: usize,
+}
+
+impl CodesignConfigBuilder {
+    /// Sets the number of hardware configurations to evaluate.
+    pub fn hw_samples(mut self, hw_samples: usize) -> Self {
+        self.hw_samples = hw_samples;
+        self
+    }
+
+    /// Sets the software samples per layer per hardware configuration.
+    pub fn sw_samples(mut self, sw_samples: usize) -> Self {
+        self.sw_samples = sw_samples;
+        self
+    }
+
+    /// Sets the metric to minimize.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the search machinery (Spotlight or an ablation variant).
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hardware parameter ranges.
+    pub fn ranges(mut self, ranges: ParamRanges) -> Self {
+        self.ranges = ranges;
+        self
+    }
+
+    /// Sets the area/power envelope.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count for the layerwise software search.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates and produces the configuration. Zero sample or thread
+    /// counts and budgets that no in-range configuration can satisfy are
+    /// rejected with a typed [`ConfigError`].
+    pub fn build(self) -> Result<CodesignConfig, ConfigError> {
+        if self.hw_samples == 0 {
+            return Err(ConfigError::ZeroHwSamples);
+        }
+        if self.sw_samples == 0 {
+            return Err(ConfigError::ZeroSwSamples);
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        // The cheapest point of the search space: every parameter at its
+        // range minimum. If even that violates the budget, no sample can
+        // ever be admitted and the run would be a guaranteed no-op.
+        let minimal = HardwareConfig::new(
+            self.ranges.pes.0,
+            self.ranges.pes.0,
+            self.ranges.simd_lanes.0,
+            self.ranges.rf_kib.0,
+            self.ranges.l2_kib.0,
+            self.ranges.noc_bandwidth.0,
+        )
+        .map_err(|e| ConfigError::InvalidRanges(e.to_string()))?;
+        if !self.budget.admits(&minimal) {
+            return Err(ConfigError::BudgetRangesMismatch {
+                area_mm2: self.budget.area_mm2(&minimal),
+                max_area_mm2: self.budget.max_area_mm2,
+                power_w: self.budget.peak_power_w(&minimal),
+                max_power_w: self.budget.max_power_w,
+            });
+        }
+        Ok(CodesignConfig {
+            hw_samples: self.hw_samples,
+            sw_samples: self.sw_samples,
+            objective: self.objective,
+            variant: self.variant,
+            seed: self.seed,
+            ranges: self.ranges,
+            budget: self.budget,
+            threads: self.threads,
+        })
     }
 }
 
@@ -92,8 +334,8 @@ pub struct LayerPlan {
 /// One model's optimized execution on a fixed accelerator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelPlan {
-    /// Model name.
-    pub model_name: &'static str,
+    /// Owned model identifier (user-defined models included).
+    pub model_name: ModelId,
     /// Per-unique-layer plans.
     pub layers: Vec<LayerPlan>,
     /// Total delay in cycles, weighted by layer multiplicity.
@@ -168,6 +410,7 @@ pub fn layer_stream_seed(seed: u64, stream: u64, layer_ordinal: u64) -> u64 {
 pub struct Spotlight {
     config: CodesignConfig,
     engine: EvalEngine,
+    observer: Observer,
 }
 
 impl Spotlight {
@@ -176,6 +419,7 @@ impl Spotlight {
         Spotlight {
             config,
             engine: EvalEngine::maestro(),
+            observer: Observer::null(),
         }
     }
 
@@ -184,13 +428,26 @@ impl Spotlight {
         Spotlight {
             config,
             engine: EvalEngine::with_model(cost_model),
+            observer: Observer::null(),
         }
     }
 
     /// Creates the tool around an arbitrary evaluation engine (any
     /// backend, cache on or off).
     pub fn with_engine(config: CodesignConfig, engine: EvalEngine) -> Self {
-        Spotlight { config, engine }
+        Spotlight {
+            config,
+            engine,
+            observer: Observer::null(),
+        }
+    }
+
+    /// Attaches an observer; every search event flows into its sink. The
+    /// default is the disabled observer, which costs one branch per
+    /// would-be event.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// The configuration in use.
@@ -201,6 +458,11 @@ impl Spotlight {
     /// The evaluation engine in use.
     pub fn engine(&self) -> &EvalEngine {
         &self.engine
+    }
+
+    /// The observer in use.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Optimizes software schedules for every unique layer of `models` on
@@ -214,10 +476,14 @@ impl Spotlight {
     /// stream via [`layer_stream_seed`], so results are bit-identical at
     /// any `config.threads` count.
     ///
-    /// Layers run in deterministic waves of `config.threads`. Once any
-    /// layer comes back infeasible the aggregate is doomed (it sums to
-    /// infinity regardless of the remaining layers), so the remaining
-    /// waves are skipped instead of spending their software budget.
+    /// Layers run in deterministic waves of `config.threads`. Every layer
+    /// is always searched — an earlier revision skipped the remaining
+    /// waves once one layer came back infeasible, but which layers got
+    /// skipped depended on the wave boundary, making the evaluation
+    /// counters and the observer's event stream vary with the thread
+    /// count. Observer events from workers buffer locally and merge in
+    /// layer-ordinal order after each wave joins, so the journal is
+    /// thread-invariant too.
     pub fn optimize_software(
         &self,
         hw: &HardwareConfig,
@@ -226,24 +492,32 @@ impl Spotlight {
     ) -> (Vec<ModelPlan>, u64) {
         let sw_cfg = self.config.sw_config();
         let threads = self.config.threads.max(1);
+        let observer = self.observer.with_hw_sample(stream);
 
         // Flatten the per-model layer lists into one indexed work list.
         let items: Vec<&spotlight_models::LayerEntry> =
             models.iter().flat_map(|m| m.layers().iter()).collect();
         let run_item = |ordinal: usize| {
+            let (obs, buffer) = observer.with_layer(ordinal as u64).buffered();
             let seed = layer_stream_seed(self.config.seed, stream, ordinal as u64);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            optimize_schedule(&self.engine, hw, &items[ordinal].layer, &sw_cfg, &mut rng)
+            let result = optimize_schedule_observed(
+                &self.engine,
+                hw,
+                &items[ordinal].layer,
+                &sw_cfg,
+                &mut rng,
+                &obs,
+            );
+            (result, buffer)
         };
 
-        let mut results: Vec<Option<crate::swsearch::SwResult>> =
-            (0..items.len()).map(|_| None).collect();
+        let mut results: Vec<crate::swsearch::SwResult> = Vec::with_capacity(items.len());
         let mut evals = 0;
-        let mut doomed = false;
         let mut next = 0;
-        while next < items.len() && !doomed {
+        while next < items.len() {
             let wave_end = (next + threads).min(items.len());
-            let wave: Vec<crate::swsearch::SwResult> = if threads == 1 {
+            let wave: Vec<_> = if threads == 1 {
                 vec![run_item(next)]
             } else {
                 std::thread::scope(|scope| {
@@ -257,16 +531,18 @@ impl Spotlight {
                         .collect()
                 })
             };
-            for (k, r) in wave.into_iter().enumerate() {
+            for (r, buffer) in wave {
                 evals += r.evaluations;
-                doomed |= r.best.is_none();
-                results[next + k] = Some(r);
+                if let Some(buffer) = buffer {
+                    observer.forward(&buffer);
+                }
+                results.push(r);
             }
             next = wave_end;
         }
 
         // Reassemble per-model plans in work-list order. A model with an
-        // infeasible or skipped layer aggregates to infinity.
+        // infeasible layer aggregates to infinity.
         let mut plans = Vec::with_capacity(models.len());
         let mut cursor = results.into_iter();
         for model in models {
@@ -274,24 +550,18 @@ impl Spotlight {
             let mut total_delay = 0.0;
             let mut total_energy = 0.0;
             for entry in model.layers() {
-                match cursor.next().expect("one result slot per layer") {
-                    Some(r) => match r.best {
-                        Some((schedule, report)) => {
-                            total_delay += report.delay_cycles * entry.count as f64;
-                            total_energy += report.energy_nj * entry.count as f64;
-                            layers.push(LayerPlan {
-                                layer: entry.layer,
-                                count: entry.count,
-                                schedule,
-                                report,
-                            });
-                        }
-                        None => {
-                            total_delay = f64::INFINITY;
-                            total_energy = f64::INFINITY;
-                        }
-                    },
-                    // Skipped after the aggregate was already doomed.
+                let r = cursor.next().expect("one result slot per layer");
+                match r.best {
+                    Some((schedule, report)) => {
+                        total_delay += report.delay_cycles * entry.count as f64;
+                        total_energy += report.energy_nj * entry.count as f64;
+                        layers.push(LayerPlan {
+                            layer: entry.layer,
+                            count: entry.count,
+                            schedule,
+                            report,
+                        });
+                    }
                     None => {
                         total_delay = f64::INFINITY;
                         total_energy = f64::INFINITY;
@@ -299,7 +569,7 @@ impl Spotlight {
                 }
             }
             plans.push(ModelPlan {
-                model_name: model.name(),
+                model_name: model.id().clone(),
                 layers,
                 total_delay,
                 total_energy,
@@ -327,6 +597,10 @@ impl Spotlight {
         // Counters describe exactly this run; the memo cache survives
         // across runs on the same engine.
         self.engine.reset_stats();
+        let run_start = std::time::Instant::now();
+        self.observer.emit_with(|| Event::RunStarted {
+            manifest: self.config.manifest(self.engine.backend_name()),
+        });
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut hw_search =
             build_hw_search(self.config.variant, self.config.ranges, self.config.budget);
@@ -336,10 +610,16 @@ impl Spotlight {
         let mut frontier = ParetoFrontier::new();
 
         for hw_sample in 0..self.config.hw_samples {
+            let sample_obs = self.observer.with_hw_sample(hw_sample as u64);
             let hw = self
                 .engine
                 .time_phase("hw_search", || hw_search.suggest(&mut rng));
-            let cost = if self.config.budget.admits(&hw) {
+            let admitted = self.config.budget.admits(&hw);
+            sample_obs.emit_with(|| Event::HwProposed {
+                hw: hw.to_string(),
+                admitted,
+            });
+            let cost = if admitted {
                 let (plans, _) = self.engine.time_phase("sw_search", || {
                     self.optimize_software(&hw, models, hw_sample as u64)
                 });
@@ -349,16 +629,22 @@ impl Spotlight {
                 // Infeasible samples (any layer without a feasible
                 // schedule) carry non-finite metrics and must not join
                 // the frontier of realizable designs.
-                if delay_cycles.is_finite() && energy_nj.is_finite() {
-                    frontier.insert(DesignPoint {
+                if delay_cycles.is_finite()
+                    && energy_nj.is_finite()
+                    && frontier.insert(DesignPoint {
                         hw,
                         delay_cycles,
                         energy_nj,
                         area_mm2: self.config.budget.area_mm2(&hw),
+                    })
+                {
+                    sample_obs.emit_with(|| Event::ParetoUpdated {
+                        frontier_len: frontier.len() as u64,
                     });
                 }
                 if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
                     best = Some((hw, plans, cost));
+                    sample_obs.emit_with(|| Event::BestImproved { cost });
                 }
                 cost
             } else {
@@ -375,6 +661,12 @@ impl Spotlight {
         let trace = Trace::from_costs(&hw_history);
         let stats = self.engine.stats();
         let evaluations = stats.evaluations;
+        self.observer.emit_with(|| Event::RunFinished {
+            best_cost: best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c),
+            evaluations,
+            wall_ms: run_start.elapsed().as_millis() as u64,
+        });
+        self.observer.flush();
         match best {
             Some((hw, plans, cost)) => CodesignOutcome {
                 best_hw: Some(hw),
@@ -418,20 +710,20 @@ mod tests {
     }
 
     fn small_config(variant: Variant, seed: u64) -> CodesignConfig {
-        CodesignConfig {
-            hw_samples: 8,
-            sw_samples: 15,
-            variant,
-            seed,
-            ..CodesignConfig::edge()
-        }
+        CodesignConfig::edge()
+            .hw_samples(8)
+            .sw_samples(15)
+            .variant(variant)
+            .seed(seed)
+            .build()
+            .expect("test config is valid")
     }
 
     #[test]
     fn codesign_finds_feasible_design() {
         let out = Spotlight::new(small_config(Variant::Spotlight, 0)).codesign(&[tiny_model()]);
         let hw = out.best_hw.expect("a feasible design exists");
-        assert!(CodesignConfig::edge().budget.admits(&hw));
+        assert!(Budget::edge().admits(&hw));
         assert!(out.best_cost.is_finite());
         assert_eq!(out.best_plans.len(), 1);
         assert_eq!(out.best_plans[0].layers.len(), 2);
@@ -499,10 +791,11 @@ mod tests {
 
     #[test]
     fn delay_objective_sums_layer_delays() {
-        let cfg = CodesignConfig {
-            objective: Objective::Delay,
-            ..small_config(Variant::Spotlight, 7)
-        };
+        let cfg = small_config(Variant::Spotlight, 7)
+            .to_builder()
+            .objective(Objective::Delay)
+            .build()
+            .unwrap();
         let out = Spotlight::new(cfg).codesign(&[tiny_model()]);
         let plan = &out.best_plans[0];
         let manual: f64 = plan
@@ -529,9 +822,7 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert!((best_edp - out.best_cost).abs() <= 1e-9 * out.best_cost);
         // Budget selection picks something admissible.
-        let sel = out
-            .frontier
-            .select_for_budget(&CodesignConfig::edge().budget);
+        let sel = out.frontier.select_for_budget(&Budget::edge());
         assert!(sel.is_some());
     }
 
@@ -550,14 +841,19 @@ mod budget_tests {
 
     #[test]
     fn impossible_budget_yields_no_design() {
+        // The builder refuses budgets no in-range point can satisfy, so
+        // this runtime path needs the crate-private literal — external
+        // callers can no longer construct such a run at all.
         let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
+        let valid = CodesignConfig::edge()
+            .hw_samples(5)
+            .sw_samples(5)
+            .variant(Variant::SpotlightR)
+            .build()
+            .unwrap();
         let cfg = CodesignConfig {
-            hw_samples: 5,
-            sw_samples: 5,
             budget: Budget::new(1e-9, 1e-9, 1.0),
-            variant: Variant::SpotlightR,
-            seed: 0,
-            ..CodesignConfig::edge()
+            ..valid
         };
         let out = Spotlight::new(cfg).codesign(&[model]);
         assert!(out.best_hw.is_none());
@@ -567,5 +863,128 @@ mod budget_tests {
         assert_eq!(out.evaluations, 0);
         // Every hardware sample is recorded as infeasible.
         assert!(out.hw_history.iter().all(|c| c.is_infinite()));
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn zero_counts_are_rejected_with_typed_errors() {
+        assert_eq!(
+            CodesignConfig::edge().hw_samples(0).build().unwrap_err(),
+            ConfigError::ZeroHwSamples
+        );
+        assert_eq!(
+            CodesignConfig::edge().sw_samples(0).build().unwrap_err(),
+            ConfigError::ZeroSwSamples
+        );
+        assert_eq!(
+            CodesignConfig::cloud().threads(0).build().unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn budget_ranges_mismatch_is_rejected() {
+        // Cloud-scale parameter ranges can never fit an edge budget:
+        // the smallest cloud configuration alone blows the 8 mm^2 cap.
+        let err = CodesignConfig::cloud()
+            .budget(Budget::edge())
+            .build()
+            .unwrap_err();
+        match err {
+            ConfigError::BudgetRangesMismatch {
+                area_mm2,
+                max_area_mm2,
+                ..
+            } => {
+                assert!(area_mm2 > max_area_mm2);
+            }
+            other => panic!("expected BudgetRangesMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("mm^2"), "{err}");
+    }
+
+    #[test]
+    fn default_scales_validate_and_round_trip_through_to_builder() {
+        for builder in [CodesignConfig::edge(), CodesignConfig::cloud()] {
+            let cfg = builder.build().expect("paper defaults are valid");
+            assert_eq!(cfg.hw_samples(), 100);
+            assert_eq!(cfg.sw_samples(), 100);
+            let again = cfg
+                .to_builder()
+                .seed(42)
+                .threads(4)
+                .build()
+                .expect("derived config is valid");
+            assert_eq!(again.seed(), 42);
+            assert_eq!(again.threads(), 4);
+            assert_eq!(again.hw_samples(), cfg.hw_samples());
+        }
+    }
+
+    #[test]
+    fn observed_run_journals_manifest_and_trace() {
+        use spotlight_conv::ConvLayer;
+        use std::sync::Arc;
+
+        let sink = Arc::new(spotlight_obs::MemorySink::new());
+        let cfg = CodesignConfig::edge()
+            .hw_samples(4)
+            .sw_samples(6)
+            .seed(11)
+            .build()
+            .unwrap();
+        let model = Model::from_layers("obs", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
+        let out = Spotlight::new(cfg)
+            .with_observer(Observer::new(sink.clone()))
+            .codesign(&[model]);
+        let records = sink.records();
+        // Manifest first, run_finished last.
+        match &records.first().expect("events recorded").event {
+            Event::RunStarted { manifest } => {
+                assert_eq!(manifest.seed, 11);
+                assert_eq!(manifest.backend, "maestro");
+                assert_eq!(manifest.hw_samples, 4);
+            }
+            other => panic!("first event should be the manifest, got {other:?}"),
+        }
+        match &records.last().unwrap().event {
+            Event::RunFinished {
+                best_cost,
+                evaluations,
+                ..
+            } => {
+                assert_eq!(best_cost.to_bits(), out.best_cost.to_bits());
+                assert_eq!(*evaluations, out.evaluations);
+            }
+            other => panic!("last event should be run_finished, got {other:?}"),
+        }
+        // One hw_proposed per hardware sample, each tagged with its span.
+        let proposed: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::HwProposed { .. }))
+            .collect();
+        assert_eq!(proposed.len(), 4);
+        for (i, rec) in proposed.iter().enumerate() {
+            assert_eq!(rec.hw_sample, Some(i as u64));
+        }
+        // Every admitted sample's schedule evaluations are attributable.
+        let evaluated = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    Event::ScheduleEvaluated { .. } | Event::Infeasible { .. }
+                )
+            })
+            .count() as u64;
+        assert_eq!(evaluated, out.evaluations);
+        assert!(records
+            .iter()
+            .filter(|r| r.event.is_trace())
+            .all(|r| r.hw_sample.is_some()));
     }
 }

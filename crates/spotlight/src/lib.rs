@@ -22,6 +22,12 @@
 //! - [`variants`]: the Spotlight / -A / -V / -F / -R / -GA ablation
 //!   family of Section VII-E.
 //!
+//! Every run can be observed through [`spotlight_obs`]: attach an
+//! [`spotlight_obs::Observer`] with [`Spotlight::with_observer`] to
+//! stream typed events (hardware proposals, per-step schedule
+//! evaluations, Pareto/best updates) to a JSONL journal or a progress
+//! reporter.
+//!
 //! # Examples
 //!
 //! Co-design a tiny accelerator for a two-layer model with a reduced
@@ -41,14 +47,14 @@
 //!         ConvLayer::new(1, 32, 16, 3, 3, 7, 7),
 //!     ],
 //! );
-//! let config = CodesignConfig {
-//!     hw_samples: 6,
-//!     sw_samples: 12,
-//!     objective: Objective::Edp,
-//!     variant: Variant::Spotlight,
-//!     seed: 1,
-//!     ..CodesignConfig::edge()
-//! };
+//! let config = CodesignConfig::edge()
+//!     .hw_samples(6)
+//!     .sw_samples(12)
+//!     .objective(Objective::Edp)
+//!     .variant(Variant::Spotlight)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid configuration");
 //! let outcome = Spotlight::new(config).codesign(&[model]);
 //! assert!(outcome.best_hw.is_some());
 //! assert!(outcome.best_cost.is_finite());
@@ -63,6 +69,8 @@ pub mod scenarios;
 pub mod swsearch;
 pub mod variants;
 
-pub use codesign::{CodesignConfig, CodesignOutcome, Spotlight};
+pub use codesign::{
+    CodesignConfig, CodesignConfigBuilder, CodesignOutcome, ConfigError, Spotlight,
+};
 pub use features::{hw_features, sw_features, HW_FEATURE_NAMES, SW_FEATURE_NAMES};
 pub use variants::Variant;

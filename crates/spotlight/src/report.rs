@@ -23,7 +23,7 @@ use crate::codesign::{CodesignOutcome, ModelPlan};
 /// use spotlight_models::Model;
 ///
 /// let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
-/// let cfg = CodesignConfig { hw_samples: 4, sw_samples: 8, ..CodesignConfig::edge() };
+/// let cfg = CodesignConfig::edge().hw_samples(4).sw_samples(8).build().unwrap();
 /// let out = Spotlight::new(cfg).codesign(&[model]);
 /// let md = plan_markdown(&out.best_plans[0]);
 /// assert!(md.contains("| layer |"));
@@ -133,13 +133,13 @@ mod tests {
 
     fn outcome() -> CodesignOutcome {
         let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
-        let cfg = CodesignConfig {
-            hw_samples: 4,
-            sw_samples: 8,
-            variant: Variant::Spotlight,
-            seed: 0,
-            ..CodesignConfig::edge()
-        };
+        let cfg = CodesignConfig::edge()
+            .hw_samples(4)
+            .sw_samples(8)
+            .variant(Variant::Spotlight)
+            .seed(0)
+            .build()
+            .expect("test config is valid");
         Spotlight::new(cfg).codesign(&[model])
     }
 

@@ -15,6 +15,7 @@ use spotlight_accel::{Baseline, DataflowStyle, HardwareConfig};
 use spotlight_dabo::{Search, Trace};
 use spotlight_eval::EvalEngine;
 use spotlight_models::Model;
+use spotlight_obs::{Event, Observer};
 use spotlight_searchers::{ConfuciuXSearch, HascoSearch};
 use spotlight_space::dataflows::template_schedule;
 
@@ -44,7 +45,7 @@ pub enum Scale {
 /// use spotlight_models::Model;
 ///
 /// let model = Model::from_layers("m", vec![ConvLayer::new(1, 16, 8, 3, 3, 14, 14)]);
-/// let cfg = CodesignConfig { sw_samples: 15, ..CodesignConfig::edge() };
+/// let cfg = CodesignConfig::edge().sw_samples(15).build().unwrap();
 /// let (plan, _evals) = evaluate_baseline(&cfg, Baseline::EyerissLike, Scale::Edge, &model);
 /// assert!(plan.total_delay.is_finite());
 /// ```
@@ -112,7 +113,7 @@ pub fn evaluate_fixed_hw_with(
     }
     (
         ModelPlan {
-            model_name: model.name(),
+            model_name: model.id().clone(),
             layers,
             total_delay,
             total_energy,
@@ -142,12 +143,14 @@ fn model_cost_under_style(
     style: DataflowStyle,
     model: &Model,
     config: &CodesignConfig,
+    obs: &Observer,
 ) -> f64 {
     let mut total_delay = 0.0;
     let mut total_energy = 0.0;
-    for entry in model.layers() {
+    for (ordinal, entry) in model.layers().iter().enumerate() {
         let sched = template_schedule(style, &entry.layer);
-        match engine.evaluate(hw, &sched, &entry.layer) {
+        let lobs = obs.with_layer(ordinal as u64);
+        match engine.evaluate_observed(hw, &sched, &entry.layer, &lobs, 0) {
             Ok(r) => {
                 total_delay += r.delay_cycles * entry.count as f64;
                 total_energy += r.energy_nj * entry.count as f64;
@@ -166,21 +169,38 @@ fn model_cost_under_style(
 /// schedule (no tile-size search — the restriction the paper blames for
 /// ConfuciuX's gap).
 pub fn run_confuciux(config: &CodesignConfig, model: &Model) -> ToolOutcome {
+    run_confuciux_observed(config, model, &Observer::null())
+}
+
+/// Like [`run_confuciux`] but reporting hardware proposals, per-layer
+/// evaluations, and best-so-far improvements to `obs`.
+pub fn run_confuciux_observed(
+    config: &CodesignConfig,
+    model: &Model,
+    obs: &Observer,
+) -> ToolOutcome {
     let engine = EvalEngine::maestro();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xc0f0_c10a);
     let rl_budget = (config.hw_samples * 2) / 3;
     let mut search = ConfuciuXSearch::new(config.ranges, rl_budget);
     let mut best: Option<(HardwareConfig, f64)> = None;
     let mut eval_trace = Vec::new();
-    for _ in 0..config.hw_samples {
+    for sample in 0..config.hw_samples {
+        let sobs = obs.with_hw_sample(sample as u64);
         let p = search.suggest(&mut rng);
-        let cost = if config.budget.admits(&p.hw) {
-            model_cost_under_style(&engine, &p.hw, p.style, model, config)
+        let admitted = config.budget.admits(&p.hw);
+        sobs.emit_with(|| Event::HwProposed {
+            hw: p.hw.to_string(),
+            admitted,
+        });
+        let cost = if admitted {
+            model_cost_under_style(&engine, &p.hw, p.style, model, config, &sobs)
         } else {
             f64::INFINITY
         };
         if cost.is_finite() && best.is_none_or(|(_, b)| cost < b) {
             best = Some((p.hw, cost));
+            sobs.emit_with(|| Event::BestImproved { cost });
         }
         search.observe(p, cost);
         eval_trace.push((engine.evaluations(), best.map_or(f64::INFINITY, |(_, c)| c)));
@@ -197,21 +217,34 @@ pub fn run_confuciux(config: &CodesignConfig, model: &Model) -> ToolOutcome {
 /// Runs the HASCO-like tool: off-the-shelf BO over hardware with one
 /// fixed software schedule per layer.
 pub fn run_hasco(config: &CodesignConfig, model: &Model) -> ToolOutcome {
+    run_hasco_observed(config, model, &Observer::null())
+}
+
+/// Like [`run_hasco`] but reporting hardware proposals, per-layer
+/// evaluations, and best-so-far improvements to `obs`.
+pub fn run_hasco_observed(config: &CodesignConfig, model: &Model, obs: &Observer) -> ToolOutcome {
     let engine = EvalEngine::maestro();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x4a5c_0000);
     let mut search = HascoSearch::new(config.ranges);
     let style = search.style();
     let mut best: Option<(HardwareConfig, f64)> = None;
     let mut eval_trace = Vec::new();
-    for _ in 0..config.hw_samples {
+    for sample in 0..config.hw_samples {
+        let sobs = obs.with_hw_sample(sample as u64);
         let hw = search.suggest(&mut rng);
-        let cost = if config.budget.admits(&hw) {
-            model_cost_under_style(&engine, &hw, style, model, config)
+        let admitted = config.budget.admits(&hw);
+        sobs.emit_with(|| Event::HwProposed {
+            hw: hw.to_string(),
+            admitted,
+        });
+        let cost = if admitted {
+            model_cost_under_style(&engine, &hw, style, model, config, &sobs)
         } else {
             f64::INFINITY
         };
         if cost.is_finite() && best.is_none_or(|(_, b)| cost < b) {
             best = Some((hw, cost));
+            sobs.emit_with(|| Event::BestImproved { cost });
         }
         search.observe(hw, cost);
         eval_trace.push((engine.evaluations(), best.map_or(f64::INFINITY, |(_, c)| c)));
@@ -271,12 +304,12 @@ mod tests {
     }
 
     fn cfg() -> CodesignConfig {
-        CodesignConfig {
-            hw_samples: 8,
-            sw_samples: 15,
-            seed: 3,
-            ..CodesignConfig::edge()
-        }
+        CodesignConfig::edge()
+            .hw_samples(8)
+            .sw_samples(15)
+            .seed(3)
+            .build()
+            .expect("test config is valid")
     }
 
     #[test]
@@ -294,12 +327,12 @@ mod tests {
         // the cloud budget (Figure 7's "scaled-up" versions).
         let model = Model::from_layers("big", vec![ConvLayer::new(1, 256, 128, 3, 3, 28, 28)]);
         let (edge, _) = evaluate_baseline(&cfg(), Baseline::NvdlaLike, Scale::Edge, &model);
-        let cloud_cfg = CodesignConfig {
-            hw_samples: 8,
-            sw_samples: 15,
-            seed: 3,
-            ..CodesignConfig::cloud()
-        };
+        let cloud_cfg = CodesignConfig::cloud()
+            .hw_samples(8)
+            .sw_samples(15)
+            .seed(3)
+            .build()
+            .expect("test config is valid");
         let (cloud, _) = evaluate_baseline(&cloud_cfg, Baseline::NvdlaLike, Scale::Cloud, &model);
         assert!(cloud.total_delay < edge.total_delay);
     }
@@ -324,10 +357,13 @@ mod tests {
         // No software search: evaluations = hw_samples x layers, far less
         // than Spotlight's hw x layers x sw budget.
         let out = run_confuciux(&cfg(), &tiny_model());
-        let spot = Spotlight::new(CodesignConfig {
-            variant: Variant::Spotlight,
-            ..cfg()
-        })
+        let spot = Spotlight::new(
+            cfg()
+                .to_builder()
+                .variant(Variant::Spotlight)
+                .build()
+                .unwrap(),
+        )
         .codesign(&[tiny_model()]);
         assert!(out.evaluations < spot.evaluations / 2);
     }
@@ -351,13 +387,13 @@ mod tests {
         // The headline comparison in miniature: same hardware budget,
         // Spotlight additionally co-designs tile sizes with buffer sizes.
         let model = Model::from_layers("m", vec![ConvLayer::new(1, 128, 64, 3, 3, 28, 28)]);
-        let c = CodesignConfig {
-            hw_samples: 30,
-            sw_samples: 80,
-            objective: Objective::Delay,
-            seed: 1,
-            ..CodesignConfig::edge()
-        };
+        let c = CodesignConfig::edge()
+            .hw_samples(30)
+            .sw_samples(80)
+            .objective(Objective::Delay)
+            .seed(1)
+            .build()
+            .expect("test config is valid");
         let spot = Spotlight::new(c).codesign(std::slice::from_ref(&model));
         let confx = run_confuciux(&c, &model);
         assert!(

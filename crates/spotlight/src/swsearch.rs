@@ -10,6 +10,7 @@ use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind, Trac
 use spotlight_eval::EvalEngine;
 use spotlight_gp::Kernel;
 use spotlight_maestro::{CostReport, Objective};
+use spotlight_obs::Observer;
 use spotlight_searchers::{Genetic, RandomSearch};
 use spotlight_space::dataflows::dataflow_schedule;
 use spotlight_space::{mutate, sample, Schedule, TileSizes};
@@ -231,8 +232,23 @@ pub fn optimize_schedule(
     cfg: &SwSearchConfig,
     rng: &mut dyn RngCore,
 ) -> SwResult {
+    optimize_schedule_observed(engine, hw, layer, cfg, rng, &Observer::null())
+}
+
+/// Like [`optimize_schedule`] but reporting every cost-model evaluation
+/// to `obs` as a `schedule_evaluated` / `infeasible` event, tagged with
+/// the step index within the sample budget. The observer never touches
+/// the RNG, so observed and unobserved runs stay bit-identical.
+pub fn optimize_schedule_observed(
+    engine: &EvalEngine,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    rng: &mut dyn RngCore,
+    obs: &Observer,
+) -> SwResult {
     let mut search = build_search(cfg.variant, *hw, *layer);
-    run_sw(engine, hw, layer, cfg, rng, search.as_mut())
+    run_sw_observed(engine, hw, layer, cfg, rng, search.as_mut(), obs)
 }
 
 /// Like [`optimize_schedule`] but constrained to one rigid dataflow —
@@ -321,11 +337,23 @@ fn run_sw(
     rng: &mut dyn RngCore,
     search: &mut dyn Search<Schedule>,
 ) -> SwResult {
+    run_sw_observed(engine, hw, layer, cfg, rng, search, &Observer::null())
+}
+
+fn run_sw_observed(
+    engine: &EvalEngine,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    rng: &mut dyn RngCore,
+    search: &mut dyn Search<Schedule>,
+    obs: &Observer,
+) -> SwResult {
     engine.count_sw_search();
     let mut best: Option<(Schedule, CostReport)> = None;
-    for _ in 0..cfg.samples {
+    for step in 0..cfg.samples {
         let sched = search.suggest(rng);
-        let cost = match engine.evaluate(hw, &sched, layer) {
+        let cost = match engine.evaluate_observed(hw, &sched, layer, obs, step as u64) {
             Ok(report) => {
                 let value = report.objective(cfg.objective);
                 if best

@@ -21,13 +21,13 @@ fn main() {
     let model = resnet50();
     println!("co-designing for {}", model.name());
 
-    let config = CodesignConfig {
-        hw_samples: 15,
-        sw_samples: 25,
-        objective: Objective::Delay,
-        seed: 0,
-        ..CodesignConfig::edge()
-    };
+    let config = CodesignConfig::edge()
+        .hw_samples(15)
+        .sw_samples(25)
+        .objective(Objective::Delay)
+        .seed(0)
+        .build()
+        .expect("edge defaults with a light budget are valid");
 
     let outcome = Spotlight::new(config).codesign(std::slice::from_ref(&model));
     let spotlight_delay = outcome.best_cost;

@@ -15,13 +15,13 @@ use spotlight_repro::spotlight::codesign::{CodesignConfig, Spotlight};
 use spotlight_repro::spotlight::scenarios::generalization;
 
 fn main() {
-    let config = CodesignConfig {
-        hw_samples: 10,
-        sw_samples: 20,
-        objective: Objective::Edp,
-        seed: 1,
-        ..CodesignConfig::edge()
-    };
+    let config = CodesignConfig::edge()
+        .hw_samples(10)
+        .sw_samples(20)
+        .objective(Objective::Edp)
+        .seed(1)
+        .build()
+        .expect("edge defaults with a light budget are valid");
 
     // Scenario 1: all models known at design time.
     let models = vec![resnet50(), mobilenet_v2(), mnasnet()];

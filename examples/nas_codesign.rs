@@ -27,20 +27,17 @@ fn cnn(width: u64) -> Model {
         ConvLayer::new(1, c2, c1, 3, 3, 16, 16).with_name("body"),
         ConvLayer::new(1, 10, c2, 1, 1, 1, 1).with_name("head"),
     ];
-    // Leak: Model::from_layers wants a 'static name; the widths are a
-    // small fixed set, so a leaked label per width is fine for a demo.
-    let name: &'static str = Box::leak(format!("cnn-w{width}").into_boxed_str());
-    Model::from_layers(name, layers)
+    Model::from_layers(format!("cnn-w{width}"), layers)
 }
 
 fn main() {
-    let config = CodesignConfig {
-        hw_samples: 10,
-        sw_samples: 20,
-        objective: Objective::Edp,
-        seed: 0,
-        ..CodesignConfig::edge()
-    };
+    let config = CodesignConfig::edge()
+        .hw_samples(10)
+        .sw_samples(20)
+        .objective(Objective::Edp)
+        .seed(0)
+        .build()
+        .expect("edge defaults with a light budget are valid");
 
     println!("width, accuracy-proxy (GMACs), EDP (nJ x cycles), accelerator");
     for width in [1u64, 2, 4] {

@@ -22,13 +22,13 @@ fn main() {
             ConvLayer::new(1, 192, 96, 1, 1, 14, 14),
         ],
     );
-    let config = CodesignConfig {
-        hw_samples: 30,
-        sw_samples: 25,
-        objective: Objective::Edp,
-        seed: 11,
-        ..CodesignConfig::edge()
-    };
+    let config = CodesignConfig::edge()
+        .hw_samples(30)
+        .sw_samples(25)
+        .objective(Objective::Edp)
+        .seed(11)
+        .build()
+        .expect("edge defaults with a light budget are valid");
     let outcome = Spotlight::new(config).codesign(&[model]);
 
     println!(
@@ -50,7 +50,7 @@ fn main() {
         );
     }
 
-    let budget = config.budget;
+    let budget = config.budget();
     if let Some(best_edp) = outcome.frontier.best_edp_in_budget(&budget) {
         println!("\nlowest-EDP in budget     : {}", best_edp.hw);
     }

@@ -29,13 +29,13 @@ fn main() {
     println!("{model}");
 
     // Paper defaults are 100x100 samples; this demo uses a light budget.
-    let config = CodesignConfig {
-        hw_samples: 25,
-        sw_samples: 40,
-        objective: Objective::Edp,
-        seed: 7,
-        ..CodesignConfig::edge()
-    };
+    let config = CodesignConfig::edge()
+        .hw_samples(25)
+        .sw_samples(40)
+        .objective(Objective::Edp)
+        .seed(7)
+        .build()
+        .expect("edge defaults with a light budget are valid");
     let tool = Spotlight::new(config);
     let outcome = tool.codesign(&[model]);
 
@@ -45,8 +45,8 @@ fn main() {
     println!("optimized accelerator : {hw}");
     println!(
         "area {:.2} mm^2 of {:.1} mm^2 budget",
-        config.budget.area_mm2(&hw),
-        config.budget.max_area_mm2
+        config.budget().area_mm2(&hw),
+        config.budget().max_area_mm2
     );
     println!(
         "aggregate EDP          : {:.3e} nJ x cycles",

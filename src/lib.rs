@@ -12,6 +12,7 @@ pub use spotlight_eval as eval;
 pub use spotlight_gp as gp;
 pub use spotlight_maestro as maestro;
 pub use spotlight_models as models;
+pub use spotlight_obs as obs;
 pub use spotlight_searchers as searchers;
 pub use spotlight_space as space;
 pub use spotlight_timeloop as timeloop;

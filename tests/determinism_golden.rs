@@ -48,12 +48,12 @@ fn golden_cost_model_hand_derived_case() {
 #[test]
 fn golden_codesign_is_bit_reproducible() {
     let model = Model::from_layers("g", vec![ConvLayer::new(1, 32, 16, 3, 3, 14, 14)]);
-    let cfg = CodesignConfig {
-        hw_samples: 6,
-        sw_samples: 10,
-        seed: 42,
-        ..CodesignConfig::edge()
-    };
+    let cfg = CodesignConfig::edge()
+        .hw_samples(6)
+        .sw_samples(10)
+        .seed(42)
+        .build()
+        .expect("test config is valid");
     let a = Spotlight::new(cfg).codesign(std::slice::from_ref(&model));
     let b = Spotlight::new(cfg).codesign(std::slice::from_ref(&model));
     assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());

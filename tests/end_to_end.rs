@@ -21,13 +21,13 @@ fn small_model() -> Model {
 }
 
 fn config(seed: u64) -> CodesignConfig {
-    CodesignConfig {
-        hw_samples: 12,
-        sw_samples: 30,
-        objective: Objective::Edp,
-        seed,
-        ..CodesignConfig::edge()
-    }
+    CodesignConfig::edge()
+        .hw_samples(12)
+        .sw_samples(30)
+        .objective(Objective::Edp)
+        .seed(seed)
+        .build()
+        .expect("test config is valid")
 }
 
 #[test]
@@ -83,16 +83,17 @@ fn plans_replay_through_the_cost_model() {
 #[test]
 fn spotlight_beats_every_hand_designed_baseline() {
     // The Figure 6 headline at miniature scale.
-    let cfg = CodesignConfig {
-        hw_samples: 20,
-        sw_samples: 50,
-        ..config(3)
-    };
+    let cfg = config(3)
+        .to_builder()
+        .hw_samples(20)
+        .sw_samples(50)
+        .build()
+        .expect("test config is valid");
     let model = small_model();
     let spot = Spotlight::new(cfg).codesign(std::slice::from_ref(&model));
     for b in Baseline::FIGURE6 {
         let (plan, _) = evaluate_baseline(&cfg, b, Scale::Edge, &model);
-        let baseline_cost = plan.objective_value(cfg.objective);
+        let baseline_cost = plan.objective_value(cfg.objective());
         assert!(
             spot.best_cost < baseline_cost,
             "{b}: spotlight {} !< {}",
@@ -105,12 +106,13 @@ fn spotlight_beats_every_hand_designed_baseline() {
 #[test]
 fn every_variant_completes_a_codesign() {
     for variant in Variant::ALL {
-        let cfg = CodesignConfig {
-            hw_samples: 6,
-            sw_samples: 10,
-            variant,
-            ..config(4)
-        };
+        let cfg = config(4)
+            .to_builder()
+            .hw_samples(6)
+            .sw_samples(10)
+            .variant(variant)
+            .build()
+            .expect("test config is valid");
         let out = Spotlight::new(cfg).codesign(&[small_model()]);
         assert!(out.best_hw.is_some(), "{variant} found nothing");
         assert!(out.best_cost.is_finite());
@@ -120,20 +122,18 @@ fn every_variant_completes_a_codesign() {
 #[test]
 fn cloud_codesign_beats_edge_on_delay_for_heavy_models() {
     let model = Model::from_layers("heavy", vec![ConvLayer::new(1, 512, 256, 3, 3, 28, 28)]);
-    let edge_cfg = CodesignConfig {
-        objective: Objective::Delay,
-        ..config(5)
-    };
-    let cloud_cfg = CodesignConfig {
-        objective: Objective::Delay,
-        ..CodesignConfig::cloud()
-    };
-    let cloud_cfg = CodesignConfig {
-        hw_samples: 12,
-        sw_samples: 30,
-        seed: 5,
-        ..cloud_cfg
-    };
+    let edge_cfg = config(5)
+        .to_builder()
+        .objective(Objective::Delay)
+        .build()
+        .expect("test config is valid");
+    let cloud_cfg = CodesignConfig::cloud()
+        .objective(Objective::Delay)
+        .hw_samples(12)
+        .sw_samples(30)
+        .seed(5)
+        .build()
+        .expect("test config is valid");
     let edge = Spotlight::new(edge_cfg).codesign(std::slice::from_ref(&model));
     let cloud = Spotlight::new(cloud_cfg).codesign(std::slice::from_ref(&model));
     assert!(
@@ -150,5 +150,5 @@ fn evaluation_budget_is_respected() {
     let out = Spotlight::new(cfg).codesign(&[small_model()]);
     // 12 hw x 2 unique layers x 30 sw samples is the ceiling.
     assert!(out.evaluations <= 12 * 2 * 30);
-    assert_eq!(out.hw_history.len(), cfg.hw_samples);
+    assert_eq!(out.hw_history.len(), cfg.hw_samples());
 }

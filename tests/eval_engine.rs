@@ -25,14 +25,14 @@ fn model() -> Model {
 }
 
 fn config(threads: usize) -> CodesignConfig {
-    CodesignConfig {
-        hw_samples: 8,
-        sw_samples: 20,
-        objective: Objective::Edp,
-        seed: 7,
-        threads,
-        ..CodesignConfig::edge()
-    }
+    CodesignConfig::edge()
+        .hw_samples(8)
+        .sw_samples(20)
+        .objective(Objective::Edp)
+        .seed(7)
+        .threads(threads)
+        .build()
+        .expect("test config is valid")
 }
 
 /// The ISSUE's headline guarantee: the same co-design run at 1, 2, and
@@ -107,7 +107,7 @@ fn outcome_stats_are_consistent() {
     assert_eq!(out.evaluations, out.stats.evaluations);
     assert_eq!(
         out.stats.evaluations,
-        out.stats.sw_searches * config(2).sw_samples as u64
+        out.stats.sw_searches * config(2).sw_samples() as u64
     );
     assert!(out.stats.phase_wall.iter().any(|(p, _)| p == "hw_search"));
     assert!(out.stats.phase_wall.iter().any(|(p, _)| p == "sw_search"));

@@ -1,0 +1,80 @@
+//! The disabled observer is free: with a `NullSink`-less observer (the
+//! default `Observer::null()`), the hot emission path must not allocate.
+//!
+//! A counting global allocator is the oracle; this file holds a single
+//! test so no concurrent test can contribute allocations to the window
+//! being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spotlight_repro::obs::{Event, MemorySink, Observer};
+
+struct CountingAlloc {
+    allocations: AtomicU64,
+}
+
+static ALLOCATIONS: CountingAlloc = CountingAlloc {
+    allocations: AtomicU64::new(0),
+};
+
+#[global_allocator]
+static GLOBAL: Counter = Counter;
+
+struct Counter;
+
+unsafe impl GlobalAlloc for Counter {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.allocations.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_observer_hot_path_does_not_allocate() {
+    let null = Observer::null();
+    let with_span = null.with_hw_sample(3).with_layer(1);
+
+    // Warm up any lazy one-time state outside the measured window.
+    with_span.emit_with(|| Event::BestImproved { cost: 1.0 });
+
+    let before = allocation_count();
+    for step in 0..10_000u64 {
+        with_span.emit_with(|| Event::ScheduleEvaluated {
+            step,
+            delay_cycles: 123.0,
+            energy_nj: 4.5,
+        });
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled observer allocated on the hot path"
+    );
+
+    // Sanity check the oracle itself: an enabled observer does allocate
+    // (event construction and sink recording), so the counter moves.
+    let sink = Arc::new(MemorySink::new());
+    let enabled = Observer::new(sink.clone()).with_hw_sample(0);
+    let before = allocation_count();
+    for step in 0..100u64 {
+        enabled.emit_with(|| Event::ScheduleEvaluated {
+            step,
+            delay_cycles: 123.0,
+            energy_nj: 4.5,
+        });
+    }
+    let after = allocation_count();
+    assert!(after > before, "counting allocator is not counting");
+    assert_eq!(sink.recorded(), 100);
+}

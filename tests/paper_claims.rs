@@ -55,13 +55,13 @@ fn claim_dabo_is_sample_efficient() {
 /// row-stationary dataflow was not designed for.
 #[test]
 fn claim_eyeriss_poor_on_transformer() {
-    let cfg = CodesignConfig {
-        hw_samples: 1,
-        sw_samples: 30,
-        objective: Objective::Delay,
-        seed: 0,
-        ..CodesignConfig::edge()
-    };
+    let cfg = CodesignConfig::edge()
+        .hw_samples(1)
+        .sw_samples(30)
+        .objective(Objective::Delay)
+        .seed(0)
+        .build()
+        .expect("test config is valid");
     // Use only the attention layers (heaviest GEMMs) to keep this fast.
     let t = transformer();
     let heavy = Model::from_layers("attn", vec![t.heaviest_layer().layer]);
@@ -115,13 +115,13 @@ fn claim_single_model_design_at_least_as_good() {
     let mut singles = Vec::new();
     let mut multis = Vec::new();
     for seed in 0..5 {
-        let cfg = CodesignConfig {
-            hw_samples: 15,
-            sw_samples: 30,
-            objective: Objective::Edp,
-            seed,
-            ..CodesignConfig::edge()
-        };
+        let cfg = CodesignConfig::edge()
+            .hw_samples(15)
+            .sw_samples(30)
+            .objective(Objective::Edp)
+            .seed(seed)
+            .build()
+            .expect("test config is valid");
         singles.push(
             Spotlight::new(cfg)
                 .codesign(std::slice::from_ref(&m1))
@@ -178,13 +178,15 @@ fn claim_cost_models_partially_agree() {
 #[test]
 fn claim_spotlight_samples_shift_left_of_random() {
     let model = Model::from_layers("m", vec![bench_layer()]);
-    let mk = |variant, seed| CodesignConfig {
-        hw_samples: 20,
-        sw_samples: 25,
-        objective: Objective::Edp,
-        variant,
-        seed,
-        ..CodesignConfig::edge()
+    let mk = |variant, seed| {
+        CodesignConfig::edge()
+            .hw_samples(20)
+            .sw_samples(25)
+            .objective(Objective::Edp)
+            .variant(variant)
+            .seed(seed)
+            .build()
+            .expect("test config is valid")
     };
     let spot = Spotlight::new(mk(Variant::Spotlight, 4)).codesign(std::slice::from_ref(&model));
     let rand = Spotlight::new(mk(Variant::SpotlightR, 4)).codesign(std::slice::from_ref(&model));
