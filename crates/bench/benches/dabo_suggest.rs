@@ -1,0 +1,63 @@
+//! Criterion bench: daBO suggest cost versus history length.
+//!
+//! One steady-state ask/tell round (incremental refit + 64-candidate
+//! batched acquisition + O(d^2) moment update) on an optimizer primed
+//! with N prior observations. With the sufficient-statistics refit the
+//! per-suggest cost is independent of N for the linear surrogate — the
+//! N=5000 group should land within a small factor of N=100 instead of
+//! the old O(N d^2) rebuild growing linearly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search};
+
+/// Feature dimension, sized like the hardware feature space.
+const DIM: usize = 16;
+
+type IdentityMap = FnFeatureMap<fn(&Vec<f64>) -> Vec<f64>>;
+
+fn sample_point(rng: &mut dyn RngCore) -> Vec<f64> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn cost(x: &[f64]) -> f64 {
+    x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>() + 1.0
+}
+
+fn primed(n: usize, rng: &mut ChaCha8Rng) -> Dabo<Vec<f64>, IdentityMap> {
+    let fm = FnFeatureMap::new(DIM, (|x: &Vec<f64>| x.clone()) as fn(&Vec<f64>) -> Vec<f64>);
+    let mut opt = Dabo::new(
+        DaboConfig::default(),
+        fm,
+        sample_point as fn(&mut dyn RngCore) -> Vec<f64>,
+    );
+    for _ in 0..n {
+        let p = sample_point(rng);
+        let c = cost(&p);
+        opt.observe(p, c);
+    }
+    opt
+}
+
+fn bench_dabo_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dabo_suggest");
+    group.sample_size(10);
+    for n in [100usize, 1000, 5000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let mut opt = primed(n, &mut rng);
+        group.bench_function(format!("linear_n{n}"), |b| {
+            b.iter(|| {
+                let p = opt.suggest(&mut rng);
+                let c = cost(&p);
+                opt.observe(black_box(p), c);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dabo_suggest);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Before/after latency check for the incremental daBO refit.
+//!
+//! Reconstructs the legacy suggest path — a from-scratch standardizer
+//! fit, an O(N d^2) normal-equations rebuild, and 64 per-candidate
+//! allocating predicts — and times it against the shipping incremental
+//! path (streaming sufficient statistics + one batched triangular
+//! solve) on the same N=1000 history. Writes `BENCH_dabo.json` to the
+//! working directory for CI to archive.
+
+use std::io::Write;
+use std::time::Instant;
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, Standardizer};
+use spotlight_gp::{BayesianLinearModel, Surrogate};
+
+const DIM: usize = 16;
+const N: usize = 1000;
+const BATCH: usize = 64;
+const ITERS: usize = 50;
+
+fn sample_point(rng: &mut dyn RngCore) -> Vec<f64> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn cost(x: &[f64]) -> f64 {
+    x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>() + 1.0
+}
+
+/// One legacy suggest: refit from the full history, then rank a fresh
+/// candidate batch with per-candidate transforms and predicts.
+fn legacy_suggest(features: &[Vec<f64>], ys: &[f64], rng: &mut ChaCha8Rng) -> usize {
+    let st = Standardizer::fit(features);
+    let xs = st.transform_all(features);
+    let mut model = BayesianLinearModel::new(10.0, 1e-2);
+    model.fit(&xs, ys).expect("well-formed history");
+    let mut best = (0, f64::INFINITY);
+    for i in 0..BATCH {
+        let cand = sample_point(rng);
+        let z = st.transform(&cand);
+        let (mean, std) = model.predict(&z);
+        let lcb = mean - 1.5 * std;
+        if lcb < best.1 {
+            best = (i, lcb);
+        }
+    }
+    best.0
+}
+
+fn main() {
+    // Shared history for both paths.
+    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    let features: Vec<Vec<f64>> = (0..N).map(|_| sample_point(&mut rng)).collect();
+    let ys: Vec<f64> = features.iter().map(|f| cost(f).ln()).collect();
+
+    // Before: from-scratch refit + per-candidate predicts, every suggest.
+    let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+    let started = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..ITERS {
+        sink = sink.wrapping_add(legacy_suggest(&features, &ys, &mut rng_b));
+    }
+    let before_us = started.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+
+    // After: the shipping incremental path on the same history.
+    let fm = FnFeatureMap::new(DIM, (|x: &Vec<f64>| x.clone()) as fn(&Vec<f64>) -> Vec<f64>);
+    let mut opt = Dabo::new(
+        DaboConfig::default(),
+        fm,
+        sample_point as fn(&mut dyn RngCore) -> Vec<f64>,
+    );
+    for f in &features {
+        opt.observe(f.clone(), cost(f));
+    }
+    let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        let p = opt.suggest(&mut rng_a);
+        let c = cost(&p);
+        opt.observe(p, c);
+    }
+    let after_us = started.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"dabo_suggest\",\n  \"n\": {N},\n  \"dim\": {DIM},\n  \
+         \"batch\": {BATCH},\n  \"iters\": {ITERS},\n  \
+         \"before_us_per_suggest\": {before_us:.2},\n  \
+         \"after_us_per_suggest\": {after_us:.2},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        before_us / after_us
+    );
+    std::fs::File::create("BENCH_dabo.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_dabo.json");
+    print!("{json}");
+    // Keep the legacy loop's result observable so it cannot be elided.
+    eprintln!("# legacy argmin checksum: {sink}");
+}

@@ -107,6 +107,24 @@ impl Standardizer {
         Standardizer { means, stds }
     }
 
+    /// Builds a standardizer directly from per-column means and standard
+    /// deviations — the constructor used by the streaming (Welford-style)
+    /// accumulator, which never materializes the training rows.
+    ///
+    /// Standard deviations are floored at `1e-12` exactly like
+    /// [`Standardizer::fit`], so constant columns stay safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_moments(means: Vec<f64>, mut stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "arity mismatch");
+        for s in &mut stds {
+            *s = s.max(1e-12);
+        }
+        Standardizer { means, stds }
+    }
+
     /// Standardizes one row.
     ///
     /// # Panics
@@ -118,6 +136,24 @@ impl Standardizer {
             .zip(self.means.iter().zip(&self.stds))
             .map(|(v, (m, s))| (v - m) / s)
             .collect()
+    }
+
+    /// Standardizes one row into a caller-provided buffer (the
+    /// allocation-free variant of [`Standardizer::transform`] used on the
+    /// acquisition hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `out` has the wrong arity.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "arity mismatch");
+        assert_eq!(out.len(), self.means.len(), "output arity mismatch");
+        for (o, (v, (m, s))) in out
+            .iter_mut()
+            .zip(row.iter().zip(self.means.iter().zip(&self.stds)))
+        {
+            *o = (v - m) / s;
+        }
     }
 
     /// Standardizes many rows.
@@ -155,6 +191,27 @@ mod tests {
         let st = Standardizer::fit(&rows);
         let z = st.transform(&[5.0]);
         assert!(z[0].is_finite());
+    }
+
+    #[test]
+    fn from_moments_matches_fit_and_floors_stds() {
+        let rows = vec![vec![1.0, 5.0], vec![3.0, 5.0]];
+        let fitted = Standardizer::fit(&rows);
+        let streaming = Standardizer::from_moments(vec![2.0, 5.0], vec![1.0, 0.0]);
+        assert_eq!(fitted, streaming);
+        assert!(streaming
+            .transform(&[2.0, 5.0])
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transform_into_matches_transform() {
+        let rows = vec![vec![1.0, 10.0], vec![4.0, -2.0], vec![0.5, 3.0]];
+        let st = Standardizer::fit(&rows);
+        let mut out = [0.0; 2];
+        st.transform_into(&[2.0, 4.0], &mut out);
+        assert_eq!(out.to_vec(), st.transform(&[2.0, 4.0]));
     }
 
     #[test]

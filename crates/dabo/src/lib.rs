@@ -49,8 +49,12 @@ pub mod acquisition;
 pub mod features;
 pub mod optimizer;
 pub mod search;
+pub mod suffstats;
 
 pub use acquisition::{argmax_ei, argmin_lcb, expected_improvement, lower_confidence_bound};
 pub use features::{FeatureMap, FnFeatureMap, Standardizer};
 pub use optimizer::{Acquisition, Dabo, DaboConfig, SurrogateKind};
-pub use search::{run_minimization, CrossoverOp, MutateOp, Sampler, Search, Trace};
+pub use search::{
+    run_minimization, CrossoverOp, MutateOp, Sampler, Search, SurrogateTimers, Trace,
+};
+pub use suffstats::{PosteriorSystem, SuffStats};

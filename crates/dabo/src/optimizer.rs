@@ -1,12 +1,17 @@
 //! The daBO optimizer.
 
+use std::time::Instant;
+
 use rand::RngCore;
 
-use spotlight_gp::{BayesianLinearModel, GaussianProcess, Kernel, Surrogate};
+use spotlight_gp::{
+    BayesianLinearModel, GaussianProcess, Kernel, Matrix, PredictScratch, Surrogate,
+};
 
 use crate::acquisition::{argmax_ei, argmin_lcb};
 use crate::features::{FeatureMap, Standardizer};
-use crate::search::{Sampler, Search};
+use crate::search::{Sampler, Search, SurrogateTimers};
+use crate::suffstats::SuffStats;
 
 /// Which surrogate daBO fits over the feature space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +84,19 @@ impl FittedSurrogate {
             FittedSurrogate::Gp(m) => m.predict(x),
         }
     }
+
+    fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut PredictScratch,
+        means: &mut [f64],
+        stds: &mut [f64],
+    ) {
+        match self {
+            FittedSurrogate::Linear(m) => m.predict_batch_into(x, scratch, means, stds),
+            FittedSurrogate::Gp(m) => m.predict_batch_into(x, scratch, means, stds),
+        }
+    }
 }
 
 /// The domain-aware Bayesian optimizer (Section V).
@@ -86,9 +104,11 @@ impl FittedSurrogate {
 /// `Dabo` owns three things: the [`FeatureMap`] carrying the domain
 /// information, a candidate *sampler* that draws random legal points from
 /// parameter space, and the observation history. Each `suggest` call
-/// refits the surrogate on the (standardized) features of everything
-/// observed so far, draws a fresh candidate batch, and returns the
-/// candidate minimizing the lower confidence bound.
+/// refits the surrogate from streaming sufficient statistics (for the
+/// linear surrogate: `O(d^2)` per observation, `O(d^3)` per refit,
+/// independent of history length — see [`SuffStats`]), draws a fresh
+/// candidate batch, ranks it with one batched triangular solve, and
+/// returns the candidate minimizing the lower confidence bound.
 ///
 /// See the crate-level example for usage; [`crate::run_minimization`]
 /// drives the ask/tell loop.
@@ -100,8 +120,23 @@ pub struct Dabo<P, M> {
     features: Vec<Vec<f64>>,
     costs_raw: Vec<f64>,
     best: Option<(usize, f64)>,
+    /// Largest finite raw cost seen — anchors the retroactive penalty
+    /// target without scanning the history.
+    worst_finite: f64,
+    /// Raw-moment sufficient statistics feeding the incremental refit.
+    stats: SuffStats,
     fitted: Option<(FittedSurrogate, Standardizer)>,
     observations_at_fit: usize,
+    timers: SurrogateTimers,
+    // Acquisition scratch, reused across `suggest` calls so the steady
+    // state allocates nothing beyond the per-candidate feature Vecs.
+    cand_raw: Matrix,
+    cand_z: Matrix,
+    cand_points: Vec<P>,
+    preds: Vec<(f64, f64)>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    predict_scratch: PredictScratch,
 }
 
 impl<P, M: FeatureMap<P>> Dabo<P, M> {
@@ -112,6 +147,7 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
         feature_map: M,
         sampler: impl FnMut(&mut dyn RngCore) -> P + 'static,
     ) -> Self {
+        let stats = SuffStats::new(feature_map.dim());
         Dabo {
             config,
             feature_map,
@@ -120,8 +156,18 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
             features: Vec::new(),
             costs_raw: Vec::new(),
             best: None,
+            worst_finite: f64::NEG_INFINITY,
+            stats,
             fitted: None,
             observations_at_fit: 0,
+            timers: SurrogateTimers::default(),
+            cand_raw: Matrix::default(),
+            cand_z: Matrix::default(),
+            cand_points: Vec::new(),
+            preds: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+            predict_scratch: PredictScratch::default(),
         }
     }
 
@@ -172,6 +218,24 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
         }
     }
 
+    /// Infeasible points get a penalty target just above the worst finite
+    /// observation; a fixed astronomical penalty would dominate the
+    /// regression and flatten the surrogate over the valid region. The
+    /// target is *retroactive* — it moves as worse finite costs arrive —
+    /// which is why the sufficient statistics keep infeasible `x`-moments
+    /// separate and fold the penalty in only here.
+    fn penalty_target(&self) -> f64 {
+        if self.worst_finite.is_finite() {
+            if self.config.log_cost {
+                self.target(self.worst_finite) + 2.0
+            } else {
+                self.target(self.worst_finite) * 10.0
+            }
+        } else {
+            self.target(self.config.penalty_cost)
+        }
+    }
+
     fn refit(&mut self) {
         if self.costs_raw.is_empty() {
             return;
@@ -180,51 +244,47 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
         if self.fitted.is_some() && stale < self.config.refit_every {
             return;
         }
-        let st = Standardizer::fit(&self.features);
-        let xs = st.transform_all(&self.features);
-        // Infeasible points get a penalty target just above the worst
-        // finite observation; a fixed astronomical penalty would dominate
-        // the regression and flatten the surrogate over the valid region.
-        let worst_finite = self
-            .costs_raw
-            .iter()
-            .copied()
-            .filter(|c| c.is_finite())
-            .fold(f64::NEG_INFINITY, f64::max);
-        let penalty_target = if worst_finite.is_finite() {
-            if self.config.log_cost {
-                self.target(worst_finite) + 2.0
-            } else {
-                self.target(worst_finite) * 10.0
-            }
-        } else {
-            self.target(self.config.penalty_cost)
-        };
-        let ys: Vec<f64> = self
-            .costs_raw
-            .iter()
-            .map(|&c| {
-                if c.is_finite() {
-                    self.target(c)
-                } else {
-                    penalty_target
-                }
-            })
-            .collect();
+        let started = Instant::now();
+        let penalty_target = self.penalty_target();
         let fitted = match self.config.surrogate {
             SurrogateKind::Linear => {
-                let mut m = BayesianLinearModel::new(10.0, 1e-2);
-                m.fit(&xs, &ys).ok().map(|()| FittedSurrogate::Linear(m))
+                // Incremental path: derive the standardized posterior
+                // system from the running moments — O(d^3), independent of
+                // how many observations have accumulated.
+                self.stats
+                    .posterior_system(penalty_target, 10.0, 1e-2)
+                    .and_then(|sys| {
+                        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+                        m.fit_from_precision(&sys.precision, &sys.rhs, sys.y_mean, sys.y_std)
+                            .ok()
+                            .map(|()| (FittedSurrogate::Linear(m), sys.standardizer))
+                    })
             }
             SurrogateKind::Gp(kernel) => {
+                // The kernelized path is O(N^3) regardless, so rebuilding
+                // targets and standardized rows is not its bottleneck.
+                let st = Standardizer::fit(&self.features);
+                let xs = st.transform_all(&self.features);
+                let ys: Vec<f64> = self
+                    .costs_raw
+                    .iter()
+                    .map(|&c| {
+                        if c.is_finite() {
+                            self.target(c)
+                        } else {
+                            penalty_target
+                        }
+                    })
+                    .collect();
                 let mut m = GaussianProcess::new(kernel, 1e-2);
-                m.fit(&xs, &ys).ok().map(|()| FittedSurrogate::Gp(m))
+                m.fit(&xs, &ys).ok().map(|()| (FittedSurrogate::Gp(m), st))
             }
         };
-        if let Some(model) = fitted {
-            self.fitted = Some((model, st));
+        if let Some(model_and_st) = fitted {
+            self.fitted = Some(model_and_st);
             self.observations_at_fit = self.costs_raw.len();
         }
+        self.timers.fit += started.elapsed();
     }
 }
 
@@ -235,22 +295,52 @@ impl<P, M: FeatureMap<P>> Search<P> for Dabo<P, M> {
             return (self.sampler)(rng);
         }
         self.refit();
-        let Some((model, st)) = self.fitted.as_ref() else {
+        if self.fitted.is_none() {
             return (self.sampler)(rng);
-        };
+        }
+        let started = Instant::now();
+        let batch = self.config.batch_size;
+        let d = self.feature_map.dim();
         // Batch acquisition: sample candidates in parameter space,
-        // transform to feature space, rank by LCB.
-        let mut candidates = Vec::with_capacity(self.config.batch_size);
-        let mut preds = Vec::with_capacity(self.config.batch_size);
-        for _ in 0..self.config.batch_size {
+        // transform to feature space, rank by LCB. The feature rows go
+        // straight into reusable matrices and the whole batch is predicted
+        // with one blocked triangular solve.
+        self.cand_raw.reset(batch, d);
+        self.cand_z.reset(batch, d);
+        self.cand_points.clear();
+        let (model, st) = self.fitted.as_ref().expect("refit succeeded");
+        for i in 0..batch {
             let p = (self.sampler)(rng);
-            let z = st.transform(&self.feature_map.features(&p));
-            preds.push(model.predict(&z));
-            candidates.push(p);
+            self.cand_raw
+                .row_mut(i)
+                .copy_from_slice(&self.feature_map.features(&p));
+            st.transform_into(self.cand_raw.row(i), self.cand_z.row_mut(i));
+            self.cand_points.push(p);
+        }
+        self.means.resize(batch, 0.0);
+        self.stds.resize(batch, 0.0);
+        model.predict_batch_into(
+            &self.cand_z,
+            &mut self.predict_scratch,
+            &mut self.means,
+            &mut self.stds,
+        );
+        // Exact-duplicate candidates (by raw feature vector) are rejected
+        // within the batch before ranking: the duplicate's prediction is
+        // poisoned to NaN, which the argmin/argmax helpers filter out —
+        // small sampler spaces no longer burn acquisition slots on copies.
+        self.preds.clear();
+        for i in 0..batch {
+            let dup = (0..i).any(|j| self.cand_raw.row(j) == self.cand_raw.row(i));
+            if dup {
+                self.preds.push((f64::NAN, f64::NAN));
+            } else {
+                self.preds.push((self.means[i], self.stds[i]));
+            }
         }
         let idx = match self.config.acquisition {
             Acquisition::LowerConfidenceBound => {
-                argmin_lcb(&preds, self.config.kappa).expect("non-empty batch")
+                argmin_lcb(&self.preds, self.config.kappa).expect("non-empty batch")
             }
             Acquisition::ExpectedImprovement => {
                 // Incumbent in target (log) space.
@@ -258,15 +348,23 @@ impl<P, M: FeatureMap<P>> Search<P> for Dabo<P, M> {
                     .best
                     .map(|(_, c)| self.target(c))
                     .unwrap_or(f64::INFINITY);
-                argmax_ei(&preds, incumbent).expect("non-empty batch")
+                argmax_ei(&self.preds, incumbent).expect("non-empty batch")
             }
         };
-        candidates.swap_remove(idx)
+        let chosen = self.cand_points.swap_remove(idx);
+        self.timers.acquisition += started.elapsed();
+        chosen
     }
 
     fn observe(&mut self, point: P, cost: f64) {
         let feats = self.feature_map.features(&point);
         debug_assert_eq!(feats.len(), self.feature_map.dim());
+        // O(d^2) moment update; the refit no longer touches the history.
+        let target = cost.is_finite().then(|| self.target(cost));
+        self.stats.observe(&feats, target);
+        if cost.is_finite() && cost > self.worst_finite {
+            self.worst_finite = cost;
+        }
         let idx = self.points.len();
         self.points.push(point);
         self.features.push(feats);
@@ -282,6 +380,10 @@ impl<P, M: FeatureMap<P>> Search<P> for Dabo<P, M> {
 
     fn history(&self) -> &[f64] {
         &self.costs_raw
+    }
+
+    fn surrogate_timers(&self) -> Option<SurrogateTimers> {
+        Some(self.timers)
     }
 }
 
@@ -417,6 +519,71 @@ mod tests {
         let mut opt = make(cfg);
         let t = run_minimization(&mut opt, &mut rng, 40, |x| (x - 2.0).abs() + 0.1);
         assert!(t.final_best().unwrap() < 2.0);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_rejected_within_batch() {
+        // A two-point sampler floods every 64-candidate batch with
+        // duplicates; suggest must still terminate and return one of the
+        // two legal points (the duplicates' predictions are poisoned to
+        // NaN before ranking).
+        let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+        let mut opt = Dabo::new(DaboConfig::default(), fm, |rng: &mut dyn RngCore| {
+            if rng.gen_range(0..2) == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..20 {
+            let x = opt.suggest(&mut rng);
+            assert!(x == 0.0 || x == 1.0);
+            opt.observe(x, x + 1.0);
+        }
+        assert_eq!(opt.best().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn constant_sampler_survives_all_duplicate_batch() {
+        // Every candidate identical: all but the first prediction become
+        // NaN and the argmin falls back deterministically.
+        let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+        let mut opt = Dabo::new(DaboConfig::default(), fm, |_: &mut dyn RngCore| 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..15 {
+            let x = opt.suggest(&mut rng);
+            assert_eq!(x, 0.5);
+            opt.observe(x, 1.0);
+        }
+    }
+
+    #[test]
+    fn surrogate_timers_accumulate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut opt = make(DaboConfig::default());
+        assert_eq!(
+            opt.surrogate_timers(),
+            Some(crate::search::SurrogateTimers::default())
+        );
+        let _ = run_minimization(&mut opt, &mut rng, 30, |x| (x - 1.0).abs());
+        let timers = opt.surrogate_timers().unwrap();
+        assert!(
+            timers.fit + timers.acquisition > std::time::Duration::ZERO,
+            "{timers:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_fit_matches_legacy_trajectory_shape() {
+        // The incremental refit replaces the from-scratch scan; the
+        // optimizer must still converge on the quadratic with the tight
+        // default budget (numerical drift vs the old path is expected,
+        // optimizer quality is not allowed to regress).
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let mut opt = make(DaboConfig::default());
+        let t = run_minimization(&mut opt, &mut rng, 50, |x| (x - 4.0) * (x - 4.0) + 1.0);
+        assert!(t.final_best().unwrap() < 3.0);
     }
 
     #[test]

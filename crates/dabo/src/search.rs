@@ -1,5 +1,7 @@
 //! The ask/tell search interface shared by every algorithm.
 
+use std::time::Duration;
+
 use rand::RngCore;
 
 /// A boxed parameter-space sampler: draws one random legal point.
@@ -13,6 +15,27 @@ pub type MutateOp<P> = Box<dyn FnMut(&mut dyn RngCore, &P) -> P>;
 
 /// A boxed binary recombination operator (GA crossover).
 pub type CrossoverOp<P> = Box<dyn FnMut(&mut dyn RngCore, &P, &P) -> P>;
+
+/// Wall-clock spent inside a model-based search, split into the two
+/// surrogate phases: fitting (refits) and acquisition (candidate batch
+/// generation, prediction and ranking). Accumulates monotonically over the
+/// searcher's lifetime; drivers diff or drain it into their own phase
+/// accounting so fit-vs-acquisition-vs-evaluation time is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SurrogateTimers {
+    /// Time spent refitting the surrogate.
+    pub fit: Duration,
+    /// Time spent generating, predicting and ranking candidate batches.
+    pub acquisition: Duration,
+}
+
+impl SurrogateTimers {
+    /// Elementwise sum of two timer snapshots.
+    pub fn accumulate(&mut self, other: SurrogateTimers) {
+        self.fit += other.fit;
+        self.acquisition += other.acquisition;
+    }
+}
 
 /// A black-box minimizer over parameter type `P`.
 ///
@@ -35,6 +58,14 @@ pub trait Search<P> {
     /// as `f64::INFINITY`). Drives the Figure 10 convergence curves and
     /// Figure 11 CDFs.
     fn history(&self) -> &[f64];
+
+    /// Cumulative surrogate-phase wall clock, when the algorithm is
+    /// model-based. Model-free searchers (random, GA) keep the default
+    /// `None`; drivers harvest `Some` values into the evaluation engine's
+    /// phase counters.
+    fn surrogate_timers(&self) -> Option<SurrogateTimers> {
+        None
+    }
 }
 
 /// A convergence trace: best-so-far cost after each evaluation.

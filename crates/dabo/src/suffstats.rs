@@ -1,0 +1,425 @@
+//! Streaming sufficient statistics for the incremental daBO refit.
+//!
+//! The from-scratch fit re-standardizes all `N` feature rows and rebuilds
+//! the `(d+1)x(d+1)` precision from them on every refit — `O(N d^2)` per
+//! call, `O(T^2 d^2)` over a `T`-evaluation search with `refit_every: 1`.
+//! This module replaces that scan with raw-moment accumulators updated in
+//! `O(d^2)` per [`SuffStats::observe`] call, from which the
+//! standardized-space posterior system is derived at refit time in
+//! `O(d^3)` — independent of `N`.
+//!
+//! Two Welford-style moment groups are kept, not one: infeasible points
+//! have no cost of their own — daBO assigns them a *retroactive* penalty
+//! target just above the worst finite observation, which moves as new
+//! finite costs arrive. Folding a stale penalty into a single accumulator
+//! would bake that moving target in. Instead the feasible group carries
+//! full `(x, y)` moments, the infeasible group carries `x` moments only,
+//! and the two are merged with Chan's parallel-combine formulas at refit
+//! time against whatever the penalty target currently is (all infeasible
+//! points share one `y`, so their within-group `y` variance and `x`-`y`
+//! co-moments are exactly zero).
+//!
+//! The key identity making the standardized system cheap: standardizing
+//! over the same data the moments describe gives `sum_i z_ij = 0` exactly,
+//! so the intercept row of the precision reduces to `n / noise` on the
+//! diagonal and the prior elsewhere, and the intercept entry of the
+//! right-hand side vanishes.
+
+use spotlight_gp::Matrix;
+
+use crate::features::Standardizer;
+
+/// Welford accumulator for one group of observations: running means,
+/// centered scatter `S = sum (x - mu)(x - mu)^T`, and (optionally unused)
+/// `y` moments `m2_y = sum (y - y_bar)^2`, `c_xy = sum (x - mu)(y - y_bar)`.
+#[derive(Debug, Clone)]
+struct MomentGroup {
+    n: usize,
+    mean_x: Vec<f64>,
+    /// Lower-triangle-mirrored centered scatter, `d x d`.
+    scatter: Matrix,
+    mean_y: f64,
+    m2_y: f64,
+    c_xy: Vec<f64>,
+    /// Scratch for the pre-update deltas, reused across pushes.
+    dx_old: Vec<f64>,
+    dx_new: Vec<f64>,
+}
+
+impl MomentGroup {
+    fn new(dim: usize) -> Self {
+        MomentGroup {
+            n: 0,
+            mean_x: vec![0.0; dim],
+            scatter: Matrix::zeros(dim, dim),
+            mean_y: 0.0,
+            m2_y: 0.0,
+            c_xy: vec![0.0; dim],
+            dx_old: vec![0.0; dim],
+            dx_new: vec![0.0; dim],
+        }
+    }
+
+    /// One Welford step over `(x, y)` — `O(d^2)` for the scatter update.
+    fn push(&mut self, x: &[f64], y: f64) {
+        debug_assert_eq!(x.len(), self.mean_x.len());
+        self.n += 1;
+        let n = self.n as f64;
+        for (j, &v) in x.iter().enumerate() {
+            self.dx_old[j] = v - self.mean_x[j];
+            self.mean_x[j] += self.dx_old[j] / n;
+            self.dx_new[j] = v - self.mean_x[j];
+        }
+        let dy_old = y - self.mean_y;
+        self.mean_y += dy_old / n;
+        let dy_new = y - self.mean_y;
+        self.m2_y += dy_old * dy_new;
+        for j in 0..x.len() {
+            self.c_xy[j] += self.dx_old[j] * dy_new;
+            // Mirror the lower triangle so the scatter stays exactly
+            // symmetric despite rounding.
+            for k in 0..=j {
+                let v = self.dx_old[j] * self.dx_new[k];
+                self.scatter[(j, k)] += v;
+                if j != k {
+                    self.scatter[(k, j)] += v;
+                }
+            }
+        }
+    }
+}
+
+/// Combined (feasible + infeasible) raw moments for the whole history,
+/// maintained in `O(d^2)` per observation.
+///
+/// # Examples
+///
+/// ```
+/// use spotlight_dabo::SuffStats;
+///
+/// let mut stats = SuffStats::new(1);
+/// stats.observe(&[1.0], Some(2.0));
+/// stats.observe(&[3.0], Some(6.0));
+/// stats.observe(&[9.0], None); // infeasible: y assigned at refit time
+/// let sys = stats.posterior_system(10.0, 10.0, 1e-2).unwrap();
+/// assert_eq!(sys.precision.rows(), 2); // feature + intercept
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffStats {
+    dim: usize,
+    finite: MomentGroup,
+    infeasible: MomentGroup,
+}
+
+/// The standardized-space posterior system derived from [`SuffStats`]:
+/// everything [`spotlight_gp::BayesianLinearModel::fit_from_precision`]
+/// needs, plus the matching feature [`Standardizer`].
+#[derive(Debug, Clone)]
+pub struct PosteriorSystem {
+    /// Full posterior precision `A = Z^T Z / noise + I / prior`,
+    /// `(d+1) x (d+1)` with the intercept last.
+    pub precision: Matrix,
+    /// Right-hand side `b = Z^T y_n / noise`.
+    pub rhs: Vec<f64>,
+    /// Target mean over the combined history.
+    pub y_mean: f64,
+    /// Target standard deviation (floored at `1e-12`).
+    pub y_std: f64,
+    /// Feature standardizer matching the `Z` the system was built in.
+    pub standardizer: Standardizer,
+}
+
+impl SuffStats {
+    /// Empty statistics over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        SuffStats {
+            dim,
+            finite: MomentGroup::new(dim),
+            infeasible: MomentGroup::new(dim),
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total observations absorbed.
+    pub fn len(&self) -> usize {
+        self.finite.n + self.infeasible.n
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Absorbs one observation in `O(d^2)`. `target` is the (possibly
+    /// log-transformed) cost for feasible points, `None` for infeasible
+    /// ones — their target is chosen retroactively at refit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong arity.
+    pub fn observe(&mut self, x: &[f64], target: Option<f64>) {
+        assert_eq!(x.len(), self.dim, "feature arity mismatch");
+        match target {
+            Some(y) => self.finite.push(x, y),
+            // The infeasible group only needs x-moments; its y is the
+            // shared penalty target supplied to `posterior_system`.
+            None => self.infeasible.push(x, 0.0),
+        }
+    }
+
+    /// Derives the standardized posterior system for the current history,
+    /// assigning every infeasible observation the target `penalty_target`.
+    /// `O(d^2)` work (the `O(d^3)` Cholesky happens in the model fit).
+    ///
+    /// Returns `None` when nothing has been observed yet.
+    pub fn posterior_system(
+        &self,
+        penalty_target: f64,
+        prior_variance: f64,
+        noise_variance: f64,
+    ) -> Option<PosteriorSystem> {
+        let n_f = self.finite.n as f64;
+        let n_i = self.infeasible.n as f64;
+        let n = n_f + n_i;
+        if n == 0.0 {
+            return None;
+        }
+        let d = self.dim;
+        let p = penalty_target;
+
+        // Chan's parallel combine of the two groups. The infeasible group
+        // contributes zero y-variance and zero x-y co-moment of its own.
+        let cross = if self.finite.n == 0 || self.infeasible.n == 0 {
+            0.0
+        } else {
+            n_f * n_i / n
+        };
+        let mut mean_x = vec![0.0; d];
+        let mut delta = vec![0.0; d];
+        for j in 0..d {
+            mean_x[j] = (n_f * self.finite.mean_x[j] + n_i * self.infeasible.mean_x[j]) / n;
+            delta[j] = self.finite.mean_x[j] - self.infeasible.mean_x[j];
+        }
+        let y_mean = (n_f * self.finite.mean_y + n_i * p) / n;
+        let dy = self.finite.mean_y - p;
+        let m2_y = self.finite.m2_y + cross * dy * dy;
+        let y_std = (m2_y / n).sqrt().max(1e-12);
+
+        let mut stds = vec![0.0; d];
+        for j in 0..d {
+            let s_jj = self.finite.scatter[(j, j)]
+                + self.infeasible.scatter[(j, j)]
+                + cross * delta[j] * delta[j];
+            stds[j] = (s_jj / n).sqrt().max(1e-12);
+        }
+
+        // Standardized-space precision and RHS. With z standardized over
+        // this exact history, sum_i z_ij = 0 and sum_i y_n,i = 0, so the
+        // intercept row/column carry no data cross-terms.
+        let mut precision = Matrix::zeros(d + 1, d + 1);
+        let mut rhs = vec![0.0; d + 1];
+        for j in 0..d {
+            for k in 0..=j {
+                let s_jk = self.finite.scatter[(j, k)]
+                    + self.infeasible.scatter[(j, k)]
+                    + cross * delta[j] * delta[k];
+                let v = s_jk / (stds[j] * stds[k]) / noise_variance;
+                precision[(j, k)] = v;
+                precision[(k, j)] = v;
+            }
+            let c_j = self.finite.c_xy[j] + cross * delta[j] * dy;
+            rhs[j] = c_j / (stds[j] * y_std) / noise_variance;
+        }
+        precision[(d, d)] = n / noise_variance;
+        for j in 0..=d {
+            precision[(j, j)] += 1.0 / prior_variance;
+        }
+
+        Some(PosteriorSystem {
+            precision,
+            rhs,
+            y_mean,
+            y_std,
+            standardizer: Standardizer::from_moments(mean_x, stds),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotlight_gp::{BayesianLinearModel, Surrogate};
+
+    /// From-scratch reference: standardize rows, map infeasible targets to
+    /// the penalty, fit the model the way the old `Dabo::refit` did.
+    fn reference_fit(
+        rows: &[Vec<f64>],
+        targets: &[Option<f64>],
+        penalty: f64,
+    ) -> BayesianLinearModel {
+        let st = Standardizer::fit(rows);
+        let xs = st.transform_all(rows);
+        let ys: Vec<f64> = targets.iter().map(|t| t.unwrap_or(penalty)).collect();
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit(&xs, &ys).unwrap();
+        m
+    }
+
+    fn incremental_fit(
+        rows: &[Vec<f64>],
+        targets: &[Option<f64>],
+        penalty: f64,
+    ) -> BayesianLinearModel {
+        let mut stats = SuffStats::new(rows[0].len());
+        for (x, t) in rows.iter().zip(targets) {
+            stats.observe(x, *t);
+        }
+        let sys = stats.posterior_system(penalty, 10.0, 1e-2).unwrap();
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit_from_precision(&sys.precision, &sys.rhs, sys.y_mean, sys.y_std)
+            .unwrap();
+        m
+    }
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() / scale < 1e-8, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn matches_from_scratch_fit_without_infeasible() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i as f64) * 0.3 - 4.0])
+            .collect();
+        let targets: Vec<Option<f64>> =
+            rows.iter().map(|r| Some(2.0 * r[0] - r[1] + 0.5)).collect();
+        let reference = reference_fit(&rows, &targets, 99.0);
+        let incremental = incremental_fit(&rows, &targets, 99.0);
+        for (a, b) in reference.weights().iter().zip(incremental.weights()) {
+            assert_close(*a, *b, "weight");
+        }
+        let (rm, rs) = reference.predict(&[3.0, 1.0]);
+        let (im, is) = incremental.predict(&[3.0, 1.0]);
+        assert_close(rm, im, "mean");
+        assert_close(rs, is, "std");
+    }
+
+    #[test]
+    fn matches_from_scratch_fit_with_infeasible_mixture() {
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 5) as f64 - 2.0, (i * i % 11) as f64])
+            .collect();
+        let targets: Vec<Option<f64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i % 4 == 0 {
+                    None
+                } else {
+                    Some(r[0] + 0.1 * r[1])
+                }
+            })
+            .collect();
+        // Deliberately re-derive with two different penalties: the same
+        // accumulated stats must serve both (retroactive penalty target).
+        for penalty in [5.0, 42.0] {
+            let reference = reference_fit(&rows, &targets, penalty);
+            let incremental = incremental_fit(&rows, &targets, penalty);
+            let (rm, _) = reference.predict(&[0.5, 2.0]);
+            let (im, _) = incremental.predict(&[0.5, 2.0]);
+            assert_close(rm, im, "mean under penalty");
+        }
+    }
+
+    #[test]
+    fn all_infeasible_history_still_fits() {
+        let mut stats = SuffStats::new(2);
+        stats.observe(&[1.0, 2.0], None);
+        stats.observe(&[3.0, -1.0], None);
+        let sys = stats.posterior_system(7.0, 10.0, 1e-2).unwrap();
+        assert_eq!(sys.y_mean, 7.0);
+        assert_eq!(sys.y_std, 1e-12); // zero variance floors
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit_from_precision(&sys.precision, &sys.rhs, sys.y_mean, sys.y_std)
+            .unwrap();
+        assert!(m.predict(&[0.0, 0.0]).0.is_finite());
+    }
+
+    #[test]
+    fn empty_stats_yield_no_system() {
+        let stats = SuffStats::new(3);
+        assert!(stats.is_empty());
+        assert!(stats.posterior_system(1.0, 1.0, 1.0).is_none());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn incremental_fit_matches_from_scratch_on_random_data(
+            vals in proptest::collection::vec(-5.0f64..5.0, 24..80),
+            mask in proptest::collection::vec(0.0f64..1.0, 12),
+            penalty in 1.0f64..50.0,
+        ) {
+            use proptest::prelude::prop_assert;
+
+            // Two features per row, nudged by the row index so columns
+            // cannot collapse to a constant (which would pit two floored
+            // 1e-12 standard deviations against each other and amplify
+            // rounding noise beyond any meaningful tolerance).
+            let rows: Vec<Vec<f64>> = vals
+                .chunks_exact(2)
+                .enumerate()
+                .map(|(i, c)| vec![c[0] + i as f64 * 1e-3, c[1] - i as f64 * 1e-3])
+                .collect();
+            let targets: Vec<Option<f64>> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    // Row 0 always feasible so a finite target exists;
+                    // ~20% of the rest are infeasible.
+                    if i > 0 && mask[i % mask.len()] < 0.2 {
+                        None
+                    } else {
+                        Some(1.7 * r[0] - 0.4 * r[1] + 0.25)
+                    }
+                })
+                .collect();
+            let reference = reference_fit(&rows, &targets, penalty);
+            let incremental = incremental_fit(&rows, &targets, penalty);
+            for (a, b) in reference.weights().iter().zip(incremental.weights()) {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                prop_assert!((a - b).abs() / scale < 1e-8, "weights {a} vs {b}");
+            }
+            for probe in [[0.0, 0.0], [2.5, -1.0], [-4.0, 4.0]] {
+                let (rm, rs) = reference.predict(&probe);
+                let (im, is) = incremental.predict(&probe);
+                let ms = rm.abs().max(im.abs()).max(1.0);
+                let ss = rs.abs().max(is.abs()).max(1.0);
+                prop_assert!((rm - im).abs() / ms < 1e-8, "mean {rm} vs {im}");
+                prop_assert!((rs - is).abs() / ss < 1e-8, "std {rs} vs {is}");
+            }
+        }
+    }
+
+    #[test]
+    fn standardizer_matches_batch_fit() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 30.0], vec![6.0, -5.0]];
+        let mut stats = SuffStats::new(2);
+        for r in &rows {
+            stats.observe(r, Some(1.0));
+        }
+        let sys = stats.posterior_system(0.0, 1.0, 1.0).unwrap();
+        let batch = Standardizer::fit(&rows);
+        let probe = [3.0, 4.0];
+        let a = sys.standardizer.transform(&probe);
+        let b = batch.transform(&probe);
+        for (x, y) in a.iter().zip(&b) {
+            assert_close(*x, *y, "standardizer");
+        }
+    }
+}

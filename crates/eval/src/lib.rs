@@ -473,14 +473,21 @@ impl EvalEngine {
     pub fn time_phase<T>(&self, phase: &'static str, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
-        let elapsed = start.elapsed();
+        self.add_phase_wall(phase, start.elapsed());
+        out
+    }
+
+    /// Charges an externally measured duration to the named phase. Used by
+    /// drivers that harvest timers a component accumulated on its own —
+    /// e.g. the daBO surrogate's fit/acquisition split, which is measured
+    /// inside the searcher and folded in here after the search loop.
+    pub fn add_phase_wall(&self, phase: &'static str, elapsed: Duration) {
         *self
             .phase_wall
             .lock()
             .unwrap()
             .entry(phase)
             .or_insert(Duration::ZERO) += elapsed;
-        out
     }
 
     /// Logical queries answered so far.
@@ -684,6 +691,23 @@ mod tests {
         engine.reset_stats();
         let stats = engine.stats();
         assert_eq!(stats, EvalStats::default());
+    }
+
+    #[test]
+    fn add_phase_wall_folds_external_timers_in() {
+        let engine = EvalEngine::maestro();
+        engine.add_phase_wall("surrogate_fit", Duration::from_millis(3));
+        engine.add_phase_wall("acquisition", Duration::from_millis(2));
+        engine.add_phase_wall("surrogate_fit", Duration::from_millis(1));
+        let stats = engine.stats();
+        // BTreeMap order: acquisition before surrogate_fit.
+        assert_eq!(
+            stats.phase_wall,
+            vec![
+                ("acquisition".to_string(), Duration::from_millis(2)),
+                ("surrogate_fit".to_string(), Duration::from_millis(4)),
+            ]
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::kernel::Kernel;
 use crate::matrix::Matrix;
-use crate::{FitError, Surrogate};
+use crate::{FitError, PredictScratch, Surrogate};
 
 /// Gaussian-process regression with an explicit kernel (Section V-A's
 /// surrogate model).
@@ -90,26 +90,20 @@ impl Surrogate for GaussianProcess {
         let std = var.sqrt().max(1e-12);
         let yn: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
 
-        // K + (noise + jitter) I, escalating jitter until PD.
-        let mut jitter = 1e-10;
-        let chol = loop {
-            let mut k = Matrix::zeros(n, n);
-            for i in 0..n {
-                for j in 0..=i {
-                    let v = self.kernel.eval(&x[i], &x[j]);
-                    k[(i, j)] = v;
-                    k[(j, i)] = v;
-                }
-                k[(i, i)] += self.noise + jitter;
+        // K + noise I, built once; the jitter ladder (1e-10 → 1e-6) retries
+        // the Cholesky on the same matrix instead of rebuilding the kernel.
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel.eval(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
             }
-            if let Some(l) = k.cholesky() {
-                break l;
-            }
-            jitter *= 100.0;
-            if jitter > 1.0 {
-                return Err(FitError::NotPositiveDefinite);
-            }
-        };
+            k[(i, i)] += self.noise;
+        }
+        let (chol, _jitter) = k
+            .cholesky_with_jitter()
+            .ok_or(FitError::NotPositiveDefinite)?;
 
         let z = chol.forward_solve(&yn);
         self.alpha = chol.backward_solve_transposed(&z);
@@ -133,6 +127,41 @@ impl Surrogate for GaussianProcess {
         let kxx = self.kernel.eval(x, x) + self.noise;
         let var_n = (kxx - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
         (mean_n * self.y_std + self.y_mean, var_n.sqrt() * self.y_std)
+    }
+
+    fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut PredictScratch,
+        means: &mut [f64],
+        stds: &mut [f64],
+    ) {
+        let chol = self.chol.as_ref().expect("predict before fit");
+        let batch = x.rows();
+        let n = self.x_train.len();
+        assert!(means.len() >= batch && stds.len() >= batch);
+        // Kernel rows k* for every candidate, then one blocked solve.
+        scratch.work.reset(batch, n);
+        for i in 0..batch {
+            let xi = x.row(i);
+            let dst = scratch.work.row_mut(i);
+            for (d, xt) in dst.iter_mut().zip(&self.x_train) {
+                *d = self.kernel.eval(xt, xi);
+            }
+        }
+        for (i, mean) in means.iter_mut().enumerate().take(batch) {
+            let kstar = scratch.work.row(i);
+            *mean = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        }
+        chol.solve_triangular_batch(&mut scratch.work);
+        for i in 0..batch {
+            let v = scratch.work.row(i);
+            let xi = x.row(i);
+            let kxx = self.kernel.eval(xi, xi) + self.noise;
+            let var_n = (kxx - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
+            means[i] = means[i] * self.y_std + self.y_mean;
+            stds[i] = var_n.sqrt() * self.y_std;
+        }
     }
 }
 
@@ -217,6 +246,25 @@ mod tests {
     fn predict_before_fit_panics() {
         let gp = GaussianProcess::new(Kernel::linear(), 1e-6);
         let _ = gp.predict(&[1.0]);
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_scalar() {
+        let xs = grid(23);
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 1.3).cos()).collect();
+        let mut gp = GaussianProcess::new(Kernel::matern52(0.8), 1e-6);
+        gp.fit(&xs, &ys).unwrap();
+        let cands: Vec<Vec<f64>> = (0..11).map(|i| vec![i as f64 * 0.37]).collect();
+        let batch = Matrix::from_rows(&cands);
+        let mut scratch = PredictScratch::default();
+        let mut means = vec![0.0; 11];
+        let mut stds = vec![0.0; 11];
+        gp.predict_batch_into(&batch, &mut scratch, &mut means, &mut stds);
+        for (i, c) in cands.iter().enumerate() {
+            let (sm, ss) = gp.predict(c);
+            assert_eq!(means[i], sm, "mean row {i}");
+            assert_eq!(stds[i], ss, "std row {i}");
+        }
     }
 
     #[test]

@@ -48,6 +48,18 @@ pub use kernel::Kernel;
 pub use linear::BayesianLinearModel;
 pub use matrix::Matrix;
 
+/// Reusable scratch buffers for [`Surrogate::predict_batch_into`].
+///
+/// Holds the candidate working matrix between calls so the acquisition
+/// hot path allocates nothing in steady state: [`Matrix::reset`] reuses
+/// the backing `Vec` once it has grown to the batch size.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    /// Batch working storage (augmented features / kernel rows, then the
+    /// in-place triangular-solve result). Sized by the implementation.
+    pub work: Matrix,
+}
+
 /// A probabilistic regression surrogate: fits `(x, y)` pairs and predicts
 /// a posterior mean and standard deviation at new points.
 ///
@@ -69,6 +81,36 @@ pub trait Surrogate {
     /// Implementations may panic if called before a successful
     /// [`Surrogate::fit`] or with a feature vector of the wrong length.
     fn predict(&self, x: &[f64]) -> (f64, f64);
+
+    /// Batched posterior prediction: fills `means[i]` and `stds[i]` for
+    /// every row `i` of `x` (one candidate feature vector per row).
+    ///
+    /// `scratch` is caller-owned working storage; reusing it across calls
+    /// makes the steady-state batch allocation-free. Implementations must
+    /// produce results bit-identical to calling [`Surrogate::predict`] per
+    /// row — the default does exactly that; [`BayesianLinearModel`] and
+    /// [`GaussianProcess`] override it with one blocked triangular solve
+    /// over the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` or `stds` are shorter than `x.rows()`, or under
+    /// the same conditions as [`Surrogate::predict`].
+    fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut PredictScratch,
+        means: &mut [f64],
+        stds: &mut [f64],
+    ) {
+        let _ = scratch;
+        assert!(means.len() >= x.rows() && stds.len() >= x.rows());
+        for i in 0..x.rows() {
+            let (m, s) = self.predict(x.row(i));
+            means[i] = m;
+            stds[i] = s;
+        }
+    }
 }
 
 /// Error returned when fitting a surrogate fails.

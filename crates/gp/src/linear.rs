@@ -2,7 +2,7 @@
 //! computed efficiently.
 
 use crate::matrix::Matrix;
-use crate::{FitError, Surrogate};
+use crate::{FitError, PredictScratch, Surrogate};
 
 /// Bayesian linear regression with a Gaussian prior on the weights.
 ///
@@ -65,6 +65,57 @@ impl BayesianLinearModel {
         &self.weight_mean
     }
 
+    /// The prior weight variance `sigma_p^2` this model was built with.
+    pub fn prior_variance(&self) -> f64 {
+        self.prior_variance
+    }
+
+    /// The observation-noise variance `sigma_n^2` this model was built with.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Fits the posterior directly from a precomputed precision matrix `a`
+    /// (the full `Phi^T Phi / sigma_n^2 + I / sigma_p^2`, intercept column
+    /// included) and right-hand side `b`, together with the target
+    /// standardization `(y_mean, y_std)` that produced them.
+    ///
+    /// This is the `O(d^3)` half of an incremental fit: callers that
+    /// maintain sufficient statistics accumulate `a`/`b` in `O(d^2)` per
+    /// observation and hand them here, skipping the `O(N d^2)` training
+    /// scan that [`Surrogate::fit`] performs. The Cholesky is retried with
+    /// the escalating jitter ladder (`1e-10` → `1e-6`) before giving up.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::Empty`] for a `0 x 0` system, [`FitError::ShapeMismatch`]
+    /// when `a` is not square or `b` has the wrong length, and
+    /// [`FitError::NotPositiveDefinite`] when even the jittered Cholesky
+    /// fails.
+    pub fn fit_from_precision(
+        &mut self,
+        a: &Matrix,
+        b: &[f64],
+        y_mean: f64,
+        y_std: f64,
+    ) -> Result<(), FitError> {
+        if a.rows() == 0 {
+            return Err(FitError::Empty);
+        }
+        if a.rows() != a.cols() || b.len() != a.rows() {
+            return Err(FitError::ShapeMismatch);
+        }
+        let (chol, _jitter) = a
+            .cholesky_with_jitter()
+            .ok_or(FitError::NotPositiveDefinite)?;
+        let z = chol.forward_solve(b);
+        self.weight_mean = chol.backward_solve_transposed(&z);
+        self.precision_chol = Some(chol);
+        self.y_mean = y_mean;
+        self.y_std = y_std;
+        Ok(())
+    }
+
     fn augment(x: &[f64]) -> Vec<f64> {
         let mut v = Vec::with_capacity(x.len() + 1);
         v.extend_from_slice(x);
@@ -109,13 +160,7 @@ impl Surrogate for BayesianLinearModel {
             a[(i, i)] += 1.0 / self.prior_variance;
         }
 
-        let chol = a.cholesky().ok_or(FitError::NotPositiveDefinite)?;
-        let z = chol.forward_solve(&b);
-        self.weight_mean = chol.backward_solve_transposed(&z);
-        self.precision_chol = Some(chol);
-        self.y_mean = mean;
-        self.y_std = std;
-        Ok(())
+        self.fit_from_precision(&a, &b, mean, std)
     }
 
     fn predict(&self, x: &[f64]) -> (f64, f64) {
@@ -126,6 +171,40 @@ impl Surrogate for BayesianLinearModel {
         let v = chol.forward_solve(&phi);
         let var_n = v.iter().map(|a| a * a).sum::<f64>() + self.noise_variance;
         (mean_n * self.y_std + self.y_mean, var_n.sqrt() * self.y_std)
+    }
+
+    fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut PredictScratch,
+        means: &mut [f64],
+        stds: &mut [f64],
+    ) {
+        let chol = self.precision_chol.as_ref().expect("predict before fit");
+        let batch = x.rows();
+        let d = x.cols();
+        assert_eq!(chol.rows(), d + 1, "feature dimension mismatch");
+        assert!(means.len() >= batch && stds.len() >= batch);
+        // Augmented candidates in the scratch matrix: [x | 1] per row.
+        scratch.work.reset(batch, d + 1);
+        for i in 0..batch {
+            let dst = scratch.work.row_mut(i);
+            dst[..d].copy_from_slice(x.row(i));
+            dst[d] = 1.0;
+        }
+        // Means before the in-place solve overwrites the features.
+        for (i, mean) in means.iter_mut().enumerate().take(batch) {
+            let phi = scratch.work.row(i);
+            *mean = phi.iter().zip(&self.weight_mean).map(|(a, b)| a * b).sum();
+        }
+        // One blocked solve: rows become v = L^{-1} phi.
+        chol.solve_triangular_batch(&mut scratch.work);
+        for i in 0..batch {
+            let v = scratch.work.row(i);
+            let var_n = v.iter().map(|a| a * a).sum::<f64>() + self.noise_variance;
+            means[i] = means[i] * self.y_std + self.y_mean;
+            stds[i] = var_n.sqrt() * self.y_std;
+        }
     }
 }
 
@@ -204,5 +283,97 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_noise_rejected() {
         let _ = BayesianLinearModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_scalar() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i / 7) as f64, (i % 3) as f64 - 1.0])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 * x[0] - 0.7 * x[1] + 0.2 * x[2] + 3.0)
+            .collect();
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit(&xs, &ys).unwrap();
+
+        let cands: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![i as f64 * 0.4, (i * 3 % 5) as f64, -(i as f64) * 0.1])
+            .collect();
+        let batch = Matrix::from_rows(&cands);
+        let mut scratch = PredictScratch::default();
+        let mut means = vec![0.0; 17];
+        let mut stds = vec![0.0; 17];
+        m.predict_batch_into(&batch, &mut scratch, &mut means, &mut stds);
+        for (i, c) in cands.iter().enumerate() {
+            let (sm, ss) = m.predict(c);
+            assert_eq!(means[i], sm, "mean row {i}");
+            assert_eq!(stds[i], ss, "std row {i}");
+        }
+    }
+
+    #[test]
+    fn fit_from_precision_matches_full_fit() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] - 2.0 * x[1] + 0.5).collect();
+        let mut full = BayesianLinearModel::new(10.0, 1e-2);
+        full.fit(&xs, &ys).unwrap();
+
+        // Rebuild the same A/b by hand and fit the second model from them.
+        let n = xs.len() as f64;
+        let mean = ys.iter().sum::<f64>() / n;
+        let var = ys.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-12);
+        let d = 3;
+        let mut a = Matrix::zeros(d, d);
+        let mut b = vec![0.0; d];
+        for (xi, &yi) in xs.iter().zip(&ys) {
+            let phi = [xi[0], xi[1], 1.0];
+            let yn = (yi - mean) / std;
+            for i in 0..d {
+                b[i] += phi[i] * yn / 1e-2;
+                for j in 0..d {
+                    a[(i, j)] += phi[i] * phi[j] / 1e-2;
+                }
+            }
+        }
+        for i in 0..d {
+            a[(i, i)] += 1.0 / 10.0;
+        }
+        let mut inc = BayesianLinearModel::new(10.0, 1e-2);
+        inc.fit_from_precision(&a, &b, mean, std).unwrap();
+        for (w_full, w_inc) in full.weights().iter().zip(inc.weights()) {
+            assert!((w_full - w_inc).abs() < 1e-9, "{w_full} vs {w_inc}");
+        }
+    }
+
+    #[test]
+    fn fit_from_precision_shape_errors() {
+        let mut m = BayesianLinearModel::new(1.0, 0.1);
+        assert_eq!(
+            m.fit_from_precision(&Matrix::zeros(0, 0), &[], 0.0, 1.0),
+            Err(FitError::Empty)
+        );
+        assert_eq!(
+            m.fit_from_precision(&Matrix::zeros(2, 2), &[1.0], 0.0, 1.0),
+            Err(FitError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn degenerate_precision_survives_via_jitter_ladder() {
+        // A = [[1, 1], [1, 1]] is numerically rank one: the bare Cholesky
+        // fails deterministically (the (1,1) residual is exactly zero), so
+        // only the jitter ladder lets the fit succeed — previously this
+        // returned NotPositiveDefinite.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(a.cholesky().is_none());
+        let mut m = BayesianLinearModel::new(1.0, 0.1);
+        m.fit_from_precision(&a, &[1.0, 1.0], 0.0, 1.0)
+            .expect("jitter ladder should rescue this fit");
+        let (p, s) = m.predict(&[2.0]);
+        assert!(p.is_finite() && s.is_finite());
     }
 }

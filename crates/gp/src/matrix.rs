@@ -77,6 +77,28 @@ impl Matrix {
         self.cols
     }
 
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Reshapes to `rows x cols` of zeros, reusing the existing allocation
+    /// when it is large enough. This is the scratch-buffer primitive behind
+    /// the zero-allocation batched predict path.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Matrix-vector product `A v`.
     ///
     /// # Panics
@@ -117,6 +139,28 @@ impl Matrix {
         Some(l)
     }
 
+    /// Lower-triangular Cholesky factor with an escalating diagonal jitter
+    /// ladder: tries the matrix as-is, then with `1e-10`, `1e-8` and `1e-6`
+    /// added to the diagonal, before giving up. Returns the factor and the
+    /// jitter that succeeded, so callers can report degradation.
+    pub fn cholesky_with_jitter(&self) -> Option<(Matrix, f64)> {
+        if let Some(l) = self.cholesky() {
+            return Some((l, 0.0));
+        }
+        let mut jittered = self.clone();
+        let mut added = 0.0;
+        for &jitter in &[1e-10, 1e-8, 1e-6] {
+            for i in 0..self.rows {
+                jittered[(i, i)] += jitter - added;
+            }
+            added = jitter;
+            if let Some(l) = jittered.cholesky() {
+                return Some((l, jitter));
+            }
+        }
+        None
+    }
+
     /// Solves `L y = b` for lower-triangular `L` (forward substitution).
     pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, b.len(), "dimension mismatch");
@@ -153,6 +197,48 @@ impl Matrix {
         let l = self.cholesky()?;
         let y = l.forward_solve(b);
         Some(l.backward_solve_transposed(&y))
+    }
+
+    /// Solves `L yᵢ = bᵢ` in place for every row `bᵢ` of `rhs` (blocked
+    /// forward substitution over a candidate matrix).
+    ///
+    /// Rows of `rhs` are processed in blocks so each row of `L` is streamed
+    /// once per block instead of once per candidate. Within one candidate
+    /// the arithmetic order is exactly [`Matrix::forward_solve`]'s, so the
+    /// result is bit-identical to solving each row individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.cols() != self.rows()` or `self` is not square.
+    pub fn solve_triangular_batch(&self, rhs: &mut Matrix) {
+        assert_eq!(self.rows, self.cols, "triangular solve needs square L");
+        assert_eq!(rhs.cols, self.rows, "dimension mismatch");
+        let n = self.rows;
+        if n == 0 {
+            return;
+        }
+        const BLOCK_ROWS: usize = 8;
+        for block in rhs.data.chunks_mut(BLOCK_ROWS * n) {
+            for i in 0..n {
+                let l_row = &self.data[i * n..i * n + i];
+                let diag = self.data[i * n + i];
+                for row in block.chunks_mut(n) {
+                    let mut sum = row[i];
+                    for (j, &lij) in l_row.iter().enumerate() {
+                        sum -= lij * row[j];
+                    }
+                    row[i] = sum / diag;
+                }
+            }
+        }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural starting state for a scratch
+    /// buffer that [`Matrix::reset`] will size on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -222,6 +308,68 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn from_rows_rejects_ragged() {
         let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.reset(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.row(0).iter().chain(m.row(2)).all(|&v| v == 0.0));
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m[(1, 0)], 7.0);
+    }
+
+    #[test]
+    fn cholesky_with_jitter_recovers_near_singular() {
+        // Rank-deficient Gram matrix: plain Cholesky fails, jitter saves it.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(a.cholesky().is_none());
+        let (l, jitter) = a.cholesky_with_jitter().expect("jitter ladder");
+        assert!(jitter > 0.0 && jitter <= 1e-6);
+        assert!(l[(0, 0)] > 0.0 && l[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn cholesky_with_jitter_leaves_pd_untouched() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let (l, jitter) = a.cholesky_with_jitter().unwrap();
+        assert_eq!(jitter, 0.0);
+        assert_eq!(l, a.cholesky().unwrap());
+    }
+
+    #[test]
+    fn cholesky_with_jitter_gives_up_on_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(a.cholesky_with_jitter().is_none());
+    }
+
+    #[test]
+    fn batch_solve_is_bit_identical_to_forward_solve() {
+        // 20 candidates > one 8-row block, so blocking boundaries are hit.
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.5],
+            vec![2.0, 3.0, 0.25],
+            vec![0.5, 0.25, 5.0],
+        ]);
+        let l = a.cholesky().unwrap();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                vec![
+                    i as f64 * 0.3 - 2.0,
+                    (i * i) as f64 * 0.01,
+                    1.0 / (i + 1) as f64,
+                ]
+            })
+            .collect();
+        let mut batch = Matrix::from_rows(&rows);
+        l.solve_triangular_batch(&mut batch);
+        for (i, row) in rows.iter().enumerate() {
+            let single = l.forward_solve(row);
+            for j in 0..3 {
+                assert_eq!(batch[(i, j)], single[j], "row {i} col {j}");
+            }
+        }
     }
 
     #[test]

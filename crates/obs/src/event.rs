@@ -81,6 +81,16 @@ pub enum Event {
         /// Frontier size after insertion and eviction.
         frontier_len: u64,
     },
+    /// Meta: wall-clock spent in one named run phase (`hw_search`,
+    /// `sw_search`, and the surrogate sub-phases `surrogate_fit` /
+    /// `acquisition`). Emitted once per phase just before `RunFinished`,
+    /// so fit-vs-acquisition-vs-evaluation time is visible in the journal.
+    PhaseTiming {
+        /// Phase name, matching the evaluation engine's phase counters.
+        phase: String,
+        /// Wall-clock spent in the phase, in milliseconds.
+        wall_ms: u64,
+    },
     /// Meta: the run completed.
     RunFinished {
         /// Final best aggregate objective value (infinite if nothing
@@ -95,13 +105,14 @@ pub enum Event {
 
 /// Every event kind the journal schema knows, by wire name. The CI
 /// schema check validates journal lines against exactly this set.
-pub const EVENT_KINDS: [&str; 7] = [
+pub const EVENT_KINDS: [&str; 8] = [
     "run_started",
     "hw_proposed",
     "schedule_evaluated",
     "infeasible",
     "best_improved",
     "pareto_updated",
+    "phase_timing",
     "run_finished",
 ];
 
@@ -115,14 +126,20 @@ impl Event {
             Event::Infeasible { .. } => "infeasible",
             Event::BestImproved { .. } => "best_improved",
             Event::ParetoUpdated { .. } => "pareto_updated",
+            Event::PhaseTiming { .. } => "phase_timing",
             Event::RunFinished { .. } => "run_finished",
         }
     }
 
     /// Whether this is a deterministic trace event (as opposed to a meta
     /// event carrying environment facts like thread count or wall time).
+    /// `PhaseTiming` is meta: wall clock legitimately differs between runs
+    /// and thread counts.
     pub fn is_trace(&self) -> bool {
-        !matches!(self, Event::RunStarted { .. } | Event::RunFinished { .. })
+        !matches!(
+            self,
+            Event::RunStarted { .. } | Event::PhaseTiming { .. } | Event::RunFinished { .. }
+        )
     }
 }
 
@@ -191,6 +208,10 @@ impl Record {
             Event::ParetoUpdated { frontier_len } => {
                 obj.push_u64("frontier_len", *frontier_len);
             }
+            Event::PhaseTiming { phase, wall_ms } => {
+                obj.push_str("phase", phase);
+                obj.push_u64("wall_ms", *wall_ms);
+            }
             Event::RunFinished {
                 best_cost,
                 evaluations,
@@ -242,6 +263,10 @@ impl Record {
             },
             "pareto_updated" => Event::ParetoUpdated {
                 frontier_len: fields.u64("frontier_len")?,
+            },
+            "phase_timing" => Event::PhaseTiming {
+                phase: fields.str("phase")?,
+                wall_ms: fields.u64("wall_ms")?,
             },
             "run_finished" => Event::RunFinished {
                 best_cost: fields.f64("best_cost")?,
@@ -323,6 +348,14 @@ mod tests {
             Record {
                 hw_sample: None,
                 layer: None,
+                event: Event::PhaseTiming {
+                    phase: "surrogate_fit".into(),
+                    wall_ms: 5,
+                },
+            },
+            Record {
+                hw_sample: None,
+                layer: None,
                 event: Event::RunFinished {
                     best_cost: f64::INFINITY,
                     evaluations: 64,
@@ -352,7 +385,7 @@ mod tests {
     #[test]
     fn meta_events_are_not_trace() {
         let flags: Vec<bool> = samples().iter().map(|r| r.event.is_trace()).collect();
-        assert_eq!(flags, [false, true, true, true, true, true, false]);
+        assert_eq!(flags, [false, true, true, true, true, true, false, false]);
     }
 
     #[test]

@@ -159,6 +159,9 @@ impl EventSink for ProgressSink {
                 "hw[{}] pareto frontier now {frontier_len} points",
                 rec.hw_sample.unwrap_or_default()
             ),
+            Event::PhaseTiming { phase, wall_ms } => {
+                writeln!(out, "phase {phase}: {wall_ms}ms")
+            }
             Event::RunFinished {
                 best_cost,
                 evaluations,

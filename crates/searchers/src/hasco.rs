@@ -103,6 +103,10 @@ impl Search<HardwareConfig> for HascoSearch {
     fn history(&self) -> &[f64] {
         self.inner.history()
     }
+
+    fn surrogate_timers(&self) -> Option<spotlight_dabo::SurrogateTimers> {
+        self.inner.surrogate_timers()
+    }
 }
 
 #[cfg(test)]

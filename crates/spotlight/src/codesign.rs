@@ -659,8 +659,22 @@ impl Spotlight {
 
         let hw_history = hw_search.history().to_vec();
         let trace = Trace::from_costs(&hw_history);
+        // The hardware searcher times its own fit/acquisition split; fold
+        // it into the engine's phase accounting before the snapshot. These
+        // are sub-phases of `hw_search` wall time, not additional time.
+        if let Some(timers) = hw_search.surrogate_timers() {
+            self.engine.add_phase_wall("surrogate_fit", timers.fit);
+            self.engine
+                .add_phase_wall("acquisition", timers.acquisition);
+        }
         let stats = self.engine.stats();
         let evaluations = stats.evaluations;
+        for (phase, wall) in &stats.phase_wall {
+            let phase = phase.to_string();
+            let wall_ms = wall.as_millis() as u64;
+            self.observer
+                .emit_with(|| Event::PhaseTiming { phase, wall_ms });
+        }
         self.observer.emit_with(|| Event::RunFinished {
             best_cost: best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c),
             evaluations,

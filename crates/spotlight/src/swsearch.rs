@@ -368,6 +368,13 @@ fn run_sw_observed(
         };
         search.observe(sched, cost);
     }
+    // Model-based searchers time their own fit/acquisition split; fold it
+    // into the engine's phase accounting. These are sub-phases of the
+    // driver's `sw_search` wall time, not additional time on top of it.
+    if let Some(timers) = search.surrogate_timers() {
+        engine.add_phase_wall("surrogate_fit", timers.fit);
+        engine.add_phase_wall("acquisition", timers.acquisition);
+    }
     SwResult {
         best,
         trace: Trace::from_costs(search.history()),

@@ -111,4 +111,12 @@ fn outcome_stats_are_consistent() {
     );
     assert!(out.stats.phase_wall.iter().any(|(p, _)| p == "hw_search"));
     assert!(out.stats.phase_wall.iter().any(|(p, _)| p == "sw_search"));
+    // The default variant runs daBO in the software search, so the
+    // surrogate's fit/acquisition split must be folded into the stats.
+    assert!(out
+        .stats
+        .phase_wall
+        .iter()
+        .any(|(p, _)| p == "surrogate_fit"));
+    assert!(out.stats.phase_wall.iter().any(|(p, _)| p == "acquisition"));
 }
