@@ -52,6 +52,15 @@ pub enum Command {
         /// Path to a JSONL journal written with `--journal`.
         path: String,
     },
+    /// Continue a killed run from its journal's checkpoints.
+    Resume {
+        /// Path to the interrupted run's journal.
+        path: String,
+        /// Write the deterministic final report here.
+        out: Option<String>,
+        /// Report progress on stderr.
+        progress: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -81,6 +90,15 @@ pub struct CliConfig {
     pub journal: Option<String>,
     /// Report progress (hardware proposals, best-so-far) on stderr.
     pub progress: bool,
+    /// Fault-injection spec (validated against
+    /// [`spotlight_eval::FaultPlan`] at parse time), `None` for a clean
+    /// backend.
+    pub faults: Option<String>,
+    /// Wall-clock budget in seconds; past it the run returns best-so-far
+    /// as degraded.
+    pub deadline_secs: Option<u64>,
+    /// Write the deterministic final report to this file.
+    pub out: Option<String>,
 }
 
 impl Default for CliConfig {
@@ -96,6 +114,9 @@ impl Default for CliConfig {
             backend: "maestro".to_string(),
             journal: None,
             progress: false,
+            faults: None,
+            deadline_secs: None,
+            out: None,
         }
     }
 }
@@ -119,7 +140,20 @@ impl CliConfig {
             .variant(self.variant)
             .seed(self.seed)
             .threads(self.threads.max(1))
+            .deadline(self.deadline_secs.map(std::time::Duration::from_secs))
             .build()
+    }
+
+    /// The parsed fault plan, `None` when faults are disabled.
+    ///
+    /// # Panics
+    ///
+    /// Never for configs built by [`Command::parse`], which validates
+    /// the spec up front; a hand-built invalid spec panics here.
+    pub fn fault_plan(&self) -> Option<spotlight_eval::FaultPlan> {
+        self.faults
+            .as_deref()
+            .map(|spec| spec.parse().expect("spec validated at parse time"))
     }
 }
 
@@ -189,6 +223,52 @@ impl Command {
                     "journal requires exactly one <path> argument".into(),
                 )),
             },
+            "resume" => {
+                let mut path = None;
+                let mut out = None;
+                let mut progress = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--out" => {
+                            out = Some(
+                                rest.get(i + 1)
+                                    .copied()
+                                    .ok_or_else(|| {
+                                        ParseCommandError("flag `--out` needs a value".into())
+                                    })?
+                                    .to_string(),
+                            );
+                            i += 2;
+                        }
+                        "--progress" => {
+                            progress = true;
+                            i += 1;
+                        }
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseCommandError(format!(
+                                "unknown flag `{flag}` (resume takes --out and --progress)"
+                            )));
+                        }
+                        p => {
+                            if path.is_some() {
+                                return Err(ParseCommandError(
+                                    "resume takes exactly one <journal> path".into(),
+                                ));
+                            }
+                            path = Some(p.to_string());
+                            i += 1;
+                        }
+                    }
+                }
+                let path = path
+                    .ok_or_else(|| ParseCommandError("resume requires a <journal> path".into()))?;
+                Ok(Command::Resume {
+                    path,
+                    out,
+                    progress,
+                })
+            }
             other => Err(ParseCommandError(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -285,6 +365,23 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 config.progress = true;
                 i += 1;
             }
+            "--faults" => {
+                let spec = value(i)?;
+                // Validate through the fault plan itself so the message
+                // names the offending field.
+                spec.parse::<spotlight_eval::FaultPlan>()
+                    .map_err(|e| ParseCommandError(e.to_string()))?;
+                config.faults = Some(spec.to_string());
+                i += 2;
+            }
+            "--deadline" => {
+                config.deadline_secs = Some(parse_num(flag, value(i)?)? as u64);
+                i += 2;
+            }
+            "--out" => {
+                config.out = Some(value(i)?.to_string());
+                i += 2;
+            }
             other => {
                 return Err(ParseCommandError(format!("unknown flag `{other}`")));
             }
@@ -298,7 +395,10 @@ fn parse_num(flag: &str, v: &str) -> Result<usize, ParseCommandError> {
         .map_err(|_| ParseCommandError(format!("flag `{flag}` needs an integer, got `{v}`")))
 }
 
-fn parse_variant(v: &str) -> Result<Variant, ParseCommandError> {
+/// Parses a variant name in any of the accepted CLI spellings
+/// (`spotlight`, `a`/`spotlight-a`, ...), case-insensitively. Also used
+/// by `resume` to map the manifest's variant name back to a [`Variant`].
+pub fn parse_variant(v: &str) -> Result<Variant, ParseCommandError> {
     let v = v.to_ascii_lowercase();
     Ok(match v.as_str() {
         "spotlight" => Variant::Spotlight,
@@ -361,6 +461,7 @@ USAGE:
   spotlight evaluate --baseline <name> --model <name> [options]
   spotlight space    --model <name>
   spotlight journal  <path>
+  spotlight resume   <journal> [--out <path>] [--progress]
   spotlight help
 
 OPTIONS:
@@ -377,9 +478,21 @@ OPTIONS:
   --backend <b>       maestro (default) | sim | timeloop
   --journal <path>    write every run event as one JSON object per line
   --progress          report hardware proposals and best-so-far on stderr
+  --faults <spec>     inject deterministic backend faults for robustness testing,
+                      e.g. seed=1,transient=0.05,poison=0.01,panic=0.01,latency=0.02
+  --deadline <secs>   wall-clock budget; past it the run stops proposing hardware
+                      and returns the best-so-far result as `degraded`
+  --out <path>        write the deterministic final report to this file (safe to
+                      byte-compare across kill-and-resume)
 
 `spotlight journal <path>` validates a journal written with --journal:
 every line must parse as a known event; exits non-zero on schema drift.
+A final line cut mid-write (a kill's crash scar) is reported, not fatal.
+
+`spotlight resume <journal>` continues a killed run: the journal's
+manifest rebuilds the configuration, its checkpoints replay the finished
+hardware samples, and the remaining samples run live. The final result
+is identical to an uninterrupted run with the same seed.
 ";
 
 #[cfg(test)]
@@ -411,6 +524,12 @@ mod tests {
             "--journal",
             "run.jsonl",
             "--progress",
+            "--faults",
+            "seed=3,transient=0.1",
+            "--deadline",
+            "60",
+            "--out",
+            "report.txt",
         ])
         .unwrap();
         match cmd {
@@ -426,9 +545,47 @@ mod tests {
                 assert_eq!(config.backend, "sim");
                 assert_eq!(config.journal.as_deref(), Some("run.jsonl"));
                 assert!(config.progress);
+                // The spec is stored canonicalized and parses back.
+                let plan = config.fault_plan().expect("faults configured");
+                assert_eq!(plan.seed, 3);
+                assert_eq!(config.deadline_secs, Some(60));
+                assert_eq!(config.out.as_deref(), Some("report.txt"));
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn invalid_fault_specs_are_rejected_at_parse_time() {
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--faults", "transient=2"])
+            .unwrap_err();
+        assert!(err.to_string().contains("transient"), "{err}");
+        let err =
+            Command::parse(&["codesign", "--model", "vgg16", "--faults", "bogus=1"]).unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn resume_parses_path_and_flags() {
+        assert_eq!(
+            Command::parse(&["resume", "run.jsonl"]).unwrap(),
+            Command::Resume {
+                path: "run.jsonl".to_string(),
+                out: None,
+                progress: false
+            }
+        );
+        assert_eq!(
+            Command::parse(&["resume", "run.jsonl", "--out", "r.txt", "--progress"]).unwrap(),
+            Command::Resume {
+                path: "run.jsonl".to_string(),
+                out: Some("r.txt".to_string()),
+                progress: true
+            }
+        );
+        assert!(Command::parse(&["resume"]).is_err());
+        assert!(Command::parse(&["resume", "a", "b"]).is_err());
+        assert!(Command::parse(&["resume", "a", "--journal", "x"]).is_err());
     }
 
     #[test]
@@ -533,10 +690,10 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for word in ["codesign", "evaluate", "space", "journal", "help"] {
+        for word in ["codesign", "evaluate", "space", "journal", "resume", "help"] {
             assert!(USAGE.contains(word));
         }
-        for flag in ["--journal", "--progress"] {
+        for flag in ["--journal", "--progress", "--faults", "--deadline", "--out"] {
             assert!(USAGE.contains(flag));
         }
     }
@@ -566,7 +723,12 @@ mod parse_property_tests {
             "--backend",
             "--journal",
             "--progress",
+            "--faults",
+            "--deadline",
+            "--out",
             "journal",
+            "resume",
+            "seed=1,transient=0.5",
             "edp",
             "delay",
             "edge",

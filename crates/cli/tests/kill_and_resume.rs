@@ -1,0 +1,145 @@
+//! End-to-end kill-and-resume through the real binary: a run is killed
+//! mid-flight (deterministically, via the crash hook), its scarred
+//! journal is resumed, and the final report must be byte-identical to an
+//! uninterrupted run's.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_spotlight-cli");
+
+struct Workdir(PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spotlight-kr-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp workdir creates");
+        Workdir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_string()
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn codesign_args(threads: &str, journal: &str, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "codesign",
+        "--model",
+        "mobilenetv2",
+        "--hw",
+        "5",
+        "--sw",
+        "6",
+        "--seed",
+        "11",
+        "--threads",
+        threads,
+        "--journal",
+        journal,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+fn kill_and_resume(tag: &str, threads: &str, faults: &[&str]) {
+    let dir = Workdir::new(tag);
+    let (full_journal, full_report) = (dir.path("full.jsonl"), dir.path("full.txt"));
+    let (crash_journal, resumed_report) = (dir.path("crash.jsonl"), dir.path("resumed.txt"));
+
+    let mut extra = vec!["--out", full_report.as_str()];
+    extra.extend_from_slice(faults);
+    let status = Command::new(BIN)
+        .args(codesign_args(threads, &full_journal, &extra))
+        .output()
+        .expect("uninterrupted run spawns");
+    assert!(
+        status.status.success(),
+        "uninterrupted run failed: {status:?}"
+    );
+
+    // The same run, killed after the second checkpoint. The hook aborts
+    // the process mid-write, leaving a scarred journal.
+    let mut extra = vec![];
+    extra.extend_from_slice(faults);
+    let crashed = Command::new(BIN)
+        .args(codesign_args(threads, &crash_journal, &extra))
+        .env("SPOTLIGHT_CRASH_AFTER_CHECKPOINT", "2")
+        .output()
+        .expect("crashing run spawns");
+    assert!(!crashed.status.success(), "crash hook must abort the run");
+
+    let resumed = Command::new(BIN)
+        .args([
+            "resume",
+            crash_journal.as_str(),
+            "--out",
+            resumed_report.as_str(),
+        ])
+        .output()
+        .expect("resume spawns");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    let full = std::fs::read(&full_report).expect("full report exists");
+    let after = std::fs::read(&resumed_report).expect("resumed report exists");
+    assert_eq!(full, after, "final reports must be byte-identical");
+
+    // The continued journal must be whole again: same event stream as
+    // the uninterrupted run's, minus wall-clock timing fields.
+    let journal_check = Command::new(BIN)
+        .args(["journal", crash_journal.as_str()])
+        .output()
+        .expect("journal check spawns");
+    assert!(journal_check.status.success());
+    let stdout = String::from_utf8_lossy(&journal_check.stdout);
+    assert!(
+        stdout.contains("all valid"),
+        "journal still scarred: {stdout}"
+    );
+}
+
+#[test]
+fn killed_run_resumes_to_identical_report_single_thread() {
+    kill_and_resume("t1", "1", &[]);
+}
+
+#[test]
+fn killed_run_resumes_to_identical_report_four_threads() {
+    kill_and_resume("t4", "4", &[]);
+}
+
+#[test]
+fn killed_run_resumes_under_active_fault_plan() {
+    kill_and_resume("faulty", "1", &["--faults", "seed=2,transient=0.2"]);
+}
+
+#[test]
+fn finished_journals_refuse_to_resume() {
+    let dir = Workdir::new("done");
+    let journal = dir.path("done.jsonl");
+    let status = Command::new(BIN)
+        .args(codesign_args("1", &journal, &[]))
+        .output()
+        .expect("run spawns");
+    assert!(status.status.success());
+    let resumed = Command::new(BIN)
+        .args(["resume", journal.as_str()])
+        .output()
+        .expect("resume spawns");
+    assert!(!resumed.status.success());
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(stderr.contains("nothing to resume"), "unexpected: {stderr}");
+}

@@ -1,0 +1,437 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! [`FaultInjectingBackend`] decorates any [`CostBackend`] and injects
+//! four failure modes — worker panics, transient errors, latency spikes,
+//! and NaN-poisoned reports — from a seeded, replayable schedule. The
+//! decision for every backend call is a pure function of
+//! `(plan seed, key fingerprint, per-key attempt ordinal)`, so the fault
+//! schedule is identical at any thread count and across process
+//! restarts: the property the resume machinery and the determinism tests
+//! lean on.
+//!
+//! The schedule is intentionally *not* a function of wall time or call
+//! order across keys. Two runs that evaluate the same set of triples see
+//! the same faults on the same triples even if the interleaving differs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use spotlight_accel::HardwareConfig;
+use spotlight_conv::ConvLayer;
+use spotlight_maestro::CostReport;
+use spotlight_space::Schedule;
+
+use crate::{CostBackend, EvalError};
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a, used as a *stable* `Hasher` for key fingerprints. The std
+/// `DefaultHasher` is explicitly unstable across releases; fingerprints
+/// feed the fault schedule and the quarantine list, both of which must
+/// reproduce bit-for-bit, so we pin the hash function here.
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Stable 64-bit fingerprint of an evaluation triple. Shared by the
+/// fault schedule and the engine's quarantine list.
+pub fn key_fingerprint(hw: &HardwareConfig, sched: &Schedule, layer: &ConvLayer) -> u64 {
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    hw.hash(&mut h);
+    sched.hash(&mut h);
+    layer.hash(&mut h);
+    h.finish()
+}
+
+/// Error parsing a `--faults` specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault plan: {} (expected e.g. \"seed=7,transient=0.05,poison=0.01,panic=0.002,latency=0.01,latency_ms=1\")",
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A seeded fault-injection schedule. Parsed from the CLI `--faults`
+/// flag; the canonical `Display` form round-trips through [`FromStr`]
+/// and is what the run manifest records so `resume` can rebuild the
+/// identical schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule (independent of the search seed).
+    pub seed: u64,
+    /// Probability a backend call fails with [`EvalError::Transient`].
+    pub transient: f64,
+    /// Probability a successful report comes back NaN-poisoned.
+    pub poison: f64,
+    /// Probability a backend call panics.
+    pub panic: f64,
+    /// Probability a backend call sleeps for `latency_ms` first.
+    pub latency: f64,
+    /// Duration of an injected latency spike, in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient: 0.0,
+            poison: 0.0,
+            panic: 0.0,
+            latency: 0.0,
+            latency_ms: 1,
+        }
+    }
+}
+
+/// What the schedule injects for one backend call. The fields are
+/// checked in declaration order: a panic preempts everything, a
+/// transient preempts latency and poison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// The call panics.
+    pub panic: bool,
+    /// The call returns [`EvalError::Transient`].
+    pub transient: bool,
+    /// The call sleeps for the plan's latency spike first.
+    pub latency: bool,
+    /// A successful report is NaN-poisoned.
+    pub poison: bool,
+}
+
+const SALT_PANIC: u64 = 0x0070_616e_6963; // "panic"
+const SALT_TRANSIENT: u64 = 0x0074_7261_6e73; // "trans"
+const SALT_LATENCY: u64 = 0x6c61_7465_6e63; // "latenc"
+const SALT_POISON: u64 = 0x706f_6973_6f6e; // "poison"
+
+impl FaultPlan {
+    /// A plan that injects nothing (all probabilities zero).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when every fault probability is zero.
+    pub fn is_noop(&self) -> bool {
+        self.transient == 0.0 && self.poison == 0.0 && self.panic == 0.0 && self.latency == 0.0
+    }
+
+    fn check(&self) -> Result<(), FaultPlanError> {
+        for (name, p) in [
+            ("transient", self.transient),
+            ("poison", self.poison),
+            ("panic", self.panic),
+            ("latency", self.latency),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FaultPlanError {
+                    message: format!("{name} must be a probability in [0, 1], got {p}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A uniform draw in `[0, 1)` that depends only on the plan seed,
+    /// the fault kind, the key fingerprint, and the attempt ordinal.
+    fn roll(&self, salt: u64, key: u64, attempt: u64) -> f64 {
+        let bits = mix64(self.seed ^ mix64(salt ^ key) ^ mix64(attempt));
+        // Top 53 bits → exactly representable uniform double in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The (pure, replayable) fault decision for the `attempt`-th call
+    /// on the triple fingerprinted by `key`. Exposed so determinism
+    /// tests can predict the schedule without running a backend.
+    pub fn decide(&self, key: u64, attempt: u64) -> FaultDecision {
+        FaultDecision {
+            panic: self.roll(SALT_PANIC, key, attempt) < self.panic,
+            transient: self.roll(SALT_TRANSIENT, key, attempt) < self.transient,
+            latency: self.roll(SALT_LATENCY, key, attempt) < self.latency,
+            poison: self.roll(SALT_POISON, key, attempt) < self.poison,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},transient={},poison={},panic={},latency={},latency_ms={}",
+            self.seed, self.transient, self.poison, self.panic, self.latency, self.latency_ms
+        )
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultPlanError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| FaultPlanError {
+                message: format!("expected key=value, got {part:?}"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |message: String| FaultPlanError { message };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| bad(format!("seed must be a u64, got {value:?}")))?
+                }
+                "transient" => {
+                    plan.transient = value
+                        .parse()
+                        .map_err(|_| bad(format!("transient must be a float, got {value:?}")))?
+                }
+                "poison" => {
+                    plan.poison = value
+                        .parse()
+                        .map_err(|_| bad(format!("poison must be a float, got {value:?}")))?
+                }
+                "panic" => {
+                    plan.panic = value
+                        .parse()
+                        .map_err(|_| bad(format!("panic must be a float, got {value:?}")))?
+                }
+                "latency" => {
+                    plan.latency = value
+                        .parse()
+                        .map_err(|_| bad(format!("latency must be a float, got {value:?}")))?
+                }
+                "latency_ms" => {
+                    plan.latency_ms = value
+                        .parse()
+                        .map_err(|_| bad(format!("latency_ms must be a u64, got {value:?}")))?
+                }
+                other => {
+                    return Err(FaultPlanError {
+                        message: format!("unknown field {other:?}"),
+                    })
+                }
+            }
+        }
+        plan.check()?;
+        Ok(plan)
+    }
+}
+
+/// Decorates a [`CostBackend`] with the seeded fault schedule of a
+/// [`FaultPlan`]. Reports the inner backend's `name()` (so summaries
+/// and manifests keep the real backend) and surfaces the plan through
+/// [`CostBackend::faults`] for the manifest.
+pub struct FaultInjectingBackend {
+    inner: Box<dyn CostBackend>,
+    plan: FaultPlan,
+    /// Per-key call ordinals. Calls for one key are sequential in
+    /// practice (the engine retries inline and quarantines before any
+    /// re-query), which keeps the ordinal — and hence the schedule —
+    /// thread-invariant.
+    attempts: Mutex<HashMap<u64, u64>>,
+}
+
+impl FaultInjectingBackend {
+    /// Wraps `inner` with the given schedule.
+    pub fn new(inner: Box<dyn CostBackend>, plan: FaultPlan) -> Self {
+        FaultInjectingBackend {
+            inner,
+            plan,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active schedule.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn next_attempt(&self, key: u64) -> u64 {
+        let mut attempts = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = attempts.entry(key).or_insert(0);
+        let attempt = *slot;
+        *slot += 1;
+        attempt
+    }
+}
+
+impl CostBackend for FaultInjectingBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn faults(&self) -> Option<String> {
+        Some(self.plan.to_string())
+    }
+
+    fn evaluate(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+    ) -> Result<CostReport, EvalError> {
+        let key = key_fingerprint(hw, sched, layer);
+        let attempt = self.next_attempt(key);
+        let decision = self.plan.decide(key, attempt);
+        if decision.panic {
+            panic!("injected fault: panic on key {key:016x} attempt {attempt}");
+        }
+        if decision.transient {
+            return Err(EvalError::Transient);
+        }
+        if decision.latency {
+            std::thread::sleep(Duration::from_millis(self.plan.latency_ms));
+        }
+        let report = self.inner.evaluate(hw, sched, layer)?;
+        if decision.poison {
+            return Ok(CostReport {
+                delay_cycles: f64::NAN,
+                ..report
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaestroBackend;
+    use spotlight_accel::DataflowStyle;
+    use spotlight_space::dataflows::dataflow_schedule;
+
+    fn triple() -> (HardwareConfig, Schedule, ConvLayer) {
+        let hw = HardwareConfig::new(256, 16, 2, 128, 256, 128).unwrap();
+        let layer = ConvLayer::new(1, 64, 32, 3, 3, 28, 28);
+        let sched = dataflow_schedule(DataflowStyle::WeightStationary, &layer, &hw);
+        (hw, sched, layer)
+    }
+
+    #[test]
+    fn plan_round_trips_through_display() {
+        let spec = "seed=7,transient=0.05,poison=0.01,panic=0.002,latency=0.01,latency_ms=2";
+        let plan: FaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.latency_ms, 2);
+        let reparsed: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn plan_rejects_bad_specs() {
+        assert!("transient=1.5".parse::<FaultPlan>().is_err());
+        assert!("bogus=1".parse::<FaultPlan>().is_err());
+        assert!("seed".parse::<FaultPlan>().is_err());
+        assert!("seed=abc".parse::<FaultPlan>().is_err());
+        // Empty spec is the no-op plan.
+        let plan: FaultPlan = "".parse().unwrap();
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let a: FaultPlan = "seed=1,transient=0.3,poison=0.3,panic=0.3,latency=0.3"
+            .parse()
+            .unwrap();
+        let b: FaultPlan = "seed=2,transient=0.3,poison=0.3,panic=0.3,latency=0.3"
+            .parse()
+            .unwrap();
+        let mut diverged = false;
+        for key in 0..64u64 {
+            let key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(a.decide(key, 0), a.decide(key, 0));
+            if a.decide(key, 0) != b.decide(key, 0) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn transient_then_clean_retry_follows_schedule() {
+        // With transient=1 every call errors; with transient=0 none do.
+        let (hw, sched, layer) = triple();
+        let always = FaultInjectingBackend::new(
+            Box::new(MaestroBackend::default()),
+            "seed=3,transient=1".parse().unwrap(),
+        );
+        assert_eq!(
+            always.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Transient)
+        );
+        let never = FaultInjectingBackend::new(
+            Box::new(MaestroBackend::default()),
+            "seed=3".parse().unwrap(),
+        );
+        assert!(never.evaluate(&hw, &sched, &layer).is_ok());
+        assert_eq!(
+            never.faults().as_deref(),
+            Some("seed=3,transient=0,poison=0,panic=0,latency=0,latency_ms=1")
+        );
+        assert_eq!(never.name(), "maestro");
+    }
+
+    #[test]
+    fn poison_yields_nan_delay() {
+        let (hw, sched, layer) = triple();
+        let backend = FaultInjectingBackend::new(
+            Box::new(MaestroBackend::default()),
+            "seed=3,poison=1".parse().unwrap(),
+        );
+        let report = backend.evaluate(&hw, &sched, &layer).unwrap();
+        assert!(report.delay_cycles.is_nan());
+        assert!(report.energy_nj.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic")]
+    fn panic_probability_one_panics() {
+        let (hw, sched, layer) = triple();
+        let backend = FaultInjectingBackend::new(
+            Box::new(MaestroBackend::default()),
+            "seed=3,panic=1".parse().unwrap(),
+        );
+        let _ = backend.evaluate(&hw, &sched, &layer);
+    }
+
+    #[test]
+    fn key_fingerprint_is_stable_and_discriminating() {
+        let (hw, sched, layer) = triple();
+        let a = key_fingerprint(&hw, &sched, &layer);
+        let b = key_fingerprint(&hw, &sched, &layer);
+        assert_eq!(a, b);
+        let other = ConvLayer::new(1, 64, 32, 3, 3, 14, 14);
+        assert_ne!(a, key_fingerprint(&hw, &sched, &other));
+    }
+}

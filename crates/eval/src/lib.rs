@@ -34,11 +34,29 @@
 //! physical cache and may shift by a few counts under concurrent access
 //! (two threads can race to fill the same key — both then record a
 //! miss), which is harmless because both compute the same value.
+//!
+//! # Failure model
+//!
+//! Backends may fail transiently ([`EvalError::Transient`]), return
+//! NaN-poisoned reports (sanitized into [`EvalError::Poisoned`]), or
+//! panic. The engine retries transients inline with a bounded
+//! deterministic backoff ([`RetryPolicy`]) and quarantines keys that
+//! exhaust their retries or poison: later queries for a quarantined key
+//! short-circuit to [`EvalError::Quarantined`] without touching the
+//! backend. Panics are *not* caught here — the parallel layerwise
+//! search isolates them per worker. [`FaultInjectingBackend`] injects
+//! all four failure modes from a seeded, replayable schedule.
 
-use std::collections::{BTreeMap, HashMap};
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod fault;
+
+pub use fault::{key_fingerprint, FaultDecision, FaultInjectingBackend, FaultPlan, FaultPlanError};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use spotlight_accel::HardwareConfig;
@@ -86,6 +104,28 @@ pub enum EvalError {
     Sim(SimError),
     /// The Timeloop-like model rejected the mapping.
     Timeloop(TimeloopError),
+    /// The backend failed transiently; the same query may succeed on
+    /// retry. Never cached.
+    Transient,
+    /// The backend produced a non-finite (NaN/inf) delay or energy —
+    /// a corrupted report the engine refuses to propagate. Never cached.
+    Poisoned,
+    /// The key exhausted its retries (or poisoned) earlier in this run
+    /// and is quarantined: the backend is no longer consulted for it.
+    Quarantined,
+}
+
+impl EvalError {
+    /// True for errors that mean "this mapping is genuinely infeasible"
+    /// — a deterministic property of the triple, safe to memoize.
+    /// False for the failure-model errors (transient / poisoned /
+    /// quarantined), which describe the run, not the design point.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(
+            self,
+            EvalError::Mapping(_) | EvalError::Sim(_) | EvalError::Timeloop(_)
+        )
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -94,6 +134,9 @@ impl fmt::Display for EvalError {
             EvalError::Mapping(e) => write!(f, "{e}"),
             EvalError::Sim(e) => write!(f, "{e}"),
             EvalError::Timeloop(e) => write!(f, "{e}"),
+            EvalError::Transient => write!(f, "transient backend failure"),
+            EvalError::Poisoned => write!(f, "backend returned a non-finite cost report"),
+            EvalError::Quarantined => write!(f, "point quarantined after repeated failures"),
         }
     }
 }
@@ -114,6 +157,14 @@ impl From<MappingError> for EvalError {
 pub trait CostBackend: Send + Sync {
     /// Short stable name for reports and CLI selection.
     fn name(&self) -> &'static str;
+
+    /// The canonical fault-plan spec when this backend injects faults
+    /// (see [`FaultInjectingBackend`]); `None` for real backends. The
+    /// run manifest records this so `resume` rebuilds the identical
+    /// fault schedule.
+    fn faults(&self) -> Option<String> {
+        None
+    }
 
     /// Costs the triple, or explains why it is infeasible.
     fn evaluate(
@@ -250,6 +301,21 @@ impl CostBackend for TimeloopBackend {
     }
 }
 
+/// Builds the boxed backend named by `name` (see [`BACKEND_NAMES`]).
+/// The building block behind [`EvalEngine::by_name`], exposed so
+/// callers can decorate the backend (e.g. with
+/// [`FaultInjectingBackend`]) before handing it to the engine.
+pub fn backend_by_name(name: &str) -> Result<Box<dyn CostBackend>, UnknownBackend> {
+    match name {
+        "maestro" => Ok(Box::new(MaestroBackend::default())),
+        "sim" => Ok(Box::new(SimBackend::default())),
+        "timeloop" => Ok(Box::new(TimeloopBackend::default())),
+        _ => Err(UnknownBackend {
+            requested: name.to_string(),
+        }),
+    }
+}
+
 type CacheKey = (HardwareConfig, Schedule, ConvLayer);
 type CacheValue = Result<CostReport, EvalError>;
 
@@ -258,16 +324,62 @@ type CacheValue = Result<CostReport, EvalError>;
 pub struct EvalStats {
     /// Logical cost queries answered (cache hits included).
     pub evaluations: u64,
-    /// Queries answered from the memo cache.
+    /// Queries answered without invoking the backend (memo cache, or
+    /// the quarantine short-circuit).
     pub cache_hits: u64,
     /// Queries that invoked the backend.
     pub cache_misses: u64,
     /// Queries that returned an infeasibility error.
     pub infeasible: u64,
+    /// Queries that ended in a failure-model error (transient retries
+    /// exhausted, poisoned report, or quarantine short-circuit).
+    pub quarantined: u64,
+    /// Transient backend failures that were retried inline.
+    pub transient_retries: u64,
+    /// Layers abandoned after a worker panicked twice.
+    pub failed_layers: u64,
     /// Software-schedule searches driven through the engine.
     pub sw_searches: u64,
     /// Accumulated wall time per named phase, sorted by phase name.
     pub phase_wall: Vec<(String, Duration)>,
+}
+
+/// Bounded, deterministic retry schedule for [`EvalError::Transient`].
+///
+/// Backoff for retry `n` (1-based) is `base << (n - 1)`, capped at
+/// `cap`. The schedule is a pure function of the attempt number — no
+/// jitter — so retried runs consume identical wall-clock *structure*
+/// and fault schedules stay replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per query, initial call included. 1 disables
+    /// retries. Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let shifted = self
+            .base
+            .checked_mul(1u32 << (retry - 1).min(16))
+            .unwrap_or(self.cap);
+        shifted.min(self.cap)
+    }
 }
 
 impl EvalStats {
@@ -303,10 +415,19 @@ impl EvalStats {
 pub struct EvalEngine {
     backend: Box<dyn CostBackend>,
     cache: Option<Mutex<HashMap<CacheKey, CacheValue>>>,
+    retry: RetryPolicy,
+    /// Fingerprints of keys whose retries were exhausted (or poisoned).
+    quarantine: Mutex<HashSet<u64>>,
+    /// Mirror of `quarantine.len()`: lets the fault-free hot path skip
+    /// the quarantine lock with a single relaxed load.
+    quarantine_len: AtomicU64,
     evaluations: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     infeasible: AtomicU64,
+    quarantined: AtomicU64,
+    transient_retries: AtomicU64,
+    failed_layers: AtomicU64,
     sw_searches: AtomicU64,
     phase_wall: Mutex<BTreeMap<&'static str, Duration>>,
 }
@@ -333,10 +454,16 @@ impl EvalEngine {
         EvalEngine {
             backend,
             cache: Some(Mutex::new(HashMap::new())),
+            retry: RetryPolicy::default(),
+            quarantine: Mutex::new(HashSet::new()),
+            quarantine_len: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             infeasible: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            transient_retries: AtomicU64::new(0),
+            failed_layers: AtomicU64::new(0),
             sw_searches: AtomicU64::new(0),
             phase_wall: Mutex::new(BTreeMap::new()),
         }
@@ -371,14 +498,20 @@ impl EvalEngine {
     /// assert!(err.to_string().contains("maestro, sim, timeloop"));
     /// ```
     pub fn by_name(name: &str) -> Result<Self, UnknownBackend> {
-        match name {
-            "maestro" => Ok(EvalEngine::maestro()),
-            "sim" => Ok(EvalEngine::sim()),
-            "timeloop" => Ok(EvalEngine::timeloop()),
-            _ => Err(UnknownBackend {
-                requested: name.to_string(),
-            }),
-        }
+        Ok(EvalEngine::new(backend_by_name(name)?))
+    }
+
+    /// Like [`EvalEngine::by_name`], wrapping the backend in a
+    /// [`FaultInjectingBackend`] when `faults` is a non-noop plan.
+    pub fn by_name_with_faults(
+        name: &str,
+        faults: Option<FaultPlan>,
+    ) -> Result<Self, UnknownBackend> {
+        let inner = backend_by_name(name)?;
+        Ok(match faults {
+            Some(plan) => EvalEngine::new(Box::new(FaultInjectingBackend::new(inner, plan))),
+            None => EvalEngine::new(inner),
+        })
     }
 
     /// Disables memoization (every query hits the backend).
@@ -387,12 +520,28 @@ impl EvalEngine {
         self
     }
 
+    /// Replaces the transient-retry schedule.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The backend's stable name.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
     }
 
-    /// Costs one triple, consulting the memo cache first.
+    /// The backend's fault-plan spec, if it injects faults.
+    pub fn faults(&self) -> Option<String> {
+        self.backend.faults()
+    }
+
+    /// Costs one triple, consulting the quarantine list and the memo
+    /// cache before the backend. Transient backend failures are retried
+    /// per [`RetryPolicy`]; a query that exhausts its retries (or comes
+    /// back poisoned) quarantines its key, and later queries for it
+    /// short-circuit to [`EvalError::Quarantined`]. Only deterministic
+    /// outcomes (success / infeasibility) are memoized.
     pub fn evaluate(
         &self,
         hw: &HardwareConfig,
@@ -400,10 +549,31 @@ impl EvalEngine {
         layer: &ConvLayer,
     ) -> Result<CostReport, EvalError> {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
+        // Fault-free runs pay one relaxed load here and never touch the
+        // quarantine lock.
+        if self.quarantine_len.load(Ordering::Relaxed) > 0 {
+            let fp = key_fingerprint(hw, sched, layer);
+            let hit = self
+                .quarantine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .contains(&fp);
+            if hit {
+                // Answered without the backend: counts as a cache hit so
+                // `evaluations == cache_hits + cache_misses` stays exact.
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return Err(EvalError::Quarantined);
+            }
+        }
         let result = match &self.cache {
             Some(cache) => {
                 let key = (*hw, *sched, *layer);
-                let cached = cache.lock().unwrap().get(&key).copied();
+                let cached = cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&key)
+                    .copied();
                 match cached {
                     Some(r) => {
                         self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -415,21 +585,77 @@ impl EvalEngine {
                         // threads may race on one key; both store the
                         // same pure value, so last-write-wins is safe.
                         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        let r = self.backend.evaluate(hw, sched, layer);
-                        cache.lock().unwrap().insert(key, r);
+                        let r = self.invoke_backend(hw, sched, layer);
+                        let deterministic = match &r {
+                            Ok(_) => true,
+                            Err(e) => e.is_infeasible(),
+                        };
+                        if deterministic {
+                            cache
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .insert(key, r);
+                        }
                         r
                     }
                 }
             }
             None => {
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
-                self.backend.evaluate(hw, sched, layer)
+                self.invoke_backend(hw, sched, layer)
             }
         };
-        if result.is_err() {
-            self.infeasible.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Err(e) if e.is_infeasible() => {
+                self.infeasible.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(EvalError::Transient) | Err(EvalError::Poisoned) => {
+                // Retries exhausted or report corrupted: quarantine the
+                // key so the run degrades instead of hammering it.
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let fp = key_fingerprint(hw, sched, layer);
+                let mut q = self
+                    .quarantine
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if q.insert(fp) {
+                    self.quarantine_len.store(q.len() as u64, Ordering::Relaxed);
+                }
+            }
+            _ => {}
         }
         result
+    }
+
+    /// One backend invocation with inline transient retries and report
+    /// sanitization. Panics from the backend propagate (the layerwise
+    /// search isolates them per worker).
+    fn invoke_backend(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+    ) -> Result<CostReport, EvalError> {
+        let mut attempt: u32 = 1;
+        loop {
+            let result = match self.backend.evaluate(hw, sched, layer) {
+                Ok(r) if !r.delay_cycles.is_finite() || !r.energy_nj.is_finite() => {
+                    Err(EvalError::Poisoned)
+                }
+                other => other,
+            };
+            match result {
+                Err(EvalError::Transient) if attempt < self.retry.max_attempts => {
+                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
+                    let pause = self.retry.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Like [`EvalEngine::evaluate`], additionally reporting the outcome
@@ -453,7 +679,11 @@ impl EvalEngine {
                 delay_cycles: report.delay_cycles,
                 energy_nj: report.energy_nj,
             }),
-            Err(e) => obs.emit_with(|| Event::Infeasible {
+            Err(e) if e.is_infeasible() => obs.emit_with(|| Event::Infeasible {
+                step,
+                reason: e.to_string(),
+            }),
+            Err(e) => obs.emit_with(|| Event::Quarantined {
                 step,
                 reason: e.to_string(),
             }),
@@ -467,6 +697,32 @@ impl EvalEngine {
     /// exactly.
     pub fn count_sw_search(&self) {
         self.sw_searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one layer abandoned after its worker panicked twice.
+    pub fn count_failed_layer(&self) {
+        self.failed_layers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restores the *logical* counters from a checkpoint when resuming
+    /// a killed run. Cache hit/miss counters deliberately stay at zero:
+    /// they describe the physical cache of this process, which starts
+    /// cold, while the logical counters describe the search so far and
+    /// must carry over for the final report to match an uninterrupted
+    /// run.
+    pub fn restore_logical_counters(
+        &self,
+        evaluations: u64,
+        sw_searches: u64,
+        infeasible: u64,
+        quarantined: u64,
+        failed_layers: u64,
+    ) {
+        self.evaluations.store(evaluations, Ordering::Relaxed);
+        self.sw_searches.store(sw_searches, Ordering::Relaxed);
+        self.infeasible.store(infeasible, Ordering::Relaxed);
+        self.quarantined.store(quarantined, Ordering::Relaxed);
+        self.failed_layers.store(failed_layers, Ordering::Relaxed);
     }
 
     /// Runs `f`, charging its wall time to the named phase.
@@ -485,7 +741,7 @@ impl EvalEngine {
         *self
             .phase_wall
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(phase)
             .or_insert(Duration::ZERO) += elapsed;
     }
@@ -502,39 +758,55 @@ impl EvalEngine {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
+            failed_layers: self.failed_layers.load(Ordering::Relaxed),
             sw_searches: self.sw_searches.load(Ordering::Relaxed),
             phase_wall: self
                 .phase_wall
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
         }
     }
 
-    /// Zeroes every counter and phase timer. The memo cache survives so
-    /// later runs still benefit from earlier work; call
-    /// [`EvalEngine::clear_cache`] to drop it too.
+    /// Zeroes every counter and phase timer. The memo cache and the
+    /// quarantine list survive so later runs still benefit from earlier
+    /// work; call [`EvalEngine::clear_cache`] to drop the cache too.
     pub fn reset_stats(&self) {
         self.evaluations.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.infeasible.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
+        self.transient_retries.store(0, Ordering::Relaxed);
+        self.failed_layers.store(0, Ordering::Relaxed);
         self.sw_searches.store(0, Ordering::Relaxed);
-        self.phase_wall.lock().unwrap().clear();
+        self.phase_wall
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Drops every memoized result.
     pub fn clear_cache(&self) {
         if let Some(cache) = &self.cache {
-            cache.lock().unwrap().clear();
+            cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
     }
 
     /// Number of distinct triples currently memoized.
     pub fn cache_len(&self) -> usize {
-        self.cache.as_ref().map_or(0, |c| c.lock().unwrap().len())
+        self.cache.as_ref().map_or(0, |c| {
+            c.lock().unwrap_or_else(PoisonError::into_inner).len()
+        })
+    }
+
+    /// Number of quarantined keys.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine_len.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -708,6 +980,144 @@ mod tests {
                 ("surrogate_fit".to_string(), Duration::from_millis(4)),
             ]
         );
+    }
+
+    /// Backend whose first `fail_calls` invocations fail transiently.
+    struct FlakyBackend {
+        fail_calls: u64,
+        calls: AtomicU64,
+        inner: MaestroBackend,
+    }
+
+    impl FlakyBackend {
+        fn new(fail_calls: u64) -> Self {
+            FlakyBackend {
+                fail_calls,
+                calls: AtomicU64::new(0),
+                inner: MaestroBackend::default(),
+            }
+        }
+    }
+
+    impl CostBackend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "maestro"
+        }
+
+        fn evaluate(
+            &self,
+            hw: &HardwareConfig,
+            sched: &Schedule,
+            layer: &ConvLayer,
+        ) -> Result<CostReport, EvalError> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.fail_calls {
+                return Err(EvalError::Transient);
+            }
+            self.inner.evaluate(hw, sched, layer)
+        }
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_inline() {
+        let (hw, sched, layer) = triple();
+        let engine =
+            EvalEngine::new(Box::new(FlakyBackend::new(2))).with_retry_policy(fast_retry());
+        // Two transient failures, then success, all within one query.
+        assert!(engine.evaluate(&hw, &sched, &layer).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.transient_retries, 2);
+        assert_eq!(stats.quarantined, 0);
+        // The successful result was cached normally.
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_key() {
+        let (hw, sched, layer) = triple();
+        let engine =
+            EvalEngine::new(Box::new(FlakyBackend::new(u64::MAX))).with_retry_policy(fast_retry());
+        assert_eq!(
+            engine.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Transient)
+        );
+        // The key is now quarantined: the backend is not consulted again.
+        assert_eq!(
+            engine.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Quarantined)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.infeasible, 0);
+        assert_eq!(stats.transient_retries, 2);
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.evaluations);
+        assert_eq!(engine.quarantine_len(), 1);
+        // Transient results are never memoized.
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn poisoned_reports_are_sanitized_and_quarantined() {
+        struct PoisonBackend;
+        impl CostBackend for PoisonBackend {
+            fn name(&self) -> &'static str {
+                "maestro"
+            }
+            fn evaluate(
+                &self,
+                _: &HardwareConfig,
+                _: &Schedule,
+                _: &ConvLayer,
+            ) -> Result<CostReport, EvalError> {
+                Ok(CostReport::zeroed_for_tests(f64::NAN, 1.0))
+            }
+        }
+        let (hw, sched, layer) = triple();
+        let engine = EvalEngine::new(Box::new(PoisonBackend)).with_retry_policy(fast_retry());
+        assert_eq!(
+            engine.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Poisoned)
+        );
+        assert_eq!(
+            engine.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Quarantined)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.infeasible, 0);
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.evaluations);
+    }
+
+    #[test]
+    fn restored_counters_feed_the_next_snapshot() {
+        let engine = EvalEngine::maestro();
+        engine.restore_logical_counters(10, 2, 3, 1, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 10);
+        assert_eq!(stats.sw_searches, 2);
+        assert_eq!(stats.infeasible, 3);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.failed_layers, 1);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(1), Duration::from_millis(1));
+        assert_eq!(policy.backoff(2), Duration::from_millis(2));
+        assert_eq!(policy.backoff(3), Duration::from_millis(4));
+        assert_eq!(policy.backoff(10), Duration::from_millis(4));
     }
 
     #[test]

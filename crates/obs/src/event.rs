@@ -36,6 +36,16 @@ pub struct RunManifest {
     pub threads: u64,
     /// `git describe` of the source tree, or `"unknown"`.
     pub git: String,
+    /// Optimization objective (`edp` or `delay`).
+    pub objective: String,
+    /// Hardware scale preset (`edge`, `cloud`, or `custom`).
+    pub scale: String,
+    /// Comma-separated model names of the workload.
+    pub models: String,
+    /// Canonical fault-plan spec, or empty when no faults are injected.
+    /// Together with the fields above this makes a journal sufficient
+    /// to re-create — and therefore resume — its run.
+    pub faults: String,
 }
 
 /// One structured observation from a search.
@@ -70,6 +80,22 @@ pub enum Event {
         /// Why the evaluation failed.
         reason: String,
     },
+    /// Trace: one software-search step hit the failure model — its
+    /// retries were exhausted, its report was poisoned, or its key was
+    /// already quarantined. Deterministic under a seeded fault plan.
+    Quarantined {
+        /// Step index within the layer's software search.
+        step: u64,
+        /// The failure-model error, rendered.
+        reason: String,
+    },
+    /// Trace: a per-layer search worker panicked and was isolated.
+    /// Deterministic under a seeded fault plan.
+    WorkerPanic {
+        /// True when the layer is retried; false when it is being
+        /// marked failed (second panic).
+        retrying: bool,
+    },
     /// Trace: a hardware sample improved on the best-so-far cost.
     BestImproved {
         /// The new best aggregate objective value.
@@ -91,6 +117,34 @@ pub enum Event {
         /// Wall-clock spent in the phase, in milliseconds.
         wall_ms: u64,
     },
+    /// Meta: one hardware sample finished; everything a resumed process
+    /// needs to replay the run up to here. Emitted under the sample's
+    /// `hw_sample` span. Float results travel as IEEE-754 bit patterns
+    /// (`u64`) so resume is exact — including infinities for infeasible
+    /// samples, which the journal's JSON float encoding cannot carry.
+    Checkpoint {
+        /// Whether the budget admitted this sample.
+        admitted: bool,
+        /// Aggregate objective of this sample, as `f64::to_bits`.
+        cost_bits: u64,
+        /// Total delay (cycles) across models, as `f64::to_bits`.
+        delay_bits: u64,
+        /// Total energy (nJ) across models, as `f64::to_bits`.
+        energy_bits: u64,
+        /// Cumulative logical evaluations after this sample.
+        evaluations: u64,
+        /// Cumulative software searches after this sample.
+        sw_searches: u64,
+        /// Cumulative infeasible proposals after this sample.
+        infeasible: u64,
+        /// Cumulative quarantine outcomes after this sample.
+        quarantined: u64,
+        /// Cumulative failed layers after this sample.
+        failed_layers: u64,
+        /// Hardware-search RNG word position after this sample, for
+        /// replay-drift detection on resume.
+        rng_word_pos: u64,
+    },
     /// Meta: the run completed.
     RunFinished {
         /// Final best aggregate objective value (infinite if nothing
@@ -100,18 +154,24 @@ pub enum Event {
         evaluations: u64,
         /// Wall-clock duration of the run in milliseconds.
         wall_ms: u64,
+        /// `complete` or `degraded` (quarantined points, failed layers,
+        /// or a deadline cut the search short).
+        status: String,
     },
 }
 
 /// Every event kind the journal schema knows, by wire name. The CI
 /// schema check validates journal lines against exactly this set.
-pub const EVENT_KINDS: [&str; 8] = [
+pub const EVENT_KINDS: [&str; 11] = [
     "run_started",
     "hw_proposed",
     "schedule_evaluated",
     "infeasible",
+    "quarantined",
+    "worker_panic",
     "best_improved",
     "pareto_updated",
+    "checkpoint",
     "phase_timing",
     "run_finished",
 ];
@@ -124,8 +184,11 @@ impl Event {
             Event::HwProposed { .. } => "hw_proposed",
             Event::ScheduleEvaluated { .. } => "schedule_evaluated",
             Event::Infeasible { .. } => "infeasible",
+            Event::Quarantined { .. } => "quarantined",
+            Event::WorkerPanic { .. } => "worker_panic",
             Event::BestImproved { .. } => "best_improved",
             Event::ParetoUpdated { .. } => "pareto_updated",
+            Event::Checkpoint { .. } => "checkpoint",
             Event::PhaseTiming { .. } => "phase_timing",
             Event::RunFinished { .. } => "run_finished",
         }
@@ -134,11 +197,16 @@ impl Event {
     /// Whether this is a deterministic trace event (as opposed to a meta
     /// event carrying environment facts like thread count or wall time).
     /// `PhaseTiming` is meta: wall clock legitimately differs between runs
-    /// and thread counts.
+    /// and thread counts. `Checkpoint` is meta too: its payload is
+    /// deterministic, but a resumed run only appends the checkpoints it
+    /// ran itself, so checkpoint *presence* is an operational fact.
     pub fn is_trace(&self) -> bool {
         !matches!(
             self,
-            Event::RunStarted { .. } | Event::PhaseTiming { .. } | Event::RunFinished { .. }
+            Event::RunStarted { .. }
+                | Event::Checkpoint { .. }
+                | Event::PhaseTiming { .. }
+                | Event::RunFinished { .. }
         )
     }
 }
@@ -184,6 +252,10 @@ impl Record {
                 obj.push_u64("sw_samples", manifest.sw_samples);
                 obj.push_u64("threads", manifest.threads);
                 obj.push_str("git", &manifest.git);
+                obj.push_str("objective", &manifest.objective);
+                obj.push_str("scale", &manifest.scale);
+                obj.push_str("models", &manifest.models);
+                obj.push_str("faults", &manifest.faults);
             }
             Event::HwProposed { hw, admitted } => {
                 obj.push_str("hw", hw);
@@ -202,11 +274,41 @@ impl Record {
                 obj.push_u64("step", *step);
                 obj.push_str("reason", reason);
             }
+            Event::Quarantined { step, reason } => {
+                obj.push_u64("step", *step);
+                obj.push_str("reason", reason);
+            }
+            Event::WorkerPanic { retrying } => {
+                obj.push_bool("retrying", *retrying);
+            }
             Event::BestImproved { cost } => {
                 obj.push_f64("cost", *cost);
             }
             Event::ParetoUpdated { frontier_len } => {
                 obj.push_u64("frontier_len", *frontier_len);
+            }
+            Event::Checkpoint {
+                admitted,
+                cost_bits,
+                delay_bits,
+                energy_bits,
+                evaluations,
+                sw_searches,
+                infeasible,
+                quarantined,
+                failed_layers,
+                rng_word_pos,
+            } => {
+                obj.push_bool("admitted", *admitted);
+                obj.push_u64("cost_bits", *cost_bits);
+                obj.push_u64("delay_bits", *delay_bits);
+                obj.push_u64("energy_bits", *energy_bits);
+                obj.push_u64("evaluations", *evaluations);
+                obj.push_u64("sw_searches", *sw_searches);
+                obj.push_u64("infeasible", *infeasible);
+                obj.push_u64("quarantined", *quarantined);
+                obj.push_u64("failed_layers", *failed_layers);
+                obj.push_u64("rng_word_pos", *rng_word_pos);
             }
             Event::PhaseTiming { phase, wall_ms } => {
                 obj.push_str("phase", phase);
@@ -216,10 +318,12 @@ impl Record {
                 best_cost,
                 evaluations,
                 wall_ms,
+                status,
             } => {
                 obj.push_f64("best_cost", *best_cost);
                 obj.push_u64("evaluations", *evaluations);
                 obj.push_u64("wall_ms", *wall_ms);
+                obj.push_str("status", status);
             }
         }
         obj.finish()
@@ -243,6 +347,10 @@ impl Record {
                     sw_samples: fields.u64("sw_samples")?,
                     threads: fields.u64("threads")?,
                     git: fields.str("git")?,
+                    objective: fields.str("objective")?,
+                    scale: fields.str("scale")?,
+                    models: fields.str("models")?,
+                    faults: fields.str("faults")?,
                 },
             },
             "hw_proposed" => Event::HwProposed {
@@ -258,11 +366,30 @@ impl Record {
                 step: fields.u64("step")?,
                 reason: fields.str("reason")?,
             },
+            "quarantined" => Event::Quarantined {
+                step: fields.u64("step")?,
+                reason: fields.str("reason")?,
+            },
+            "worker_panic" => Event::WorkerPanic {
+                retrying: fields.bool("retrying")?,
+            },
             "best_improved" => Event::BestImproved {
                 cost: fields.f64("cost")?,
             },
             "pareto_updated" => Event::ParetoUpdated {
                 frontier_len: fields.u64("frontier_len")?,
+            },
+            "checkpoint" => Event::Checkpoint {
+                admitted: fields.bool("admitted")?,
+                cost_bits: fields.u64("cost_bits")?,
+                delay_bits: fields.u64("delay_bits")?,
+                energy_bits: fields.u64("energy_bits")?,
+                evaluations: fields.u64("evaluations")?,
+                sw_searches: fields.u64("sw_searches")?,
+                infeasible: fields.u64("infeasible")?,
+                quarantined: fields.u64("quarantined")?,
+                failed_layers: fields.u64("failed_layers")?,
+                rng_word_pos: fields.u64("rng_word_pos")?,
             },
             "phase_timing" => Event::PhaseTiming {
                 phase: fields.str("phase")?,
@@ -272,6 +399,7 @@ impl Record {
                 best_cost: fields.f64("best_cost")?,
                 evaluations: fields.u64("evaluations")?,
                 wall_ms: fields.u64("wall_ms")?,
+                status: fields.str("status")?,
             },
             unknown => return Err(format!("unknown event type {unknown:?}")),
         };
@@ -298,6 +426,10 @@ mod tests {
             sw_samples: 8,
             threads: 2,
             git: "unknown".into(),
+            objective: "edp".into(),
+            scale: "edge".into(),
+            models: "resnet18,mobilenet_v2".into(),
+            faults: "".into(),
         }
     }
 
@@ -337,6 +469,19 @@ mod tests {
             },
             Record {
                 hw_sample: Some(0),
+                layer: Some(1),
+                event: Event::Quarantined {
+                    step: 5,
+                    reason: "transient backend failure".into(),
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: Some(2),
+                event: Event::WorkerPanic { retrying: true },
+            },
+            Record {
+                hw_sample: Some(0),
                 layer: None,
                 event: Event::BestImproved { cost: 3.375e10 },
             },
@@ -344,6 +489,22 @@ mod tests {
                 hw_sample: Some(0),
                 layer: None,
                 event: Event::ParetoUpdated { frontier_len: 1 },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
+                event: Event::Checkpoint {
+                    admitted: true,
+                    cost_bits: 3.375e10f64.to_bits(),
+                    delay_bits: 1.5e6f64.to_bits(),
+                    energy_bits: 2.25e4f64.to_bits(),
+                    evaluations: 16,
+                    sw_searches: 2,
+                    infeasible: 1,
+                    quarantined: 1,
+                    failed_layers: 0,
+                    rng_word_pos: 12,
+                },
             },
             Record {
                 hw_sample: None,
@@ -360,6 +521,7 @@ mod tests {
                     best_cost: f64::INFINITY,
                     evaluations: 64,
                     wall_ms: 12,
+                    status: "degraded".into(),
                 },
             },
         ]
@@ -385,7 +547,10 @@ mod tests {
     #[test]
     fn meta_events_are_not_trace() {
         let flags: Vec<bool> = samples().iter().map(|r| r.event.is_trace()).collect();
-        assert_eq!(flags, [false, true, true, true, true, true, false, false]);
+        assert_eq!(
+            flags,
+            [false, true, true, true, true, true, true, true, false, false, false]
+        );
     }
 
     #[test]

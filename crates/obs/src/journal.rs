@@ -1,10 +1,10 @@
 //! The JSONL run journal: one serialized [`Record`] per line, manifest
 //! first. A journal you can tail is also a journal you can replay.
 
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::event::Record;
 use crate::sink::EventSink;
@@ -21,6 +21,15 @@ impl JournalWriter {
         Ok(JournalWriter::to_writer(Box::new(file)))
     }
 
+    /// Opens the journal file at `path` for appending. Used by resume:
+    /// the replayed prefix stays in place and the continued run extends
+    /// it, so the final journal reads like one uninterrupted run plus
+    /// the original crash scar.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter::to_writer(Box::new(file)))
+    }
+
     /// Journals onto an arbitrary writer.
     pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
         JournalWriter {
@@ -31,7 +40,7 @@ impl JournalWriter {
 
 impl EventSink for JournalWriter {
     fn record(&self, rec: &Record) {
-        let mut out = self.out.lock().expect("journal writer poisoned");
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // A full disk mid-run should not abort the search; the final
         // flush (or drop) surfaces nothing either, matching eprintln!
         // semantics for the observability side channel.
@@ -39,7 +48,11 @@ impl EventSink for JournalWriter {
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("journal writer poisoned").flush();
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
     }
 }
 
@@ -82,6 +95,72 @@ pub fn parse_journal(text: &str) -> Result<Vec<Record>, JournalError> {
 /// the inner one the schema check.
 pub fn read_journal(path: impl AsRef<Path>) -> io::Result<Result<Vec<Record>, JournalError>> {
     Ok(parse_journal(&std::fs::read_to_string(path)?))
+}
+
+/// The crash scar at the end of a killed run's journal: a final line cut
+/// mid-write (no terminating newline). Distinct from schema drift — a
+/// *terminated* malformed line anywhere is still a hard error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedTail {
+    /// 1-based line number of the partial line.
+    pub line: usize,
+    /// The partial text, as found.
+    pub text: String,
+}
+
+/// Outcome of a tolerant journal parse: every complete record, plus the
+/// truncated tail if the journal ends in one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedJournal {
+    /// The complete, valid records.
+    pub records: Vec<Record>,
+    /// The crash scar, when the final line was cut mid-write.
+    pub truncated_tail: Option<TruncatedTail>,
+    /// Byte length of the valid prefix (everything before the tail).
+    /// Resume truncates the journal file to this length before
+    /// appending, so the continued journal stays well-formed.
+    pub valid_bytes: u64,
+}
+
+/// Like [`parse_journal`], but a final line cut mid-write (crash
+/// signature: unterminated, whether or not it happens to parse) becomes
+/// a clean [`TruncatedTail`] instead of an error. Terminated malformed
+/// lines are still schema drift and still fail.
+pub fn parse_journal_tolerant(text: &str) -> Result<ParsedJournal, JournalError> {
+    let mut parsed = ParsedJournal {
+        records: Vec::new(),
+        truncated_tail: None,
+        valid_bytes: 0,
+    };
+    for (idx, segment) in text.split_inclusive('\n').enumerate() {
+        let terminated = segment.ends_with('\n');
+        if !terminated {
+            // Only the final segment can be unterminated: the crash scar.
+            parsed.truncated_tail = Some(TruncatedTail {
+                line: idx + 1,
+                text: segment.to_string(),
+            });
+            break;
+        }
+        let line = segment.trim_end_matches('\n').trim_end_matches('\r');
+        if !line.trim().is_empty() {
+            let rec = Record::from_json(line).map_err(|message| JournalError {
+                line: idx + 1,
+                message,
+            })?;
+            parsed.records.push(rec);
+        }
+        parsed.valid_bytes += segment.len() as u64;
+    }
+    Ok(parsed)
+}
+
+/// Reads the journal file at `path` with [`parse_journal_tolerant`].
+/// The outer result is I/O, the inner one the schema check.
+pub fn read_journal_tolerant(
+    path: impl AsRef<Path>,
+) -> io::Result<Result<ParsedJournal, JournalError>> {
+    Ok(parse_journal_tolerant(&std::fs::read_to_string(path)?))
 }
 
 #[cfg(test)]
@@ -127,5 +206,67 @@ mod tests {
         let err = parse_journal(&text).unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.to_string().contains("journal line 3"), "{err}");
+    }
+
+    #[test]
+    fn tolerant_parse_returns_clean_truncated_tail() {
+        let good = sample().to_json();
+        let text = format!("{good}\n{good}\n{{\"type\":\"chec");
+        let parsed = parse_journal_tolerant(&text).unwrap();
+        assert_eq!(parsed.records.len(), 2);
+        let tail = parsed.truncated_tail.expect("tail expected");
+        assert_eq!(tail.line, 3);
+        assert_eq!(tail.text, "{\"type\":\"chec");
+        // valid_bytes covers exactly the two complete lines.
+        assert_eq!(parsed.valid_bytes as usize, good.len() * 2 + 2);
+        // The strict reader still refuses the same text.
+        assert!(parse_journal(&text).is_err());
+    }
+
+    #[test]
+    fn tolerant_parse_without_tail_reports_none() {
+        let good = sample().to_json();
+        let text = format!("{good}\n");
+        let parsed = parse_journal_tolerant(&text).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert!(parsed.truncated_tail.is_none());
+        assert_eq!(parsed.valid_bytes as usize, text.len());
+    }
+
+    #[test]
+    fn tolerant_parse_treats_unterminated_valid_line_as_tail() {
+        // A crash can land exactly between the JSON text and its
+        // newline; the record is still a scar, not data.
+        let good = sample().to_json();
+        let text = format!("{good}\n{good}");
+        let parsed = parse_journal_tolerant(&text).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert!(parsed.truncated_tail.is_some());
+    }
+
+    #[test]
+    fn tolerant_parse_still_rejects_terminated_garbage() {
+        let good = sample().to_json();
+        let text = format!("not json\n{good}\n");
+        let err = parse_journal_tolerant(&text).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn append_extends_an_existing_journal() {
+        let path = std::env::temp_dir().join(format!(
+            "spotlight-obs-journal-append-{}.jsonl",
+            std::process::id()
+        ));
+        let writer = JournalWriter::create(&path).unwrap();
+        writer.record(&sample());
+        writer.flush();
+        drop(writer);
+        let appender = JournalWriter::append(&path).unwrap();
+        appender.record(&sample());
+        appender.flush();
+        let records = read_journal(&path).unwrap().unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -12,7 +12,12 @@ use std::fmt::Write as _;
 pub enum JsonValue {
     /// A JSON string.
     Str(String),
-    /// A JSON number (always decoded as `f64`).
+    /// A JSON number whose lexeme is pure digits, decoded exactly. This
+    /// matters for checkpoint fields like `cost_bits`: an `f64` bit
+    /// pattern is a full 64-bit integer, and routing it through `f64`
+    /// would silently drop the low bits past 2^53.
+    Int(u64),
+    /// Any other JSON number (fraction, exponent, or sign), as `f64`.
     Num(f64),
     /// `true` / `false`.
     Bool(bool),
@@ -203,6 +208,11 @@ impl Parser {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))
@@ -259,10 +269,10 @@ impl Fields {
         }
     }
 
-    /// A required unsigned integer field.
+    /// A required unsigned integer field, exact for the full `u64` range.
     pub fn u64(&self, key: &str) -> Result<u64, String> {
         match self.get(key) {
-            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+            Some(JsonValue::Int(n)) => Ok(*n),
             other => Err(format!("field {key:?}: expected integer, got {other:?}")),
         }
     }
@@ -272,6 +282,7 @@ impl Fields {
     pub fn f64(&self, key: &str) -> Result<f64, String> {
         match self.get(key) {
             Some(JsonValue::Num(n)) => Ok(*n),
+            Some(JsonValue::Int(n)) => Ok(*n as f64),
             Some(JsonValue::Null) => Ok(f64::INFINITY),
             other => Err(format!("field {key:?}: expected number, got {other:?}")),
         }
@@ -315,6 +326,24 @@ mod tests {
         assert!(fields.f64("inf").unwrap().is_infinite());
         assert!(fields.bool("ok").unwrap());
         assert_eq!(fields.opt_u64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn integers_round_trip_exactly_at_full_width() {
+        // Checkpoints ship f64 bit patterns as u64 fields; any detour
+        // through f64 would corrupt values past 2^53.
+        for v in [
+            0,
+            1,
+            (1 << 53) + 1,
+            16304336021929.246_f64.to_bits(),
+            u64::MAX,
+        ] {
+            let mut obj = JsonObj::typed("t");
+            obj.push_u64("v", v);
+            let fields = Fields(parse_flat_object(&obj.finish()).unwrap());
+            assert_eq!(fields.u64("v").unwrap(), v);
+        }
     }
 
     #[test]

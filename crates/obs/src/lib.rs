@@ -40,6 +40,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod event;
 mod journal;
@@ -47,7 +48,10 @@ mod json;
 mod sink;
 
 pub use event::{Event, Record, RunManifest, EVENT_KINDS};
-pub use journal::{parse_journal, read_journal, JournalError, JournalWriter};
+pub use journal::{
+    parse_journal, parse_journal_tolerant, read_journal, read_journal_tolerant, JournalError,
+    JournalWriter, ParsedJournal, TruncatedTail,
+};
 pub use sink::{EventSink, MemorySink, MultiSink, NullSink, ProgressSink};
 
 use std::sync::Arc;

@@ -7,7 +7,7 @@
 
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::event::{Event, Record};
 
@@ -56,12 +56,15 @@ impl MemorySink {
 
     /// A copy of the currently buffered records.
     pub fn records(&self) -> Vec<Record> {
-        self.records.lock().expect("memory sink poisoned").clone()
+        self.records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Removes and returns the buffered records.
     pub fn drain(&self) -> Vec<Record> {
-        std::mem::take(&mut *self.records.lock().expect("memory sink poisoned"))
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -70,7 +73,7 @@ impl EventSink for MemorySink {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         self.records
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(rec.clone());
     }
 }
@@ -126,7 +129,7 @@ impl ProgressSink {
 
 impl EventSink for ProgressSink {
     fn record(&self, rec: &Record) {
-        let mut out = self.out.lock().expect("progress sink poisoned");
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // Write errors on a progress channel are not worth failing the
         // search over; drop them like eprintln! would.
         let _ = match &rec.event {
@@ -162,20 +165,40 @@ impl EventSink for ProgressSink {
             Event::PhaseTiming { phase, wall_ms } => {
                 writeln!(out, "phase {phase}: {wall_ms}ms")
             }
+            Event::WorkerPanic { retrying } => {
+                let action = if *retrying { "retrying" } else { "layer failed" };
+                writeln!(
+                    out,
+                    "hw[{}] worker panic ({action})",
+                    rec.hw_sample.unwrap_or_default()
+                )
+            }
+            Event::Checkpoint { evaluations, .. } => writeln!(
+                out,
+                "hw[{}] checkpoint (evaluations={evaluations})",
+                rec.hw_sample.unwrap_or_default()
+            ),
             Event::RunFinished {
                 best_cost,
                 evaluations,
                 wall_ms,
+                status,
             } => writeln!(
                 out,
-                "done: best={best_cost:.4e} evaluations={evaluations} wall={wall_ms}ms"
+                "done: best={best_cost:.4e} evaluations={evaluations} wall={wall_ms}ms status={status}"
             ),
-            Event::ScheduleEvaluated { .. } | Event::Infeasible { .. } => return,
+            Event::ScheduleEvaluated { .. }
+            | Event::Infeasible { .. }
+            | Event::Quarantined { .. } => return,
         };
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("progress sink poisoned").flush();
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
     }
 }
 

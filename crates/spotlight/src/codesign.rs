@@ -1,4 +1,10 @@
-//! The nested layerwise co-design driver (Section VI-A).
+//! The nested layerwise co-design driver (Section VI-A), with the
+//! fault-tolerance machinery around it: per-layer panic isolation,
+//! per-sample checkpoints, deadline cut-off, and checkpoint replay
+//! (resume).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -100,6 +106,7 @@ pub struct CodesignConfig {
     pub(crate) ranges: ParamRanges,
     pub(crate) budget: Budget,
     pub(crate) threads: usize,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl CodesignConfig {
@@ -116,6 +123,7 @@ impl CodesignConfig {
             ranges: ParamRanges::edge(),
             budget: Budget::edge(),
             threads: 1,
+            deadline: None,
         }
     }
 
@@ -140,6 +148,7 @@ impl CodesignConfig {
             ranges: self.ranges,
             budget: self.budget,
             threads: self.threads,
+            deadline: self.deadline,
         }
     }
 
@@ -186,6 +195,13 @@ impl CodesignConfig {
         self.threads
     }
 
+    /// Wall-clock budget, if any. A run that reaches it stops proposing
+    /// hardware and returns the best-so-far frontier as
+    /// [`RunStatus::Degraded`].
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
     fn sw_config(&self) -> SwSearchConfig {
         SwSearchConfig {
             samples: self.sw_samples,
@@ -194,7 +210,20 @@ impl CodesignConfig {
         }
     }
 
-    fn manifest(&self, backend: &str) -> RunManifest {
+    fn manifest(&self, backend: &str, faults: Option<String>, models: &[Model]) -> RunManifest {
+        // The canonical names below are what `resume` parses back out of
+        // the journal to rebuild this configuration; keep them stable.
+        let objective = match self.objective {
+            Objective::Delay => "delay",
+            Objective::Edp => "edp",
+        };
+        let scale = if self.ranges == ParamRanges::edge() {
+            "edge"
+        } else if self.ranges == ParamRanges::cloud() {
+            "cloud"
+        } else {
+            "custom"
+        };
         RunManifest {
             seed: self.seed,
             variant: self.variant.to_string(),
@@ -205,6 +234,14 @@ impl CodesignConfig {
             sw_samples: self.sw_samples as u64,
             threads: self.threads as u64,
             git: spotlight_obs::git_describe().to_string(),
+            objective: objective.to_string(),
+            scale: scale.to_string(),
+            models: models
+                .iter()
+                .map(|m| m.id().as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+            faults: faults.unwrap_or_default(),
         }
     }
 }
@@ -221,6 +258,7 @@ pub struct CodesignConfigBuilder {
     ranges: ParamRanges,
     budget: Budget,
     threads: usize,
+    deadline: Option<Duration>,
 }
 
 impl CodesignConfigBuilder {
@@ -272,6 +310,12 @@ impl CodesignConfigBuilder {
         self
     }
 
+    /// Sets (or clears) the wall-clock budget for the run.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Validates and produces the configuration. Zero sample or thread
     /// counts and budgets that no in-range configuration can satisfy are
     /// rejected with a typed [`ConfigError`].
@@ -314,6 +358,7 @@ impl CodesignConfigBuilder {
             ranges: self.ranges,
             budget: self.budget,
             threads: self.threads,
+            deadline: self.deadline,
         })
     }
 }
@@ -356,6 +401,152 @@ impl ModelPlan {
     }
 }
 
+/// How a co-design run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every requested hardware sample ran and the failure machinery
+    /// never engaged.
+    Complete,
+    /// The run finished, but lost something along the way: quarantined
+    /// evaluation points, layers abandoned after repeated worker panics,
+    /// or a deadline that cut the search short. The result is still the
+    /// best over everything that did run.
+    Degraded,
+}
+
+impl RunStatus {
+    /// The canonical lowercase name journaled in `run_finished` events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Complete => "complete",
+            RunStatus::Degraded => "degraded",
+        }
+    }
+
+    /// Whether the run degraded.
+    pub fn is_degraded(self) -> bool {
+        self == RunStatus::Degraded
+    }
+}
+
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed hardware sample as recovered from a journal's
+/// `checkpoint` events — everything [`Spotlight::resume`] needs to
+/// replay the sample without re-running its software search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleCheckpoint {
+    /// Whether the budget admitted the sample.
+    pub admitted: bool,
+    /// Aggregate objective of the sample (infinite when rejected or
+    /// infeasible).
+    pub cost: f64,
+    /// Total delay in cycles across models.
+    pub delay_cycles: f64,
+    /// Total energy in nJ across models.
+    pub energy_nj: f64,
+    /// Cumulative logical evaluations after the sample.
+    pub evaluations: u64,
+    /// Cumulative software searches after the sample.
+    pub sw_searches: u64,
+    /// Cumulative infeasible proposals after the sample.
+    pub infeasible: u64,
+    /// Cumulative quarantined evaluations after the sample.
+    pub quarantined: u64,
+    /// Cumulative failed layers after the sample.
+    pub failed_layers: u64,
+    /// The hardware searcher RNG's word position after the sample's
+    /// `suggest`, for drift detection on replay.
+    pub rng_word_pos: u64,
+}
+
+impl SampleCheckpoint {
+    /// Decodes a journal `checkpoint` event (the f64 bit patterns
+    /// included); `None` for any other event kind.
+    pub fn from_event(event: &Event) -> Option<SampleCheckpoint> {
+        match event {
+            Event::Checkpoint {
+                admitted,
+                cost_bits,
+                delay_bits,
+                energy_bits,
+                evaluations,
+                sw_searches,
+                infeasible,
+                quarantined,
+                failed_layers,
+                rng_word_pos,
+            } => Some(SampleCheckpoint {
+                admitted: *admitted,
+                cost: f64::from_bits(*cost_bits),
+                delay_cycles: f64::from_bits(*delay_bits),
+                energy_nj: f64::from_bits(*energy_bits),
+                evaluations: *evaluations,
+                sw_searches: *sw_searches,
+                infeasible: *infeasible,
+                quarantined: *quarantined,
+                failed_layers: *failed_layers,
+                rng_word_pos: *rng_word_pos,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Why [`Spotlight::resume`] refused to replay a checkpoint prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumeError {
+    /// The journal holds more checkpoints than the configured
+    /// `hw_samples` — it came from a different configuration.
+    TooManyCheckpoints {
+        /// Checkpoints found in the journal.
+        checkpoints: usize,
+        /// Hardware samples the configuration asks for.
+        hw_samples: usize,
+    },
+    /// Replaying the seeded searcher diverged from the recorded RNG
+    /// word position — the journal was written by different code, a
+    /// different configuration, or a different seed.
+    RngDrift {
+        /// Zero-based hardware-sample index where replay diverged.
+        sample: usize,
+        /// Word position the checkpoint recorded.
+        expected: u64,
+        /// Word position the replay reached.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::TooManyCheckpoints {
+                checkpoints,
+                hw_samples,
+            } => write!(
+                f,
+                "journal has {checkpoints} checkpoints but the configuration \
+                 runs only {hw_samples} hardware samples"
+            ),
+            ResumeError::RngDrift {
+                sample,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replay diverged at hardware sample {sample}: checkpoint \
+                 recorded RNG word position {expected}, replay reached {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
 /// The outcome of a co-design run.
 #[derive(Debug, Clone)]
 pub struct CodesignOutcome {
@@ -382,6 +573,9 @@ pub struct CodesignOutcome {
     /// Engine counter snapshot for this run: cache hits/misses,
     /// infeasible proposals, software searches, per-phase wall time.
     pub stats: EvalStats,
+    /// Whether the run completed cleanly or degraded (quarantined
+    /// points, failed layers, or a deadline cut).
+    pub status: RunStatus,
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix.
@@ -490,9 +684,22 @@ impl Spotlight {
         models: &[Model],
         stream: u64,
     ) -> (Vec<ModelPlan>, u64) {
+        self.optimize_software_with(&self.observer, hw, models, stream)
+    }
+
+    /// [`Spotlight::optimize_software`] against an explicit base
+    /// observer; resume's best-plan recomputation passes the null
+    /// observer so the replayed sample's events are not journaled twice.
+    fn optimize_software_with(
+        &self,
+        base_observer: &Observer,
+        hw: &HardwareConfig,
+        models: &[Model],
+        stream: u64,
+    ) -> (Vec<ModelPlan>, u64) {
         let sw_cfg = self.config.sw_config();
         let threads = self.config.threads.max(1);
-        let observer = self.observer.with_hw_sample(stream);
+        let observer = base_observer.with_hw_sample(stream);
 
         // Flatten the per-model layer lists into one indexed work list.
         let items: Vec<&spotlight_models::LayerEntry> =
@@ -511,6 +718,13 @@ impl Spotlight {
             );
             (result, buffer)
         };
+        // A panicking worker must fail one layer, not the run. The
+        // worker's partial event buffer drops with the panic payload, so
+        // a retry's buffer never duplicates events. The payload itself is
+        // discarded: the injected-fault message already reaches stderr
+        // through the default panic hook.
+        let run_guarded =
+            |ordinal: usize| catch_unwind(AssertUnwindSafe(|| run_item(ordinal))).ok();
 
         let mut results: Vec<crate::swsearch::SwResult> = Vec::with_capacity(items.len());
         let mut evals = 0;
@@ -518,20 +732,44 @@ impl Spotlight {
         while next < items.len() {
             let wave_end = (next + threads).min(items.len());
             let wave: Vec<_> = if threads == 1 {
-                vec![run_item(next)]
+                vec![run_guarded(next)]
             } else {
                 std::thread::scope(|scope| {
-                    let run_item = &run_item;
+                    let run_guarded = &run_guarded;
                     let handles: Vec<_> = (next..wave_end)
-                        .map(|ordinal| scope.spawn(move || run_item(ordinal)))
+                        .map(|ordinal| scope.spawn(move || run_guarded(ordinal)))
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("software-search worker panicked"))
+                        .map(|h| h.join().unwrap_or(None))
                         .collect()
                 })
             };
-            for (r, buffer) in wave {
+            for (offset, slot) in wave.into_iter().enumerate() {
+                let ordinal = next + offset;
+                // Retries run inline after the wave joins, in ordinal
+                // order, so the merged event stream stays thread-invariant
+                // under a deterministic fault plan.
+                let (r, buffer) = match slot {
+                    Some(done) => done,
+                    None => {
+                        let layer_obs = observer.with_layer(ordinal as u64);
+                        layer_obs.emit_with(|| Event::WorkerPanic { retrying: true });
+                        match run_guarded(ordinal) {
+                            Some(done) => done,
+                            None => {
+                                layer_obs.emit_with(|| Event::WorkerPanic { retrying: false });
+                                self.engine.count_failed_layer();
+                                let failed = crate::swsearch::SwResult {
+                                    best: None,
+                                    trace: Trace::from_costs(&[]),
+                                    evaluations: 0,
+                                };
+                                (failed, None)
+                            }
+                        }
+                    }
+                };
                 evals += r.evaluations;
                 if let Some(buffer) = buffer {
                     observer.forward(&buffer);
@@ -593,23 +831,114 @@ impl Spotlight {
     ///
     /// Panics if `models` is empty.
     pub fn codesign(&self, models: &[Model]) -> CodesignOutcome {
+        self.run(models, &[])
+            .expect("a fresh run replays nothing and cannot fail to resume")
+    }
+
+    /// Continues a killed run from the checkpoints recovered out of its
+    /// journal. The `replay` prefix is not re-searched: the seeded
+    /// hardware searcher re-draws the same proposals (verified against
+    /// each checkpoint's recorded RNG word position) and observes the
+    /// recorded costs, then the remaining samples run live. Given the
+    /// same seed and configuration, the final outcome is identical to an
+    /// uninterrupted run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn resume(
+        &self,
+        models: &[Model],
+        replay: &[SampleCheckpoint],
+    ) -> Result<CodesignOutcome, ResumeError> {
+        self.run(models, replay)
+    }
+
+    fn run(
+        &self,
+        models: &[Model],
+        replay: &[SampleCheckpoint],
+    ) -> Result<CodesignOutcome, ResumeError> {
         assert!(!models.is_empty(), "co-design needs at least one model");
+        if replay.len() > self.config.hw_samples {
+            return Err(ResumeError::TooManyCheckpoints {
+                checkpoints: replay.len(),
+                hw_samples: self.config.hw_samples,
+            });
+        }
         // Counters describe exactly this run; the memo cache survives
         // across runs on the same engine.
         self.engine.reset_stats();
         let run_start = std::time::Instant::now();
-        self.observer.emit_with(|| Event::RunStarted {
-            manifest: self.config.manifest(self.engine.backend_name()),
-        });
+        // A resumed run appends to a journal that already carries the
+        // original run's manifest.
+        if replay.is_empty() {
+            self.observer.emit_with(|| Event::RunStarted {
+                manifest: self.config.manifest(
+                    self.engine.backend_name(),
+                    self.engine.faults(),
+                    models,
+                ),
+            });
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut hw_search =
             build_hw_search(self.config.variant, self.config.ranges, self.config.budget);
 
-        let mut best: Option<(HardwareConfig, Vec<ModelPlan>, f64)> = None;
+        // `best` carries the winning sample's plans when it ran live, or
+        // its stream index alone when it was replayed — the plans are
+        // then recomputed once at the end, off the books.
+        let mut best: Option<(HardwareConfig, Option<Vec<ModelPlan>>, f64, u64)> = None;
         let mut eval_trace = Vec::with_capacity(self.config.hw_samples);
         let mut frontier = ParetoFrontier::new();
 
-        for hw_sample in 0..self.config.hw_samples {
+        for (sample, cp) in replay.iter().enumerate() {
+            let hw = hw_search.suggest(&mut rng);
+            let word_pos = rng.word_pos();
+            if word_pos != cp.rng_word_pos {
+                return Err(ResumeError::RngDrift {
+                    sample,
+                    expected: cp.rng_word_pos,
+                    actual: word_pos,
+                });
+            }
+            if cp.admitted && cp.delay_cycles.is_finite() && cp.energy_nj.is_finite() {
+                frontier.insert(DesignPoint {
+                    hw,
+                    delay_cycles: cp.delay_cycles,
+                    energy_nj: cp.energy_nj,
+                    area_mm2: self.config.budget.area_mm2(&hw),
+                });
+            }
+            if cp.cost.is_finite() && best.as_ref().is_none_or(|(_, _, b, _)| cp.cost < *b) {
+                best = Some((hw, None, cp.cost, sample as u64));
+            }
+            hw_search.observe(hw, cp.cost);
+            let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c, _)| *c);
+            eval_trace.push((cp.evaluations, best_so_far));
+        }
+        if let Some(last) = replay.last() {
+            self.engine.restore_logical_counters(
+                last.evaluations,
+                last.sw_searches,
+                last.infeasible,
+                last.quarantined,
+                last.failed_layers,
+            );
+        }
+
+        let mut deadline_hit = false;
+        for hw_sample in replay.len()..self.config.hw_samples {
+            if self
+                .config
+                .deadline
+                .is_some_and(|d| run_start.elapsed() >= d)
+            {
+                // Out of wall-clock budget: stop proposing hardware and
+                // report the best-so-far frontier as a degraded run.
+                deadline_hit = true;
+                break;
+            }
             let sample_obs = self.observer.with_hw_sample(hw_sample as u64);
             let hw = self
                 .engine
@@ -619,7 +948,7 @@ impl Spotlight {
                 hw: hw.to_string(),
                 admitted,
             });
-            let cost = if admitted {
+            let (cost, delay_cycles, energy_nj) = if admitted {
                 let (plans, _) = self.engine.time_phase("sw_search", || {
                     self.optimize_software(&hw, models, hw_sample as u64)
                 });
@@ -642,19 +971,36 @@ impl Spotlight {
                         frontier_len: frontier.len() as u64,
                     });
                 }
-                if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
-                    best = Some((hw, plans, cost));
+                if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b, _)| cost < *b) {
+                    best = Some((hw, Some(plans), cost, hw_sample as u64));
                     sample_obs.emit_with(|| Event::BestImproved { cost });
                 }
-                cost
+                (cost, delay_cycles, energy_nj)
             } else {
                 // Out-of-budget configurations are rejected without
                 // spending the software budget.
-                f64::INFINITY
+                (f64::INFINITY, f64::INFINITY, f64::INFINITY)
             };
             hw_search.observe(hw, cost);
-            let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c);
+            let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c, _)| *c);
             eval_trace.push((self.engine.evaluations(), best_so_far));
+            // Checkpoint at the sample boundary and flush, so a killed
+            // process loses at most the in-flight sample. Metrics travel
+            // as f64 bits for an exact round-trip (infinities included).
+            let s = self.engine.stats();
+            sample_obs.emit_with(|| Event::Checkpoint {
+                admitted,
+                cost_bits: cost.to_bits(),
+                delay_bits: delay_cycles.to_bits(),
+                energy_bits: energy_nj.to_bits(),
+                evaluations: s.evaluations,
+                sw_searches: s.sw_searches,
+                infeasible: s.infeasible,
+                quarantined: s.quarantined,
+                failed_layers: s.failed_layers,
+                rng_word_pos: rng.word_pos(),
+            });
+            self.observer.flush();
         }
 
         let hw_history = hw_search.history().to_vec();
@@ -669,6 +1015,11 @@ impl Spotlight {
         }
         let stats = self.engine.stats();
         let evaluations = stats.evaluations;
+        let status = if deadline_hit || stats.quarantined > 0 || stats.failed_layers > 0 {
+            RunStatus::Degraded
+        } else {
+            RunStatus::Complete
+        };
         for (phase, wall) in &stats.phase_wall {
             let phase = phase.to_string();
             let wall_ms = wall.as_millis() as u64;
@@ -676,23 +1027,40 @@ impl Spotlight {
                 .emit_with(|| Event::PhaseTiming { phase, wall_ms });
         }
         self.observer.emit_with(|| Event::RunFinished {
-            best_cost: best.as_ref().map_or(f64::INFINITY, |(_, _, c)| *c),
+            best_cost: best.as_ref().map_or(f64::INFINITY, |(_, _, c, _)| *c),
             evaluations,
             wall_ms: run_start.elapsed().as_millis() as u64,
+            status: status.as_str().to_string(),
         });
         self.observer.flush();
-        match best {
-            Some((hw, plans, cost)) => CodesignOutcome {
-                best_hw: Some(hw),
-                best_plans: plans,
-                best_cost: cost,
-                hw_history,
-                trace,
-                evaluations,
-                eval_trace,
-                frontier,
-                stats,
-            },
+        Ok(match best {
+            Some((hw, plans, cost, stream)) => {
+                let plans = match plans {
+                    Some(plans) => plans,
+                    // The winner sits in the replayed prefix: re-run its
+                    // software search (same seed, same stream, same
+                    // deterministic engine semantics) to rebuild the
+                    // plans. This happens after the stats snapshot and
+                    // journals nothing, so it leaves no trace in the
+                    // reported run.
+                    None => {
+                        self.optimize_software_with(&Observer::null(), &hw, models, stream)
+                            .0
+                    }
+                };
+                CodesignOutcome {
+                    best_hw: Some(hw),
+                    best_plans: plans,
+                    best_cost: cost,
+                    hw_history,
+                    trace,
+                    evaluations,
+                    eval_trace,
+                    frontier,
+                    stats,
+                    status,
+                }
+            }
             None => CodesignOutcome {
                 best_hw: None,
                 best_plans: Vec::new(),
@@ -703,8 +1071,9 @@ impl Spotlight {
                 eval_trace,
                 frontier,
                 stats,
+                status,
             },
-        }
+        })
     }
 }
 
@@ -877,6 +1246,202 @@ mod budget_tests {
         assert_eq!(out.evaluations, 0);
         // Every hardware sample is recorded as infeasible.
         assert!(out.hw_history.iter().all(|c| c.is_infinite()));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use spotlight_conv::ConvLayer;
+    use spotlight_eval::{FaultPlan, RetryPolicy};
+    use std::sync::Arc;
+
+    fn tiny_model() -> Model {
+        Model::from_layers(
+            "tiny",
+            vec![
+                ConvLayer::new(1, 16, 8, 3, 3, 14, 14),
+                ConvLayer::new(1, 32, 16, 1, 1, 14, 14),
+            ],
+        )
+    }
+
+    fn config(threads: usize) -> CodesignConfig {
+        CodesignConfig::edge()
+            .hw_samples(8)
+            .sw_samples(12)
+            .seed(21)
+            .threads(threads)
+            .build()
+            .expect("test config is valid")
+    }
+
+    fn journaled_run(cfg: CodesignConfig) -> (CodesignOutcome, Vec<spotlight_obs::Record>) {
+        let sink = Arc::new(spotlight_obs::MemorySink::new());
+        let out = Spotlight::new(cfg)
+            .with_observer(Observer::new(sink.clone()))
+            .codesign(&[tiny_model()]);
+        (out, sink.records())
+    }
+
+    #[test]
+    fn every_sample_checkpoints_and_clean_runs_complete() {
+        let cfg = config(1);
+        let (out, records) = journaled_run(cfg);
+        assert_eq!(out.status, RunStatus::Complete);
+        let checkpoints: Vec<_> = records
+            .iter()
+            .filter_map(|r| SampleCheckpoint::from_event(&r.event))
+            .collect();
+        assert_eq!(checkpoints.len(), cfg.hw_samples());
+        // Cumulative counters are non-decreasing and end at the totals.
+        assert!(checkpoints
+            .windows(2)
+            .all(|w| w[0].evaluations <= w[1].evaluations));
+        assert_eq!(
+            checkpoints.last().expect("nonempty").evaluations,
+            out.evaluations
+        );
+        match &records.last().expect("events recorded").event {
+            Event::RunFinished { status, .. } => assert_eq!(status, "complete"),
+            other => panic!("last event should be run_finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_run() {
+        for threads in [1usize, 4] {
+            let cfg = config(threads);
+            let (full, records) = journaled_run(cfg);
+            let checkpoints: Vec<_> = records
+                .iter()
+                .filter_map(|r| SampleCheckpoint::from_event(&r.event))
+                .collect();
+            // Resume from a mid-run kill (3 of 8 samples survived).
+            let resumed = Spotlight::new(cfg)
+                .resume(&[tiny_model()], &checkpoints[..3])
+                .expect("replay matches the recorded run");
+            assert_eq!(resumed.best_cost.to_bits(), full.best_cost.to_bits());
+            assert_eq!(resumed.best_hw, full.best_hw);
+            assert_eq!(resumed.best_plans, full.best_plans);
+            assert_eq!(resumed.hw_history, full.hw_history);
+            assert_eq!(resumed.eval_trace, full.eval_trace);
+            assert_eq!(resumed.frontier.points(), full.frontier.points());
+            assert_eq!(resumed.evaluations, full.evaluations);
+            assert_eq!(resumed.status, full.status);
+            assert_eq!(resumed.stats.sw_searches, full.stats.sw_searches);
+            assert_eq!(resumed.stats.infeasible, full.stats.infeasible);
+        }
+    }
+
+    #[test]
+    fn resume_from_the_final_checkpoint_recomputes_best_plans() {
+        let cfg = config(1);
+        let (full, records) = journaled_run(cfg);
+        let checkpoints: Vec<_> = records
+            .iter()
+            .filter_map(|r| SampleCheckpoint::from_event(&r.event))
+            .collect();
+        // Everything replayed, nothing live: the best sample is in the
+        // prefix and its plans must be recomputed bit-identically.
+        let resumed = Spotlight::new(cfg)
+            .resume(&[tiny_model()], &checkpoints)
+            .expect("full replay");
+        assert_eq!(resumed.best_cost.to_bits(), full.best_cost.to_bits());
+        assert_eq!(resumed.best_plans, full.best_plans);
+        assert_eq!(resumed.evaluations, full.evaluations);
+    }
+
+    #[test]
+    fn resume_rejects_oversized_checkpoint_lists() {
+        let cfg = config(1);
+        let (_, records) = journaled_run(cfg);
+        let mut checkpoints: Vec<_> = records
+            .iter()
+            .filter_map(|r| SampleCheckpoint::from_event(&r.event))
+            .collect();
+        let extra = *checkpoints.last().expect("nonempty");
+        checkpoints.push(extra);
+        let err = Spotlight::new(cfg)
+            .resume(&[tiny_model()], &checkpoints)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ResumeError::TooManyCheckpoints {
+                checkpoints: 9,
+                hw_samples: 8
+            }
+        );
+        assert!(err.to_string().contains("9 checkpoints"), "{err}");
+    }
+
+    #[test]
+    fn always_transient_backend_degrades_but_finishes() {
+        let plan: FaultPlan = "seed=5,transient=1".parse().expect("valid spec");
+        let engine = spotlight_eval::EvalEngine::by_name_with_faults("maestro", Some(plan))
+            .expect("known backend")
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 2,
+                base: std::time::Duration::ZERO,
+                cap: std::time::Duration::ZERO,
+            });
+        let sink = Arc::new(spotlight_obs::MemorySink::new());
+        let out = Spotlight::with_engine(config(1), engine)
+            .with_observer(Observer::new(sink.clone()))
+            .codesign(&[tiny_model()]);
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert!(out.best_hw.is_none());
+        assert!(out.stats.quarantined > 0);
+        // The degraded status round-trips through the event stream.
+        let records = sink.records();
+        match &records.last().expect("events recorded").event {
+            Event::RunFinished { status, .. } => assert_eq!(status, "degraded"),
+            other => panic!("last event should be run_finished, got {other:?}"),
+        }
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::Quarantined { .. })));
+    }
+
+    #[test]
+    fn panicking_workers_fail_layers_not_the_run() {
+        let plan: FaultPlan = "seed=9,panic=1".parse().expect("valid spec");
+        let engine = spotlight_eval::EvalEngine::by_name_with_faults("maestro", Some(plan))
+            .expect("known backend");
+        let sink = Arc::new(spotlight_obs::MemorySink::new());
+        let out = Spotlight::with_engine(config(1), engine)
+            .with_observer(Observer::new(sink.clone()))
+            .codesign(&[tiny_model()]);
+        // Every worker panics on its first evaluation and again on the
+        // retry; every layer fails, but the run itself survives.
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert!(out.best_hw.is_none());
+        assert!(out.stats.failed_layers > 0);
+        let records = sink.records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::WorkerPanic { retrying: true })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::WorkerPanic { retrying: false })));
+        match &records.last().expect("events recorded").event {
+            Event::RunFinished { status, .. } => assert_eq!(status, "degraded"),
+            other => panic!("last event should be run_finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_returns_best_so_far_immediately() {
+        let cfg = config(1)
+            .to_builder()
+            .deadline(Some(std::time::Duration::ZERO))
+            .build()
+            .expect("deadline config is valid");
+        let out = Spotlight::new(cfg).codesign(&[tiny_model()]);
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert!(out.hw_history.is_empty());
+        assert_eq!(out.evaluations, 0);
+        assert!(out.best_hw.is_none());
     }
 }
 

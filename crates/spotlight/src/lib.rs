@@ -70,7 +70,8 @@ pub mod swsearch;
 pub mod variants;
 
 pub use codesign::{
-    CodesignConfig, CodesignConfigBuilder, CodesignOutcome, ConfigError, Spotlight,
+    CodesignConfig, CodesignConfigBuilder, CodesignOutcome, ConfigError, ResumeError, RunStatus,
+    SampleCheckpoint, Spotlight,
 };
 pub use features::{hw_features, sw_features, HW_FEATURE_NAMES, SW_FEATURE_NAMES};
 pub use variants::Variant;

@@ -103,8 +103,67 @@ pub fn outcome_summary(outcome: &CodesignOutcome, objective: Objective) -> Strin
         stats.infeasible
     );
     let _ = writeln!(out, "sw searches   : {}", stats.sw_searches);
+    // Failure-model lines appear only when the machinery engaged, so a
+    // clean run's summary is byte-identical to pre-fault-model builds.
+    if stats.quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "quarantined   : {} evaluations lost to backend failures",
+            stats.quarantined
+        );
+    }
+    if stats.failed_layers > 0 {
+        let _ = writeln!(
+            out,
+            "failed layers : {} abandoned after repeated worker panics",
+            stats.failed_layers
+        );
+    }
+    if outcome.status.is_degraded() {
+        let _ = writeln!(out, "status        : degraded (best-so-far result)");
+    }
     for (phase, wall) in &stats.phase_wall {
         let _ = writeln!(out, "phase {phase:<9}: {:.3}s wall", wall.as_secs_f64());
+    }
+    out
+}
+
+/// Renders the deterministic final report of a run: everything in it is
+/// derived from the seeded search state, never from the wall clock or
+/// the cache, so an uninterrupted run and a kill-and-resume of the same
+/// run produce byte-identical files. Costs print via `{:?}` (shortest
+/// round-trip), making the report an exact witness of the result.
+pub fn final_report(outcome: &CodesignOutcome, objective: Objective) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# spotlight run report");
+    let _ = writeln!(out, "status        : {}", outcome.status);
+    let _ = writeln!(out, "objective     : {objective}");
+    match outcome.best_hw {
+        Some(hw) => {
+            let _ = writeln!(out, "best hardware : {hw}");
+        }
+        None => {
+            let _ = writeln!(out, "best hardware : none");
+        }
+    }
+    let _ = writeln!(out, "best cost     : {:?}", outcome.best_cost);
+    let _ = writeln!(out, "hw samples    : {}", outcome.hw_history.len());
+    let stats = &outcome.stats;
+    let _ = writeln!(out, "evaluations   : {}", outcome.evaluations);
+    let _ = writeln!(out, "sw searches   : {}", stats.sw_searches);
+    let _ = writeln!(out, "infeasible    : {}", stats.infeasible);
+    let _ = writeln!(out, "quarantined   : {}", stats.quarantined);
+    let _ = writeln!(out, "failed layers : {}", stats.failed_layers);
+    let _ = writeln!(out, "pareto front  : {} points", outcome.frontier.len());
+    for p in outcome.frontier.points() {
+        let _ = writeln!(
+            out,
+            "  {} delay={:?} energy={:?} area={:?}",
+            p.hw, p.delay_cycles, p.energy_nj, p.area_mm2
+        );
+    }
+    for plan in &outcome.best_plans {
+        let _ = write!(out, "{}", plan_markdown(plan));
     }
     out
 }
@@ -163,6 +222,28 @@ mod tests {
         assert!(s.contains("sw searches   : 4"));
         assert!(s.contains("phase hw_search"));
         assert!(s.contains("phase sw_search"));
+    }
+
+    #[test]
+    fn final_report_is_deterministic_and_exact() {
+        let a = outcome();
+        let b = outcome();
+        let ra = final_report(&a, Objective::Edp);
+        assert_eq!(ra, final_report(&b, Objective::Edp));
+        assert!(ra.contains("status        : complete"));
+        assert!(ra.contains(&format!("best cost     : {:?}", a.best_cost)));
+        assert!(ra.contains("pareto front"));
+        // The wall clock and the cache never leak into the report.
+        assert!(!ra.contains("hit rate"));
+        assert!(!ra.contains("phase "));
+    }
+
+    #[test]
+    fn clean_summary_omits_failure_lines() {
+        let s = outcome_summary(&outcome(), Objective::Edp);
+        assert!(!s.contains("quarantined"));
+        assert!(!s.contains("failed layers"));
+        assert!(!s.contains("status"));
     }
 
     #[test]

@@ -66,16 +66,21 @@ pub struct ChaCha8Rng {
 }
 
 impl ChaCha8Rng {
+    /// Number of 32-bit words consumed since seeding. `rand_chacha`
+    /// exposes a block-granular `get_word_pos`; this is the same idea at
+    /// word granularity, used by checkpoint records to detect replay
+    /// drift (a resumed run must land on the identical word position).
+    pub fn word_pos(&self) -> u64 {
+        // `counter` names the *next* block to generate, so a full buffer
+        // spans words [(counter-4)*16, counter*16); `index` words of it
+        // are consumed. Before the first refill counter=0, index=64.
+        (self.counter * BLOCK_WORDS as u64 + self.index as u64).wrapping_sub(BUF_WORDS as u64)
+    }
+
     fn refill(&mut self) {
         for block in 0..BUF_WORDS / BLOCK_WORDS {
             let out = &mut self.buffer[block * BLOCK_WORDS..(block + 1) * BLOCK_WORDS];
-            chacha_block(
-                &self.key,
-                self.counter + block as u64,
-                self.stream,
-                8,
-                out,
-            );
+            chacha_block(&self.key, self.counter + block as u64, self.stream, 8, out);
         }
         self.counter += (BUF_WORDS / BLOCK_WORDS) as u64;
         self.index = 0;
@@ -216,6 +221,23 @@ mod tests {
         let v = rng.next_u64();
         let expect = (u64::from(words[BUF_WORDS]) << 32) | u64::from(words[BUF_WORDS - 1]);
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn word_pos_counts_consumed_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(rng.word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.word_pos(), 1);
+        rng.next_u64();
+        assert_eq!(rng.word_pos(), 3);
+        // Straddle a refill: consume up to one word short of the buffer,
+        // then read a u64 that spans the boundary.
+        while rng.word_pos() < BUF_WORDS as u64 - 1 {
+            rng.next_u32();
+        }
+        rng.next_u64();
+        assert_eq!(rng.word_pos(), BUF_WORDS as u64 + 1);
     }
 
     #[test]
