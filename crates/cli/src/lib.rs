@@ -19,7 +19,7 @@ use std::fmt;
 use spotlight::codesign::{CodesignConfig, ConfigError};
 use spotlight::Variant;
 use spotlight_accel::Baseline;
-use spotlight_eval::EvalEngine;
+use spotlight_eval::{Aggregation, EvalEngine, RobustPolicy};
 use spotlight_maestro::Objective;
 use spotlight_models::{all_models, Model};
 
@@ -94,6 +94,16 @@ pub struct CliConfig {
     /// [`spotlight_eval::FaultPlan`] at parse time), `None` for a clean
     /// backend.
     pub faults: Option<String>,
+    /// Measurement-noise spec (validated against
+    /// [`spotlight_eval::NoisePlan`] at parse time), `None` for a
+    /// noiseless backend.
+    pub noise: Option<String>,
+    /// Measurements per evaluated point; 1 disables replication.
+    pub replicates: usize,
+    /// How surviving replicates collapse into one report.
+    pub robust_agg: Aggregation,
+    /// Memo-cache entry cap; `None` keeps the cache unbounded.
+    pub cache_cap: Option<usize>,
     /// Wall-clock budget in seconds; past it the run returns best-so-far
     /// as degraded.
     pub deadline_secs: Option<u64>,
@@ -115,6 +125,10 @@ impl Default for CliConfig {
             journal: None,
             progress: false,
             faults: None,
+            noise: None,
+            replicates: 1,
+            robust_agg: Aggregation::default(),
+            cache_cap: None,
             deadline_secs: None,
             out: None,
         }
@@ -154,6 +168,29 @@ impl CliConfig {
         self.faults
             .as_deref()
             .map(|spec| spec.parse().expect("spec validated at parse time"))
+    }
+
+    /// The parsed noise plan, `None` when the backend is noiseless.
+    ///
+    /// # Panics
+    ///
+    /// Never for configs built by [`Command::parse`], which validates
+    /// the spec up front; a hand-built invalid spec panics here.
+    pub fn noise_plan(&self) -> Option<spotlight_eval::NoisePlan> {
+        self.noise
+            .as_deref()
+            .map(|spec| spec.parse().expect("spec validated at parse time"))
+    }
+
+    /// The replicated-measurement policy the flags describe. One
+    /// replicate yields the single-shot default policy so noise-free
+    /// runs stay on the historical evaluation path.
+    pub fn robust_policy(&self) -> RobustPolicy {
+        if self.replicates <= 1 {
+            RobustPolicy::default()
+        } else {
+            RobustPolicy::replicated(self.replicates, self.robust_agg)
+        }
     }
 }
 
@@ -374,6 +411,35 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 config.faults = Some(spec.to_string());
                 i += 2;
             }
+            "--noise" => {
+                let spec = value(i)?;
+                // Validate through the noise plan itself so the message
+                // names the offending field.
+                spec.parse::<spotlight_eval::NoisePlan>()
+                    .map_err(|e| ParseCommandError(e.to_string()))?;
+                config.noise = Some(spec.to_string());
+                i += 2;
+            }
+            "--replicates" => {
+                let n = parse_num(flag, value(i)?)?;
+                if n == 0 {
+                    return Err(ParseCommandError(
+                        "flag `--replicates` needs a positive integer".into(),
+                    ));
+                }
+                config.replicates = n;
+                i += 2;
+            }
+            "--robust-agg" => {
+                config.robust_agg = value(i)?
+                    .parse::<Aggregation>()
+                    .map_err(|e| ParseCommandError(e.to_string()))?;
+                i += 2;
+            }
+            "--cache-cap" => {
+                config.cache_cap = Some(parse_num(flag, value(i)?)?);
+                i += 2;
+            }
             "--deadline" => {
                 config.deadline_secs = Some(parse_num(flag, value(i)?)? as u64);
                 i += 2;
@@ -480,6 +546,13 @@ OPTIONS:
   --progress          report hardware proposals and best-so-far on stderr
   --faults <spec>     inject deterministic backend faults for robustness testing,
                       e.g. seed=1,transient=0.05,poison=0.01,panic=0.01,latency=0.02
+  --noise <spec>      perturb backend measurements with seeded multiplicative noise,
+                      e.g. seed=7,model=gauss,sigma=0.1 (models: gauss | heavy)
+  --replicates <n>    measurements per evaluated point (default 1); with n > 1 the
+                      engine rejects MAD outliers and aggregates the survivors
+  --robust-agg <a>    replicate aggregation: mean | median (default) | trimmed
+  --cache-cap <n>     bound the evaluation memo cache to n entries (insertion-order
+                      eviction); default unbounded
   --deadline <secs>   wall-clock budget; past it the run stops proposing hardware
                       and returns the best-so-far result as `degraded`
   --out <path>        write the deterministic final report to this file (safe to
@@ -526,6 +599,14 @@ mod tests {
             "--progress",
             "--faults",
             "seed=3,transient=0.1",
+            "--noise",
+            "seed=7,model=gauss,sigma=0.1",
+            "--replicates",
+            "5",
+            "--robust-agg",
+            "trimmed",
+            "--cache-cap",
+            "4096",
             "--deadline",
             "60",
             "--out",
@@ -548,6 +629,12 @@ mod tests {
                 // The spec is stored canonicalized and parses back.
                 let plan = config.fault_plan().expect("faults configured");
                 assert_eq!(plan.seed, 3);
+                let noise = config.noise_plan().expect("noise configured");
+                assert_eq!(noise.seed, 7);
+                assert_eq!(config.replicates, 5);
+                assert_eq!(config.robust_agg, Aggregation::Trimmed);
+                assert_eq!(config.robust_policy().replicates, 5);
+                assert_eq!(config.cache_cap, Some(4096));
                 assert_eq!(config.deadline_secs, Some(60));
                 assert_eq!(config.out.as_deref(), Some("report.txt"));
             }
@@ -563,6 +650,30 @@ mod tests {
         let err =
             Command::parse(&["codesign", "--model", "vgg16", "--faults", "bogus=1"]).unwrap_err();
         assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn invalid_noise_and_robustness_flags_are_rejected_at_parse_time() {
+        let err =
+            Command::parse(&["codesign", "--model", "vgg16", "--noise", "sigma=-1"]).unwrap_err();
+        assert!(err.to_string().contains("sigma"), "{err}");
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--noise", "model=laplace"])
+            .unwrap_err();
+        assert!(err.to_string().contains("laplace"), "{err}");
+        let err =
+            Command::parse(&["codesign", "--model", "vgg16", "--replicates", "0"]).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        let err =
+            Command::parse(&["codesign", "--model", "vgg16", "--robust-agg", "mode"]).unwrap_err();
+        assert!(err.to_string().contains("mode"), "{err}");
+    }
+
+    #[test]
+    fn default_robust_policy_is_single_shot() {
+        let config = CliConfig::default();
+        assert_eq!(config.robust_policy(), RobustPolicy::default());
+        assert!(config.noise_plan().is_none());
+        assert_eq!(config.cache_cap, None);
     }
 
     #[test]
@@ -693,7 +804,17 @@ mod tests {
         for word in ["codesign", "evaluate", "space", "journal", "resume", "help"] {
             assert!(USAGE.contains(word));
         }
-        for flag in ["--journal", "--progress", "--faults", "--deadline", "--out"] {
+        for flag in [
+            "--journal",
+            "--progress",
+            "--faults",
+            "--noise",
+            "--replicates",
+            "--robust-agg",
+            "--cache-cap",
+            "--deadline",
+            "--out",
+        ] {
             assert!(USAGE.contains(flag));
         }
     }
@@ -724,11 +845,18 @@ mod parse_property_tests {
             "--journal",
             "--progress",
             "--faults",
+            "--noise",
+            "--replicates",
+            "--robust-agg",
+            "--cache-cap",
             "--deadline",
             "--out",
             "journal",
             "resume",
             "seed=1,transient=0.5",
+            "seed=7,model=gauss,sigma=0.1",
+            "median",
+            "5",
             "edp",
             "delay",
             "edge",

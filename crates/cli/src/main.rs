@@ -8,7 +8,7 @@ use spotlight::codesign::{SampleCheckpoint, Spotlight};
 use spotlight::report::{final_report, outcome_summary, plan_markdown};
 use spotlight::scenarios::{evaluate_baseline, Scale};
 use spotlight_cli::{parse_variant, resolve_baseline, resolve_model, CliConfig, Command, USAGE};
-use spotlight_eval::{EvalEngine, FaultPlan};
+use spotlight_eval::{Aggregation, EvalEngine, FaultPlan, NoisePlan, RobustPolicy};
 use spotlight_maestro::Objective;
 use spotlight_obs::{
     read_journal_tolerant, Event, EventSink, JournalWriter, Observer, ProgressSink, Record,
@@ -131,7 +131,15 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let resolved: Result<Vec<_>, _> = models.iter().map(|m| resolve_model(m)).collect();
             let resolved = resolved?;
             let cfg = config.to_codesign_config()?;
-            let engine = EvalEngine::by_name_with_faults(&config.backend, config.fault_plan())?;
+            let mut engine = EvalEngine::by_name_configured(
+                &config.backend,
+                config.fault_plan(),
+                config.noise_plan(),
+            )?
+            .with_robust_policy(config.robust_policy());
+            if let Some(cap) = config.cache_cap {
+                engine = engine.with_cache_cap(cap);
+            }
             let observer = build_observer(&config)?;
             eprintln!(
                 "co-designing for {} model(s), {} hw x {} sw samples ({}, {} backend, {} thread(s))...",
@@ -259,7 +267,22 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 "" => None,
                 spec => Some(spec.parse::<FaultPlan>()?),
             };
-            let engine = EvalEngine::by_name_with_faults(&manifest.backend, faults)?;
+            let noise = match manifest.noise.as_str() {
+                "" => None,
+                spec => Some(spec.parse::<NoisePlan>()?),
+            };
+            // One replicate needs no aggregation, so old manifests with
+            // an empty robust_agg resume cleanly.
+            let robust = if manifest.replicates <= 1 {
+                RobustPolicy::default()
+            } else {
+                RobustPolicy::replicated(
+                    manifest.replicates as usize,
+                    manifest.robust_agg.parse::<Aggregation>()?,
+                )
+            };
+            let engine = EvalEngine::by_name_configured(&manifest.backend, faults, noise)?
+                .with_robust_policy(robust);
             let checkpoints: Vec<SampleCheckpoint> = parsed
                 .records
                 .iter()

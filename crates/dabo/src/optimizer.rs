@@ -72,6 +72,15 @@ impl Default for DaboConfig {
     }
 }
 
+/// Prior weight variance of the daBO linear surrogate.
+const PRIOR_VARIANCE: f64 = 10.0;
+/// Baseline observation-noise variance of the daBO surrogates. An
+/// observation reported with measurement-noise variance `v` (target
+/// space) gets weight `NOISE_VARIANCE / (NOISE_VARIANCE + v)` — exactly
+/// 1 for noiseless measurements, shrinking toward 0 as the measurement
+/// noise dwarfs the baseline.
+const NOISE_VARIANCE: f64 = 1e-2;
+
 enum FittedSurrogate {
     Linear(BayesianLinearModel),
     Gp(GaussianProcess),
@@ -252,9 +261,9 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
                 // system from the running moments — O(d^3), independent of
                 // how many observations have accumulated.
                 self.stats
-                    .posterior_system(penalty_target, 10.0, 1e-2)
+                    .posterior_system(penalty_target, PRIOR_VARIANCE, NOISE_VARIANCE)
                     .and_then(|sys| {
-                        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+                        let mut m = BayesianLinearModel::new(PRIOR_VARIANCE, NOISE_VARIANCE);
                         m.fit_from_precision(&sys.precision, &sys.rhs, sys.y_mean, sys.y_std)
                             .ok()
                             .map(|()| (FittedSurrogate::Linear(m), sys.standardizer))
@@ -276,7 +285,7 @@ impl<P, M: FeatureMap<P>> Dabo<P, M> {
                         }
                     })
                     .collect();
-                let mut m = GaussianProcess::new(kernel, 1e-2);
+                let mut m = GaussianProcess::new(kernel, NOISE_VARIANCE);
                 m.fit(&xs, &ys).ok().map(|()| (FittedSurrogate::Gp(m), st))
             }
         };
@@ -357,11 +366,27 @@ impl<P, M: FeatureMap<P>> Search<P> for Dabo<P, M> {
     }
 
     fn observe(&mut self, point: P, cost: f64) {
+        self.observe_noisy(point, cost, 0.0);
+    }
+
+    /// Heteroscedastic observation: the linear surrogate's sufficient
+    /// statistics absorb the point with weight
+    /// `NOISE_VARIANCE / (NOISE_VARIANCE + noise_variance)`, so noisier
+    /// measurements pull the posterior less. Zero variance gives weight
+    /// exactly 1.0 — bit-identical to [`Search::observe`]. The GP
+    /// surrogate path refits from the raw history and ignores the
+    /// weights (a kernelized heteroscedastic fit is out of scope).
+    fn observe_noisy(&mut self, point: P, cost: f64, noise_variance: f64) {
         let feats = self.feature_map.features(&point);
         debug_assert_eq!(feats.len(), self.feature_map.dim());
+        let weight = if noise_variance.is_finite() && noise_variance > 0.0 {
+            NOISE_VARIANCE / (NOISE_VARIANCE + noise_variance)
+        } else {
+            1.0
+        };
         // O(d^2) moment update; the refit no longer touches the history.
         let target = cost.is_finite().then(|| self.target(cost));
-        self.stats.observe(&feats, target);
+        self.stats.observe_weighted(&feats, target, weight);
         if cost.is_finite() && cost > self.worst_finite {
             self.worst_finite = cost;
         }
@@ -622,6 +647,70 @@ mod robustness_tests {
         let (_, best) = opt.best().expect("finite observations exist");
         assert!(best.is_finite());
         assert!(opt.predict(&0.5).is_some());
+    }
+
+    #[test]
+    fn zero_variance_noisy_observation_matches_observe_exactly() {
+        let mk = || {
+            let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+            Dabo::new(DaboConfig::default(), fm, |rng: &mut dyn RngCore| {
+                rng.gen_range(0.0..1.0)
+            })
+        };
+        let mut plain = mk();
+        let mut noisy = mk();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(21);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(21);
+        for i in 0..25 {
+            let a = plain.suggest(&mut rng_a);
+            let b = noisy.suggest(&mut rng_b);
+            assert_eq!(a, b, "divergence at step {i}");
+            let cost = (a - 0.3).abs() + 0.1;
+            plain.observe(a, cost);
+            noisy.observe_noisy(b, cost, 0.0);
+        }
+        assert_eq!(plain.best().unwrap().1, noisy.best().unwrap().1);
+        assert_eq!(plain.predict(&0.5), noisy.predict(&0.5));
+    }
+
+    #[test]
+    fn noisy_observations_are_downweighted() {
+        // Same corrupted observation, reported once as trusted and once
+        // with a large noise variance: the noisy report must move the
+        // surrogate's prediction less.
+        let mk = || {
+            let fm = FnFeatureMap::new(1, |x: &f64| vec![*x]);
+            Dabo::new(
+                DaboConfig {
+                    init_samples: 1,
+                    log_cost: false,
+                    ..DaboConfig::default()
+                },
+                fm,
+                |rng: &mut dyn RngCore| rng.gen_range(0.0..1.0),
+            )
+        };
+        let line = |x: f64| 2.0 * x + 1.0;
+        let mut trusted = mk();
+        let mut skeptical = mk();
+        for i in 0..12 {
+            let x = i as f64 / 11.0;
+            trusted.observe(x, line(x));
+            skeptical.observe(x, line(x));
+        }
+        // The corrupted point, far off the line.
+        trusted.observe(0.5, 50.0);
+        skeptical.observe_noisy(0.5, 50.0, 1e4);
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let _ = trusted.suggest(&mut rng);
+        let _ = skeptical.suggest(&mut rng);
+        let clean = line(0.5);
+        let err_trusted = (trusted.predict(&0.5).unwrap().0 - clean).abs();
+        let err_skeptical = (skeptical.predict(&0.5).unwrap().0 - clean).abs();
+        assert!(
+            err_skeptical < err_trusted / 2.0,
+            "{err_skeptical} vs {err_trusted}"
+        );
     }
 
     #[test]

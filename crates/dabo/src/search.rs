@@ -51,6 +51,15 @@ pub trait Search<P> {
     /// finite penalty internally.
     fn observe(&mut self, point: P, cost: f64);
 
+    /// Reports an observed cost together with an estimate of its
+    /// measurement-noise variance (in the algorithm's own target space).
+    /// Heteroscedastic algorithms down-weight noisy observations;
+    /// everything else ignores the variance and behaves exactly like
+    /// [`Search::observe`] — the default does just that.
+    fn observe_noisy(&mut self, point: P, cost: f64, _noise_variance: f64) {
+        self.observe(point, cost);
+    }
+
     /// Best observed point and its cost, if anything finite was seen.
     fn best(&self) -> Option<(&P, f64)>;
 

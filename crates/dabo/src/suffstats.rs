@@ -35,6 +35,10 @@ use crate::features::Standardizer;
 #[derive(Debug, Clone)]
 struct MomentGroup {
     n: usize,
+    /// Total observation weight. Unit weights keep `w == n as f64`
+    /// exactly, so the homoscedastic path is bit-identical to the
+    /// historical unweighted accumulator.
+    w: f64,
     mean_x: Vec<f64>,
     /// Lower-triangle-mirrored centered scatter, `d x d`.
     scatter: Matrix,
@@ -50,6 +54,7 @@ impl MomentGroup {
     fn new(dim: usize) -> Self {
         MomentGroup {
             n: 0,
+            w: 0.0,
             mean_x: vec![0.0; dim],
             scatter: Matrix::zeros(dim, dim),
             mean_y: 0.0,
@@ -60,26 +65,30 @@ impl MomentGroup {
         }
     }
 
-    /// One Welford step over `(x, y)` — `O(d^2)` for the scatter update.
-    fn push(&mut self, x: &[f64], y: f64) {
+    /// One weighted Welford step over `(x, y)` — `O(d^2)` for the
+    /// scatter update. With `weight == 1.0` every expression reduces
+    /// to the classic unweighted recurrence (multiplying by exactly
+    /// 1.0 changes no bits), which is what pins the noise-free path.
+    fn push(&mut self, x: &[f64], y: f64, weight: f64) {
         debug_assert_eq!(x.len(), self.mean_x.len());
+        debug_assert!(weight.is_finite() && weight > 0.0);
         self.n += 1;
-        let n = self.n as f64;
+        self.w += weight;
         for (j, &v) in x.iter().enumerate() {
             self.dx_old[j] = v - self.mean_x[j];
-            self.mean_x[j] += self.dx_old[j] / n;
+            self.mean_x[j] += self.dx_old[j] * weight / self.w;
             self.dx_new[j] = v - self.mean_x[j];
         }
         let dy_old = y - self.mean_y;
-        self.mean_y += dy_old / n;
+        self.mean_y += dy_old * weight / self.w;
         let dy_new = y - self.mean_y;
-        self.m2_y += dy_old * dy_new;
+        self.m2_y += weight * dy_old * dy_new;
         for j in 0..x.len() {
-            self.c_xy[j] += self.dx_old[j] * dy_new;
+            self.c_xy[j] += weight * self.dx_old[j] * dy_new;
             // Mirror the lower triangle so the scatter stays exactly
             // symmetric despite rounding.
             for k in 0..=j {
-                let v = self.dx_old[j] * self.dx_new[k];
+                let v = weight * self.dx_old[j] * self.dx_new[k];
                 self.scatter[(j, k)] += v;
                 if j != k {
                     self.scatter[(k, j)] += v;
@@ -162,12 +171,30 @@ impl SuffStats {
     ///
     /// Panics if `x` has the wrong arity.
     pub fn observe(&mut self, x: &[f64], target: Option<f64>) {
+        self.observe_weighted(x, target, 1.0);
+    }
+
+    /// Absorbs one observation with an explicit weight — the
+    /// heteroscedastic entry point. A weight `w` is equivalent to
+    /// scaling that observation's noise variance by `1/w`: noisy
+    /// measurements carry `w < 1` and pull the posterior less. Unit
+    /// weight is bit-identical to [`SuffStats::observe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong arity or `weight` is not finite
+    /// and positive.
+    pub fn observe_weighted(&mut self, x: &[f64], target: Option<f64>, weight: f64) {
         assert_eq!(x.len(), self.dim, "feature arity mismatch");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "observation weight must be finite and positive"
+        );
         match target {
-            Some(y) => self.finite.push(x, y),
+            Some(y) => self.finite.push(x, y, weight),
             // The infeasible group only needs x-moments; its y is the
             // shared penalty target supplied to `posterior_system`.
-            None => self.infeasible.push(x, 0.0),
+            None => self.infeasible.push(x, 0.0, weight),
         }
     }
 
@@ -182,10 +209,13 @@ impl SuffStats {
         prior_variance: f64,
         noise_variance: f64,
     ) -> Option<PosteriorSystem> {
-        let n_f = self.finite.n as f64;
-        let n_i = self.infeasible.n as f64;
+        // Total weights, not counts: under unit weights `w == n as f64`
+        // exactly (integer-valued f64 sums), so the homoscedastic
+        // system is unchanged bit for bit.
+        let n_f = self.finite.w;
+        let n_i = self.infeasible.w;
         let n = n_f + n_i;
-        if n == 0.0 {
+        if self.is_empty() {
             return None;
         }
         let d = self.dim;
@@ -398,6 +428,119 @@ mod tests {
             for probe in [[0.0, 0.0], [2.5, -1.0], [-4.0, 4.0]] {
                 let (rm, rs) = reference.predict(&probe);
                 let (im, is) = incremental.predict(&probe);
+                let ms = rm.abs().max(im.abs()).max(1.0);
+                let ss = rs.abs().max(is.abs()).max(1.0);
+                prop_assert!((rm - im).abs() / ms < 1e-8, "mean {rm} vs {im}");
+                prop_assert!((rs - is).abs() / ss < 1e-8, "std {rs} vs {is}");
+            }
+        }
+    }
+
+    /// From-scratch weighted reference: weighted feature standardization
+    /// plus [`BayesianLinearModel::fit_weighted`] on the standardized rows.
+    fn weighted_reference_fit(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        weights: &[f64],
+    ) -> (BayesianLinearModel, Standardizer) {
+        let d = rows[0].len();
+        let total: f64 = weights.iter().sum();
+        let mut means = vec![0.0; d];
+        for (r, &w) in rows.iter().zip(weights) {
+            for j in 0..d {
+                means[j] += w * r[j];
+            }
+        }
+        for m in &mut means {
+            *m /= total;
+        }
+        let mut stds = vec![0.0; d];
+        for (r, &w) in rows.iter().zip(weights) {
+            for j in 0..d {
+                stds[j] += w * (r[j] - means[j]) * (r[j] - means[j]);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / total).sqrt();
+        }
+        let st = Standardizer::from_moments(means, stds);
+        let xs = st.transform_all(rows);
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit_weighted(&xs, targets, weights).unwrap();
+        (m, st)
+    }
+
+    fn weighted_incremental_fit(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        weights: &[f64],
+    ) -> (BayesianLinearModel, Standardizer) {
+        let mut stats = SuffStats::new(rows[0].len());
+        for ((x, &t), &w) in rows.iter().zip(targets).zip(weights) {
+            stats.observe_weighted(x, Some(t), w);
+        }
+        let sys = stats.posterior_system(0.0, 10.0, 1e-2).unwrap();
+        let mut m = BayesianLinearModel::new(10.0, 1e-2);
+        m.fit_from_precision(&sys.precision, &sys.rhs, sys.y_mean, sys.y_std)
+            .unwrap();
+        (m, sys.standardizer)
+    }
+
+    #[test]
+    fn unit_weights_are_bit_identical_to_unweighted_observe() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 6) as f64, (i as f64) * 0.7 - 3.0])
+            .collect();
+        let mut plain = SuffStats::new(2);
+        let mut weighted = SuffStats::new(2);
+        for (i, r) in rows.iter().enumerate() {
+            let t = (i % 5 != 0).then(|| 1.3 * r[0] - r[1]);
+            plain.observe(r, t);
+            weighted.observe_weighted(r, t, 1.0);
+        }
+        let a = plain.posterior_system(9.0, 10.0, 1e-2).unwrap();
+        let b = weighted.posterior_system(9.0, 10.0, 1e-2).unwrap();
+        assert_eq!(a.y_mean, b.y_mean);
+        assert_eq!(a.y_std, b.y_std);
+        assert_eq!(a.rhs, b.rhs);
+        for j in 0..a.precision.rows() {
+            for k in 0..a.precision.cols() {
+                assert_eq!(a.precision[(j, k)], b.precision[(j, k)]);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn weighted_incremental_fit_matches_weighted_from_scratch(
+            vals in proptest::collection::vec(-5.0f64..5.0, 24..64),
+            wts in proptest::collection::vec(0.05f64..1.0, 32),
+        ) {
+            use proptest::prelude::prop_assert;
+
+            let rows: Vec<Vec<f64>> = vals
+                .chunks_exact(2)
+                .enumerate()
+                .map(|(i, c)| vec![c[0] + i as f64 * 1e-3, c[1] - i as f64 * 1e-3])
+                .collect();
+            let targets: Vec<f64> = rows
+                .iter()
+                .map(|r| 1.7 * r[0] - 0.4 * r[1] + 0.25)
+                .collect();
+            let weights: Vec<f64> = (0..rows.len())
+                .map(|i| wts[i % wts.len()])
+                .collect();
+            let (reference, rst) = weighted_reference_fit(&rows, &targets, &weights);
+            let (incremental, ist) = weighted_incremental_fit(&rows, &targets, &weights);
+            for (a, b) in reference.weights().iter().zip(incremental.weights()) {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                prop_assert!((a - b).abs() / scale < 1e-8, "weights {a} vs {b}");
+            }
+            for probe in [[0.0, 0.0], [2.5, -1.0], [-4.0, 4.0]] {
+                let (rm, rs) = reference.predict(&rst.transform(&probe));
+                let (im, is) = incremental.predict(&ist.transform(&probe));
                 let ms = rm.abs().max(im.abs()).max(1.0);
                 let ss = rs.abs().max(is.abs()).max(1.0);
                 prop_assert!((rm - im).abs() / ms < 1e-8, "mean {rm} vs {im}");

@@ -46,12 +46,32 @@
 //! backend. Panics are *not* caught here — the parallel layerwise
 //! search isolates them per worker. [`FaultInjectingBackend`] injects
 //! all four failure modes from a seeded, replayable schedule.
+//!
+//! # Noise model
+//!
+//! Orthogonally to hard failures, backends may return *noisy* scalars —
+//! correct in expectation but wrong per sample. [`NoisyBackend`] injects
+//! seeded multiplicative noise (Gaussian or heavy-tailed) for rehearsal,
+//! and [`RobustPolicy`] configures the engine's countermeasure:
+//! k-replicate measurement, MAD-based outlier rejection with bounded
+//! re-measurement, configurable aggregation (mean / median / trimmed
+//! mean), and a per-point dispersion estimate
+//! ([`ReplicateSummary::dispersion`]) that flows to heteroscedastic
+//! surrogates. The single-shot default reproduces plain evaluation
+//! exactly.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod fault;
+mod noise;
+mod robust;
 
 pub use fault::{key_fingerprint, FaultDecision, FaultInjectingBackend, FaultPlan, FaultPlanError};
+pub use noise::{NoiseModel, NoisePlan, NoisePlanError, NoisyBackend};
+pub use robust::{
+    mad, median, outlier_flags, relative_dispersion, trimmed_mean, Aggregation, AggregationError,
+    ReplicateSummary, RobustPolicy, MAD_SCALE,
+};
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -163,6 +183,13 @@ pub trait CostBackend: Send + Sync {
     /// run manifest records this so `resume` rebuilds the identical
     /// fault schedule.
     fn faults(&self) -> Option<String> {
+        None
+    }
+
+    /// The canonical noise-plan spec when this backend injects
+    /// measurement noise (see [`NoisyBackend`]); `None` for real
+    /// backends. Recorded in the run manifest like `faults`.
+    fn noise(&self) -> Option<String> {
         None
     }
 
@@ -317,7 +344,51 @@ pub fn backend_by_name(name: &str) -> Result<Box<dyn CostBackend>, UnknownBacken
 }
 
 type CacheKey = (HardwareConfig, Schedule, ConvLayer);
-type CacheValue = Result<CostReport, EvalError>;
+type CacheValue = Result<(CostReport, ReplicateSummary), EvalError>;
+
+/// The memo cache: a hash map plus an insertion-order queue that backs
+/// the deterministic FIFO eviction policy of a capacity-bounded cache.
+/// With no capacity set (the default) the queue stays empty and the
+/// behaviour is the historical unbounded map.
+struct MemoCache {
+    map: HashMap<CacheKey, CacheValue>,
+    /// Insertion order of the resident keys; maintained only when a
+    /// capacity is set.
+    order: std::collections::VecDeque<CacheKey>,
+    cap: Option<usize>,
+}
+
+impl MemoCache {
+    fn new(cap: Option<usize>) -> Self {
+        MemoCache {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Inserts `value`, evicting oldest entries past the capacity.
+    /// Returns how many entries were evicted.
+    fn insert(&mut self, key: CacheKey, value: CacheValue) -> u64 {
+        let mut evicted = 0;
+        if self.map.insert(key, value).is_none() {
+            if let Some(cap) = self.cap {
+                self.order.push_back(key);
+                while self.map.len() > cap {
+                    match self.order.pop_front() {
+                        Some(old) => {
+                            if self.map.remove(&old).is_some() {
+                                evicted += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        evicted
+    }
+}
 
 /// Snapshot of an engine's instrumentation counters.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -340,6 +411,13 @@ pub struct EvalStats {
     pub failed_layers: u64,
     /// Software-schedule searches driven through the engine.
     pub sw_searches: u64,
+    /// Cache entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Backend measurements taken for replicated queries (initial
+    /// replicates plus re-measures); zero under the single-shot default.
+    pub replicate_measurements: u64,
+    /// Replicate measurements discarded as outliers.
+    pub outliers_rejected: u64,
     /// Accumulated wall time per named phase, sorted by phase name.
     pub phase_wall: Vec<(String, Duration)>,
 }
@@ -414,8 +492,13 @@ impl EvalStats {
 /// ```
 pub struct EvalEngine {
     backend: Box<dyn CostBackend>,
-    cache: Option<Mutex<HashMap<CacheKey, CacheValue>>>,
+    cache: Option<Mutex<MemoCache>>,
     retry: RetryPolicy,
+    robust: RobustPolicy,
+    /// Wall-clock point past which retry backoff must not sleep; set by
+    /// deadline-bounded drivers so a latency-spike fault schedule cannot
+    /// stall a worker past the budget.
+    deadline: Mutex<Option<Instant>>,
     /// Fingerprints of keys whose retries were exhausted (or poisoned).
     quarantine: Mutex<HashSet<u64>>,
     /// Mirror of `quarantine.len()`: lets the fault-free hot path skip
@@ -429,6 +512,9 @@ pub struct EvalEngine {
     transient_retries: AtomicU64,
     failed_layers: AtomicU64,
     sw_searches: AtomicU64,
+    evictions: AtomicU64,
+    replicate_measurements: AtomicU64,
+    outliers_rejected: AtomicU64,
     phase_wall: Mutex<BTreeMap<&'static str, Duration>>,
 }
 
@@ -453,8 +539,10 @@ impl EvalEngine {
     pub fn new(backend: Box<dyn CostBackend>) -> Self {
         EvalEngine {
             backend,
-            cache: Some(Mutex::new(HashMap::new())),
+            cache: Some(Mutex::new(MemoCache::new(None))),
             retry: RetryPolicy::default(),
+            robust: RobustPolicy::default(),
+            deadline: Mutex::new(None),
             quarantine: Mutex::new(HashSet::new()),
             quarantine_len: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
@@ -465,6 +553,9 @@ impl EvalEngine {
             transient_retries: AtomicU64::new(0),
             failed_layers: AtomicU64::new(0),
             sw_searches: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            replicate_measurements: AtomicU64::new(0),
+            outliers_rejected: AtomicU64::new(0),
             phase_wall: Mutex::new(BTreeMap::new()),
         }
     }
@@ -514,9 +605,37 @@ impl EvalEngine {
         })
     }
 
+    /// Like [`EvalEngine::by_name_with_faults`], additionally wrapping
+    /// the (possibly fault-injecting) backend in a [`NoisyBackend`]
+    /// when `noise` is given. Noise wraps faults, so a report that
+    /// survives the fault schedule is then perturbed.
+    pub fn by_name_configured(
+        name: &str,
+        faults: Option<FaultPlan>,
+        noise: Option<NoisePlan>,
+    ) -> Result<Self, UnknownBackend> {
+        let mut inner = backend_by_name(name)?;
+        if let Some(plan) = faults {
+            inner = Box::new(FaultInjectingBackend::new(inner, plan));
+        }
+        if let Some(plan) = noise {
+            inner = Box::new(NoisyBackend::new(inner, plan));
+        }
+        Ok(EvalEngine::new(inner))
+    }
+
     /// Disables memoization (every query hits the backend).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Bounds the memo cache to `cap` resident entries, evicted FIFO in
+    /// insertion order. No-op when the cache is disabled.
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        if let Some(cache) = &mut self.cache {
+            cache.get_mut().unwrap_or_else(PoisonError::into_inner).cap = Some(cap);
+        }
         self
     }
 
@@ -524,6 +643,25 @@ impl EvalEngine {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Replaces the replicated-measurement policy.
+    pub fn with_robust_policy(mut self, robust: RobustPolicy) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    /// The active replicated-measurement policy.
+    pub fn robust_policy(&self) -> RobustPolicy {
+        self.robust
+    }
+
+    /// Sets (or clears) the wall-clock deadline the retry backoff must
+    /// respect: once a backoff sleep would cross it, the retry loop
+    /// gives up immediately instead of sleeping. Drivers set this at
+    /// run start from their `--deadline` budget.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.deadline.lock().unwrap_or_else(PoisonError::into_inner) = deadline;
     }
 
     /// The backend's stable name.
@@ -534,6 +672,11 @@ impl EvalEngine {
     /// The backend's fault-plan spec, if it injects faults.
     pub fn faults(&self) -> Option<String> {
         self.backend.faults()
+    }
+
+    /// The backend's noise-plan spec, if it injects measurement noise.
+    pub fn noise(&self) -> Option<String> {
+        self.backend.noise()
     }
 
     /// Costs one triple, consulting the quarantine list and the memo
@@ -548,6 +691,21 @@ impl EvalEngine {
         sched: &Schedule,
         layer: &ConvLayer,
     ) -> Result<CostReport, EvalError> {
+        self.evaluate_robust(hw, sched, layer).map(|(r, _)| r)
+    }
+
+    /// Like [`EvalEngine::evaluate`], additionally returning the
+    /// [`ReplicateSummary`] of the measurement — how many replicates
+    /// were taken, how many were rejected, and the residual dispersion
+    /// that heteroscedastic surrogates consume as observation noise.
+    /// Under the single-shot default the summary is
+    /// [`ReplicateSummary::single`].
+    pub fn evaluate_robust(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+    ) -> Result<(CostReport, ReplicateSummary), EvalError> {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         // Fault-free runs pay one relaxed load here and never touch the
         // quarantine lock.
@@ -572,6 +730,7 @@ impl EvalEngine {
                 let cached = cache
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
+                    .map
                     .get(&key)
                     .copied();
                 match cached {
@@ -585,16 +744,19 @@ impl EvalEngine {
                         // threads may race on one key; both store the
                         // same pure value, so last-write-wins is safe.
                         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        let r = self.invoke_backend(hw, sched, layer);
+                        let r = self.measure_robust(hw, sched, layer);
                         let deterministic = match &r {
                             Ok(_) => true,
                             Err(e) => e.is_infeasible(),
                         };
                         if deterministic {
-                            cache
+                            let evicted = cache
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner)
                                 .insert(key, r);
+                            if evicted > 0 {
+                                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                            }
                         }
                         r
                     }
@@ -602,7 +764,7 @@ impl EvalEngine {
             }
             None => {
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
-                self.invoke_backend(hw, sched, layer)
+                self.measure_robust(hw, sched, layer)
             }
         };
         match result {
@@ -627,9 +789,104 @@ impl EvalEngine {
         result
     }
 
+    /// Measures one point per the [`RobustPolicy`]: single-shot when
+    /// `replicates == 1` (bit-identical to the historical path), else
+    /// k replicates, one MAD outlier-rejection pass, a bounded round of
+    /// replacement measurements (accepted only when they fall inside
+    /// the surviving replicates' cutoff), and configurable aggregation
+    /// of the survivors' delay/energy. The remaining report fields come
+    /// from the first surviving replicate.
+    fn measure_robust(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+    ) -> Result<(CostReport, ReplicateSummary), EvalError> {
+        let k = self.robust.replicates;
+        if k <= 1 {
+            return self
+                .invoke_backend(hw, sched, layer)
+                .map(|r| (r, ReplicateSummary::single()));
+        }
+        let mut reports = Vec::with_capacity(k);
+        for _ in 0..k {
+            reports.push(self.invoke_backend(hw, sched, layer)?);
+        }
+        let mut measurements = k as u64;
+        let mut rejected = 0u64;
+
+        // One rejection pass over the initial replicates: a replicate
+        // is an outlier when either metric is flagged. Never discard a
+        // majority — keep the least-deviant strict majority.
+        let delays: Vec<f64> = reports.iter().map(|r| r.delay_cycles).collect();
+        let energies: Vec<f64> = reports.iter().map(|r| r.energy_nj).collect();
+        let fd = outlier_flags(&delays, self.robust.mad_threshold);
+        let fe = outlier_flags(&energies, self.robust.mad_threshold);
+        let mut flagged: Vec<usize> = (0..reports.len()).filter(|&i| fd[i] || fe[i]).collect();
+        let max_reject = reports.len() - (reports.len() / 2 + 1);
+        flagged.truncate(max_reject);
+        let mut survivors: Vec<CostReport> = reports
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !flagged.contains(i))
+            .map(|(_, r)| *r)
+            .collect();
+        rejected += flagged.len() as u64;
+
+        if !flagged.is_empty() {
+            // Bounded re-measurement: replace what was rejected, but a
+            // replacement only joins the pool if it sits inside the
+            // survivors' own cutoff (otherwise it is rejected too).
+            let s_delays: Vec<f64> = survivors.iter().map(|r| r.delay_cycles).collect();
+            let s_energies: Vec<f64> = survivors.iter().map(|r| r.energy_nj).collect();
+            let cutoff = |xs: &[f64], x: f64| {
+                let med = median(xs);
+                let scale = MAD_SCALE * mad(xs, med);
+                let dev = (x - med).abs();
+                if scale > 0.0 {
+                    dev > self.robust.mad_threshold * scale
+                } else {
+                    dev > 0.0
+                }
+            };
+            let refill = flagged.len().min(self.robust.max_remeasures);
+            for _ in 0..refill {
+                let r = self.invoke_backend(hw, sched, layer)?;
+                measurements += 1;
+                if cutoff(&s_delays, r.delay_cycles) || cutoff(&s_energies, r.energy_nj) {
+                    rejected += 1;
+                } else {
+                    survivors.push(r);
+                }
+            }
+        }
+
+        let delays: Vec<f64> = survivors.iter().map(|r| r.delay_cycles).collect();
+        let energies: Vec<f64> = survivors.iter().map(|r| r.energy_nj).collect();
+        let report = CostReport {
+            delay_cycles: self.robust.aggregation.apply(&delays),
+            energy_nj: self.robust.aggregation.apply(&energies),
+            ..survivors[0]
+        };
+        let summary = ReplicateSummary {
+            measurements,
+            rejected,
+            dispersion: relative_dispersion(&delays).max(relative_dispersion(&energies)),
+        };
+        self.replicate_measurements
+            .fetch_add(measurements, Ordering::Relaxed);
+        if rejected > 0 {
+            self.outliers_rejected
+                .fetch_add(rejected, Ordering::Relaxed);
+        }
+        Ok((report, summary))
+    }
+
     /// One backend invocation with inline transient retries and report
     /// sanitization. Panics from the backend propagate (the layerwise
-    /// search isolates them per worker).
+    /// search isolates them per worker). Backoff sleeps that would
+    /// cross the engine deadline are skipped: the retry loop gives up
+    /// so deadline-bounded runs degrade instead of stalling.
     fn invoke_backend(
         &self,
         hw: &HardwareConfig,
@@ -646,8 +903,11 @@ impl EvalEngine {
             };
             match result {
                 Err(EvalError::Transient) if attempt < self.retry.max_attempts => {
-                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
                     let pause = self.retry.backoff(attempt);
+                    if self.pause_crosses_deadline(pause) {
+                        return Err(EvalError::Transient);
+                    }
+                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
                     }
@@ -655,6 +915,14 @@ impl EvalEngine {
                 }
                 other => return other,
             }
+        }
+    }
+
+    /// True when sleeping for `pause` would cross the engine deadline.
+    fn pause_crosses_deadline(&self, pause: Duration) -> bool {
+        match *self.deadline.lock().unwrap_or_else(PoisonError::into_inner) {
+            Some(deadline) => Instant::now() + pause >= deadline,
+            None => false,
         }
     }
 
@@ -672,13 +940,47 @@ impl EvalEngine {
         obs: &Observer,
         step: u64,
     ) -> Result<CostReport, EvalError> {
-        let result = self.evaluate(hw, sched, layer);
+        self.evaluate_observed_robust(hw, sched, layer, obs, step)
+            .map(|(r, _)| r)
+    }
+
+    /// Like [`EvalEngine::evaluate_observed`], additionally returning
+    /// the [`ReplicateSummary`] and emitting `replicate_summary` /
+    /// `outlier_rejected` trace events when replication actually
+    /// happened. Single-shot measurement emits exactly the historical
+    /// event stream.
+    pub fn evaluate_observed_robust(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+        obs: &Observer,
+        step: u64,
+    ) -> Result<(CostReport, ReplicateSummary), EvalError> {
+        let result = self.evaluate_robust(hw, sched, layer);
         match &result {
-            Ok(report) => obs.emit_with(|| Event::ScheduleEvaluated {
-                step,
-                delay_cycles: report.delay_cycles,
-                energy_nj: report.energy_nj,
-            }),
+            Ok((report, summary)) => {
+                obs.emit_with(|| Event::ScheduleEvaluated {
+                    step,
+                    delay_cycles: report.delay_cycles,
+                    energy_nj: report.energy_nj,
+                });
+                if summary.measurements > 1 {
+                    let s = *summary;
+                    obs.emit_with(|| Event::ReplicateSummary {
+                        step,
+                        measurements: s.measurements,
+                        rejected: s.rejected,
+                        dispersion: s.dispersion,
+                    });
+                    if s.rejected > 0 {
+                        obs.emit_with(|| Event::OutlierRejected {
+                            step,
+                            count: s.rejected,
+                        });
+                    }
+                }
+            }
             Err(e) if e.is_infeasible() => obs.emit_with(|| Event::Infeasible {
                 step,
                 reason: e.to_string(),
@@ -710,6 +1012,7 @@ impl EvalEngine {
     /// cold, while the logical counters describe the search so far and
     /// must carry over for the final report to match an uninterrupted
     /// run.
+    #[allow(clippy::too_many_arguments)]
     pub fn restore_logical_counters(
         &self,
         evaluations: u64,
@@ -717,12 +1020,15 @@ impl EvalEngine {
         infeasible: u64,
         quarantined: u64,
         failed_layers: u64,
+        outliers_rejected: u64,
     ) {
         self.evaluations.store(evaluations, Ordering::Relaxed);
         self.sw_searches.store(sw_searches, Ordering::Relaxed);
         self.infeasible.store(infeasible, Ordering::Relaxed);
         self.quarantined.store(quarantined, Ordering::Relaxed);
         self.failed_layers.store(failed_layers, Ordering::Relaxed);
+        self.outliers_rejected
+            .store(outliers_rejected, Ordering::Relaxed);
     }
 
     /// Runs `f`, charging its wall time to the named phase.
@@ -762,6 +1068,9 @@ impl EvalEngine {
             transient_retries: self.transient_retries.load(Ordering::Relaxed),
             failed_layers: self.failed_layers.load(Ordering::Relaxed),
             sw_searches: self.sw_searches.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            replicate_measurements: self.replicate_measurements.load(Ordering::Relaxed),
+            outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
             phase_wall: self
                 .phase_wall
                 .lock()
@@ -784,6 +1093,9 @@ impl EvalEngine {
         self.transient_retries.store(0, Ordering::Relaxed);
         self.failed_layers.store(0, Ordering::Relaxed);
         self.sw_searches.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.replicate_measurements.store(0, Ordering::Relaxed);
+        self.outliers_rejected.store(0, Ordering::Relaxed);
         self.phase_wall
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -793,14 +1105,16 @@ impl EvalEngine {
     /// Drops every memoized result.
     pub fn clear_cache(&self) {
         if let Some(cache) = &self.cache {
-            cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
+            let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.map.clear();
+            guard.order.clear();
         }
     }
 
     /// Number of distinct triples currently memoized.
     pub fn cache_len(&self) -> usize {
         self.cache.as_ref().map_or(0, |c| {
-            c.lock().unwrap_or_else(PoisonError::into_inner).len()
+            c.lock().unwrap_or_else(PoisonError::into_inner).map.len()
         })
     }
 
@@ -1101,13 +1415,14 @@ mod tests {
     #[test]
     fn restored_counters_feed_the_next_snapshot() {
         let engine = EvalEngine::maestro();
-        engine.restore_logical_counters(10, 2, 3, 1, 1);
+        engine.restore_logical_counters(10, 2, 3, 1, 1, 4);
         let stats = engine.stats();
         assert_eq!(stats.evaluations, 10);
         assert_eq!(stats.sw_searches, 2);
         assert_eq!(stats.infeasible, 3);
         assert_eq!(stats.quarantined, 1);
         assert_eq!(stats.failed_layers, 1);
+        assert_eq!(stats.outliers_rejected, 4);
         assert_eq!(stats.cache_hits, 0);
     }
 
@@ -1133,5 +1448,122 @@ mod tests {
         assert_eq!(stats.evaluations, 4);
         assert_eq!(engine.cache_len(), 1);
         assert_eq!(stats.cache_hits + stats.cache_misses, 4);
+    }
+
+    /// A distinct (hw, sched, layer) key per input size, for cache tests.
+    fn keyed_triple(size: u64) -> (HardwareConfig, Schedule, ConvLayer) {
+        let hw = HardwareConfig::new(256, 16, 2, 128, 256, 128).unwrap();
+        let layer = ConvLayer::new(1, 64, 32, 3, 3, size, size);
+        let sched = dataflow_schedule(DataflowStyle::WeightStationary, &layer, &hw);
+        (hw, sched, layer)
+    }
+
+    #[test]
+    fn default_policy_measures_once_with_single_summary() {
+        let (hw, sched, layer) = triple();
+        let engine = EvalEngine::maestro();
+        let (report, summary) = engine.evaluate_robust(&hw, &sched, &layer).unwrap();
+        assert_eq!(summary, ReplicateSummary::single());
+        assert_eq!(report, engine.evaluate(&hw, &sched, &layer).unwrap());
+        let stats = engine.stats();
+        // Replication counters stay untouched on the single-shot path.
+        assert_eq!(stats.replicate_measurements, 0);
+        assert_eq!(stats.outliers_rejected, 0);
+    }
+
+    #[test]
+    fn replicated_noisy_measurement_aggregates_and_is_reproducible() {
+        let (hw, sched, layer) = triple();
+        let plan: NoisePlan = "seed=7,model=gauss,sigma=0.1".parse().unwrap();
+        let make = || {
+            EvalEngine::new(Box::new(NoisyBackend::new(
+                Box::new(MaestroBackend::default()),
+                plan,
+            )))
+            .with_robust_policy(RobustPolicy::replicated(5, Aggregation::Median))
+        };
+        let engine = make();
+        let (report, summary) = engine.evaluate_robust(&hw, &sched, &layer).unwrap();
+        let clean = CostModel::default().evaluate(&hw, &sched, &layer).unwrap();
+        // The median of five replicates lands near the clean value but
+        // (with sigma=0.1) not exactly on it.
+        assert!((report.delay_cycles / clean.delay_cycles - 1.0).abs() < 0.2);
+        assert_ne!(report.delay_cycles, clean.delay_cycles);
+        assert!(summary.measurements >= 5);
+        assert!(summary.dispersion > 0.0);
+        assert_eq!(engine.stats().replicate_measurements, summary.measurements);
+        // A fresh engine with the same plan reproduces the measurement
+        // bit-for-bit: replicate ordinals restart per engine.
+        let again = make().evaluate_robust(&hw, &sched, &layer).unwrap();
+        assert_eq!(again, (report, summary));
+        // And a cache hit replays the identical summary.
+        assert_eq!(
+            engine.evaluate_robust(&hw, &sched, &layer).unwrap(),
+            (report, summary)
+        );
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn heavy_noise_outliers_are_rejected_and_counted() {
+        let plan: NoisePlan = "seed=11,model=heavy,sigma=0.05".parse().unwrap();
+        let engine = EvalEngine::new(Box::new(NoisyBackend::new(
+            Box::new(MaestroBackend::default()),
+            plan,
+        )))
+        .with_robust_policy(RobustPolicy::replicated(7, Aggregation::Median));
+        // Enough distinct points that the Cauchy tail is certain (for
+        // this seed) to plant gross outliers in some replicate set.
+        for size in 8..40 {
+            let (hw, sched, layer) = keyed_triple(size);
+            engine.evaluate(&hw, &sched, &layer).unwrap();
+        }
+        let stats = engine.stats();
+        assert!(stats.outliers_rejected > 0, "{stats:?}");
+        // Rejected replicates were replaced within the re-measure budget.
+        assert!(stats.replicate_measurements >= 32 * 7 + stats.outliers_rejected / 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_insertion_order() {
+        let engine = EvalEngine::maestro().with_cache_cap(2);
+        let keys: Vec<_> = [24, 26, 28].iter().map(|&s| keyed_triple(s)).collect();
+        for (hw, sched, layer) in &keys {
+            engine.evaluate(hw, sched, layer).unwrap();
+        }
+        assert_eq!(engine.cache_len(), 2);
+        assert_eq!(engine.stats().evictions, 1);
+        // The newest key is still memoized...
+        let (hw, sched, layer) = &keys[2];
+        engine.evaluate(hw, sched, layer).unwrap();
+        assert_eq!(engine.stats().cache_hits, 1);
+        // ...while the oldest was evicted and recomputes as a miss.
+        let (hw, sched, layer) = &keys[0];
+        engine.evaluate(hw, sched, layer).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_abandons_retry_backoff() {
+        let (hw, sched, layer) = triple();
+        let engine =
+            EvalEngine::new(Box::new(FlakyBackend::new(2))).with_retry_policy(fast_retry());
+        engine.set_deadline(Some(Instant::now()));
+        // The first transient failure would normally retry; with the
+        // deadline already passed the engine gives up immediately.
+        assert_eq!(
+            engine.evaluate(&hw, &sched, &layer),
+            Err(EvalError::Transient)
+        );
+        assert_eq!(engine.stats().transient_retries, 0);
+        // Clearing the deadline restores inline retries (fresh key so
+        // the quarantine from the abandoned attempt doesn't shortcut).
+        engine.set_deadline(None);
+        let (hw2, sched2, layer2) = keyed_triple(20);
+        assert!(engine.evaluate(&hw2, &sched2, &layer2).is_ok());
+        assert_eq!(engine.stats().transient_retries, 1);
     }
 }

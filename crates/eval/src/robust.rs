@@ -1,0 +1,318 @@
+//! Robust replicated measurement: aggregation and outlier rejection.
+//!
+//! When a backend is noisy (a real measurement rig, or [`crate::NoisyBackend`]
+//! standing in for one), a single sample is a bad estimate of a point's
+//! cost. [`RobustPolicy`] configures the engine's answer: measure each
+//! point `replicates` times, reject gross outliers by their deviation
+//! from the median in MAD units (with a bounded re-measurement budget
+//! to replace what was rejected), aggregate the survivors with a
+//! configurable estimator, and report the residual dispersion so the
+//! surrogate can down-weight unreliable points.
+//!
+//! Every function here is a pure, allocation-honest `f64` computation:
+//! sorting uses `total_cmp`, so results are exactly deterministic and
+//! independent of input order — the property the aggregation proptests
+//! pin across thread counts.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Consistency factor turning a MAD into a Gaussian-comparable scale
+/// estimate (`1 / Phi^-1(3/4)`).
+pub const MAD_SCALE: f64 = 1.4826;
+
+/// How replicate measurements collapse into one scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Arithmetic mean — efficient under well-behaved noise, not robust.
+    Mean,
+    /// Median — robust to any minority of corrupted replicates.
+    #[default]
+    Median,
+    /// Mean of the middle values after trimming `floor(n/4)` from each
+    /// end — a compromise between the two.
+    Trimmed,
+}
+
+impl Aggregation {
+    /// Stable name, round-tripped by [`FromStr`] and the run manifest.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Aggregation::Mean => "mean",
+            Aggregation::Median => "median",
+            Aggregation::Trimmed => "trimmed",
+        }
+    }
+
+    /// Collapses `xs` into one scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn apply(&self, xs: &[f64]) -> f64 {
+        assert!(!xs.is_empty(), "cannot aggregate zero replicates");
+        match self {
+            Aggregation::Mean => xs.iter().sum::<f64>() / xs.len() as f64,
+            Aggregation::Median => median(xs),
+            Aggregation::Trimmed => trimmed_mean(xs),
+        }
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a `--robust-agg` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregationError {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown aggregation {:?} (valid: mean, median, trimmed)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for AggregationError {}
+
+impl FromStr for Aggregation {
+    type Err = AggregationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mean" => Ok(Aggregation::Mean),
+            "median" => Ok(Aggregation::Median),
+            "trimmed" => Ok(Aggregation::Trimmed),
+            other => Err(AggregationError {
+                requested: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// The engine's replicated-measurement policy. The default (one
+/// replicate) reproduces single-shot evaluation exactly — no extra
+/// backend calls, no aggregation arithmetic, zero dispersion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustPolicy {
+    /// Measurements per point. 1 disables replication entirely.
+    pub replicates: usize,
+    /// How the surviving replicates collapse into one report.
+    pub aggregation: Aggregation,
+    /// A replicate is rejected when either metric deviates from the
+    /// replicate median by more than this many scaled MADs.
+    pub mad_threshold: f64,
+    /// Upper bound on replacement measurements taken for rejected
+    /// replicates, per point.
+    pub max_remeasures: usize,
+}
+
+impl Default for RobustPolicy {
+    fn default() -> Self {
+        RobustPolicy {
+            replicates: 1,
+            aggregation: Aggregation::Median,
+            mad_threshold: 3.5,
+            max_remeasures: 0,
+        }
+    }
+}
+
+impl RobustPolicy {
+    /// A `k`-replicate policy with the default MAD threshold and a
+    /// re-measurement budget of `k`.
+    pub fn replicated(k: usize, aggregation: Aggregation) -> Self {
+        RobustPolicy {
+            replicates: k.max(1),
+            aggregation,
+            mad_threshold: 3.5,
+            max_remeasures: k.max(1),
+        }
+    }
+
+    /// True when the policy is single-shot (today's default behaviour).
+    pub fn is_single_shot(&self) -> bool {
+        self.replicates <= 1
+    }
+}
+
+/// What replicated measurement did for one point. Cached alongside the
+/// aggregated report so cache hits replay the same summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplicateSummary {
+    /// Backend measurements taken (initial replicates + re-measures).
+    pub measurements: u64,
+    /// Measurements discarded as outliers.
+    pub rejected: u64,
+    /// Relative dispersion of the surviving replicates: the larger of
+    /// the two metrics' scaled-MAD-over-median ratios. Zero for
+    /// single-shot measurement.
+    pub dispersion: f64,
+}
+
+impl ReplicateSummary {
+    /// The summary of an un-replicated measurement.
+    pub fn single() -> Self {
+        ReplicateSummary {
+            measurements: 1,
+            rejected: 0,
+            dispersion: 0.0,
+        }
+    }
+}
+
+/// Exact-`f64` median: sorts a copy with `total_cmp` (so the result is
+/// independent of input order, NaNs included) and averages the middle
+/// pair for even lengths.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of zero values");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Mean after trimming `floor(n/4)` values from each end of the sorted
+/// order — so up to a quarter of the replicates may be corrupted on
+/// either side without moving the estimate's support.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn trimmed_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "trimmed mean of zero values");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let trim = sorted.len() / 4;
+    let kept = &sorted[trim..sorted.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Median absolute deviation from `center`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|&x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Per-value outlier flags: a value is an outlier when it is non-finite
+/// or deviates from the median by more than `threshold` scaled MADs.
+/// When the MAD collapses to zero (a majority of identical values), any
+/// deviation at all is an outlier.
+pub fn outlier_flags(xs: &[f64], threshold: f64) -> Vec<bool> {
+    let med = median(xs);
+    let scale = MAD_SCALE * mad(xs, med);
+    xs.iter()
+        .map(|&x| {
+            if !x.is_finite() {
+                return true;
+            }
+            let dev = (x - med).abs();
+            if scale > 0.0 {
+                dev > threshold * scale
+            } else {
+                dev > 0.0
+            }
+        })
+        .collect()
+}
+
+/// Relative dispersion of `xs`: scaled MAD over the absolute median,
+/// or zero when the median is zero (degenerate) or `xs` has one value.
+pub fn relative_dispersion(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let med = median(xs);
+    if med == 0.0 || !med.is_finite() {
+        return 0.0;
+    }
+    MAD_SCALE * mad(xs, med) / med.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_independent_and_exact() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+        // NaNs sort to an end under total_cmp and cannot reach the
+        // middle while they are a minority.
+        assert_eq!(median(&[f64::NAN, 2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_a_quarter_from_each_end() {
+        // n=5: trim 1 each end, mean of the middle 3.
+        assert_eq!(trimmed_mean(&[100.0, 1.0, 2.0, 3.0, -50.0]), 2.0);
+        // n=3: trim 0 — plain mean.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(trimmed_mean(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn aggregation_parses_and_round_trips() {
+        for agg in [Aggregation::Mean, Aggregation::Median, Aggregation::Trimmed] {
+            assert_eq!(agg.as_str().parse::<Aggregation>().unwrap(), agg);
+        }
+        let err = "mode".parse::<Aggregation>().unwrap_err();
+        assert!(err.to_string().contains("median"));
+    }
+
+    #[test]
+    fn outlier_flags_catch_gross_and_nonfinite_values() {
+        let xs = [10.0, 10.1, 9.9, 10.05, 1000.0];
+        let flags = outlier_flags(&xs, 3.5);
+        assert_eq!(flags, vec![false, false, false, false, true]);
+        let with_nan = [10.0, 10.1, 9.9, f64::NAN];
+        assert!(outlier_flags(&with_nan, 3.5)[3]);
+        // MAD zero: everything off the median is an outlier.
+        let constant = [5.0, 5.0, 5.0, 6.0];
+        assert_eq!(
+            outlier_flags(&constant, 3.5),
+            vec![false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn dispersion_is_scale_free_and_zero_for_singletons() {
+        assert_eq!(relative_dispersion(&[42.0]), 0.0);
+        let small = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let big: Vec<f64> = small.iter().map(|x| x * 1e9).collect();
+        let a = relative_dispersion(&small);
+        let b = relative_dispersion(&big);
+        assert!(a > 0.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_policy_is_single_shot() {
+        let p = RobustPolicy::default();
+        assert!(p.is_single_shot());
+        assert!(!RobustPolicy::replicated(5, Aggregation::Median).is_single_shot());
+    }
+}

@@ -122,6 +122,71 @@ impl BayesianLinearModel {
         v.push(1.0);
         v
     }
+
+    /// Heteroscedastic fit: observation `i` carries weight `w_i`,
+    /// equivalent to giving it noise variance `sigma_n^2 / w_i`. The
+    /// precision and right-hand side become the *weighted* moments
+    /// (`A = sum w_i phi phi^T / sigma_n^2 + I / sigma_p^2`), and the
+    /// target standardization uses the weighted mean and variance, so
+    /// unit weights reproduce [`Surrogate::fit`] exactly. This is the
+    /// from-scratch reference that the daBO sufficient-statistics path
+    /// is pinned against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Surrogate::fit`]; additionally
+    /// [`FitError::ShapeMismatch`] when `weights` has the wrong length
+    /// or any weight is not finite and positive.
+    pub fn fit_weighted(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        weights: &[f64],
+    ) -> Result<(), FitError> {
+        if x.is_empty() {
+            return Err(FitError::Empty);
+        }
+        if x.len() != y.len()
+            || x.len() != weights.len()
+            || x.iter().any(|r| r.len() != x[0].len())
+            || weights.iter().any(|&w| !w.is_finite() || w <= 0.0)
+        {
+            return Err(FitError::ShapeMismatch);
+        }
+        let d = x[0].len() + 1;
+
+        let total: f64 = weights.iter().sum();
+        let mean = y.iter().zip(weights).map(|(v, w)| w * v).sum::<f64>() / total;
+        let var = y
+            .iter()
+            .zip(weights)
+            .map(|(v, w)| w * (v - mean) * (v - mean))
+            .sum::<f64>()
+            / total;
+        let std = var.sqrt().max(1e-12);
+
+        let mut a = Matrix::zeros(d, d);
+        let mut b = vec![0.0; d];
+        for ((xi, &yi), &w) in x.iter().zip(y).zip(weights) {
+            let phi = Self::augment(xi);
+            let yn = (yi - mean) / std;
+            for i in 0..d {
+                b[i] += w * phi[i] * yn / self.noise_variance;
+                for j in 0..=i {
+                    let v = w * phi[i] * phi[j] / self.noise_variance;
+                    a[(i, j)] += v;
+                    if i != j {
+                        a[(j, i)] += v;
+                    }
+                }
+            }
+        }
+        for i in 0..d {
+            a[(i, i)] += 1.0 / self.prior_variance;
+        }
+
+        self.fit_from_precision(&a, &b, mean, std)
+    }
 }
 
 impl Surrogate for BayesianLinearModel {
@@ -347,6 +412,67 @@ mod tests {
         for (w_full, w_inc) in full.weights().iter().zip(inc.weights()) {
             assert!((w_full - w_inc).abs() < 1e-9, "{w_full} vs {w_inc}");
         }
+    }
+
+    #[test]
+    fn unit_weights_reproduce_the_plain_fit() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * 3 % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x[0] + x[1] - 2.0).collect();
+        let mut plain = BayesianLinearModel::new(10.0, 1e-2);
+        plain.fit(&xs, &ys).unwrap();
+        let mut weighted = BayesianLinearModel::new(10.0, 1e-2);
+        weighted
+            .fit_weighted(&xs, &ys, &vec![1.0; xs.len()])
+            .unwrap();
+        for (a, b) in plain.weights().iter().zip(weighted.weights()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn downweighted_outlier_loses_influence() {
+        // A clean line plus one corrupted point: trusted fully it drags
+        // the slope; at near-zero weight the fit recovers the line.
+        let mut xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+        xs.push(vec![10.0]);
+        ys.push(500.0);
+        let mut trusted = BayesianLinearModel::new(100.0, 1e-2);
+        trusted
+            .fit_weighted(&xs, &ys, &vec![1.0; xs.len()])
+            .unwrap();
+        let mut wts = vec![1.0; xs.len()];
+        *wts.last_mut().unwrap() = 1e-6;
+        let mut skeptical = BayesianLinearModel::new(100.0, 1e-2);
+        skeptical.fit_weighted(&xs, &ys, &wts).unwrap();
+        let clean = 3.0 * 15.0 + 1.0;
+        let err_trusted = (trusted.predict(&[15.0]).0 - clean).abs();
+        let err_skeptical = (skeptical.predict(&[15.0]).0 - clean).abs();
+        assert!(
+            err_skeptical < err_trusted / 10.0,
+            "{err_skeptical} vs {err_trusted}"
+        );
+    }
+
+    #[test]
+    fn weighted_fit_rejects_bad_weights() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0, 2.0];
+        let mut m = BayesianLinearModel::new(1.0, 0.1);
+        assert_eq!(
+            m.fit_weighted(&xs, &ys, &[1.0]),
+            Err(FitError::ShapeMismatch)
+        );
+        assert_eq!(
+            m.fit_weighted(&xs, &ys, &[1.0, 0.0]),
+            Err(FitError::ShapeMismatch)
+        );
+        assert_eq!(
+            m.fit_weighted(&xs, &ys, &[1.0, f64::NAN]),
+            Err(FitError::ShapeMismatch)
+        );
     }
 
     #[test]

@@ -46,15 +46,22 @@ pub struct RunManifest {
     /// Together with the fields above this makes a journal sufficient
     /// to re-create — and therefore resume — its run.
     pub faults: String,
+    /// Canonical noise-plan spec, or empty when measurement is exact.
+    pub noise: String,
+    /// Replicate measurements per evaluated point (1 = single-shot).
+    pub replicates: u64,
+    /// Replicate aggregation estimator (`mean`, `median`, `trimmed`).
+    pub robust_agg: String,
 }
 
 /// One structured observation from a search.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    /// Meta: the run began; carries the manifest.
+    /// Meta: the run began; carries the manifest (boxed: the manifest
+    /// dwarfs every other variant's payload).
     RunStarted {
         /// Snapshot of the run's configuration and environment.
-        manifest: RunManifest,
+        manifest: Box<RunManifest>,
     },
     /// Trace: the hardware search proposed a configuration.
     HwProposed {
@@ -95,6 +102,27 @@ pub enum Event {
         /// True when the layer is retried; false when it is being
         /// marked failed (second panic).
         retrying: bool,
+    },
+    /// Trace: one software-search step measured its point with
+    /// replicates (only emitted when more than one measurement was
+    /// taken). Deterministic under a seeded noise plan.
+    ReplicateSummary {
+        /// Step index within the layer's software search.
+        step: u64,
+        /// Backend measurements taken (replicates plus re-measures).
+        measurements: u64,
+        /// Measurements rejected as outliers.
+        rejected: u64,
+        /// Relative dispersion of the surviving replicates.
+        dispersion: f64,
+    },
+    /// Trace: replicated measurement rejected at least one outlier at
+    /// this step. Deterministic under a seeded noise plan.
+    OutlierRejected {
+        /// Step index within the layer's software search.
+        step: u64,
+        /// Measurements rejected at this step.
+        count: u64,
     },
     /// Trace: a hardware sample improved on the best-so-far cost.
     BestImproved {
@@ -141,6 +169,8 @@ pub enum Event {
         quarantined: u64,
         /// Cumulative failed layers after this sample.
         failed_layers: u64,
+        /// Cumulative replicate outliers rejected after this sample.
+        outliers_rejected: u64,
         /// Hardware-search RNG word position after this sample, for
         /// replay-drift detection on resume.
         rng_word_pos: u64,
@@ -162,13 +192,15 @@ pub enum Event {
 
 /// Every event kind the journal schema knows, by wire name. The CI
 /// schema check validates journal lines against exactly this set.
-pub const EVENT_KINDS: [&str; 11] = [
+pub const EVENT_KINDS: [&str; 13] = [
     "run_started",
     "hw_proposed",
     "schedule_evaluated",
     "infeasible",
     "quarantined",
     "worker_panic",
+    "replicate_summary",
+    "outlier_rejected",
     "best_improved",
     "pareto_updated",
     "checkpoint",
@@ -186,6 +218,8 @@ impl Event {
             Event::Infeasible { .. } => "infeasible",
             Event::Quarantined { .. } => "quarantined",
             Event::WorkerPanic { .. } => "worker_panic",
+            Event::ReplicateSummary { .. } => "replicate_summary",
+            Event::OutlierRejected { .. } => "outlier_rejected",
             Event::BestImproved { .. } => "best_improved",
             Event::ParetoUpdated { .. } => "pareto_updated",
             Event::Checkpoint { .. } => "checkpoint",
@@ -256,6 +290,9 @@ impl Record {
                 obj.push_str("scale", &manifest.scale);
                 obj.push_str("models", &manifest.models);
                 obj.push_str("faults", &manifest.faults);
+                obj.push_str("noise", &manifest.noise);
+                obj.push_u64("replicates", manifest.replicates);
+                obj.push_str("robust_agg", &manifest.robust_agg);
             }
             Event::HwProposed { hw, admitted } => {
                 obj.push_str("hw", hw);
@@ -281,6 +318,21 @@ impl Record {
             Event::WorkerPanic { retrying } => {
                 obj.push_bool("retrying", *retrying);
             }
+            Event::ReplicateSummary {
+                step,
+                measurements,
+                rejected,
+                dispersion,
+            } => {
+                obj.push_u64("step", *step);
+                obj.push_u64("measurements", *measurements);
+                obj.push_u64("rejected", *rejected);
+                obj.push_f64("dispersion", *dispersion);
+            }
+            Event::OutlierRejected { step, count } => {
+                obj.push_u64("step", *step);
+                obj.push_u64("count", *count);
+            }
             Event::BestImproved { cost } => {
                 obj.push_f64("cost", *cost);
             }
@@ -297,6 +349,7 @@ impl Record {
                 infeasible,
                 quarantined,
                 failed_layers,
+                outliers_rejected,
                 rng_word_pos,
             } => {
                 obj.push_bool("admitted", *admitted);
@@ -308,6 +361,7 @@ impl Record {
                 obj.push_u64("infeasible", *infeasible);
                 obj.push_u64("quarantined", *quarantined);
                 obj.push_u64("failed_layers", *failed_layers);
+                obj.push_u64("outliers_rejected", *outliers_rejected);
                 obj.push_u64("rng_word_pos", *rng_word_pos);
             }
             Event::PhaseTiming { phase, wall_ms } => {
@@ -337,7 +391,7 @@ impl Record {
         let kind = fields.str("type")?;
         let event = match kind.as_str() {
             "run_started" => Event::RunStarted {
-                manifest: RunManifest {
+                manifest: Box::new(RunManifest {
                     seed: fields.u64("seed")?,
                     variant: fields.str("variant")?,
                     backend: fields.str("backend")?,
@@ -351,7 +405,10 @@ impl Record {
                     scale: fields.str("scale")?,
                     models: fields.str("models")?,
                     faults: fields.str("faults")?,
-                },
+                    noise: fields.str("noise")?,
+                    replicates: fields.u64("replicates")?,
+                    robust_agg: fields.str("robust_agg")?,
+                }),
             },
             "hw_proposed" => Event::HwProposed {
                 hw: fields.str("hw")?,
@@ -373,6 +430,16 @@ impl Record {
             "worker_panic" => Event::WorkerPanic {
                 retrying: fields.bool("retrying")?,
             },
+            "replicate_summary" => Event::ReplicateSummary {
+                step: fields.u64("step")?,
+                measurements: fields.u64("measurements")?,
+                rejected: fields.u64("rejected")?,
+                dispersion: fields.f64("dispersion")?,
+            },
+            "outlier_rejected" => Event::OutlierRejected {
+                step: fields.u64("step")?,
+                count: fields.u64("count")?,
+            },
             "best_improved" => Event::BestImproved {
                 cost: fields.f64("cost")?,
             },
@@ -389,6 +456,7 @@ impl Record {
                 infeasible: fields.u64("infeasible")?,
                 quarantined: fields.u64("quarantined")?,
                 failed_layers: fields.u64("failed_layers")?,
+                outliers_rejected: fields.u64("outliers_rejected")?,
                 rng_word_pos: fields.u64("rng_word_pos")?,
             },
             "phase_timing" => Event::PhaseTiming {
@@ -430,6 +498,9 @@ mod tests {
             scale: "edge".into(),
             models: "resnet18,mobilenet_v2".into(),
             faults: "".into(),
+            noise: "seed=7,model=gauss,sigma=0.1".into(),
+            replicates: 5,
+            robust_agg: "median".into(),
         }
     }
 
@@ -439,7 +510,7 @@ mod tests {
                 hw_sample: None,
                 layer: None,
                 event: Event::RunStarted {
-                    manifest: manifest(),
+                    manifest: Box::new(manifest()),
                 },
             },
             Record {
@@ -482,6 +553,21 @@ mod tests {
             },
             Record {
                 hw_sample: Some(0),
+                layer: Some(1),
+                event: Event::ReplicateSummary {
+                    step: 3,
+                    measurements: 6,
+                    rejected: 1,
+                    dispersion: 0.04,
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: Some(1),
+                event: Event::OutlierRejected { step: 3, count: 1 },
+            },
+            Record {
+                hw_sample: Some(0),
                 layer: None,
                 event: Event::BestImproved { cost: 3.375e10 },
             },
@@ -503,6 +589,7 @@ mod tests {
                     infeasible: 1,
                     quarantined: 1,
                     failed_layers: 0,
+                    outliers_rejected: 1,
                     rng_word_pos: 12,
                 },
             },
@@ -549,7 +636,7 @@ mod tests {
         let flags: Vec<bool> = samples().iter().map(|r| r.event.is_trace()).collect();
         assert_eq!(
             flags,
-            [false, true, true, true, true, true, true, true, false, false, false]
+            [false, true, true, true, true, true, true, true, true, true, false, false, false]
         );
     }
 

@@ -189,7 +189,9 @@ impl EventSink for ProgressSink {
             ),
             Event::ScheduleEvaluated { .. }
             | Event::Infeasible { .. }
-            | Event::Quarantined { .. } => return,
+            | Event::Quarantined { .. }
+            | Event::ReplicateSummary { .. }
+            | Event::OutlierRejected { .. } => return,
         };
     }
 

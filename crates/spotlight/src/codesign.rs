@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use spotlight_accel::{Budget, HardwareConfig};
 use spotlight_conv::ConvLayer;
 use spotlight_dabo::Trace;
-use spotlight_eval::{EvalEngine, EvalStats};
+use spotlight_eval::{EvalEngine, EvalStats, RobustPolicy};
 use spotlight_maestro::{CostModel, CostReport, Objective};
 use spotlight_models::{Model, ModelId};
 use spotlight_obs::{Event, Observer, RunManifest};
@@ -210,7 +210,14 @@ impl CodesignConfig {
         }
     }
 
-    fn manifest(&self, backend: &str, faults: Option<String>, models: &[Model]) -> RunManifest {
+    fn manifest(
+        &self,
+        backend: &str,
+        faults: Option<String>,
+        noise: Option<String>,
+        robust: RobustPolicy,
+        models: &[Model],
+    ) -> RunManifest {
         // The canonical names below are what `resume` parses back out of
         // the journal to rebuild this configuration; keep them stable.
         let objective = match self.objective {
@@ -242,6 +249,9 @@ impl CodesignConfig {
                 .collect::<Vec<_>>()
                 .join(","),
             faults: faults.unwrap_or_default(),
+            noise: noise.unwrap_or_default(),
+            replicates: robust.replicates as u64,
+            robust_agg: robust.aggregation.as_str().to_string(),
         }
     }
 }
@@ -459,6 +469,8 @@ pub struct SampleCheckpoint {
     pub quarantined: u64,
     /// Cumulative failed layers after the sample.
     pub failed_layers: u64,
+    /// Cumulative outlier-rejected replicates after the sample.
+    pub outliers_rejected: u64,
     /// The hardware searcher RNG's word position after the sample's
     /// `suggest`, for drift detection on replay.
     pub rng_word_pos: u64,
@@ -479,6 +491,7 @@ impl SampleCheckpoint {
                 infeasible,
                 quarantined,
                 failed_layers,
+                outliers_rejected,
                 rng_word_pos,
             } => Some(SampleCheckpoint {
                 admitted: *admitted,
@@ -490,6 +503,7 @@ impl SampleCheckpoint {
                 infeasible: *infeasible,
                 quarantined: *quarantined,
                 failed_layers: *failed_layers,
+                outliers_rejected: *outliers_rejected,
                 rng_word_pos: *rng_word_pos,
             }),
             _ => None,
@@ -870,15 +884,22 @@ impl Spotlight {
         // across runs on the same engine.
         self.engine.reset_stats();
         let run_start = std::time::Instant::now();
+        // Mirror the wall-clock deadline into the engine so retry
+        // backoff pauses give up instead of sleeping past it. `None`
+        // clears any deadline a previous run left behind.
+        self.engine
+            .set_deadline(self.config.deadline.map(|d| run_start + d));
         // A resumed run appends to a journal that already carries the
         // original run's manifest.
         if replay.is_empty() {
             self.observer.emit_with(|| Event::RunStarted {
-                manifest: self.config.manifest(
+                manifest: Box::new(self.config.manifest(
                     self.engine.backend_name(),
                     self.engine.faults(),
+                    self.engine.noise(),
+                    self.engine.robust_policy(),
                     models,
-                ),
+                )),
             });
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
@@ -924,6 +945,7 @@ impl Spotlight {
                 last.infeasible,
                 last.quarantined,
                 last.failed_layers,
+                last.outliers_rejected,
             );
         }
 
@@ -998,6 +1020,7 @@ impl Spotlight {
                 infeasible: s.infeasible,
                 quarantined: s.quarantined,
                 failed_layers: s.failed_layers,
+                outliers_rejected: s.outliers_rejected,
                 rng_word_pos: rng.word_pos(),
             });
             self.observer.flush();

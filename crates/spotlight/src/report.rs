@@ -119,6 +119,29 @@ pub fn outcome_summary(outcome: &CodesignOutcome, objective: Objective) -> Strin
             stats.failed_layers
         );
     }
+    // Likewise for the noise-model and cache-eviction lines: silent
+    // unless replication, rejection, or eviction actually happened.
+    if stats.replicate_measurements > 0 {
+        let _ = writeln!(
+            out,
+            "replicates    : {} measurements taken for noise robustness",
+            stats.replicate_measurements
+        );
+    }
+    if stats.outliers_rejected > 0 {
+        let _ = writeln!(
+            out,
+            "outliers      : {} replicates rejected by the MAD filter",
+            stats.outliers_rejected
+        );
+    }
+    if stats.evictions > 0 {
+        let _ = writeln!(
+            out,
+            "evictions     : {} memo entries dropped at the cache cap",
+            stats.evictions
+        );
+    }
     if outcome.status.is_degraded() {
         let _ = writeln!(out, "status        : degraded (best-so-far result)");
     }

@@ -353,20 +353,27 @@ fn run_sw_observed(
     let mut best: Option<(Schedule, CostReport)> = None;
     for step in 0..cfg.samples {
         let sched = search.suggest(rng);
-        let cost = match engine.evaluate_observed(hw, &sched, layer, obs, step as u64) {
-            Ok(report) => {
-                let value = report.objective(cfg.objective);
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, b)| value < b.objective(cfg.objective))
-                {
-                    best = Some((sched, report));
+        let (cost, dispersion) =
+            match engine.evaluate_observed_robust(hw, &sched, layer, obs, step as u64) {
+                Ok((report, summary)) => {
+                    let value = report.objective(cfg.objective);
+                    if best
+                        .as_ref()
+                        .is_none_or(|(_, b)| value < b.objective(cfg.objective))
+                    {
+                        best = Some((sched, report));
+                    }
+                    (value, summary.dispersion)
                 }
-                value
-            }
-            Err(_) => f64::INFINITY,
-        };
-        search.observe(sched, cost);
+                Err(_) => (f64::INFINITY, 0.0),
+            };
+        // Replicate dispersion is the relative (scaled-MAD / median)
+        // spread, which approximates the standard deviation of ln(cost)
+        // under multiplicative noise — exactly the target space the
+        // daBO surrogate fits, so its square is the observation-noise
+        // variance. Single-shot measurement reports zero and this call
+        // reduces bit-identically to `observe`.
+        search.observe_noisy(sched, cost, dispersion * dispersion);
     }
     // Model-based searchers time their own fit/acquisition split; fold it
     // into the engine's phase accounting. These are sub-phases of the

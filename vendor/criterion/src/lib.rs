@@ -154,11 +154,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(
-            &format!("{}/{}", self.name, id),
-            self.sample_size,
-            &mut f,
-        );
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
         self
     }
 
@@ -171,9 +167,11 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -221,9 +219,7 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(5);
         group.bench_function("f", |b| b.iter(|| 1 + 1));
-        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| b.iter(|| n * 2));
         group.finish();
     }
 

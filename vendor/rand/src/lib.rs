@@ -133,8 +133,7 @@ impl StandardSample for bool {
 /// Types uniformly samplable over a sub-range (`Rng::gen_range`).
 pub trait SampleUniform: PartialOrd + Copy {
     fn sample_single<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
-    fn sample_single_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
-        -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
 }
 
 macro_rules! impl_int_uniform {
