@@ -7,21 +7,24 @@
 //! ```text
 //! spotlight codesign --model resnet50 --objective edp --hw 100 --sw 100
 //! spotlight evaluate --baseline eyeriss --model transformer
-//! spotlight space    --model vgg16
+//! spotlight serve    --listen 127.0.0.1:7070 --workers 4
+//! spotlight client   127.0.0.1:7070 submit --model vgg16 --hw 50
 //! ```
 //!
 //! Parsing is hand-rolled (the workspace keeps its dependency set to the
-//! approved list); [`Command::parse`] is pure and fully unit-tested, and
-//! `main` only does I/O.
+//! approved list). Every search-shaping flag is owned by
+//! [`spotlight_runtime::RunSpec`] — the CLI consumes only its own I/O
+//! flags (`--journal`, `--progress`, `--out`, `--baseline`) and forwards
+//! the rest, so the one-shot commands and the serve protocol validate
+//! specs identically. [`Command::parse`] is pure and fully unit-tested,
+//! and `main` only does I/O.
 
 use std::fmt;
+use std::ops::Deref;
 
-use spotlight::codesign::{CodesignConfig, ConfigError};
-use spotlight::Variant;
 use spotlight_accel::Baseline;
-use spotlight_eval::{Aggregation, EvalEngine, RobustPolicy};
-use spotlight_maestro::Objective;
-use spotlight_models::{all_models, Model};
+use spotlight_models::Model;
+use spotlight_runtime::{Request, RunSpec, SpecError};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +54,9 @@ pub enum Command {
     Journal {
         /// Path to a JSONL journal written with `--journal`.
         path: String,
+        /// Also fail (exit non-zero) on a truncated tail, not just on
+        /// schema drift.
+        strict: bool,
     },
     /// Continue a killed run from its journal's checkpoints.
     Resume {
@@ -61,136 +67,49 @@ pub enum Command {
         /// Report progress on stderr.
         progress: bool,
     },
+    /// Run the long-lived co-design server.
+    Serve {
+        /// Listen address: `host:port` or `unix:/path`.
+        listen: String,
+        /// Worker threads executing job slices.
+        workers: usize,
+        /// Hardware samples per scheduler slice.
+        slice: usize,
+        /// Directory holding one journal per job.
+        dir: String,
+    },
+    /// Send one request to a running server and print the responses.
+    Client {
+        /// Server address: `host:port` or `unix:/path`.
+        addr: String,
+        /// The request to send.
+        request: Request,
+    },
     /// Print usage.
     Help,
 }
 
-/// The tunable knobs common to `codesign` and `evaluate`.
-#[derive(Debug, Clone, PartialEq)]
+/// The tunable knobs common to `codesign` and `evaluate`: the
+/// frontend-neutral [`RunSpec`] plus the CLI's own I/O flags. Derefs to
+/// the spec, so `config.hw_samples` etc. read through.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CliConfig {
-    /// Hardware samples.
-    pub hw_samples: usize,
-    /// Software samples per layer.
-    pub sw_samples: usize,
-    /// Objective to minimize.
-    pub objective: Objective,
-    /// Edge or cloud scale.
-    pub cloud: bool,
-    /// Search variant.
-    pub variant: Variant,
-    /// RNG seed.
-    pub seed: u64,
-    /// Worker threads for the per-layer software search.
-    pub threads: usize,
-    /// Cost backend to evaluate through; validated against
-    /// [`EvalEngine::by_name`] at parse time so the error always lists
-    /// exactly the backends the engine knows.
-    pub backend: String,
+    /// The validated run description (search knobs, backend, faults,
+    /// noise, replication, cache, deadline).
+    pub spec: RunSpec,
     /// Write every run event to this JSONL journal.
     pub journal: Option<String>,
     /// Report progress (hardware proposals, best-so-far) on stderr.
     pub progress: bool,
-    /// Fault-injection spec (validated against
-    /// [`spotlight_eval::FaultPlan`] at parse time), `None` for a clean
-    /// backend.
-    pub faults: Option<String>,
-    /// Measurement-noise spec (validated against
-    /// [`spotlight_eval::NoisePlan`] at parse time), `None` for a
-    /// noiseless backend.
-    pub noise: Option<String>,
-    /// Measurements per evaluated point; 1 disables replication.
-    pub replicates: usize,
-    /// How surviving replicates collapse into one report.
-    pub robust_agg: Aggregation,
-    /// Memo-cache entry cap; `None` keeps the cache unbounded.
-    pub cache_cap: Option<usize>,
-    /// Wall-clock budget in seconds; past it the run returns best-so-far
-    /// as degraded.
-    pub deadline_secs: Option<u64>,
     /// Write the deterministic final report to this file.
     pub out: Option<String>,
 }
 
-impl Default for CliConfig {
-    fn default() -> Self {
-        CliConfig {
-            hw_samples: 20,
-            sw_samples: 30,
-            objective: Objective::Edp,
-            cloud: false,
-            variant: Variant::Spotlight,
-            seed: 0,
-            threads: 1,
-            backend: "maestro".to_string(),
-            journal: None,
-            progress: false,
-            faults: None,
-            noise: None,
-            replicates: 1,
-            robust_agg: Aggregation::default(),
-            cache_cap: None,
-            deadline_secs: None,
-            out: None,
-        }
-    }
-}
+impl Deref for CliConfig {
+    type Target = RunSpec;
 
-impl CliConfig {
-    /// Converts into the library configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the builder's [`ConfigError`] (zero samples/threads —
-    /// scale/budget mismatches cannot arise from CLI flags).
-    pub fn to_codesign_config(&self) -> Result<CodesignConfig, ConfigError> {
-        let base = if self.cloud {
-            CodesignConfig::cloud()
-        } else {
-            CodesignConfig::edge()
-        };
-        base.hw_samples(self.hw_samples)
-            .sw_samples(self.sw_samples)
-            .objective(self.objective)
-            .variant(self.variant)
-            .seed(self.seed)
-            .threads(self.threads.max(1))
-            .deadline(self.deadline_secs.map(std::time::Duration::from_secs))
-            .build()
-    }
-
-    /// The parsed fault plan, `None` when faults are disabled.
-    ///
-    /// # Panics
-    ///
-    /// Never for configs built by [`Command::parse`], which validates
-    /// the spec up front; a hand-built invalid spec panics here.
-    pub fn fault_plan(&self) -> Option<spotlight_eval::FaultPlan> {
-        self.faults
-            .as_deref()
-            .map(|spec| spec.parse().expect("spec validated at parse time"))
-    }
-
-    /// The parsed noise plan, `None` when the backend is noiseless.
-    ///
-    /// # Panics
-    ///
-    /// Never for configs built by [`Command::parse`], which validates
-    /// the spec up front; a hand-built invalid spec panics here.
-    pub fn noise_plan(&self) -> Option<spotlight_eval::NoisePlan> {
-        self.noise
-            .as_deref()
-            .map(|spec| spec.parse().expect("spec validated at parse time"))
-    }
-
-    /// The replicated-measurement policy the flags describe. One
-    /// replicate yields the single-shot default policy so noise-free
-    /// runs stay on the historical evaluation path.
-    pub fn robust_policy(&self) -> RobustPolicy {
-        if self.replicates <= 1 {
-            RobustPolicy::default()
-        } else {
-            RobustPolicy::replicated(self.replicates, self.robust_agg)
-        }
+    fn deref(&self) -> &RunSpec {
+        &self.spec
     }
 }
 
@@ -205,6 +124,12 @@ impl fmt::Display for ParseCommandError {
 }
 
 impl std::error::Error for ParseCommandError {}
+
+impl From<SpecError> for ParseCommandError {
+    fn from(e: SpecError) -> Self {
+        ParseCommandError(e.0)
+    }
+}
 
 impl Command {
     /// Parses the argument list (without the program name).
@@ -222,21 +147,24 @@ impl Command {
         let rest: Vec<&str> = it.collect();
         match sub {
             "codesign" => {
-                let (config, models, _) = parse_common(&rest)?;
-                if models.is_empty() {
+                let (config, _) = parse_common(&rest)?;
+                if config.spec.models.is_empty() {
                     return Err(ParseCommandError(
                         "codesign requires at least one --model".into(),
                     ));
                 }
+                let models = config.spec.models.clone();
                 Ok(Command::Codesign { models, config })
             }
             "evaluate" => {
-                let (config, models, baseline) = parse_common(&rest)?;
+                let (config, baseline) = parse_common(&rest)?;
                 let baseline = baseline
                     .ok_or_else(|| ParseCommandError("evaluate requires --baseline".into()))?;
-                let model = models
-                    .into_iter()
-                    .next()
+                let model = config
+                    .spec
+                    .models
+                    .first()
+                    .cloned()
                     .ok_or_else(|| ParseCommandError("evaluate requires --model".into()))?;
                 Ok(Command::Evaluate {
                     baseline,
@@ -245,21 +173,41 @@ impl Command {
                 })
             }
             "space" => {
-                let (_, models, _) = parse_common(&rest)?;
-                let model = models
-                    .into_iter()
-                    .next()
+                let (config, _) = parse_common(&rest)?;
+                let model = config
+                    .spec
+                    .models
+                    .first()
+                    .cloned()
                     .ok_or_else(|| ParseCommandError("space requires --model".into()))?;
                 Ok(Command::Space { model })
             }
-            "journal" => match rest.as_slice() {
-                [path] => Ok(Command::Journal {
-                    path: path.to_string(),
-                }),
-                _ => Err(ParseCommandError(
-                    "journal requires exactly one <path> argument".into(),
-                )),
-            },
+            "journal" => {
+                let mut path = None;
+                let mut strict = false;
+                for arg in &rest {
+                    match *arg {
+                        "--strict" => strict = true,
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseCommandError(format!(
+                                "unknown flag `{flag}` (journal takes --strict)"
+                            )))
+                        }
+                        p => {
+                            if path.is_some() {
+                                return Err(ParseCommandError(
+                                    "journal requires exactly one <path> argument".into(),
+                                ));
+                            }
+                            path = Some(p.to_string());
+                        }
+                    }
+                }
+                let path = path.ok_or_else(|| {
+                    ParseCommandError("journal requires exactly one <path> argument".into())
+                })?;
+                Ok(Command::Journal { path, strict })
+            }
             "resume" => {
                 let mut path = None;
                 let mut out = None;
@@ -306,17 +254,111 @@ impl Command {
                     progress,
                 })
             }
+            "serve" => {
+                let mut listen = "127.0.0.1:0".to_string();
+                let mut workers = 2usize;
+                let mut slice = 2usize;
+                let mut dir = ".spotlight-serve".to_string();
+                let mut i = 0;
+                while i < rest.len() {
+                    let flag = rest[i];
+                    let value = |i: usize| -> Result<&str, ParseCommandError> {
+                        rest.get(i + 1).copied().ok_or_else(|| {
+                            ParseCommandError(format!("flag `{flag}` needs a value"))
+                        })
+                    };
+                    match flag {
+                        "--listen" => {
+                            listen = value(i)?.to_string();
+                            i += 2;
+                        }
+                        "--workers" => {
+                            workers = parse_positive(flag, value(i)?)?;
+                            i += 2;
+                        }
+                        "--slice" => {
+                            slice = parse_positive(flag, value(i)?)?;
+                            i += 2;
+                        }
+                        "--dir" => {
+                            dir = value(i)?.to_string();
+                            i += 2;
+                        }
+                        other => {
+                            return Err(ParseCommandError(format!(
+                                "unknown flag `{other}` (serve takes --listen, --workers, --slice, --dir)"
+                            )));
+                        }
+                    }
+                }
+                Ok(Command::Serve {
+                    listen,
+                    workers,
+                    slice,
+                    dir,
+                })
+            }
+            "client" => {
+                let mut it = rest.iter();
+                let addr = it
+                    .next()
+                    .ok_or_else(|| ParseCommandError("client requires an <addr>".into()))?
+                    .to_string();
+                let verb = it
+                    .next()
+                    .copied()
+                    .ok_or_else(|| ParseCommandError("client requires a <verb>".into()))?;
+                let tail: Vec<&str> = it.copied().collect();
+                let job = |tail: &[&str]| -> Result<u64, ParseCommandError> {
+                    let id = tail.first().ok_or_else(|| {
+                        ParseCommandError(format!("client {verb} requires a <job> id"))
+                    })?;
+                    id.parse()
+                        .map_err(|_| ParseCommandError(format!("bad job id `{id}`")))
+                };
+                let request = match verb {
+                    "submit" => {
+                        if tail.is_empty() {
+                            return Err(ParseCommandError(
+                                "client submit requires spec flags (e.g. --model vgg16)".into(),
+                            ));
+                        }
+                        // Validate locally so typos fail fast with the
+                        // spec's own message; the server re-validates.
+                        RunSpec::parse_args(&tail)?;
+                        Request::Submit {
+                            spec: tail.join(" "),
+                        }
+                    }
+                    "status" => Request::Status { job: job(&tail)? },
+                    "cancel" => Request::Cancel { job: job(&tail)? },
+                    "list" => Request::List,
+                    "stream-journal" => Request::StreamJournal { job: job(&tail)? },
+                    "metrics" => Request::Metrics,
+                    "report" => Request::Report { job: job(&tail)? },
+                    "ping" => Request::Ping,
+                    "shutdown" => Request::Shutdown,
+                    other => {
+                        return Err(ParseCommandError(format!(
+                            "unknown client verb `{other}` (submit|status|cancel|list|\
+                             stream-journal|metrics|report|ping|shutdown)"
+                        )))
+                    }
+                };
+                Ok(Command::Client { addr, request })
+            }
             other => Err(ParseCommandError(format!("unknown subcommand `{other}`"))),
         }
     }
 }
 
-type Common = (CliConfig, Vec<String>, Option<String>);
-
-fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
+/// Splits an argument list into the CLI's own I/O flags and the spec
+/// flags, handing the latter to [`RunSpec::parse_args`] in their
+/// original order.
+fn parse_common(args: &[&str]) -> Result<(CliConfig, Option<String>), ParseCommandError> {
     let mut config = CliConfig::default();
-    let mut models = Vec::new();
     let mut baseline = None;
+    let mut spec_args: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i];
@@ -326,72 +368,8 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 .ok_or_else(|| ParseCommandError(format!("flag `{flag}` needs a value")))
         };
         match flag {
-            "--model" | "--models" => {
-                for m in value(i)?.split(',') {
-                    models.push(m.trim().to_string());
-                }
-                i += 2;
-            }
             "--baseline" => {
                 baseline = Some(value(i)?.to_string());
-                i += 2;
-            }
-            "--hw" => {
-                config.hw_samples = parse_num(flag, value(i)?)?;
-                i += 2;
-            }
-            "--sw" => {
-                config.sw_samples = parse_num(flag, value(i)?)?;
-                i += 2;
-            }
-            "--seed" => {
-                config.seed = parse_num(flag, value(i)?)? as u64;
-                i += 2;
-            }
-            "--objective" => {
-                config.objective = match value(i)? {
-                    "edp" | "EDP" => Objective::Edp,
-                    "delay" => Objective::Delay,
-                    other => {
-                        return Err(ParseCommandError(format!(
-                            "unknown objective `{other}` (edp|delay)"
-                        )))
-                    }
-                };
-                i += 2;
-            }
-            "--scale" => {
-                config.cloud = match value(i)? {
-                    "edge" => false,
-                    "cloud" => true,
-                    other => {
-                        return Err(ParseCommandError(format!(
-                            "unknown scale `{other}` (edge|cloud)"
-                        )))
-                    }
-                };
-                i += 2;
-            }
-            "--variant" => {
-                config.variant = parse_variant(value(i)?)?;
-                i += 2;
-            }
-            "--threads" => {
-                let n = parse_num(flag, value(i)?)?;
-                if n == 0 {
-                    return Err(ParseCommandError(
-                        "flag `--threads` needs a positive integer".into(),
-                    ));
-                }
-                config.threads = n;
-                i += 2;
-            }
-            "--backend" => {
-                let name = value(i)?;
-                // Validate through the engine itself so the message
-                // always lists exactly the backends it resolves.
-                EvalEngine::by_name(name).map_err(|e| ParseCommandError(e.to_string()))?;
-                config.backend = name.to_string();
                 i += 2;
             }
             "--journal" => {
@@ -402,103 +380,49 @@ fn parse_common(args: &[&str]) -> Result<Common, ParseCommandError> {
                 config.progress = true;
                 i += 1;
             }
-            "--faults" => {
-                let spec = value(i)?;
-                // Validate through the fault plan itself so the message
-                // names the offending field.
-                spec.parse::<spotlight_eval::FaultPlan>()
-                    .map_err(|e| ParseCommandError(e.to_string()))?;
-                config.faults = Some(spec.to_string());
-                i += 2;
-            }
-            "--noise" => {
-                let spec = value(i)?;
-                // Validate through the noise plan itself so the message
-                // names the offending field.
-                spec.parse::<spotlight_eval::NoisePlan>()
-                    .map_err(|e| ParseCommandError(e.to_string()))?;
-                config.noise = Some(spec.to_string());
-                i += 2;
-            }
-            "--replicates" => {
-                let n = parse_num(flag, value(i)?)?;
-                if n == 0 {
-                    return Err(ParseCommandError(
-                        "flag `--replicates` needs a positive integer".into(),
-                    ));
-                }
-                config.replicates = n;
-                i += 2;
-            }
-            "--robust-agg" => {
-                config.robust_agg = value(i)?
-                    .parse::<Aggregation>()
-                    .map_err(|e| ParseCommandError(e.to_string()))?;
-                i += 2;
-            }
-            "--cache-cap" => {
-                config.cache_cap = Some(parse_num(flag, value(i)?)?);
-                i += 2;
-            }
-            "--deadline" => {
-                config.deadline_secs = Some(parse_num(flag, value(i)?)? as u64);
-                i += 2;
-            }
             "--out" => {
                 config.out = Some(value(i)?.to_string());
                 i += 2;
             }
-            other => {
-                return Err(ParseCommandError(format!("unknown flag `{other}`")));
+            _ => {
+                spec_args.push(flag);
+                i += 1;
             }
         }
     }
-    Ok((config, models, baseline))
+    config.spec = RunSpec::parse_args(&spec_args)?;
+    Ok((config, baseline))
 }
 
-fn parse_num(flag: &str, v: &str) -> Result<usize, ParseCommandError> {
-    v.parse()
-        .map_err(|_| ParseCommandError(format!("flag `{flag}` needs an integer, got `{v}`")))
+fn parse_positive(flag: &str, v: &str) -> Result<usize, ParseCommandError> {
+    match v.parse() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ParseCommandError(format!(
+            "flag `{flag}` needs a positive integer, got `{v}`"
+        ))),
+    }
 }
 
 /// Parses a variant name in any of the accepted CLI spellings
-/// (`spotlight`, `a`/`spotlight-a`, ...), case-insensitively. Also used
-/// by `resume` to map the manifest's variant name back to a [`Variant`].
-pub fn parse_variant(v: &str) -> Result<Variant, ParseCommandError> {
-    let v = v.to_ascii_lowercase();
-    Ok(match v.as_str() {
-        "spotlight" => Variant::Spotlight,
-        "a" | "spotlight-a" => Variant::SpotlightA,
-        "v" | "spotlight-v" | "vanilla" => Variant::SpotlightV,
-        "f" | "spotlight-f" | "fixed" => Variant::SpotlightF,
-        "r" | "spotlight-r" | "random" => Variant::SpotlightR,
-        "ga" | "spotlight-ga" | "genetic" => Variant::SpotlightGA,
-        other => {
-            return Err(ParseCommandError(format!(
-                "unknown variant `{other}` (spotlight|a|v|f|r|ga)"
-            )))
-        }
-    })
+/// (`spotlight`, `a`/`spotlight-a`, ...), case-insensitively. Delegates
+/// to the runtime's parser; kept here so CLI callers get a
+/// [`ParseCommandError`].
+///
+/// # Errors
+///
+/// Lists the accepted names when the lookup fails.
+pub fn parse_variant(v: &str) -> Result<spotlight::Variant, ParseCommandError> {
+    Ok(spotlight_runtime::parse_variant(v)?)
 }
 
-/// Resolves a model name to a zoo entry.
+/// Resolves a model name to a zoo entry, fuzzily on case and `-`/`_`
+/// separators.
 ///
 /// # Errors
 ///
 /// Lists the available names when the lookup fails.
 pub fn resolve_model(name: &str) -> Result<Model, ParseCommandError> {
-    let needle = name.to_ascii_lowercase().replace(['-', '_'], "");
-    for m in all_models() {
-        let have = m.name().to_ascii_lowercase().replace(['-', '_'], "");
-        if have == needle {
-            return Ok(m);
-        }
-    }
-    let names: Vec<String> = all_models().iter().map(|m| m.name().to_string()).collect();
-    Err(ParseCommandError(format!(
-        "unknown model `{name}`; available: {}",
-        names.join(", ")
-    )))
+    Ok(spotlight_runtime::resolve_model(name)?)
 }
 
 /// Resolves a baseline name.
@@ -526,8 +450,10 @@ USAGE:
   spotlight codesign --model <name>[,<name>...] [options]
   spotlight evaluate --baseline <name> --model <name> [options]
   spotlight space    --model <name>
-  spotlight journal  <path>
+  spotlight journal  <path> [--strict]
   spotlight resume   <journal> [--out <path>] [--progress]
+  spotlight serve    [--listen <addr>] [--workers <n>] [--slice <n>] [--dir <path>]
+  spotlight client   <addr> <verb> [args]
   spotlight help
 
 OPTIONS:
@@ -560,17 +486,34 @@ OPTIONS:
 
 `spotlight journal <path>` validates a journal written with --journal:
 every line must parse as a known event; exits non-zero on schema drift.
-A final line cut mid-write (a kill's crash scar) is reported, not fatal.
+A final line cut mid-write (a kill's crash scar) is reported with the
+valid-prefix byte offset; with --strict it is fatal too.
 
 `spotlight resume <journal>` continues a killed run: the journal's
 manifest rebuilds the configuration, its checkpoints replay the finished
 hardware samples, and the remaining samples run live. The final result
 is identical to an uninterrupted run with the same seed.
+
+`spotlight serve` runs a long-lived co-design server: jobs submitted
+over the socket share one worker pool (round-robin by checkpoint-sized
+slices) and one evaluation cache per backend configuration. The server
+speaks line-delimited JSON; `GET /metrics` over the same socket answers
+with Prometheus text. SERVE OPTIONS: --listen <host:port|unix:/path>
+(default 127.0.0.1:0, printed on startup), --workers <n> (default 2),
+--slice <hw samples per turn, default 2>, --dir <journal directory,
+default .spotlight-serve>.
+
+`spotlight client <addr> <verb>` talks to a running server. VERBS:
+submit <spec flags...>, status <job>, cancel <job>, list,
+stream-journal <job>, metrics, report <job>, ping, shutdown.
 ";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spotlight::Variant;
+    use spotlight_eval::{Aggregation, RobustPolicy};
+    use spotlight_maestro::Objective;
 
     #[test]
     fn parses_codesign_with_options() {
@@ -711,34 +654,128 @@ mod tests {
         for known in spotlight_eval::BACKEND_NAMES {
             assert!(err.to_string().contains(known), "missing {known}");
         }
-        let cfg = CliConfig {
-            threads: 4,
-            ..CliConfig::default()
-        }
-        .to_codesign_config()
-        .unwrap();
-        assert_eq!(cfg.threads(), 4);
+        let mut config = CliConfig::default();
+        config.spec.threads = 4;
+        assert_eq!(config.to_codesign_config().unwrap().threads(), 4);
     }
 
     #[test]
-    fn journal_subcommand_takes_one_path() {
+    fn journal_subcommand_takes_one_path_and_strict() {
         assert_eq!(
             Command::parse(&["journal", "run.jsonl"]).unwrap(),
             Command::Journal {
-                path: "run.jsonl".to_string()
+                path: "run.jsonl".to_string(),
+                strict: false,
+            }
+        );
+        assert_eq!(
+            Command::parse(&["journal", "run.jsonl", "--strict"]).unwrap(),
+            Command::Journal {
+                path: "run.jsonl".to_string(),
+                strict: true,
+            }
+        );
+        assert_eq!(
+            Command::parse(&["journal", "--strict", "run.jsonl"]).unwrap(),
+            Command::Journal {
+                path: "run.jsonl".to_string(),
+                strict: true,
             }
         );
         assert!(Command::parse(&["journal"]).is_err());
         assert!(Command::parse(&["journal", "a", "b"]).is_err());
+        assert!(Command::parse(&["journal", "a", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn serve_parses_its_flags_with_defaults() {
+        assert_eq!(
+            Command::parse(&["serve"]).unwrap(),
+            Command::Serve {
+                listen: "127.0.0.1:0".to_string(),
+                workers: 2,
+                slice: 2,
+                dir: ".spotlight-serve".to_string(),
+            }
+        );
+        assert_eq!(
+            Command::parse(&[
+                "serve",
+                "--listen",
+                "unix:/tmp/s.sock",
+                "--workers",
+                "4",
+                "--slice",
+                "3",
+                "--dir",
+                "/tmp/jobs",
+            ])
+            .unwrap(),
+            Command::Serve {
+                listen: "unix:/tmp/s.sock".to_string(),
+                workers: 4,
+                slice: 3,
+                dir: "/tmp/jobs".to_string(),
+            }
+        );
+        assert!(Command::parse(&["serve", "--workers", "0"]).is_err());
+        assert!(Command::parse(&["serve", "--slice", "x"]).is_err());
+        assert!(Command::parse(&["serve", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn client_parses_every_verb() {
+        let addr = "127.0.0.1:7070";
+        for (args, expect) in [
+            (
+                vec!["client", addr, "submit", "--model", "vgg16", "--hw", "4"],
+                Request::Submit {
+                    spec: "--model vgg16 --hw 4".to_string(),
+                },
+            ),
+            (
+                vec!["client", addr, "status", "3"],
+                Request::Status { job: 3 },
+            ),
+            (
+                vec!["client", addr, "cancel", "3"],
+                Request::Cancel { job: 3 },
+            ),
+            (vec!["client", addr, "list"], Request::List),
+            (
+                vec!["client", addr, "stream-journal", "9"],
+                Request::StreamJournal { job: 9 },
+            ),
+            (vec!["client", addr, "metrics"], Request::Metrics),
+            (
+                vec!["client", addr, "report", "1"],
+                Request::Report { job: 1 },
+            ),
+            (vec!["client", addr, "ping"], Request::Ping),
+            (vec!["client", addr, "shutdown"], Request::Shutdown),
+        ] {
+            match Command::parse(&args).unwrap() {
+                Command::Client { addr: a, request } => {
+                    assert_eq!(a, addr);
+                    assert_eq!(request, expect);
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        // Bad submit specs fail locally with the spec's own message.
+        let err = Command::parse(&["client", addr, "submit", "--frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+        assert!(Command::parse(&["client", addr, "status", "x"]).is_err());
+        assert!(Command::parse(&["client", addr, "warp"]).is_err());
+        assert!(Command::parse(&["client", addr]).is_err());
+        assert!(Command::parse(&["client"]).is_err());
     }
 
     #[test]
     fn zero_samples_surface_as_config_errors() {
-        let cfg = CliConfig {
-            hw_samples: 0,
-            ..CliConfig::default()
-        };
-        assert!(cfg.to_codesign_config().is_err());
+        let mut config = CliConfig::default();
+        config.spec.hw_samples = 0;
+        assert!(config.to_codesign_config().is_err());
     }
 
     #[test]
@@ -790,18 +827,17 @@ mod tests {
     #[test]
     fn to_codesign_config_respects_scale() {
         let edge = CliConfig::default().to_codesign_config().unwrap();
-        let cloud = CliConfig {
-            cloud: true,
-            ..CliConfig::default()
-        }
-        .to_codesign_config()
-        .unwrap();
+        let mut config = CliConfig::default();
+        config.spec.cloud = true;
+        let cloud = config.to_codesign_config().unwrap();
         assert!(cloud.ranges().pes.0 > edge.ranges().pes.1);
     }
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for word in ["codesign", "evaluate", "space", "journal", "resume", "help"] {
+        for word in [
+            "codesign", "evaluate", "space", "journal", "resume", "serve", "client", "help",
+        ] {
             assert!(USAGE.contains(word));
         }
         for flag in [
@@ -814,8 +850,13 @@ mod tests {
             "--cache-cap",
             "--deadline",
             "--out",
+            "--strict",
+            "--listen",
+            "--workers",
+            "--slice",
+            "--dir",
         ] {
-            assert!(USAGE.contains(flag));
+            assert!(USAGE.contains(flag), "missing {flag}");
         }
     }
 }
@@ -853,6 +894,15 @@ mod parse_property_tests {
             "--out",
             "journal",
             "resume",
+            "serve",
+            "client",
+            "--strict",
+            "--listen",
+            "--workers",
+            "--slice",
+            "--dir",
+            "submit",
+            "shutdown",
             "seed=1,transient=0.5",
             "seed=7,model=gauss,sigma=0.1",
             "median",

@@ -1,18 +1,18 @@
 //! The `spotlight` command-line tool: see [`spotlight_cli::USAGE`].
+//!
+//! All run orchestration lives in `spotlight-runtime`; this binary only
+//! parses arguments, dispatches, and does terminal I/O.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use spotlight::codesign::{SampleCheckpoint, Spotlight};
 use spotlight::report::{final_report, outcome_summary, plan_markdown};
 use spotlight::scenarios::{evaluate_baseline, Scale};
-use spotlight_cli::{parse_variant, resolve_baseline, resolve_model, CliConfig, Command, USAGE};
-use spotlight_eval::{Aggregation, EvalEngine, FaultPlan, NoisePlan, RobustPolicy};
-use spotlight_maestro::Objective;
-use spotlight_obs::{
-    read_journal_tolerant, Event, EventSink, JournalWriter, Observer, ProgressSink, Record,
-    RunManifest, EVENT_KINDS,
+use spotlight_cli::{resolve_baseline, resolve_model, Command, USAGE};
+use spotlight_obs::{read_journal_tolerant, EVENT_KINDS};
+use spotlight_runtime::{
+    bind, resume_job, run_client, run_job, serve_loop, Response, RunOutput, SchedulerOptions,
+    Server,
 };
 use spotlight_space::cardinality;
 
@@ -35,91 +35,18 @@ fn main() -> ExitCode {
     }
 }
 
-/// Deterministic crash hook for the kill-and-resume tests: when
-/// `SPOTLIGHT_CRASH_AFTER_CHECKPOINT=n` is set, the process flushes the
-/// journal after the n-th checkpoint, scars it with a partial line (as a
-/// kill mid-write would), and aborts.
-struct CrashAfterCheckpoint {
-    inner: Arc<dyn EventSink>,
-    path: String,
-    after: u64,
-    seen: AtomicU64,
-}
-
-impl EventSink for CrashAfterCheckpoint {
-    fn record(&self, rec: &Record) {
-        self.inner.record(rec);
-        if matches!(rec.event, Event::Checkpoint { .. })
-            && self.seen.fetch_add(1, Ordering::SeqCst) + 1 == self.after
-        {
-            self.inner.flush();
-            use std::io::Write;
-            if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&self.path) {
-                let _ = f.write_all(b"{\"type\":\"checkpoint\",\"cut");
-                let _ = f.flush();
-            }
-            std::process::abort();
-        }
+/// Prints a finished run the way `codesign` and `resume` always have:
+/// summary and per-model plans on stdout, report file on request.
+fn print_run(out: &RunOutput, path: Option<&str>) -> std::io::Result<()> {
+    print!("{}", outcome_summary(&out.outcome, out.objective));
+    for plan in &out.outcome.best_plans {
+        println!();
+        print!("{}", plan_markdown(plan));
     }
-
-    fn flush(&self) {
-        self.inner.flush();
+    if let Some(path) = path {
+        std::fs::write(path, final_report(&out.outcome, out.objective))?;
     }
-}
-
-/// Builds the observer requested by `--journal` / `--progress`,
-/// installing the crash hook around the journal writer when the test
-/// environment asks for it.
-fn build_observer(config: &CliConfig) -> Result<Observer, Box<dyn std::error::Error>> {
-    let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
-    if let Some(path) = &config.journal {
-        let journal: Arc<dyn EventSink> = Arc::new(JournalWriter::create(path)?);
-        let journal = match std::env::var("SPOTLIGHT_CRASH_AFTER_CHECKPOINT") {
-            Ok(n) => Arc::new(CrashAfterCheckpoint {
-                inner: journal,
-                path: path.clone(),
-                after: n.parse()?,
-                seen: AtomicU64::new(0),
-            }) as Arc<dyn EventSink>,
-            Err(_) => journal,
-        };
-        sinks.push(journal);
-    }
-    if config.progress {
-        sinks.push(Arc::new(ProgressSink::stderr()));
-    }
-    Ok(Observer::multi(sinks))
-}
-
-/// Rebuilds the codesign configuration a journal manifest describes.
-fn config_from_manifest(
-    manifest: &RunManifest,
-) -> Result<spotlight::codesign::CodesignConfig, Box<dyn std::error::Error>> {
-    let objective = match manifest.objective.as_str() {
-        "edp" | "" => Objective::Edp,
-        "delay" => Objective::Delay,
-        other => return Err(format!("manifest has unknown objective `{other}`").into()),
-    };
-    let base = match manifest.scale.as_str() {
-        "edge" | "" => spotlight::codesign::CodesignConfig::edge(),
-        "cloud" => spotlight::codesign::CodesignConfig::cloud(),
-        other => {
-            return Err(format!(
-                "manifest has scale `{other}`; only edge/cloud runs can be resumed from the CLI"
-            )
-            .into())
-        }
-    };
-    let variant = parse_variant(&manifest.variant)
-        .map_err(|_| format!("manifest has unknown variant `{}`", manifest.variant))?;
-    Ok(base
-        .hw_samples(manifest.hw_samples as usize)
-        .sw_samples(manifest.sw_samples as usize)
-        .objective(objective)
-        .variant(variant)
-        .seed(manifest.seed)
-        .threads((manifest.threads as usize).max(1))
-        .build()?)
+    Ok(())
 }
 
 fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
@@ -127,40 +54,9 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Help => {
             println!("{USAGE}");
         }
-        Command::Codesign { models, config } => {
-            let resolved: Result<Vec<_>, _> = models.iter().map(|m| resolve_model(m)).collect();
-            let resolved = resolved?;
-            let cfg = config.to_codesign_config()?;
-            let mut engine = EvalEngine::by_name_configured(
-                &config.backend,
-                config.fault_plan(),
-                config.noise_plan(),
-            )?
-            .with_robust_policy(config.robust_policy());
-            if let Some(cap) = config.cache_cap {
-                engine = engine.with_cache_cap(cap);
-            }
-            let observer = build_observer(&config)?;
-            eprintln!(
-                "co-designing for {} model(s), {} hw x {} sw samples ({}, {} backend, {} thread(s))...",
-                resolved.len(),
-                cfg.hw_samples(),
-                cfg.sw_samples(),
-                config.variant.name(),
-                engine.backend_name(),
-                cfg.threads(),
-            );
-            let outcome = Spotlight::with_engine(cfg, engine)
-                .with_observer(observer)
-                .codesign(&resolved);
-            print!("{}", outcome_summary(&outcome, cfg.objective()));
-            for plan in &outcome.best_plans {
-                println!();
-                print!("{}", plan_markdown(plan));
-            }
-            if let Some(path) = &config.out {
-                std::fs::write(path, final_report(&outcome, cfg.objective()))?;
-            }
+        Command::Codesign { models: _, config } => {
+            let out = run_job(&config.spec, config.journal.as_deref(), config.progress)?;
+            print_run(&out, config.out.as_deref())?;
         }
         Command::Evaluate {
             baseline,
@@ -197,11 +93,12 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 println!("{},{sw:.3e},{:.3e}", entry.layer, hw * sw);
             }
         }
-        Command::Journal { path } => {
+        Command::Journal { path, strict } => {
             // Any *terminated* line that fails to parse as a known event
             // — unknown type, missing field — is schema drift and a hard
             // error. A final line cut mid-write is a crash scar: reported
-            // but not fatal, since resume can recover such a journal.
+            // with the valid-prefix offset, and fatal only under
+            // --strict, since resume can recover such a journal.
             let parsed = read_journal_tolerant(&path)??;
             let mut counts = vec![0u64; EVENT_KINDS.len()];
             for r in &parsed.records {
@@ -212,15 +109,26 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             match &parsed.truncated_tail {
                 None => println!("{}: {} events, all valid", path, parsed.records.len()),
                 Some(tail) => println!(
-                    "{}: {} events, all valid; truncated tail at line {} ({} bytes cut mid-write)",
+                    "{}: {} events, all valid; truncated tail at line {} ({} bytes cut \
+                     mid-write, valid prefix ends at byte {})",
                     path,
                     parsed.records.len(),
                     tail.line,
-                    tail.text.len()
+                    tail.text.len(),
+                    parsed.valid_bytes,
                 ),
             }
             for (kind, n) in EVENT_KINDS.iter().zip(&counts) {
                 println!("  {kind:<20} {n}");
+            }
+            if strict {
+                if let Some(tail) = &parsed.truncated_tail {
+                    return Err(format!(
+                        "strict: truncated tail at line {} (valid prefix ends at byte {})",
+                        tail.line, parsed.valid_bytes,
+                    )
+                    .into());
+                }
             }
         }
         Command::Resume {
@@ -228,91 +136,46 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             out,
             progress,
         } => {
-            let parsed = read_journal_tolerant(&path)??;
-            if let Some(tail) = &parsed.truncated_tail {
-                eprintln!(
-                    "journal ends in a line cut mid-write at line {} ({} bytes): \
-                     truncating to the valid prefix",
-                    tail.line,
-                    tail.text.len()
-                );
-            }
-            let manifest = parsed
-                .records
-                .iter()
-                .find_map(|r| match &r.event {
-                    Event::RunStarted { manifest } => Some(manifest.clone()),
-                    _ => None,
-                })
-                .ok_or("journal has no run_started manifest; nothing to resume")?;
-            if parsed
-                .records
-                .iter()
-                .any(|r| matches!(r.event, Event::RunFinished { .. }))
-            {
-                return Err("journal already ends in run_finished; nothing to resume".into());
-            }
-            let cfg = config_from_manifest(&manifest)?;
-            let models: Result<Vec<_>, _> = manifest
-                .models
-                .split(',')
-                .filter(|s| !s.is_empty())
-                .map(resolve_model)
-                .collect();
-            let models = models?;
-            if models.is_empty() {
-                return Err("manifest names no models; cannot resume".into());
-            }
-            let faults = match manifest.faults.as_str() {
-                "" => None,
-                spec => Some(spec.parse::<FaultPlan>()?),
-            };
-            let noise = match manifest.noise.as_str() {
-                "" => None,
-                spec => Some(spec.parse::<NoisePlan>()?),
-            };
-            // One replicate needs no aggregation, so old manifests with
-            // an empty robust_agg resume cleanly.
-            let robust = if manifest.replicates <= 1 {
-                RobustPolicy::default()
-            } else {
-                RobustPolicy::replicated(
-                    manifest.replicates as usize,
-                    manifest.robust_agg.parse::<Aggregation>()?,
-                )
-            };
-            let engine = EvalEngine::by_name_configured(&manifest.backend, faults, noise)?
-                .with_robust_policy(robust);
-            let checkpoints: Vec<SampleCheckpoint> = parsed
-                .records
-                .iter()
-                .filter_map(|r| SampleCheckpoint::from_event(&r.event))
-                .collect();
-            // Drop the crash scar so the continued journal stays
-            // well-formed, then append to the valid prefix.
-            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
-            file.set_len(parsed.valid_bytes)?;
-            drop(file);
-            let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(JournalWriter::append(&path)?)];
-            if progress {
-                sinks.push(Arc::new(ProgressSink::stderr()));
-            }
-            eprintln!(
-                "resuming from {}: {} of {} hardware samples checkpointed...",
-                path,
-                checkpoints.len(),
-                cfg.hw_samples(),
-            );
-            let outcome = Spotlight::with_engine(cfg, engine)
-                .with_observer(Observer::multi(sinks))
-                .resume(&models, &checkpoints)?;
-            print!("{}", outcome_summary(&outcome, cfg.objective()));
-            for plan in &outcome.best_plans {
-                println!();
-                print!("{}", plan_markdown(plan));
-            }
-            if let Some(path) = &out {
-                std::fs::write(path, final_report(&outcome, cfg.objective()))?;
+            let result = resume_job(&path, progress)?;
+            print_run(&result, out.as_deref())?;
+        }
+        Command::Serve {
+            listen,
+            workers,
+            slice,
+            dir,
+        } => {
+            // Test hook: kill the worker executing the n-th slice, to
+            // exercise requeue-and-respawn end to end.
+            let kill_after = std::env::var("SPOTLIGHT_SERVE_KILL_WORKER_AFTER_SLICES")
+                .ok()
+                .map(|n| n.parse())
+                .transpose()?;
+            let server = Arc::new(Server::new(SchedulerOptions {
+                workers,
+                slice,
+                dir: dir.into(),
+                kill_after,
+            })?);
+            let (listener, addr) = bind(&listen)?;
+            // Scripts parse this line to discover the bound port.
+            println!("listening on {addr}");
+            serve_loop(listener, server)?;
+        }
+        Command::Client { addr, request } => {
+            for line in run_client(&addr, &request.to_line())? {
+                // Unwrap text payloads so `client metrics` pipes
+                // straight into a parser; everything else prints as the
+                // raw frame.
+                match Response::parse_line(&line) {
+                    Ok(Response::Metrics { text }) | Ok(Response::Report { text, .. }) => {
+                        print!("{text}");
+                    }
+                    Ok(Response::Error { message }) => {
+                        return Err(message.into());
+                    }
+                    _ => println!("{line}"),
+                }
             }
         }
     }

@@ -1,0 +1,116 @@
+//! `spotlight journal` exit-code contract: schema drift always fails,
+//! a crash-scar tail fails only under `--strict`, and the valid-prefix
+//! byte offset is printed so operators can truncate by hand.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_spotlight-cli");
+
+struct Workdir(PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spotlight-js-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp workdir creates");
+        Workdir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_string()
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_journal(dir: &Workdir) -> String {
+    let journal = dir.path("run.jsonl");
+    let status = Command::new(BIN)
+        .args([
+            "codesign",
+            "--model",
+            "transformer",
+            "--hw",
+            "2",
+            "--sw",
+            "4",
+            "--seed",
+            "1",
+            "--journal",
+            &journal,
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    journal
+}
+
+fn journal_cmd(args: &[&str]) -> (bool, String) {
+    let out = Command::new(BIN).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn clean_journal_passes_strict_and_lax() {
+    let dir = Workdir::new("clean");
+    let journal = write_journal(&dir);
+    let (ok, stdout) = journal_cmd(&["journal", &journal]);
+    assert!(ok);
+    assert!(stdout.contains("all valid"), "{stdout}");
+    let (ok, _) = journal_cmd(&["journal", &journal, "--strict"]);
+    assert!(ok, "strict must accept a clean journal");
+}
+
+#[test]
+fn truncated_tail_fails_only_under_strict_and_names_the_offset() {
+    let dir = Workdir::new("tail");
+    let journal = write_journal(&dir);
+    let valid_bytes = std::fs::metadata(&journal).unwrap().len();
+    // Scar the journal the way a kill mid-write does: an unterminated
+    // half-line at the end.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .unwrap();
+    write!(f, "{{\"type\":\"checkpoint\",\"cut").unwrap();
+    drop(f);
+
+    let (ok, stdout) = journal_cmd(&["journal", &journal]);
+    assert!(ok, "a crash scar alone is recoverable, so lax mode passes");
+    assert!(
+        stdout.contains(&format!("valid prefix ends at byte {valid_bytes}")),
+        "{stdout}"
+    );
+
+    let (ok, _) = journal_cmd(&["journal", &journal, "--strict"]);
+    assert!(!ok, "--strict must fail on a truncated tail");
+}
+
+#[test]
+fn schema_drift_fails_even_without_strict() {
+    let dir = Workdir::new("drift");
+    let journal = write_journal(&dir);
+    // A *terminated* line of an unknown event type is schema drift, not
+    // a crash scar: a hard error in both modes.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .unwrap();
+    writeln!(f, "{{\"type\":\"warp_drive\",\"engaged\":true}}").unwrap();
+    drop(f);
+
+    let (ok, _) = journal_cmd(&["journal", &journal]);
+    assert!(!ok, "schema drift must exit non-zero without --strict");
+    let (ok, _) = journal_cmd(&["journal", &journal, "--strict"]);
+    assert!(!ok, "schema drift must exit non-zero with --strict");
+}

@@ -76,7 +76,7 @@ pub use robust::{
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use spotlight_accel::HardwareConfig;
@@ -390,6 +390,110 @@ impl MemoCache {
     }
 }
 
+/// A memo-cache handle that several [`EvalEngine`]s can share.
+///
+/// Concurrent jobs evaluating overlapping design points reuse each
+/// other's backend results through it; each engine still keeps its own
+/// hit/miss counters, so per-job accounting is unaffected by who warmed
+/// the cache. Sharing is only sound between engines with identical
+/// evaluation semantics (same backend, fault plan, noise plan, and
+/// robust policy) — a caller pairing engines with different semantics
+/// would cross-contaminate their memoized costs.
+#[derive(Clone)]
+pub struct SharedCache {
+    inner: Arc<Mutex<MemoCache>>,
+}
+
+impl fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCache")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl SharedCache {
+    /// A fresh cache, FIFO-bounded to `cap` entries when given.
+    pub fn new(cap: Option<usize>) -> Self {
+        SharedCache {
+            inner: Arc::new(Mutex::new(MemoCache::new(cap))),
+        }
+    }
+
+    /// Number of memoized triples currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Monotonic, process-lifetime counters aggregated across every engine
+/// that carries a handle to them (see [`EvalEngine::with_global_stats`]).
+///
+/// Unlike an engine's own counters these are never reset or restored:
+/// `reset_stats` / `restore_logical_counters` rewrite per-run logical
+/// accounting, while these record operational totals — what the process
+/// actually did — which is what a metrics endpoint should export. A
+/// crash-recovered job therefore double-counts its replayed work here,
+/// deliberately: the work really was performed twice.
+#[derive(Default)]
+pub struct GlobalEvalStats {
+    evaluations: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    infeasible: AtomicU64,
+    quarantined: AtomicU64,
+    transient_retries: AtomicU64,
+    failed_layers: AtomicU64,
+    sw_searches: AtomicU64,
+    evictions: AtomicU64,
+    replicate_measurements: AtomicU64,
+    outliers_rejected: AtomicU64,
+    phase_wall: Mutex<BTreeMap<&'static str, Duration>>,
+}
+
+impl fmt::Debug for GlobalEvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalEvalStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl GlobalEvalStats {
+    /// Snapshot of the aggregated counters, in [`EvalStats`] form.
+    pub fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
+            failed_layers: self.failed_layers.load(Ordering::Relaxed),
+            sw_searches: self.sw_searches.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            replicate_measurements: self.replicate_measurements.load(Ordering::Relaxed),
+            outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
+            phase_wall: self
+                .phase_wall
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
 /// Snapshot of an engine's instrumentation counters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalStats {
@@ -492,7 +596,10 @@ impl EvalStats {
 /// ```
 pub struct EvalEngine {
     backend: Box<dyn CostBackend>,
-    cache: Option<Mutex<MemoCache>>,
+    cache: Option<Arc<Mutex<MemoCache>>>,
+    /// Process-wide counter mirror; every local increment is repeated
+    /// here when attached (see [`EvalEngine::with_global_stats`]).
+    global: Option<Arc<GlobalEvalStats>>,
     retry: RetryPolicy,
     robust: RobustPolicy,
     /// Wall-clock point past which retry backoff must not sleep; set by
@@ -539,7 +646,8 @@ impl EvalEngine {
     pub fn new(backend: Box<dyn CostBackend>) -> Self {
         EvalEngine {
             backend,
-            cache: Some(Mutex::new(MemoCache::new(None))),
+            cache: Some(Arc::new(Mutex::new(MemoCache::new(None)))),
+            global: None,
             retry: RetryPolicy::default(),
             robust: RobustPolicy::default(),
             deadline: Mutex::new(None),
@@ -631,11 +739,32 @@ impl EvalEngine {
     }
 
     /// Bounds the memo cache to `cap` resident entries, evicted FIFO in
-    /// insertion order. No-op when the cache is disabled.
-    pub fn with_cache_cap(mut self, cap: usize) -> Self {
-        if let Some(cache) = &mut self.cache {
-            cache.get_mut().unwrap_or_else(PoisonError::into_inner).cap = Some(cap);
+    /// insertion order. No-op when the cache is disabled; applied to the
+    /// attached cache, shared or private.
+    pub fn with_cache_cap(self, cap: usize) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap_or_else(PoisonError::into_inner).cap = Some(cap);
         }
+        self
+    }
+
+    /// Attaches a [`SharedCache`], replacing the engine's private cache.
+    /// The caller is responsible for only sharing between engines with
+    /// identical evaluation semantics (backend, faults, noise, robust
+    /// policy); the per-engine hit/miss/eviction counters keep counting
+    /// this engine's own traffic.
+    pub fn with_shared_cache(mut self, shared: &SharedCache) -> Self {
+        self.cache = Some(shared.inner.clone());
+        self
+    }
+
+    /// Attaches a [`GlobalEvalStats`] mirror: from now on every counter
+    /// increment and phase-wall charge is applied both locally and to
+    /// `global`. Per-run resets and checkpoint restores touch only the
+    /// local counters, so the mirror accumulates operational totals
+    /// across runs, jobs, and engines.
+    pub fn with_global_stats(mut self, global: Arc<GlobalEvalStats>) -> Self {
+        self.global = Some(global);
         self
     }
 
@@ -679,6 +808,15 @@ impl EvalEngine {
         self.backend.noise()
     }
 
+    /// Bumps a local counter and, when a [`GlobalEvalStats`] mirror is
+    /// attached, the matching global counter by the same amount.
+    fn count(&self, local: &AtomicU64, pick: fn(&GlobalEvalStats) -> &AtomicU64, n: u64) {
+        local.fetch_add(n, Ordering::Relaxed);
+        if let Some(global) = &self.global {
+            pick(global).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Costs one triple, consulting the quarantine list and the memo
     /// cache before the backend. Transient backend failures are retried
     /// per [`RetryPolicy`]; a query that exhausts its retries (or comes
@@ -706,7 +844,7 @@ impl EvalEngine {
         sched: &Schedule,
         layer: &ConvLayer,
     ) -> Result<(CostReport, ReplicateSummary), EvalError> {
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.count(&self.evaluations, |g| &g.evaluations, 1);
         // Fault-free runs pay one relaxed load here and never touch the
         // quarantine lock.
         if self.quarantine_len.load(Ordering::Relaxed) > 0 {
@@ -719,8 +857,8 @@ impl EvalEngine {
             if hit {
                 // Answered without the backend: counts as a cache hit so
                 // `evaluations == cache_hits + cache_misses` stays exact.
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.count(&self.cache_hits, |g| &g.cache_hits, 1);
+                self.count(&self.quarantined, |g| &g.quarantined, 1);
                 return Err(EvalError::Quarantined);
             }
         }
@@ -735,7 +873,7 @@ impl EvalEngine {
                     .copied();
                 match cached {
                     Some(r) => {
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.count(&self.cache_hits, |g| &g.cache_hits, 1);
                         r
                     }
                     None => {
@@ -743,7 +881,7 @@ impl EvalEngine {
                         // and workers must not serialize on it. Two
                         // threads may race on one key; both store the
                         // same pure value, so last-write-wins is safe.
-                        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        self.count(&self.cache_misses, |g| &g.cache_misses, 1);
                         let r = self.measure_robust(hw, sched, layer);
                         let deterministic = match &r {
                             Ok(_) => true,
@@ -755,7 +893,7 @@ impl EvalEngine {
                                 .unwrap_or_else(PoisonError::into_inner)
                                 .insert(key, r);
                             if evicted > 0 {
-                                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                                self.count(&self.evictions, |g| &g.evictions, evicted);
                             }
                         }
                         r
@@ -763,18 +901,18 @@ impl EvalEngine {
                 }
             }
             None => {
-                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.count(&self.cache_misses, |g| &g.cache_misses, 1);
                 self.measure_robust(hw, sched, layer)
             }
         };
         match result {
             Err(e) if e.is_infeasible() => {
-                self.infeasible.fetch_add(1, Ordering::Relaxed);
+                self.count(&self.infeasible, |g| &g.infeasible, 1);
             }
             Err(EvalError::Transient) | Err(EvalError::Poisoned) => {
                 // Retries exhausted or report corrupted: quarantine the
                 // key so the run degrades instead of hammering it.
-                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.count(&self.quarantined, |g| &g.quarantined, 1);
                 let fp = key_fingerprint(hw, sched, layer);
                 let mut q = self
                     .quarantine
@@ -873,11 +1011,13 @@ impl EvalEngine {
             rejected,
             dispersion: relative_dispersion(&delays).max(relative_dispersion(&energies)),
         };
-        self.replicate_measurements
-            .fetch_add(measurements, Ordering::Relaxed);
+        self.count(
+            &self.replicate_measurements,
+            |g| &g.replicate_measurements,
+            measurements,
+        );
         if rejected > 0 {
-            self.outliers_rejected
-                .fetch_add(rejected, Ordering::Relaxed);
+            self.count(&self.outliers_rejected, |g| &g.outliers_rejected, rejected);
         }
         Ok((report, summary))
     }
@@ -907,7 +1047,7 @@ impl EvalEngine {
                     if self.pause_crosses_deadline(pause) {
                         return Err(EvalError::Transient);
                     }
-                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
+                    self.count(&self.transient_retries, |g| &g.transient_retries, 1);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
                     }
@@ -998,12 +1138,12 @@ impl EvalEngine {
     /// accounting tests can assert `evaluations == sw_searches * budget`
     /// exactly.
     pub fn count_sw_search(&self) {
-        self.sw_searches.fetch_add(1, Ordering::Relaxed);
+        self.count(&self.sw_searches, |g| &g.sw_searches, 1);
     }
 
     /// Records one layer abandoned after its worker panicked twice.
     pub fn count_failed_layer(&self) {
-        self.failed_layers.fetch_add(1, Ordering::Relaxed);
+        self.count(&self.failed_layers, |g| &g.failed_layers, 1);
     }
 
     /// Restores the *logical* counters from a checkpoint when resuming
@@ -1050,6 +1190,14 @@ impl EvalEngine {
             .unwrap_or_else(PoisonError::into_inner)
             .entry(phase)
             .or_insert(Duration::ZERO) += elapsed;
+        if let Some(global) = &self.global {
+            *global
+                .phase_wall
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(phase)
+                .or_insert(Duration::ZERO) += elapsed;
+        }
     }
 
     /// Logical queries answered so far.

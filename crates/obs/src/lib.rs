@@ -44,7 +44,7 @@
 
 mod event;
 mod journal;
-mod json;
+pub mod json;
 mod sink;
 
 pub use event::{Event, Record, RunManifest, EVENT_KINDS};

@@ -1,0 +1,432 @@
+//! The serve wire protocol: line-delimited flat JSON objects, encoded
+//! with the journal's own codec ([`spotlight_obs::json`]).
+//!
+//! Every frame is one line, one flat object, with a `type` field first.
+//! Clients write [`Request`] frames; the server answers with one or
+//! more [`Response`] frames per request (`list` emits one `job` row per
+//! job and then an `end` row; `stream-journal` brackets the raw journal
+//! lines — already JSONL — between `stream-start` and `stream-end`).
+//! The codec rejects nesting, arrays, and trailing garbage, so a
+//! malformed frame can never be half-understood.
+
+use spotlight_obs::json::{parse_flat_object, Fields, JsonObj};
+
+use crate::job::{JobId, JobState, JobStatus};
+
+/// One client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a run: `spec` is a flag string (`--model x --hw 4 ...`)
+    /// parsed by [`crate::spec::RunSpec::parse_str`].
+    Submit {
+        /// The spec flag string.
+        spec: String,
+    },
+    /// Fetch one job's status row.
+    Status {
+        /// Target job.
+        job: JobId,
+    },
+    /// Request cancellation of one job.
+    Cancel {
+        /// Target job.
+        job: JobId,
+    },
+    /// Fetch every job's status row.
+    List,
+    /// Stream a job's journal verbatim.
+    StreamJournal {
+        /// Target job.
+        job: JobId,
+    },
+    /// Fetch the Prometheus metrics page.
+    Metrics,
+    /// Fetch a completed job's final report text.
+    Report {
+        /// Target job.
+        job: JobId,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A submit was accepted.
+    Submitted {
+        /// The assigned job id.
+        job: JobId,
+    },
+    /// The status row for one `status` request.
+    Status(JobStatus),
+    /// A cancel was processed; `ok` is false when the job was already
+    /// terminal.
+    Cancelled {
+        /// Target job.
+        job: JobId,
+        /// Whether the request changed anything.
+        ok: bool,
+    },
+    /// One row of a `list` response.
+    Job(JobStatus),
+    /// Terminates a `list` response.
+    End {
+        /// Rows emitted.
+        count: u64,
+    },
+    /// Opens a `stream-journal` response; raw journal lines follow.
+    StreamStart {
+        /// Target job.
+        job: JobId,
+    },
+    /// Closes a `stream-journal` response.
+    StreamEnd {
+        /// Journal lines streamed.
+        lines: u64,
+    },
+    /// The metrics page (newlines escaped in transit).
+    Metrics {
+        /// Prometheus text exposition.
+        text: String,
+    },
+    /// A completed job's final report.
+    Report {
+        /// Target job.
+        job: JobId,
+        /// The deterministic report text.
+        text: String,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledges `shutdown`; the connection closes after this frame.
+    ShuttingDown,
+    /// Any request that could not be honoured.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Serializes the request as one JSONL frame (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit { spec } => {
+                let mut o = JsonObj::typed("submit");
+                o.push_str("spec", spec);
+                o.finish()
+            }
+            Request::Status { job } => {
+                let mut o = JsonObj::typed("status");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Request::Cancel { job } => {
+                let mut o = JsonObj::typed("cancel");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Request::List => JsonObj::typed("list").finish(),
+            Request::StreamJournal { job } => {
+                let mut o = JsonObj::typed("stream-journal");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Request::Metrics => JsonObj::typed("metrics").finish(),
+            Request::Report { job } => {
+                let mut o = JsonObj::typed("report");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Request::Ping => JsonObj::typed("ping").finish(),
+            Request::Shutdown => JsonObj::typed("shutdown").finish(),
+        }
+    }
+
+    /// Parses one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field or unknown verb.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let fields = Fields(parse_flat_object(line)?);
+        let kind = fields.str("type")?;
+        Ok(match kind.as_str() {
+            "submit" => Request::Submit {
+                spec: fields.str("spec")?,
+            },
+            "status" => Request::Status {
+                job: fields.u64("job")?,
+            },
+            "cancel" => Request::Cancel {
+                job: fields.u64("job")?,
+            },
+            "list" => Request::List,
+            "stream-journal" => Request::StreamJournal {
+                job: fields.u64("job")?,
+            },
+            "metrics" => Request::Metrics,
+            "report" => Request::Report {
+                job: fields.u64("job")?,
+            },
+            "ping" => Request::Ping,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown request type `{other}`")),
+        })
+    }
+}
+
+/// Serializes a status row's fields (shared by `status` and `job`
+/// frames). `best_cost` uses the codec's non-finite→`null` encoding for
+/// "not completed"; `error` uses the empty string for "none".
+fn push_status(o: &mut JsonObj, s: &JobStatus) {
+    o.push_u64("job", s.id);
+    o.push_str("state", s.state.as_str());
+    o.push_u64("slices", s.slices);
+    o.push_u64("samples_done", s.samples_done);
+    o.push_u64("hw_samples", s.hw_samples);
+    o.push_f64("best_cost", s.best_cost.unwrap_or(f64::INFINITY));
+    o.push_str("error", s.error.as_deref().unwrap_or(""));
+}
+
+fn parse_status(fields: &Fields) -> Result<JobStatus, String> {
+    let best_cost = fields.f64("best_cost")?;
+    let error = fields.str("error")?;
+    Ok(JobStatus {
+        id: fields.u64("job")?,
+        state: JobState::from_str_name(&fields.str("state")?)?,
+        slices: fields.u64("slices")?,
+        samples_done: fields.u64("samples_done")?,
+        hw_samples: fields.u64("hw_samples")?,
+        best_cost: if best_cost.is_finite() {
+            Some(best_cost)
+        } else {
+            None
+        },
+        error: if error.is_empty() { None } else { Some(error) },
+    })
+}
+
+impl Response {
+    /// Serializes the response as one JSONL frame (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Submitted { job } => {
+                let mut o = JsonObj::typed("submitted");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Response::Status(s) => {
+                let mut o = JsonObj::typed("status");
+                push_status(&mut o, s);
+                o.finish()
+            }
+            Response::Cancelled { job, ok } => {
+                let mut o = JsonObj::typed("cancelled");
+                o.push_u64("job", *job);
+                o.push_bool("ok", *ok);
+                o.finish()
+            }
+            Response::Job(s) => {
+                let mut o = JsonObj::typed("job");
+                push_status(&mut o, s);
+                o.finish()
+            }
+            Response::End { count } => {
+                let mut o = JsonObj::typed("end");
+                o.push_u64("count", *count);
+                o.finish()
+            }
+            Response::StreamStart { job } => {
+                let mut o = JsonObj::typed("stream-start");
+                o.push_u64("job", *job);
+                o.finish()
+            }
+            Response::StreamEnd { lines } => {
+                let mut o = JsonObj::typed("stream-end");
+                o.push_u64("lines", *lines);
+                o.finish()
+            }
+            Response::Metrics { text } => {
+                let mut o = JsonObj::typed("metrics");
+                o.push_str("text", text);
+                o.finish()
+            }
+            Response::Report { job, text } => {
+                let mut o = JsonObj::typed("report");
+                o.push_u64("job", *job);
+                o.push_str("text", text);
+                o.finish()
+            }
+            Response::Pong => JsonObj::typed("pong").finish(),
+            Response::ShuttingDown => JsonObj::typed("shutting-down").finish(),
+            Response::Error { message } => {
+                let mut o = JsonObj::typed("error");
+                o.push_str("message", message);
+                o.finish()
+            }
+        }
+    }
+
+    /// Parses one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field or unknown verb.
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let fields = Fields(parse_flat_object(line)?);
+        let kind = fields.str("type")?;
+        Ok(match kind.as_str() {
+            "submitted" => Response::Submitted {
+                job: fields.u64("job")?,
+            },
+            "status" => Response::Status(parse_status(&fields)?),
+            "cancelled" => Response::Cancelled {
+                job: fields.u64("job")?,
+                ok: fields.bool("ok")?,
+            },
+            "job" => Response::Job(parse_status(&fields)?),
+            "end" => Response::End {
+                count: fields.u64("count")?,
+            },
+            "stream-start" => Response::StreamStart {
+                job: fields.u64("job")?,
+            },
+            "stream-end" => Response::StreamEnd {
+                lines: fields.u64("lines")?,
+            },
+            "metrics" => Response::Metrics {
+                text: fields.str("text")?,
+            },
+            "report" => Response::Report {
+                job: fields.u64("job")?,
+                text: fields.str("text")?,
+            },
+            "pong" => Response::Pong,
+            "shutting-down" => Response::ShuttingDown,
+            "error" => Response::Error {
+                message: fields.str("message")?,
+            },
+            other => return Err(format!("unknown response type `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = [
+            Request::Submit {
+                spec: "--model transformer --hw 4 --noise seed=1,sigma=0.1".into(),
+            },
+            Request::Status { job: 7 },
+            Request::Cancel { job: u64::MAX },
+            Request::List,
+            Request::StreamJournal { job: 3 },
+            Request::Metrics,
+            Request::Report { job: 9 },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_line();
+            assert_eq!(Request::parse_line(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let status = JobStatus {
+            id: 4,
+            state: JobState::Completed,
+            slices: 3,
+            samples_done: 20,
+            hw_samples: 20,
+            best_cost: Some(597544319801551.1),
+            error: None,
+        };
+        let failed = JobStatus {
+            id: 5,
+            state: JobState::Failed,
+            slices: 1,
+            samples_done: 0,
+            hw_samples: 8,
+            best_cost: None,
+            error: Some("spec names no models".into()),
+        };
+        let responses = [
+            Response::Submitted { job: 1 },
+            Response::Status(status.clone()),
+            Response::Status(failed),
+            Response::Cancelled { job: 2, ok: false },
+            Response::Job(status),
+            Response::End { count: 2 },
+            Response::StreamStart { job: 3 },
+            Response::StreamEnd { lines: 17 },
+            Response::Metrics {
+                text: "# HELP x y\n# TYPE x counter\nx 1\n".into(),
+            },
+            Response::Report {
+                job: 4,
+                text: "# Spotlight report\n\n| a | b |\n".into(),
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown flag `--frobnicate`".into(),
+            },
+        ];
+        for resp in responses {
+            let line = resp.to_line();
+            assert_eq!(Response::parse_line(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for line in [
+            "",                                    // not an object
+            "{}",                                  // no type
+            "{\"type\":\"warp\"}",                 // unknown verb
+            "{\"type\":\"status\"}",               // missing field
+            "{\"type\":\"status\",\"job\":\"x\"}", // wrong field type
+            "{\"type\":\"submit\",\"spec\":{}}",   // nested value
+            "{\"type\":\"list\"} trailing",        // trailing garbage
+            "[\"type\",\"list\"]",                 // array, not object
+            "{\"type\":\"status\",\"job\":1",      // unterminated
+        ] {
+            assert!(Request::parse_line(line).is_err(), "accepted: {line}");
+        }
+        assert!(Response::parse_line("{\"type\":\"pang\"}").is_err());
+        assert!(Response::parse_line("{\"type\":\"cancelled\",\"job\":1,\"ok\":3}").is_err());
+    }
+
+    #[test]
+    fn status_encoding_distinguishes_none_from_values() {
+        let line = Response::Status(JobStatus {
+            id: 1,
+            state: JobState::Running,
+            slices: 2,
+            samples_done: 4,
+            hw_samples: 10,
+            best_cost: None,
+            error: None,
+        })
+        .to_line();
+        // No report yet: best_cost rides as null, error as "".
+        assert!(line.contains("\"best_cost\":null"), "{line}");
+        match Response::parse_line(&line).unwrap() {
+            Response::Status(s) => {
+                assert_eq!(s.best_cost, None);
+                assert_eq!(s.error, None);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+}

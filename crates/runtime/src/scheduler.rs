@@ -1,0 +1,518 @@
+//! The serve scheduler: a worker pool round-robining checkpoint-sized
+//! slices across every queued job.
+//!
+//! Fairness comes from the slice unit: a worker advances one job by at
+//! most `slice` hardware samples, parks it at the checkpoint its
+//! journal just recorded, and requeues it behind every other waiting
+//! job. Preemption *is* checkpointing — a parked job's journal is
+//! byte-indistinguishable from a killed run's journal, so the next
+//! slice (on any worker) recovers it through the same tolerant-parse /
+//! scar-truncate / replay path `spotlight resume` uses. A worker panic
+//! therefore costs at most one slice of work: the job requeues and a
+//! replacement worker thread picks it up.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use spotlight_eval::{GlobalEvalStats, SharedCache};
+
+use crate::job::{Job, JobId, JobState, JobStatus};
+use crate::metrics::{render_metrics, ServerCounters};
+use crate::runner::{advance_job, RuntimeError, SliceProgress};
+use crate::spec::RunSpec;
+
+/// Scheduler shape: pool size, slice length, and journal directory.
+#[derive(Debug, Clone)]
+pub struct SchedulerOptions {
+    /// Worker threads executing slices.
+    pub workers: usize,
+    /// Hardware samples one slice may run before the job is preempted.
+    pub slice: usize,
+    /// Directory holding one journal per job (`job-<id>.jsonl`).
+    pub dir: PathBuf,
+    /// Fault-injection hook for the resilience tests: the worker
+    /// executing the n-th slice (1-based, pool-wide) panics instead,
+    /// exercising the requeue-and-respawn path.
+    pub kill_after: Option<u64>,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            workers: 2,
+            slice: 2,
+            dir: std::env::temp_dir().join("spotlight-serve"),
+            kill_after: None,
+        }
+    }
+}
+
+/// Mutable scheduler state, guarded by one mutex.
+struct State {
+    jobs: BTreeMap<JobId, Job>,
+    queue: VecDeque<JobId>,
+    next_id: JobId,
+    shutdown: bool,
+    /// Shared memo caches keyed by evaluation signature: jobs whose
+    /// engines answer queries identically pool their results.
+    caches: HashMap<String, SharedCache>,
+    /// Worker threads, replacements included, joined at shutdown.
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Everything workers and the front end share.
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    global: Arc<GlobalEvalStats>,
+    opts: SchedulerOptions,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    slices_run: AtomicU64,
+    workers_started: AtomicU64,
+    workers_died: AtomicU64,
+    /// Pool-wide slice ordinal, used only by the kill hook.
+    slice_counter: AtomicU64,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The long-lived co-design server: owns the job table, the worker
+/// pool, the shared caches, and the metrics counters. The wire layer
+/// ([`crate::serve`]) is a thin adapter over these methods.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        f.debug_struct("Server")
+            .field("jobs", &st.jobs.len())
+            .field("queued", &st.queue.len())
+            .field("shutdown", &st.shutdown)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts the worker pool and creates the journal directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-directory creation failures.
+    pub fn new(opts: SchedulerOptions) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&opts.dir)?;
+        let workers = opts.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                shutdown: false,
+                caches: HashMap::new(),
+                handles: Vec::new(),
+            }),
+            wake: Condvar::new(),
+            global: Arc::new(GlobalEvalStats::default()),
+            opts,
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            slices_run: AtomicU64::new(0),
+            workers_started: AtomicU64::new(0),
+            workers_died: AtomicU64::new(0),
+            slice_counter: AtomicU64::new(0),
+        });
+        for _ in 0..workers {
+            spawn_worker(&shared);
+        }
+        Ok(Server { shared })
+    }
+
+    /// The server's global evaluation counters (shared with every
+    /// worker's engine).
+    pub fn global_stats(&self) -> Arc<GlobalEvalStats> {
+        self.shared.global.clone()
+    }
+
+    /// Validates and enqueues a spec; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects specs whose models cannot be resolved or whose search
+    /// shape fails config validation, before anything is queued.
+    pub fn submit(&self, spec: RunSpec) -> Result<JobId, RuntimeError> {
+        spec.resolve_models()?;
+        spec.to_codesign_config()?;
+        let mut st = self.shared.lock();
+        if st.shutdown {
+            return Err(RuntimeError("server is shutting down".into()));
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let journal = self.shared.opts.dir.join(format!("job-{id}.jsonl"));
+        st.jobs.insert(
+            id,
+            Job {
+                id,
+                spec,
+                journal,
+                state: JobState::Queued,
+                slices: 0,
+                samples_done: 0,
+                cancel_requested: false,
+                report: None,
+                best_cost: None,
+                error: None,
+            },
+        );
+        st.queue.push_back(id);
+        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.wake.notify_one();
+        Ok(id)
+    }
+
+    /// The status row for one job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.lock().jobs.get(&id).map(Job::status)
+    }
+
+    /// Status rows for every job, in submission order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        self.shared.lock().jobs.values().map(Job::status).collect()
+    }
+
+    /// Requests cancellation. A queued job cancels immediately; a
+    /// running one is cancelled at its next slice boundary (its journal
+    /// keeps the checkpoints it already earned). Returns `false` when
+    /// the job was already terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for an unknown job id.
+    pub fn cancel(&self, id: JobId) -> Result<bool, RuntimeError> {
+        let mut st = self.shared.lock();
+        let job = st
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| RuntimeError(format!("no such job {id}")))?;
+        if job.state.is_terminal() {
+            return Ok(false);
+        }
+        job.cancel_requested = true;
+        if job.state == JobState::Queued {
+            job.state = JobState::Cancelled;
+            st.queue.retain(|q| *q != id);
+            self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(true)
+    }
+
+    /// The final report of a completed job.
+    pub fn report(&self, id: JobId) -> Option<String> {
+        self.shared
+            .lock()
+            .jobs
+            .get(&id)
+            .and_then(|j| j.report.clone())
+    }
+
+    /// The journal path backing a job (for `stream-journal`).
+    pub fn journal_path(&self, id: JobId) -> Option<PathBuf> {
+        self.shared.lock().jobs.get(&id).map(|j| j.journal.clone())
+    }
+
+    /// Whether every submitted job has reached a terminal state.
+    pub fn is_idle(&self) -> bool {
+        self.shared
+            .lock()
+            .jobs
+            .values()
+            .all(|j| j.state.is_terminal())
+    }
+
+    /// Renders the Prometheus text exposition of every counter.
+    pub fn metrics_text(&self) -> String {
+        let mut by_state: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            by_state.insert(s.as_str(), 0);
+        }
+        for job in self.shared.lock().jobs.values() {
+            *by_state.entry(job.state.as_str()).or_insert(0) += 1;
+        }
+        let counters = ServerCounters {
+            jobs_submitted: self.shared.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.shared.jobs_cancelled.load(Ordering::Relaxed),
+            slices: self.shared.slices_run.load(Ordering::Relaxed),
+            workers_started: self.shared.workers_started.load(Ordering::Relaxed),
+            workers_died: self.shared.workers_died.load(Ordering::Relaxed),
+        };
+        render_metrics(&self.shared.global.snapshot(), &counters, &by_state)
+    }
+
+    /// Worker threads that have died to a panic so far.
+    pub fn workers_died(&self) -> u64 {
+        self.shared.workers_died.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting work, wakes every worker, and joins the pool.
+    /// Queued jobs stay queued (their journals resume on restart).
+    pub fn shutdown(&self) {
+        let handles = {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            std::mem::take(&mut st.handles)
+        };
+        self.shared.wake.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns one worker thread and records its handle for shutdown.
+fn spawn_worker(shared: &Arc<Shared>) {
+    shared.workers_started.fetch_add(1, Ordering::Relaxed);
+    let for_thread = shared.clone();
+    let handle = std::thread::spawn(move || worker_loop(for_thread));
+    shared.lock().handles.push(handle);
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        // Wait for a runnable job (or shutdown).
+        let job_id = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    break id;
+                }
+                st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        // Claim the job and gather the slice inputs.
+        let (spec, journal, cache) = {
+            let mut st = shared.lock();
+            let Some(job) = st.jobs.get_mut(&job_id) else {
+                continue;
+            };
+            if job.cancel_requested {
+                job.state = JobState::Cancelled;
+                shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            job.state = JobState::Running;
+            job.slices += 1;
+            let sig = job.spec.eval_signature();
+            let cap = job.spec.cache_cap;
+            let spec = job.spec.clone();
+            let journal = job.journal.clone();
+            let cache = st
+                .caches
+                .entry(sig)
+                .or_insert_with(|| SharedCache::new(cap))
+                .clone();
+            (spec, journal, cache)
+        };
+        shared.slices_run.fetch_add(1, Ordering::Relaxed);
+
+        let slice = shared.opts.slice.max(1);
+        let kill_after = shared.opts.kill_after;
+        let global = shared.global.clone();
+        let counter = &shared.slice_counter;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // The kill hook fires *inside* the protected region so the
+            // panic takes the same path a real worker crash would.
+            if let Some(n) = kill_after {
+                if counter.fetch_add(1, Ordering::SeqCst) + 1 == n {
+                    panic!("injected worker kill on slice {n}");
+                }
+            }
+            advance_job(&spec, &journal, slice, Some(&cache), Some(global))
+        }));
+
+        let mut st = shared.lock();
+        let Some(job) = st.jobs.get_mut(&job_id) else {
+            continue;
+        };
+        match result {
+            Ok(Ok(SliceProgress::Paused { completed, .. })) => {
+                job.samples_done = completed as u64;
+                if job.cancel_requested {
+                    job.state = JobState::Cancelled;
+                    shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Back of the line: every other waiting job runs a
+                    // slice before this one runs again.
+                    job.state = JobState::Queued;
+                    st.queue.push_back(job_id);
+                    drop(st);
+                    shared.wake.notify_one();
+                }
+            }
+            Ok(Ok(SliceProgress::Finished(out))) => {
+                job.samples_done = job.spec.hw_samples as u64;
+                job.best_cost = Some(out.outcome.best_cost);
+                job.report = Some(out.report());
+                job.state = JobState::Completed;
+                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(e)) => {
+                job.state = JobState::Failed;
+                job.error = Some(e.to_string());
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // The worker is considered dead. Requeue the job — its
+                // journal ends at the last flushed checkpoint, exactly
+                // like a killed process — spawn a replacement thread,
+                // and let this one exit so the job provably resumes on
+                // a different worker.
+                job.state = JobState::Queued;
+                st.queue.push_back(job_id);
+                shared.workers_died.fetch_add(1, Ordering::Relaxed);
+                if !st.shutdown {
+                    drop(st);
+                    spawn_worker(&shared);
+                    shared.wake.notify_one();
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_job;
+
+    fn options(name: &str, workers: usize, kill_after: Option<u64>) -> SchedulerOptions {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-sched-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        SchedulerOptions {
+            workers,
+            slice: 2,
+            dir,
+            kill_after,
+        }
+    }
+
+    fn wait_idle(server: &Server) {
+        for _ in 0..600 {
+            if server.is_idle() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("server never drained: {:?}", server.list());
+    }
+
+    #[test]
+    fn concurrent_jobs_match_standalone_runs_byte_for_byte() {
+        let spec_a = RunSpec::parse_str("--model transformer --hw 5 --sw 6 --seed 7").unwrap();
+        let spec_b = RunSpec::parse_str(
+            "--model vgg16 --hw 4 --sw 5 --seed 9 --faults seed=2,transient=0.2",
+        )
+        .unwrap();
+        let standalone_a = run_job(&spec_a, None, false).unwrap().report();
+        let standalone_b = run_job(&spec_b, None, false).unwrap().report();
+
+        let opts = options("concurrent", 2, None);
+        let dir = opts.dir.clone();
+        let server = Server::new(opts).unwrap();
+        let a = server.submit(spec_a).unwrap();
+        let b = server.submit(spec_b).unwrap();
+        wait_idle(&server);
+
+        assert_eq!(server.report(a).as_deref(), Some(standalone_a.as_str()));
+        assert_eq!(server.report(b).as_deref(), Some(standalone_b.as_str()));
+        let statuses = server.list();
+        assert!(statuses.iter().all(|s| s.state == JobState::Completed));
+        assert!(
+            statuses.iter().all(|s| s.slices >= 2),
+            "slice=2 must preempt"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_worker_resumes_the_job_on_another_thread_byte_identically() {
+        let spec = RunSpec::parse_str("--model transformer --hw 5 --sw 6 --seed 3").unwrap();
+        let standalone = run_job(&spec, None, false).unwrap().report();
+
+        let opts = options("killed", 1, Some(2));
+        let dir = opts.dir.clone();
+        let server = Server::new(opts).unwrap();
+        let id = server.submit(spec).unwrap();
+        wait_idle(&server);
+
+        assert_eq!(server.workers_died(), 1, "the kill hook must have fired");
+        let status = server.status(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(server.report(id).as_deref(), Some(standalone.as_str()));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_and_queued_jobs_cancel() {
+        let opts = options("reject", 1, None);
+        let dir = opts.dir.clone();
+        let server = Server::new(opts).unwrap();
+        let bad = RunSpec::parse_str("--hw 3").unwrap();
+        assert!(server.submit(bad).is_err(), "no models must be rejected");
+        assert!(server.cancel(42).is_err(), "unknown id must error");
+
+        // Saturate the single worker, then cancel a queued job before
+        // it ever runs.
+        let long = RunSpec::parse_str("--model transformer --hw 6 --sw 6 --seed 1").unwrap();
+        let queued = RunSpec::parse_str("--model transformer --hw 6 --sw 6 --seed 2").unwrap();
+        let first = server.submit(long).unwrap();
+        let second = server.submit(queued).unwrap();
+        assert!(server.cancel(second).unwrap());
+        wait_idle(&server);
+        assert_eq!(server.status(first).unwrap().state, JobState::Completed);
+        assert_eq!(server.status(second).unwrap().state, JobState::Cancelled);
+        assert!(server.report(second).is_none());
+        assert!(
+            !server.cancel(second).unwrap(),
+            "terminal cancel is a no-op"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

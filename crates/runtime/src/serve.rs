@@ -1,0 +1,360 @@
+//! The serve socket layer: accepts TCP or Unix-socket connections and
+//! speaks the JSONL protocol ([`crate::proto`]) over them, with one
+//! HTTP affordance — `GET /metrics` answered in Prometheus text form so
+//! a stock `curl` or scraper needs no protocol client.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::scheduler::Server;
+use crate::spec::RunSpec;
+
+/// A bound serve socket: TCP (`host:port`) or Unix (`unix:/path`).
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener (socket file removed on bind).
+    Unix(UnixListener),
+}
+
+/// Binds the address a `--listen` flag names. `unix:/path` binds a Unix
+/// socket (replacing a stale socket file); anything else is a TCP
+/// `host:port`, where port 0 picks a free port. Returns the listener
+/// and its resolved address string (`host:port` or `unix:/path`).
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn bind(listen: &str) -> std::io::Result<(Listener, String)> {
+    if let Some(path) = listen.strip_prefix("unix:") {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Ok((Listener::Unix(listener), format!("unix:{path}")))
+    } else {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        Ok((Listener::Tcp(listener), addr.to_string()))
+    }
+}
+
+/// One accepted connection, unified over both transports.
+trait Conn: Read + Write + Send {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+/// Runs the accept loop until a client issues `shutdown`. Each
+/// connection gets its own thread; connection threads poll the stop
+/// flag so a shutdown drains them promptly even mid-session.
+///
+/// # Errors
+///
+/// Propagates accept-loop I/O failures (timeouts excluded).
+pub fn serve_loop(listener: Listener, server: Arc<Server>) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+    match &listener {
+        Listener::Tcp(l) => l.set_nonblocking(true)?,
+        Listener::Unix(l) => l.set_nonblocking(true)?,
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn: Option<Box<dyn Conn>> = match &listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Some(Box::new(stream))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Some(Box::new(stream))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        match conn {
+            Some(conn) => {
+                let server = server.clone();
+                let stop = stop.clone();
+                let handle = std::thread::spawn(move || {
+                    let _ = handle_connection(conn, &server, &stop);
+                });
+                handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let handles = std::mem::take(&mut *handles.lock().unwrap_or_else(PoisonError::into_inner));
+    for h in handles {
+        let _ = h.join();
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// Reads one `\n`-terminated line, waking every timeout to honour the
+/// stop flag. Returns `None` on EOF or stop.
+fn read_line(
+    conn: &mut dyn Conn,
+    buf: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    loop {
+        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            return Ok(Some(text));
+        }
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(
+    mut conn: Box<dyn Conn>,
+    server: &Server,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut buf = Vec::new();
+    let Some(first) = read_line(conn.as_mut(), &mut buf, stop)? else {
+        return Ok(());
+    };
+    if first.starts_with("GET ") || first.starts_with("HEAD ") {
+        return handle_http(conn.as_mut(), server, stop, &first, &mut buf);
+    }
+    let mut line = Some(first);
+    while let Some(text) = line {
+        if !text.trim().is_empty() && !process_request(conn.as_mut(), server, stop, &text)? {
+            return Ok(());
+        }
+        line = read_line(conn.as_mut(), &mut buf, stop)?;
+    }
+    Ok(())
+}
+
+/// Executes one JSONL request; returns `false` when the connection
+/// should close (shutdown).
+fn process_request(
+    conn: &mut dyn Conn,
+    server: &Server,
+    stop: &AtomicBool,
+    text: &str,
+) -> std::io::Result<bool> {
+    fn send(conn: &mut dyn Conn, resp: Response) -> std::io::Result<()> {
+        conn.write_all(resp.to_line().as_bytes())?;
+        conn.write_all(b"\n")
+    }
+    let request = match Request::parse_line(text) {
+        Ok(r) => r,
+        Err(message) => {
+            send(conn, Response::Error { message })?;
+            return Ok(true);
+        }
+    };
+    match request {
+        Request::Submit { spec } => {
+            let parsed = RunSpec::parse_str(&spec)
+                .map_err(|e| e.to_string())
+                .and_then(|spec| server.submit(spec).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(job) => send(conn, Response::Submitted { job })?,
+                Err(message) => send(conn, Response::Error { message })?,
+            }
+        }
+        Request::Status { job } => match server.status(job) {
+            Some(status) => send(conn, Response::Status(status))?,
+            None => send(
+                conn,
+                Response::Error {
+                    message: format!("no such job {job}"),
+                },
+            )?,
+        },
+        Request::Cancel { job } => match server.cancel(job) {
+            Ok(ok) => send(conn, Response::Cancelled { job, ok })?,
+            Err(e) => send(
+                conn,
+                Response::Error {
+                    message: e.to_string(),
+                },
+            )?,
+        },
+        Request::List => {
+            let rows = server.list();
+            let count = rows.len() as u64;
+            for row in rows {
+                send(conn, Response::Job(row))?;
+            }
+            send(conn, Response::End { count })?;
+        }
+        Request::StreamJournal { job } => match server.journal_path(job) {
+            Some(path) => {
+                send(conn, Response::StreamStart { job })?;
+                let mut lines = 0u64;
+                if let Ok(file) = std::fs::File::open(&path) {
+                    for line in BufReader::new(file).lines() {
+                        let line = line?;
+                        // Journal lines are themselves flat JSON
+                        // objects, so they pass through verbatim; an
+                        // unterminated crash scar has no newline and is
+                        // skipped by `lines()` semantics only at EOF
+                        // with content, which `String` reads include —
+                        // forward it too, clients see what resume sees.
+                        conn.write_all(line.as_bytes())?;
+                        conn.write_all(b"\n")?;
+                        lines += 1;
+                    }
+                }
+                send(conn, Response::StreamEnd { lines })?;
+            }
+            None => send(
+                conn,
+                Response::Error {
+                    message: format!("no such job {job}"),
+                },
+            )?,
+        },
+        Request::Metrics => send(
+            conn,
+            Response::Metrics {
+                text: server.metrics_text(),
+            },
+        )?,
+        Request::Report { job } => match (server.status(job), server.report(job)) {
+            (_, Some(text)) => send(conn, Response::Report { job, text })?,
+            (Some(status), None) => send(
+                conn,
+                Response::Error {
+                    message: format!("job {job} is {}, not completed", status.state),
+                },
+            )?,
+            (None, None) => send(
+                conn,
+                Response::Error {
+                    message: format!("no such job {job}"),
+                },
+            )?,
+        },
+        Request::Ping => send(conn, Response::Pong)?,
+        Request::Shutdown => {
+            send(conn, Response::ShuttingDown)?;
+            conn.flush()?;
+            stop.store(true, Ordering::SeqCst);
+            return Ok(false);
+        }
+    }
+    conn.flush()?;
+    Ok(true)
+}
+
+/// Minimal HTTP/1.0 answer for scrapers: `GET /metrics` serves the
+/// Prometheus page, anything else is 404. The connection closes after
+/// one response.
+fn handle_http(
+    conn: &mut dyn Conn,
+    server: &Server,
+    stop: &AtomicBool,
+    request_line: &str,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    // Drain the header block so well-behaved clients see a clean close.
+    while let Some(line) = read_line(conn, buf, stop)? {
+        if line.trim_end_matches('\r').is_empty() {
+            break;
+        }
+    }
+    let target = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if target == "/metrics" {
+        ("200 OK", server.metrics_text())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes())?;
+    if !request_line.starts_with("HEAD ") {
+        conn.write_all(body.as_bytes())?;
+    }
+    conn.flush()
+}
+
+/// Connects to a serve address, sends one request line, and returns
+/// every response line until the server closes or the response
+/// terminator arrives. The CLI `client` subcommand is a thin wrapper.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures.
+pub fn run_client(addr: &str, request_line: &str) -> std::io::Result<Vec<String>> {
+    let mut conn: Box<dyn Conn> = if let Some(path) = addr.strip_prefix("unix:") {
+        Box::new(UnixStream::connect(path)?)
+    } else {
+        Box::new(TcpStream::connect(addr)?)
+    };
+    conn.write_all(request_line.as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()?;
+    let expects_many = matches!(
+        Request::parse_line(request_line),
+        Ok(Request::List | Request::StreamJournal { .. })
+    );
+    let mut out = Vec::new();
+    let mut reader = BufReader::new(conn);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end_matches('\n').to_string();
+        let done = match Response::parse_line(&line) {
+            Ok(Response::End { .. } | Response::StreamEnd { .. }) => true,
+            Ok(_) => !expects_many,
+            // Mid-stream journal lines are not Response frames.
+            Err(_) => false,
+        };
+        out.push(line);
+        if done {
+            break;
+        }
+    }
+    Ok(out)
+}

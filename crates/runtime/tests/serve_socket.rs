@@ -1,0 +1,185 @@
+//! End-to-end serve sessions over real sockets: the JSONL protocol on
+//! TCP and Unix transports, and the HTTP `/metrics` affordance.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use spotlight_runtime::{
+    bind, metric_value, run_client, run_job, serve_loop, validate_metrics, Response, RunSpec,
+    SchedulerOptions, Server,
+};
+
+struct Workdir(std::path::PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spotlight-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp workdir creates");
+        Workdir(dir)
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start(dir: &Workdir, listen: &str) -> (String, std::thread::JoinHandle<()>) {
+    let server = Arc::new(
+        Server::new(SchedulerOptions {
+            workers: 2,
+            slice: 2,
+            dir: dir.0.join("jobs"),
+            kill_after: None,
+        })
+        .expect("server starts"),
+    );
+    let (listener, addr) = bind(listen).expect("socket binds");
+    let handle = std::thread::spawn(move || serve_loop(listener, server).expect("serve loop runs"));
+    (addr, handle)
+}
+
+fn single_response(addr: &str, request: &str) -> Response {
+    let lines = run_client(addr, request).expect("request round-trips");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    Response::parse_line(&lines[0]).expect("response parses")
+}
+
+#[test]
+fn tcp_session_submits_runs_and_scrapes() {
+    let dir = Workdir::new("tcp");
+    let (addr, handle) = start(&dir, "127.0.0.1:0");
+
+    assert_eq!(
+        single_response(&addr, "{\"type\":\"ping\"}"),
+        Response::Pong
+    );
+
+    // A malformed frame is rejected, not half-understood.
+    match single_response(&addr, "{\"type\":\"status\"}") {
+        Response::Error { message } => assert!(message.contains("job"), "{message}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    let spec = "--model transformer --hw 4 --sw 6 --seed 3";
+    let expected = run_job(&RunSpec::parse_str(spec).unwrap(), None, false)
+        .unwrap()
+        .report();
+
+    let submit = format!("{{\"type\":\"submit\",\"spec\":\"{spec}\"}}");
+    let job = match single_response(&addr, &submit) {
+        Response::Submitted { job } => job,
+        other => panic!("expected submitted, got {other:?}"),
+    };
+
+    // Poll status until the job completes.
+    let status_req = format!("{{\"type\":\"status\",\"job\":{job}}}");
+    let mut completed = false;
+    for _ in 0..600 {
+        match single_response(&addr, &status_req) {
+            Response::Status(s) if s.state.is_terminal() => {
+                assert_eq!(s.state.as_str(), "completed");
+                assert!(s.best_cost.is_some());
+                completed = true;
+                break;
+            }
+            Response::Status(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            other => panic!("expected status, got {other:?}"),
+        }
+    }
+    assert!(completed, "job never completed");
+
+    // The served report is byte-identical to a standalone run's.
+    match single_response(&addr, &format!("{{\"type\":\"report\",\"job\":{job}}}")) {
+        Response::Report { text, .. } => assert_eq!(text, expected),
+        other => panic!("expected report, got {other:?}"),
+    }
+
+    // list emits one row per job plus the end marker.
+    let lines = run_client(&addr, "{\"type\":\"list\"}").unwrap();
+    assert_eq!(lines.len(), 2);
+    assert!(matches!(
+        Response::parse_line(&lines[1]).unwrap(),
+        Response::End { count: 1 }
+    ));
+
+    // stream-journal brackets the raw journal (which must itself start
+    // with the run manifest) between start/end frames.
+    let lines = run_client(
+        &addr,
+        &format!("{{\"type\":\"stream-journal\",\"job\":{job}}}"),
+    )
+    .unwrap();
+    assert!(matches!(
+        Response::parse_line(&lines[0]).unwrap(),
+        Response::StreamStart { .. }
+    ));
+    assert!(
+        lines[1].contains("\"type\":\"run_started\""),
+        "{}",
+        lines[1]
+    );
+    match Response::parse_line(lines.last().unwrap()).unwrap() {
+        Response::StreamEnd { lines: n } => assert_eq!(n as usize, lines.len() - 2),
+        other => panic!("expected stream-end, got {other:?}"),
+    }
+
+    // The metrics frame carries a valid Prometheus page.
+    match single_response(&addr, "{\"type\":\"metrics\"}") {
+        Response::Metrics { text } => {
+            validate_metrics(&text).expect("exposition text validates");
+            assert_eq!(
+                metric_value(&text, "spotlight_jobs_completed_total"),
+                Some(1.0)
+            );
+            assert!(metric_value(&text, "spotlight_evaluations_total").unwrap() > 0.0);
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    // Plain HTTP GET works for scrapers; unknown paths 404.
+    let http = |path: &str| -> String {
+        let mut conn = TcpStream::connect(&addr).expect("http connect");
+        write!(conn, "GET {path} HTTP/1.0\r\nHost: spotlight\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).expect("http response reads");
+        body
+    };
+    let page = http("/metrics");
+    assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+    assert!(page.contains("text/plain; version=0.0.4"));
+    let body = page.split("\r\n\r\n").nth(1).expect("http body");
+    validate_metrics(body).expect("scraped page validates");
+    assert!(http("/jobs").starts_with("HTTP/1.0 404"));
+
+    assert_eq!(
+        single_response(&addr, "{\"type\":\"shutdown\"}"),
+        Response::ShuttingDown
+    );
+    handle.join().expect("serve loop exits after shutdown");
+}
+
+#[test]
+fn unix_socket_speaks_the_same_protocol() {
+    let dir = Workdir::new("unix");
+    let sock = dir.0.join("serve.sock");
+    let (addr, handle) = start(&dir, &format!("unix:{}", sock.display()));
+    assert!(addr.starts_with("unix:"), "{addr}");
+
+    assert_eq!(
+        single_response(&addr, "{\"type\":\"ping\"}"),
+        Response::Pong
+    );
+    match single_response(&addr, "{\"type\":\"status\",\"job\":99}") {
+        Response::Error { message } => assert!(message.contains("no such job"), "{message}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    assert_eq!(
+        single_response(&addr, "{\"type\":\"shutdown\"}"),
+        Response::ShuttingDown
+    );
+    handle.join().expect("serve loop exits after shutdown");
+}

@@ -592,6 +592,22 @@ pub struct CodesignOutcome {
     pub status: RunStatus,
 }
 
+/// The result of one bounded slice of a run (see
+/// [`Spotlight::run_slice`]).
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The run reached its final hardware sample (or its deadline) and
+    /// produced the complete outcome, epilogue journaled.
+    Finished(Box<CodesignOutcome>),
+    /// The slice's live-sample budget ran out first. The journal ends at
+    /// the checkpoint for sample `completed - 1`; recover its
+    /// checkpoints and pass them as `replay` to continue.
+    Paused {
+        /// Hardware samples checkpointed so far (replayed + live).
+        completed: usize,
+    },
+}
+
 /// SplitMix64 finalizer: a bijective avalanche mix.
 fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -873,6 +889,37 @@ impl Spotlight {
         models: &[Model],
         replay: &[SampleCheckpoint],
     ) -> Result<CodesignOutcome, ResumeError> {
+        match self.run_slice(models, replay, None)? {
+            SliceOutcome::Finished(outcome) => Ok(*outcome),
+            SliceOutcome::Paused { .. } => {
+                unreachable!("an unbounded slice always runs to completion")
+            }
+        }
+    }
+
+    /// Runs at most `live_budget` live hardware samples past the replayed
+    /// prefix, then pauses at the sample-boundary checkpoint. `None`
+    /// means unbounded — identical to [`Spotlight::codesign`] /
+    /// [`Spotlight::resume`].
+    ///
+    /// A paused slice leaves the journal flushed through its last
+    /// [`Event::Checkpoint`] and emits no `phase_timing` or
+    /// `run_finished` record, so the journal is exactly what a killed
+    /// run would have left behind: the next slice recovers the
+    /// checkpoints and continues via the same replay path as
+    /// [`Spotlight::resume`]. Preemption is therefore just an early,
+    /// voluntary kill — the final outcome is byte-identical to an
+    /// uninterrupted run at any slicing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn run_slice(
+        &self,
+        models: &[Model],
+        replay: &[SampleCheckpoint],
+        live_budget: Option<usize>,
+    ) -> Result<SliceOutcome, ResumeError> {
         assert!(!models.is_empty(), "co-design needs at least one model");
         if replay.len() > self.config.hw_samples {
             return Err(ResumeError::TooManyCheckpoints {
@@ -951,6 +998,18 @@ impl Spotlight {
 
         let mut deadline_hit = false;
         for hw_sample in replay.len()..self.config.hw_samples {
+            // Live samples completed this slice; the checkpoint at the
+            // bottom of the loop makes every iteration count.
+            let live_done = hw_sample - replay.len();
+            if live_budget.is_some_and(|budget| live_done >= budget) {
+                // Slice budget spent with samples still to go: stop at
+                // the checkpoint boundary without writing the run's
+                // epilogue, leaving a journal indistinguishable from a
+                // kill at this exact point.
+                return Ok(SliceOutcome::Paused {
+                    completed: hw_sample,
+                });
+            }
             if self
                 .config
                 .deadline
@@ -1056,7 +1115,7 @@ impl Spotlight {
             status: status.as_str().to_string(),
         });
         self.observer.flush();
-        Ok(match best {
+        let outcome = match best {
             Some((hw, plans, cost, stream)) => {
                 let plans = match plans {
                     Some(plans) => plans,
@@ -1096,7 +1155,8 @@ impl Spotlight {
                 stats,
                 status,
             },
-        })
+        };
+        Ok(SliceOutcome::Finished(Box::new(outcome)))
     }
 }
 

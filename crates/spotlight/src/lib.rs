@@ -71,7 +71,7 @@ pub mod variants;
 
 pub use codesign::{
     CodesignConfig, CodesignConfigBuilder, CodesignOutcome, ConfigError, ResumeError, RunStatus,
-    SampleCheckpoint, Spotlight,
+    SampleCheckpoint, SliceOutcome, Spotlight,
 };
 pub use features::{hw_features, sw_features, HW_FEATURE_NAMES, SW_FEATURE_NAMES};
 pub use variants::Variant;
