@@ -477,6 +477,10 @@ OPTIONS:
   --replicates <n>    measurements per evaluated point (default 1); with n > 1 the
                       engine rejects MAD outliers and aggregates the survivors
   --robust-agg <a>    replicate aggregation: mean | median (default) | trimmed
+  --fidelity <spec>   successive-halving promotion ladder: evaluate every hardware
+                      sample cheaply first, promote the best, and pay full fidelity
+                      only at the top rung. e.g. fidelity=proxy:0.25,rungs=3,eta=2
+                      (modes: proxy:<frac> | replicate:<frac> | backend:<name>)
   --cache-cap <n>     bound the evaluation memo cache to n entries (insertion-order
                       eviction); default unbounded
   --deadline <secs>   wall-clock budget; past it the run stops proposing hardware
@@ -548,6 +552,8 @@ mod tests {
             "5",
             "--robust-agg",
             "trimmed",
+            "--fidelity",
+            "fidelity=replicate:0.2,rungs=3",
             "--cache-cap",
             "4096",
             "--deadline",
@@ -577,6 +583,8 @@ mod tests {
                 assert_eq!(config.replicates, 5);
                 assert_eq!(config.robust_agg, Aggregation::Trimmed);
                 assert_eq!(config.robust_policy().replicates, 5);
+                let ladder = config.fidelity_spec().expect("fidelity configured");
+                assert_eq!(ladder.rungs, 3);
                 assert_eq!(config.cache_cap, Some(4096));
                 assert_eq!(config.deadline_secs, Some(60));
                 assert_eq!(config.out.as_deref(), Some("report.txt"));
@@ -609,6 +617,9 @@ mod tests {
         let err =
             Command::parse(&["codesign", "--model", "vgg16", "--robust-agg", "mode"]).unwrap_err();
         assert!(err.to_string().contains("mode"), "{err}");
+        let err = Command::parse(&["codesign", "--model", "vgg16", "--fidelity", "fidelity=warp"])
+            .unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
     }
 
     #[test]
@@ -847,6 +858,7 @@ mod tests {
             "--noise",
             "--replicates",
             "--robust-agg",
+            "--fidelity",
             "--cache-cap",
             "--deadline",
             "--out",
@@ -889,6 +901,7 @@ mod parse_property_tests {
             "--noise",
             "--replicates",
             "--robust-agg",
+            "--fidelity",
             "--cache-cap",
             "--deadline",
             "--out",
@@ -905,6 +918,7 @@ mod parse_property_tests {
             "shutdown",
             "seed=1,transient=0.5",
             "seed=7,model=gauss,sigma=0.1",
+            "fidelity=proxy:0.25,rungs=3,eta=2",
             "median",
             "5",
             "edp",

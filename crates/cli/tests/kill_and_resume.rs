@@ -127,6 +127,18 @@ fn killed_run_resumes_under_active_fault_plan() {
 }
 
 #[test]
+fn killed_run_resumes_through_a_promotion_rung_boundary() {
+    // The crash lands after checkpoint 2 of 5: later samples' promotion
+    // quotas depend on the rung costs replayed from the journal, so the
+    // byte-identical report proves the ladder state survives the kill.
+    kill_and_resume(
+        "fidelity",
+        "1",
+        &["--fidelity", "fidelity=proxy:0.4,rungs=2,eta=2"],
+    );
+}
+
+#[test]
 fn finished_journals_refuse_to_resume() {
     let dir = Workdir::new("done");
     let journal = dir.path("done.jsonl");

@@ -59,14 +59,33 @@
 //! ([`ReplicateSummary::dispersion`]) that flows to heteroscedastic
 //! surrogates. The single-shot default reproduces plain evaluation
 //! exactly.
+//!
+//! # Fidelity model
+//!
+//! A [`FidelitySpec`] turns the engine multi-fidelity: searches may
+//! evaluate through [`EvalEngine::evaluate_at`] with a [`Fidelity`] tag,
+//! and cheap rungs measure with fewer replicates or a coarser backend.
+//! The memo cache is keyed by the tag, so cheap and full observations
+//! never alias, and cheap reports carry the rung's calibrated variance
+//! inflation in their dispersion so surrogates trust them less.
+//!
+//! # Construction
+//!
+//! [`EvalEngineBuilder`] (via [`EvalEngine::builder`]) is the one way to
+//! assemble a configured engine. It composes, in canonical order:
+//! backend → fault injection → measurement noise → robust measurement →
+//! fidelity ladder → cache, and rejects invalid combinations with a
+//! typed [`BuildError`] instead of silently misbehaving.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod fault;
+mod fidelity;
 mod noise;
 mod robust;
 
 pub use fault::{key_fingerprint, FaultDecision, FaultInjectingBackend, FaultPlan, FaultPlanError};
+pub use fidelity::{Fidelity, FidelityMode, FidelitySpec, FidelitySpecError};
 pub use noise::{NoiseModel, NoisePlan, NoisePlanError, NoisyBackend};
 pub use robust::{
     mad, median, outlier_flags, relative_dispersion, trimmed_mean, Aggregation, AggregationError,
@@ -343,7 +362,7 @@ pub fn backend_by_name(name: &str) -> Result<Box<dyn CostBackend>, UnknownBacken
     }
 }
 
-type CacheKey = (HardwareConfig, Schedule, ConvLayer);
+type CacheKey = (HardwareConfig, Schedule, ConvLayer, Fidelity);
 type CacheValue = Result<(CostReport, ReplicateSummary), EvalError>;
 
 /// The memo cache: a hash map plus an insertion-order queue that backs
@@ -457,6 +476,8 @@ pub struct GlobalEvalStats {
     evictions: AtomicU64,
     replicate_measurements: AtomicU64,
     outliers_rejected: AtomicU64,
+    fidelity_cheap_evals: AtomicU64,
+    fidelity_full_evals: AtomicU64,
     phase_wall: Mutex<BTreeMap<&'static str, Duration>>,
 }
 
@@ -483,6 +504,8 @@ impl GlobalEvalStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             replicate_measurements: self.replicate_measurements.load(Ordering::Relaxed),
             outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
+            fidelity_cheap_evals: self.fidelity_cheap_evals.load(Ordering::Relaxed),
+            fidelity_full_evals: self.fidelity_full_evals.load(Ordering::Relaxed),
             phase_wall: self
                 .phase_wall
                 .lock()
@@ -522,6 +545,14 @@ pub struct EvalStats {
     pub replicate_measurements: u64,
     /// Replicate measurements discarded as outliers.
     pub outliers_rejected: u64,
+    /// Logical queries answered at a cheap fidelity rung; zero unless a
+    /// [`FidelitySpec`] is attached.
+    pub fidelity_cheap_evals: u64,
+    /// Logical queries answered at full fidelity while a
+    /// [`FidelitySpec`] is attached; zero otherwise. The ratio of a
+    /// no-fidelity baseline's `evaluations` to this number is the
+    /// full-fidelity-evaluation saving the ladder bought.
+    pub fidelity_full_evals: u64,
     /// Accumulated wall time per named phase, sorted by phase name.
     pub phase_wall: Vec<(String, Duration)>,
 }
@@ -602,6 +633,12 @@ pub struct EvalEngine {
     global: Option<Arc<GlobalEvalStats>>,
     retry: RetryPolicy,
     robust: RobustPolicy,
+    /// The multi-fidelity ladder, when one is attached; shapes how
+    /// [`EvalEngine::evaluate_at`] measures cheap rungs.
+    fidelity: Option<FidelitySpec>,
+    /// The coarse backend cheap rungs dispatch to in
+    /// [`FidelityMode::Backend`]; `None` in the other modes.
+    cheap_backend: Option<Box<dyn CostBackend>>,
     /// Wall-clock point past which retry backoff must not sleep; set by
     /// deadline-bounded drivers so a latency-spike fault schedule cannot
     /// stall a worker past the budget.
@@ -622,6 +659,8 @@ pub struct EvalEngine {
     evictions: AtomicU64,
     replicate_measurements: AtomicU64,
     outliers_rejected: AtomicU64,
+    fidelity_cheap_evals: AtomicU64,
+    fidelity_full_evals: AtomicU64,
     phase_wall: Mutex<BTreeMap<&'static str, Duration>>,
 }
 
@@ -650,6 +689,8 @@ impl EvalEngine {
             global: None,
             retry: RetryPolicy::default(),
             robust: RobustPolicy::default(),
+            fidelity: None,
+            cheap_backend: None,
             deadline: Mutex::new(None),
             quarantine: Mutex::new(HashSet::new()),
             quarantine_len: AtomicU64::new(0),
@@ -664,6 +705,8 @@ impl EvalEngine {
             evictions: AtomicU64::new(0),
             replicate_measurements: AtomicU64::new(0),
             outliers_rejected: AtomicU64::new(0),
+            fidelity_cheap_evals: AtomicU64::new(0),
+            fidelity_full_evals: AtomicU64::new(0),
             phase_wall: Mutex::new(BTreeMap::new()),
         }
     }
@@ -700,51 +743,16 @@ impl EvalEngine {
         Ok(EvalEngine::new(backend_by_name(name)?))
     }
 
-    /// Like [`EvalEngine::by_name`], wrapping the backend in a
-    /// [`FaultInjectingBackend`] when `faults` is a non-noop plan.
-    pub fn by_name_with_faults(
-        name: &str,
-        faults: Option<FaultPlan>,
-    ) -> Result<Self, UnknownBackend> {
-        let inner = backend_by_name(name)?;
-        Ok(match faults {
-            Some(plan) => EvalEngine::new(Box::new(FaultInjectingBackend::new(inner, plan))),
-            None => EvalEngine::new(inner),
-        })
-    }
-
-    /// Like [`EvalEngine::by_name_with_faults`], additionally wrapping
-    /// the (possibly fault-injecting) backend in a [`NoisyBackend`]
-    /// when `noise` is given. Noise wraps faults, so a report that
-    /// survives the fault schedule is then perturbed.
-    pub fn by_name_configured(
-        name: &str,
-        faults: Option<FaultPlan>,
-        noise: Option<NoisePlan>,
-    ) -> Result<Self, UnknownBackend> {
-        let mut inner = backend_by_name(name)?;
-        if let Some(plan) = faults {
-            inner = Box::new(FaultInjectingBackend::new(inner, plan));
-        }
-        if let Some(plan) = noise {
-            inner = Box::new(NoisyBackend::new(inner, plan));
-        }
-        Ok(EvalEngine::new(inner))
+    /// Starts a builder: the one construction path for configured
+    /// engines (faults, noise, robust measurement, fidelity, cache).
+    /// See [`EvalEngineBuilder`] for the composition order.
+    pub fn builder() -> EvalEngineBuilder {
+        EvalEngineBuilder::new()
     }
 
     /// Disables memoization (every query hits the backend).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
-        self
-    }
-
-    /// Bounds the memo cache to `cap` resident entries, evicted FIFO in
-    /// insertion order. No-op when the cache is disabled; applied to the
-    /// attached cache, shared or private.
-    pub fn with_cache_cap(self, cap: usize) -> Self {
-        if let Some(cache) = &self.cache {
-            cache.lock().unwrap_or_else(PoisonError::into_inner).cap = Some(cap);
-        }
         self
     }
 
@@ -774,15 +782,20 @@ impl EvalEngine {
         self
     }
 
-    /// Replaces the replicated-measurement policy.
-    pub fn with_robust_policy(mut self, robust: RobustPolicy) -> Self {
-        self.robust = robust;
-        self
-    }
-
     /// The active replicated-measurement policy.
     pub fn robust_policy(&self) -> RobustPolicy {
         self.robust
+    }
+
+    /// The attached multi-fidelity ladder, if any.
+    pub fn fidelity_spec(&self) -> Option<&FidelitySpec> {
+        self.fidelity.as_ref()
+    }
+
+    /// The canonical fidelity spec string for the run manifest, `None`
+    /// when no ladder is attached.
+    pub fn fidelity(&self) -> Option<String> {
+        self.fidelity.as_ref().map(|s| s.to_string())
     }
 
     /// Sets (or clears) the wall-clock deadline the retry backoff must
@@ -844,7 +857,47 @@ impl EvalEngine {
         sched: &Schedule,
         layer: &ConvLayer,
     ) -> Result<(CostReport, ReplicateSummary), EvalError> {
+        self.evaluate_at_robust(hw, sched, layer, Fidelity::Full)
+    }
+
+    /// Costs one triple at an explicit [`Fidelity`].
+    pub fn evaluate_at(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+        fidelity: Fidelity,
+    ) -> Result<CostReport, EvalError> {
+        self.evaluate_at_robust(hw, sched, layer, fidelity)
+            .map(|(r, _)| r)
+    }
+
+    /// Like [`EvalEngine::evaluate_robust`] at an explicit [`Fidelity`].
+    /// The memo cache is keyed by the tag, so a cheap rung's report is
+    /// never served for a full-fidelity request (or vice versa). Cheap
+    /// rungs measure per the attached [`FidelitySpec`] — fewer
+    /// replicates or the coarse backend — and their summary's
+    /// dispersion is inflated by the rung's calibrated variance before
+    /// it reaches the surrogate. Without an attached spec,
+    /// `Fidelity::Full` reproduces the historical path bit-for-bit.
+    pub fn evaluate_at_robust(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+        fidelity: Fidelity,
+    ) -> Result<(CostReport, ReplicateSummary), EvalError> {
         self.count(&self.evaluations, |g| &g.evaluations, 1);
+        if self.fidelity.is_some() {
+            match fidelity {
+                Fidelity::Full => {
+                    self.count(&self.fidelity_full_evals, |g| &g.fidelity_full_evals, 1)
+                }
+                Fidelity::Rung(_) => {
+                    self.count(&self.fidelity_cheap_evals, |g| &g.fidelity_cheap_evals, 1)
+                }
+            }
+        }
         // Fault-free runs pay one relaxed load here and never touch the
         // quarantine lock.
         if self.quarantine_len.load(Ordering::Relaxed) > 0 {
@@ -864,7 +917,7 @@ impl EvalEngine {
         }
         let result = match &self.cache {
             Some(cache) => {
-                let key = (*hw, *sched, *layer);
+                let key = (*hw, *sched, *layer, fidelity);
                 let cached = cache
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -882,7 +935,7 @@ impl EvalEngine {
                         // threads may race on one key; both store the
                         // same pure value, so last-write-wins is safe.
                         self.count(&self.cache_misses, |g| &g.cache_misses, 1);
-                        let r = self.measure_robust(hw, sched, layer);
+                        let r = self.measure_robust(hw, sched, layer, fidelity);
                         let deterministic = match &r {
                             Ok(_) => true,
                             Err(e) => e.is_infeasible(),
@@ -902,7 +955,7 @@ impl EvalEngine {
             }
             None => {
                 self.count(&self.cache_misses, |g| &g.cache_misses, 1);
-                self.measure_robust(hw, sched, layer)
+                self.measure_robust(hw, sched, layer, fidelity)
             }
         };
         match result {
@@ -934,21 +987,52 @@ impl EvalEngine {
     /// the surviving replicates' cutoff), and configurable aggregation
     /// of the survivors' delay/energy. The remaining report fields come
     /// from the first surviving replicate.
+    ///
+    /// A cheap [`Fidelity::Rung`] measurement (only reachable with a
+    /// [`FidelitySpec`] attached) scales the replicate count down or
+    /// dispatches to the coarse backend, per the spec's mode, and
+    /// inflates the summary's dispersion by the rung's calibrated
+    /// variance so surrogates trust the cheap number proportionally
+    /// less.
     fn measure_robust(
         &self,
         hw: &HardwareConfig,
         sched: &Schedule,
         layer: &ConvLayer,
+        fidelity: Fidelity,
     ) -> Result<(CostReport, ReplicateSummary), EvalError> {
-        let k = self.robust.replicates;
+        let cheap_rung = match (fidelity, &self.fidelity) {
+            (Fidelity::Rung(r), Some(spec)) => Some((r, spec)),
+            _ => None,
+        };
+        let backend: &dyn CostBackend = match cheap_rung {
+            Some((_, spec)) if spec.mode == FidelityMode::Backend => self
+                .cheap_backend
+                .as_deref()
+                .unwrap_or(self.backend.as_ref()),
+            _ => self.backend.as_ref(),
+        };
+        let inflate = |mut summary: ReplicateSummary| {
+            if let Some((r, spec)) = cheap_rung {
+                let variance = summary.dispersion * summary.dispersion;
+                summary.dispersion = (variance + spec.variance_inflation(r)).sqrt();
+            }
+            summary
+        };
+        let k = match cheap_rung {
+            Some((r, spec)) if spec.mode == FidelityMode::Replicate => {
+                spec.replicates_at(r, self.robust.replicates)
+            }
+            _ => self.robust.replicates,
+        };
         if k <= 1 {
             return self
-                .invoke_backend(hw, sched, layer)
-                .map(|r| (r, ReplicateSummary::single()));
+                .invoke_backend(backend, hw, sched, layer)
+                .map(|r| (r, inflate(ReplicateSummary::single())));
         }
         let mut reports = Vec::with_capacity(k);
         for _ in 0..k {
-            reports.push(self.invoke_backend(hw, sched, layer)?);
+            reports.push(self.invoke_backend(backend, hw, sched, layer)?);
         }
         let mut measurements = k as u64;
         let mut rejected = 0u64;
@@ -989,7 +1073,7 @@ impl EvalEngine {
             };
             let refill = flagged.len().min(self.robust.max_remeasures);
             for _ in 0..refill {
-                let r = self.invoke_backend(hw, sched, layer)?;
+                let r = self.invoke_backend(backend, hw, sched, layer)?;
                 measurements += 1;
                 if cutoff(&s_delays, r.delay_cycles) || cutoff(&s_energies, r.energy_nj) {
                     rejected += 1;
@@ -1006,11 +1090,11 @@ impl EvalEngine {
             energy_nj: self.robust.aggregation.apply(&energies),
             ..survivors[0]
         };
-        let summary = ReplicateSummary {
+        let summary = inflate(ReplicateSummary {
             measurements,
             rejected,
             dispersion: relative_dispersion(&delays).max(relative_dispersion(&energies)),
-        };
+        });
         self.count(
             &self.replicate_measurements,
             |g| &g.replicate_measurements,
@@ -1024,18 +1108,21 @@ impl EvalEngine {
 
     /// One backend invocation with inline transient retries and report
     /// sanitization. Panics from the backend propagate (the layerwise
-    /// search isolates them per worker). Backoff sleeps that would
-    /// cross the engine deadline are skipped: the retry loop gives up
-    /// so deadline-bounded runs degrade instead of stalling.
+    /// search isolates them per worker). Backoff sleeps are clamped to
+    /// the remaining deadline budget — with the deadline already
+    /// expired the remaining budget saturates to zero and the retry
+    /// loop gives up immediately, so deadline-bounded runs degrade
+    /// instead of stalling in a sleep that outlives the budget.
     fn invoke_backend(
         &self,
+        backend: &dyn CostBackend,
         hw: &HardwareConfig,
         sched: &Schedule,
         layer: &ConvLayer,
     ) -> Result<CostReport, EvalError> {
         let mut attempt: u32 = 1;
         loop {
-            let result = match self.backend.evaluate(hw, sched, layer) {
+            let result = match backend.evaluate(hw, sched, layer) {
                 Ok(r) if !r.delay_cycles.is_finite() || !r.energy_nj.is_finite() => {
                     Err(EvalError::Poisoned)
                 }
@@ -1043,10 +1130,13 @@ impl EvalEngine {
             };
             match result {
                 Err(EvalError::Transient) if attempt < self.retry.max_attempts => {
-                    let pause = self.retry.backoff(attempt);
-                    if self.pause_crosses_deadline(pause) {
-                        return Err(EvalError::Transient);
-                    }
+                    let pause = match self.remaining_deadline() {
+                        Some(remaining) if remaining.is_zero() => {
+                            return Err(EvalError::Transient)
+                        }
+                        Some(remaining) => self.retry.backoff(attempt).min(remaining),
+                        None => self.retry.backoff(attempt),
+                    };
                     self.count(&self.transient_retries, |g| &g.transient_retries, 1);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
@@ -1058,12 +1148,13 @@ impl EvalEngine {
         }
     }
 
-    /// True when sleeping for `pause` would cross the engine deadline.
-    fn pause_crosses_deadline(&self, pause: Duration) -> bool {
-        match *self.deadline.lock().unwrap_or_else(PoisonError::into_inner) {
-            Some(deadline) => Instant::now() + pause >= deadline,
-            None => false,
-        }
+    /// Wall-clock budget left before the engine deadline, saturating at
+    /// zero once it has passed; `None` without a deadline.
+    fn remaining_deadline(&self) -> Option<Duration> {
+        self.deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
     }
 
     /// Like [`EvalEngine::evaluate`], additionally reporting the outcome
@@ -1097,7 +1188,22 @@ impl EvalEngine {
         obs: &Observer,
         step: u64,
     ) -> Result<(CostReport, ReplicateSummary), EvalError> {
-        let result = self.evaluate_robust(hw, sched, layer);
+        self.evaluate_at_observed_robust(hw, sched, layer, Fidelity::Full, obs, step)
+    }
+
+    /// Like [`EvalEngine::evaluate_observed_robust`] at an explicit
+    /// [`Fidelity`]. The emitted trace events are identical in shape;
+    /// only the measurement (and its cache key) differ by rung.
+    pub fn evaluate_at_observed_robust(
+        &self,
+        hw: &HardwareConfig,
+        sched: &Schedule,
+        layer: &ConvLayer,
+        fidelity: Fidelity,
+        obs: &Observer,
+        step: u64,
+    ) -> Result<(CostReport, ReplicateSummary), EvalError> {
+        let result = self.evaluate_at_robust(hw, sched, layer, fidelity);
         match &result {
             Ok((report, summary)) => {
                 obs.emit_with(|| Event::ScheduleEvaluated {
@@ -1219,6 +1325,8 @@ impl EvalEngine {
             evictions: self.evictions.load(Ordering::Relaxed),
             replicate_measurements: self.replicate_measurements.load(Ordering::Relaxed),
             outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
+            fidelity_cheap_evals: self.fidelity_cheap_evals.load(Ordering::Relaxed),
+            fidelity_full_evals: self.fidelity_full_evals.load(Ordering::Relaxed),
             phase_wall: self
                 .phase_wall
                 .lock()
@@ -1244,6 +1352,8 @@ impl EvalEngine {
         self.evictions.store(0, Ordering::Relaxed);
         self.replicate_measurements.store(0, Ordering::Relaxed);
         self.outliers_rejected.store(0, Ordering::Relaxed);
+        self.fidelity_cheap_evals.store(0, Ordering::Relaxed);
+        self.fidelity_full_evals.store(0, Ordering::Relaxed);
         self.phase_wall
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -1269,6 +1379,279 @@ impl EvalEngine {
     /// Number of quarantined keys.
     pub fn quarantine_len(&self) -> usize {
         self.quarantine_len.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// A configuration the [`EvalEngineBuilder`] rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A backend name (primary or cheap-fidelity) failed to resolve.
+    UnknownBackend(UnknownBackend),
+    /// The requested pieces contradict each other; the message names
+    /// the conflict.
+    InvalidCombination {
+        /// Human-readable description of the conflict.
+        message: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownBackend(e) => write!(f, "{e}"),
+            BuildError::InvalidCombination { message } => {
+                write!(f, "invalid engine configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<UnknownBackend> for BuildError {
+    fn from(e: UnknownBackend) -> Self {
+        BuildError::UnknownBackend(e)
+    }
+}
+
+/// Which cache the built engine carries.
+enum CacheChoice {
+    /// Private unbounded cache (the default).
+    Private,
+    /// Private cache, FIFO-bounded to this many entries.
+    Capped(usize),
+    /// A [`SharedCache`] handle other engines may also hold.
+    Shared(SharedCache),
+    /// No memoization at all.
+    Disabled,
+}
+
+/// The single construction path for configured [`EvalEngine`]s.
+///
+/// Pieces compose in one canonical order, regardless of the order the
+/// setters are called in:
+///
+/// 1. **backend** — by name ([`EvalEngineBuilder::backend`]) or an
+///    explicit instance ([`EvalEngineBuilder::custom_backend`]);
+/// 2. **faults** — a [`FaultInjectingBackend`] wraps the backend;
+/// 3. **noise** — a [`NoisyBackend`] wraps the (possibly faulty)
+///    backend, so a report that survives the fault schedule is then
+///    perturbed;
+/// 4. **robust** — the k-replicate measurement policy;
+/// 5. **fidelity** — the successive-halving ladder, including the
+///    coarse backend of [`FidelityMode::Backend`] (which stays
+///    *undecorated*: the cheap model is deterministic even when the
+///    primary backend rehearses faults or noise);
+/// 6. **cache** — private, capped, shared, or disabled.
+///
+/// ```
+/// use spotlight_eval::{Aggregation, EvalEngine, RobustPolicy};
+/// let engine = EvalEngine::builder()
+///     .backend("sim")
+///     .robust(RobustPolicy::replicated(3, Aggregation::Median))
+///     .cache_cap(1024)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.backend_name(), "sim");
+/// ```
+///
+/// Contradictory requests (a cache cap on a disabled cache, a fidelity
+/// ladder that cheapens into the primary backend, a replicate ladder
+/// with nothing to cut) fail with a typed [`BuildError`].
+pub struct EvalEngineBuilder {
+    backend_name: String,
+    custom: Option<Box<dyn CostBackend>>,
+    faults: Option<FaultPlan>,
+    noise: Option<NoisePlan>,
+    robust: RobustPolicy,
+    fidelity: Option<FidelitySpec>,
+    cache: CacheChoice,
+    cache_set: bool,
+    retry: RetryPolicy,
+    global: Option<Arc<GlobalEvalStats>>,
+    /// First conflict detected while composing; reported by `build`.
+    deferred: Option<BuildError>,
+}
+
+impl Default for EvalEngineBuilder {
+    fn default() -> Self {
+        EvalEngineBuilder::new()
+    }
+}
+
+impl EvalEngineBuilder {
+    /// A builder for the default analytical (maestro) engine.
+    pub fn new() -> Self {
+        EvalEngineBuilder {
+            backend_name: "maestro".to_string(),
+            custom: None,
+            faults: None,
+            noise: None,
+            robust: RobustPolicy::default(),
+            fidelity: None,
+            cache: CacheChoice::Private,
+            cache_set: false,
+            retry: RetryPolicy::default(),
+            global: None,
+            deferred: None,
+        }
+    }
+
+    /// Selects the backend by name (see [`BACKEND_NAMES`]); resolution
+    /// errors surface from [`EvalEngineBuilder::build`].
+    pub fn backend(mut self, name: &str) -> Self {
+        self.backend_name = name.to_string();
+        self
+    }
+
+    /// Uses an explicit backend instance instead of a named one.
+    pub fn custom_backend(mut self, backend: Box<dyn CostBackend>) -> Self {
+        self.custom = Some(backend);
+        self
+    }
+
+    /// Injects faults from the plan; `None` keeps the backend clean.
+    pub fn faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Injects measurement noise from the plan; `None` stays noiseless.
+    pub fn noise(mut self, plan: Option<NoisePlan>) -> Self {
+        self.noise = plan;
+        self
+    }
+
+    /// Replaces the replicated-measurement policy.
+    pub fn robust(mut self, robust: RobustPolicy) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    /// Attaches a multi-fidelity ladder; `None` keeps the engine
+    /// single-fidelity.
+    pub fn fidelity(mut self, spec: Option<FidelitySpec>) -> Self {
+        self.fidelity = spec;
+        self
+    }
+
+    /// Bounds the private memo cache to `cap` entries (FIFO eviction).
+    pub fn cache_cap(mut self, cap: usize) -> Self {
+        self = self.note_cache_choice();
+        self.cache = CacheChoice::Capped(cap);
+        self
+    }
+
+    /// Attaches a [`SharedCache`] instead of a private one. Only sound
+    /// between engines with identical evaluation semantics (see
+    /// [`SharedCache`]).
+    pub fn shared_cache(mut self, shared: &SharedCache) -> Self {
+        self = self.note_cache_choice();
+        self.cache = CacheChoice::Shared(shared.clone());
+        self
+    }
+
+    /// Disables memoization entirely.
+    pub fn no_cache(mut self) -> Self {
+        self = self.note_cache_choice();
+        self.cache = CacheChoice::Disabled;
+        self
+    }
+
+    fn note_cache_choice(mut self) -> Self {
+        if self.cache_set && self.deferred.is_none() {
+            self.deferred = Some(BuildError::InvalidCombination {
+                message: "more than one cache choice \
+                          (cache_cap / shared_cache / no_cache are exclusive)"
+                    .to_string(),
+            });
+        }
+        self.cache_set = true;
+        self
+    }
+
+    /// Replaces the transient-retry schedule.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a process-wide [`GlobalEvalStats`] mirror.
+    pub fn global_stats(mut self, global: Arc<GlobalEvalStats>) -> Self {
+        self.global = Some(global);
+        self
+    }
+
+    /// Assembles the engine in the canonical composition order.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownBackend`] when a backend name (primary or
+    /// the fidelity ladder's cheap backend) does not resolve;
+    /// [`BuildError::InvalidCombination`] when the pieces contradict
+    /// each other — two cache choices, a [`FidelityMode::Backend`]
+    /// ladder whose cheap backend *is* the primary backend, or a
+    /// [`FidelityMode::Replicate`] ladder on a single-shot robust
+    /// policy (no replicates to cut).
+    pub fn build(self) -> Result<EvalEngine, BuildError> {
+        let invalid = |message: &str| BuildError::InvalidCombination {
+            message: message.to_string(),
+        };
+        if let Some(err) = self.deferred {
+            return Err(err);
+        }
+        let mut backend = match self.custom {
+            Some(custom) => custom,
+            None => backend_by_name(&self.backend_name)?,
+        };
+        let primary_name = backend.name();
+        if let Some(plan) = self.faults {
+            backend = Box::new(FaultInjectingBackend::new(backend, plan));
+        }
+        if let Some(plan) = self.noise {
+            backend = Box::new(NoisyBackend::new(backend, plan));
+        }
+        let cheap_backend = match &self.fidelity {
+            Some(spec) if spec.mode == FidelityMode::Backend => {
+                if spec.cheap_backend == primary_name {
+                    return Err(invalid(
+                        "fidelity ladder's cheap backend is the primary backend; \
+                         a backend-mode ladder needs a genuinely coarser model",
+                    ));
+                }
+                Some(backend_by_name(&spec.cheap_backend)?)
+            }
+            _ => None,
+        };
+        if let Some(spec) = &self.fidelity {
+            if spec.mode == FidelityMode::Replicate && self.robust.replicates <= 1 {
+                return Err(invalid(
+                    "replicate-mode fidelity ladder on a single-shot robust policy; \
+                     set replicates > 1 so cheap rungs have something to cut",
+                ));
+            }
+        }
+        let mut engine = EvalEngine::new(backend);
+        engine.robust = self.robust;
+        engine.retry = self.retry;
+        engine.fidelity = self.fidelity;
+        engine.cheap_backend = cheap_backend;
+        match self.cache {
+            CacheChoice::Private => {}
+            CacheChoice::Capped(cap) => {
+                engine.cache = Some(Arc::new(Mutex::new(MemoCache::new(Some(cap)))));
+            }
+            CacheChoice::Shared(shared) => {
+                engine.cache = Some(shared.inner.clone());
+            }
+            CacheChoice::Disabled => {
+                engine.cache = None;
+            }
+        }
+        if let Some(global) = self.global {
+            engine.global = Some(global);
+        }
+        Ok(engine)
     }
 }
 
@@ -1624,11 +2007,11 @@ mod tests {
         let (hw, sched, layer) = triple();
         let plan: NoisePlan = "seed=7,model=gauss,sigma=0.1".parse().unwrap();
         let make = || {
-            EvalEngine::new(Box::new(NoisyBackend::new(
-                Box::new(MaestroBackend::default()),
-                plan,
-            )))
-            .with_robust_policy(RobustPolicy::replicated(5, Aggregation::Median))
+            EvalEngine::builder()
+                .noise(Some(plan))
+                .robust(RobustPolicy::replicated(5, Aggregation::Median))
+                .build()
+                .unwrap()
         };
         let engine = make();
         let (report, summary) = engine.evaluate_robust(&hw, &sched, &layer).unwrap();
@@ -1655,11 +2038,11 @@ mod tests {
     #[test]
     fn heavy_noise_outliers_are_rejected_and_counted() {
         let plan: NoisePlan = "seed=11,model=heavy,sigma=0.05".parse().unwrap();
-        let engine = EvalEngine::new(Box::new(NoisyBackend::new(
-            Box::new(MaestroBackend::default()),
-            plan,
-        )))
-        .with_robust_policy(RobustPolicy::replicated(7, Aggregation::Median));
+        let engine = EvalEngine::builder()
+            .noise(Some(plan))
+            .robust(RobustPolicy::replicated(7, Aggregation::Median))
+            .build()
+            .unwrap();
         // Enough distinct points that the Cauchy tail is certain (for
         // this seed) to plant gross outliers in some replicate set.
         for size in 8..40 {
@@ -1674,7 +2057,7 @@ mod tests {
 
     #[test]
     fn bounded_cache_evicts_in_insertion_order() {
-        let engine = EvalEngine::maestro().with_cache_cap(2);
+        let engine = EvalEngine::builder().cache_cap(2).build().unwrap();
         let keys: Vec<_> = [24, 26, 28].iter().map(|&s| keyed_triple(s)).collect();
         for (hw, sched, layer) in &keys {
             engine.evaluate(hw, sched, layer).unwrap();
@@ -1713,5 +2096,162 @@ mod tests {
         let (hw2, sched2, layer2) = keyed_triple(20);
         assert!(engine.evaluate(&hw2, &sched2, &layer2).is_ok());
         assert_eq!(engine.stats().transient_retries, 1);
+    }
+
+    #[test]
+    fn backoff_sleeps_are_clamped_to_the_remaining_deadline() {
+        // Regression: with a huge backoff and a nearly-spent deadline,
+        // the retry sleep must be clamped to the remaining budget
+        // instead of sleeping the full backoff past the deadline.
+        let (hw, sched, layer) = triple();
+        let engine = EvalEngine::new(Box::new(FlakyBackend::new(1))).with_retry_policy(
+            RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_secs(60),
+                cap: Duration::from_secs(60),
+            },
+        );
+        engine.set_deadline(Some(Instant::now() + Duration::from_millis(30)));
+        let start = Instant::now();
+        assert!(engine.evaluate(&hw, &sched, &layer).is_ok());
+        // The single retry slept the clamped remainder, not the 60s base.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(engine.stats().transient_retries, 1);
+    }
+
+    #[test]
+    fn builder_composes_in_canonical_order() {
+        let faults: FaultPlan = "seed=3,latency=0".parse().unwrap();
+        let noise: NoisePlan = "seed=7,model=gauss,sigma=0.05".parse().unwrap();
+        let engine = EvalEngine::builder()
+            .backend("sim")
+            .faults(Some(faults))
+            .noise(Some(noise))
+            .robust(RobustPolicy::replicated(3, Aggregation::Median))
+            .cache_cap(64)
+            .build()
+            .unwrap();
+        // The decorators surface their specs; the name stays the real
+        // backend's.
+        assert_eq!(engine.backend_name(), "sim");
+        assert_eq!(engine.faults().as_deref(), Some(&faults.to_string()[..]));
+        assert_eq!(engine.noise().as_deref(), Some(&noise.to_string()[..]));
+        assert_eq!(engine.robust_policy().replicates, 3);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        // Unknown primary backend.
+        assert!(matches!(
+            EvalEngine::builder().backend("verilator").build(),
+            Err(BuildError::UnknownBackend(_))
+        ));
+        // Two cache choices.
+        let err = EvalEngine::builder().cache_cap(2).no_cache().build();
+        assert!(
+            matches!(&err, Err(BuildError::InvalidCombination { message })
+                if message.contains("cache")),
+            "{err:?}"
+        );
+        // Backend-mode ladder whose cheap backend is the primary.
+        let spec: FidelitySpec = "fidelity=backend:maestro".parse().unwrap();
+        let err = EvalEngine::builder().fidelity(Some(spec)).build();
+        assert!(
+            matches!(&err, Err(BuildError::InvalidCombination { message })
+                if message.contains("primary backend")),
+            "{err:?}"
+        );
+        // Replicate-mode ladder with nothing to cut.
+        let spec: FidelitySpec = "fidelity=replicate:0.25".parse().unwrap();
+        let err = EvalEngine::builder().fidelity(Some(spec)).build();
+        assert!(
+            matches!(&err, Err(BuildError::InvalidCombination { message })
+                if message.contains("single-shot")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fidelity_keyed_cache_never_aliases_cheap_and_full() {
+        // The unit-tile trivial schedule is feasible under both the
+        // maestro and the stricter timeloop capacity checks.
+        let (hw, _, layer) = triple();
+        let sched = Sched::trivial(&layer);
+        let spec: FidelitySpec = "fidelity=backend:timeloop".parse().unwrap();
+        let engine = EvalEngine::builder()
+            .fidelity(Some(spec))
+            .build()
+            .unwrap();
+        let cheap = engine
+            .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Rung(0))
+            .unwrap();
+        let full = engine
+            .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Full)
+            .unwrap();
+        // The coarse backend reports different numbers with inflated
+        // dispersion; both live in the cache under distinct keys.
+        assert_ne!(cheap.0.delay_cycles, full.0.delay_cycles);
+        assert!(cheap.1.dispersion > 0.0);
+        assert_eq!(full.1.dispersion, 0.0);
+        assert_eq!(engine.cache_len(), 2);
+        // Replays hit their own fidelity's entry bit-for-bit.
+        assert_eq!(
+            engine
+                .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Rung(0))
+                .unwrap(),
+            cheap
+        );
+        assert_eq!(
+            engine
+                .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Full)
+                .unwrap(),
+            full
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.fidelity_cheap_evals, 2);
+        assert_eq!(stats.fidelity_full_evals, 2);
+    }
+
+    #[test]
+    fn replicate_ladder_cuts_measurements_and_inflates_dispersion() {
+        let (hw, sched, layer) = triple();
+        let noise: NoisePlan = "seed=7,model=gauss,sigma=0.1".parse().unwrap();
+        let spec: FidelitySpec = "fidelity=replicate:0.2,rungs=3".parse().unwrap();
+        let inflation = spec.variance_inflation(0);
+        let engine = EvalEngine::builder()
+            .noise(Some(noise))
+            .robust(RobustPolicy::replicated(5, Aggregation::Median))
+            .fidelity(Some(spec))
+            .build()
+            .unwrap();
+        // Rung 0 of a 0.2-fraction ladder takes a single measurement...
+        let (_, cheap) = engine
+            .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Rung(0))
+            .unwrap();
+        assert_eq!(engine.stats().replicate_measurements, 0);
+        // ...and its dispersion still carries the rung's inflation.
+        assert!((cheap.dispersion * cheap.dispersion - inflation).abs() < 1e-9);
+        // Full fidelity takes all five.
+        let (_, full) = engine
+            .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Full)
+            .unwrap();
+        assert!(engine.stats().replicate_measurements >= 5);
+        assert!(full.measurements >= 5);
+        assert!(full.dispersion < cheap.dispersion);
+    }
+
+    #[test]
+    fn full_fidelity_without_a_spec_matches_the_historical_path() {
+        let (hw, sched, layer) = triple();
+        let plain = EvalEngine::maestro();
+        let tagged = plain
+            .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Full)
+            .unwrap();
+        assert_eq!(tagged, plain.evaluate_robust(&hw, &sched, &layer).unwrap());
+        // Without a spec the fidelity counters stay untouched.
+        let stats = plain.stats();
+        assert_eq!(stats.fidelity_cheap_evals, 0);
+        assert_eq!(stats.fidelity_full_evals, 0);
     }
 }

@@ -52,6 +52,10 @@ pub struct RunManifest {
     pub replicates: u64,
     /// Replicate aggregation estimator (`mean`, `median`, `trimmed`).
     pub robust_agg: String,
+    /// Canonical multi-fidelity ladder spec, or empty when every
+    /// evaluation runs at full fidelity. Omitted from the serialized
+    /// manifest when empty, so single-fidelity journals are unchanged.
+    pub fidelity: String,
 }
 
 /// One structured observation from a search.
@@ -135,6 +139,23 @@ pub enum Event {
         /// Frontier size after insertion and eviction.
         frontier_len: u64,
     },
+    /// Trace: a hardware sample's cheap-rung cost ranked well enough to
+    /// promote it to the next fidelity rung. Deterministic: promotion
+    /// is a pure function of the rung cost history.
+    RungPromoted {
+        /// The rung the sample just cleared (0 = cheapest).
+        rung: u64,
+        /// The cost estimate measured at that rung.
+        cost: f64,
+    },
+    /// Trace: a hardware sample's cheap-rung cost ranked outside the
+    /// promotion quota and the sample stopped at this fidelity.
+    RungDemoted {
+        /// The rung the sample stopped at (0 = cheapest).
+        rung: u64,
+        /// The cost estimate measured at that rung.
+        cost: f64,
+    },
     /// Meta: wall-clock spent in one named run phase (`hw_search`,
     /// `sw_search`, and the surrogate sub-phases `surrogate_fit` /
     /// `acquisition`). Emitted once per phase just before `RunFinished`,
@@ -174,6 +195,12 @@ pub enum Event {
         /// Hardware-search RNG word position after this sample, for
         /// replay-drift detection on resume.
         rng_word_pos: u64,
+        /// `:`-joined `f64::to_bits` of the cost this sample measured
+        /// at each fidelity rung it ran, cheapest first; empty without
+        /// a fidelity ladder (and omitted from the serialized form, so
+        /// single-fidelity journals are unchanged). Resume replays
+        /// these to rebuild the promotion rung histories.
+        rungs: String,
     },
     /// Meta: the run completed.
     RunFinished {
@@ -192,7 +219,7 @@ pub enum Event {
 
 /// Every event kind the journal schema knows, by wire name. The CI
 /// schema check validates journal lines against exactly this set.
-pub const EVENT_KINDS: [&str; 13] = [
+pub const EVENT_KINDS: [&str; 15] = [
     "run_started",
     "hw_proposed",
     "schedule_evaluated",
@@ -203,6 +230,8 @@ pub const EVENT_KINDS: [&str; 13] = [
     "outlier_rejected",
     "best_improved",
     "pareto_updated",
+    "rung_promoted",
+    "rung_demoted",
     "checkpoint",
     "phase_timing",
     "run_finished",
@@ -222,6 +251,8 @@ impl Event {
             Event::OutlierRejected { .. } => "outlier_rejected",
             Event::BestImproved { .. } => "best_improved",
             Event::ParetoUpdated { .. } => "pareto_updated",
+            Event::RungPromoted { .. } => "rung_promoted",
+            Event::RungDemoted { .. } => "rung_demoted",
             Event::Checkpoint { .. } => "checkpoint",
             Event::PhaseTiming { .. } => "phase_timing",
             Event::RunFinished { .. } => "run_finished",
@@ -293,6 +324,11 @@ impl Record {
                 obj.push_str("noise", &manifest.noise);
                 obj.push_u64("replicates", manifest.replicates);
                 obj.push_str("robust_agg", &manifest.robust_agg);
+                // Omitted when empty: pre-fidelity journals stay
+                // byte-identical and remain parseable by old readers.
+                if !manifest.fidelity.is_empty() {
+                    obj.push_str("fidelity", &manifest.fidelity);
+                }
             }
             Event::HwProposed { hw, admitted } => {
                 obj.push_str("hw", hw);
@@ -339,6 +375,14 @@ impl Record {
             Event::ParetoUpdated { frontier_len } => {
                 obj.push_u64("frontier_len", *frontier_len);
             }
+            Event::RungPromoted { rung, cost } => {
+                obj.push_u64("rung", *rung);
+                obj.push_f64("cost", *cost);
+            }
+            Event::RungDemoted { rung, cost } => {
+                obj.push_u64("rung", *rung);
+                obj.push_f64("cost", *cost);
+            }
             Event::Checkpoint {
                 admitted,
                 cost_bits,
@@ -351,6 +395,7 @@ impl Record {
                 failed_layers,
                 outliers_rejected,
                 rng_word_pos,
+                rungs,
             } => {
                 obj.push_bool("admitted", *admitted);
                 obj.push_u64("cost_bits", *cost_bits);
@@ -363,6 +408,10 @@ impl Record {
                 obj.push_u64("failed_layers", *failed_layers);
                 obj.push_u64("outliers_rejected", *outliers_rejected);
                 obj.push_u64("rng_word_pos", *rng_word_pos);
+                // Omitted when empty, like the manifest's fidelity.
+                if !rungs.is_empty() {
+                    obj.push_str("rungs", rungs);
+                }
             }
             Event::PhaseTiming { phase, wall_ms } => {
                 obj.push_str("phase", phase);
@@ -408,6 +457,7 @@ impl Record {
                     noise: fields.str("noise")?,
                     replicates: fields.u64("replicates")?,
                     robust_agg: fields.str("robust_agg")?,
+                    fidelity: fields.opt_str("fidelity")?.unwrap_or_default(),
                 }),
             },
             "hw_proposed" => Event::HwProposed {
@@ -446,6 +496,14 @@ impl Record {
             "pareto_updated" => Event::ParetoUpdated {
                 frontier_len: fields.u64("frontier_len")?,
             },
+            "rung_promoted" => Event::RungPromoted {
+                rung: fields.u64("rung")?,
+                cost: fields.f64("cost")?,
+            },
+            "rung_demoted" => Event::RungDemoted {
+                rung: fields.u64("rung")?,
+                cost: fields.f64("cost")?,
+            },
             "checkpoint" => Event::Checkpoint {
                 admitted: fields.bool("admitted")?,
                 cost_bits: fields.u64("cost_bits")?,
@@ -458,6 +516,7 @@ impl Record {
                 failed_layers: fields.u64("failed_layers")?,
                 outliers_rejected: fields.u64("outliers_rejected")?,
                 rng_word_pos: fields.u64("rng_word_pos")?,
+                rungs: fields.opt_str("rungs")?.unwrap_or_default(),
             },
             "phase_timing" => Event::PhaseTiming {
                 phase: fields.str("phase")?,
@@ -501,6 +560,7 @@ mod tests {
             noise: "seed=7,model=gauss,sigma=0.1".into(),
             replicates: 5,
             robust_agg: "median".into(),
+            fidelity: "fidelity=proxy:0.25,rungs=3,eta=2,calib=1".into(),
         }
     }
 
@@ -579,6 +639,22 @@ mod tests {
             Record {
                 hw_sample: Some(0),
                 layer: None,
+                event: Event::RungPromoted {
+                    rung: 1,
+                    cost: 3.5e10,
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
+                event: Event::RungDemoted {
+                    rung: 0,
+                    cost: 4.5e10,
+                },
+            },
+            Record {
+                hw_sample: Some(0),
+                layer: None,
                 event: Event::Checkpoint {
                     admitted: true,
                     cost_bits: 3.375e10f64.to_bits(),
@@ -591,6 +667,7 @@ mod tests {
                     failed_layers: 0,
                     outliers_rejected: 1,
                     rng_word_pos: 12,
+                    rungs: format!("{}:{}", 4.5e10f64.to_bits(), 3.375e10f64.to_bits()),
                 },
             },
             Record {
@@ -636,7 +713,10 @@ mod tests {
         let flags: Vec<bool> = samples().iter().map(|r| r.event.is_trace()).collect();
         assert_eq!(
             flags,
-            [false, true, true, true, true, true, true, true, true, true, false, false, false]
+            [
+                false, true, true, true, true, true, true, true, true, true, true, true, false,
+                false, false
+            ]
         );
     }
 

@@ -303,6 +303,14 @@ impl Fields {
             Some(_) => self.u64(key).map(Some),
         }
     }
+
+    /// An optional string field (absent → `None`).
+    pub fn opt_str(&self, key: &str) -> Result<Option<String>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.str(key).map(Some),
+        }
+    }
 }
 
 #[cfg(test)]

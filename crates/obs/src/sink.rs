@@ -162,6 +162,16 @@ impl EventSink for ProgressSink {
                 "hw[{}] pareto frontier now {frontier_len} points",
                 rec.hw_sample.unwrap_or_default()
             ),
+            Event::RungPromoted { rung, cost } => writeln!(
+                out,
+                "hw[{}] promoted to rung {rung} (cost {cost:.4e})",
+                rec.hw_sample.unwrap_or_default()
+            ),
+            Event::RungDemoted { rung, cost } => writeln!(
+                out,
+                "hw[{}] dropped at rung {rung} (cost {cost:.4e})",
+                rec.hw_sample.unwrap_or_default()
+            ),
             Event::PhaseTiming { phase, wall_ms } => {
                 writeln!(out, "phase {phase}: {wall_ms}ms")
             }

@@ -110,6 +110,18 @@ pub fn render_metrics(
         "Replicate measurements discarded as outliers.",
         eval.outliers_rejected,
     );
+    counter(
+        &mut out,
+        "spotlight_fidelity_cheap_evals_total",
+        "Logical queries answered at a reduced fidelity rung.",
+        eval.fidelity_cheap_evals,
+    );
+    counter(
+        &mut out,
+        "spotlight_fidelity_full_evals_total",
+        "Logical queries answered at full fidelity under a ladder.",
+        eval.fidelity_full_evals,
+    );
 
     out.push_str(
         "# HELP spotlight_phase_wall_seconds Accumulated wall time per run phase.\n\
@@ -301,6 +313,8 @@ mod tests {
             replicate_measurements: 15,
             outliers_rejected: 2,
             quarantined: 3,
+            fidelity_cheap_evals: 30,
+            fidelity_full_evals: 10,
             phase_wall: vec![
                 ("acquisition".into(), Duration::from_millis(1500)),
                 ("surrogate_fit".into(), Duration::from_millis(250)),
@@ -341,6 +355,14 @@ mod tests {
         assert_eq!(
             metric_value(&text, "spotlight_outliers_rejected_total"),
             Some(2.0)
+        );
+        assert_eq!(
+            metric_value(&text, "spotlight_fidelity_cheap_evals_total"),
+            Some(30.0)
+        );
+        assert_eq!(
+            metric_value(&text, "spotlight_fidelity_full_evals_total"),
+            Some(10.0)
         );
         assert_eq!(
             metric_value(

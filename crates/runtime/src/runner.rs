@@ -330,11 +330,23 @@ pub fn advance_job(
     let (writer, replay) = if journal.exists() {
         strip_epilogue(journal)?;
         let parsed = read_journal_tolerant(journal)??;
-        let has_manifest = parsed
-            .records
-            .iter()
-            .any(|r| matches!(r.event, Event::RunStarted { .. }));
-        if has_manifest {
+        let manifest = parsed.records.iter().find_map(|r| match &r.event {
+            Event::RunStarted { manifest } => Some(manifest.clone()),
+            _ => None,
+        });
+        if let Some(manifest) = manifest {
+            // Cheap observations checkpointed under one ladder must not
+            // be replayed under another: the journal's manifest pins the
+            // fidelity spec for the rest of the job's life.
+            let journal_fidelity = manifest.fidelity.as_str();
+            let spec_fidelity = spec.fidelity.as_deref().unwrap_or("");
+            if journal_fidelity != spec_fidelity {
+                return Err(RuntimeError(format!(
+                    "journal was started with fidelity {:?} but the job spec says {:?}; \
+                     refusing to resume under a different ladder",
+                    journal_fidelity, spec_fidelity,
+                )));
+            }
             let checkpoints: Vec<SampleCheckpoint> = parsed
                 .records
                 .iter()
@@ -421,6 +433,42 @@ mod tests {
             other => panic!("expected finish, got {other:?}"),
         };
         assert_eq!(finished, again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_under_a_different_fidelity_ladder_is_refused() {
+        let base = "--model transformer --hw 4 --sw 5 --seed 7 --replicates 3";
+        let spec =
+            RunSpec::parse_str(&format!("{base} --fidelity fidelity=replicate:0.25,rungs=2"))
+                .unwrap();
+        let dir = tmp("fidelity-mismatch");
+        let journal = dir.join("job.jsonl");
+        match advance_job(&spec, &journal, 2, None, None).unwrap() {
+            SliceProgress::Paused { .. } => {}
+            other => panic!("expected pause, got {other:?}"),
+        }
+        // Same job, but the next slice arrives without the ladder (and
+        // then with a different one): both must be refused, not silently
+        // mixed into the checkpointed observations.
+        let bare = RunSpec::parse_str(base).unwrap();
+        let err = advance_job(&bare, &journal, 2, None, None).unwrap_err();
+        assert!(err.0.contains("different ladder"), "{err}");
+        let other =
+            RunSpec::parse_str(&format!("{base} --fidelity fidelity=replicate:0.5,rungs=3"))
+                .unwrap();
+        let err = advance_job(&other, &journal, 2, None, None).unwrap_err();
+        assert!(err.0.contains("different ladder"), "{err}");
+        // The matching spec still resumes and finishes.
+        let mut done = false;
+        for _ in 0..4 {
+            if let SliceProgress::Finished(_) = advance_job(&spec, &journal, 2, None, None).unwrap()
+            {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "matching spec should finish the job");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 use spotlight::codesign::{CodesignConfig, ConfigError};
 use spotlight::Variant;
-use spotlight_eval::{Aggregation, EvalEngine, FaultPlan, NoisePlan, RobustPolicy, UnknownBackend};
+use spotlight_eval::{
+    Aggregation, EvalEngine, FaultPlan, FidelitySpec, NoisePlan, RobustPolicy, UnknownBackend,
+};
 use spotlight_maestro::Objective;
 use spotlight_models::{all_models, Model};
 use spotlight_obs::RunManifest;
@@ -74,6 +76,9 @@ pub struct RunSpec {
     pub replicates: usize,
     /// How surviving replicates collapse into one report.
     pub robust_agg: Aggregation,
+    /// Multi-fidelity ladder spec (validated against [`FidelitySpec`]
+    /// at parse time), `None` for full-fidelity evaluation.
+    pub fidelity: Option<String>,
     /// Memo-cache entry cap; `None` keeps the cache unbounded.
     pub cache_cap: Option<usize>,
     /// Wall-clock budget in seconds; past it the run returns
@@ -97,6 +102,7 @@ impl Default for RunSpec {
             noise: None,
             replicates: 1,
             robust_agg: Aggregation::default(),
+            fidelity: None,
             cache_cap: None,
             deadline_secs: None,
         }
@@ -228,6 +234,16 @@ impl RunSpec {
                         .map_err(|e| SpecError(e.to_string()))?;
                     i += 2;
                 }
+                "--fidelity" => {
+                    let raw = value(i)?;
+                    // Likewise through the fidelity spec parser; store
+                    // the canonicalized form.
+                    let plan = raw
+                        .parse::<FidelitySpec>()
+                        .map_err(|e| SpecError(e.to_string()))?;
+                    spec.fidelity = Some(plan.to_string());
+                    i += 2;
+                }
                 "--cache-cap" => {
                     spec.cache_cap = Some(parse_num(flag, value(i)?)?);
                     i += 2;
@@ -315,6 +331,14 @@ impl RunSpec {
                     .to_string(),
             ),
         };
+        let fidelity = match manifest.fidelity.as_str() {
+            "" => None,
+            spec => Some(
+                spec.parse::<FidelitySpec>()
+                    .map_err(|e| SpecError(e.to_string()))?
+                    .to_string(),
+            ),
+        };
         EvalEngine::by_name(&manifest.backend)?;
         Ok(RunSpec {
             models: manifest
@@ -335,6 +359,7 @@ impl RunSpec {
             noise,
             replicates: (manifest.replicates as usize).max(1),
             robust_agg,
+            fidelity,
             cache_cap: None,
             deadline_secs: None,
         })
@@ -386,6 +411,18 @@ impl RunSpec {
             .map(|spec| spec.parse().expect("spec validated at parse time"))
     }
 
+    /// The parsed fidelity ladder, `None` for full-fidelity evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Never for specs built by the parsers above, which validate the
+    /// spec up front; a hand-built invalid spec panics here.
+    pub fn fidelity_spec(&self) -> Option<FidelitySpec> {
+        self.fidelity
+            .as_deref()
+            .map(|spec| spec.parse().expect("spec validated at parse time"))
+    }
+
     /// The replicated-measurement policy the spec describes. One
     /// replicate yields the single-shot default policy so noise-free
     /// runs stay on the historical evaluation path.
@@ -398,20 +435,25 @@ impl RunSpec {
     }
 
     /// Builds the fully configured evaluation engine the spec describes
-    /// (backend, faults, noise, robustness, cache cap).
+    /// (backend, faults, noise, robustness, fidelity, cache cap),
+    /// through the canonical [`EvalEngine::builder`] composition order.
     ///
     /// # Errors
     ///
-    /// Returns a [`SpecError`] for an unknown backend (impossible for
-    /// parsed specs, which validated it already).
+    /// Returns a [`SpecError`] for an unknown backend or an invalid
+    /// combination (e.g. a backend-mode ladder whose cheap backend is
+    /// the primary backend).
     pub fn build_engine(&self) -> Result<EvalEngine, SpecError> {
-        let mut engine =
-            EvalEngine::by_name_configured(&self.backend, self.fault_plan(), self.noise_plan())?
-                .with_robust_policy(self.robust_policy());
+        let mut builder = EvalEngine::builder()
+            .backend(&self.backend)
+            .faults(self.fault_plan())
+            .noise(self.noise_plan())
+            .robust(self.robust_policy())
+            .fidelity(self.fidelity_spec());
         if let Some(cap) = self.cache_cap {
-            engine = engine.with_cache_cap(cap);
+            builder = builder.cache_cap(cap);
         }
-        Ok(engine)
+        builder.build().map_err(|e| SpecError(e.to_string()))
     }
 
     /// Resolves every model name against the zoo.
@@ -433,12 +475,13 @@ impl RunSpec {
     /// one [`spotlight_eval::SharedCache`].
     pub fn eval_signature(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{:?}",
+            "{}|{}|{}|{}|{}|{}|{:?}",
             self.backend,
             self.faults.as_deref().unwrap_or(""),
             self.noise.as_deref().unwrap_or(""),
             self.replicates,
             self.robust_agg,
+            self.fidelity.as_deref().unwrap_or(""),
             self.cache_cap,
         )
     }
@@ -499,7 +542,8 @@ mod tests {
             "--model resnet50,transformer --objective delay --hw 50 --sw 70 --seed 9 \
              --scale cloud --variant ga --threads 4 --backend sim \
              --faults seed=3,transient=0.1 --noise seed=7,model=gauss,sigma=0.1 \
-             --replicates 5 --robust-agg trimmed --cache-cap 4096 --deadline 60",
+             --replicates 5 --robust-agg trimmed --fidelity fidelity=replicate:0.2,rungs=3 \
+             --cache-cap 4096 --deadline 60",
         )
         .unwrap();
         assert_eq!(spec.models, vec!["resnet50", "transformer"]);
@@ -516,6 +560,13 @@ mod tests {
         assert_eq!(spec.replicates, 5);
         assert_eq!(spec.robust_agg, Aggregation::Trimmed);
         assert_eq!(spec.robust_policy().replicates, 5);
+        let ladder = spec.fidelity_spec().expect("fidelity configured");
+        assert_eq!(ladder.rungs, 3);
+        // Stored canonicalized: defaulted fields are spelled out.
+        assert_eq!(
+            spec.fidelity.as_deref(),
+            Some("fidelity=replicate:0.2,rungs=3,eta=2,calib=1")
+        );
         assert_eq!(spec.cache_cap, Some(4096));
         assert_eq!(spec.deadline_secs, Some(60));
     }
@@ -530,6 +581,8 @@ mod tests {
             ("--replicates 0", "positive"),
             ("--threads 0", "positive"),
             ("--robust-agg mode", "mode"),
+            ("--fidelity fidelity=warp:0.5", "warp"),
+            ("--fidelity rungs=3", "fidelity spec"),
             ("--backend verilator", "verilator"),
             ("--objective area", "area"),
             ("--scale orbit", "orbit"),
@@ -597,6 +650,7 @@ mod tests {
             noise: engine.noise().unwrap_or_default(),
             replicates: spec.replicates as u64,
             robust_agg: spec.robust_agg.to_string(),
+            fidelity: engine.fidelity().unwrap_or_default(),
         };
         let back = RunSpec::from_manifest(&manifest).unwrap();
         assert_eq!(back.models, vec!["Transformer"]);
@@ -607,6 +661,45 @@ mod tests {
         assert_eq!(back.fault_plan().unwrap().seed, 5);
         assert_eq!(back.replicates, 3);
         assert_eq!(back.robust_agg, Aggregation::Median);
+        assert_eq!(back.fidelity, None);
+    }
+
+    #[test]
+    fn fidelity_survives_the_manifest_round_trip() {
+        let spec = RunSpec::parse_str(
+            "--model transformer --replicates 4 \
+             --fidelity fidelity=replicate:0.25,rungs=3,eta=2",
+        )
+        .unwrap();
+        let engine = spec.build_engine().unwrap();
+        assert_eq!(engine.fidelity(), spec.fidelity);
+        let manifest = RunManifest {
+            seed: 0,
+            variant: spec.variant.to_string(),
+            backend: "maestro".into(),
+            ranges: String::new(),
+            budget: String::new(),
+            hw_samples: 1,
+            sw_samples: 1,
+            threads: 1,
+            git: "test".into(),
+            objective: "edp".into(),
+            scale: "edge".into(),
+            models: "Transformer".into(),
+            faults: String::new(),
+            noise: String::new(),
+            replicates: spec.replicates as u64,
+            robust_agg: spec.robust_agg.to_string(),
+            fidelity: engine.fidelity().unwrap_or_default(),
+        };
+        let back = RunSpec::from_manifest(&manifest).unwrap();
+        assert_eq!(back.fidelity, spec.fidelity);
+        // A corrupted fidelity field fails at manifest parse, not mid-run.
+        let broken = RunManifest {
+            fidelity: "fidelity=warp:9".into(),
+            ..manifest
+        };
+        assert!(RunSpec::from_manifest(&broken).is_err());
     }
 
     #[test]
@@ -619,6 +712,9 @@ mod tests {
         assert_ne!(a.eval_signature(), c.eval_signature());
         let d = RunSpec::parse_str("--model vgg16 --backend sim").unwrap();
         assert_ne!(a.eval_signature(), d.eval_signature());
+        // A fidelity ladder changes which reports the cache may hold.
+        let e = RunSpec::parse_str("--model vgg16 --fidelity fidelity=proxy:0.25").unwrap();
+        assert_ne!(a.eval_signature(), e.eval_signature());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use spotlight_accel::{Budget, HardwareConfig};
 use spotlight_conv::ConvLayer;
 use spotlight_dabo::Trace;
-use spotlight_eval::{EvalEngine, EvalStats, RobustPolicy};
+use spotlight_eval::{EvalEngine, EvalStats, Fidelity, FidelityMode, FidelitySpec, RobustPolicy};
 use spotlight_maestro::{CostModel, CostReport, Objective};
 use spotlight_models::{Model, ModelId};
 use spotlight_obs::{Event, Observer, RunManifest};
@@ -20,7 +20,7 @@ use spotlight_space::{ParamRanges, Schedule};
 
 use crate::hwsearch::build_hw_search;
 use crate::pareto::{DesignPoint, ParetoFrontier};
-use crate::swsearch::{optimize_schedule_observed, SwSearchConfig};
+use crate::swsearch::{optimize_schedule_observed_at, SwResult, SwSearchConfig};
 use crate::variants::Variant;
 
 /// Why a [`CodesignConfigBuilder`] refused to produce a configuration.
@@ -216,6 +216,7 @@ impl CodesignConfig {
         faults: Option<String>,
         noise: Option<String>,
         robust: RobustPolicy,
+        fidelity: Option<String>,
         models: &[Model],
     ) -> RunManifest {
         // The canonical names below are what `resume` parses back out of
@@ -252,6 +253,7 @@ impl CodesignConfig {
             noise: noise.unwrap_or_default(),
             replicates: robust.replicates as u64,
             robust_agg: robust.aggregation.as_str().to_string(),
+            fidelity: fidelity.unwrap_or_default(),
         }
     }
 }
@@ -448,7 +450,7 @@ impl std::fmt::Display for RunStatus {
 /// One completed hardware sample as recovered from a journal's
 /// `checkpoint` events — everything [`Spotlight::resume`] needs to
 /// replay the sample without re-running its software search.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleCheckpoint {
     /// Whether the budget admitted the sample.
     pub admitted: bool,
@@ -474,6 +476,11 @@ pub struct SampleCheckpoint {
     /// The hardware searcher RNG's word position after the sample's
     /// `suggest`, for drift detection on replay.
     pub rng_word_pos: u64,
+    /// Per-rung costs this sample observed climbing the fidelity
+    /// ladder, cheapest rung first. Empty for full-fidelity runs. When
+    /// the sample reached the full rung the last entry is the exact
+    /// cost; otherwise the sample was demoted after its last entry.
+    pub rung_costs: Vec<f64>,
 }
 
 impl SampleCheckpoint {
@@ -493,6 +500,7 @@ impl SampleCheckpoint {
                 failed_layers,
                 outliers_rejected,
                 rng_word_pos,
+                rungs,
             } => Some(SampleCheckpoint {
                 admitted: *admitted,
                 cost: f64::from_bits(*cost_bits),
@@ -505,10 +513,36 @@ impl SampleCheckpoint {
                 failed_layers: *failed_layers,
                 outliers_rejected: *outliers_rejected,
                 rng_word_pos: *rng_word_pos,
+                rung_costs: decode_rungs(rungs),
             }),
             _ => None,
         }
     }
+}
+
+/// Encodes per-rung ladder costs as the checkpoint's `rungs` field:
+/// `:`-joined `f64::to_bits` decimals, cheapest rung first, empty for
+/// full-fidelity runs (the field is then omitted from the journal line,
+/// keeping clean runs byte-identical to pre-fidelity journals).
+fn encode_rungs(costs: &[f64]) -> String {
+    costs
+        .iter()
+        .map(|c| c.to_bits().to_string())
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// Inverse of [`encode_rungs`]; malformed words decode to no entries so
+/// a hand-edited journal degrades to a full-fidelity checkpoint instead
+/// of panicking.
+fn decode_rungs(s: &str) -> Vec<f64> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    s.split(':')
+        .filter_map(|w| w.parse::<u64>().ok())
+        .map(f64::from_bits)
+        .collect()
 }
 
 /// Why [`Spotlight::resume`] refused to replay a checkpoint prefix.
@@ -606,6 +640,24 @@ pub enum SliceOutcome {
         /// Hardware samples checkpointed so far (replayed + live).
         completed: usize,
     },
+}
+
+/// What one hardware sample's climb up the fidelity ladder produced.
+#[derive(Debug)]
+struct LadderResult {
+    /// Final cost: exact when the full rung was reached, the last cheap
+    /// estimate otherwise.
+    cost: f64,
+    /// Total delay across models; finite only at the full rung.
+    delay_cycles: f64,
+    /// Total energy across models; finite only at the full rung.
+    energy_nj: f64,
+    /// Exact per-model plans; `Some` only at the full rung.
+    plans: Option<Vec<ModelPlan>>,
+    /// Cost observed at each rung climbed, cheapest first.
+    rung_costs: Vec<f64>,
+    /// Whether the sample survived to the full rung.
+    reached_full: bool,
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix.
@@ -727,22 +779,53 @@ impl Spotlight {
         models: &[Model],
         stream: u64,
     ) -> (Vec<ModelPlan>, u64) {
+        // Flatten the per-model layer lists into one indexed work list.
+        let items: Vec<&spotlight_models::LayerEntry> =
+            models.iter().flat_map(|m| m.layers().iter()).collect();
+        let ordinals: Vec<usize> = (0..items.len()).collect();
+        let results = self.optimize_layer_set(
+            base_observer,
+            hw,
+            &items,
+            &ordinals,
+            stream,
+            Fidelity::Full,
+        );
+        let evals = results.iter().map(|r| r.evaluations).sum();
+        (self.assemble_plans(models, results.into_iter()), evals)
+    }
+
+    /// Runs the per-layer software search for the given layer `ordinals`
+    /// (indices into the flattened `(model, layer)` work list `items`)
+    /// at one evaluation fidelity, through the same deterministic wave
+    /// machinery as the full search: each layer's RNG stream is keyed by
+    /// its ordinal, so results and the journaled event stream are
+    /// identical at any thread count and for any subset. Results come
+    /// back in `ordinals` order.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_layer_set(
+        &self,
+        base_observer: &Observer,
+        hw: &HardwareConfig,
+        items: &[&spotlight_models::LayerEntry],
+        ordinals: &[usize],
+        stream: u64,
+        fidelity: Fidelity,
+    ) -> Vec<SwResult> {
         let sw_cfg = self.config.sw_config();
         let threads = self.config.threads.max(1);
         let observer = base_observer.with_hw_sample(stream);
 
-        // Flatten the per-model layer lists into one indexed work list.
-        let items: Vec<&spotlight_models::LayerEntry> =
-            models.iter().flat_map(|m| m.layers().iter()).collect();
         let run_item = |ordinal: usize| {
             let (obs, buffer) = observer.with_layer(ordinal as u64).buffered();
             let seed = layer_stream_seed(self.config.seed, stream, ordinal as u64);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let result = optimize_schedule_observed(
+            let result = optimize_schedule_observed_at(
                 &self.engine,
                 hw,
                 &items[ordinal].layer,
                 &sw_cfg,
+                fidelity,
                 &mut rng,
                 &obs,
             );
@@ -756,18 +839,20 @@ impl Spotlight {
         let run_guarded =
             |ordinal: usize| catch_unwind(AssertUnwindSafe(|| run_item(ordinal))).ok();
 
-        let mut results: Vec<crate::swsearch::SwResult> = Vec::with_capacity(items.len());
-        let mut evals = 0;
+        let mut results: Vec<SwResult> = Vec::with_capacity(ordinals.len());
         let mut next = 0;
-        while next < items.len() {
-            let wave_end = (next + threads).min(items.len());
+        while next < ordinals.len() {
+            let wave_end = (next + threads).min(ordinals.len());
             let wave: Vec<_> = if threads == 1 {
-                vec![run_guarded(next)]
+                vec![run_guarded(ordinals[next])]
             } else {
                 std::thread::scope(|scope| {
                     let run_guarded = &run_guarded;
                     let handles: Vec<_> = (next..wave_end)
-                        .map(|ordinal| scope.spawn(move || run_guarded(ordinal)))
+                        .map(|i| {
+                            let ordinal = ordinals[i];
+                            scope.spawn(move || run_guarded(ordinal))
+                        })
                         .collect();
                     handles
                         .into_iter()
@@ -776,7 +861,7 @@ impl Spotlight {
                 })
             };
             for (offset, slot) in wave.into_iter().enumerate() {
-                let ordinal = next + offset;
+                let ordinal = ordinals[next + offset];
                 // Retries run inline after the wave joins, in ordinal
                 // order, so the merged event stream stays thread-invariant
                 // under a deterministic fault plan.
@@ -790,7 +875,7 @@ impl Spotlight {
                             None => {
                                 layer_obs.emit_with(|| Event::WorkerPanic { retrying: false });
                                 self.engine.count_failed_layer();
-                                let failed = crate::swsearch::SwResult {
+                                let failed = SwResult {
                                     best: None,
                                     trace: Trace::from_costs(&[]),
                                     evaluations: 0,
@@ -800,7 +885,6 @@ impl Spotlight {
                         }
                     }
                 };
-                evals += r.evaluations;
                 if let Some(buffer) = buffer {
                     observer.forward(&buffer);
                 }
@@ -808,11 +892,17 @@ impl Spotlight {
             }
             next = wave_end;
         }
+        results
+    }
 
-        // Reassemble per-model plans in work-list order. A model with an
-        // infeasible layer aggregates to infinity.
+    /// Reassembles per-model plans from per-layer results in work-list
+    /// order. A model with an infeasible layer aggregates to infinity.
+    fn assemble_plans(
+        &self,
+        models: &[Model],
+        mut cursor: impl Iterator<Item = SwResult>,
+    ) -> Vec<ModelPlan> {
         let mut plans = Vec::with_capacity(models.len());
-        let mut cursor = results.into_iter();
         for model in models {
             let mut layers = Vec::with_capacity(model.layers().len());
             let mut total_delay = 0.0;
@@ -843,7 +933,7 @@ impl Spotlight {
                 total_energy,
             });
         }
-        (plans, evals)
+        plans
     }
 
     /// Aggregate objective across models (summed), infinite when any
@@ -853,6 +943,212 @@ impl Spotlight {
             .iter()
             .map(|p| p.objective_value(self.config.objective))
             .sum()
+    }
+
+    /// Climbs one hardware sample up the successive-halving fidelity
+    /// ladder: evaluate at the cheapest rung, promote to the next rung
+    /// only while the sample's cost ranks inside the top
+    /// `ceil(n / eta)` of everything seen at that rung so far
+    /// (`histories`), demote otherwise. Only a sample that reaches the
+    /// full rung produces exact plans; a demoted sample returns its last
+    /// cheap estimate, to be fed to the hardware surrogate with that
+    /// rung's variance inflation. Everything here is sequential in
+    /// hardware-sample order and the per-layer searches underneath are
+    /// wave-deterministic, so promotion decisions are identical at any
+    /// thread count.
+    fn climb_ladder(
+        &self,
+        spec: &FidelitySpec,
+        models: &[Model],
+        hw: &HardwareConfig,
+        stream: u64,
+        histories: &mut [Vec<f64>],
+        sample_obs: &Observer,
+    ) -> LadderResult {
+        let items: Vec<&spotlight_models::LayerEntry> =
+            models.iter().flat_map(|m| m.layers().iter()).collect();
+        let full_rung = spec.full_rung();
+        // Proxy mode accumulates per-layer results across rungs: the
+        // layer subsets are nested, so a promoted sample only searches
+        // the layers the next rung adds.
+        let mut done: Vec<Option<SwResult>> = vec![None; items.len()];
+        let mut rung_costs = Vec::with_capacity(spec.rungs as usize);
+        for rung in 0..=full_rung {
+            let (cost, delay_cycles, energy_nj, plans) = match spec.mode {
+                FidelityMode::Proxy => {
+                    self.evaluate_proxy_rung(spec, models, &items, rung, hw, stream, &mut done)
+                }
+                FidelityMode::Replicate | FidelityMode::Backend => {
+                    let ordinals: Vec<usize> = (0..items.len()).collect();
+                    let results = self.optimize_layer_set(
+                        &self.observer,
+                        hw,
+                        &items,
+                        &ordinals,
+                        stream,
+                        spec.fidelity_for(rung),
+                    );
+                    let plans = self.assemble_plans(models, results.into_iter());
+                    let cost = self.aggregate(&plans);
+                    let delay: f64 = plans.iter().map(|p| p.total_delay).sum();
+                    let energy: f64 = plans.iter().map(|p| p.total_energy).sum();
+                    (cost, delay, energy, Some(plans))
+                }
+            };
+            rung_costs.push(cost);
+            if rung == full_rung {
+                return LadderResult {
+                    cost,
+                    delay_cycles,
+                    energy_nj,
+                    plans,
+                    rung_costs,
+                    reached_full: true,
+                };
+            }
+            let hist = &mut histories[rung as usize];
+            hist.push(cost);
+            // Rank among everything this rung has seen (self included);
+            // ties break toward promotion, which is order-independent
+            // and therefore deterministic. `ceil(n / eta)` lets the
+            // first sample through, bootstrapping the ladder.
+            let rank = hist.iter().filter(|c| **c < cost).count() + 1;
+            let promote = cost.is_finite() && rank <= spec.promote_quota(hist.len());
+            if promote {
+                sample_obs.emit_with(|| Event::RungPromoted {
+                    rung: (rung + 1) as u64,
+                    cost,
+                });
+            } else {
+                sample_obs.emit_with(|| Event::RungDemoted {
+                    rung: rung as u64,
+                    cost,
+                });
+                return LadderResult {
+                    cost,
+                    delay_cycles: f64::INFINITY,
+                    energy_nj: f64::INFINITY,
+                    plans: None,
+                    rung_costs,
+                    reached_full: false,
+                };
+            }
+        }
+        unreachable!("the full rung returns from inside the loop")
+    }
+
+    /// Evaluates one proxy rung: searches the layers in this rung's
+    /// nested subset (reusing results from cheaper rungs via `done`),
+    /// all at full per-triple fidelity, and extrapolates each model's
+    /// delay/energy by its MACs coverage ratio. The full rung covers
+    /// every layer, so its result is exactly the full-fidelity answer.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_proxy_rung(
+        &self,
+        spec: &FidelitySpec,
+        models: &[Model],
+        items: &[&spotlight_models::LayerEntry],
+        rung: u8,
+        hw: &HardwareConfig,
+        stream: u64,
+        done: &mut [Option<SwResult>],
+    ) -> (f64, f64, f64, Option<Vec<ModelPlan>>) {
+        let subset: Vec<usize> = if rung == spec.full_rung() {
+            (0..items.len()).collect()
+        } else {
+            self.proxy_subset(spec, models, rung)
+        };
+        let missing: Vec<usize> = subset.iter().copied().filter(|&o| done[o].is_none()).collect();
+        let results = self.optimize_layer_set(&self.observer, hw, items, &missing, stream, Fidelity::Full);
+        for (&ordinal, result) in missing.iter().zip(results) {
+            done[ordinal] = Some(result);
+        }
+        if rung == spec.full_rung() {
+            // Exact: assemble the plans the no-ladder path would have
+            // produced (same per-layer seeds, same engine semantics).
+            let plans = self.assemble_plans(
+                models,
+                done.iter_mut().map(|slot| slot.take().expect("full rung covers every layer")),
+            );
+            let cost = self.aggregate(&plans);
+            let delay: f64 = plans.iter().map(|p| p.total_delay).sum();
+            let energy: f64 = plans.iter().map(|p| p.total_energy).sum();
+            return (cost, delay, energy, Some(plans));
+        }
+        // Cheap estimate: per-model partial sums over the subset, scaled
+        // by the model's MACs coverage; a model whose covered layers
+        // include an infeasible one estimates to infinity.
+        let mut cost = 0.0;
+        let mut ordinal = 0;
+        for model in models {
+            let mut covered_delay = 0.0;
+            let mut covered_energy = 0.0;
+            let mut covered_macs = 0.0;
+            let mut total_macs = 0.0;
+            let mut feasible = true;
+            for entry in model.layers() {
+                let weight = entry.layer.macs() as f64 * entry.count as f64;
+                total_macs += weight;
+                if let Some(result) = &done[ordinal] {
+                    match &result.best {
+                        Some((_, report)) => {
+                            covered_delay += report.delay_cycles * entry.count as f64;
+                            covered_energy += report.energy_nj * entry.count as f64;
+                            covered_macs += weight;
+                        }
+                        None => feasible = false,
+                    }
+                }
+                ordinal += 1;
+            }
+            if !feasible || covered_macs == 0.0 {
+                cost = f64::INFINITY;
+                continue;
+            }
+            let scale = total_macs / covered_macs;
+            let est = ModelPlan {
+                model_name: model.id().clone(),
+                layers: Vec::new(),
+                total_delay: covered_delay * scale,
+                total_energy: covered_energy * scale,
+            };
+            cost += est.objective_value(self.config.objective);
+        }
+        (cost, f64::INFINITY, f64::INFINITY, None)
+    }
+
+    /// The layer ordinals a proxy rung evaluates: per model, the minimal
+    /// prefix of a seed-keyed layer permutation whose cumulative MACs
+    /// reach the rung's cost fraction (at least one layer per model).
+    /// The permutation depends only on the run seed, so subsets are
+    /// identical for every hardware sample (estimates stay comparable)
+    /// and nested across rungs (promotion only adds layers).
+    fn proxy_subset(&self, spec: &FidelitySpec, models: &[Model], rung: u8) -> Vec<usize> {
+        let fraction = spec.fraction_at(rung);
+        let key_base = mix64(self.config.seed ^ 0x70726f_7879); // "proxy"
+        let mut subset = Vec::new();
+        let mut base_ordinal = 0;
+        for model in models {
+            let entries = model.layers();
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by_key(|&i| (mix64(key_base.wrapping_add((base_ordinal + i) as u64)), i));
+            let total: f64 = entries
+                .iter()
+                .map(|e| e.layer.macs() as f64 * e.count as f64)
+                .sum();
+            let mut cum = 0.0;
+            for (taken, &i) in order.iter().enumerate() {
+                let e = &entries[i];
+                cum += e.layer.macs() as f64 * e.count as f64;
+                subset.push(base_ordinal + i);
+                if taken + 1 == entries.len() || cum >= fraction * total {
+                    break;
+                }
+            }
+            base_ordinal += entries.len();
+        }
+        subset.sort_unstable();
+        subset
     }
 
     /// Runs the full nested co-design of Section VI-A over `models`.
@@ -945,6 +1241,7 @@ impl Spotlight {
                     self.engine.faults(),
                     self.engine.noise(),
                     self.engine.robust_policy(),
+                    self.engine.fidelity(),
                     models,
                 )),
             });
@@ -952,6 +1249,14 @@ impl Spotlight {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut hw_search =
             build_hw_search(self.config.variant, self.config.ranges, self.config.budget);
+        // Per-rung cost histories for the successive-halving ladder,
+        // rebuilt exactly from replayed checkpoints so promotion
+        // thresholds continue where the killed run left off.
+        let fidelity_spec = self.engine.fidelity_spec().cloned();
+        let mut rung_histories: Vec<Vec<f64>> = match &fidelity_spec {
+            Some(spec) => vec![Vec::new(); spec.full_rung() as usize],
+            None => Vec::new(),
+        };
 
         // `best` carries the winning sample's plans when it ran live, or
         // its stream index alone when it was replayed — the plans are
@@ -978,10 +1283,40 @@ impl Spotlight {
                     area_mm2: self.config.budget.area_mm2(&hw),
                 });
             }
-            if cp.cost.is_finite() && best.as_ref().is_none_or(|(_, _, b, _)| cp.cost < *b) {
+            // A demoted sample's checkpoint carries its (finite) cheap
+            // estimate so the surrogate replay is exact, but only a
+            // sample that reached the full rung may become the best.
+            let reached_full = match &fidelity_spec {
+                Some(spec) => {
+                    cp.rung_costs.is_empty() || cp.rung_costs.len() == spec.rungs as usize
+                }
+                None => true,
+            };
+            if reached_full
+                && cp.cost.is_finite()
+                && best.as_ref().is_none_or(|(_, _, b, _)| cp.cost < *b)
+            {
                 best = Some((hw, None, cp.cost, sample as u64));
             }
-            hw_search.observe(hw, cp.cost);
+            match &fidelity_spec {
+                Some(spec) if !cp.rung_costs.is_empty() => {
+                    let climbed = if reached_full {
+                        cp.rung_costs.len() - 1
+                    } else {
+                        cp.rung_costs.len()
+                    };
+                    for (r, cost) in cp.rung_costs[..climbed].iter().enumerate() {
+                        rung_histories[r].push(*cost);
+                    }
+                    if reached_full {
+                        hw_search.observe(hw, cp.cost);
+                    } else {
+                        let demoted_at = (cp.rung_costs.len() - 1) as u8;
+                        hw_search.observe_noisy(hw, cp.cost, spec.variance_inflation(demoted_at));
+                    }
+                }
+                _ => hw_search.observe(hw, cp.cost),
+            }
             let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c, _)| *c);
             eval_trace.push((cp.evaluations, best_so_far));
         }
@@ -1029,16 +1364,44 @@ impl Spotlight {
                 hw: hw.to_string(),
                 admitted,
             });
+            let mut rungs_climbed = Vec::new();
             let (cost, delay_cycles, energy_nj) = if admitted {
-                let (plans, _) = self.engine.time_phase("sw_search", || {
-                    self.optimize_software(&hw, models, hw_sample as u64)
-                });
-                let cost = self.aggregate(&plans);
-                let delay_cycles: f64 = plans.iter().map(|p| p.total_delay).sum();
-                let energy_nj: f64 = plans.iter().map(|p| p.total_energy).sum();
+                let (plans, delay_cycles, energy_nj, cost, reached_full) =
+                    match &fidelity_spec {
+                        Some(spec) => {
+                            let ladder = self.engine.time_phase("sw_search", || {
+                                self.climb_ladder(
+                                    spec,
+                                    models,
+                                    &hw,
+                                    hw_sample as u64,
+                                    &mut rung_histories,
+                                    &sample_obs,
+                                )
+                            });
+                            rungs_climbed = ladder.rung_costs;
+                            (
+                                ladder.plans,
+                                ladder.delay_cycles,
+                                ladder.energy_nj,
+                                ladder.cost,
+                                ladder.reached_full,
+                            )
+                        }
+                        None => {
+                            let (plans, _) = self.engine.time_phase("sw_search", || {
+                                self.optimize_software(&hw, models, hw_sample as u64)
+                            });
+                            let cost = self.aggregate(&plans);
+                            let delay_cycles: f64 = plans.iter().map(|p| p.total_delay).sum();
+                            let energy_nj: f64 = plans.iter().map(|p| p.total_energy).sum();
+                            (Some(plans), delay_cycles, energy_nj, cost, true)
+                        }
+                    };
                 // Infeasible samples (any layer without a feasible
-                // schedule) carry non-finite metrics and must not join
-                // the frontier of realizable designs.
+                // schedule) and demoted ladder samples carry non-finite
+                // metrics and must not join the frontier of realizable
+                // designs.
                 if delay_cycles.is_finite()
                     && energy_nj.is_finite()
                     && frontier.insert(DesignPoint {
@@ -1052,8 +1415,11 @@ impl Spotlight {
                         frontier_len: frontier.len() as u64,
                     });
                 }
-                if cost.is_finite() && best.as_ref().is_none_or(|(_, _, b, _)| cost < *b) {
-                    best = Some((hw, Some(plans), cost, hw_sample as u64));
+                if reached_full
+                    && cost.is_finite()
+                    && best.as_ref().is_none_or(|(_, _, b, _)| cost < *b)
+                {
+                    best = Some((hw, plans, cost, hw_sample as u64));
                     sample_obs.emit_with(|| Event::BestImproved { cost });
                 }
                 (cost, delay_cycles, energy_nj)
@@ -1062,7 +1428,20 @@ impl Spotlight {
                 // spending the software budget.
                 (f64::INFINITY, f64::INFINITY, f64::INFINITY)
             };
-            hw_search.observe(hw, cost);
+            // A demoted sample's cheap estimate reaches the hardware
+            // surrogate with its rung's calibrated variance inflation,
+            // so the searcher trusts it less — never equally, never not
+            // at all (the PRIME lesson).
+            match &fidelity_spec {
+                Some(spec)
+                    if admitted && !rungs_climbed.is_empty()
+                        && rungs_climbed.len() < spec.rungs as usize =>
+                {
+                    let demoted_at = (rungs_climbed.len() - 1) as u8;
+                    hw_search.observe_noisy(hw, cost, spec.variance_inflation(demoted_at));
+                }
+                _ => hw_search.observe(hw, cost),
+            }
             let best_so_far = best.as_ref().map_or(f64::INFINITY, |(_, _, c, _)| *c);
             eval_trace.push((self.engine.evaluations(), best_so_far));
             // Checkpoint at the sample boundary and flush, so a killed
@@ -1081,6 +1460,7 @@ impl Spotlight {
                 failed_layers: s.failed_layers,
                 outliers_rejected: s.outliers_rejected,
                 rng_word_pos: rng.word_pos(),
+                rungs: encode_rungs(&rungs_climbed),
             });
             self.observer.flush();
         }
@@ -1443,7 +1823,7 @@ mod fault_tests {
             .iter()
             .filter_map(|r| SampleCheckpoint::from_event(&r.event))
             .collect();
-        let extra = *checkpoints.last().expect("nonempty");
+        let extra = checkpoints.last().expect("nonempty").clone();
         checkpoints.push(extra);
         let err = Spotlight::new(cfg)
             .resume(&[tiny_model()], &checkpoints)
@@ -1461,13 +1841,15 @@ mod fault_tests {
     #[test]
     fn always_transient_backend_degrades_but_finishes() {
         let plan: FaultPlan = "seed=5,transient=1".parse().expect("valid spec");
-        let engine = spotlight_eval::EvalEngine::by_name_with_faults("maestro", Some(plan))
-            .expect("known backend")
-            .with_retry_policy(RetryPolicy {
+        let engine = spotlight_eval::EvalEngine::builder()
+            .faults(Some(plan))
+            .retry(RetryPolicy {
                 max_attempts: 2,
                 base: std::time::Duration::ZERO,
                 cap: std::time::Duration::ZERO,
-            });
+            })
+            .build()
+            .expect("known backend");
         let sink = Arc::new(spotlight_obs::MemorySink::new());
         let out = Spotlight::with_engine(config(1), engine)
             .with_observer(Observer::new(sink.clone()))
@@ -1489,7 +1871,9 @@ mod fault_tests {
     #[test]
     fn panicking_workers_fail_layers_not_the_run() {
         let plan: FaultPlan = "seed=9,panic=1".parse().expect("valid spec");
-        let engine = spotlight_eval::EvalEngine::by_name_with_faults("maestro", Some(plan))
+        let engine = spotlight_eval::EvalEngine::builder()
+            .faults(Some(plan))
+            .build()
             .expect("known backend");
         let sink = Arc::new(spotlight_obs::MemorySink::new());
         let out = Spotlight::with_engine(config(1), engine)

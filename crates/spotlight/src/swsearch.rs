@@ -7,7 +7,7 @@ use spotlight_accel::{DataflowStyle, HardwareConfig};
 use spotlight_conv::factor::divisors;
 use spotlight_conv::{ConvLayer, Dim, DIMS, NUM_DIMS};
 use spotlight_dabo::{Dabo, DaboConfig, FnFeatureMap, Search, SurrogateKind, Trace};
-use spotlight_eval::EvalEngine;
+use spotlight_eval::{EvalEngine, Fidelity};
 use spotlight_gp::Kernel;
 use spotlight_maestro::{CostReport, Objective};
 use spotlight_obs::Observer;
@@ -247,8 +247,25 @@ pub fn optimize_schedule_observed(
     rng: &mut dyn RngCore,
     obs: &Observer,
 ) -> SwResult {
+    optimize_schedule_observed_at(engine, hw, layer, cfg, Fidelity::Full, rng, obs)
+}
+
+/// Like [`optimize_schedule_observed`] but evaluating every schedule at
+/// an explicit [`Fidelity`] — the entry point the successive-halving
+/// codesign driver uses for cheap rungs. Cheap-rung dispersion already
+/// carries the rung's calibrated variance inflation (the engine inflates
+/// it), so `observe_noisy` automatically trusts cheap points less.
+pub fn optimize_schedule_observed_at(
+    engine: &EvalEngine,
+    hw: &HardwareConfig,
+    layer: &ConvLayer,
+    cfg: &SwSearchConfig,
+    fidelity: Fidelity,
+    rng: &mut dyn RngCore,
+    obs: &Observer,
+) -> SwResult {
     let mut search = build_search(cfg.variant, *hw, *layer);
-    run_sw_observed(engine, hw, layer, cfg, rng, search.as_mut(), obs)
+    run_sw_observed(engine, hw, layer, cfg, fidelity, rng, search.as_mut(), obs)
 }
 
 /// Like [`optimize_schedule`] but constrained to one rigid dataflow —
@@ -337,14 +354,25 @@ fn run_sw(
     rng: &mut dyn RngCore,
     search: &mut dyn Search<Schedule>,
 ) -> SwResult {
-    run_sw_observed(engine, hw, layer, cfg, rng, search, &Observer::null())
+    run_sw_observed(
+        engine,
+        hw,
+        layer,
+        cfg,
+        Fidelity::Full,
+        rng,
+        search,
+        &Observer::null(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sw_observed(
     engine: &EvalEngine,
     hw: &HardwareConfig,
     layer: &ConvLayer,
     cfg: &SwSearchConfig,
+    fidelity: Fidelity,
     rng: &mut dyn RngCore,
     search: &mut dyn Search<Schedule>,
     obs: &Observer,
@@ -354,7 +382,8 @@ fn run_sw_observed(
     for step in 0..cfg.samples {
         let sched = search.suggest(rng);
         let (cost, dispersion) =
-            match engine.evaluate_observed_robust(hw, &sched, layer, obs, step as u64) {
+            match engine.evaluate_at_observed_robust(hw, &sched, layer, fidelity, obs, step as u64)
+            {
                 Ok((report, summary)) => {
                     let value = report.objective(cfg.objective);
                     if best

@@ -37,13 +37,16 @@ fn config(threads: usize, seed: u64) -> CodesignConfig {
 /// An engine with the given fault plan and a fast, sleep-free retry
 /// schedule so tests never wait on backoff.
 fn faulty_engine(spec: &str) -> EvalEngine {
-    EvalEngine::by_name_with_faults("maestro", Some(spec.parse().expect("valid spec")))
-        .expect("maestro backend exists")
-        .with_retry_policy(RetryPolicy {
+    EvalEngine::builder()
+        .backend("maestro")
+        .faults(Some(spec.parse().expect("valid spec")))
+        .retry(RetryPolicy {
             max_attempts: 2,
             base: Duration::ZERO,
             cap: Duration::ZERO,
         })
+        .build()
+        .expect("maestro backend exists")
 }
 
 fn faulty_run(spec: &str, threads: usize, seed: u64) -> CodesignOutcome {

@@ -32,16 +32,13 @@ fn config(threads: usize, seed: u64) -> CodesignConfig {
 }
 
 fn run(noise: Option<&str>, replicates: usize, threads: usize, seed: u64) -> CodesignOutcome {
-    let mut engine = EvalEngine::by_name_configured(
-        "maestro",
-        None,
-        noise.map(|s| s.parse().expect("valid noise spec")),
-    )
-    .expect("maestro backend exists");
+    let mut builder = EvalEngine::builder()
+        .backend("maestro")
+        .noise(noise.map(|s| s.parse().expect("valid noise spec")));
     if replicates > 1 {
-        engine =
-            engine.with_robust_policy(RobustPolicy::replicated(replicates, Aggregation::Median));
+        builder = builder.robust(RobustPolicy::replicated(replicates, Aggregation::Median));
     }
+    let engine = builder.build().expect("maestro backend exists");
     Spotlight::with_engine(config(threads, seed), engine).codesign(&[tiny_model()])
 }
 
