@@ -75,8 +75,13 @@ pub enum Command {
         workers: usize,
         /// Hardware samples per scheduler slice.
         slice: usize,
-        /// Directory holding one journal per job.
+        /// State directory holding the durable job store (`--state-dir`,
+        /// with `--dir` kept as an alias). Restarting on the same
+        /// directory recovers every job in it.
         dir: String,
+        /// Admission cap: reject submits while this many jobs are
+        /// non-terminal (`--max-jobs`); unbounded when absent.
+        max_jobs: Option<usize>,
     },
     /// Send one request to a running server and print the responses.
     Client {
@@ -259,6 +264,7 @@ impl Command {
                 let mut workers = 2usize;
                 let mut slice = 2usize;
                 let mut dir = ".spotlight-serve".to_string();
+                let mut max_jobs = None;
                 let mut i = 0;
                 while i < rest.len() {
                     let flag = rest[i];
@@ -280,13 +286,18 @@ impl Command {
                             slice = parse_positive(flag, value(i)?)?;
                             i += 2;
                         }
-                        "--dir" => {
+                        "--state-dir" | "--dir" => {
                             dir = value(i)?.to_string();
+                            i += 2;
+                        }
+                        "--max-jobs" => {
+                            max_jobs = Some(parse_positive(flag, value(i)?)?);
                             i += 2;
                         }
                         other => {
                             return Err(ParseCommandError(format!(
-                                "unknown flag `{other}` (serve takes --listen, --workers, --slice, --dir)"
+                                "unknown flag `{other}` (serve takes --listen, --workers, \
+                                 --slice, --state-dir, --max-jobs)"
                             )));
                         }
                     }
@@ -296,6 +307,7 @@ impl Command {
                     workers,
                     slice,
                     dir,
+                    max_jobs,
                 })
             }
             "client" => {
@@ -318,16 +330,39 @@ impl Command {
                 };
                 let request = match verb {
                     "submit" => {
-                        if tail.is_empty() {
+                        // `--key` is the client's idempotency key, not a
+                        // spec flag: strip it before spec validation.
+                        let mut key = None;
+                        let mut spec_args = Vec::with_capacity(tail.len());
+                        let mut i = 0;
+                        while i < tail.len() {
+                            if tail[i] == "--key" {
+                                let v = tail.get(i + 1).copied().ok_or_else(|| {
+                                    ParseCommandError("flag `--key` needs a value".into())
+                                })?;
+                                if v.is_empty() {
+                                    return Err(ParseCommandError(
+                                        "flag `--key` needs a non-empty value".into(),
+                                    ));
+                                }
+                                key = Some(v.to_string());
+                                i += 2;
+                            } else {
+                                spec_args.push(tail[i]);
+                                i += 1;
+                            }
+                        }
+                        if spec_args.is_empty() {
                             return Err(ParseCommandError(
                                 "client submit requires spec flags (e.g. --model vgg16)".into(),
                             ));
                         }
                         // Validate locally so typos fail fast with the
                         // spec's own message; the server re-validates.
-                        RunSpec::parse_args(&tail)?;
+                        RunSpec::parse_args(&spec_args)?;
                         Request::Submit {
-                            spec: tail.join(" "),
+                            spec: spec_args.join(" "),
+                            key,
                         }
                     }
                     "status" => Request::Status { job: job(&tail)? },
@@ -452,7 +487,8 @@ USAGE:
   spotlight space    --model <name>
   spotlight journal  <path> [--strict]
   spotlight resume   <journal> [--out <path>] [--progress]
-  spotlight serve    [--listen <addr>] [--workers <n>] [--slice <n>] [--dir <path>]
+  spotlight serve    [--listen <addr>] [--workers <n>] [--slice <n>]
+                     [--state-dir <path>] [--max-jobs <n>]
   spotlight client   <addr> <verb> [args]
   spotlight help
 
@@ -502,14 +538,23 @@ is identical to an uninterrupted run with the same seed.
 over the socket share one worker pool (round-robin by checkpoint-sized
 slices) and one evaluation cache per backend configuration. The server
 speaks line-delimited JSON; `GET /metrics` over the same socket answers
-with Prometheus text. SERVE OPTIONS: --listen <host:port|unix:/path>
-(default 127.0.0.1:0, printed on startup), --workers <n> (default 2),
---slice <hw samples per turn, default 2>, --dir <journal directory,
-default .spotlight-serve>.
+with Prometheus text. Every job is persisted to the state directory
+(spec, state WAL, journal, report), so killing the daemon and
+restarting it on the same --state-dir recovers all queued and
+in-flight jobs and completes them byte-identically; a second daemon on
+the same state dir refuses to start while the first is alive. SERVE
+OPTIONS: --listen <host:port|unix:/path> (default 127.0.0.1:0, printed
+on startup), --workers <n> (default 2), --slice <hw samples per turn,
+default 2>, --state-dir <job store directory, default .spotlight-serve;
+--dir is an alias>, --max-jobs <admission cap; submits past it get a
+retryable error; default unbounded>.
 
 `spotlight client <addr> <verb>` talks to a running server. VERBS:
-submit <spec flags...>, status <job>, cancel <job>, list,
-stream-journal <job>, metrics, report <job>, ping, shutdown.
+submit <spec flags...> [--key <idempotency-key>], status <job>,
+cancel <job>, list, stream-journal <job>, metrics, report <job>, ping,
+shutdown. Re-submitting the same --key returns the original job id
+instead of forking a duplicate. Transient failures (connection refused,
+server at capacity) are retried with capped exponential backoff.
 ";
 
 #[cfg(test)]
@@ -617,8 +662,14 @@ mod tests {
         let err =
             Command::parse(&["codesign", "--model", "vgg16", "--robust-agg", "mode"]).unwrap_err();
         assert!(err.to_string().contains("mode"), "{err}");
-        let err = Command::parse(&["codesign", "--model", "vgg16", "--fidelity", "fidelity=warp"])
-            .unwrap_err();
+        let err = Command::parse(&[
+            "codesign",
+            "--model",
+            "vgg16",
+            "--fidelity",
+            "fidelity=warp",
+        ])
+        .unwrap_err();
         assert!(err.to_string().contains("warp"), "{err}");
     }
 
@@ -707,6 +758,7 @@ mod tests {
                 workers: 2,
                 slice: 2,
                 dir: ".spotlight-serve".to_string(),
+                max_jobs: None,
             }
         );
         assert_eq!(
@@ -718,8 +770,10 @@ mod tests {
                 "4",
                 "--slice",
                 "3",
-                "--dir",
+                "--state-dir",
                 "/tmp/jobs",
+                "--max-jobs",
+                "16",
             ])
             .unwrap(),
             Command::Serve {
@@ -727,10 +781,17 @@ mod tests {
                 workers: 4,
                 slice: 3,
                 dir: "/tmp/jobs".to_string(),
+                max_jobs: Some(16),
             }
         );
+        // --dir stays as an alias for scripts written against PR 6.
+        match Command::parse(&["serve", "--dir", "/tmp/old"]).unwrap() {
+            Command::Serve { dir, .. } => assert_eq!(dir, "/tmp/old"),
+            other => panic!("wrong command {other:?}"),
+        }
         assert!(Command::parse(&["serve", "--workers", "0"]).is_err());
         assert!(Command::parse(&["serve", "--slice", "x"]).is_err());
+        assert!(Command::parse(&["serve", "--max-jobs", "0"]).is_err());
         assert!(Command::parse(&["serve", "--frobnicate"]).is_err());
     }
 
@@ -742,6 +803,16 @@ mod tests {
                 vec!["client", addr, "submit", "--model", "vgg16", "--hw", "4"],
                 Request::Submit {
                     spec: "--model vgg16 --hw 4".to_string(),
+                    key: None,
+                },
+            ),
+            (
+                vec![
+                    "client", addr, "submit", "--key", "run-7", "--model", "vgg16",
+                ],
+                Request::Submit {
+                    spec: "--model vgg16".to_string(),
+                    key: Some("run-7".to_string()),
                 },
             ),
             (
@@ -776,6 +847,8 @@ mod tests {
         // Bad submit specs fail locally with the spec's own message.
         let err = Command::parse(&["client", addr, "submit", "--frobnicate"]).unwrap_err();
         assert!(err.to_string().contains("frobnicate"), "{err}");
+        assert!(Command::parse(&["client", addr, "submit", "--key", "k"]).is_err());
+        assert!(Command::parse(&["client", addr, "submit", "--model", "vgg16", "--key"]).is_err());
         assert!(Command::parse(&["client", addr, "status", "x"]).is_err());
         assert!(Command::parse(&["client", addr, "warp"]).is_err());
         assert!(Command::parse(&["client", addr]).is_err());
@@ -866,7 +939,10 @@ mod tests {
             "--listen",
             "--workers",
             "--slice",
+            "--state-dir",
             "--dir",
+            "--max-jobs",
+            "--key",
         ] {
             assert!(USAGE.contains(flag), "missing {flag}");
         }
@@ -914,6 +990,9 @@ mod parse_property_tests {
             "--workers",
             "--slice",
             "--dir",
+            "--state-dir",
+            "--max-jobs",
+            "--key",
             "submit",
             "shutdown",
             "seed=1,transient=0.5",

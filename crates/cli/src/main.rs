@@ -11,8 +11,8 @@ use spotlight::scenarios::{evaluate_baseline, Scale};
 use spotlight_cli::{resolve_baseline, resolve_model, Command, USAGE};
 use spotlight_obs::{read_journal_tolerant, EVENT_KINDS};
 use spotlight_runtime::{
-    bind, resume_job, run_client, run_job, serve_loop, Response, RunOutput, SchedulerOptions,
-    Server,
+    bind, resume_job, run_client_with_retry, run_job, serve_loop, ReconnectPolicy, Response,
+    RunOutput, SchedulerOptions, ServeOptions, Server,
 };
 use spotlight_space::cardinality;
 
@@ -144,6 +144,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             workers,
             slice,
             dir,
+            max_jobs,
         } => {
             // Test hook: kill the worker executing the n-th slice, to
             // exercise requeue-and-respawn end to end.
@@ -156,14 +157,21 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 slice,
                 dir: dir.into(),
                 kill_after,
+                max_jobs,
             })?);
+            let recovered = server.jobs_recovered();
+            if recovered > 0 {
+                eprintln!("recovered {recovered} job(s) from the state dir");
+            }
             let (listener, addr) = bind(&listen)?;
             // Scripts parse this line to discover the bound port.
             println!("listening on {addr}");
-            serve_loop(listener, server)?;
+            serve_loop(listener, server, ServeOptions::default())?;
         }
         Command::Client { addr, request } => {
-            for line in run_client(&addr, &request.to_line())? {
+            let lines =
+                run_client_with_retry(&addr, &request.to_line(), &ReconnectPolicy::default())?;
+            for line in lines {
                 // Unwrap text payloads so `client metrics` pipes
                 // straight into a parser; everything else prints as the
                 // raw frame.
@@ -171,7 +179,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     Ok(Response::Metrics { text }) | Ok(Response::Report { text, .. }) => {
                         print!("{text}");
                     }
-                    Ok(Response::Error { message }) => {
+                    Ok(Response::Error { message, .. }) => {
                         return Err(message.into());
                     }
                     _ => println!("{line}"),

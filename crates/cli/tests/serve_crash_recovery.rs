@@ -1,0 +1,261 @@
+//! Crash-safe daemon recovery through the real binary: a `spotlight
+//! serve` daemon is SIGKILLed mid-slice, restarted on the same state
+//! dir, and must finish every job with reports byte-identical to
+//! uninterrupted runs — at one worker and at four.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Output, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_spotlight-cli");
+
+struct Workdir(PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spotlight-scr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp workdir creates");
+        Workdir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 path").to_string()
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running daemon plus its bound address. The stdout reader is kept
+/// alive so later prints cannot hit a closed pipe.
+struct Daemon {
+    child: Child,
+    addr: String,
+    _stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn start(state_dir: &str, workers: &str) -> Daemon {
+        let mut child = Command::new(BIN)
+            .args([
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--state-dir",
+                state_dir,
+                "--workers",
+                workers,
+                "--slice",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("daemon spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("daemon announces");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+            .to_string();
+        Daemon {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    fn client(&self, args: &[&str]) -> Output {
+        let mut full = vec!["client", self.addr.as_str()];
+        full.extend_from_slice(args);
+        Command::new(BIN)
+            .args(&full)
+            .output()
+            .expect("client spawns")
+    }
+
+    /// Raw status frame for a job, e.g. `{"type":"status",...}`.
+    fn status_line(&self, job: &str) -> String {
+        let out = self.client(&["status", job]);
+        assert!(out.status.success(), "status failed: {out:?}");
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    }
+
+    fn kill9(mut self) {
+        self.child.kill().expect("SIGKILL lands");
+        self.child.wait().expect("killed daemon reaps");
+    }
+
+    fn shutdown(mut self) {
+        let out = self.client(&["shutdown"]);
+        assert!(out.status.success(), "shutdown failed: {out:?}");
+        self.child.wait().expect("daemon exits after shutdown");
+    }
+}
+
+/// Uninterrupted baseline report for a spec, via the same binary.
+fn baseline(dir: &Workdir, tag: &str, spec: &[&str]) -> Vec<u8> {
+    let report = dir.path(&format!("{tag}.txt"));
+    let mut args = vec!["codesign"];
+    args.extend_from_slice(spec);
+    args.extend_from_slice(&["--out", report.as_str()]);
+    let out = Command::new(BIN)
+        .args(&args)
+        .output()
+        .expect("baseline spawns");
+    assert!(out.status.success(), "baseline failed: {out:?}");
+    std::fs::read(&report).expect("baseline report exists")
+}
+
+fn metric(page: &str, name: &str) -> Option<f64> {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+}
+
+/// Kill -9 the daemon between slices, restart on the same state dir,
+/// and demand full recovery: both jobs (one under an active fault plan)
+/// complete with byte-identical reports, and the recovery is visible in
+/// `spotlight_jobs_recovered_total`.
+fn kill9_recovers(tag: &str, workers: &str) {
+    let dir = Workdir::new(tag);
+    let plain: Vec<&str> = "--model transformer --hw 16 --sw 10 --seed 51"
+        .split(' ')
+        .collect();
+    let faulty: Vec<&str> = "--model mobilenetv2 --hw 16 --sw 10 --seed 52 \
+                             --faults seed=2,transient=0.2"
+        .split_whitespace()
+        .collect();
+    let want_plain = baseline(&dir, "plain", &plain);
+    let want_faulty = baseline(&dir, "faulty", &faulty);
+
+    let state = dir.path("state");
+    let daemon = Daemon::start(&state, workers);
+    let mut submit = vec!["submit", "--key", "job-plain"];
+    submit.extend_from_slice(&plain);
+    assert!(daemon.client(&submit).status.success());
+    let mut submit = vec!["submit", "--key", "job-faulty"];
+    submit.extend_from_slice(&faulty);
+    assert!(daemon.client(&submit).status.success());
+
+    // Kill as soon as the first job has a slice checkpointed — the
+    // earliest possible recovery point, long before either job (8
+    // slices each) can finish.
+    let samples_done = |line: &str| -> u64 {
+        line.split("\"samples_done\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    let mut saw_progress = false;
+    for _ in 0..3000 {
+        if samples_done(&daemon.status_line("1")) >= 2 {
+            saw_progress = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_progress, "job 1 never checkpointed a slice");
+    daemon.kill9();
+
+    // Restart on the same state dir: the stale lock is reclaimed, both
+    // jobs recover, and the daemon finishes them unattended.
+    let daemon = Daemon::start(&state, workers);
+    let out = daemon.client(&["metrics"]);
+    assert!(out.status.success(), "metrics failed: {out:?}");
+    let page = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(
+        metric(&page, "spotlight_jobs_recovered_total"),
+        Some(2.0),
+        "both jobs must be recovered:\n{page}"
+    );
+
+    for job in ["1", "2"] {
+        let mut done = false;
+        for _ in 0..1200 {
+            let line = daemon.status_line(job);
+            if line.contains("\"state\":\"completed\"") {
+                done = true;
+                break;
+            }
+            assert!(
+                !line.contains("\"state\":\"failed\"") && !line.contains("\"state\":\"cancelled\""),
+                "job {job} ended badly: {line}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(done, "job {job} never completed after recovery");
+    }
+
+    for (job, want) in [("1", &want_plain), ("2", &want_faulty)] {
+        let out = daemon.client(&["report", job]);
+        assert!(out.status.success(), "report failed: {out:?}");
+        assert_eq!(
+            out.stdout, **want,
+            "job {job} report must be byte-identical to an uninterrupted run"
+        );
+    }
+
+    // Resubmitting with the original idempotency key returns job 1, not
+    // a third job — the key index was rebuilt from disk.
+    let mut submit = vec!["submit", "--key", "job-plain"];
+    submit.extend_from_slice(&plain);
+    let out = daemon.client(&submit);
+    assert!(out.status.success());
+    let frame = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        frame.contains("\"job\":1") && frame.contains("\"deduped\":true"),
+        "expected a dedupe of job 1: {frame}"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn kill9_mid_slice_recovers_byte_identically_one_worker() {
+    kill9_recovers("w1", "1");
+}
+
+#[test]
+fn kill9_mid_slice_recovers_byte_identically_four_workers() {
+    kill9_recovers("w4", "4");
+}
+
+/// A second daemon on a live state dir must refuse to start rather than
+/// corrupt the store.
+#[test]
+fn second_daemon_on_a_live_state_dir_refuses() {
+    let dir = Workdir::new("lock");
+    let state = dir.path("state");
+    let daemon = Daemon::start(&state, "1");
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--state-dir",
+            state.as_str(),
+            "--workers",
+            "1",
+        ])
+        .output()
+        .expect("second daemon spawns");
+    assert!(!out.status.success(), "second daemon must refuse: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("locked") || stderr.contains("LOCK"),
+        "unexpected refusal message: {stderr}"
+    );
+    daemon.shutdown();
+}

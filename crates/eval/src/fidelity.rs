@@ -179,7 +179,8 @@ impl FidelitySpec {
     pub fn fraction_at(&self, rung: u8) -> f64 {
         let rung = rung.min(self.full_rung());
         let steps = f64::from(self.full_rung());
-        self.fraction.powf(f64::from(self.full_rung() - rung) / steps)
+        self.fraction
+            .powf(f64::from(self.full_rung() - rung) / steps)
     }
 
     /// Variance inflation a rung-`r` observation carries into the
@@ -230,7 +231,11 @@ impl fmt::Display for FidelitySpec {
             FidelityMode::Backend => write!(f, "fidelity=backend:{}", self.cheap_backend)?,
             mode => write!(f, "fidelity={}:{}", mode.as_str(), self.fraction)?,
         }
-        write!(f, ",rungs={},eta={},calib={}", self.rungs, self.eta, self.calib)
+        write!(
+            f,
+            ",rungs={},eta={},calib={}",
+            self.rungs, self.eta, self.calib
+        )
     }
 }
 
@@ -312,8 +317,9 @@ impl FromStr for FidelitySpec {
         }
         if !saw_mode {
             return Err(FidelitySpecError {
-                message: "spec names no fidelity mode (fidelity=proxy:0.25|replicate:0.5|backend:<name>)"
-                    .into(),
+                message:
+                    "spec names no fidelity mode (fidelity=proxy:0.25|replicate:0.5|backend:<name>)"
+                        .into(),
             });
         }
         spec.check()?;

@@ -1131,9 +1131,7 @@ impl EvalEngine {
             match result {
                 Err(EvalError::Transient) if attempt < self.retry.max_attempts => {
                     let pause = match self.remaining_deadline() {
-                        Some(remaining) if remaining.is_zero() => {
-                            return Err(EvalError::Transient)
-                        }
+                        Some(remaining) if remaining.is_zero() => return Err(EvalError::Transient),
                         Some(remaining) => self.retry.backoff(attempt).min(remaining),
                         None => self.retry.backoff(attempt),
                     };
@@ -2104,13 +2102,12 @@ mod tests {
         // the retry sleep must be clamped to the remaining budget
         // instead of sleeping the full backoff past the deadline.
         let (hw, sched, layer) = triple();
-        let engine = EvalEngine::new(Box::new(FlakyBackend::new(1))).with_retry_policy(
-            RetryPolicy {
+        let engine =
+            EvalEngine::new(Box::new(FlakyBackend::new(1))).with_retry_policy(RetryPolicy {
                 max_attempts: 3,
                 base: Duration::from_secs(60),
                 cap: Duration::from_secs(60),
-            },
-        );
+            });
         engine.set_deadline(Some(Instant::now() + Duration::from_millis(30)));
         let start = Instant::now();
         assert!(engine.evaluate(&hw, &sched, &layer).is_ok());
@@ -2178,10 +2175,7 @@ mod tests {
         let (hw, _, layer) = triple();
         let sched = Sched::trivial(&layer);
         let spec: FidelitySpec = "fidelity=backend:timeloop".parse().unwrap();
-        let engine = EvalEngine::builder()
-            .fidelity(Some(spec))
-            .build()
-            .unwrap();
+        let engine = EvalEngine::builder().fidelity(Some(spec)).build().unwrap();
         let cheap = engine
             .evaluate_at_robust(&hw, &sched, &layer, Fidelity::Rung(0))
             .unwrap();

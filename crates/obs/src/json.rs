@@ -311,6 +311,24 @@ impl Fields {
             Some(_) => self.str(key).map(Some),
         }
     }
+
+    /// An optional boolean field (absent → `None`). Lets a frame schema
+    /// grow a flag without breaking readers of older frames.
+    pub fn opt_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.bool(key).map(Some),
+        }
+    }
+
+    /// An optional float field (absent → `None`); present `null` decodes
+    /// as `f64::INFINITY` like [`Fields::f64`].
+    pub fn opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(_) => self.f64(key).map(Some),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +352,11 @@ mod tests {
         assert!(fields.f64("inf").unwrap().is_infinite());
         assert!(fields.bool("ok").unwrap());
         assert_eq!(fields.opt_u64("missing").unwrap(), None);
+        assert_eq!(fields.opt_bool("ok").unwrap(), Some(true));
+        assert_eq!(fields.opt_bool("missing").unwrap(), None);
+        assert!(fields.opt_bool("count").is_err(), "wrong type still errors");
+        assert_eq!(fields.opt_f64("cost").unwrap(), Some(1.25e9));
+        assert_eq!(fields.opt_f64("missing").unwrap(), None);
     }
 
     #[test]

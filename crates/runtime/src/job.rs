@@ -76,6 +76,9 @@ pub struct Job {
     pub id: JobId,
     /// The validated run description.
     pub spec: RunSpec,
+    /// Client-supplied idempotency key: re-submitting it returns this
+    /// job instead of forking a duplicate.
+    pub key: Option<String>,
     /// The job's journal; every slice appends to it and every
     /// resumption replays it.
     pub journal: PathBuf,

@@ -21,6 +21,9 @@
 //!   fairly, with panic isolation (a dead worker's job resumes on a
 //!   replacement thread) and memo caches shared between jobs whose
 //!   evaluation semantics match.
+//! * [`store`] — the durable job store: each job's spec, state WAL,
+//!   journal, and report persisted under a state directory, so a
+//!   daemon restart recovers every job ([`scheduler::Server::new`]).
 //! * [`proto`] / [`serve`] — the line-delimited JSON wire protocol and
 //!   the TCP/Unix socket front end, plus `GET /metrics`.
 //! * [`metrics`] — Prometheus text exposition of the evaluation and
@@ -35,15 +38,19 @@ pub mod runner;
 pub mod scheduler;
 pub mod serve;
 pub mod spec;
+pub mod store;
 
 pub use job::{Job, JobId, JobState, JobStatus};
 pub use metrics::{metric_value, render_metrics, validate_metrics, ServerCounters};
-pub use proto::{Request, Response};
+pub use proto::{Request, Response, MAX_FRAME_LEN};
 pub use runner::advance_job;
 pub use runner::{
     build_observer, resume_job, run_job, CrashAfterCheckpoint, RunOutput, RuntimeError,
     SliceProgress,
 };
-pub use scheduler::{SchedulerOptions, Server};
-pub use serve::{bind, run_client, serve_loop, Listener};
+pub use scheduler::{SchedulerOptions, Server, SubmitError};
+pub use serve::{
+    bind, run_client, run_client_with_retry, serve_loop, Listener, ReconnectPolicy, ServeOptions,
+};
 pub use spec::{parse_variant, resolve_model, RunSpec, SpecError};
+pub use store::{JobStore, PersistedJob, StoreError};

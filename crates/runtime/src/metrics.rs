@@ -22,6 +22,10 @@ pub struct ServerCounters {
     pub jobs_failed: u64,
     /// Jobs that reached `cancelled`.
     pub jobs_cancelled: u64,
+    /// Non-terminal jobs recovered from the job store at startup.
+    pub jobs_recovered: u64,
+    /// Submits refused by the admission cap.
+    pub jobs_rejected: u64,
     /// Scheduler slices executed (a killed slice counts).
     pub slices: u64,
     /// Worker threads ever started (replacements included).
@@ -36,13 +40,29 @@ fn counter(out: &mut String, name: &str, help: &str, value: u64) {
     ));
 }
 
-/// Renders the full metrics page.
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Renders the full metrics page. `uptime_secs` is the daemon's age
+/// (counters reset at restart; the uptime gauge is what lets a scrape
+/// distinguish "restarted" from "idle").
 pub fn render_metrics(
     eval: &EvalStats,
     server: &ServerCounters,
+    uptime_secs: f64,
     jobs_by_state: &BTreeMap<&'static str, u64>,
 ) -> String {
     let mut out = String::new();
+
+    gauge(
+        &mut out,
+        "spotlight_uptime_seconds",
+        "Seconds since this daemon process started.",
+        uptime_secs,
+    );
 
     counter(
         &mut out,
@@ -168,6 +188,18 @@ pub fn render_metrics(
     );
     counter(
         &mut out,
+        "spotlight_jobs_recovered_total",
+        "Non-terminal jobs recovered from the job store at startup.",
+        server.jobs_recovered,
+    );
+    counter(
+        &mut out,
+        "spotlight_jobs_rejected_total",
+        "Submits refused by the admission cap.",
+        server.jobs_rejected,
+    );
+    counter(
+        &mut out,
         "spotlight_slices_total",
         "Scheduler slices executed across all workers.",
         server.slices,
@@ -187,14 +219,24 @@ pub fn render_metrics(
     out
 }
 
+/// Metric families every serve exposition page must carry; a page
+/// missing one means a scrape contract regressed.
+const REQUIRED_FAMILIES: [&str; 3] = [
+    "spotlight_uptime_seconds",
+    "spotlight_jobs_recovered_total",
+    "spotlight_jobs_rejected_total",
+];
+
 /// Structurally validates a metrics page: every non-comment line must be
 /// `name[{label="value"}] number`, every sample must be preceded by
-/// `# HELP` and `# TYPE` lines for its family, and names must be legal
-/// Prometheus identifiers.
+/// `# HELP` and `# TYPE` lines for its family, names must be legal
+/// Prometheus identifiers, and the serve contract's required families
+/// ([`REQUIRED_FAMILIES`]) must all be present.
 ///
 /// # Errors
 ///
-/// Returns a message naming the first offending line.
+/// Returns a message naming the first offending line (or the missing
+/// family).
 pub fn validate_metrics(text: &str) -> Result<(), String> {
     fn valid_name(name: &str) -> bool {
         !name.is_empty()
@@ -281,6 +323,11 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
             None => return Err(format!("line {lineno}: sample `{name}` precedes its HELP")),
         }
     }
+    for family in REQUIRED_FAMILIES {
+        if declared.get(family) != Some(&true) {
+            return Err(format!("required family `{family}` is missing"));
+        }
+    }
     Ok(())
 }
 
@@ -325,6 +372,8 @@ mod tests {
             jobs_submitted: 3,
             jobs_completed: 2,
             jobs_cancelled: 1,
+            jobs_recovered: 2,
+            jobs_rejected: 4,
             slices: 9,
             workers_started: 3,
             workers_died: 1,
@@ -333,7 +382,7 @@ mod tests {
         let mut by_state = BTreeMap::new();
         by_state.insert("completed", 2u64);
         by_state.insert("cancelled", 1u64);
-        render_metrics(&eval, &server, &by_state)
+        render_metrics(&eval, &server, 12.5, &by_state)
     }
 
     #[test]
@@ -387,6 +436,29 @@ mod tests {
             metric_value(&text, "spotlight_workers_died_total"),
             Some(1.0)
         );
+        assert_eq!(metric_value(&text, "spotlight_uptime_seconds"), Some(12.5));
+        assert_eq!(
+            metric_value(&text, "spotlight_jobs_recovered_total"),
+            Some(2.0)
+        );
+        assert_eq!(
+            metric_value(&text, "spotlight_jobs_rejected_total"),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn validator_requires_the_serve_contract_families() {
+        let text = page();
+        for family in REQUIRED_FAMILIES {
+            let gutted: String = text
+                .lines()
+                .filter(|l| !l.contains(family))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let err = validate_metrics(&gutted).unwrap_err();
+            assert!(err.contains(family), "dropping {family}: {err}");
+        }
     }
 
     #[test]

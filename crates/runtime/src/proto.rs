@@ -13,6 +13,12 @@ use spotlight_obs::json::{parse_flat_object, Fields, JsonObj};
 
 use crate::job::{JobId, JobState, JobStatus};
 
+/// The longest frame either side will read, in bytes. A line past this
+/// bound is rejected with a typed error instead of growing the read
+/// buffer without limit — the bound is far above any legitimate frame
+/// (the largest are `metrics` and `report` payloads, a few KiB).
+pub const MAX_FRAME_LEN: usize = 256 * 1024;
+
 /// One client→server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -21,6 +27,11 @@ pub enum Request {
     Submit {
         /// The spec flag string.
         spec: String,
+        /// Client-supplied idempotency key: re-submitting the same key
+        /// returns the original job instead of forking a duplicate, so
+        /// a client that reconnects after a dropped ack can retry
+        /// safely.
+        key: Option<String>,
     },
     /// Fetch one job's status row.
     Status {
@@ -59,6 +70,9 @@ pub enum Response {
     Submitted {
         /// The assigned job id.
         job: JobId,
+        /// Whether the id belongs to an earlier submit with the same
+        /// idempotency key (`true`) rather than a fresh job.
+        deduped: bool,
     },
     /// The status row for one `status` request.
     Status(JobStatus),
@@ -107,6 +121,9 @@ pub enum Response {
     Error {
         /// Human-readable reason.
         message: String,
+        /// Whether the condition is transient (over capacity, shutting
+        /// down) and the client should retry with backoff.
+        retryable: bool,
     },
 }
 
@@ -114,9 +131,12 @@ impl Request {
     /// Serializes the request as one JSONL frame (no trailing newline).
     pub fn to_line(&self) -> String {
         match self {
-            Request::Submit { spec } => {
+            Request::Submit { spec, key } => {
                 let mut o = JsonObj::typed("submit");
                 o.push_str("spec", spec);
+                if let Some(key) = key {
+                    o.push_str("key", key);
+                }
                 o.finish()
             }
             Request::Status { job } => {
@@ -157,6 +177,7 @@ impl Request {
         Ok(match kind.as_str() {
             "submit" => Request::Submit {
                 spec: fields.str("spec")?,
+                key: fields.opt_str("key")?.filter(|k| !k.is_empty()),
             },
             "status" => Request::Status {
                 job: fields.u64("job")?,
@@ -214,9 +235,10 @@ impl Response {
     /// Serializes the response as one JSONL frame (no trailing newline).
     pub fn to_line(&self) -> String {
         match self {
-            Response::Submitted { job } => {
+            Response::Submitted { job, deduped } => {
                 let mut o = JsonObj::typed("submitted");
                 o.push_u64("job", *job);
+                o.push_bool("deduped", *deduped);
                 o.finish()
             }
             Response::Status(s) => {
@@ -263,9 +285,10 @@ impl Response {
             }
             Response::Pong => JsonObj::typed("pong").finish(),
             Response::ShuttingDown => JsonObj::typed("shutting-down").finish(),
-            Response::Error { message } => {
+            Response::Error { message, retryable } => {
                 let mut o = JsonObj::typed("error");
                 o.push_str("message", message);
+                o.push_bool("retryable", *retryable);
                 o.finish()
             }
         }
@@ -282,6 +305,8 @@ impl Response {
         Ok(match kind.as_str() {
             "submitted" => Response::Submitted {
                 job: fields.u64("job")?,
+                // Absent in frames from pre-idempotency servers.
+                deduped: fields.opt_bool("deduped")?.unwrap_or(false),
             },
             "status" => Response::Status(parse_status(&fields)?),
             "cancelled" => Response::Cancelled {
@@ -309,6 +334,8 @@ impl Response {
             "shutting-down" => Response::ShuttingDown,
             "error" => Response::Error {
                 message: fields.str("message")?,
+                // Absent in frames from older servers: assume permanent.
+                retryable: fields.opt_bool("retryable")?.unwrap_or(false),
             },
             other => return Err(format!("unknown response type `{other}`")),
         })
@@ -324,6 +351,11 @@ mod tests {
         let requests = [
             Request::Submit {
                 spec: "--model transformer --hw 4 --noise seed=1,sigma=0.1".into(),
+                key: None,
+            },
+            Request::Submit {
+                spec: "--model vgg16 --hw 3".into(),
+                key: Some("client-abc/run-7".into()),
             },
             Request::Status { job: 7 },
             Request::Cancel { job: u64::MAX },
@@ -361,7 +393,14 @@ mod tests {
             error: Some("spec names no models".into()),
         };
         let responses = [
-            Response::Submitted { job: 1 },
+            Response::Submitted {
+                job: 1,
+                deduped: false,
+            },
+            Response::Submitted {
+                job: 1,
+                deduped: true,
+            },
             Response::Status(status.clone()),
             Response::Status(failed),
             Response::Cancelled { job: 2, ok: false },
@@ -380,6 +419,11 @@ mod tests {
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown flag `--frobnicate`".into(),
+                retryable: false,
+            },
+            Response::Error {
+                message: "server at capacity".into(),
+                retryable: true,
             },
         ];
         for resp in responses {
@@ -405,6 +449,32 @@ mod tests {
         }
         assert!(Response::parse_line("{\"type\":\"pang\"}").is_err());
         assert!(Response::parse_line("{\"type\":\"cancelled\",\"job\":1,\"ok\":3}").is_err());
+    }
+
+    #[test]
+    fn frames_from_older_peers_still_parse() {
+        // Pre-durability frames carry no key/deduped/retryable fields.
+        assert_eq!(
+            Request::parse_line("{\"type\":\"submit\",\"spec\":\"--model x\"}").unwrap(),
+            Request::Submit {
+                spec: "--model x".into(),
+                key: None,
+            }
+        );
+        assert_eq!(
+            Response::parse_line("{\"type\":\"submitted\",\"job\":3}").unwrap(),
+            Response::Submitted {
+                job: 3,
+                deduped: false,
+            }
+        );
+        assert_eq!(
+            Response::parse_line("{\"type\":\"error\",\"message\":\"m\"}").unwrap(),
+            Response::Error {
+                message: "m".into(),
+                retryable: false,
+            }
+        );
     }
 
     #[test]

@@ -439,9 +439,10 @@ mod tests {
     #[test]
     fn slice_under_a_different_fidelity_ladder_is_refused() {
         let base = "--model transformer --hw 4 --sw 5 --seed 7 --replicates 3";
-        let spec =
-            RunSpec::parse_str(&format!("{base} --fidelity fidelity=replicate:0.25,rungs=2"))
-                .unwrap();
+        let spec = RunSpec::parse_str(&format!(
+            "{base} --fidelity fidelity=replicate:0.25,rungs=2"
+        ))
+        .unwrap();
         let dir = tmp("fidelity-mismatch");
         let journal = dir.join("job.jsonl");
         match advance_job(&spec, &journal, 2, None, None).unwrap() {

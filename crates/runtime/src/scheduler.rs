@@ -1,5 +1,5 @@
 //! The serve scheduler: a worker pool round-robining checkpoint-sized
-//! slices across every queued job.
+//! slices across every queued job, backed by a durable job store.
 //!
 //! Fairness comes from the slice unit: a worker advances one job by at
 //! most `slice` hardware samples, parks it at the checkpoint its
@@ -10,6 +10,13 @@
 //! scar-truncate / replay path `spotlight resume` uses. A worker panic
 //! therefore costs at most one slice of work: the job requeues and a
 //! replacement worker thread picks it up.
+//!
+//! Durability extends the same argument to the whole process: every
+//! lifecycle transition is appended to the job's WAL in the
+//! [`JobStore`] before the scheduler moves on, so a `kill -9` of the
+//! daemon loses at most the slice in flight. [`Server::new`] performs
+//! recovery — terminal jobs reload with their persisted reports,
+//! everything else re-enqueues and resumes from its journal.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -17,6 +24,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use spotlight_eval::{GlobalEvalStats, SharedCache};
 
@@ -24,20 +32,26 @@ use crate::job::{Job, JobId, JobState, JobStatus};
 use crate::metrics::{render_metrics, ServerCounters};
 use crate::runner::{advance_job, RuntimeError, SliceProgress};
 use crate::spec::RunSpec;
+use crate::store::{JobStore, StoreError};
 
-/// Scheduler shape: pool size, slice length, and journal directory.
+/// Scheduler shape: pool size, slice length, and the state directory.
 #[derive(Debug, Clone)]
 pub struct SchedulerOptions {
     /// Worker threads executing slices.
     pub workers: usize,
     /// Hardware samples one slice may run before the job is preempted.
     pub slice: usize,
-    /// Directory holding one journal per job (`job-<id>.jsonl`).
+    /// State directory holding the job store (specs, WALs, journals,
+    /// reports). Restarting a daemon on the same directory recovers
+    /// every job in it.
     pub dir: PathBuf,
     /// Fault-injection hook for the resilience tests: the worker
     /// executing the n-th slice (1-based, pool-wide) panics instead,
     /// exercising the requeue-and-respawn path.
     pub kill_after: Option<u64>,
+    /// Admission cap: submits are rejected with a retryable error while
+    /// this many jobs are non-terminal. `None` is unbounded.
+    pub max_jobs: Option<usize>,
 }
 
 impl Default for SchedulerOptions {
@@ -47,16 +61,52 @@ impl Default for SchedulerOptions {
             slice: 2,
             dir: std::env::temp_dir().join("spotlight-serve"),
             kill_after: None,
+            max_jobs: None,
         }
     }
 }
 
-/// Mutable scheduler state, guarded by one mutex.
+/// Why a submit was refused. The split is the retry contract: `Busy` is
+/// a transient server condition worth retrying with backoff, `Invalid`
+/// means the spec itself can never be accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Over capacity or shutting down; retry later.
+    Busy(String),
+    /// The spec failed validation; retrying cannot help.
+    Invalid(String),
+}
+
+impl SubmitError {
+    /// Whether a client should retry this submit.
+    pub fn retryable(&self) -> bool {
+        matches!(self, SubmitError::Busy(_))
+    }
+
+    /// The user-facing message.
+    pub fn message(&self) -> &str {
+        match self {
+            SubmitError::Busy(m) | SubmitError::Invalid(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Mutable scheduler state, guarded by one mutex. The store lives here
+/// too: WAL appends happen under the same lock as the in-memory
+/// transition they record, so the disk order matches the state order.
 struct State {
     jobs: BTreeMap<JobId, Job>,
     queue: VecDeque<JobId>,
-    next_id: JobId,
     shutdown: bool,
+    store: JobStore,
     /// Shared memo caches keyed by evaluation signature: jobs whose
     /// engines answer queries identically pool their results.
     caches: HashMap<String, SharedCache>,
@@ -70,10 +120,13 @@ struct Shared {
     wake: Condvar,
     global: Arc<GlobalEvalStats>,
     opts: SchedulerOptions,
+    started: Instant,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_recovered: AtomicU64,
+    jobs_rejected: AtomicU64,
     slices_run: AtomicU64,
     workers_started: AtomicU64,
     workers_died: AtomicU64,
@@ -84,6 +137,16 @@ struct Shared {
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A store write failed after the in-memory transition was decided.
+/// The scheduler keeps going — losing durability for one transition
+/// degrades recovery to redoing a slice, it does not corrupt anything —
+/// but the operator should know their disk is unhappy.
+fn note_store(result: Result<(), StoreError>) {
+    if let Err(e) = result {
+        eprintln!("spotlight-serve: job store write failed: {e}");
     }
 }
 
@@ -106,30 +169,86 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Starts the worker pool and creates the journal directory.
+    /// Opens (or creates) the job store under `opts.dir`, recovers every
+    /// persisted job, and starts the worker pool. Terminal jobs reload
+    /// with their reports; queued and in-flight jobs re-enqueue and
+    /// resume from their journals at the first free worker.
     ///
     /// # Errors
     ///
-    /// Propagates journal-directory creation failures.
-    pub fn new(opts: SchedulerOptions) -> std::io::Result<Server> {
-        std::fs::create_dir_all(&opts.dir)?;
+    /// [`StoreError::Locked`] when another live daemon holds the state
+    /// directory; [`StoreError::Corrupt`] when a persisted record fails
+    /// to parse (recovery refuses to guess); propagates I/O failures.
+    pub fn new(opts: SchedulerOptions) -> Result<Server, StoreError> {
+        let store = JobStore::open(&opts.dir)?;
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut recovered = 0u64;
+        for loaded in store.load_all()? {
+            let p = loaded?;
+            let mut job = Job {
+                id: p.id,
+                spec: p.spec,
+                key: p.key,
+                journal: p.journal,
+                state: p.state,
+                slices: p.slices,
+                samples_done: p.samples_done,
+                cancel_requested: p.cancel_requested,
+                report: p.report,
+                best_cost: p.best_cost,
+                error: p.error,
+            };
+            if !job.state.is_terminal() {
+                recovered += 1;
+                if job.cancel_requested {
+                    // The daemon died between the cancel request and its
+                    // slice boundary; the boundary is now.
+                    job.state = JobState::Cancelled;
+                    note_store(store.record_state(
+                        job.id,
+                        JobState::Cancelled,
+                        job.slices,
+                        job.samples_done,
+                    ));
+                } else {
+                    if job.state == JobState::Running {
+                        // Its worker died with the process; the journal
+                        // ends at the last flushed checkpoint.
+                        note_store(store.record_state(
+                            job.id,
+                            JobState::Queued,
+                            job.slices,
+                            job.samples_done,
+                        ));
+                    }
+                    job.state = JobState::Queued;
+                    queue.push_back(job.id);
+                }
+            }
+            jobs.insert(job.id, job);
+        }
+
         let workers = opts.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                jobs: BTreeMap::new(),
-                queue: VecDeque::new(),
-                next_id: 1,
+                jobs,
+                queue,
                 shutdown: false,
+                store,
                 caches: HashMap::new(),
                 handles: Vec::new(),
             }),
             wake: Condvar::new(),
             global: Arc::new(GlobalEvalStats::default()),
             opts,
+            started: Instant::now(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            jobs_recovered: AtomicU64::new(recovered),
+            jobs_rejected: AtomicU64::new(0),
             slices_run: AtomicU64::new(0),
             workers_started: AtomicU64::new(0),
             workers_died: AtomicU64::new(0),
@@ -147,27 +266,49 @@ impl Server {
         self.shared.global.clone()
     }
 
-    /// Validates and enqueues a spec; returns the job id.
+    /// Validates, persists, and enqueues a spec. A duplicate
+    /// idempotency key returns the existing job instead of forking a
+    /// new one; the returned flag says which happened (`true` =
+    /// deduplicated against an earlier submit).
     ///
     /// # Errors
     ///
-    /// Rejects specs whose models cannot be resolved or whose search
-    /// shape fails config validation, before anything is queued.
-    pub fn submit(&self, spec: RunSpec) -> Result<JobId, RuntimeError> {
-        spec.resolve_models()?;
-        spec.to_codesign_config()?;
+    /// [`SubmitError::Invalid`] for specs that fail validation;
+    /// [`SubmitError::Busy`] (retryable) when shutting down, over the
+    /// admission cap, or the store write fails.
+    pub fn submit(&self, spec: RunSpec, key: Option<&str>) -> Result<(JobId, bool), SubmitError> {
+        spec.resolve_models()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        spec.to_codesign_config()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
         let mut st = self.shared.lock();
         if st.shutdown {
-            return Err(RuntimeError("server is shutting down".into()));
+            return Err(SubmitError::Busy("server is shutting down".into()));
         }
-        let id = st.next_id;
-        st.next_id += 1;
-        let journal = self.shared.opts.dir.join(format!("job-{id}.jsonl"));
+        if let Some(k) = key {
+            if let Some(existing) = st.store.lookup_key(k) {
+                return Ok((existing, true));
+            }
+        }
+        if let Some(cap) = self.shared.opts.max_jobs {
+            let active = st.jobs.values().filter(|j| !j.state.is_terminal()).count();
+            if active >= cap {
+                self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Busy(format!(
+                    "server at capacity ({active}/{cap} active jobs); retry later"
+                )));
+            }
+        }
+        let (id, journal) = st
+            .store
+            .create(&spec, key)
+            .map_err(|e| SubmitError::Busy(format!("job store write failed: {e}")))?;
         st.jobs.insert(
             id,
             Job {
                 id,
                 spec,
+                key: key.map(String::from),
                 journal,
                 state: JobState::Queued,
                 slices: 0,
@@ -182,7 +323,7 @@ impl Server {
         self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.shared.wake.notify_one();
-        Ok(id)
+        Ok((id, false))
     }
 
     /// The status row for one job.
@@ -197,8 +338,9 @@ impl Server {
 
     /// Requests cancellation. A queued job cancels immediately; a
     /// running one is cancelled at its next slice boundary (its journal
-    /// keeps the checkpoints it already earned). Returns `false` when
-    /// the job was already terminal.
+    /// keeps the checkpoints it already earned). The request itself is
+    /// WAL-logged first, so it survives a crash that lands before the
+    /// boundary. Returns `false` when the job was already terminal.
     ///
     /// # Errors
     ///
@@ -213,9 +355,18 @@ impl Server {
             return Ok(false);
         }
         job.cancel_requested = true;
-        if job.state == JobState::Queued {
+        let was_queued = job.state == JobState::Queued;
+        if was_queued {
             job.state = JobState::Cancelled;
+        }
+        let (slices, samples) = (job.slices, job.samples_done);
+        note_store(st.store.record_cancel_requested(id));
+        if was_queued {
             st.queue.retain(|q| *q != id);
+            note_store(
+                st.store
+                    .record_state(id, JobState::Cancelled, slices, samples),
+            );
             self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
         }
         Ok(true)
@@ -264,11 +415,14 @@ impl Server {
             jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.shared.jobs_failed.load(Ordering::Relaxed),
             jobs_cancelled: self.shared.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_recovered: self.shared.jobs_recovered.load(Ordering::Relaxed),
+            jobs_rejected: self.shared.jobs_rejected.load(Ordering::Relaxed),
             slices: self.shared.slices_run.load(Ordering::Relaxed),
             workers_started: self.shared.workers_started.load(Ordering::Relaxed),
             workers_died: self.shared.workers_died.load(Ordering::Relaxed),
         };
-        render_metrics(&self.shared.global.snapshot(), &counters, &by_state)
+        let uptime = self.shared.started.elapsed().as_secs_f64();
+        render_metrics(&self.shared.global.snapshot(), &counters, uptime, &by_state)
     }
 
     /// Worker threads that have died to a panic so far.
@@ -276,8 +430,22 @@ impl Server {
         self.shared.workers_died.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting work, wakes every worker, and joins the pool.
-    /// Queued jobs stay queued (their journals resume on restart).
+    /// Jobs recovered from the store at startup (non-terminal records
+    /// that were re-enqueued or resolved).
+    pub fn jobs_recovered(&self) -> u64 {
+        self.shared.jobs_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Submits refused by the admission cap so far.
+    pub fn jobs_rejected(&self) -> u64 {
+        self.shared.jobs_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting work, wakes every worker, and joins the pool —
+    /// the graceful drain. Running slices finish and park at their next
+    /// checkpoint; the parked (queued) WAL state marks them for
+    /// recovery, so a restart on the same state directory resumes them
+    /// with nothing lost.
     pub fn shutdown(&self) {
         let handles = {
             let mut st = self.shared.lock();
@@ -329,6 +497,11 @@ fn worker_loop(shared: Arc<Shared>) {
             };
             if job.cancel_requested {
                 job.state = JobState::Cancelled;
+                let (slices, samples) = (job.slices, job.samples_done);
+                note_store(
+                    st.store
+                        .record_state(job_id, JobState::Cancelled, slices, samples),
+                );
                 shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
@@ -338,6 +511,11 @@ fn worker_loop(shared: Arc<Shared>) {
             let cap = job.spec.cache_cap;
             let spec = job.spec.clone();
             let journal = job.journal.clone();
+            let (slices, samples) = (job.slices, job.samples_done);
+            note_store(
+                st.store
+                    .record_state(job_id, JobState::Running, slices, samples),
+            );
             let cache = st
                 .caches
                 .entry(sig)
@@ -369,13 +547,24 @@ fn worker_loop(shared: Arc<Shared>) {
         match result {
             Ok(Ok(SliceProgress::Paused { completed, .. })) => {
                 job.samples_done = completed as u64;
+                let (slices, samples) = (job.slices, job.samples_done);
                 if job.cancel_requested {
                     job.state = JobState::Cancelled;
+                    note_store(
+                        st.store
+                            .record_state(job_id, JobState::Cancelled, slices, samples),
+                    );
                     shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                 } else {
                     // Back of the line: every other waiting job runs a
-                    // slice before this one runs again.
+                    // slice before this one runs again. The queued WAL
+                    // line doubles as the drain marker — a daemon that
+                    // stops here recovers the job on restart.
                     job.state = JobState::Queued;
+                    note_store(
+                        st.store
+                            .record_state(job_id, JobState::Queued, slices, samples),
+                    );
                     st.queue.push_back(job_id);
                     drop(st);
                     shared.wake.notify_one();
@@ -386,11 +575,19 @@ fn worker_loop(shared: Arc<Shared>) {
                 job.best_cost = Some(out.outcome.best_cost);
                 job.report = Some(out.report());
                 job.state = JobState::Completed;
+                let (slices, samples) = (job.slices, job.samples_done);
+                let (report, best) = (out.report(), out.outcome.best_cost);
+                note_store(
+                    st.store
+                        .record_completed(job_id, &report, best, slices, samples),
+                );
                 shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(e)) => {
                 job.state = JobState::Failed;
                 job.error = Some(e.to_string());
+                let (slices, msg) = (job.slices, e.to_string());
+                note_store(st.store.record_failed(job_id, &msg, slices));
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
@@ -400,6 +597,11 @@ fn worker_loop(shared: Arc<Shared>) {
                 // and let this one exit so the job provably resumes on
                 // a different worker.
                 job.state = JobState::Queued;
+                let (slices, samples) = (job.slices, job.samples_done);
+                note_store(
+                    st.store
+                        .record_state(job_id, JobState::Queued, slices, samples),
+                );
                 st.queue.push_back(job_id);
                 shared.workers_died.fetch_add(1, Ordering::Relaxed);
                 if !st.shutdown {
@@ -427,6 +629,7 @@ mod tests {
             slice: 2,
             dir,
             kill_after,
+            max_jobs: None,
         }
     }
 
@@ -453,8 +656,8 @@ mod tests {
         let opts = options("concurrent", 2, None);
         let dir = opts.dir.clone();
         let server = Server::new(opts).unwrap();
-        let a = server.submit(spec_a).unwrap();
-        let b = server.submit(spec_b).unwrap();
+        let (a, _) = server.submit(spec_a, None).unwrap();
+        let (b, _) = server.submit(spec_b, None).unwrap();
         wait_idle(&server);
 
         assert_eq!(server.report(a).as_deref(), Some(standalone_a.as_str()));
@@ -477,7 +680,7 @@ mod tests {
         let opts = options("killed", 1, Some(2));
         let dir = opts.dir.clone();
         let server = Server::new(opts).unwrap();
-        let id = server.submit(spec).unwrap();
+        let (id, _) = server.submit(spec, None).unwrap();
         wait_idle(&server);
 
         assert_eq!(server.workers_died(), 1, "the kill hook must have fired");
@@ -494,15 +697,18 @@ mod tests {
         let dir = opts.dir.clone();
         let server = Server::new(opts).unwrap();
         let bad = RunSpec::parse_str("--hw 3").unwrap();
-        assert!(server.submit(bad).is_err(), "no models must be rejected");
+        match server.submit(bad, None) {
+            Err(e) => assert!(!e.retryable(), "an invalid spec is not retryable"),
+            Ok(_) => panic!("no models must be rejected"),
+        }
         assert!(server.cancel(42).is_err(), "unknown id must error");
 
         // Saturate the single worker, then cancel a queued job before
         // it ever runs.
         let long = RunSpec::parse_str("--model transformer --hw 6 --sw 6 --seed 1").unwrap();
         let queued = RunSpec::parse_str("--model transformer --hw 6 --sw 6 --seed 2").unwrap();
-        let first = server.submit(long).unwrap();
-        let second = server.submit(queued).unwrap();
+        let (first, _) = server.submit(long, None).unwrap();
+        let (second, _) = server.submit(queued, None).unwrap();
         assert!(server.cancel(second).unwrap());
         wait_idle(&server);
         assert_eq!(server.status(first).unwrap().state, JobState::Completed);
@@ -512,6 +718,78 @@ mod tests {
             !server.cancel(second).unwrap(),
             "terminal cancel is a no-op"
         );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_idempotency_key_returns_the_original_job() {
+        let opts = options("idem", 1, None);
+        let dir = opts.dir.clone();
+        let server = Server::new(opts).unwrap();
+        let spec = RunSpec::parse_str("--model transformer --hw 3 --sw 4 --seed 5").unwrap();
+        let (first, deduped) = server.submit(spec.clone(), Some("run-42")).unwrap();
+        assert!(!deduped);
+        let (again, deduped) = server.submit(spec.clone(), Some("run-42")).unwrap();
+        assert_eq!(again, first, "same key must return the same job");
+        assert!(deduped);
+        let (other, deduped) = server.submit(spec, Some("run-43")).unwrap();
+        assert_ne!(other, first, "a different key is a different job");
+        assert!(!deduped);
+        wait_idle(&server);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_cap_rejects_with_a_retryable_error() {
+        let mut opts = options("cap", 1, None);
+        opts.max_jobs = Some(2);
+        let dir = opts.dir.clone();
+        let server = Server::new(opts).unwrap();
+        let spec = |seed: u64| {
+            RunSpec::parse_str(&format!("--model transformer --hw 6 --sw 6 --seed {seed}")).unwrap()
+        };
+        server.submit(spec(1), None).unwrap();
+        server.submit(spec(2), None).unwrap();
+        match server.submit(spec(3), None) {
+            Err(e) => assert!(e.retryable(), "over-capacity must be retryable"),
+            Ok(_) => panic!("third active job must be rejected at cap 2"),
+        }
+        assert_eq!(server.jobs_rejected(), 1);
+        wait_idle(&server);
+        // Terminal jobs free capacity.
+        server.submit(spec(4), None).unwrap();
+        wait_idle(&server);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_recovers_parked_jobs_byte_identically() {
+        // Big enough that shutdown reliably lands while slices remain.
+        let spec = RunSpec::parse_str("--model transformer --hw 12 --sw 12 --seed 11").unwrap();
+        let standalone = run_job(&spec, None, false).unwrap().report();
+
+        let opts = options("restart", 1, None);
+        let dir = opts.dir.clone();
+        let server = Server::new(opts.clone()).unwrap();
+        let (id, _) = server.submit(spec, None).unwrap();
+        // Let at least one slice land, then drain gracefully mid-job.
+        for _ in 0..2000 {
+            if server.status(id).map(|s| s.samples_done >= 2) == Some(true) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        server.shutdown();
+        drop(server);
+
+        let server = Server::new(opts).unwrap();
+        assert_eq!(server.jobs_recovered(), 1, "the parked job must recover");
+        wait_idle(&server);
+        assert_eq!(server.status(id).unwrap().state, JobState::Completed);
+        assert_eq!(server.report(id).as_deref(), Some(standalone.as_str()));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -2,15 +2,25 @@
 //! speaks the JSONL protocol ([`crate::proto`]) over them, with one
 //! HTTP affordance — `GET /metrics` answered in Prometheus text form so
 //! a stock `curl` or scraper needs no protocol client.
+//!
+//! The edge is hardened against misbehaving peers: reads are bounded by
+//! [`crate::proto::MAX_FRAME_LEN`] (an oversized frame gets a typed
+//! error, not an unbounded buffer), connections idle past the timeout
+//! are dropped, writes carry a timeout so a stalled reader cannot wedge
+//! a handler thread, and accepts beyond the connection cap are refused
+//! with a retryable error frame. The client side pairs with
+//! [`run_client_with_retry`]: capped exponential backoff with
+//! deterministic jitter over transient connect failures and retryable
+//! error frames.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, MAX_FRAME_LEN};
 use crate::scheduler::Server;
 use crate::spec::RunSpec;
 
@@ -43,20 +53,49 @@ pub fn bind(listen: &str) -> std::io::Result<(Listener, String)> {
     }
 }
 
+/// Edge-hardening knobs for [`serve_loop`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Drop a connection that sends no complete frame for this long.
+    pub idle_timeout: Duration,
+    /// Longest frame accepted from a client, in bytes.
+    pub max_frame_len: usize,
+    /// Concurrent connections accepted; excess connects are answered
+    /// with a retryable error frame and closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            idle_timeout: Duration::from_secs(30),
+            max_frame_len: MAX_FRAME_LEN,
+            max_connections: 64,
+        }
+    }
+}
+
 /// One accepted connection, unified over both transports.
 trait Conn: Read + Write + Send {
     fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
 }
 
 impl Conn for TcpStream {
     fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         TcpStream::set_read_timeout(self, timeout)
     }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
 }
 
 impl Conn for UnixStream {
     fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         UnixStream::set_read_timeout(self, timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_write_timeout(self, timeout)
     }
 }
 
@@ -67,8 +106,13 @@ impl Conn for UnixStream {
 /// # Errors
 ///
 /// Propagates accept-loop I/O failures (timeouts excluded).
-pub fn serve_loop(listener: Listener, server: Arc<Server>) -> std::io::Result<()> {
+pub fn serve_loop(
+    listener: Listener,
+    server: Arc<Server>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
     match &listener {
         Listener::Tcp(l) => l.set_nonblocking(true)?,
@@ -97,11 +141,30 @@ pub fn serve_loop(listener: Listener, server: Arc<Server>) -> std::io::Result<()
             },
         };
         match conn {
-            Some(conn) => {
+            Some(mut conn) => {
+                let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+                if active.load(Ordering::SeqCst) >= opts.max_connections.max(1) {
+                    // Over the cap: answer one retryable error frame and
+                    // close, so the client backs off instead of hanging.
+                    let resp = Response::Error {
+                        message: format!(
+                            "server at connection capacity ({}); retry later",
+                            opts.max_connections
+                        ),
+                        retryable: true,
+                    };
+                    let _ = conn.write_all(resp.to_line().as_bytes());
+                    let _ = conn.write_all(b"\n");
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
                 let server = server.clone();
                 let stop = stop.clone();
+                let active = active.clone();
+                let conn_opts = opts.clone();
                 let handle = std::thread::spawn(move || {
-                    let _ = handle_connection(conn, &server, &stop);
+                    let _ = handle_connection(conn, &server, &stop, &conn_opts);
+                    active.fetch_sub(1, Ordering::SeqCst);
                 });
                 handles
                     .lock()
@@ -119,27 +182,51 @@ pub fn serve_loop(listener: Listener, server: Arc<Server>) -> std::io::Result<()
     Ok(())
 }
 
-/// Reads one `\n`-terminated line, waking every timeout to honour the
-/// stop flag. Returns `None` on EOF or stop.
+/// What one bounded read produced.
+enum ReadOutcome {
+    /// A complete frame (newline stripped).
+    Line(String),
+    /// Peer closed, the stop flag was raised, or the idle timeout hit.
+    Closed,
+    /// The peer exceeded the frame bound without sending a newline.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line, waking every poll interval to honour
+/// the stop flag, bounding both the frame length and the idle time.
 fn read_line(
     conn: &mut dyn Conn,
     buf: &mut Vec<u8>,
     stop: &AtomicBool,
-) -> std::io::Result<Option<String>> {
+    opts: &ServeOptions,
+) -> std::io::Result<ReadOutcome> {
+    let poll = Duration::from_millis(200);
+    let mut idle = Duration::ZERO;
     loop {
         if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            if pos > opts.max_frame_len {
+                return Ok(ReadOutcome::Oversized);
+            }
             let line: Vec<u8> = buf.drain(..=pos).collect();
             let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            return Ok(Some(text));
+            return Ok(ReadOutcome::Line(text));
         }
-        if stop.load(Ordering::SeqCst) {
-            return Ok(None);
+        if buf.len() > opts.max_frame_len {
+            return Ok(ReadOutcome::Oversized);
+        }
+        if stop.load(Ordering::SeqCst) || idle >= opts.idle_timeout {
+            return Ok(ReadOutcome::Closed);
         }
         let mut chunk = [0u8; 4096];
         match conn.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                idle = Duration::ZERO;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                idle += poll;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -149,23 +236,45 @@ fn handle_connection(
     mut conn: Box<dyn Conn>,
     server: &Server,
     stop: &AtomicBool,
+    opts: &ServeOptions,
 ) -> std::io::Result<()> {
     conn.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut buf = Vec::new();
-    let Some(first) = read_line(conn.as_mut(), &mut buf, stop)? else {
-        return Ok(());
+    let first = match read_line(conn.as_mut(), &mut buf, stop, opts)? {
+        ReadOutcome::Line(line) => line,
+        ReadOutcome::Closed => return Ok(()),
+        ReadOutcome::Oversized => return reject_oversized(conn.as_mut(), opts),
     };
     if first.starts_with("GET ") || first.starts_with("HEAD ") {
-        return handle_http(conn.as_mut(), server, stop, &first, &mut buf);
+        return handle_http(conn.as_mut(), server, stop, &first, &mut buf, opts);
     }
     let mut line = Some(first);
     while let Some(text) = line {
         if !text.trim().is_empty() && !process_request(conn.as_mut(), server, stop, &text)? {
             return Ok(());
         }
-        line = read_line(conn.as_mut(), &mut buf, stop)?;
+        line = match read_line(conn.as_mut(), &mut buf, stop, opts)? {
+            ReadOutcome::Line(l) => Some(l),
+            ReadOutcome::Closed => None,
+            ReadOutcome::Oversized => return reject_oversized(conn.as_mut(), opts),
+        };
     }
     Ok(())
+}
+
+/// Answers one typed error frame for an oversized frame and closes the
+/// connection (the frame boundary is lost, so resyncing is hopeless).
+fn reject_oversized(conn: &mut dyn Conn, opts: &ServeOptions) -> std::io::Result<()> {
+    let resp = Response::Error {
+        message: format!(
+            "frame exceeds the {} byte limit; connection closed",
+            opts.max_frame_len
+        ),
+        retryable: false,
+    };
+    conn.write_all(resp.to_line().as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
 }
 
 /// Executes one JSONL request; returns `false` when the connection
@@ -180,40 +289,43 @@ fn process_request(
         conn.write_all(resp.to_line().as_bytes())?;
         conn.write_all(b"\n")
     }
+    fn fail(conn: &mut dyn Conn, message: String) -> std::io::Result<()> {
+        send(
+            conn,
+            Response::Error {
+                message,
+                retryable: false,
+            },
+        )
+    }
     let request = match Request::parse_line(text) {
         Ok(r) => r,
         Err(message) => {
-            send(conn, Response::Error { message })?;
+            fail(conn, message)?;
             return Ok(true);
         }
     };
     match request {
-        Request::Submit { spec } => {
-            let parsed = RunSpec::parse_str(&spec)
-                .map_err(|e| e.to_string())
-                .and_then(|spec| server.submit(spec).map_err(|e| e.to_string()));
-            match parsed {
-                Ok(job) => send(conn, Response::Submitted { job })?,
-                Err(message) => send(conn, Response::Error { message })?,
-            }
-        }
+        Request::Submit { spec, key } => match RunSpec::parse_str(&spec) {
+            Err(e) => fail(conn, e.to_string())?,
+            Ok(parsed) => match server.submit(parsed, key.as_deref()) {
+                Ok((job, deduped)) => send(conn, Response::Submitted { job, deduped })?,
+                Err(e) => send(
+                    conn,
+                    Response::Error {
+                        message: e.message().to_string(),
+                        retryable: e.retryable(),
+                    },
+                )?,
+            },
+        },
         Request::Status { job } => match server.status(job) {
             Some(status) => send(conn, Response::Status(status))?,
-            None => send(
-                conn,
-                Response::Error {
-                    message: format!("no such job {job}"),
-                },
-            )?,
+            None => fail(conn, format!("no such job {job}"))?,
         },
         Request::Cancel { job } => match server.cancel(job) {
             Ok(ok) => send(conn, Response::Cancelled { job, ok })?,
-            Err(e) => send(
-                conn,
-                Response::Error {
-                    message: e.to_string(),
-                },
-            )?,
+            Err(e) => fail(conn, e.to_string())?,
         },
         Request::List => {
             let rows = server.list();
@@ -243,12 +355,7 @@ fn process_request(
                 }
                 send(conn, Response::StreamEnd { lines })?;
             }
-            None => send(
-                conn,
-                Response::Error {
-                    message: format!("no such job {job}"),
-                },
-            )?,
+            None => fail(conn, format!("no such job {job}"))?,
         },
         Request::Metrics => send(
             conn,
@@ -258,18 +365,11 @@ fn process_request(
         )?,
         Request::Report { job } => match (server.status(job), server.report(job)) {
             (_, Some(text)) => send(conn, Response::Report { job, text })?,
-            (Some(status), None) => send(
+            (Some(status), None) => fail(
                 conn,
-                Response::Error {
-                    message: format!("job {job} is {}, not completed", status.state),
-                },
+                format!("job {job} is {}, not completed", status.state),
             )?,
-            (None, None) => send(
-                conn,
-                Response::Error {
-                    message: format!("no such job {job}"),
-                },
-            )?,
+            (None, None) => fail(conn, format!("no such job {job}"))?,
         },
         Request::Ping => send(conn, Response::Pong)?,
         Request::Shutdown => {
@@ -292,9 +392,10 @@ fn handle_http(
     stop: &AtomicBool,
     request_line: &str,
     buf: &mut Vec<u8>,
+    opts: &ServeOptions,
 ) -> std::io::Result<()> {
     // Drain the header block so well-behaved clients see a clean close.
-    while let Some(line) = read_line(conn, buf, stop)? {
+    while let ReadOutcome::Line(line) = read_line(conn, buf, stop, opts)? {
         if line.trim_end_matches('\r').is_empty() {
             break;
         }
@@ -357,4 +458,126 @@ pub fn run_client(addr: &str, request_line: &str) -> std::io::Result<Vec<String>
         }
     }
     Ok(out)
+}
+
+/// Retry shape for [`run_client_with_retry`]: capped exponential
+/// backoff. Delay for attempt *n* (0-based) is
+/// `min(base_delay · 2ⁿ, max_delay)` scaled by a deterministic jitter
+/// factor in `[0.5, 1.0)` derived from the process id and the attempt,
+/// so a fleet of clients retrying the same outage fans out instead of
+/// stampeding in lockstep.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Retries after the first try (so `attempts + 1` tries total).
+    pub attempts: u32,
+    /// First retry delay.
+    pub base_delay: Duration,
+    /// Backoff ceiling (before jitter).
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The sleep before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay);
+        capped.mul_f64(jitter_factor(
+            u64::from(std::process::id()) ^ (u64::from(attempt) << 32),
+        ))
+    }
+}
+
+/// SplitMix64 of `seed`, mapped to `[0.5, 1.0)`.
+fn jitter_factor(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    0.5 + ((z >> 11) as f64 / (1u64 << 53) as f64) / 2.0
+}
+
+/// [`run_client`] with a reconnect policy: transient connect/IO
+/// failures and `retryable` error frames are retried with capped
+/// exponential backoff and jitter; a permanent error frame or a
+/// successful response returns immediately.
+///
+/// # Errors
+///
+/// The last I/O failure once every attempt is exhausted.
+pub fn run_client_with_retry(
+    addr: &str,
+    request_line: &str,
+    policy: &ReconnectPolicy,
+) -> std::io::Result<Vec<String>> {
+    let mut attempt = 0u32;
+    loop {
+        match run_client(addr, request_line) {
+            Ok(lines) => {
+                let transient = matches!(
+                    lines.first().map(|l| Response::parse_line(l)),
+                    Some(Ok(Response::Error {
+                        retryable: true,
+                        ..
+                    }))
+                );
+                if !transient || attempt >= policy.attempts {
+                    return Ok(lines);
+                }
+            }
+            Err(e) => {
+                if attempt >= policy.attempts {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(policy.delay(attempt));
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_doubling_and_caps() {
+        let policy = ReconnectPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(1),
+        };
+        for attempt in 0..8u32 {
+            let raw = Duration::from_millis(100 * (1u64 << attempt)).min(Duration::from_secs(1));
+            let d = policy.delay(attempt);
+            assert!(
+                d >= raw.mul_f64(0.5) && d < raw,
+                "attempt {attempt}: {d:?} outside [{:?}, {raw:?})",
+                raw.mul_f64(0.5)
+            );
+        }
+        // Past the cap the pre-jitter delay stays pinned at max_delay.
+        assert!(policy.delay(30) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let f = jitter_factor(seed);
+            assert_eq!(f, jitter_factor(seed), "same seed, same factor");
+            assert!((0.5..1.0).contains(&f), "seed {seed}: {f}");
+        }
+        assert_ne!(jitter_factor(1), jitter_factor(2), "seeds must spread");
+    }
 }

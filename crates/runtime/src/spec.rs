@@ -456,6 +456,52 @@ impl RunSpec {
         builder.build().map_err(|e| SpecError(e.to_string()))
     }
 
+    /// Renders the spec back into the canonical flag string
+    /// [`RunSpec::parse_str`] accepts — the form the durable job store
+    /// persists, so a daemon restart re-validates every recovered job
+    /// through exactly the submit path. Every field is spelled out
+    /// explicitly (no reliance on defaults), and
+    /// `RunSpec::parse_str(&spec.to_spec_string()) == spec` holds for
+    /// any spec the parsers produce.
+    pub fn to_spec_string(&self) -> String {
+        let mut out = format!(
+            "--model {} --hw {} --sw {} --objective {} --scale {} --variant {} \
+             --seed {} --threads {} --backend {}",
+            self.models.join(","),
+            self.hw_samples,
+            self.sw_samples,
+            match self.objective {
+                Objective::Edp => "edp",
+                Objective::Delay => "delay",
+            },
+            if self.cloud { "cloud" } else { "edge" },
+            self.variant.name().to_ascii_lowercase(),
+            self.seed,
+            self.threads,
+            self.backend,
+        );
+        if let Some(faults) = &self.faults {
+            out.push_str(&format!(" --faults {faults}"));
+        }
+        if let Some(noise) = &self.noise {
+            out.push_str(&format!(" --noise {noise}"));
+        }
+        out.push_str(&format!(
+            " --replicates {} --robust-agg {}",
+            self.replicates, self.robust_agg
+        ));
+        if let Some(fidelity) = &self.fidelity {
+            out.push_str(&format!(" --fidelity {fidelity}"));
+        }
+        if let Some(cap) = self.cache_cap {
+            out.push_str(&format!(" --cache-cap {cap}"));
+        }
+        if let Some(secs) = self.deadline_secs {
+            out.push_str(&format!(" --deadline {secs}"));
+        }
+        out
+    }
+
     /// Resolves every model name against the zoo.
     ///
     /// # Errors
@@ -715,6 +761,27 @@ mod tests {
         // A fidelity ladder changes which reports the cache may hold.
         let e = RunSpec::parse_str("--model vgg16 --fidelity fidelity=proxy:0.25").unwrap();
         assert_ne!(a.eval_signature(), e.eval_signature());
+    }
+
+    #[test]
+    fn spec_string_round_trips_exactly() {
+        for args in [
+            "--model transformer",
+            "--model resnet50,transformer --objective delay --hw 50 --sw 70 --seed 9 \
+             --scale cloud --variant ga --threads 4 --backend sim \
+             --faults seed=3,transient=0.1 --noise seed=7,model=gauss,sigma=0.1 \
+             --replicates 5 --robust-agg trimmed --fidelity fidelity=replicate:0.2,rungs=3 \
+             --cache-cap 4096 --deadline 60",
+            "--model vgg16 --variant a --replicates 3 --robust-agg mean",
+            "--model mobilenetv2 --variant f --cache-cap 0",
+        ] {
+            let spec = RunSpec::parse_str(args).unwrap();
+            let rendered = spec.to_spec_string();
+            let back = RunSpec::parse_str(&rendered).unwrap();
+            assert_eq!(back, spec, "{rendered}");
+            // Canonical: rendering the round-tripped spec is a fixpoint.
+            assert_eq!(back.to_spec_string(), rendered);
+        }
     }
 
     #[test]

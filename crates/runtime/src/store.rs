@@ -1,0 +1,591 @@
+//! The durable job store: every submitted job persisted as an on-disk
+//! record, so a daemon crash or host reboot loses nothing.
+//!
+//! Layout under the state directory (`spotlight serve --state-dir`):
+//!
+//! ```text
+//! <state-dir>/
+//!   LOCK                      pid of the daemon holding the store
+//!   jobs/
+//!     job-000001/
+//!       spec.json             one flat JSON line: id, idempotency key,
+//!                             canonical spec string (written once,
+//!                             atomically, at submit)
+//!       wal.jsonl             state transitions, appended + fsynced
+//!       journal.jsonl         the run journal (PR 4 checkpoint format)
+//!       report.txt            the final report, written atomically
+//!                             before the `completed` WAL line
+//! ```
+//!
+//! The write-ahead log is the recovery contract: the *last* `state` line
+//! is the job's authoritative lifecycle state. A `completed` line is
+//! only appended after `report.txt` is durably on disk, so a crash
+//! between the two replays the job's journal — the same
+//! recompute-the-winner path a worker death takes — and regenerates the
+//! byte-identical report. Any job whose last WAL state is non-terminal
+//! (`queued` or `running`) is re-enqueued by [`JobStore::load_all`]'s
+//! caller; its journal ends at the last flushed checkpoint, exactly like
+//! a killed one-shot run's, and resumes through the tolerant-parse /
+//! scar-truncate path.
+//!
+//! The lock file makes the store single-writer: a second daemon pointed
+//! at the same state directory refuses to start while the first's pid is
+//! alive, and a stale lock (the pid is gone — a `kill -9`'d daemon) is
+//! reclaimed silently so restart recovery needs no manual cleanup.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use spotlight_obs::json::{parse_flat_object, Fields, JsonObj};
+
+use crate::job::{JobId, JobState};
+use crate::spec::RunSpec;
+
+/// A job-store failure, with a user-facing message.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Another live daemon holds the state directory.
+    Locked {
+        /// The lock file that refused us.
+        path: PathBuf,
+        /// The pid recorded in it.
+        pid: u32,
+    },
+    /// An I/O failure reading or writing the store.
+    Io(String),
+    /// A persisted record failed to parse back.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Locked { path, pid } => write!(
+                f,
+                "state dir is locked by live pid {pid} ({}); \
+                 refusing to run two daemons against one store",
+                path.display()
+            ),
+            StoreError::Io(msg) => write!(f, "job store I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "job store record corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// One job as the store persists it, returned by [`JobStore::load_all`]
+/// for startup recovery.
+#[derive(Debug, Clone)]
+pub struct PersistedJob {
+    /// Store-assigned monotonic identifier.
+    pub id: JobId,
+    /// The validated run description, re-parsed from the canonical spec
+    /// string through the normal submit path.
+    pub spec: RunSpec,
+    /// Client-supplied idempotency key, if any.
+    pub key: Option<String>,
+    /// The last WAL state.
+    pub state: JobState,
+    /// Whether a cancel request was recorded before the crash.
+    pub cancel_requested: bool,
+    /// Scheduler slices recorded by the last WAL line.
+    pub slices: u64,
+    /// Hardware samples recorded by the last WAL line.
+    pub samples_done: u64,
+    /// Best aggregate cost (completed jobs).
+    pub best_cost: Option<f64>,
+    /// Terminal error message (failed jobs).
+    pub error: Option<String>,
+    /// The final report text (completed jobs).
+    pub report: Option<String>,
+    /// The job's journal path inside the store.
+    pub journal: PathBuf,
+}
+
+/// The single-writer durable job store. Owns the state-directory lock
+/// for its lifetime; dropping the store releases the lock.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+    lock: PathBuf,
+    next_id: JobId,
+    keys: HashMap<String, JobId>,
+}
+
+impl JobStore {
+    /// Opens (creating if absent) the store at `root` and takes the
+    /// single-writer lock.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when a live process holds the lock;
+    /// propagates I/O failures.
+    pub fn open(root: &Path) -> Result<JobStore, StoreError> {
+        std::fs::create_dir_all(root.join("jobs"))?;
+        let lock = root.join("LOCK");
+        acquire_lock(&lock)?;
+        let mut store = JobStore {
+            root: root.to_path_buf(),
+            lock,
+            next_id: 1,
+            keys: HashMap::new(),
+        };
+        for entry in std::fs::read_dir(store.root.join("jobs"))? {
+            let entry = entry?;
+            let Some(id) = parse_job_dir(&entry.file_name().to_string_lossy()) else {
+                continue;
+            };
+            store.next_id = store.next_id.max(id + 1);
+            if let Ok(fields) = read_spec_record(&entry.path()) {
+                if let Ok(Some(key)) = fields.opt_str("key") {
+                    store.keys.insert(key, id);
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The state directory this store persists into.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The job a previously submitted idempotency key maps to.
+    pub fn lookup_key(&self, key: &str) -> Option<JobId> {
+        self.keys.get(key).copied()
+    }
+
+    /// Persists a new job: allocates the next monotonic id, writes the
+    /// spec record atomically, and appends the initial `queued` WAL
+    /// line. Returns the id and the journal path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; nothing is half-created (the record file
+    /// appears only via rename).
+    pub fn create(
+        &mut self,
+        spec: &RunSpec,
+        key: Option<&str>,
+    ) -> Result<(JobId, PathBuf), StoreError> {
+        let id = self.next_id;
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let mut rec = JsonObj::typed("job");
+        rec.push_u64("id", id);
+        rec.push_str("key", key.unwrap_or(""));
+        rec.push_str("spec", &spec.to_spec_string());
+        write_atomic(&dir.join("spec.json"), rec.finish().as_bytes())?;
+        append_wal_line(&dir, |o| {
+            o.push_str("state", JobState::Queued.as_str());
+        })?;
+        self.next_id = id + 1;
+        if let Some(key) = key {
+            self.keys.insert(key.to_string(), id);
+        }
+        Ok((id, dir.join("journal.jsonl")))
+    }
+
+    /// Appends one state transition to a job's WAL and fsyncs it.
+    /// `slices`/`samples_done` ride along so a restart restores the
+    /// progress counters the status rows report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn record_state(
+        &self,
+        id: JobId,
+        state: JobState,
+        slices: u64,
+        samples_done: u64,
+    ) -> Result<(), StoreError> {
+        append_wal_line(&self.job_dir(id), |o| {
+            o.push_str("state", state.as_str());
+            o.push_u64("slices", slices);
+            o.push_u64("samples", samples_done);
+        })
+    }
+
+    /// Records a cancel request (distinct from the `cancelled` state:
+    /// the request survives a crash even when it arrives mid-slice and
+    /// has not reached a slice boundary yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn record_cancel_requested(&self, id: JobId) -> Result<(), StoreError> {
+        append_wal_line(&self.job_dir(id), |o| {
+            o.push_bool("cancel_requested", true);
+        })
+    }
+
+    /// Persists a completed job: the report is durably on disk *before*
+    /// the `completed` WAL line, so a crash between the two recovers by
+    /// replaying the journal rather than trusting a half-written report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn record_completed(
+        &self,
+        id: JobId,
+        report: &str,
+        best_cost: f64,
+        slices: u64,
+        samples_done: u64,
+    ) -> Result<(), StoreError> {
+        let dir = self.job_dir(id);
+        write_atomic(&dir.join("report.txt"), report.as_bytes())?;
+        append_wal_line(&dir, |o| {
+            o.push_str("state", JobState::Completed.as_str());
+            o.push_u64("slices", slices);
+            o.push_u64("samples", samples_done);
+            o.push_f64("best_cost", best_cost);
+        })
+    }
+
+    /// Persists a failed job with its terminal error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn record_failed(&self, id: JobId, error: &str, slices: u64) -> Result<(), StoreError> {
+        append_wal_line(&self.job_dir(id), |o| {
+            o.push_str("state", JobState::Failed.as_str());
+            o.push_u64("slices", slices);
+            o.push_str("error", error);
+        })
+    }
+
+    /// Loads every persisted job for startup recovery, in id order.
+    /// Records that fail to parse are reported, not silently skipped —
+    /// the caller decides whether a corrupt record is fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan I/O failures; per-job corruption is
+    /// returned in the `Err` side of each element.
+    pub fn load_all(&self) -> Result<Vec<Result<PersistedJob, StoreError>>, StoreError> {
+        let mut ids: Vec<JobId> = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("jobs"))? {
+            if let Some(id) = parse_job_dir(&entry?.file_name().to_string_lossy()) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids.into_iter().map(|id| self.load_one(id)).collect())
+    }
+
+    fn load_one(&self, id: JobId) -> Result<PersistedJob, StoreError> {
+        let dir = self.job_dir(id);
+        let fields = read_spec_record(&dir)?;
+        let spec_str = fields
+            .str("spec")
+            .map_err(|e| StoreError::Corrupt(format!("job {id}: {e}")))?;
+        let spec = RunSpec::parse_str(&spec_str)
+            .map_err(|e| StoreError::Corrupt(format!("job {id}: spec re-parse failed: {e}")))?;
+        let key = match fields
+            .str("key")
+            .map_err(|e| StoreError::Corrupt(format!("job {id}: {e}")))?
+        {
+            k if k.is_empty() => None,
+            k => Some(k),
+        };
+
+        // Fold the WAL: the last state line wins; a cancel request is
+        // sticky. A final line cut mid-write (the daemon died inside an
+        // append) is skipped as a crash scar, exactly like the journal's.
+        let mut state = JobState::Queued;
+        let mut cancel_requested = false;
+        let mut slices = 0u64;
+        let mut samples_done = 0u64;
+        let mut best_cost = None;
+        let mut error = None;
+        let wal = std::fs::read_to_string(dir.join("wal.jsonl")).unwrap_or_default();
+        for line in wal.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break;
+            }
+            let Ok(parsed) = parse_flat_object(line.trim_end()) else {
+                return Err(StoreError::Corrupt(format!(
+                    "job {id}: unparseable WAL line {line:?}"
+                )));
+            };
+            let f = Fields(parsed);
+            if let Ok(Some(true)) = f.opt_bool("cancel_requested") {
+                cancel_requested = true;
+            }
+            if let Ok(Some(name)) = f.opt_str("state") {
+                state = JobState::from_str_name(&name)
+                    .map_err(|e| StoreError::Corrupt(format!("job {id}: {e}")))?;
+                slices = f.opt_u64("slices").unwrap_or(None).unwrap_or(slices);
+                samples_done = f.opt_u64("samples").unwrap_or(None).unwrap_or(samples_done);
+                best_cost = f
+                    .opt_f64("best_cost")
+                    .unwrap_or(None)
+                    .filter(|c| c.is_finite());
+                error = f.opt_str("error").unwrap_or(None).filter(|e| !e.is_empty());
+            }
+        }
+        let report = if state == JobState::Completed {
+            Some(
+                std::fs::read_to_string(dir.join("report.txt")).map_err(|e| {
+                    StoreError::Corrupt(format!("job {id}: completed but report unreadable: {e}"))
+                })?,
+            )
+        } else {
+            None
+        };
+        Ok(PersistedJob {
+            id,
+            spec,
+            key,
+            state,
+            cancel_requested,
+            slices,
+            samples_done,
+            best_cost,
+            error,
+            report,
+            journal: dir.join("journal.jsonl"),
+        })
+    }
+
+    fn job_dir(&self, id: JobId) -> PathBuf {
+        self.root.join("jobs").join(format!("job-{id:06}"))
+    }
+}
+
+impl Drop for JobStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock);
+    }
+}
+
+/// Takes the pid lock: creates `LOCK` exclusively, reclaiming it when
+/// the recorded pid is no longer alive (a `kill -9`'d daemon).
+fn acquire_lock(lock: &Path) -> Result<(), StoreError> {
+    for _ in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock)
+        {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                let _ = f.sync_all();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let pid: u32 = std::fs::read_to_string(lock)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+                    .unwrap_or(0);
+                if pid != 0 && Path::new(&format!("/proc/{pid}")).exists() {
+                    return Err(StoreError::Locked {
+                        path: lock.to_path_buf(),
+                        pid,
+                    });
+                }
+                // Stale: the holder is gone. Reclaim and retry once.
+                let _ = std::fs::remove_file(lock);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(StoreError::Io(format!(
+        "could not acquire lock {} after reclaiming a stale holder",
+        lock.display()
+    )))
+}
+
+fn parse_job_dir(name: &str) -> Option<JobId> {
+    name.strip_prefix("job-")?.parse().ok()
+}
+
+fn read_spec_record(dir: &Path) -> Result<Fields, StoreError> {
+    let text = std::fs::read_to_string(dir.join("spec.json"))?;
+    parse_flat_object(text.trim())
+        .map(Fields)
+        .map_err(|e| StoreError::Corrupt(format!("{}: {e}", dir.join("spec.json").display())))
+}
+
+/// Writes a file durably: temp file in the same directory, fsync,
+/// rename over the target. Readers never observe a partial write.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Appends one WAL line (built by `fill`) and fsyncs the file, so the
+/// transition is durable before the in-memory state moves on.
+fn append_wal_line(dir: &Path, fill: impl FnOnce(&mut JsonObj)) -> Result<(), StoreError> {
+    let mut o = JsonObj::typed("wal");
+    fill(&mut o);
+    let mut line = o.finish();
+    line.push('\n');
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("wal.jsonl"))?;
+    f.write_all(line.as_bytes())?;
+    f.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-store-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> RunSpec {
+        RunSpec::parse_str("--model transformer --hw 4 --sw 5 --seed 3").unwrap()
+    }
+
+    #[test]
+    fn create_persists_and_reloads_across_reopen() {
+        let root = tmp("reload");
+        let (a, b) = {
+            let mut store = JobStore::open(&root).unwrap();
+            let (a, journal) = store.create(&spec(), Some("key-a")).unwrap();
+            assert!(journal.starts_with(&root));
+            let (b, _) = store.create(&spec(), None).unwrap();
+            store.record_state(a, JobState::Running, 1, 0).unwrap();
+            store.record_state(a, JobState::Queued, 1, 2).unwrap();
+            store.record_completed(b, "the report", 42.5, 2, 4).unwrap();
+            (a, b)
+        };
+        // Lock released by drop; reopening scans the records back.
+        let store = JobStore::open(&root).unwrap();
+        assert_eq!(store.lookup_key("key-a"), Some(a));
+        assert_eq!(store.lookup_key("other"), None);
+        let jobs: Vec<PersistedJob> = store
+            .load_all()
+            .unwrap()
+            .into_iter()
+            .map(|j| j.unwrap())
+            .collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, a);
+        assert_eq!(jobs[0].state, JobState::Queued);
+        assert_eq!(jobs[0].samples_done, 2);
+        assert_eq!(jobs[0].spec, spec());
+        assert_eq!(jobs[1].id, b);
+        assert_eq!(jobs[1].state, JobState::Completed);
+        assert_eq!(jobs[1].best_cost, Some(42.5));
+        assert_eq!(jobs[1].report.as_deref(), Some("the report"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ids_stay_monotonic_across_reopen() {
+        let root = tmp("monotonic");
+        let last = {
+            let mut store = JobStore::open(&root).unwrap();
+            store.create(&spec(), None).unwrap();
+            store.create(&spec(), None).unwrap().0
+        };
+        let mut store = JobStore::open(&root).unwrap();
+        let (next, _) = store.create(&spec(), None).unwrap();
+        assert_eq!(next, last + 1, "ids never reuse after restart");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn live_lock_refuses_a_second_store() {
+        let root = tmp("lock");
+        let _held = JobStore::open(&root).unwrap();
+        match JobStore::open(&root) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("second open must refuse: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_lock_is_reclaimed() {
+        let root = tmp("stale");
+        std::fs::create_dir_all(&root).unwrap();
+        // No live process has pid 0; u32::MAX is far beyond pid_max.
+        std::fs::write(root.join("LOCK"), format!("{}", u32::MAX)).unwrap();
+        let store = JobStore::open(&root).expect("stale lock must be reclaimed");
+        drop(store);
+        assert!(!root.join("LOCK").exists(), "drop releases the lock");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancel_request_survives_a_wal_fold() {
+        let root = tmp("cancel");
+        let mut store = JobStore::open(&root).unwrap();
+        let (id, _) = store.create(&spec(), None).unwrap();
+        store.record_state(id, JobState::Running, 1, 0).unwrap();
+        store.record_cancel_requested(id).unwrap();
+        let jobs = store.load_all().unwrap();
+        let job = jobs[0].as_ref().unwrap();
+        assert_eq!(job.id, id);
+        assert_eq!(job.state, JobState::Running);
+        assert!(job.cancel_requested);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_final_wal_line_is_a_scar_not_an_error() {
+        let root = tmp("scar");
+        let mut store = JobStore::open(&root).unwrap();
+        let (id, _) = store.create(&spec(), None).unwrap();
+        store.record_state(id, JobState::Running, 1, 0).unwrap();
+        // Simulate dying mid-append: a partial line with no newline.
+        let wal = root
+            .join("jobs")
+            .join(format!("job-{id:06}"))
+            .join("wal.jsonl");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(b"{\"type\":\"wal\",\"sta").unwrap();
+        drop(f);
+        let jobs = store.load_all().unwrap();
+        let job = jobs[0].as_ref().unwrap();
+        assert_eq!(
+            job.state,
+            JobState::Running,
+            "scar must not mask the prefix"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_jobs_reload_with_their_error() {
+        let root = tmp("failed");
+        let mut store = JobStore::open(&root).unwrap();
+        let (id, _) = store.create(&spec(), None).unwrap();
+        store.record_failed(id, "backend exploded", 3).unwrap();
+        let jobs = store.load_all().unwrap();
+        let job = jobs[0].as_ref().unwrap();
+        assert_eq!(job.state, JobState::Failed);
+        assert_eq!(job.error.as_deref(), Some("backend exploded"));
+        assert_eq!(job.slices, 3);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,252 @@
+//! Restart-recovery integration tests for the durable job store: a
+//! gracefully drained server reopened on the same state dir must finish
+//! every job with reports byte-identical to uninterrupted runs, dedupe
+//! resubmits across the restart, and refuse to double-open a live dir.
+
+use std::time::Duration;
+
+use spotlight_runtime::{run_job, JobState, RunSpec, SchedulerOptions, Server, StoreError};
+
+struct Workdir(std::path::PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Workdir(dir)
+    }
+
+    fn options(&self, workers: usize) -> SchedulerOptions {
+        SchedulerOptions {
+            workers,
+            slice: 2,
+            dir: self.0.clone(),
+            kill_after: None,
+            max_jobs: None,
+        }
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wait_idle(server: &Server) {
+    for _ in 0..1200 {
+        if server.is_idle() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("server never drained: {:?}", server.list());
+}
+
+/// Drain mid-flight with several jobs on a wider pool, restart, and
+/// demand byte-identical reports. Complements the single-worker case in
+/// the scheduler unit tests: with 4 workers the drain parks multiple
+/// in-flight jobs at once and recovery must re-enqueue all of them.
+#[test]
+fn four_worker_drain_and_restart_is_byte_identical() {
+    let specs = [
+        "--model transformer --hw 10 --sw 10 --seed 21",
+        "--model resnet50 --hw 10 --sw 10 --seed 22",
+        "--model mobilenet_v2 --hw 10 --sw 10 --seed 23",
+        "--model transformer --hw 10 --sw 10 --seed 24",
+    ];
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            run_job(&RunSpec::parse_str(s).unwrap(), None, false)
+                .unwrap()
+                .report()
+        })
+        .collect();
+
+    let dir = Workdir::new("four");
+    let server = Server::new(dir.options(4)).unwrap();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            server
+                .submit(RunSpec::parse_str(s).unwrap(), None)
+                .unwrap()
+                .0
+        })
+        .collect();
+    // Shut down at the earliest park point — as soon as any job has a
+    // slice behind it. Nothing can have completed yet, so the drain
+    // parks genuinely in-flight work on every worker.
+    for _ in 0..4000 {
+        let any_started = ids
+            .iter()
+            .any(|id| server.status(*id).map(|s| s.samples_done >= 2) == Some(true));
+        if any_started {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown();
+    // shutdown() joins the pool, so this census is the drained truth.
+    let undrained = server
+        .list()
+        .iter()
+        .filter(|s| !s.state.is_terminal())
+        .count();
+    assert!(undrained >= 1, "the drain must park at least one job");
+    drop(server);
+
+    let server = Server::new(dir.options(4)).unwrap();
+    assert_eq!(
+        server.jobs_recovered() as usize,
+        undrained,
+        "every undrained job must be recovered"
+    );
+    wait_idle(&server);
+    for (id, want) in ids.iter().zip(&expected) {
+        let status = server.status(*id).unwrap();
+        assert_eq!(status.state, JobState::Completed, "job {id}: {status:?}");
+        assert_eq!(
+            server.report(*id).as_deref(),
+            Some(want.as_str()),
+            "job {id} report must be byte-identical to a standalone run"
+        );
+    }
+    server.shutdown();
+}
+
+/// The idempotency-key index is rebuilt from disk, so a client retrying
+/// a submit after a daemon restart still gets the original job back.
+#[test]
+fn idempotency_keys_survive_a_restart() {
+    let dir = Workdir::new("idem");
+    let spec = || RunSpec::parse_str("--model transformer --hw 4 --sw 4 --seed 5").unwrap();
+
+    let server = Server::new(dir.options(2)).unwrap();
+    let (id, deduped) = server.submit(spec(), Some("retry-me")).unwrap();
+    assert!(!deduped);
+    wait_idle(&server);
+    server.shutdown();
+    drop(server);
+
+    let server = Server::new(dir.options(2)).unwrap();
+    let (again, deduped) = server.submit(spec(), Some("retry-me")).unwrap();
+    assert_eq!(again, id, "the key must map to the original job");
+    assert!(deduped, "a replayed submit is a dedupe, not a new job");
+    // A fresh key still creates a fresh job.
+    let (fresh, deduped) = server.submit(spec(), Some("new-key")).unwrap();
+    assert_ne!(fresh, id);
+    assert!(!deduped);
+    wait_idle(&server);
+    server.shutdown();
+}
+
+/// Two daemons must never share a state dir: the second open fails with
+/// a lock error naming the owning pid, and the dir becomes reopenable
+/// once the first server releases it.
+#[test]
+fn live_state_dir_refuses_a_second_server() {
+    let dir = Workdir::new("lock");
+    let server = Server::new(dir.options(1)).unwrap();
+    match Server::new(dir.options(1)) {
+        Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+        other => panic!("expected a lock refusal, got {other:?}"),
+    }
+    server.shutdown();
+    drop(server);
+    // Released on drop: the same dir opens cleanly afterwards.
+    let server = Server::new(dir.options(1)).unwrap();
+    server.shutdown();
+}
+
+/// Cancelling a running job takes effect at the next slice boundary and
+/// the cancellation is durable: after a restart the job is still
+/// cancelled, not resurrected into the queue.
+#[test]
+fn cancel_during_a_slice_lands_at_the_boundary_and_sticks() {
+    let dir = Workdir::new("cancel");
+    let server = Server::new(dir.options(1)).unwrap();
+    let spec = RunSpec::parse_str("--model transformer --hw 12 --sw 12 --seed 31").unwrap();
+    let (id, _) = server.submit(spec, None).unwrap();
+
+    // Catch the job mid-run, then cancel while a slice is executing.
+    for _ in 0..2000 {
+        if server.status(id).map(|s| s.samples_done >= 2) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(server.cancel(id).unwrap());
+    for _ in 0..600 {
+        if server.status(id).map(|s| s.state.is_terminal()) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = server.status(id).unwrap();
+    assert_eq!(status.state, JobState::Cancelled, "{status:?}");
+    assert!(
+        status.samples_done < status.hw_samples,
+        "cancel must land before the job finishes: {status:?}"
+    );
+    server.shutdown();
+    drop(server);
+
+    let server = Server::new(dir.options(1)).unwrap();
+    assert_eq!(
+        server.jobs_recovered(),
+        0,
+        "a cancelled job is terminal and must not be re-run"
+    );
+    assert_eq!(server.status(id).unwrap().state, JobState::Cancelled);
+    server.shutdown();
+}
+
+/// Shutdown-drain ordering: with one worker and several queued jobs,
+/// shutdown parks the in-flight job at its boundary and leaves the rest
+/// queued; a restart recovers all of them and finishes in submit order
+/// fairness (every job completes — none is lost or duplicated).
+#[test]
+fn shutdown_leaves_queued_jobs_recoverable() {
+    let dir = Workdir::new("drain");
+    let server = Server::new(dir.options(1)).unwrap();
+    let specs = [
+        "--model transformer --hw 10 --sw 10 --seed 41",
+        "--model resnet50 --hw 6 --sw 6 --seed 42",
+        "--model mobilenet_v2 --hw 6 --sw 6 --seed 43",
+    ];
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            server
+                .submit(RunSpec::parse_str(s).unwrap(), None)
+                .unwrap()
+                .0
+        })
+        .collect();
+    // Shut down as soon as the first job has made progress; the single
+    // worker cannot have touched all three yet.
+    for _ in 0..2000 {
+        if server.status(ids[0]).map(|s| s.samples_done >= 2) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown();
+    drop(server);
+
+    let server = Server::new(dir.options(1)).unwrap();
+    assert_eq!(
+        server.jobs_recovered() as usize,
+        ids.len(),
+        "drained and never-started jobs alike must recover"
+    );
+    wait_idle(&server);
+    for id in &ids {
+        assert_eq!(server.status(*id).unwrap().state, JobState::Completed);
+        assert!(server.report(*id).is_some());
+    }
+    server.shutdown();
+}

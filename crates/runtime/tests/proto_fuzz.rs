@@ -1,0 +1,222 @@
+//! Protocol hardening: the decoder is total (no panic on any input) and
+//! a live server survives malformed, truncated, and oversized frames —
+//! each gets exactly one error frame (or a clean close) and the next
+//! connection still gets service.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::collection;
+use proptest::prelude::*;
+use spotlight_runtime::{
+    bind, serve_loop, Request, Response, SchedulerOptions, ServeOptions, Server, MAX_FRAME_LEN,
+};
+
+/// Arbitrary bytes rendered as text — exercises invalid UTF-8 (lossily
+/// replaced), embedded quotes, braces, and control characters.
+fn arb_text() -> impl Strategy<Value = String> {
+    collection::vec(0u32..256, 0..400).prop_map(|codes| {
+        let bytes: Vec<u8> = codes.iter().map(|c| *c as u8).collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
+
+/// Lowercase identifier-ish fragments, for near-miss structured frames.
+fn arb_word() -> impl Strategy<Value = String> {
+    collection::vec(0u32..27, 1..12).prop_map(|codes| {
+        codes
+            .iter()
+            .map(|c| {
+                if *c == 26 {
+                    '-'
+                } else {
+                    (b'a' + *c as u8) as char
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes-as-text never panic the request decoder; they
+    /// either parse or return an error string.
+    #[test]
+    fn request_decoder_is_total(line in arb_text()) {
+        let _ = Request::parse_line(&line);
+    }
+
+    /// Same for the response decoder, which clients run on untrusted
+    /// daemon output.
+    #[test]
+    fn response_decoder_is_total(line in arb_text()) {
+        let _ = Response::parse_line(&line);
+    }
+
+    /// Structured-looking garbage — right shape, wrong fields — is
+    /// rejected or parsed, never panicked on.
+    #[test]
+    fn near_miss_frames_error_cleanly(
+        ty in arb_word(),
+        field in arb_word(),
+        value in 0u64..1_000_000,
+    ) {
+        let line = format!("{{\"type\":\"{ty}\",\"{field}\":{value}}}");
+        let _ = Request::parse_line(&line);
+        let _ = Response::parse_line(&line);
+    }
+}
+
+struct Workdir(std::path::PathBuf);
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_server(tag: &str) -> (Workdir, String, std::thread::JoinHandle<()>) {
+    let dir = std::env::temp_dir().join(format!("spotlight-fuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Arc::new(
+        Server::new(SchedulerOptions {
+            workers: 1,
+            slice: 2,
+            dir: dir.clone(),
+            kill_after: None,
+            max_jobs: None,
+        })
+        .expect("server starts"),
+    );
+    let (listener, addr) = bind("127.0.0.1:0").expect("socket binds");
+    let handle = std::thread::spawn(move || {
+        serve_loop(listener, server, ServeOptions::default()).expect("serve loop survives")
+    });
+    (Workdir(dir), addr, handle)
+}
+
+/// Sends raw bytes on a fresh connection and reads whatever frames come
+/// back before the peer closes.
+fn raw_exchange(addr: &str, payload: &[u8]) -> Vec<String> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(payload).expect("write");
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+    let mut lines = Vec::new();
+    for line in BufReader::new(conn).lines() {
+        match line {
+            Ok(l) => lines.push(l),
+            Err(_) => break,
+        }
+    }
+    lines
+}
+
+fn expect_error(lines: &[String]) -> (String, bool) {
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    match Response::parse_line(&lines[0]).expect("frame parses") {
+        Response::Error { message, retryable } => (message, retryable),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+fn ping_works(addr: &str) {
+    let lines = raw_exchange(addr, b"{\"type\":\"ping\"}\n");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert_eq!(
+        Response::parse_line(&lines[0]).expect("pong parses"),
+        Response::Pong
+    );
+}
+
+/// The live-server gauntlet: malformed JSON, truncated frames, binary
+/// garbage, and an oversized frame, interleaved with pings proving the
+/// server keeps serving. One serve loop, many hostile connections.
+#[test]
+fn hostile_frames_never_take_the_server_down() {
+    let (_dir, addr, handle) = start_server("hostile");
+
+    ping_works(&addr);
+
+    // Malformed JSON: one error frame, connection closed.
+    let (msg, retryable) = expect_error(&raw_exchange(&addr, b"this is not json\n"));
+    assert!(!msg.is_empty());
+    assert!(!retryable, "a parse failure is permanent");
+    ping_works(&addr);
+
+    // Valid JSON, unknown type.
+    let (_, retryable) = expect_error(&raw_exchange(&addr, b"{\"type\":\"exploit\"}\n"));
+    assert!(!retryable);
+    ping_works(&addr);
+
+    // Truncated frame: bytes but no newline before close. The server
+    // must not block forever or crash; it may answer or just close.
+    let _ = raw_exchange(&addr, b"{\"type\":\"pi");
+    ping_works(&addr);
+
+    // Binary garbage, including NUL and invalid UTF-8.
+    let _ = raw_exchange(&addr, &[0x00, 0xFF, 0xFE, b'\n']);
+    ping_works(&addr);
+
+    // An oversized frame is refused with a typed error naming the
+    // limit, without buffering the whole flood.
+    let mut flood = vec![b'x'; MAX_FRAME_LEN + 1024];
+    flood.push(b'\n');
+    let (msg, retryable) = expect_error(&raw_exchange(&addr, &flood));
+    assert!(msg.contains("frame"), "{msg}");
+    assert!(!retryable);
+    ping_works(&addr);
+
+    // An oversized frame with no newline at all — the reader must bail
+    // on accumulated length, not wait for the terminator.
+    let flood = vec![b'y'; MAX_FRAME_LEN + 1024];
+    let (msg, _) = expect_error(&raw_exchange(&addr, &flood));
+    assert!(msg.contains("frame"), "{msg}");
+    ping_works(&addr);
+
+    // Garbage followed by a valid request on the SAME connection: the
+    // error frame comes first, and whatever happens after, the next
+    // connection is unaffected.
+    let lines = raw_exchange(&addr, b"garbage\n{\"type\":\"ping\"}\n");
+    assert!(!lines.is_empty());
+    match Response::parse_line(&lines[0]).expect("frame parses") {
+        Response::Error { .. } => {}
+        other => panic!("expected an error frame first, got {other:?}"),
+    }
+    ping_works(&addr);
+
+    let lines = raw_exchange(&addr, b"{\"type\":\"shutdown\"}\n");
+    assert_eq!(
+        Response::parse_line(&lines[0]).expect("frame parses"),
+        Response::ShuttingDown
+    );
+    handle.join().expect("serve loop exits cleanly");
+}
+
+/// Randomized hostile payloads against one live server: whatever the
+/// bytes, the server answers the next ping. Bounded cases keep this
+/// fast; the decoder-level proptests above carry the deep fuzzing.
+#[test]
+fn random_payloads_leave_the_server_serving() {
+    let (_dir, addr, handle) = start_server("random");
+
+    let mut rng = proptest::rng_for(concat!(module_path!(), "::random_payloads"));
+    let strategy = collection::vec(0u32..256, 0..200);
+    for _ in 0..32 {
+        let mut payload: Vec<u8> = strategy.sample(&mut rng).iter().map(|c| *c as u8).collect();
+        payload.extend_from_slice(b"\n");
+        let _ = raw_exchange(&addr, &payload);
+        ping_works(&addr);
+    }
+
+    let lines = raw_exchange(&addr, b"{\"type\":\"shutdown\"}\n");
+    assert_eq!(
+        Response::parse_line(&lines[0]).expect("frame parses"),
+        Response::ShuttingDown
+    );
+    handle.join().expect("serve loop exits cleanly");
+}

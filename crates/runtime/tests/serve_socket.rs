@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use spotlight_runtime::{
     bind, metric_value, run_client, run_job, serve_loop, validate_metrics, Response, RunSpec,
-    SchedulerOptions, Server,
+    SchedulerOptions, ServeOptions, Server,
 };
 
 struct Workdir(std::path::PathBuf);
@@ -32,13 +32,16 @@ fn start(dir: &Workdir, listen: &str) -> (String, std::thread::JoinHandle<()>) {
         Server::new(SchedulerOptions {
             workers: 2,
             slice: 2,
-            dir: dir.0.join("jobs"),
+            dir: dir.0.join("state"),
             kill_after: None,
+            max_jobs: None,
         })
         .expect("server starts"),
     );
     let (listener, addr) = bind(listen).expect("socket binds");
-    let handle = std::thread::spawn(move || serve_loop(listener, server).expect("serve loop runs"));
+    let handle = std::thread::spawn(move || {
+        serve_loop(listener, server, ServeOptions::default()).expect("serve loop runs")
+    });
     (addr, handle)
 }
 
@@ -58,9 +61,13 @@ fn tcp_session_submits_runs_and_scrapes() {
         Response::Pong
     );
 
-    // A malformed frame is rejected, not half-understood.
+    // A malformed frame is rejected, not half-understood — and a parse
+    // failure is permanent, not retryable.
     match single_response(&addr, "{\"type\":\"status\"}") {
-        Response::Error { message } => assert!(message.contains("job"), "{message}"),
+        Response::Error { message, retryable } => {
+            assert!(message.contains("job"), "{message}");
+            assert!(!retryable);
+        }
         other => panic!("expected error, got {other:?}"),
     }
 
@@ -69,11 +76,26 @@ fn tcp_session_submits_runs_and_scrapes() {
         .unwrap()
         .report();
 
-    let submit = format!("{{\"type\":\"submit\",\"spec\":\"{spec}\"}}");
+    let submit = format!("{{\"type\":\"submit\",\"spec\":\"{spec}\",\"key\":\"session-1\"}}");
     let job = match single_response(&addr, &submit) {
-        Response::Submitted { job } => job,
+        Response::Submitted { job, deduped } => {
+            assert!(!deduped, "first submit is fresh");
+            job
+        }
         other => panic!("expected submitted, got {other:?}"),
     };
+
+    // The same idempotency key returns the same job, marked deduped.
+    match single_response(&addr, &submit) {
+        Response::Submitted {
+            job: again,
+            deduped,
+        } => {
+            assert_eq!(again, job);
+            assert!(deduped, "duplicate key must dedupe");
+        }
+        other => panic!("expected submitted, got {other:?}"),
+    }
 
     // Poll status until the job completes.
     let status_req = format!("{{\"type\":\"status\",\"job\":{job}}}");
@@ -174,7 +196,7 @@ fn unix_socket_speaks_the_same_protocol() {
         Response::Pong
     );
     match single_response(&addr, "{\"type\":\"status\",\"job\":99}") {
-        Response::Error { message } => assert!(message.contains("no such job"), "{message}"),
+        Response::Error { message, .. } => assert!(message.contains("no such job"), "{message}"),
         other => panic!("expected error, got {other:?}"),
     }
     assert_eq!(

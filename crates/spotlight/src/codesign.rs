@@ -783,14 +783,8 @@ impl Spotlight {
         let items: Vec<&spotlight_models::LayerEntry> =
             models.iter().flat_map(|m| m.layers().iter()).collect();
         let ordinals: Vec<usize> = (0..items.len()).collect();
-        let results = self.optimize_layer_set(
-            base_observer,
-            hw,
-            &items,
-            &ordinals,
-            stream,
-            Fidelity::Full,
-        );
+        let results =
+            self.optimize_layer_set(base_observer, hw, &items, &ordinals, stream, Fidelity::Full);
         let evals = results.iter().map(|r| r.evaluations).sum();
         (self.assemble_plans(models, results.into_iter()), evals)
     }
@@ -1058,8 +1052,13 @@ impl Spotlight {
         } else {
             self.proxy_subset(spec, models, rung)
         };
-        let missing: Vec<usize> = subset.iter().copied().filter(|&o| done[o].is_none()).collect();
-        let results = self.optimize_layer_set(&self.observer, hw, items, &missing, stream, Fidelity::Full);
+        let missing: Vec<usize> = subset
+            .iter()
+            .copied()
+            .filter(|&o| done[o].is_none())
+            .collect();
+        let results =
+            self.optimize_layer_set(&self.observer, hw, items, &missing, stream, Fidelity::Full);
         for (&ordinal, result) in missing.iter().zip(results) {
             done[ordinal] = Some(result);
         }
@@ -1068,7 +1067,8 @@ impl Spotlight {
             // produced (same per-layer seeds, same engine semantics).
             let plans = self.assemble_plans(
                 models,
-                done.iter_mut().map(|slot| slot.take().expect("full rung covers every layer")),
+                done.iter_mut()
+                    .map(|slot| slot.take().expect("full rung covers every layer")),
             );
             let cost = self.aggregate(&plans);
             let delay: f64 = plans.iter().map(|p| p.total_delay).sum();
@@ -1125,7 +1125,7 @@ impl Spotlight {
     /// and nested across rungs (promotion only adds layers).
     fn proxy_subset(&self, spec: &FidelitySpec, models: &[Model], rung: u8) -> Vec<usize> {
         let fraction = spec.fraction_at(rung);
-        let key_base = mix64(self.config.seed ^ 0x70726f_7879); // "proxy"
+        let key_base = mix64(self.config.seed ^ 0x0070_726f_7879); // "proxy"
         let mut subset = Vec::new();
         let mut base_ordinal = 0;
         for model in models {
@@ -1366,38 +1366,37 @@ impl Spotlight {
             });
             let mut rungs_climbed = Vec::new();
             let (cost, delay_cycles, energy_nj) = if admitted {
-                let (plans, delay_cycles, energy_nj, cost, reached_full) =
-                    match &fidelity_spec {
-                        Some(spec) => {
-                            let ladder = self.engine.time_phase("sw_search", || {
-                                self.climb_ladder(
-                                    spec,
-                                    models,
-                                    &hw,
-                                    hw_sample as u64,
-                                    &mut rung_histories,
-                                    &sample_obs,
-                                )
-                            });
-                            rungs_climbed = ladder.rung_costs;
-                            (
-                                ladder.plans,
-                                ladder.delay_cycles,
-                                ladder.energy_nj,
-                                ladder.cost,
-                                ladder.reached_full,
+                let (plans, delay_cycles, energy_nj, cost, reached_full) = match &fidelity_spec {
+                    Some(spec) => {
+                        let ladder = self.engine.time_phase("sw_search", || {
+                            self.climb_ladder(
+                                spec,
+                                models,
+                                &hw,
+                                hw_sample as u64,
+                                &mut rung_histories,
+                                &sample_obs,
                             )
-                        }
-                        None => {
-                            let (plans, _) = self.engine.time_phase("sw_search", || {
-                                self.optimize_software(&hw, models, hw_sample as u64)
-                            });
-                            let cost = self.aggregate(&plans);
-                            let delay_cycles: f64 = plans.iter().map(|p| p.total_delay).sum();
-                            let energy_nj: f64 = plans.iter().map(|p| p.total_energy).sum();
-                            (Some(plans), delay_cycles, energy_nj, cost, true)
-                        }
-                    };
+                        });
+                        rungs_climbed = ladder.rung_costs;
+                        (
+                            ladder.plans,
+                            ladder.delay_cycles,
+                            ladder.energy_nj,
+                            ladder.cost,
+                            ladder.reached_full,
+                        )
+                    }
+                    None => {
+                        let (plans, _) = self.engine.time_phase("sw_search", || {
+                            self.optimize_software(&hw, models, hw_sample as u64)
+                        });
+                        let cost = self.aggregate(&plans);
+                        let delay_cycles: f64 = plans.iter().map(|p| p.total_delay).sum();
+                        let energy_nj: f64 = plans.iter().map(|p| p.total_energy).sum();
+                        (Some(plans), delay_cycles, energy_nj, cost, true)
+                    }
+                };
                 // Infeasible samples (any layer without a feasible
                 // schedule) and demoted ladder samples carry non-finite
                 // metrics and must not join the frontier of realizable
@@ -1434,7 +1433,8 @@ impl Spotlight {
             // at all (the PRIME lesson).
             match &fidelity_spec {
                 Some(spec)
-                    if admitted && !rungs_climbed.is_empty()
+                    if admitted
+                        && !rungs_climbed.is_empty()
                         && rungs_climbed.len() < spec.rungs as usize =>
                 {
                     let demoted_at = (rungs_climbed.len() - 1) as u8;

@@ -8,9 +8,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use spotlight_repro::accel::{DataflowStyle, HardwareConfig};
 use spotlight_repro::conv::ConvLayer;
-use spotlight_repro::eval::{
-    Aggregation, EvalEngine, Fidelity, FidelitySpec, RobustPolicy,
-};
+use spotlight_repro::eval::{Aggregation, EvalEngine, Fidelity, FidelitySpec, RobustPolicy};
 use spotlight_repro::models::Model;
 use spotlight_repro::obs::{Event, MemorySink, Observer, Record};
 use spotlight_repro::space::dataflows::dataflow_schedule;
@@ -87,12 +85,8 @@ fn promotion_decisions(records: &[Record]) -> Vec<(Option<u64>, bool, u64, u64)>
     records
         .iter()
         .filter_map(|r| match &r.event {
-            Event::RungPromoted { rung, cost } => {
-                Some((r.hw_sample, true, *rung, cost.to_bits()))
-            }
-            Event::RungDemoted { rung, cost } => {
-                Some((r.hw_sample, false, *rung, cost.to_bits()))
-            }
+            Event::RungPromoted { rung, cost } => Some((r.hw_sample, true, *rung, cost.to_bits())),
+            Event::RungDemoted { rung, cost } => Some((r.hw_sample, false, *rung, cost.to_bits())),
             _ => None,
         })
         .collect()
@@ -147,7 +141,9 @@ fn cache_never_aliases_cheap_and_full_reports() {
         .backend("maestro")
         .noise(Some("seed=7,model=gauss,sigma=0.1".parse().expect("spec")))
         .robust(RobustPolicy::replicated(5, Aggregation::Median))
-        .fidelity(Some("fidelity=replicate:0.2,rungs=3".parse().expect("spec")))
+        .fidelity(Some(
+            "fidelity=replicate:0.2,rungs=3".parse().expect("spec"),
+        ))
         .build()
         .expect("valid combination");
     let cheap = engine
@@ -156,7 +152,11 @@ fn cache_never_aliases_cheap_and_full_reports() {
     let full = engine
         .evaluate_at(&hw, &sched, &layer, Fidelity::Full)
         .expect("feasible");
-    assert_eq!(engine.stats().cache_misses, 2, "full must not hit cheap's entry");
+    assert_eq!(
+        engine.stats().cache_misses,
+        2,
+        "full must not hit cheap's entry"
+    );
     assert_ne!(
         cheap.delay_cycles.to_bits(),
         full.delay_cycles.to_bits(),
