@@ -24,6 +24,7 @@ use std::ops::Deref;
 
 use spotlight_accel::Baseline;
 use spotlight_models::Model;
+use spotlight_obs::DiskFaultPlan;
 use spotlight_runtime::{Request, RunSpec, SpecError};
 
 /// A parsed CLI invocation.
@@ -82,6 +83,17 @@ pub enum Command {
         /// Admission cap: reject submits while this many jobs are
         /// non-terminal (`--max-jobs`); unbounded when absent.
         max_jobs: Option<usize>,
+        /// Deterministic disk-fault injection for the storage layer
+        /// (`--disk-faults seed=7,torn=0.05,...`); testing only.
+        disk_faults: Option<DiskFaultPlan>,
+    },
+    /// Verify (and optionally repair) a serve state directory offline.
+    Fsck {
+        /// The state directory to scan.
+        dir: String,
+        /// Truncate crash scars and damaged journal suffixes to their
+        /// valid prefix; quarantine what truncation cannot fix.
+        repair: bool,
     },
     /// Send one request to a running server and print the responses.
     Client {
@@ -265,6 +277,7 @@ impl Command {
                 let mut slice = 2usize;
                 let mut dir = ".spotlight-serve".to_string();
                 let mut max_jobs = None;
+                let mut disk_faults = None;
                 let mut i = 0;
                 while i < rest.len() {
                     let flag = rest[i];
@@ -294,10 +307,18 @@ impl Command {
                             max_jobs = Some(parse_positive(flag, value(i)?)?);
                             i += 2;
                         }
+                        "--disk-faults" => {
+                            disk_faults = Some(
+                                value(i)?
+                                    .parse::<DiskFaultPlan>()
+                                    .map_err(|e| ParseCommandError(e.to_string()))?,
+                            );
+                            i += 2;
+                        }
                         other => {
                             return Err(ParseCommandError(format!(
                                 "unknown flag `{other}` (serve takes --listen, --workers, \
-                                 --slice, --state-dir, --max-jobs)"
+                                 --slice, --state-dir, --max-jobs, --disk-faults)"
                             )));
                         }
                     }
@@ -308,7 +329,34 @@ impl Command {
                     slice,
                     dir,
                     max_jobs,
+                    disk_faults,
                 })
+            }
+            "fsck" => {
+                let mut dir = None;
+                let mut repair = false;
+                for arg in &rest {
+                    match *arg {
+                        "--repair" => repair = true,
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseCommandError(format!(
+                                "unknown flag `{flag}` (fsck takes --repair)"
+                            )))
+                        }
+                        p => {
+                            if dir.is_some() {
+                                return Err(ParseCommandError(
+                                    "fsck requires exactly one <state-dir> argument".into(),
+                                ));
+                            }
+                            dir = Some(p.to_string());
+                        }
+                    }
+                }
+                let dir = dir.ok_or_else(|| {
+                    ParseCommandError("fsck requires exactly one <state-dir> argument".into())
+                })?;
+                Ok(Command::Fsck { dir, repair })
             }
             "client" => {
                 let mut it = rest.iter();
@@ -489,6 +537,8 @@ USAGE:
   spotlight resume   <journal> [--out <path>] [--progress]
   spotlight serve    [--listen <addr>] [--workers <n>] [--slice <n>]
                      [--state-dir <path>] [--max-jobs <n>]
+                     [--disk-faults <spec>]
+  spotlight fsck     <state-dir> [--repair]
   spotlight client   <addr> <verb> [args]
   spotlight help
 
@@ -547,7 +597,26 @@ OPTIONS: --listen <host:port|unix:/path> (default 127.0.0.1:0, printed
 on startup), --workers <n> (default 2), --slice <hw samples per turn,
 default 2>, --state-dir <job store directory, default .spotlight-serve;
 --dir is an alias>, --max-jobs <admission cap; submits past it get a
-retryable error; default unbounded>.
+retryable error; default unbounded>, --disk-faults <seeded disk-fault
+injection for storage-integrity testing, e.g.
+seed=7,torn=0.05,enospc=0.02,fsync=0.01,bitflip=0.001 — the daemon's
+durable writes then fail or corrupt deterministically>. The daemon's
+WAL and journal lines are CRC32C-checksummed; a job whose files fail
+verification at startup is quarantined in a terminal `corrupt` state
+(counted by spotlight_jobs_quarantined_total) while every other job
+recovers, and a full disk parks the running job and sheds new submits
+with a retryable error.
+
+`spotlight fsck <state-dir>` verifies a state directory offline: every
+job's spec record, WAL checksums, journal checksums, and report
+presence, with per-job verdicts and byte offsets for every finding.
+Crash scars (a final line cut mid-write) are reported but clean, like
+`journal` without --strict; real corruption exits non-zero. With
+--repair, scars and damaged journal suffixes are truncated to their
+last valid prefix and jobs whose WAL, spec, or report cannot be saved
+that way are quarantined with a `corrupt` WAL marker, after which a
+re-scan exits 0. Repair refuses a store whose lock is held by a live
+daemon.
 
 `spotlight client <addr> <verb>` talks to a running server. VERBS:
 submit <spec flags...> [--key <idempotency-key>], status <job>,
@@ -759,6 +828,7 @@ mod tests {
                 slice: 2,
                 dir: ".spotlight-serve".to_string(),
                 max_jobs: None,
+                disk_faults: None,
             }
         );
         assert_eq!(
@@ -774,6 +844,8 @@ mod tests {
                 "/tmp/jobs",
                 "--max-jobs",
                 "16",
+                "--disk-faults",
+                "seed=7,torn=0.05,enospc=0.02,fsync=0.01,bitflip=0.001",
             ])
             .unwrap(),
             Command::Serve {
@@ -782,6 +854,11 @@ mod tests {
                 slice: 3,
                 dir: "/tmp/jobs".to_string(),
                 max_jobs: Some(16),
+                disk_faults: Some(
+                    "seed=7,torn=0.05,enospc=0.02,fsync=0.01,bitflip=0.001"
+                        .parse()
+                        .unwrap()
+                ),
             }
         );
         // --dir stays as an alias for scripts written against PR 6.
@@ -793,6 +870,31 @@ mod tests {
         assert!(Command::parse(&["serve", "--slice", "x"]).is_err());
         assert!(Command::parse(&["serve", "--max-jobs", "0"]).is_err());
         assert!(Command::parse(&["serve", "--frobnicate"]).is_err());
+        // Bad fault specs fail at parse time with the plan's message.
+        let err = Command::parse(&["serve", "--disk-faults", "torn=2"]).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert!(Command::parse(&["serve", "--disk-faults", "wobble=1"]).is_err());
+    }
+
+    #[test]
+    fn fsck_takes_one_dir_and_repair() {
+        assert_eq!(
+            Command::parse(&["fsck", "/tmp/state"]).unwrap(),
+            Command::Fsck {
+                dir: "/tmp/state".to_string(),
+                repair: false,
+            }
+        );
+        assert_eq!(
+            Command::parse(&["fsck", "--repair", "/tmp/state"]).unwrap(),
+            Command::Fsck {
+                dir: "/tmp/state".to_string(),
+                repair: true,
+            }
+        );
+        assert!(Command::parse(&["fsck"]).is_err());
+        assert!(Command::parse(&["fsck", "a", "b"]).is_err());
+        assert!(Command::parse(&["fsck", "a", "--frobnicate"]).is_err());
     }
 
     #[test]
@@ -920,7 +1022,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_subcommand() {
         for word in [
-            "codesign", "evaluate", "space", "journal", "resume", "serve", "client", "help",
+            "codesign", "evaluate", "space", "journal", "resume", "serve", "fsck", "client", "help",
         ] {
             assert!(USAGE.contains(word));
         }
@@ -942,6 +1044,8 @@ mod tests {
             "--state-dir",
             "--dir",
             "--max-jobs",
+            "--disk-faults",
+            "--repair",
             "--key",
         ] {
             assert!(USAGE.contains(flag), "missing {flag}");
@@ -984,8 +1088,11 @@ mod parse_property_tests {
             "journal",
             "resume",
             "serve",
+            "fsck",
             "client",
             "--strict",
+            "--repair",
+            "--disk-faults",
             "--listen",
             "--workers",
             "--slice",

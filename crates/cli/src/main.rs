@@ -106,10 +106,15 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     counts[idx] += 1;
                 }
             }
+            let verdict = if parsed.corrupt.is_empty() {
+                "all valid"
+            } else {
+                "CORRUPT"
+            };
             match &parsed.truncated_tail {
-                None => println!("{}: {} events, all valid", path, parsed.records.len()),
+                None => println!("{}: {} events, {verdict}", path, parsed.records.len()),
                 Some(tail) => println!(
-                    "{}: {} events, all valid; truncated tail at line {} ({} bytes cut \
+                    "{}: {} events, {verdict}; truncated tail at line {} ({} bytes cut \
                      mid-write, valid prefix ends at byte {})",
                     path,
                     parsed.records.len(),
@@ -118,8 +123,22 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     parsed.valid_bytes,
                 ),
             }
+            // In a checksummed journal, damaged records are localized
+            // with their byte offsets — and always fatal, strict or not:
+            // a checksum mismatch is disk rot, not a crash scar.
+            for c in &parsed.corrupt {
+                println!("  corrupt record: {c}");
+            }
             for (kind, n) in EVENT_KINDS.iter().zip(&counts) {
                 println!("  {kind:<20} {n}");
+            }
+            if let Some(c) = parsed.corrupt.first() {
+                return Err(format!(
+                    "{} corrupt record(s), first at {c}; run `spotlight fsck --repair` \
+                     on the owning state dir, or truncate to the last valid prefix",
+                    parsed.corrupt.len(),
+                )
+                .into());
             }
             if strict {
                 if let Some(tail) = &parsed.truncated_tail {
@@ -145,6 +164,7 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             slice,
             dir,
             max_jobs,
+            disk_faults,
         } => {
             // Test hook: kill the worker executing the n-th slice, to
             // exercise requeue-and-respawn end to end.
@@ -152,21 +172,46 @@ fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 .ok()
                 .map(|n| n.parse())
                 .transpose()?;
+            if let Some(plan) = &disk_faults {
+                eprintln!("disk-fault injection armed: {plan}");
+            }
             let server = Arc::new(Server::new(SchedulerOptions {
                 workers,
                 slice,
                 dir: dir.into(),
                 kill_after,
                 max_jobs,
+                disk_faults,
             })?);
             let recovered = server.jobs_recovered();
             if recovered > 0 {
                 eprintln!("recovered {recovered} job(s) from the state dir");
             }
+            let quarantined = server.jobs_quarantined();
+            if quarantined > 0 {
+                eprintln!(
+                    "quarantined {quarantined} corrupt job(s); \
+                     run `spotlight fsck` for details"
+                );
+            }
             let (listener, addr) = bind(&listen)?;
             // Scripts parse this line to discover the bound port.
             println!("listening on {addr}");
             serve_loop(listener, server, ServeOptions::default())?;
+        }
+        Command::Fsck { dir, repair } => {
+            let report = spotlight_runtime::fsck_store(std::path::Path::new(&dir), repair)?;
+            print!("{}", report.render());
+            // Exit contract mirrors `journal --strict`: corruption is
+            // non-zero — unless --repair just dealt with all of it, in
+            // which case the re-scan (and the daemon) will be clean.
+            if !report.is_clean() && !repair {
+                return Err(format!(
+                    "{} corruption finding(s) in {dir}; re-run with --repair",
+                    report.corruption_count(),
+                )
+                .into());
+            }
         }
         Command::Client { addr, request } => {
             let lines =

@@ -1,0 +1,120 @@
+//! `spotlight fsck` exit-code contract, end to end through the binary:
+//! a clean store scans clean (exit 0), corruption is reported with a
+//! non-zero exit, `--repair` fixes or quarantines everything it found
+//! (exit 0), and the store re-scans clean afterwards.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use spotlight_runtime::{JobState, RunSpec, SchedulerOptions, Server};
+
+const BIN: &str = env!("CARGO_BIN_EXE_spotlight-cli");
+
+struct Workdir(PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spotlight-fsck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Workdir(dir)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 path")
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs a one-worker daemon until the submitted job completes, so the
+/// state dir holds a full spec + WAL + journal + report set.
+fn populate(dir: &Workdir) {
+    let server = Server::new(SchedulerOptions {
+        workers: 1,
+        slice: 2,
+        dir: dir.0.clone(),
+        kill_after: None,
+        max_jobs: None,
+        disk_faults: None,
+    })
+    .expect("state dir opens");
+    let spec = RunSpec::parse_str("--model transformer --hw 4 --sw 4 --seed 11").unwrap();
+    let (id, _) = server.submit(spec, None).unwrap();
+    for _ in 0..1200 {
+        if server.status(id).map(|s| s.state) == Some(JobState::Completed) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(server.status(id).unwrap().state, JobState::Completed);
+    server.shutdown();
+}
+
+fn fsck(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_store_scans_clean() {
+    let dir = Workdir::new("clean");
+    populate(&dir);
+    let (ok, stdout, stderr) = fsck(&["fsck", dir.path()]);
+    assert!(ok, "a clean store must exit zero: {stderr}");
+    assert!(stdout.contains("0 corrupt"), "{stdout}");
+}
+
+#[test]
+fn corruption_fails_then_repair_quarantines_then_rescan_is_clean() {
+    let dir = Workdir::new("repair");
+    populate(&dir);
+
+    // One bit of rot mid-WAL. XOR 0x01 never fabricates a newline, and
+    // stepping off newline bytes keeps the flip inside a record.
+    let wal = dir.0.join("jobs").join("job-000001").join("wal.jsonl");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let mut i = bytes.len() / 2;
+    while bytes[i] == b'\n' {
+        i -= 1;
+    }
+    bytes[i] ^= 0x01;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let (ok, stdout, stderr) = fsck(&["fsck", dir.path()]);
+    assert!(!ok, "corruption must exit non-zero");
+    assert!(stdout.contains("CORRUPT"), "{stdout}");
+    assert!(
+        stderr.contains("re-run with --repair"),
+        "the error must point at the fix: {stderr}"
+    );
+
+    let (ok, stdout, stderr) = fsck(&["fsck", dir.path(), "--repair"]);
+    assert!(
+        ok,
+        "--repair must exit zero once everything is handled: {stderr}"
+    );
+    assert!(
+        stdout.contains("repair:"),
+        "repair actions must be reported: {stdout}"
+    );
+
+    let (ok, stdout, _) = fsck(&["fsck", dir.path()]);
+    assert!(ok, "a repaired store must re-scan clean: {stdout}");
+    assert!(stdout.contains("quarantined"), "{stdout}");
+}
+
+#[test]
+fn fsck_on_a_missing_dir_fails() {
+    let dir = Workdir::new("missing");
+    let (ok, _, stderr) = fsck(&["fsck", dir.path()]);
+    assert!(!ok);
+    assert!(!stderr.is_empty(), "the refusal must say why");
+}

@@ -1,17 +1,32 @@
 //! The JSONL run journal: one serialized [`Record`] per line, manifest
 //! first. A journal you can tail is also a journal you can replay.
+//!
+//! Journals come in two framing disciplines. *Unframed* journals are
+//! the original format: raw record lines, the one-shot CLI default, and
+//! byte-pinned by the golden tests. *Checked* journals (the daemon's
+//! format) frame every line with a CRC32C field (see [`crate::crc`])
+//! and stamp the manifest line with an `integrity` marker, so mid-file
+//! corruption is detected and localized to one record instead of
+//! poisoning the whole file. The tolerant reader accepts both, and a
+//! checked journal that has rotted reports [`CorruptRecord`]s with byte
+//! offsets rather than an error.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use crate::event::Record;
+use crate::crc::{check_line, claims_framing, frame_line, LineIntegrity, INTEGRITY_CRC32C};
+use crate::event::{Event, Record};
+use crate::io::StoreIo;
 use crate::sink::EventSink;
 
 /// An [`EventSink`] that appends each record as one JSON line.
 pub struct JournalWriter {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    /// When set, every line is CRC32C-framed and the manifest line is
+    /// stamped with the `integrity` marker.
+    checked: bool,
 }
 
 impl JournalWriter {
@@ -30,21 +45,65 @@ impl JournalWriter {
         Ok(JournalWriter::to_writer(Box::new(file)))
     }
 
-    /// Journals onto an arbitrary writer.
+    /// Creates (truncating) the journal through a [`StoreIo`], framing
+    /// every line when `checked` — the daemon's journal path.
+    pub fn create_with(
+        io: &Arc<dyn StoreIo>,
+        path: impl AsRef<Path>,
+        checked: bool,
+    ) -> io::Result<Self> {
+        let out = io.open_truncate(path.as_ref())?;
+        Ok(JournalWriter {
+            out: Mutex::new(BufWriter::new(out)),
+            checked,
+        })
+    }
+
+    /// Opens the journal for appending through a [`StoreIo`]. Pass the
+    /// framing discipline the existing file uses (a recovered journal
+    /// reports it via [`ParsedJournal::checked`]) so appended lines
+    /// match the prefix.
+    pub fn append_with(
+        io: &Arc<dyn StoreIo>,
+        path: impl AsRef<Path>,
+        checked: bool,
+    ) -> io::Result<Self> {
+        let out = io.open_append(path.as_ref())?;
+        Ok(JournalWriter {
+            out: Mutex::new(BufWriter::new(out)),
+            checked,
+        })
+    }
+
+    /// Journals onto an arbitrary writer (unframed).
     pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
         JournalWriter {
             out: Mutex::new(BufWriter::new(out)),
+            checked: false,
         }
     }
 }
 
 impl EventSink for JournalWriter {
     fn record(&self, rec: &Record) {
+        let mut line = rec.to_json();
+        if self.checked {
+            if matches!(rec.event, Event::RunStarted { .. }) {
+                // The manifest line declares the file's discipline, so
+                // a reader knows every line is supposed to verify even
+                // if the first frame itself is damaged.
+                line = format!(
+                    "{},\"integrity\":\"{INTEGRITY_CRC32C}\"}}",
+                    &line[..line.len() - 1]
+                );
+            }
+            line = frame_line(&line);
+        }
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // A full disk mid-run should not abort the search; the final
         // flush (or drop) surfaces nothing either, matching eprintln!
         // semantics for the observability side channel.
-        let _ = writeln!(out, "{}", rec.to_json());
+        let _ = writeln!(out, "{line}");
     }
 
     fn flush(&self) {
@@ -108,8 +167,37 @@ pub struct TruncatedTail {
     pub text: String,
 }
 
+/// One record-sized hole in an otherwise readable journal or WAL: a
+/// terminated line that failed its integrity check. Localized by byte
+/// offset so `fsck --repair` can truncate to the last good prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptRecord {
+    /// 1-based line number of the damaged line.
+    pub line: usize,
+    /// Byte offset where the damaged line starts.
+    pub offset: u64,
+    /// Byte length of the damaged line, including its newline.
+    pub len: u64,
+    /// What failed: checksum mismatch, missing frame, bad UTF-8, ...
+    pub reason: String,
+}
+
+impl std::fmt::Display for CorruptRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {} (bytes {}..{}): {}",
+            self.line,
+            self.offset,
+            self.offset + self.len,
+            self.reason
+        )
+    }
+}
+
 /// Outcome of a tolerant journal parse: every complete record, plus the
-/// truncated tail if the journal ends in one.
+/// truncated tail if the journal ends in one, plus any mid-file records
+/// that failed verification in a checksummed file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedJournal {
     /// The complete, valid records.
@@ -120,47 +208,116 @@ pub struct ParsedJournal {
     /// Resume truncates the journal file to this length before
     /// appending, so the continued journal stays well-formed.
     pub valid_bytes: u64,
+    /// Terminated lines that failed their integrity check. Only a
+    /// checksummed file can report these; an empty vec means every
+    /// terminated record verified (or the file predates framing).
+    pub corrupt: Vec<CorruptRecord>,
+    /// Whether the file uses CRC32C framing (any line framed, or the
+    /// manifest carries the integrity marker). Appenders should match
+    /// this discipline.
+    pub checked: bool,
 }
 
-/// Like [`parse_journal`], but a final line cut mid-write (crash
-/// signature: unterminated, whether or not it happens to parse) becomes
-/// a clean [`TruncatedTail`] instead of an error. Terminated malformed
-/// lines are still schema drift and still fail.
-pub fn parse_journal_tolerant(text: &str) -> Result<ParsedJournal, JournalError> {
+/// Like [`parse_journal`], but over raw bytes and tolerant of damage.
+/// A final line cut mid-write (crash signature: unterminated, whether
+/// or not it happens to parse) becomes a clean [`TruncatedTail`]. In a
+/// checksummed file, terminated lines that fail verification — CRC
+/// mismatch, stripped frame, invalid UTF-8 — become [`CorruptRecord`]s
+/// instead of poisoning the parse. Terminated malformed lines in an
+/// unframed legacy file are still schema drift and still fail, as does
+/// a line whose checksum verifies but whose payload does not parse
+/// (the writer itself was broken, not the disk).
+pub fn parse_journal_tolerant_bytes(bytes: &[u8]) -> Result<ParsedJournal, JournalError> {
     let mut parsed = ParsedJournal {
         records: Vec::new(),
         truncated_tail: None,
         valid_bytes: 0,
+        corrupt: Vec::new(),
+        checked: false,
     };
-    for (idx, segment) in text.split_inclusive('\n').enumerate() {
-        let terminated = segment.ends_with('\n');
+    let mut offset = 0u64;
+    for (idx, segment) in bytes.split_inclusive(|&b| b == b'\n').enumerate() {
+        let terminated = segment.last() == Some(&b'\n');
         if !terminated {
             // Only the final segment can be unterminated: the crash scar.
             parsed.truncated_tail = Some(TruncatedTail {
                 line: idx + 1,
-                text: segment.to_string(),
+                text: String::from_utf8_lossy(segment).into_owned(),
             });
             break;
         }
-        let line = segment.trim_end_matches('\n').trim_end_matches('\r');
-        if !line.trim().is_empty() {
-            let rec = Record::from_json(line).map_err(|message| JournalError {
+        let corrupt = |reason: String, parsed: &mut ParsedJournal| {
+            parsed.corrupt.push(CorruptRecord {
                 line: idx + 1,
-                message,
-            })?;
-            parsed.records.push(rec);
+                offset,
+                len: segment.len() as u64,
+                reason,
+            });
+        };
+        let mut line_end = segment.len() - 1;
+        if segment[..line_end].last() == Some(&b'\r') {
+            line_end -= 1;
         }
-        parsed.valid_bytes += segment.len() as u64;
+        match std::str::from_utf8(&segment[..line_end]) {
+            Err(e) => {
+                // Bit rot can push a byte outside UTF-8 entirely; that
+                // is disk damage, not schema drift, whatever the file's
+                // framing discipline.
+                corrupt(format!("invalid UTF-8 ({e})"), &mut parsed);
+            }
+            Ok(line) if line.trim().is_empty() => {}
+            Ok(line) => match check_line(line) {
+                LineIntegrity::Valid => {
+                    parsed.checked = true;
+                    let rec = Record::from_json(line).map_err(|message| JournalError {
+                        line: idx + 1,
+                        message,
+                    })?;
+                    parsed.records.push(rec);
+                }
+                LineIntegrity::Mismatch { stored, computed } => {
+                    parsed.checked = true;
+                    corrupt(
+                        format!("checksum mismatch (stored {stored:08x}, computed {computed:08x})"),
+                        &mut parsed,
+                    );
+                }
+                LineIntegrity::Unframed if parsed.checked || claims_framing(line) => {
+                    parsed.checked = true;
+                    corrupt(
+                        "unframed line in a checksummed file (damaged or stripped crc)".to_string(),
+                        &mut parsed,
+                    );
+                }
+                LineIntegrity::Unframed => {
+                    // A legacy pre-CRC line: parses or it is drift.
+                    let rec = Record::from_json(line).map_err(|message| JournalError {
+                        line: idx + 1,
+                        message,
+                    })?;
+                    parsed.records.push(rec);
+                }
+            },
+        }
+        offset += segment.len() as u64;
+        parsed.valid_bytes = offset;
     }
     Ok(parsed)
 }
 
-/// Reads the journal file at `path` with [`parse_journal_tolerant`].
-/// The outer result is I/O, the inner one the schema check.
+/// [`parse_journal_tolerant_bytes`] over text that is already a string.
+pub fn parse_journal_tolerant(text: &str) -> Result<ParsedJournal, JournalError> {
+    parse_journal_tolerant_bytes(text.as_bytes())
+}
+
+/// Reads the journal file at `path` with [`parse_journal_tolerant_bytes`].
+/// The outer result is I/O, the inner one the schema check. Reads raw
+/// bytes, so a single non-UTF8 rotted byte yields a localized
+/// [`CorruptRecord`] rather than an opaque io error.
 pub fn read_journal_tolerant(
     path: impl AsRef<Path>,
 ) -> io::Result<Result<ParsedJournal, JournalError>> {
-    Ok(parse_journal_tolerant(&std::fs::read_to_string(path)?))
+    Ok(parse_journal_tolerant_bytes(&std::fs::read(path)?))
 }
 
 #[cfg(test)]
@@ -250,6 +407,128 @@ mod tests {
         let text = format!("not json\n{good}\n");
         let err = parse_journal_tolerant(&text).unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    fn manifest_record() -> Record {
+        let manifest = crate::event::RunManifest {
+            seed: 7,
+            variant: "Spotlight".into(),
+            backend: "sim".into(),
+            ranges: "ParamRanges { .. }".into(),
+            budget: "Budget { .. }".into(),
+            hw_samples: 2,
+            sw_samples: 4,
+            threads: 1,
+            git: "unknown".into(),
+            objective: "edp".into(),
+            scale: "edge".into(),
+            models: "resnet18".into(),
+            faults: String::new(),
+            noise: String::new(),
+            replicates: 1,
+            robust_agg: "mean".into(),
+            fidelity: String::new(),
+        };
+        Record {
+            hw_sample: None,
+            layer: None,
+            event: Event::RunStarted {
+                manifest: Box::new(manifest),
+            },
+        }
+    }
+
+    #[test]
+    fn checked_writer_frames_every_line_and_stamps_the_manifest() {
+        let dir = std::env::temp_dir().join(format!(
+            "spotlight-obs-checked-journal-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let io: Arc<dyn StoreIo> = Arc::new(crate::io::RealFs);
+        let writer = JournalWriter::create_with(&io, &path, true).unwrap();
+        writer.record(&manifest_record());
+        writer.record(&sample());
+        writer.flush();
+        drop(writer);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            assert_eq!(check_line(line), LineIntegrity::Valid, "unframed: {line}");
+        }
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"integrity\":\"crc32c\""));
+
+        // Round trip: the tolerant reader sees a checked, clean file,
+        // and the strict reader still parses it (crc is additive).
+        let parsed = read_journal_tolerant(&path).unwrap().unwrap();
+        assert!(parsed.checked);
+        assert!(parsed.corrupt.is_empty());
+        assert_eq!(parsed.records.len(), 2);
+        assert!(read_journal(&path).unwrap().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_in_a_checked_file_is_localized_not_fatal() {
+        let good = frame_line(&sample().to_json());
+        let bad = good.replace("delay_cycles", "delay_cycLes");
+        let text = format!("{good}\n{bad}\n{good}\n");
+        let parsed = parse_journal_tolerant(&text).unwrap();
+        assert!(parsed.checked);
+        assert_eq!(parsed.records.len(), 2, "clean neighbors still parse");
+        assert_eq!(parsed.corrupt.len(), 1);
+        let c = &parsed.corrupt[0];
+        assert_eq!(c.line, 2);
+        assert_eq!(c.offset as usize, good.len() + 1);
+        assert_eq!(c.len as usize, bad.len() + 1);
+        assert!(c.reason.contains("checksum mismatch"), "{}", c.reason);
+    }
+
+    #[test]
+    fn stripped_frame_in_a_checked_file_is_corrupt() {
+        let framed = frame_line(&sample().to_json());
+        // Line 2 lost its frame entirely (e.g. truncated rewrite).
+        let text = format!("{framed}\n{}\n", sample().to_json());
+        let parsed = parse_journal_tolerant(&text).unwrap();
+        assert_eq!(parsed.corrupt.len(), 1);
+        assert!(parsed.corrupt[0].reason.contains("unframed line"));
+    }
+
+    #[test]
+    fn damaged_frame_suffix_on_the_first_line_is_still_caught() {
+        // A flip inside the crc suffix makes the line look unframed;
+        // the residual ",\"crc\":\"" text still testifies to framing.
+        let framed = frame_line(&sample().to_json());
+        let damaged = framed.replace("\"crc\":\"", "\"crc\":4");
+        assert_eq!(check_line(&damaged), LineIntegrity::Unframed);
+        let parsed = parse_journal_tolerant(&format!("{damaged}\n")).unwrap();
+        assert_eq!(parsed.corrupt.len(), 1);
+    }
+
+    #[test]
+    fn legacy_unframed_files_still_parse_without_corruption_verdicts() {
+        let good = sample().to_json();
+        let parsed = parse_journal_tolerant(&format!("{good}\n{good}\n")).unwrap();
+        assert!(!parsed.checked);
+        assert!(parsed.corrupt.is_empty());
+        assert_eq!(parsed.records.len(), 2);
+    }
+
+    #[test]
+    fn non_utf8_bit_rot_is_a_localized_corrupt_record() {
+        let good = sample().to_json();
+        let mut bytes = format!("{good}\n{good}\n{good}\n").into_bytes();
+        bytes[good.len() + 3] = 0xFF;
+        let parsed = parse_journal_tolerant_bytes(&bytes).unwrap();
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.corrupt.len(), 1);
+        assert_eq!(parsed.corrupt[0].line, 2);
+        assert!(parsed.corrupt[0].reason.contains("invalid UTF-8"));
     }
 
     #[test]

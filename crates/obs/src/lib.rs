@@ -42,15 +42,20 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod crc;
 mod event;
+pub mod io;
 mod journal;
 pub mod json;
 mod sink;
 
+pub use crc::{check_line, crc32c, frame_line, LineIntegrity, INTEGRITY_CRC32C};
 pub use event::{Event, Record, RunManifest, EVENT_KINDS};
+pub use io::{DiskFaultError, DiskFaultPlan, FaultFs, RealFs, StoreIo};
 pub use journal::{
-    parse_journal, parse_journal_tolerant, read_journal, read_journal_tolerant, JournalError,
-    JournalWriter, ParsedJournal, TruncatedTail,
+    parse_journal, parse_journal_tolerant, parse_journal_tolerant_bytes, read_journal,
+    read_journal_tolerant, CorruptRecord, JournalError, JournalWriter, ParsedJournal,
+    TruncatedTail,
 };
 pub use sink::{EventSink, MemorySink, MultiSink, NullSink, ProgressSink};
 

@@ -22,6 +22,11 @@ pub enum JobState {
     Failed,
     /// Cancelled by request; will not be scheduled again.
     Cancelled,
+    /// Quarantined: the job's on-disk WAL or journal failed integrity
+    /// verification. The daemon keeps serving everything else; the job
+    /// is never scheduled again (repair happens offline via
+    /// `spotlight fsck --repair`).
+    Corrupt,
 }
 
 impl JobState {
@@ -33,6 +38,7 @@ impl JobState {
             JobState::Completed => "completed",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::Corrupt => "corrupt",
         }
     }
 
@@ -48,6 +54,7 @@ impl JobState {
             "completed" => JobState::Completed,
             "failed" => JobState::Failed,
             "cancelled" => JobState::Cancelled,
+            "corrupt" => JobState::Corrupt,
             other => return Err(format!("unknown job state `{other}`")),
         })
     }
@@ -56,7 +63,7 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Completed | JobState::Failed | JobState::Cancelled
+            JobState::Completed | JobState::Failed | JobState::Cancelled | JobState::Corrupt
         )
     }
 }
@@ -146,11 +153,13 @@ mod tests {
             JobState::Completed,
             JobState::Failed,
             JobState::Cancelled,
+            JobState::Corrupt,
         ] {
             assert_eq!(JobState::from_str_name(s.as_str()).unwrap(), s);
         }
         assert!(JobState::from_str_name("zombie").is_err());
         assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Corrupt.is_terminal());
         assert!(!JobState::Running.is_terminal());
     }
 }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fsck;
 pub mod job;
 pub mod metrics;
 pub mod proto;
@@ -40,10 +41,12 @@ pub mod serve;
 pub mod spec;
 pub mod store;
 
+pub use fsck::{fsck_store, FsckReport, JobVerdict};
 pub use job::{Job, JobId, JobState, JobStatus};
 pub use metrics::{metric_value, render_metrics, validate_metrics, ServerCounters};
 pub use proto::{Request, Response, MAX_FRAME_LEN};
 pub use runner::advance_job;
+pub use runner::JOURNAL_INTEGRITY_PREFIX;
 pub use runner::{
     build_observer, resume_job, run_job, CrashAfterCheckpoint, RunOutput, RuntimeError,
     SliceProgress,
@@ -53,4 +56,4 @@ pub use serve::{
     bind, run_client, run_client_with_retry, serve_loop, Listener, ReconnectPolicy, ServeOptions,
 };
 pub use spec::{parse_variant, resolve_model, RunSpec, SpecError};
-pub use store::{JobStore, PersistedJob, StoreError};
+pub use store::{fold_wal, JobStore, PersistedJob, StoreError, WalFold};

@@ -24,6 +24,9 @@ pub struct ServerCounters {
     pub jobs_cancelled: u64,
     /// Non-terminal jobs recovered from the job store at startup.
     pub jobs_recovered: u64,
+    /// Jobs quarantined because their WAL or journal failed integrity
+    /// verification (at startup or when a slice hit mid-file rot).
+    pub jobs_quarantined: u64,
     /// Submits refused by the admission cap.
     pub jobs_rejected: u64,
     /// Scheduler slices executed (a killed slice counts).
@@ -194,6 +197,12 @@ pub fn render_metrics(
     );
     counter(
         &mut out,
+        "spotlight_jobs_quarantined_total",
+        "Jobs quarantined after a WAL or journal integrity failure.",
+        server.jobs_quarantined,
+    );
+    counter(
+        &mut out,
         "spotlight_jobs_rejected_total",
         "Submits refused by the admission cap.",
         server.jobs_rejected,
@@ -221,9 +230,10 @@ pub fn render_metrics(
 
 /// Metric families every serve exposition page must carry; a page
 /// missing one means a scrape contract regressed.
-const REQUIRED_FAMILIES: [&str; 3] = [
+const REQUIRED_FAMILIES: [&str; 4] = [
     "spotlight_uptime_seconds",
     "spotlight_jobs_recovered_total",
+    "spotlight_jobs_quarantined_total",
     "spotlight_jobs_rejected_total",
 ];
 
@@ -373,6 +383,7 @@ mod tests {
             jobs_completed: 2,
             jobs_cancelled: 1,
             jobs_recovered: 2,
+            jobs_quarantined: 1,
             jobs_rejected: 4,
             slices: 9,
             workers_started: 3,
@@ -440,6 +451,10 @@ mod tests {
         assert_eq!(
             metric_value(&text, "spotlight_jobs_recovered_total"),
             Some(2.0)
+        );
+        assert_eq!(
+            metric_value(&text, "spotlight_jobs_quarantined_total"),
+            Some(1.0)
         );
         assert_eq!(
             metric_value(&text, "spotlight_jobs_rejected_total"),

@@ -13,9 +13,10 @@ use spotlight::codesign::{
 use spotlight::report::final_report;
 use spotlight_eval::{GlobalEvalStats, SharedCache};
 use spotlight_maestro::Objective;
+use spotlight_obs::io::StoreIo;
 use spotlight_obs::{
-    read_journal_tolerant, Event, EventSink, JournalError, JournalWriter, Observer, ProgressSink,
-    Record,
+    parse_journal_tolerant_bytes, read_journal_tolerant, Event, EventSink, JournalError,
+    JournalWriter, Observer, ParsedJournal, ProgressSink, RealFs, Record,
 };
 
 use crate::spec::{RunSpec, SpecError};
@@ -59,6 +60,28 @@ impl From<spotlight::codesign::ConfigError> for RuntimeError {
 impl From<ResumeError> for RuntimeError {
     fn from(e: ResumeError) -> Self {
         RuntimeError(e.to_string())
+    }
+}
+
+/// Prefix carried by every journal-integrity refusal, so the scheduler
+/// can tell "the journal rotted on disk" (quarantine the job) apart
+/// from an ordinary slice failure (fail the job).
+pub const JOURNAL_INTEGRITY_PREFIX: &str = "journal integrity: ";
+
+/// Refuses to extend a journal whose checksummed records failed
+/// verification. A crash scar (truncated tail) is recoverable damage —
+/// a mid-file checksum mismatch is not: the checkpoints it held are
+/// gone, and replaying around the hole would silently change the run.
+fn refuse_corrupt(parsed: &ParsedJournal, path: &Path) -> Result<(), RuntimeError> {
+    match parsed.corrupt.first() {
+        None => Ok(()),
+        Some(first) => Err(RuntimeError(format!(
+            "{JOURNAL_INTEGRITY_PREFIX}{}: {} damaged record(s), first at {}; \
+             refusing to extend a damaged journal (run `spotlight fsck --repair`)",
+            path.display(),
+            parsed.corrupt.len(),
+            first,
+        ))),
     }
 }
 
@@ -203,6 +226,7 @@ pub fn run_job(
 /// no manifest, or already ends in `run_finished`.
 pub fn resume_job(path: &str, progress: bool) -> Result<RunOutput, RuntimeError> {
     let parsed = read_journal_tolerant(path)??;
+    refuse_corrupt(&parsed, Path::new(path))?;
     if let Some(tail) = &parsed.truncated_tail {
         eprintln!(
             "journal ends in a line cut mid-write at line {} ({} bytes): \
@@ -245,11 +269,15 @@ pub fn resume_job(path: &str, progress: bool) -> Result<RunOutput, RuntimeError>
         .filter_map(|r| SampleCheckpoint::from_event(&r.event))
         .collect();
     // Drop the crash scar so the continued journal stays well-formed,
-    // then append to the valid prefix.
-    let file = std::fs::OpenOptions::new().write(true).open(path)?;
-    file.set_len(parsed.valid_bytes)?;
-    drop(file);
-    let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(JournalWriter::append(path)?)];
+    // then append to the valid prefix, matching the file's framing
+    // discipline (a daemon journal resumed from the CLI stays checked).
+    let fs: Arc<dyn StoreIo> = Arc::new(RealFs);
+    fs.set_len(Path::new(path), parsed.valid_bytes)?;
+    let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(JournalWriter::append_with(
+        &fs,
+        path,
+        parsed.checked,
+    )?)];
     if progress {
         sinks.push(Arc::new(ProgressSink::stderr()));
     }
@@ -275,23 +303,22 @@ pub fn resume_job(path: &str, progress: bool) -> Result<RunOutput, RuntimeError>
 /// recompute-the-winner path a resume from the final checkpoint takes —
 /// so the epilogue must not be left to confuse the recovery parse.
 /// Relies on `type` always being serialized first.
-fn strip_epilogue(path: &Path) -> Result<(), RuntimeError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        // A non-UTF-8 scar byte mid-line: leave it to the tolerant
-        // parser, which treats the unterminated tail as a crash scar.
+fn strip_epilogue(fs: &Arc<dyn StoreIo>, path: &Path) -> Result<(), RuntimeError> {
+    // Raw bytes: a non-UTF-8 rotted byte must not hide the epilogue of
+    // the lines around it (the tolerant parser will judge it later).
+    let bytes = match fs.read(path) {
+        Ok(b) => b,
         Err(_) => return Ok(()),
     };
-    let mut offset = 0usize;
-    for line in text.split_inclusive('\n') {
-        if line.starts_with("{\"type\":\"phase_timing\"")
-            || line.starts_with("{\"type\":\"run_finished\"")
+    let mut offset = 0u64;
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
+        if line.starts_with(b"{\"type\":\"phase_timing\"")
+            || line.starts_with(b"{\"type\":\"run_finished\"")
         {
-            let f = std::fs::OpenOptions::new().write(true).open(path)?;
-            f.set_len(offset as u64)?;
+            fs.set_len(path, offset)?;
             return Ok(());
         }
-        offset += line.len();
+        offset += line.len() as u64;
     }
     Ok(())
 }
@@ -306,16 +333,25 @@ fn strip_epilogue(path: &Path) -> Result<(), RuntimeError> {
 /// `shared_cache` / `global` attach the serve-level sharing layer; pass
 /// `None` for the isolated single-job behaviour.
 ///
+/// `io` routes every journal read/write/truncate through a [`StoreIo`]
+/// (the daemon's path: checksummed framing on fresh journals, and
+/// disk-fault injection under `--disk-faults`). With `None` the journal
+/// is written unframed through the real filesystem, byte-identical to
+/// the pre-CRC format.
+///
 /// # Errors
 ///
 /// Returns a [`RuntimeError`] for spec, journal, or resume failures
-/// (RNG drift, excess checkpoints).
+/// (RNG drift, excess checkpoints). A journal whose checksummed records
+/// fail verification is refused with a [`JOURNAL_INTEGRITY_PREFIX`]
+/// message so the scheduler quarantines rather than retries.
 pub fn advance_job(
     spec: &RunSpec,
     journal: &Path,
     live_budget: usize,
     shared_cache: Option<&SharedCache>,
     global: Option<Arc<GlobalEvalStats>>,
+    io: Option<&Arc<dyn StoreIo>>,
 ) -> Result<SliceProgress, RuntimeError> {
     let models = spec.resolve_models()?;
     let cfg = spec.to_codesign_config()?;
@@ -326,10 +362,13 @@ pub fn advance_job(
     if let Some(global) = global {
         engine = engine.with_global_stats(global);
     }
+    let real: Arc<dyn StoreIo> = Arc::new(RealFs);
+    let fs = io.unwrap_or(&real);
 
     let (writer, replay) = if journal.exists() {
-        strip_epilogue(journal)?;
-        let parsed = read_journal_tolerant(journal)??;
+        strip_epilogue(fs, journal)?;
+        let parsed = parse_journal_tolerant_bytes(&fs.read(journal)?)?;
+        refuse_corrupt(&parsed, journal)?;
         let manifest = parsed.records.iter().find_map(|r| match &r.event {
             Event::RunStarted { manifest } => Some(manifest.clone()),
             _ => None,
@@ -352,17 +391,25 @@ pub fn advance_job(
                 .iter()
                 .filter_map(|r| SampleCheckpoint::from_event(&r.event))
                 .collect();
-            // Drop any crash scar, then append to the valid prefix.
-            let file = std::fs::OpenOptions::new().write(true).open(journal)?;
-            file.set_len(parsed.valid_bytes)?;
-            drop(file);
-            (JournalWriter::append(journal)?, checkpoints)
+            // Drop any crash scar, then append to the valid prefix,
+            // keeping the framing discipline the file already uses.
+            fs.set_len(journal, parsed.valid_bytes)?;
+            (
+                JournalWriter::append_with(fs, journal, parsed.checked)?,
+                checkpoints,
+            )
         } else {
             // Died before the manifest reached the disk: start over.
-            (JournalWriter::create(journal)?, Vec::new())
+            (
+                JournalWriter::create_with(fs, journal, io.is_some())?,
+                Vec::new(),
+            )
         }
     } else {
-        (JournalWriter::create(journal)?, Vec::new())
+        (
+            JournalWriter::create_with(fs, journal, io.is_some())?,
+            Vec::new(),
+        )
     };
 
     let outcome = Spotlight::with_engine(cfg, engine)
@@ -401,7 +448,7 @@ mod tests {
         let journal = dir.join("job.jsonl");
         let mut slices = 0;
         let report = loop {
-            match advance_job(&spec, &journal, 2, None, None).unwrap() {
+            match advance_job(&spec, &journal, 2, None, None, None).unwrap() {
                 SliceProgress::Paused { completed, total } => {
                     assert!(completed < total);
                     slices += 1;
@@ -421,14 +468,14 @@ mod tests {
         let dir = tmp("epilogue");
         let journal = dir.join("job.jsonl");
         // Run to completion in one slice, leaving a full epilogue...
-        let finished = match advance_job(&spec, &journal, 99, None, None).unwrap() {
+        let finished = match advance_job(&spec, &journal, 99, None, None, None).unwrap() {
             SliceProgress::Finished(out) => out.report(),
             other => panic!("expected finish, got {other:?}"),
         };
         // ...then pretend the worker died before reporting: the next
         // slice must strip the epilogue, replay every checkpoint, and
         // reproduce the identical report.
-        let again = match advance_job(&spec, &journal, 99, None, None).unwrap() {
+        let again = match advance_job(&spec, &journal, 99, None, None, None).unwrap() {
             SliceProgress::Finished(out) => out.report(),
             other => panic!("expected finish, got {other:?}"),
         };
@@ -445,7 +492,7 @@ mod tests {
         .unwrap();
         let dir = tmp("fidelity-mismatch");
         let journal = dir.join("job.jsonl");
-        match advance_job(&spec, &journal, 2, None, None).unwrap() {
+        match advance_job(&spec, &journal, 2, None, None, None).unwrap() {
             SliceProgress::Paused { .. } => {}
             other => panic!("expected pause, got {other:?}"),
         }
@@ -453,17 +500,18 @@ mod tests {
         // then with a different one): both must be refused, not silently
         // mixed into the checkpointed observations.
         let bare = RunSpec::parse_str(base).unwrap();
-        let err = advance_job(&bare, &journal, 2, None, None).unwrap_err();
+        let err = advance_job(&bare, &journal, 2, None, None, None).unwrap_err();
         assert!(err.0.contains("different ladder"), "{err}");
         let other =
             RunSpec::parse_str(&format!("{base} --fidelity fidelity=replicate:0.5,rungs=3"))
                 .unwrap();
-        let err = advance_job(&other, &journal, 2, None, None).unwrap_err();
+        let err = advance_job(&other, &journal, 2, None, None, None).unwrap_err();
         assert!(err.0.contains("different ladder"), "{err}");
         // The matching spec still resumes and finishes.
         let mut done = false;
         for _ in 0..4 {
-            if let SliceProgress::Finished(_) = advance_job(&spec, &journal, 2, None, None).unwrap()
+            if let SliceProgress::Finished(_) =
+                advance_job(&spec, &journal, 2, None, None, None).unwrap()
             {
                 done = true;
                 break;
@@ -484,7 +532,16 @@ mod tests {
         // served almost entirely from the first's entries.
         for name in ["a.jsonl", "b.jsonl"] {
             let journal = dir.join(name);
-            match advance_job(&spec, &journal, 99, Some(&cache), Some(global.clone())).unwrap() {
+            match advance_job(
+                &spec,
+                &journal,
+                99,
+                Some(&cache),
+                Some(global.clone()),
+                None,
+            )
+            .unwrap()
+            {
                 SliceProgress::Finished(out) => assert_eq!(isolated, out.report()),
                 other => panic!("expected finish, got {other:?}"),
             }

@@ -21,16 +21,18 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use spotlight_eval::{GlobalEvalStats, SharedCache};
+use spotlight_obs::io::StoreIo;
+use spotlight_obs::{DiskFaultPlan, FaultFs, RealFs};
 
 use crate::job::{Job, JobId, JobState, JobStatus};
 use crate::metrics::{render_metrics, ServerCounters};
-use crate::runner::{advance_job, RuntimeError, SliceProgress};
+use crate::runner::{advance_job, RuntimeError, SliceProgress, JOURNAL_INTEGRITY_PREFIX};
 use crate::spec::RunSpec;
 use crate::store::{JobStore, StoreError};
 
@@ -52,6 +54,11 @@ pub struct SchedulerOptions {
     /// Admission cap: submits are rejected with a retryable error while
     /// this many jobs are non-terminal. `None` is unbounded.
     pub max_jobs: Option<usize>,
+    /// Deterministic disk-fault schedule (`--disk-faults`): every
+    /// durable store and journal write goes through a seeded
+    /// [`FaultFs`] instead of the real filesystem. `None` injects
+    /// nothing.
+    pub disk_faults: Option<DiskFaultPlan>,
 }
 
 impl Default for SchedulerOptions {
@@ -62,6 +69,7 @@ impl Default for SchedulerOptions {
             dir: std::env::temp_dir().join("spotlight-serve"),
             kill_after: None,
             max_jobs: None,
+            disk_faults: None,
         }
     }
 }
@@ -127,11 +135,16 @@ struct Shared {
     jobs_cancelled: AtomicU64,
     jobs_recovered: AtomicU64,
     jobs_rejected: AtomicU64,
+    jobs_quarantined: AtomicU64,
     slices_run: AtomicU64,
     workers_started: AtomicU64,
     workers_died: AtomicU64,
     /// Pool-wide slice ordinal, used only by the kill hook.
     slice_counter: AtomicU64,
+    /// Latched when a WAL append fails with `ENOSPC`: the job that hit
+    /// it parks, and new submits shed with the retryable `Busy` frame
+    /// until the daemon restarts with space available.
+    disk_degraded: AtomicBool,
 }
 
 impl Shared {
@@ -172,20 +185,56 @@ impl Server {
     /// Opens (or creates) the job store under `opts.dir`, recovers every
     /// persisted job, and starts the worker pool. Terminal jobs reload
     /// with their reports; queued and in-flight jobs re-enqueue and
-    /// resume from their journals at the first free worker.
+    /// resume from their journals at the first free worker. A job whose
+    /// WAL or journal fails integrity verification is quarantined in
+    /// the `corrupt` state — recovery keeps going for everything else.
     ///
     /// # Errors
     ///
     /// [`StoreError::Locked`] when another live daemon holds the state
-    /// directory; [`StoreError::Corrupt`] when a persisted record fails
-    /// to parse (recovery refuses to guess); propagates I/O failures.
+    /// directory; propagates I/O failures of the store itself (per-job
+    /// corruption is not fatal).
     pub fn new(opts: SchedulerOptions) -> Result<Server, StoreError> {
-        let store = JobStore::open(&opts.dir)?;
+        let io: Arc<dyn StoreIo> = match opts.disk_faults {
+            Some(plan) => Arc::new(FaultFs::new(plan)),
+            None => Arc::new(RealFs),
+        };
+        let store = JobStore::open_with(&opts.dir, io)?;
         let mut jobs = BTreeMap::new();
         let mut queue = VecDeque::new();
         let mut recovered = 0u64;
-        for loaded in store.load_all()? {
-            let p = loaded?;
+        let mut quarantined = 0u64;
+        for (id, loaded) in store.load_all()? {
+            let p = match loaded {
+                Ok(p) => p,
+                Err(e) => {
+                    // Quarantine: mark the WAL (so the diagnosis
+                    // survives the next restart), surface the job as
+                    // `corrupt`, and keep serving everything else.
+                    let reason = e.to_string();
+                    eprintln!("spotlight-serve: quarantining job {id}: {reason}");
+                    note_store(store.record_corrupt(id, &reason));
+                    let dir = opts.dir.join("jobs").join(format!("job-{id:06}"));
+                    jobs.insert(
+                        id,
+                        Job {
+                            id,
+                            spec: RunSpec::default(),
+                            key: None,
+                            journal: dir.join("journal.jsonl"),
+                            state: JobState::Corrupt,
+                            slices: 0,
+                            samples_done: 0,
+                            cancel_requested: false,
+                            report: None,
+                            best_cost: None,
+                            error: Some(reason),
+                        },
+                    );
+                    quarantined += 1;
+                    continue;
+                }
+            };
             let mut job = Job {
                 id: p.id,
                 spec: p.spec,
@@ -199,6 +248,11 @@ impl Server {
                 best_cost: p.best_cost,
                 error: p.error,
             };
+            if job.state == JobState::Corrupt {
+                // Quarantined on an earlier restart; still counts as
+                // quarantined in this process's metrics.
+                quarantined += 1;
+            }
             if !job.state.is_terminal() {
                 recovered += 1;
                 if job.cancel_requested {
@@ -249,10 +303,12 @@ impl Server {
             jobs_cancelled: AtomicU64::new(0),
             jobs_recovered: AtomicU64::new(recovered),
             jobs_rejected: AtomicU64::new(0),
+            jobs_quarantined: AtomicU64::new(quarantined),
             slices_run: AtomicU64::new(0),
             workers_started: AtomicU64::new(0),
             workers_died: AtomicU64::new(0),
             slice_counter: AtomicU64::new(0),
+            disk_degraded: AtomicBool::new(false),
         });
         for _ in 0..workers {
             spawn_worker(&shared);
@@ -285,6 +341,12 @@ impl Server {
         if st.shutdown {
             return Err(SubmitError::Busy("server is shutting down".into()));
         }
+        if self.shared.disk_degraded.load(Ordering::Relaxed) {
+            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy(
+                "state disk is full; shedding new submits — retry after space is freed".into(),
+            ));
+        }
         if let Some(k) = key {
             if let Some(existing) = st.store.lookup_key(k) {
                 return Ok((existing, true));
@@ -299,10 +361,12 @@ impl Server {
                 )));
             }
         }
-        let (id, journal) = st
-            .store
-            .create(&spec, key)
-            .map_err(|e| SubmitError::Busy(format!("job store write failed: {e}")))?;
+        let (id, journal) = st.store.create(&spec, key).map_err(|e| {
+            if e.is_disk_full() {
+                self.shared.disk_degraded.store(true, Ordering::Relaxed);
+            }
+            SubmitError::Busy(format!("job store write failed: {e}"))
+        })?;
         st.jobs.insert(
             id,
             Job {
@@ -404,6 +468,7 @@ impl Server {
             JobState::Completed,
             JobState::Failed,
             JobState::Cancelled,
+            JobState::Corrupt,
         ] {
             by_state.insert(s.as_str(), 0);
         }
@@ -417,6 +482,7 @@ impl Server {
             jobs_cancelled: self.shared.jobs_cancelled.load(Ordering::Relaxed),
             jobs_recovered: self.shared.jobs_recovered.load(Ordering::Relaxed),
             jobs_rejected: self.shared.jobs_rejected.load(Ordering::Relaxed),
+            jobs_quarantined: self.shared.jobs_quarantined.load(Ordering::Relaxed),
             slices: self.shared.slices_run.load(Ordering::Relaxed),
             workers_started: self.shared.workers_started.load(Ordering::Relaxed),
             workers_died: self.shared.workers_died.load(Ordering::Relaxed),
@@ -439,6 +505,18 @@ impl Server {
     /// Submits refused by the admission cap so far.
     pub fn jobs_rejected(&self) -> u64 {
         self.shared.jobs_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs quarantined in the `corrupt` state — at startup recovery or
+    /// when a slice trips on journal corruption.
+    pub fn jobs_quarantined(&self) -> u64 {
+        self.shared.jobs_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Whether the daemon is shedding submits after an `ENOSPC` WAL
+    /// append (cleared only by a restart with space available).
+    pub fn disk_degraded(&self) -> bool {
+        self.shared.disk_degraded.load(Ordering::Relaxed)
     }
 
     /// Stops accepting work, wakes every worker, and joins the pool —
@@ -490,7 +568,7 @@ fn worker_loop(shared: Arc<Shared>) {
         };
 
         // Claim the job and gather the slice inputs.
-        let (spec, journal, cache) = {
+        let (spec, journal, cache, io) = {
             let mut st = shared.lock();
             let Some(job) = st.jobs.get_mut(&job_id) else {
                 continue;
@@ -521,7 +599,8 @@ fn worker_loop(shared: Arc<Shared>) {
                 .entry(sig)
                 .or_insert_with(|| SharedCache::new(cap))
                 .clone();
-            (spec, journal, cache)
+            let io = st.store.io();
+            (spec, journal, cache, io)
         };
         shared.slices_run.fetch_add(1, Ordering::Relaxed);
 
@@ -537,7 +616,14 @@ fn worker_loop(shared: Arc<Shared>) {
                     panic!("injected worker kill on slice {n}");
                 }
             }
-            advance_job(&spec, &journal, slice, Some(&cache), Some(global))
+            advance_job(
+                &spec,
+                &journal,
+                slice,
+                Some(&cache),
+                Some(global),
+                Some(&io),
+            )
         }));
 
         let mut st = shared.lock();
@@ -561,13 +647,29 @@ fn worker_loop(shared: Arc<Shared>) {
                     // line doubles as the drain marker — a daemon that
                     // stops here recovers the job on restart.
                     job.state = JobState::Queued;
-                    note_store(
-                        st.store
-                            .record_state(job_id, JobState::Queued, slices, samples),
-                    );
-                    st.queue.push_back(job_id);
-                    drop(st);
-                    shared.wake.notify_one();
+                    match st
+                        .store
+                        .record_state(job_id, JobState::Queued, slices, samples)
+                    {
+                        Err(e) if e.is_disk_full() => {
+                            // ENOSPC mid-WAL-append: park the job (it
+                            // stays queued in memory but is never
+                            // rescheduled — its checkpoints are safe)
+                            // and shed new submits until a restart
+                            // finds space again.
+                            shared.disk_degraded.store(true, Ordering::Relaxed);
+                            eprintln!(
+                                "spotlight-serve: WAL append for job {job_id} hit ENOSPC; \
+                                 parking the job and shedding new submits: {e}"
+                            );
+                        }
+                        other => {
+                            note_store(other);
+                            st.queue.push_back(job_id);
+                            drop(st);
+                            shared.wake.notify_one();
+                        }
+                    }
                 }
             }
             Ok(Ok(SliceProgress::Finished(out))) => {
@@ -582,6 +684,17 @@ fn worker_loop(shared: Arc<Shared>) {
                         .record_completed(job_id, &report, best, slices, samples),
                 );
                 shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(e)) if e.to_string().starts_with(JOURNAL_INTEGRITY_PREFIX) => {
+                // The job's own journal failed verification mid-flight
+                // (rot landed after startup recovery checked it).
+                // Quarantine rather than fail: the data is suspect, not
+                // the search.
+                job.state = JobState::Corrupt;
+                job.error = Some(e.to_string());
+                let msg = e.to_string();
+                note_store(st.store.record_corrupt(job_id, &msg));
+                shared.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(e)) => {
                 job.state = JobState::Failed;
@@ -630,6 +743,7 @@ mod tests {
             dir,
             kill_after,
             max_jobs: None,
+            disk_faults: None,
         }
     }
 

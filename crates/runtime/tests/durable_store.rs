@@ -24,6 +24,7 @@ impl Workdir {
             dir: self.0.clone(),
             kill_after: None,
             max_jobs: None,
+            disk_faults: None,
         }
     }
 }

@@ -1,0 +1,327 @@
+//! Storage-integrity integration tests: the CRC framing must catch any
+//! single bit flipped anywhere in a WAL or a daemon journal, ENOSPC on a
+//! WAL append must park the job and shed new submits with a retryable
+//! error, and a daemon restart over a corrupted store must quarantine
+//! exactly the damaged job while every other job recovers byte-identical.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use spotlight_obs::{parse_journal_tolerant_bytes, DiskFaultPlan, FaultFs, RealFs, StoreIo};
+use spotlight_runtime::{
+    advance_job, fold_wal, fsck_store, metric_value, run_job, JobState, JobStore, RunSpec,
+    SchedulerOptions, Server, SliceProgress, SubmitError,
+};
+
+struct Workdir(PathBuf);
+
+impl Workdir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-integrity-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Workdir(dir)
+    }
+
+    fn options(&self, workers: usize, disk_faults: Option<DiskFaultPlan>) -> SchedulerOptions {
+        SchedulerOptions {
+            workers,
+            slice: 2,
+            dir: self.0.clone(),
+            kill_after: None,
+            max_jobs: None,
+            disk_faults,
+        }
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wait_idle(server: &Server) {
+    for _ in 0..1200 {
+        if server.is_idle() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("server never drained: {:?}", server.list());
+}
+
+/// A real on-disk WAL, written once through the store so the fixture
+/// tracks the production framing format exactly.
+fn framed_wal() -> &'static [u8] {
+    static WAL: OnceLock<Vec<u8>> = OnceLock::new();
+    WAL.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-integrity-walfix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = JobStore::open(&dir).unwrap();
+        let spec = RunSpec::parse_str("--model transformer --hw 4 --sw 4 --seed 7").unwrap();
+        let (id, _) = store.create(&spec, None).unwrap();
+        store.record_state(id, JobState::Running, 0, 0).unwrap();
+        store.record_state(id, JobState::Queued, 1, 2).unwrap();
+        store.record_state(id, JobState::Running, 1, 2).unwrap();
+        store
+            .record_completed(id, "report text", 1.5, 2, 4)
+            .unwrap();
+        let bytes = std::fs::read(dir.join("jobs/job-000001/wal.jsonl")).unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+/// A real framed daemon journal: `advance_job` with a store io runs the
+/// search slice-by-slice to completion, framing every record.
+fn framed_journal() -> &'static [u8] {
+    static JOURNAL: OnceLock<Vec<u8>> = OnceLock::new();
+    JOURNAL.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("spotlight-integrity-jfix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let spec = RunSpec::parse_str("--model transformer --hw 4 --sw 4 --seed 7").unwrap();
+        let io: Arc<dyn StoreIo> = Arc::new(RealFs);
+        while let SliceProgress::Paused { .. } =
+            advance_job(&spec, &journal, 2, None, None, Some(&io)).unwrap()
+        {}
+        let bytes = std::fs::read(&journal).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+proptest! {
+    /// Any single-bit flip anywhere in a framed WAL is detected, and the
+    /// damage is localized: at most two records read as corrupt (a flip
+    /// that *becomes* a newline splits one line in two; a flip *of* the
+    /// final newline reads as a torn tail, the same scar a crashed
+    /// append leaves).
+    #[test]
+    fn any_single_bit_flip_in_a_wal_is_detected(
+        i in 0usize..framed_wal().len(),
+        bit in 0u8..8,
+    ) {
+        let clean = framed_wal();
+        let base = fold_wal(clean);
+        prop_assert!(base.corrupt.is_empty() && base.torn_tail.is_none());
+        prop_assert!(base.checked, "the fixture must be a framed WAL");
+
+        let mut bytes = clean.to_vec();
+        bytes[i] ^= 1 << bit;
+        let fold = fold_wal(&bytes);
+        prop_assert!(
+            !fold.corrupt.is_empty() || fold.torn_tail.is_some(),
+            "flip of bit {} at byte {} slipped through undetected",
+            bit, i,
+        );
+        prop_assert!(
+            fold.corrupt.len() <= 2,
+            "one flipped bit must damage at most two records, got {:?}",
+            fold.corrupt,
+        );
+    }
+
+    /// Any single-bit flip anywhere in a framed daemon journal is
+    /// detected by the tolerant parser — as a localized corrupt record,
+    /// a torn tail, or (when the flip mangles structure outright, e.g.
+    /// the manifest line) a hard parse error.
+    #[test]
+    fn any_single_bit_flip_in_a_journal_is_detected(
+        i in 0usize..framed_journal().len(),
+        bit in 0u8..8,
+    ) {
+        let clean = framed_journal();
+        let base = parse_journal_tolerant_bytes(clean).unwrap();
+        prop_assert!(base.corrupt.is_empty() && base.truncated_tail.is_none());
+        prop_assert!(base.checked, "the fixture must be a framed journal");
+
+        let mut bytes = clean.to_vec();
+        bytes[i] ^= 1 << bit;
+        let detected = match parse_journal_tolerant_bytes(&bytes) {
+            Err(_) => true,
+            Ok(parsed) => !parsed.corrupt.is_empty() || parsed.truncated_tail.is_some(),
+        };
+        prop_assert!(detected, "flip of bit {} at byte {} slipped through undetected", bit, i);
+    }
+}
+
+/// ENOSPC on the WAL append at a slice boundary parks the job (its
+/// checkpoints are safe; it is simply never rescheduled) and latches
+/// degraded mode: new submits shed with a retryable `Busy`.
+#[test]
+fn enospc_mid_wal_parks_the_job_and_sheds_submits() {
+    let dir = Workdir::new("enospc");
+    // Per-path warm-up of 2 operations: the job's `queued` and
+    // `running` WAL appends land, the `queued` append at the first
+    // slice boundary is the third operation on the WAL and fails.
+    let plan: DiskFaultPlan = "seed=1,enospc=1.0,after=2".parse().unwrap();
+    let server = Server::new(dir.options(1, Some(plan))).unwrap();
+    let spec = RunSpec::parse_str("--model transformer --hw 8 --sw 4 --seed 9").unwrap();
+    let (id, _) = server.submit(spec, None).unwrap();
+
+    for _ in 0..2000 {
+        if server.disk_degraded() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.disk_degraded(),
+        "an ENOSPC WAL append must latch degraded mode"
+    );
+
+    // Parked, not failed, not rescheduled: the job stays queued with
+    // its progress short of the target.
+    std::thread::sleep(Duration::from_millis(100));
+    let status = server.status(id).unwrap();
+    assert_eq!(status.state, JobState::Queued, "{status:?}");
+    assert!(
+        status.samples_done < status.hw_samples,
+        "a parked job must not keep running: {status:?}"
+    );
+
+    let err = server
+        .submit(
+            RunSpec::parse_str("--model resnet50 --hw 4 --sw 4 --seed 2").unwrap(),
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::Busy(_)), "{err:?}");
+    assert!(err.retryable(), "shedding must be retryable");
+    assert!(err.message().contains("disk"), "{err}");
+    server.shutdown();
+}
+
+/// A daemon restarted over a store with one flipped WAL byte
+/// quarantines exactly that job — terminal `corrupt`, counted in
+/// `spotlight_jobs_quarantined_total` — while the untouched job's
+/// report survives byte-identical. A second restart changes nothing.
+#[test]
+fn restart_quarantines_only_the_corrupted_job() {
+    let specs = [
+        "--model transformer --hw 6 --sw 6 --seed 51",
+        "--model resnet50 --hw 6 --sw 6 --seed 52",
+    ];
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            run_job(&RunSpec::parse_str(s).unwrap(), None, false)
+                .unwrap()
+                .report()
+        })
+        .collect();
+
+    let dir = Workdir::new("quarantine");
+    let server = Server::new(dir.options(2, None)).unwrap();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            server
+                .submit(RunSpec::parse_str(s).unwrap(), None)
+                .unwrap()
+                .0
+        })
+        .collect();
+    wait_idle(&server);
+    for id in &ids {
+        assert_eq!(server.status(*id).unwrap().state, JobState::Completed);
+    }
+    server.shutdown();
+    drop(server);
+
+    // One bit of rot in job 2's WAL. XOR with 0x01 can never fabricate
+    // a newline, and we step off any newline byte, so the flip is
+    // always mid-record — a guaranteed checksum mismatch.
+    let wal = dir.0.join("jobs").join("job-000002").join("wal.jsonl");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let mut i = bytes.len() / 2;
+    while bytes[i] == b'\n' {
+        i -= 1;
+    }
+    bytes[i] ^= 0x01;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let server = Server::new(dir.options(2, None)).unwrap();
+    assert_eq!(server.jobs_quarantined(), 1, "exactly one job quarantined");
+    assert_eq!(
+        metric_value(&server.metrics_text(), "spotlight_jobs_quarantined_total"),
+        Some(1.0),
+    );
+    assert_eq!(
+        server.status(ids[1]).unwrap().state,
+        JobState::Corrupt,
+        "the damaged job lands in the terminal corrupt state"
+    );
+    assert_eq!(
+        server.status(ids[0]).unwrap().state,
+        JobState::Completed,
+        "the clean job must not be touched by its neighbor's rot"
+    );
+    assert_eq!(
+        server.report(ids[0]).as_deref(),
+        Some(expected[0].as_str()),
+        "the clean job's report must survive byte-identical"
+    );
+    server.shutdown();
+    drop(server);
+
+    // Quarantine is idempotent across restarts: still exactly one.
+    let server = Server::new(dir.options(2, None)).unwrap();
+    assert_eq!(server.jobs_quarantined(), 1);
+    assert_eq!(server.status(ids[1]).unwrap().state, JobState::Corrupt);
+    server.shutdown();
+}
+
+/// End to end through the fault injector: a scheduled bit flip lands
+/// silently (the write reports success), the framing catches it on the
+/// next read, `fsck` reports it with a non-zero-exit verdict, and
+/// `fsck --repair` leaves a store a re-scan calls clean.
+#[test]
+fn injected_bitflip_is_detected_and_fsck_repair_cleans_the_store() {
+    let dir = Workdir::new("bitflip");
+    let plan: DiskFaultPlan = "seed=3,bitflip=1.0,after=1".parse().unwrap();
+    let io: Arc<dyn StoreIo> = Arc::new(FaultFs::new(plan));
+    let mut store = JobStore::open_with(&dir.0, io).unwrap();
+    let spec = RunSpec::parse_str("--model transformer --hw 4 --sw 4 --seed 7").unwrap();
+    let (id, _) = store.create(&spec, None).unwrap();
+    // The second WAL append is past the warm-up: its line lands with
+    // one bit flipped while the call still reports success.
+    store.record_state(id, JobState::Running, 0, 0).unwrap();
+    drop(store);
+
+    let fold = fold_wal(&std::fs::read(dir.0.join("jobs/job-000001/wal.jsonl")).unwrap());
+    assert!(
+        !fold.corrupt.is_empty(),
+        "the flipped record must fail its checksum: {fold:?}"
+    );
+
+    let report = fsck_store(&dir.0, false).unwrap();
+    assert!(
+        !report.is_clean(),
+        "fsck must flag the rot:\n{}",
+        report.render()
+    );
+    assert!(report.corruption_count() > 0);
+
+    let repaired = fsck_store(&dir.0, true).unwrap();
+    assert!(
+        repaired.repaired,
+        "repair mode must act:\n{}",
+        repaired.render()
+    );
+
+    let rescan = fsck_store(&dir.0, false).unwrap();
+    assert!(
+        rescan.is_clean(),
+        "a repaired store must re-scan clean:\n{}",
+        rescan.render()
+    );
+}

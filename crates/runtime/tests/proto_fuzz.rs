@@ -88,6 +88,7 @@ fn start_server(tag: &str) -> (Workdir, String, std::thread::JoinHandle<()>) {
             dir: dir.clone(),
             kill_after: None,
             max_jobs: None,
+            disk_faults: None,
         })
         .expect("server starts"),
     );

@@ -35,6 +35,7 @@ fn start(dir: &Workdir, listen: &str) -> (String, std::thread::JoinHandle<()>) {
             dir: dir.0.join("state"),
             kill_after: None,
             max_jobs: None,
+            disk_faults: None,
         })
         .expect("server starts"),
     );
